@@ -1,0 +1,241 @@
+//! DANTE (Cohen et al., Appendix A.2.1): ports as words.
+//!
+//! DANTE treats the sequence of destination ports of each *sender* as an
+//! independent sentence stream ("a different language for each (sender,
+//! receiver) pair"), trains port embeddings, and represents each sender as
+//! the average of the embeddings of the ports it contacted.
+//!
+//! The paper's Table 3 finding is that this construction explodes: DANTE
+//! wants port co-occurrence *within a sender's whole sequence*, so the
+//! context is the full sentence — every port co-occurs with every other
+//! port the sender sent in the window, a **quadratic** pair count in the
+//! sender's packet volume. Heavy scanners (Censys sends ~700 packets/day
+//! per IP) push the count into the billions and "after more than ten
+//! days, it could not complete the training". We reproduce the
+//! construction faithfully and expose the blow-up via
+//! [`DanteModel::skipgrams`]; the trainer takes an explicit
+//! `skipgram_budget` so experiments can report an honest
+//! "exceeded budget — did not complete" instead of hanging.
+
+use darkvec_types::{Ipv4, PortKey, Trace};
+use darkvec_w2v::{train, Embedding, TrainConfig};
+use std::collections::HashMap;
+
+/// Sentence window covering any realistic capture: DANTE "generates a
+/// different sentence for each IP address" over the whole observation
+/// period (Appendix A.2.1), i.e. no time splitting at all.
+pub const WHOLE_CAPTURE: u64 = 3650 * darkvec_types::DAY;
+
+/// DANTE configuration.
+#[derive(Clone, Debug)]
+pub struct DanteConfig {
+    /// Observation-window length for sentence splitting, seconds. The
+    /// default is [`WHOLE_CAPTURE`]: one sentence per sender for the whole
+    /// capture, DANTE's own construction — and the root of its quadratic
+    /// blow-up, since heavy scanners emit tens of thousands of packets per
+    /// month.
+    pub window_secs: u64,
+    /// Word2Vec hyper-parameters (over *ports*). The context window is
+    /// widened to the longest sentence at training time — DANTE's whole-
+    /// sequence context (see the module docs).
+    pub w2v: TrainConfig,
+    /// Abort if the corpus exceeds this many skip-grams (None = no limit).
+    pub skipgram_budget: Option<u64>,
+    /// Activity filter, like DarkVec's.
+    pub min_packets: u64,
+}
+
+impl Default for DanteConfig {
+    fn default() -> Self {
+        DanteConfig {
+            window_secs: WHOLE_CAPTURE,
+            w2v: TrainConfig { min_count: 1, ..TrainConfig::default() },
+            skipgram_budget: None,
+            min_packets: 10,
+        }
+    }
+}
+
+/// A trained (or aborted) DANTE model.
+#[derive(Debug)]
+pub struct DanteModel {
+    /// Sender vectors (average of contacted ports' embeddings), present
+    /// only if training completed within budget.
+    pub senders: Option<HashMap<Ipv4, Vec<f32>>>,
+    /// Skip-grams the corpus generates — the Table 3 scalability metric.
+    pub skipgrams: u64,
+    /// Sentences in the port corpus.
+    pub sentences: usize,
+    /// Whether training ran (false = budget exceeded).
+    pub completed: bool,
+    /// Training wall-clock (zero if aborted).
+    pub elapsed: std::time::Duration,
+}
+
+/// Builds DANTE's port corpus: one sentence per (sender, window), holding
+/// the time-ordered ports the sender hit in that window.
+pub fn build_port_corpus(trace: &Trace, window_secs: u64) -> Vec<Vec<PortKey>> {
+    let mut corpus = Vec::new();
+    for (_, packets) in trace.windows(window_secs) {
+        let mut per_sender: HashMap<Ipv4, Vec<PortKey>> = HashMap::new();
+        for p in packets {
+            per_sender.entry(p.src).or_default().push(p.port_key());
+        }
+        // Deterministic order.
+        let mut senders: Vec<Ipv4> = per_sender.keys().copied().collect();
+        senders.sort();
+        for ip in senders {
+            corpus.push(per_sender.remove(&ip).expect("listed key"));
+        }
+    }
+    corpus
+}
+
+/// The ordered-pair count of DANTE's whole-sentence context: a sentence
+/// of length `L` yields `L·(L−1)` (input, output) pairs — quadratic in the
+/// per-sender packet volume, which is exactly why DANTE does not scale
+/// (Table 3).
+pub fn count_full_pairs(corpus: &[Vec<PortKey>]) -> u64 {
+    corpus
+        .iter()
+        .map(|s| {
+            let l = s.len() as u64;
+            l * l.saturating_sub(1)
+        })
+        .sum()
+}
+
+/// Runs DANTE end to end.
+pub fn run(trace: &Trace, cfg: &DanteConfig) -> DanteModel {
+    let filtered = trace.filter_active(cfg.min_packets);
+    let corpus = build_port_corpus(&filtered, cfg.window_secs);
+    let skipgrams = count_full_pairs(&corpus);
+    if let Some(budget) = cfg.skipgram_budget {
+        if skipgrams > budget {
+            return DanteModel {
+                senders: None,
+                skipgrams,
+                sentences: corpus.len(),
+                completed: false,
+                elapsed: std::time::Duration::ZERO,
+            };
+        }
+    }
+    // Whole-sentence context: widen the window to the longest sentence.
+    let max_len = corpus.iter().map(|s| s.len()).max().unwrap_or(1);
+    let w2v = TrainConfig { window: max_len.max(1), ..cfg.w2v.clone() };
+    let (port_embedding, stats) = train(&corpus, &w2v);
+    let senders = average_port_vectors(&filtered, &port_embedding);
+    DanteModel {
+        senders: Some(senders),
+        skipgrams,
+        sentences: corpus.len(),
+        completed: true,
+        elapsed: stats.elapsed,
+    }
+}
+
+/// Sender vector = occurrence-weighted mean of its ports' embeddings.
+fn average_port_vectors(
+    trace: &Trace,
+    ports: &Embedding<PortKey>,
+) -> HashMap<Ipv4, Vec<f32>> {
+    let dim = ports.dim();
+    let mut sums: HashMap<Ipv4, (Vec<f32>, u64)> = HashMap::new();
+    for p in trace.packets() {
+        if let Some(v) = ports.get(&p.port_key()) {
+            let e = sums.entry(p.src).or_insert_with(|| (vec![0.0; dim], 0));
+            for (s, x) in e.0.iter_mut().zip(v) {
+                *s += x;
+            }
+            e.1 += 1;
+        }
+    }
+    sums.into_iter()
+        .map(|(ip, (mut v, n))| {
+            for x in &mut v {
+                *x /= n as f32;
+            }
+            (ip, v)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkvec_types::{Packet, Protocol, Timestamp, DAY, HOUR};
+
+    fn ip(d: u8) -> Ipv4 {
+        Ipv4::new(10, 0, 0, d)
+    }
+
+    fn fixture() -> Trace {
+        let mut packets = Vec::new();
+        // Sender 1 alternates 23/2323 (telnet-ish); sender 2 hits 53/80.
+        for i in 0..30u64 {
+            packets.push(Packet::new(Timestamp(i * HOUR / 2), ip(1), if i % 2 == 0 { 23 } else { 2323 }, Protocol::Tcp));
+            packets.push(Packet::new(Timestamp(i * HOUR / 2 + 7), ip(2), if i % 2 == 0 { 53 } else { 80 }, Protocol::Udp));
+            packets.push(Packet::new(Timestamp(i * HOUR / 2 + 9), ip(3), if i % 2 == 0 { 23 } else { 2323 }, Protocol::Tcp));
+        }
+        Trace::new(packets)
+    }
+
+    #[test]
+    fn corpus_is_per_sender_per_window() {
+        let corpus = build_port_corpus(&fixture(), DAY);
+        // One day, three senders => three sentences.
+        assert_eq!(corpus.len(), 3);
+        let total: usize = corpus.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 90);
+    }
+
+    #[test]
+    fn finer_windows_split_sentences() {
+        let day = build_port_corpus(&fixture(), DAY);
+        let hour = build_port_corpus(&fixture(), HOUR);
+        assert!(hour.len() > day.len());
+    }
+
+    #[test]
+    fn similar_port_profiles_embed_nearby() {
+        let cfg = DanteConfig {
+            w2v: TrainConfig { dim: 12, window: 5, epochs: 20, min_count: 1, subsample: 0.0, threads: 1, seed: 5, ..TrainConfig::default() },
+            min_packets: 5,
+            ..DanteConfig::default()
+        };
+        let model = run(&fixture(), &cfg);
+        assert!(model.completed);
+        let senders = model.senders.unwrap();
+        let cos = |a: &[f32], b: &[f32]| {
+            let d: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            d / (na * nb)
+        };
+        // Senders 1 and 3 share a port profile; sender 2 differs.
+        let same = cos(&senders[&ip(1)], &senders[&ip(3)]);
+        let diff = cos(&senders[&ip(1)], &senders[&ip(2)]);
+        assert!(same > diff, "same-profile {same} vs diff-profile {diff}");
+    }
+
+    #[test]
+    fn budget_aborts_without_training() {
+        let cfg = DanteConfig { skipgram_budget: Some(10), min_packets: 1, ..DanteConfig::default() };
+        let model = run(&fixture(), &cfg);
+        assert!(!model.completed);
+        assert!(model.senders.is_none());
+        assert!(model.skipgrams > 10);
+    }
+
+    #[test]
+    fn full_pair_count_is_quadratic() {
+        // One sentence of length 30 yields 30*29 pairs; splitting the same
+        // packets into smaller sentences collapses the count.
+        let trace = fixture();
+        let daily = count_full_pairs(&build_port_corpus(&trace, DAY));
+        assert_eq!(daily, 3 * 30 * 29); // 3 senders, each one L=30 sentence
+        let hourly = count_full_pairs(&build_port_corpus(&trace, HOUR));
+        assert!(daily > hourly, "daily {daily} vs hourly {hourly}");
+    }
+}

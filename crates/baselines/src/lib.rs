@@ -1,0 +1,23 @@
+//! # darkvec-baselines
+//!
+//! The three comparison points of the DarkVec paper:
+//!
+//! * [`port_features`] — the §4 baseline: a k-NN classifier on per-sender
+//!   traffic fractions to the union of each class's top-5 ports (Table 6);
+//! * [`dante`] — DANTE (Cohen et al.): ports as words, one sentence per
+//!   sender, sender vectors by averaging port embeddings (Appendix A.2.1);
+//! * [`ip2vec`] — IP2VEC (Ring et al.): a flow-level custom context where
+//!   each packet/flow emits (target, context) pairs over sender, port and
+//!   protocol tokens (Appendix A.2.2).
+//!
+//! Both embedding baselines reuse the [`darkvec_w2v`] SGNS trainer, so the
+//! comparison isolates the *corpus construction* — the paper's point: the
+//! service/sequence design of DarkVec, not the optimiser, is what wins.
+
+pub mod dante;
+pub mod ip2vec;
+pub mod port_features;
+
+pub use dante::{DanteConfig, DanteModel};
+pub use ip2vec::{Ip2VecConfig, Ip2VecModel};
+pub use port_features::{baseline_report, PortFeatureConfig};

@@ -1,0 +1,209 @@
+//! The §4 baseline: grouping senders by simple traffic features.
+//!
+//! "We build a supervised classifier that uses as features the fraction of
+//! traffic each sender generates to top destination ports. [...] For each
+//! class, we extract its top-5 ports in terms of packets. We then merge all
+//! top-5 port sets to compose our final feature set" — deliberately biased
+//! *toward* the GT classes (footnote 4), and still beaten by DarkVec.
+
+use darkvec_ml::classifier::{loo_knn_classify, Label};
+use darkvec_ml::knn::knn_all;
+use darkvec_ml::metrics::{ClassReport, ConfusionMatrix};
+use darkvec_ml::vectors::Matrix;
+use darkvec_types::stats::Counter;
+use darkvec_types::{Ipv4, PortKey, Trace};
+use std::collections::HashMap;
+
+/// Baseline configuration.
+#[derive(Clone, Debug)]
+pub struct PortFeatureConfig {
+    /// Ports per class merged into the feature set.
+    pub top_per_class: usize,
+    /// Neighbours for the k-NN vote (the paper's best was 7).
+    pub k: usize,
+    /// kNN threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for PortFeatureConfig {
+    fn default() -> Self {
+        PortFeatureConfig { top_per_class: 5, k: 7, threads: 0 }
+    }
+}
+
+/// The assembled feature space and per-sender vectors.
+#[derive(Clone, Debug)]
+pub struct PortFeatures {
+    /// The merged feature ports, in fixed order.
+    pub ports: Vec<PortKey>,
+    /// Senders, aligned with `matrix` rows.
+    pub senders: Vec<Ipv4>,
+    /// Row-major `senders × ports` traffic-fraction matrix.
+    pub matrix: Vec<f32>,
+}
+
+/// Builds the biased feature set and the per-sender fraction vectors.
+///
+/// `labels` must label every sender to evaluate (the paper labels all
+/// last-day active senders, Unknown included).
+pub fn build_features(
+    trace: &Trace,
+    labels: &HashMap<Ipv4, Label>,
+    top_per_class: usize,
+) -> PortFeatures {
+    // Top ports per class.
+    let mut per_class: HashMap<Label, Counter<PortKey>> = HashMap::new();
+    for p in trace.packets() {
+        if let Some(&l) = labels.get(&p.src) {
+            per_class.entry(l).or_insert_with(Counter::new).add(p.port_key());
+        }
+    }
+    let mut feature_set: Vec<PortKey> = Vec::new();
+    let mut classes: Vec<&Label> = per_class.keys().collect();
+    classes.sort();
+    for class in classes {
+        for (key, _) in per_class[class].top(top_per_class) {
+            if !feature_set.contains(&key) {
+                feature_set.push(key);
+            }
+        }
+    }
+
+    // Per-sender traffic fractions over the feature ports.
+    let mut totals: Counter<Ipv4> = Counter::new();
+    let mut hits: HashMap<(Ipv4, usize), u64> = HashMap::new();
+    let index: HashMap<PortKey, usize> =
+        feature_set.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    for p in trace.packets() {
+        if !labels.contains_key(&p.src) {
+            continue;
+        }
+        totals.add(p.src);
+        if let Some(&i) = index.get(&p.port_key()) {
+            *hits.entry((p.src, i)).or_insert(0) += 1;
+        }
+    }
+
+    let mut senders: Vec<Ipv4> = labels.keys().copied().filter(|ip| totals.get(ip) > 0).collect();
+    senders.sort();
+    let dim = feature_set.len();
+    let mut matrix = vec![0.0f32; senders.len() * dim];
+    for (row, &ip) in senders.iter().enumerate() {
+        let total = totals.get(&ip) as f32;
+        for i in 0..dim {
+            if let Some(&h) = hits.get(&(ip, i)) {
+                matrix[row * dim + i] = h as f32 / total;
+            }
+        }
+    }
+    PortFeatures { ports: feature_set, senders, matrix }
+}
+
+/// Runs the full baseline: features → leave-one-out k-NN → Table 6 report.
+///
+/// `unknown` is excluded from the accuracy (but reported, like Table 6's
+/// Unknown recall row).
+pub fn baseline_report(
+    trace: &Trace,
+    labels: &HashMap<Ipv4, Label>,
+    names: &[&str],
+    unknown: Label,
+    cfg: &PortFeatureConfig,
+) -> ClassReport {
+    let features = build_features(trace, labels, cfg.top_per_class);
+    let dim = features.ports.len().max(1);
+    let matrix = Matrix::new(&features.matrix, features.senders.len(), dim);
+    let neighbors = knn_all(matrix, cfg.k, cfg.threads);
+    let row_labels: Vec<Label> = features.senders.iter().map(|ip| labels[ip]).collect();
+    let outcome = loo_knn_classify(&neighbors, &row_labels, cfg.k);
+    let mut m = ConfusionMatrix::new(names.len());
+    for (truth, pred) in row_labels.iter().zip(&outcome.predictions) {
+        m.record(*truth, *pred);
+    }
+    ClassReport::from_confusion(&m, names, &move |l| l != unknown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkvec_types::{Packet, Protocol, Timestamp};
+
+    fn ip(d: u8) -> Ipv4 {
+        Ipv4::new(10, 0, 0, d)
+    }
+
+    /// Class 0 senders hit port 23 only; class 1 senders hit 53 and 80.
+    fn fixture() -> (Trace, HashMap<Ipv4, Label>) {
+        let mut packets = Vec::new();
+        let mut labels = HashMap::new();
+        for d in 1..=4u8 {
+            labels.insert(ip(d), 0);
+            for i in 0..20u64 {
+                packets.push(Packet::new(Timestamp(i * 100 + d as u64), ip(d), 23, Protocol::Tcp));
+            }
+        }
+        for d in 5..=8u8 {
+            labels.insert(ip(d), 1);
+            for i in 0..10u64 {
+                packets.push(Packet::new(Timestamp(i * 90 + d as u64), ip(d), 53, Protocol::Udp));
+                packets.push(Packet::new(Timestamp(i * 95 + d as u64), ip(d), 80, Protocol::Tcp));
+            }
+        }
+        (Trace::new(packets), labels)
+    }
+
+    #[test]
+    fn features_are_fractions() {
+        let (trace, labels) = fixture();
+        let f = build_features(&trace, &labels, 5);
+        assert_eq!(f.senders.len(), 8);
+        // Class 0's top port (23/tcp) and class 1's (53/udp, 80/tcp) are in.
+        assert!(f.ports.contains(&PortKey::tcp(23)));
+        assert!(f.ports.contains(&PortKey::udp(53)));
+        let dim = f.ports.len();
+        for row in 0..8 {
+            let sum: f32 = f.matrix[row * dim..(row + 1) * dim].iter().sum();
+            assert!(sum <= 1.0 + 1e-6);
+            assert!(sum > 0.9, "feature rows should capture most traffic here");
+        }
+    }
+
+    #[test]
+    fn distinct_port_profiles_classify_perfectly() {
+        let (trace, labels) = fixture();
+        let report = baseline_report(&trace, &labels, &["a", "b"], u32::MAX, &PortFeatureConfig { k: 3, threads: 1, top_per_class: 5 });
+        assert!((report.accuracy - 1.0).abs() < 1e-12, "report: {}", report.to_table());
+    }
+
+    #[test]
+    fn identical_port_profiles_confuse_the_baseline() {
+        // Two classes with the *same* port profile but different timing:
+        // the baseline cannot separate them (this is the paper's point).
+        let mut packets = Vec::new();
+        let mut labels = HashMap::new();
+        for d in 1..=8u8 {
+            labels.insert(ip(d), if d <= 4 { 0 } else { 1 });
+            let offset = if d <= 4 { 0 } else { 500_000 };
+            for i in 0..15u64 {
+                packets.push(Packet::new(
+                    Timestamp(offset + i * 60),
+                    ip(d),
+                    445,
+                    Protocol::Tcp,
+                ));
+            }
+        }
+        let trace = Trace::new(packets);
+        let report = baseline_report(&trace, &labels, &["a", "b"], u32::MAX, &PortFeatureConfig { k: 3, threads: 1, top_per_class: 5 });
+        assert!(report.accuracy < 0.8, "baseline should fail: {}", report.to_table());
+    }
+
+    #[test]
+    fn senders_without_labels_are_ignored() {
+        let (trace, mut labels) = fixture();
+        labels.remove(&ip(1));
+        let f = build_features(&trace, &labels, 5);
+        assert_eq!(f.senders.len(), 7);
+        assert!(!f.senders.contains(&ip(1)));
+    }
+}

@@ -1,0 +1,151 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §4:
+//! service definition, negative-sample count, subsampling, ΔT window
+//! length, and the k′-NN graph symmetrisation rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use darkvec::config::{DarkVecConfig, ServiceDef};
+use darkvec::corpus::build_corpus;
+use darkvec::services::ServiceMap;
+use darkvec_gen::{simulate, SimConfig};
+use darkvec_graph::knn_graph::{build_knn_graph, KnnGraphConfig};
+use darkvec_graph::louvain::louvain;
+use darkvec_ml::vectors::Matrix;
+use darkvec_types::{Trace, HOUR, MINUTE};
+use darkvec_w2v::TrainConfig;
+use std::hint::black_box;
+
+fn bench_trace() -> Trace {
+    let cfg = SimConfig { days: 2, sender_scale: 0.008, rate_scale: 0.35, backscatter: false, seed: 7 };
+    simulate(&cfg).trace.filter_active(10)
+}
+
+fn small_w2v(seed: u64) -> TrainConfig {
+    TrainConfig { dim: 24, window: 8, epochs: 1, min_count: 1, threads: 0, seed, ..TrainConfig::default() }
+}
+
+/// Ablation #1 — end-to-end pipeline cost per service definition.
+fn bench_service_definition(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("ablation/service_def");
+    g.sample_size(10);
+    for (name, def) in [
+        ("single", ServiceDef::Single),
+        ("auto10", ServiceDef::Auto(10)),
+        ("domain", ServiceDef::DomainKnowledge),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &def, |b, def| {
+            let cfg = DarkVecConfig {
+                service: def.clone(),
+                w2v: small_w2v(7),
+                ..DarkVecConfig::default()
+            };
+            b.iter(|| darkvec::pipeline::run(black_box(&trace), &cfg));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation — architecture/objective matrix: skip-gram vs CBOW, negative
+/// sampling vs hierarchical softmax (the alternatives of Appendix A.1).
+fn bench_arch_loss(c: &mut Criterion) {
+    use darkvec_w2v::{Arch, Loss};
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("ablation/arch_loss");
+    g.sample_size(10);
+    for (name, arch, loss) in [
+        ("sg-ns", Arch::SkipGram, Loss::NegativeSampling),
+        ("sg-hs", Arch::SkipGram, Loss::HierarchicalSoftmax),
+        ("cbow-ns", Arch::Cbow, Loss::NegativeSampling),
+        ("cbow-hs", Arch::Cbow, Loss::HierarchicalSoftmax),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = DarkVecConfig {
+                w2v: TrainConfig { arch, loss, ..small_w2v(7) },
+                ..DarkVecConfig::default()
+            };
+            b.iter(|| darkvec::pipeline::run(black_box(&trace), &cfg));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation #2 — negative-sample count vs training cost.
+fn bench_negative_samples(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("ablation/negative");
+    g.sample_size(10);
+    for negative in [5usize, 10, 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(negative), &negative, |b, &negative| {
+            let cfg = DarkVecConfig {
+                w2v: TrainConfig { negative, ..small_w2v(7) },
+                ..DarkVecConfig::default()
+            };
+            b.iter(|| darkvec::pipeline::run(black_box(&trace), &cfg));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation #3 — subsampling on/off (dominant Mirai-scale senders).
+fn bench_subsampling(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("ablation/subsample");
+    g.sample_size(10);
+    for (name, threshold) in [("off", 0.0f64), ("1e-3", 1e-3), ("1e-4", 1e-4)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &threshold, |b, &t| {
+            let cfg = DarkVecConfig {
+                w2v: TrainConfig { subsample: t, ..small_w2v(7) },
+                ..DarkVecConfig::default()
+            };
+            b.iter(|| darkvec::pipeline::run(black_box(&trace), &cfg));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation #5 — ΔT window length on corpus construction.
+fn bench_dt(c: &mut Criterion) {
+    let trace = bench_trace();
+    let services = ServiceMap::domain_knowledge();
+    let mut g = c.benchmark_group("ablation/dt");
+    for (name, dt) in [("10min", 10 * MINUTE), ("1h", HOUR), ("6h", 6 * HOUR)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &dt, |b, &dt| {
+            b.iter(|| build_corpus(black_box(&trace), &services, dt))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation #6 — union vs mutual k′-NN symmetrisation (graph + Louvain).
+fn bench_symmetrisation(c: &mut Criterion) {
+    // Synthetic embedding (see clustering bench) for a controlled graph.
+    let dim = 32;
+    let n = 600usize;
+    let mut data = vec![0.0f32; n * dim];
+    for (row, chunk) in data.chunks_mut(dim).enumerate() {
+        chunk[row % dim] = 1.0;
+        chunk[(row / dim) % dim] += 0.2;
+    }
+    let m = Matrix::new(&data, n, dim);
+    let mut g = c.benchmark_group("ablation/knn_graph_rule");
+    for (name, mutual) in [("union", false), ("mutual", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mutual, |b, &mutual| {
+            b.iter(|| {
+                let graph = build_knn_graph(black_box(m), &KnnGraphConfig { k: 3, threads: 4, mutual });
+                louvain(&graph, 1)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_service_definition,
+    bench_arch_loss,
+    bench_negative_samples,
+    bench_subsampling,
+    bench_dt,
+    bench_symmetrisation
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Benchmarks for the analysis stages: brute-force kNN, k′-NN graph
+//! construction, Louvain community detection and silhouette scoring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use darkvec_graph::knn_graph::{build_knn_graph, KnnGraphConfig};
+use darkvec_graph::louvain::louvain;
+use darkvec_graph::silhouette::cluster_silhouettes;
+use darkvec_ml::knn::knn_all;
+use darkvec_ml::vectors::Matrix;
+use std::hint::black_box;
+
+/// A synthetic embedding: `groups` unit-norm clusters of `per_group`
+/// 50-d points with small deterministic jitter.
+fn synthetic_embedding(groups: usize, per_group: usize, dim: usize) -> Vec<f32> {
+    let n = groups * per_group;
+    let mut data = vec![0.0f32; n * dim];
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u64 << 24) as f32
+    };
+    for g in 0..groups {
+        for i in 0..per_group {
+            let row = g * per_group + i;
+            // Cluster axis + jitter.
+            data[row * dim + (g % dim)] = 1.0;
+            for d in 0..dim {
+                data[row * dim + d] += 0.05 * next();
+            }
+        }
+    }
+    data
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let dim = 50;
+    let data = synthetic_embedding(20, 60, dim);
+    let n = data.len() / dim;
+    let m = Matrix::new(&data, n, dim);
+    let mut g = c.benchmark_group("ml/knn_all");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n as u64));
+    for threads in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("k7/threads", threads), &threads, |b, &t| {
+            b.iter(|| knn_all(black_box(m), 7, t))
+        });
+    }
+    g.finish();
+}
+
+fn bench_knn_graph(c: &mut Criterion) {
+    let dim = 50;
+    let data = synthetic_embedding(20, 60, dim);
+    let m = Matrix::new(&data, data.len() / dim, dim);
+    c.bench_function("graph/build_knn_k3", |b| {
+        b.iter(|| build_knn_graph(black_box(m), &KnnGraphConfig { k: 3, threads: 4, mutual: false }))
+    });
+}
+
+fn bench_louvain(c: &mut Criterion) {
+    let dim = 50;
+    let data = synthetic_embedding(20, 60, dim);
+    let m = Matrix::new(&data, data.len() / dim, dim);
+    let graph = build_knn_graph(m, &KnnGraphConfig { k: 3, threads: 4, mutual: false });
+    c.bench_function("graph/louvain_1200n", |b| b.iter(|| louvain(black_box(&graph), 1)));
+}
+
+fn bench_silhouette(c: &mut Criterion) {
+    let dim = 50;
+    let data = synthetic_embedding(20, 60, dim);
+    let n = data.len() / dim;
+    let m = Matrix::new(&data, n, dim);
+    let assignment: Vec<u32> = (0..n).map(|i| (i / 100) as u32).collect();
+    let mut g = c.benchmark_group("graph/silhouette");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("1200x50", |b| b.iter(|| cluster_silhouettes(black_box(m), &assignment)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_knn, bench_knn_graph, bench_louvain, bench_silhouette);
+criterion_main!(benches);

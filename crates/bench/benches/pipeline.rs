@@ -1,0 +1,79 @@
+//! Benchmarks for the traffic substrate and the DarkVec pipeline stages:
+//! simulation, trace filtering, corpus construction per service
+//! definition, skip-gram counting and trace (de)serialisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use darkvec::corpus::build_corpus_hourly;
+use darkvec::services::ServiceMap;
+use darkvec_gen::{simulate, SimConfig};
+use darkvec_types::io;
+use darkvec_w2v::count_skipgrams;
+use std::hint::black_box;
+
+fn bench_cfg() -> SimConfig {
+    SimConfig { days: 2, sender_scale: 0.012, rate_scale: 0.4, backscatter: true, seed: 7 }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let packets = simulate(&cfg).trace.len() as u64;
+    let mut g = c.benchmark_group("gen/simulate");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(packets));
+    g.bench_function("4day", |b| b.iter(|| simulate(black_box(&cfg))));
+    g.finish();
+}
+
+fn bench_filtering(c: &mut Criterion) {
+    let trace = simulate(&bench_cfg()).trace;
+    let mut g = c.benchmark_group("trace");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("filter_active", |b| b.iter(|| black_box(&trace).filter_active(10)));
+    g.bench_function("stats", |b| b.iter(|| black_box(&trace).stats()));
+    g.finish();
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let trace = simulate(&bench_cfg()).trace.filter_active(10);
+    let mut g = c.benchmark_group("corpus");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, map) in [
+        ("single", ServiceMap::single()),
+        ("auto10", ServiceMap::auto(&trace.port_counter(), 10)),
+        ("domain", ServiceMap::domain_knowledge()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("build", name), &map, |b, map| {
+            b.iter(|| build_corpus_hourly(black_box(&trace), map))
+        });
+    }
+    g.finish();
+}
+
+fn bench_skipgram_count(c: &mut Criterion) {
+    let trace = simulate(&bench_cfg()).trace.filter_active(10);
+    let corpus = build_corpus_hourly(&trace, &ServiceMap::domain_knowledge());
+    c.bench_function("corpus/count_skipgrams_c25", |b| {
+        b.iter(|| count_skipgrams(black_box(&corpus), 25))
+    });
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let trace = simulate(&bench_cfg()).trace;
+    let bytes = io::to_bytes(&trace);
+    let mut g = c.benchmark_group("io");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| io::to_bytes(black_box(&trace))));
+    g.bench_function("decode", |b| b.iter(|| io::from_bytes(black_box(&bytes[..])).unwrap()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_filtering,
+    bench_corpus,
+    bench_skipgram_count,
+    bench_trace_io
+);
+criterion_main!(benches);

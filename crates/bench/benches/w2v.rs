@@ -1,0 +1,94 @@
+//! Micro-benchmarks for the Word2Vec substrate: vocabulary construction,
+//! negative-sampling table, SGNS training throughput and its thread
+//! scaling (DESIGN.md ablation #4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use darkvec_w2v::sampling::UnigramTable;
+use darkvec_w2v::{train, TrainConfig, Vocab};
+use std::hint::black_box;
+
+/// A synthetic corpus with group structure: `groups` word groups of
+/// `words_per_group`, `sentences` sentences of length `len` drawn within a
+/// group.
+fn synthetic_corpus(groups: usize, words_per_group: usize, sentences: usize, len: usize) -> Vec<Vec<u32>> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state as usize
+    };
+    (0..sentences)
+        .map(|i| {
+            let g = i % groups;
+            (0..len).map(|_| (g * words_per_group + next() % words_per_group) as u32).collect()
+        })
+        .collect()
+}
+
+fn bench_vocab(c: &mut Criterion) {
+    let corpus = synthetic_corpus(20, 50, 1_000, 25);
+    let tokens: u64 = corpus.iter().map(|s| s.len() as u64).sum();
+    let mut g = c.benchmark_group("w2v/vocab");
+    g.throughput(Throughput::Elements(tokens));
+    g.bench_function("build", |b| {
+        b.iter(|| Vocab::build(black_box(&corpus).iter().map(|s| s.iter()), 1))
+    });
+    g.finish();
+}
+
+fn bench_unigram_table(c: &mut Criterion) {
+    let counts: Vec<u64> = (1..=10_000u64).collect();
+    c.bench_function("w2v/unigram_table_10k", |b| {
+        b.iter(|| UnigramTable::new(black_box(&counts), 0.75, 1_000_000))
+    });
+}
+
+fn bench_training_throughput(c: &mut Criterion) {
+    let corpus = synthetic_corpus(20, 50, 600, 25);
+    let tokens: u64 = corpus.iter().map(|s| s.len() as u64).sum();
+    let mut g = c.benchmark_group("w2v/train");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(tokens));
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            let cfg = TrainConfig {
+                dim: 50,
+                window: 10,
+                epochs: 1,
+                min_count: 1,
+                threads,
+                seed: 7,
+                ..TrainConfig::default()
+            };
+            b.iter(|| train(black_box(&corpus), &cfg));
+        });
+    }
+    g.finish();
+}
+
+fn bench_dimension_cost(c: &mut Criterion) {
+    // DESIGN.md ablation: dimension V drives per-pair cost linearly
+    // (Figure 8 bottom's runtime rows).
+    let corpus = synthetic_corpus(10, 40, 400, 20);
+    let mut g = c.benchmark_group("w2v/dim");
+    g.sample_size(10);
+    for dim in [50usize, 100, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let cfg = TrainConfig {
+                dim,
+                window: 10,
+                epochs: 1,
+                min_count: 1,
+                threads: 1,
+                seed: 7,
+                ..TrainConfig::default()
+            };
+            b.iter(|| train(black_box(&corpus), &cfg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vocab, bench_unigram_table, bench_training_throughput, bench_dimension_cost);
+criterion_main!(benches);

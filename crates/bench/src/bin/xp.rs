@@ -1,0 +1,116 @@
+//! `xp` — the experiment runner.
+//!
+//! ```text
+//! xp <experiment-id>... [--scale S] [--days D] [--seed N] [--out DIR]
+//! xp all
+//! xp list
+//! ```
+//!
+//! Regenerates the paper's tables and figures (DESIGN.md §3 maps ids to
+//! artifacts). Output is printed and mirrored under `--out` (default
+//! `results/`).
+
+use darkvec_bench::{experiments, Ctx};
+use darkvec_gen::SimConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    let mut sim_cfg = SimConfig::default();
+    let mut out_dir = PathBuf::from("results");
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match take_f64(&mut it, "--scale") {
+                Ok(v) => {
+                    sim_cfg.sender_scale *= v;
+                    sim_cfg.rate_scale *= v.sqrt();
+                }
+                Err(e) => return fail(&e),
+            },
+            "--days" => match take_f64(&mut it, "--days") {
+                Ok(v) if v >= 1.0 => sim_cfg.days = v as u64,
+                _ => return fail("--days needs a value >= 1"),
+            },
+            "--seed" => match take_f64(&mut it, "--seed") {
+                Ok(v) => sim_cfg.seed = v as u64,
+                Err(e) => return fail(&e),
+            },
+            "--out" => match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => return fail("--out needs a directory"),
+            },
+            "list" => {
+                println!("available experiments:");
+                for id in experiments::ALL {
+                    println!("  {id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            id if !id.starts_with('-') => ids.push(id.to_string()),
+            other => return fail(&format!("unknown flag {other}")),
+        }
+    }
+
+    if ids.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    let ctx = Ctx::new(sim_cfg, out_dir);
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match experiments::run(&ctx, id) {
+            Some(output) => {
+                println!("\n================ {id} ================\n");
+                println!("{output}");
+                let path = ctx.write_artifact(&format!("{id}.txt"), &output);
+                eprintln!("[xp] {id} done in {:.1?} -> {}", started.elapsed(), path.display());
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (try: xp list)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn take_f64(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, String> {
+    it.next()
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag} needs a number"))
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn usage() {
+    eprintln!(
+        "usage: xp <experiment>... [--scale S] [--days D] [--seed N] [--out DIR]\n\
+         \n\
+         experiments: {} | all | list\n\
+         \n\
+         --scale S   multiply simulation size by S (default 1.0 = 1/10 paper scale)\n\
+         --days D    capture length in days (default 30)\n\
+         --seed N    simulation seed (default 1)\n\
+         --out DIR   artifact directory (default results/)",
+        experiments::ALL.join(" | ")
+    );
+}

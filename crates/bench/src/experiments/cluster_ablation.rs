@@ -1,0 +1,157 @@
+//! Extension experiment (paper §7.1): classic clustering algorithms vs
+//! the k′-NN graph + Louvain approach.
+//!
+//! The paper states: "We have compared several clustering alternatives,
+//! including classic algorithms that work directly in the embedded space
+//! such as k-Means, DBSCAN, Hierarchical Agglomerative Clustering. [...]
+//! these algorithms produce poor results due to the well-known curse of
+//! dimensionality as well as their difficult parameter tuning." The
+//! results were not reported; this experiment reproduces them.
+//!
+//! Each method clusters the same default embedding; we score how many of
+//! the hidden coordinated campaigns get a dominated (purity ≥ 0.5, size
+//! ≥ 4) cluster, plus the overall silhouette.
+
+use crate::experiments::clustering::default_clustering;
+use crate::table::{f, TextTable};
+use crate::Ctx;
+use darkvec_gen::CampaignId;
+use darkvec_graph::silhouette::silhouette_samples;
+use darkvec_ml::dbscan::{dbscan, DbscanConfig, NOISE};
+use darkvec_ml::hac::hac_average;
+use darkvec_ml::kmeans::{kmeans, KMeansConfig};
+use darkvec_ml::vectors::Matrix;
+use darkvec_types::Ipv4;
+use std::collections::HashMap;
+
+/// Runs the comparison.
+pub fn cluster_ablation(ctx: &Ctx) -> String {
+    let model = ctx.model();
+    let emb = &model.embedding;
+    let matrix = Matrix::new(emb.vectors(), emb.len(), emb.dim());
+    let truth: HashMap<Ipv4, CampaignId> = ctx
+        .trace()
+        .senders()
+        .into_iter()
+        .filter_map(|ip| ctx.truth().campaign(ip).map(|c| (ip, c)))
+        .collect();
+
+    let mut out = String::from(
+        "Extension (paper §7.1): classic clustering vs k'-NN graph + Louvain\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "method", "clusters", "noise", "campaigns recovered", "mean silhouette",
+    ]);
+
+    // Louvain (the paper's choice).
+    let louvain = default_clustering(ctx);
+    let louvain_assign = louvain.assignment.clone();
+    t.row(score_row(ctx, emb, &truth, "kNN-graph + Louvain", &louvain_assign, 0, matrix));
+
+    // k-Means at the "oracle" k (Louvain's cluster count — a generous
+    // tuning the analyst would not actually have).
+    let km = kmeans(matrix, &KMeansConfig { k: louvain.clusters.max(2).min(emb.len()), max_iters: 50, seed: ctx.sim_cfg.seed });
+    t.row(score_row(ctx, emb, &truth, "k-Means (oracle k)", &km.assignment, 0, matrix));
+
+    // DBSCAN at two eps settings, demonstrating the tuning dilemma.
+    for (name, eps) in [("DBSCAN eps=0.05", 0.05), ("DBSCAN eps=0.30", 0.30)] {
+        let db = dbscan(matrix, &DbscanConfig { eps, min_pts: 4 });
+        // Remap noise to per-point singleton ids so silhouette/purity
+        // treat unclustered points as their own clusters.
+        let mut next = db.clusters as u32;
+        let assignment: Vec<u32> = db
+            .assignment
+            .iter()
+            .map(|&c| {
+                if c == NOISE {
+                    let id = next;
+                    next += 1;
+                    id
+                } else {
+                    c
+                }
+            })
+            .collect();
+        t.row(score_row(ctx, emb, &truth, name, &assignment, db.noise_count(), matrix));
+    }
+
+    // HAC cut at the oracle cluster count.
+    if emb.len() <= 6_000 {
+        let dendrogram = hac_average(matrix);
+        let assignment = dendrogram.cut_k(louvain.clusters.max(2).min(emb.len()));
+        t.row(score_row(ctx, emb, &truth, "HAC avg (oracle k)", &assignment, 0, matrix));
+    } else {
+        t.row(vec![
+            "HAC avg (oracle k)".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "skipped (O(n^2) memory at this scale)".to_string(),
+            "-".to_string(),
+        ]);
+    }
+
+    out.push_str(&t.render());
+    out.push_str("\nExpected shape (paper §7.1): the graph approach recovers the most campaigns;\nk-Means fragments/merges across the Mirai blob; DBSCAN either marks the tight\nscanner groups as noise (small eps) or swallows everything (large eps).\n");
+    out
+}
+
+/// Scores one assignment: campaigns recovered + mean silhouette.
+fn score_row(
+    _ctx: &Ctx,
+    emb: &darkvec_w2v::Embedding<Ipv4>,
+    truth: &HashMap<Ipv4, CampaignId>,
+    name: &str,
+    assignment: &[u32],
+    noise: usize,
+    matrix: Matrix<'_>,
+) -> Vec<String> {
+    let nclusters = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    // Members per cluster.
+    let mut members: Vec<Vec<Ipv4>> = vec![Vec::new(); nclusters];
+    for (row, &c) in assignment.iter().enumerate() {
+        members[c as usize].push(*emb.vocab().word(row as u32));
+    }
+    // Coordinated campaigns with a dominated cluster.
+    let mut recovered: std::collections::HashSet<CampaignId> = Default::default();
+    for ips in &members {
+        if ips.len() < 4 {
+            continue;
+        }
+        let mut counts: HashMap<CampaignId, usize> = HashMap::new();
+        let mut labelled = 0usize;
+        for ip in ips {
+            if let Some(&c) = truth.get(ip) {
+                *counts.entry(c).or_insert(0) += 1;
+                labelled += 1;
+            }
+        }
+        if let Some((&campaign, &n)) = counts.iter().max_by_key(|&(_, &n)| n) {
+            if campaign.coordinated() && labelled > 0 && n * 2 >= labelled {
+                recovered.insert(campaign);
+            }
+        }
+    }
+    let sil = silhouette_samples(matrix, assignment);
+    let mean_sil = if sil.is_empty() { 0.0 } else { sil.iter().sum::<f64>() / sil.len() as f64 };
+    vec![
+        name.to_string(),
+        nclusters.to_string(),
+        noise.to_string(),
+        recovered.len().to_string(),
+        f(mean_sil, 3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_runs_and_louvain_leads() {
+        let ctx = Ctx::for_tests(98);
+        let out = cluster_ablation(&ctx);
+        assert!(out.contains("kNN-graph + Louvain"));
+        assert!(out.contains("k-Means"));
+        assert!(out.contains("DBSCAN"));
+    }
+}

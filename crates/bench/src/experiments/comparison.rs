@@ -1,0 +1,185 @@
+//! Table 3 — DarkVec vs IP2VEC vs DANTE on 5-day and 30-day datasets:
+//! skip-grams / pairs, training time, accuracy, coverage.
+
+use crate::table::{count, dur, f, pct, TextTable};
+use crate::Ctx;
+use darkvec::supervised::Evaluation;
+use darkvec_baselines::{dante, ip2vec};
+use darkvec_gen::GtClass;
+use darkvec_ml::classifier::loo_knn_classify;
+use darkvec_ml::knn::knn_all;
+use darkvec_ml::vectors::Matrix;
+use darkvec_types::Ipv4;
+use std::collections::HashMap;
+
+/// Budgets that stand in for the paper's "did not complete after ten
+/// days": scaled to our corpus sizes, they trip exactly when the method's
+/// corpus construction explodes relative to DarkVec's.
+const BUDGET_FACTOR: u64 = 8;
+
+/// Runs the comparison on the first 5 days and the full capture.
+pub fn table3(ctx: &Ctx) -> String {
+    let mut out = String::from(
+        "Table 3: DarkVec vs IP2VEC vs DANTE (k=7 LOO accuracy over GT classes)\n",
+    );
+    let full_days = ctx.trace().days();
+    let short_days = 5.min(full_days.saturating_sub(1)).max(1);
+    for days in [short_days, full_days] {
+        out.push_str(&format!("\n--- {days}-day dataset ---\n"));
+        out.push_str(&run_scenario(ctx, days).render());
+    }
+    out.push_str("\nDANTE/IP2VEC rows marked 'exceeded' did not finish within the skip-gram budget\n(the paper's DANTE never completed training; IP2VEC never finished pair creation on 30 days).\n");
+    out
+}
+
+fn run_scenario(ctx: &Ctx, days: u64) -> TextTable {
+    let trace = ctx.trace().first_days(days);
+    let eval_labels = ctx.last_day_ml_labels();
+    let k = 7;
+
+    let mut t = TextTable::new(vec![
+        "method", "epochs", "skip-grams/pairs", "training", "accuracy", "coverage",
+    ]);
+
+    // DarkVec: domain-knowledge services; the paper trains 20 epochs on the
+    // 5-day set and reports 10-epoch tuning runs on 30 days.
+    let mut cfg = ctx.default_config();
+    cfg.w2v.epochs = if days <= 5 { 20 } else { 10 };
+    let model = darkvec::pipeline::run(&trace, &cfg);
+    let (acc, coverage) = if model.embedding.is_empty() {
+        (0.0, 0.0)
+    } else {
+        let ev = Evaluation::prepare(&model.embedding, &eval_labels, 10, GtClass::Unknown.label(), k, 0);
+        (ev.accuracy(k), Evaluation::coverage(&model.embedding, &eval_labels))
+    };
+    t.row(vec![
+        "DarkVec".to_string(),
+        cfg.w2v.epochs.to_string(),
+        count(model.skipgrams),
+        dur(model.train.elapsed),
+        f(acc, 2),
+        pct(coverage),
+    ]);
+
+    // IP2VEC: budget proportional to DarkVec's corpus.
+    let i2v_cfg = ip2vec::Ip2VecConfig {
+        pair_budget: Some(model.skipgrams.max(1) * BUDGET_FACTOR),
+        ..ip2vec::Ip2VecConfig::default()
+    };
+    let i2v = ip2vec::run(&trace, &i2v_cfg);
+    if i2v.completed {
+        let vectors = ip2vec::sender_vectors(&i2v);
+        let (acc, coverage) = accuracy_from_vectors(&vectors, &eval_labels, k);
+        t.row(vec![
+            "IP2VEC".to_string(),
+            i2v_cfg.w2v.epochs.to_string(),
+            count(i2v.pairs),
+            dur(i2v.elapsed),
+            f(acc, 2),
+            pct(coverage),
+        ]);
+    } else {
+        t.row(vec![
+            "IP2VEC".to_string(),
+            i2v_cfg.w2v.epochs.to_string(),
+            format!("{} (exceeded)", count(i2v.pairs)),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+
+    // DANTE: same budget rule.
+    let dante_cfg = dante::DanteConfig {
+        skipgram_budget: Some(model.skipgrams.max(1) * BUDGET_FACTOR),
+        ..dante::DanteConfig::default()
+    };
+    let dm = dante::run(&trace, &dante_cfg);
+    if dm.completed {
+        let vectors = dm.senders.expect("completed model has vectors");
+        let (acc, coverage) = accuracy_from_vectors(&vectors, &eval_labels, k);
+        t.row(vec![
+            "DANTE".to_string(),
+            dante_cfg.w2v.epochs.to_string(),
+            count(dm.skipgrams),
+            dur(dm.elapsed),
+            f(acc, 2),
+            pct(coverage),
+        ]);
+    } else {
+        t.row(vec![
+            "DANTE".to_string(),
+            dante_cfg.w2v.epochs.to_string(),
+            format!("{} (exceeded)", count(dm.skipgrams)),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    t
+}
+
+/// LOO kNN accuracy + coverage for baseline sender-vector maps.
+pub fn accuracy_from_vectors(
+    vectors: &HashMap<Ipv4, Vec<f32>>,
+    eval_labels: &HashMap<Ipv4, u32>,
+    k: usize,
+) -> (f64, f64) {
+    if vectors.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut senders: Vec<&Ipv4> = vectors.keys().collect();
+    senders.sort();
+    let dim = vectors[senders[0]].len();
+    let mut matrix = Vec::with_capacity(senders.len() * dim);
+    let mut labels = Vec::with_capacity(senders.len());
+    let unknown = GtClass::Unknown.label();
+    for ip in &senders {
+        matrix.extend_from_slice(&vectors[*ip]);
+        labels.push(eval_labels.get(*ip).copied().unwrap_or(unknown));
+    }
+    let nn = knn_all(Matrix::new(&matrix, senders.len(), dim), k, 0);
+    let outcome = loo_knn_classify(&nn, &labels, k);
+    let mut seen = 0u64;
+    let mut correct = 0u64;
+    for (i, ip) in senders.iter().enumerate() {
+        match eval_labels.get(*ip) {
+            Some(&l) if l != unknown => {
+                seen += 1;
+                if outcome.predictions[i] == l {
+                    correct += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let acc = if seen == 0 { 0.0 } else { correct as f64 / seen as f64 };
+    let covered = eval_labels.keys().filter(|ip| vectors.contains_key(ip)).count();
+    (acc, covered as f64 / eval_labels.len().max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_from_vectors_perfect_case() {
+        let mut vectors = HashMap::new();
+        let mut labels = HashMap::new();
+        for d in 0..6u8 {
+            let ip = Ipv4::new(10, 0, 0, d);
+            let class = (d / 3) as u32;
+            vectors.insert(ip, if class == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] });
+            labels.insert(ip, class);
+        }
+        let (acc, cov) = accuracy_from_vectors(&vectors, &labels, 2);
+        assert_eq!(acc, 1.0);
+        assert_eq!(cov, 1.0);
+    }
+
+    #[test]
+    fn empty_vectors_yield_zero() {
+        let (acc, cov) = accuracy_from_vectors(&HashMap::new(), &HashMap::new(), 3);
+        assert_eq!((acc, cov), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Activity-pattern rasters: Figures 9 and 12–15.
+//!
+//! In the paper these are scatter plots (sender index × time). The
+//! harness emits (i) a per-day activity summary to the terminal — enough
+//! to verify the temporal *shape* (staggered bands, impulses, ramps,
+//! regularity) — and (ii) the full raster as a CSV artifact.
+
+use crate::table::{count, TextTable};
+use crate::Ctx;
+use darkvec::unsupervised::{cluster_embedding, ClusterConfig};
+use darkvec_gen::{CampaignId, GtClass};
+use darkvec_types::{Ipv4, Trace};
+use std::collections::{HashMap, HashSet};
+
+/// Figure 9 — activity patterns of Stretchoid (irregular) and Engin-Umich
+/// (impulsive).
+pub fn fig9(ctx: &Ctx) -> String {
+    let mut out = String::from("Figure 9: activity patterns of GT classes\n");
+    let labels = ctx.sim().truth.label_trace(ctx.trace());
+    for (class, note) in [
+        (GtClass::Stretchoid, "expected: sparse, irregular (defeats the embedding)"),
+        (GtClass::EnginUmich, "expected: a few coordinated impulses on 53/udp"),
+    ] {
+        let ips: HashSet<Ipv4> =
+            labels.iter().filter(|&(_, &c)| c == class).map(|(&ip, _)| ip).collect();
+        out.push_str(&format!("\n--- {} ({} senders) — {} ---\n", class.name(), ips.len(), note));
+        out.push_str(&daily_activity(ctx.trace(), &ips).render());
+        ctx.write_artifact(
+            &format!("fig9_{}.csv", class.name().to_lowercase()),
+            &group_raster_csv(ctx.trace(), &ips),
+        );
+    }
+    out
+}
+
+/// Figures 12–15 — activity patterns of the clusters DarkVec discovers:
+/// Censys sub-clusters (12), Shadowserver sub-clusters (13), the unknown1
+/// NetBIOS /24 scan (14) and the growing ADB worm (15).
+pub fn fig12_15(ctx: &Ctx) -> String {
+    let model = ctx.model();
+    let clustering = cluster_embedding(&model.embedding, &ClusterConfig { seed: ctx.sim_cfg.seed, ..ClusterConfig::default() });
+    let members = clustering.members(&model.embedding);
+    let truth = ctx.truth();
+
+    // Map each cluster to its dominant campaign.
+    let mut campaign_of: HashMap<Ipv4, CampaignId> = HashMap::new();
+    for ip in ctx.trace().senders() {
+        if let Some(c) = truth.campaign(ip) {
+            campaign_of.insert(ip, c);
+        }
+    }
+
+    let mut out = String::from("Figures 12-15: activity patterns of discovered clusters\n");
+    let figures: [(&str, fn(CampaignId) -> bool); 4] = [
+        ("Figure 12: Censys sub-clusters", |c| matches!(c, CampaignId::Censys(_))),
+        ("Figure 13: Shadowserver sub-clusters", |c| matches!(c, CampaignId::Shadowserver(_))),
+        ("Figure 14: unknown1 NetBIOS /24 scan", |c| c == CampaignId::U1NetBios),
+        ("Figure 15: unknown4 ADB worm", |c| c == CampaignId::U4AdbWorm),
+    ];
+
+    for (title, wanted) in figures {
+        out.push_str(&format!("\n=== {title} ===\n"));
+        let mut shown = 0;
+        for (cid, ips) in members.iter().enumerate() {
+            if ips.len() < 4 {
+                continue;
+            }
+            // Dominant campaign of this cluster.
+            let mut counts: HashMap<CampaignId, usize> = HashMap::new();
+            for ip in ips {
+                if let Some(&c) = campaign_of.get(ip) {
+                    *counts.entry(c).or_insert(0) += 1;
+                }
+            }
+            let Some((&dom, &n)) = counts.iter().max_by_key(|&(_, &n)| n) else { continue };
+            if !wanted(dom) || n * 2 < ips.len() {
+                continue;
+            }
+            shown += 1;
+            let set: HashSet<Ipv4> = ips.iter().copied().collect();
+            out.push_str(&format!(
+                "\ncluster C{cid}: {} IPs, dominant campaign {dom} ({}/{} members)\n",
+                ips.len(),
+                n,
+                ips.len()
+            ));
+            out.push_str(&daily_activity(ctx.trace(), &set).render());
+            ctx.write_artifact(&format!("fig12_15_C{cid}.csv"), &group_raster_csv(ctx.trace(), &set));
+        }
+        if shown == 0 {
+            out.push_str("(no cluster dominated by this campaign at this scale)\n");
+        }
+    }
+    out
+}
+
+/// Per-day packets and active members for a sender group.
+pub fn daily_activity(trace: &Trace, ips: &HashSet<Ipv4>) -> TextTable {
+    let mut t = TextTable::new(vec!["day", "packets", "active members"]);
+    for day in 0..trace.days() {
+        let slice = trace.day_slice(day);
+        let mut pkts = 0u64;
+        let mut active: HashSet<Ipv4> = HashSet::new();
+        for p in slice {
+            if ips.contains(&p.src) {
+                pkts += 1;
+                active.insert(p.src);
+            }
+        }
+        t.row(vec![day.to_string(), count(pkts), count(active.len() as u64)]);
+    }
+    t
+}
+
+/// Full raster CSV for a sender group: member index, hour, packets.
+fn group_raster_csv(trace: &Trace, ips: &HashSet<Ipv4>) -> String {
+    let mut sorted: Vec<Ipv4> = ips.iter().copied().collect();
+    sorted.sort();
+    let index: HashMap<Ipv4, usize> = sorted.iter().enumerate().map(|(i, &ip)| (ip, i)).collect();
+    let mut cells: HashMap<(usize, u64), u64> = HashMap::new();
+    for p in trace.packets() {
+        if let Some(&i) = index.get(&p.src) {
+            *cells.entry((i, p.ts.hour())).or_insert(0) += 1;
+        }
+    }
+    let mut rows: Vec<((usize, u64), u64)> = cells.into_iter().collect();
+    rows.sort();
+    let mut out = String::from("member_index,hour,packets\n");
+    for ((i, h), n) in rows {
+        out.push_str(&format!("{i},{h},{n}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkvec_types::{Packet, Protocol, Timestamp, DAY};
+
+    #[test]
+    fn daily_activity_counts_group_only() {
+        let a = Ipv4::new(10, 0, 0, 1);
+        let b = Ipv4::new(10, 0, 0, 2);
+        let trace = Trace::new(vec![
+            Packet::new(Timestamp(10), a, 23, Protocol::Tcp),
+            Packet::new(Timestamp(20), b, 23, Protocol::Tcp),
+            Packet::new(Timestamp(DAY + 5), a, 23, Protocol::Tcp),
+        ]);
+        let group: HashSet<Ipv4> = [a].into_iter().collect();
+        let t = daily_activity(&trace, &group);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Day 0: 1 packet from a; day 1: 1 packet.
+        assert!(lines[2].contains('0'));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn raster_csv_has_member_indices() {
+        let a = Ipv4::new(10, 0, 0, 1);
+        let trace = Trace::new(vec![Packet::new(Timestamp(10), a, 23, Protocol::Tcp)]);
+        let group: HashSet<Ipv4> = [a].into_iter().collect();
+        let csv = group_raster_csv(&trace, &group);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,0,1"));
+    }
+}

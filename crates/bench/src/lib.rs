@@ -1,0 +1,20 @@
+//! # darkvec-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the DarkVec paper's evaluation (see DESIGN.md §3 for the index), plus
+//! Criterion micro-benchmarks over all hot paths.
+//!
+//! Run an experiment with:
+//!
+//! ```text
+//! cargo run --release -p darkvec-bench --bin xp -- table3
+//! cargo run --release -p darkvec-bench --bin xp -- all
+//! ```
+//!
+//! Outputs are printed and mirrored under `results/`.
+
+pub mod ctx;
+pub mod experiments;
+pub mod table;
+
+pub use ctx::Ctx;

@@ -1,0 +1,83 @@
+//! Minimal flag parsing (no external dependencies): `--key value` pairs.
+
+use std::collections::HashMap;
+
+/// Parsed `--flag value` options.
+#[derive(Debug, Default)]
+pub struct Options {
+    values: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parses a flag list; every flag must take exactly one value.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut values = HashMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got {arg:?}"));
+            };
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            if values.insert(name.to_string(), value.clone()).is_some() {
+                return Err(format!("--{name} given twice"));
+            }
+        }
+        Ok(Options { values })
+    }
+
+    /// A required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.values.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let o = opts(&["--trace", "x.bin", "--dim", "64"]).unwrap();
+        assert_eq!(o.require("trace").unwrap(), "x.bin");
+        assert_eq!(o.get_or("dim", 50usize).unwrap(), 64);
+        assert_eq!(o.get_or("window", 25usize).unwrap(), 25);
+        assert!(o.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(opts(&["positional"]).is_err());
+        assert!(opts(&["--flag"]).is_err());
+        assert!(opts(&["--a", "1", "--a", "2"]).is_err());
+    }
+
+    #[test]
+    fn missing_required_is_reported() {
+        let o = opts(&[]).unwrap();
+        let err = o.require("trace").unwrap_err();
+        assert!(err.contains("--trace"));
+    }
+
+    #[test]
+    fn bad_parse_is_reported() {
+        let o = opts(&["--dim", "many"]).unwrap();
+        assert!(o.get_or("dim", 50usize).is_err());
+    }
+}

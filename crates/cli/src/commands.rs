@@ -1,0 +1,302 @@
+//! Command implementations.
+
+use crate::args::Options;
+use darkvec::config::{DarkVecConfig, ServiceDef};
+use darkvec::inspect::profile_clusters;
+use darkvec::pipeline;
+use darkvec::unsupervised::{cluster_embedding, ClusterConfig};
+use darkvec_gen::{simulate as run_sim, SimConfig};
+use darkvec_types::{io, Anonymizer, Ipv4, Trace};
+use darkvec_w2v::Embedding;
+use std::path::Path;
+
+/// Loads a trace from `.bin` or `.csv` (by extension).
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let p = Path::new(path);
+    match p.extension().and_then(|e| e.to_str()) {
+        Some("csv") => {
+            let file = std::fs::File::open(p).map_err(|e| format!("{path}: {e}"))?;
+            io::read_csv(file).map_err(|e| format!("{path}: {e}"))
+        }
+        _ => io::load(p).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+/// Saves a trace as `.bin` or `.csv` (by extension).
+fn save_trace(trace: &Trace, path: &str) -> Result<(), String> {
+    let p = Path::new(path);
+    match p.extension().and_then(|e| e.to_str()) {
+        Some("csv") => {
+            let file = std::fs::File::create(p).map_err(|e| format!("{path}: {e}"))?;
+            io::write_csv(trace, file).map_err(|e| format!("{path}: {e}"))
+        }
+        _ => io::save(trace, p).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+/// `darkvec simulate --out trace.bin [--days N] [--scale S] [--seed N]`
+pub fn simulate(opts: &Options) -> Result<(), String> {
+    let out = opts.require("out")?;
+    let cfg = SimConfig {
+        days: opts.get_or("days", 30u64)?,
+        sender_scale: opts.get_or("scale", 0.1f64)? ,
+        rate_scale: opts.get_or("rate-scale", 1.0f64)?,
+        backscatter: opts.get_or("backscatter", true)?,
+        seed: opts.get_or("seed", 1u64)?,
+    };
+    eprintln!("simulating {} days at sender scale {}...", cfg.days, cfg.sender_scale);
+    let sim = run_sim(&cfg);
+    save_trace(&sim.trace, out)?;
+    eprintln!(
+        "wrote {out}: {} packets, {} senders, {} days",
+        sim.trace.len(),
+        sim.trace.senders().len(),
+        sim.trace.days()
+    );
+    Ok(())
+}
+
+/// `darkvec anonymize --trace in.bin --out out.bin --key N`
+pub fn anonymize(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts.require("trace")?)?;
+    let out = opts.require("out")?;
+    let key: u64 = opts.get_or("key", 0u64)?;
+    if key == 0 {
+        return Err("--key must be a non-zero secret".to_string());
+    }
+    let anon = Anonymizer::new(key).anonymize_trace(&trace);
+    save_trace(&anon, out)?;
+    eprintln!("wrote {out}: {} packets anonymised (prefix-preserving)", anon.len());
+    Ok(())
+}
+
+/// `darkvec train --trace in.bin --out model.dkve [--services domain] ...`
+pub fn train(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts.require("trace")?)?;
+    let out = opts.require("out")?;
+    let mut cfg = DarkVecConfig::default();
+    cfg.service = match opts.get("services").unwrap_or("domain") {
+        "domain" => ServiceDef::DomainKnowledge,
+        "single" => ServiceDef::Single,
+        "auto" => ServiceDef::Auto(opts.get_or("auto-n", 10usize)?),
+        other => return Err(format!("--services must be domain|auto|single, got {other}")),
+    };
+    cfg.min_packets = opts.get_or("min-packets", 10u64)?;
+    cfg.dt = opts.get_or("dt", darkvec_types::HOUR)?;
+    cfg.w2v.dim = opts.get_or("dim", 50usize)?;
+    cfg.w2v.window = opts.get_or("window", 25usize)?;
+    cfg.w2v.epochs = opts.get_or("epochs", 10usize)?;
+    cfg.w2v.seed = opts.get_or("seed", 1u64)?;
+
+    eprintln!(
+        "training DarkVec (V={}, c={}, {} epochs) on {} packets...",
+        cfg.w2v.dim,
+        cfg.w2v.window,
+        cfg.w2v.epochs,
+        trace.len()
+    );
+    let model = pipeline::run(&trace, &cfg);
+    model.embedding.save(out).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "wrote {out}: {} senders embedded ({} skip-grams, trained in {:.1?})",
+        model.embedding.len(),
+        model.skipgrams,
+        model.train.elapsed
+    );
+    Ok(())
+}
+
+/// `darkvec similar --model model.dkve --ip A.B.C.D [--top N]`
+pub fn similar(opts: &Options) -> Result<(), String> {
+    let model_path = opts.require("model")?;
+    let ip: Ipv4 = opts.require("ip")?.parse().map_err(|e| format!("--ip: {e}"))?;
+    let top: usize = opts.get_or("top", 10usize)?;
+    let emb = Embedding::<Ipv4>::load(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    if emb.get(&ip).is_none() {
+        return Err(format!("{ip} is not in the embedding ({} senders)", emb.len()));
+    }
+    println!("nearest neighbours of {ip}:");
+    for (n, sim) in emb.most_similar(&ip, top) {
+        println!("  {n:<16} cosine {sim:.4}");
+    }
+    Ok(())
+}
+
+/// `darkvec cluster --trace in.bin --model model.dkve [--k 3] [--min-size 4]`
+pub fn cluster(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts.require("trace")?)?;
+    let model_path = opts.require("model")?;
+    let emb = Embedding::<Ipv4>::load(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    if emb.is_empty() {
+        return Err("embedding is empty".to_string());
+    }
+    let cfg = ClusterConfig {
+        k: opts.get_or("k", 3usize)?,
+        seed: opts.get_or("seed", 1u64)?,
+        threads: 0,
+    };
+    let min_size: usize = opts.get_or("min-size", 4usize)?;
+    eprintln!("clustering {} senders (k'={})...", emb.len(), cfg.k);
+    let clustering = cluster_embedding(&emb, &cfg);
+    println!(
+        "{} clusters, modularity {:.3}; showing clusters with >= {min_size} members:",
+        clustering.clusters, clustering.modularity
+    );
+    let mut profiles = profile_clusters(&trace, &emb, &clustering);
+    profiles.sort_by(|a, b| {
+        b.silhouette.partial_cmp(&a.silhouette).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for p in profiles.iter().filter(|p| p.ips >= min_size) {
+        println!("{}", p.summary());
+        if p.subnets24 == 1 && p.ips > 2 {
+            println!("   evidence: all members in one /24");
+        } else if p.subnets16 == 1 && p.subnets24 > 1 {
+            println!("   evidence: {} /24s inside one /16", p.subnets24);
+        }
+        if p.hourly_cv < 0.5 && p.packets > 100 {
+            println!("   evidence: very regular hourly pattern (cv={:.2})", p.hourly_cv);
+        }
+    }
+    Ok(())
+}
+
+/// `darkvec stats --trace in.bin`
+pub fn stats(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts.require("trace")?)?;
+    let s = trace.stats();
+    println!("days:     {}", s.days);
+    println!("packets:  {}", s.packets);
+    println!("senders:  {}", s.sources);
+    println!("ports:    {}", s.ports);
+    let active = trace.active_senders(10);
+    println!("active senders (>=10 pkts): {}", active.len());
+    println!("top TCP ports:");
+    for p in &s.top_tcp {
+        println!("  {:<6} {:>6.2}% of packets, {} senders", p.port, p.traffic_pct, p.sources);
+    }
+    Ok(())
+}
+
+/// `darkvec export --trace in.bin --out out.csv`
+pub fn export(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts.require("trace")?)?;
+    let out = opts.require("out")?;
+    save_trace(&trace, out)?;
+    eprintln!("wrote {out} ({} packets)", trace.len());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(pairs: &[(&str, &str)]) -> Options {
+        let mut v = Vec::new();
+        for (k, val) in pairs {
+            v.push(format!("--{k}"));
+            v.push(val.to_string());
+        }
+        Options::parse(&v).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("darkvec-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn simulate_train_similar_cluster_round_trip() {
+        let trace_path = tmp("t.bin");
+        let model_path = tmp("m.dkve");
+        simulate(&opts(&[
+            ("out", &trace_path),
+            ("days", "3"),
+            ("scale", "0.01"),
+            ("rate-scale", "0.4"),
+            ("backscatter", "false"),
+            ("seed", "5"),
+        ]))
+        .unwrap();
+        train(&opts(&[
+            ("trace", &trace_path),
+            ("out", &model_path),
+            ("dim", "16"),
+            ("window", "8"),
+            ("epochs", "3"),
+        ]))
+        .unwrap();
+        // Pick an embedded sender to query.
+        let emb = Embedding::<Ipv4>::load(&model_path).unwrap();
+        assert!(!emb.is_empty());
+        let probe = emb.vocab().word(0).to_string();
+        similar(&opts(&[("model", &model_path), ("ip", &probe), ("top", "3")])).unwrap();
+        cluster(&opts(&[("trace", &trace_path), ("model", &model_path), ("k", "3")])).unwrap();
+        stats(&opts(&[("trace", &trace_path)])).unwrap();
+    }
+
+    #[test]
+    fn export_and_csv_round_trip() {
+        let bin_path = tmp("e.bin");
+        let csv_path = tmp("e.csv");
+        simulate(&opts(&[
+            ("out", &bin_path),
+            ("days", "1"),
+            ("scale", "0.005"),
+            ("backscatter", "false"),
+        ]))
+        .unwrap();
+        export(&opts(&[("trace", &bin_path), ("out", &csv_path)])).unwrap();
+        let a = load_trace(&bin_path).unwrap();
+        let b = load_trace(&csv_path).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn anonymize_requires_key_and_preserves_size() {
+        let bin_path = tmp("a.bin");
+        let anon_path = tmp("a-anon.bin");
+        simulate(&opts(&[
+            ("out", &bin_path),
+            ("days", "1"),
+            ("scale", "0.005"),
+            ("backscatter", "false"),
+        ]))
+        .unwrap();
+        assert!(anonymize(&opts(&[("trace", &bin_path), ("out", &anon_path)])).is_err());
+        anonymize(&opts(&[("trace", &bin_path), ("out", &anon_path), ("key", "12345")])).unwrap();
+        let a = load_trace(&bin_path).unwrap();
+        let b = load_trace(&anon_path).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn similar_reports_unknown_ip() {
+        let trace_path = tmp("u.bin");
+        let model_path = tmp("u.dkve");
+        simulate(&opts(&[
+            ("out", &trace_path),
+            ("days", "2"),
+            ("scale", "0.005"),
+            ("backscatter", "false"),
+        ]))
+        .unwrap();
+        train(&opts(&[
+            ("trace", &trace_path),
+            ("out", &model_path),
+            ("dim", "8"),
+            ("window", "4"),
+            ("epochs", "1"),
+        ]))
+        .unwrap();
+        let err = similar(&opts(&[("model", &model_path), ("ip", "203.0.113.99")])).unwrap_err();
+        assert!(err.contains("not in the embedding"));
+    }
+
+    #[test]
+    fn bad_service_flag_is_rejected() {
+        let err = train(&opts(&[("trace", "x.bin"), ("out", "y"), ("services", "nope")]));
+        assert!(err.is_err());
+    }
+}

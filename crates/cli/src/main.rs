@@ -1,0 +1,79 @@
+//! `darkvec` — command-line darknet traffic analysis.
+//!
+//! ```text
+//! darkvec simulate  --out trace.bin [--days 30] [--scale 0.1] [--seed 1]
+//! darkvec anonymize --trace trace.bin --out anon.bin --key <hex>
+//! darkvec train     --trace trace.bin --out model.dkve [--services domain|auto|single]
+//!                   [--dim 50] [--window 25] [--epochs 10] [--min-packets 10]
+//! darkvec similar   --model model.dkve --ip 1.2.3.4 [--top 10]
+//! darkvec cluster   --trace trace.bin --model model.dkve [--k 3] [--min-size 4]
+//! darkvec stats     --trace trace.bin
+//! darkvec export    --trace trace.bin --out trace.csv
+//! ```
+//!
+//! Traces are the binary format of `darkvec-types::io` (`.bin`) or CSV;
+//! models are `darkvec-w2v` embedding files (`.dkve`).
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match args::Options::parse(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => commands::simulate(&opts),
+        "anonymize" => commands::anonymize(&opts),
+        "train" => commands::train(&opts),
+        "similar" => commands::similar(&opts),
+        "cluster" => commands::cluster(&opts),
+        "stats" => commands::stats(&opts),
+        "export" => commands::export(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}' (try: darkvec help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "darkvec - darknet traffic analysis with word embeddings\n\
+     \n\
+     usage: darkvec <command> [flags]\n\
+     \n\
+     commands:\n\
+       simulate   generate a synthetic darknet capture\n\
+       anonymize  prefix-preserving anonymisation of a capture\n\
+       train      train a DarkVec sender embedding from a capture\n\
+       similar    query an embedding for a sender's nearest neighbours\n\
+       cluster    discover coordinated sender groups (kNN graph + Louvain)\n\
+       stats      dataset summary of a capture\n\
+       export     convert a binary capture to CSV\n\
+       help       this message\n\
+     \n\
+     common flags:\n\
+       --trace FILE   input capture (.bin or .csv)\n\
+       --model FILE   embedding file (.dkve)\n\
+       --out FILE     output path\n\
+     \n\
+     run a command with wrong/missing flags to see its specific options\n"
+}

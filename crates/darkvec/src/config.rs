@@ -1,0 +1,87 @@
+//! End-to-end pipeline configuration.
+
+use darkvec_types::HOUR;
+use darkvec_w2v::TrainConfig;
+
+/// Which service definition to use (§5.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceDef {
+    /// All ports in a single service.
+    Single,
+    /// One service per top-`n` popular (port, protocol) key, plus a
+    /// catch-all. The paper uses `n = 10`.
+    Auto(usize),
+    /// The domain-knowledge map of Table 7.
+    DomainKnowledge,
+}
+
+/// Full DarkVec configuration.
+///
+/// The default is the paper's best setting: domain-knowledge services,
+/// ΔT = 1 h, 10-packet activity filter, `V = 50`, `c = 25`, 10 epochs.
+#[derive(Clone, Debug)]
+pub struct DarkVecConfig {
+    /// Service definition.
+    pub service: ServiceDef,
+    /// Sequence window ΔT in seconds.
+    pub dt: u64,
+    /// Activity filter: minimum packets per sender in the training trace.
+    pub min_packets: u64,
+    /// Word2Vec hyper-parameters (dimension `V`, window `c`, epochs, …).
+    pub w2v: TrainConfig,
+}
+
+impl Default for DarkVecConfig {
+    fn default() -> Self {
+        DarkVecConfig {
+            service: ServiceDef::DomainKnowledge,
+            dt: HOUR,
+            min_packets: 10,
+            // The activity filter guarantees every remaining sender has
+            // >= min_packets tokens; min_count = 1 keeps the embedding
+            // coverage identical to the filter's output.
+            w2v: TrainConfig { min_count: 1, ..TrainConfig::default() },
+        }
+    }
+}
+
+impl DarkVecConfig {
+    /// A configuration sized for fast unit tests (small model, 1 thread,
+    /// deterministic).
+    pub fn test_size(seed: u64) -> Self {
+        DarkVecConfig {
+            w2v: TrainConfig {
+                dim: 24,
+                window: 10,
+                epochs: 8,
+                min_count: 1,
+                threads: 0,
+                seed,
+                ..TrainConfig::default()
+            },
+            ..DarkVecConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_best() {
+        let c = DarkVecConfig::default();
+        assert_eq!(c.service, ServiceDef::DomainKnowledge);
+        assert_eq!(c.dt, HOUR);
+        assert_eq!(c.min_packets, 10);
+        assert_eq!(c.w2v.dim, 50);
+        assert_eq!(c.w2v.window, 25);
+    }
+
+    #[test]
+    fn service_def_equality() {
+        assert_eq!(ServiceDef::Auto(10), ServiceDef::Auto(10));
+        assert_ne!(ServiceDef::Auto(10), ServiceDef::Auto(5));
+        assert_ne!(ServiceDef::Single, ServiceDef::DomainKnowledge);
+    }
+}

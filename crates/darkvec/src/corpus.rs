@@ -1,0 +1,151 @@
+//! Corpus construction (§5.2): per-service, ΔT-windowed sequences of
+//! sender IP addresses.
+//!
+//! For each service `s` and each non-overlapping window of length ΔT, the
+//! time-ordered sequence of source addresses of packets hitting `s` in the
+//! window is one sentence `W_s(t)`; the corpus is the union over all
+//! windows and services. ΔT defaults to one hour (footnote 5: the value
+//! "has marginal impact on performance").
+
+use crate::services::ServiceMap;
+use darkvec_types::{Ipv4, Trace, HOUR};
+
+/// Summary of a built corpus — the "Skip-grams" column of Table 3 comes
+/// from [`darkvec_w2v::count_skipgrams`] over these sentences.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Number of sentences (non-empty service-window sequences).
+    pub sentences: usize,
+    /// Total tokens (packet observations of retained senders).
+    pub tokens: u64,
+    /// Longest sentence.
+    pub max_len: usize,
+}
+
+/// Builds the DarkVec corpus from a trace.
+///
+/// The caller is responsible for activity filtering (pass
+/// `trace.filter_active(10)` for the paper's pipeline); every packet of the
+/// given trace becomes a token.
+///
+/// # Panics
+/// Panics if `dt == 0`.
+pub fn build_corpus(trace: &Trace, services: &ServiceMap, dt: u64) -> Vec<Vec<Ipv4>> {
+    assert!(dt > 0, "window length must be positive");
+    let n_services = services.len();
+    let mut corpus: Vec<Vec<Ipv4>> = Vec::new();
+    // Reusable per-window buckets, one per service.
+    let mut buckets: Vec<Vec<Ipv4>> = vec![Vec::new(); n_services];
+    for (_, packets) in trace.windows(dt) {
+        for p in packets {
+            buckets[services.service_of(p.port_key())].push(p.src);
+        }
+        for bucket in &mut buckets {
+            if !bucket.is_empty() {
+                corpus.push(std::mem::take(bucket));
+            }
+        }
+    }
+    corpus
+}
+
+/// Builds the corpus with the paper's default ΔT of one hour.
+pub fn build_corpus_hourly(trace: &Trace, services: &ServiceMap) -> Vec<Vec<Ipv4>> {
+    build_corpus(trace, services, HOUR)
+}
+
+/// Computes summary statistics of a corpus.
+pub fn corpus_stats(corpus: &[Vec<Ipv4>]) -> CorpusStats {
+    CorpusStats {
+        sentences: corpus.len(),
+        tokens: corpus.iter().map(|s| s.len() as u64).sum(),
+        max_len: corpus.iter().map(|s| s.len()).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkvec_types::{Packet, Protocol, Timestamp};
+
+    fn ip(d: u8) -> Ipv4 {
+        Ipv4::new(10, 0, 0, d)
+    }
+
+    fn pkt(ts: u64, src: u8, port: u16) -> Packet {
+        Packet::new(Timestamp(ts), ip(src), port, Protocol::Tcp)
+    }
+
+    #[test]
+    fn sentences_split_by_service_and_window() {
+        // Two services (telnet via port 23, SSH via 22) across two hours.
+        let trace = Trace::new(vec![
+            pkt(10, 1, 23),
+            pkt(20, 2, 23),
+            pkt(30, 3, 22),
+            pkt(HOUR + 5, 4, 23),
+        ]);
+        let m = ServiceMap::domain_knowledge();
+        let corpus = build_corpus_hourly(&trace, &m);
+        // Window 0: telnet [1,2], ssh [3]; window 1: telnet [4].
+        assert_eq!(corpus.len(), 3);
+        assert!(corpus.contains(&vec![ip(1), ip(2)]));
+        assert!(corpus.contains(&vec![ip(3)]));
+        assert!(corpus.contains(&vec![ip(4)]));
+    }
+
+    #[test]
+    fn single_service_concatenates_everything_per_window() {
+        let trace = Trace::new(vec![pkt(10, 1, 23), pkt(20, 2, 22), pkt(30, 3, 80)]);
+        let corpus = build_corpus_hourly(&trace, &ServiceMap::single());
+        assert_eq!(corpus, vec![vec![ip(1), ip(2), ip(3)]]);
+    }
+
+    #[test]
+    fn sentences_preserve_arrival_order() {
+        let trace = Trace::new(vec![pkt(30, 3, 23), pkt(10, 1, 23), pkt(20, 2, 23)]);
+        let corpus = build_corpus_hourly(&trace, &ServiceMap::single());
+        assert_eq!(corpus[0], vec![ip(1), ip(2), ip(3)]);
+    }
+
+    #[test]
+    fn repeated_senders_repeat_in_sentence() {
+        // §5.2 Figure 5: "the same sender IP address may appear in
+        // different services" and multiple times in one sequence.
+        let trace = Trace::new(vec![pkt(10, 1, 23), pkt(20, 1, 23), pkt(25, 1, 22)]);
+        let m = ServiceMap::domain_knowledge();
+        let corpus = build_corpus_hourly(&trace, &m);
+        assert!(corpus.contains(&vec![ip(1), ip(1)]));
+        assert!(corpus.contains(&vec![ip(1)]));
+    }
+
+    #[test]
+    fn tokens_equal_packets() {
+        let trace = Trace::new((0..100).map(|i| pkt(i * 70, (i % 7) as u8, 23 + (i % 3) as u16)).collect());
+        for m in [ServiceMap::single(), ServiceMap::domain_knowledge()] {
+            let corpus = build_corpus_hourly(&trace, &m);
+            let stats = corpus_stats(&corpus);
+            assert_eq!(stats.tokens, 100, "every packet is exactly one token");
+            assert!(stats.max_len <= 100);
+            assert!(stats.sentences > 0);
+        }
+    }
+
+    #[test]
+    fn smaller_dt_gives_more_shorter_sentences() {
+        let trace = Trace::new((0..200u64).map(|i| pkt(i * 60, (i % 11) as u8, 23)).collect());
+        let m = ServiceMap::single();
+        let hourly = corpus_stats(&build_corpus(&trace, &m, HOUR));
+        let minutely = corpus_stats(&build_corpus(&trace, &m, 60));
+        assert!(minutely.sentences > hourly.sentences);
+        assert!(minutely.max_len < hourly.max_len);
+        assert_eq!(minutely.tokens, hourly.tokens);
+    }
+
+    #[test]
+    fn empty_trace_empty_corpus() {
+        let corpus = build_corpus_hourly(&Trace::default(), &ServiceMap::single());
+        assert!(corpus.is_empty());
+        assert_eq!(corpus_stats(&corpus), CorpusStats { sentences: 0, tokens: 0, max_len: 0 });
+    }
+}

@@ -1,0 +1,154 @@
+//! Ground-truth extension (§6.4): use the embedding to propose labels for
+//! Unknown senders.
+//!
+//! "Given the set of Unknown IP addresses classified as one GT class, we
+//! sort them by increasing average distance to their k-NN [...]. We stop
+//! when the average distance becomes higher than the maximum average
+//! distance among senders of the given GT class."
+
+use darkvec_ml::classifier::{loo_knn_classify, Label};
+use darkvec_ml::knn::Neighbor;
+use darkvec_types::Ipv4;
+use darkvec_w2v::Embedding;
+
+/// One proposed label extension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Extension {
+    /// The previously-Unknown sender.
+    pub ip: Ipv4,
+    /// The GT class it is proposed to join.
+    pub class: Label,
+    /// Its average cosine *distance* (1 − similarity) to its k nearest
+    /// neighbours — lower is more confident.
+    pub avg_distance: f64,
+}
+
+/// Proposes extensions of the ground truth.
+///
+/// * `neighbors`/`labels` — per-row kNN lists and voting labels, aligned
+///   with the embedding's vocab (as produced by
+///   [`crate::supervised::Evaluation`]);
+/// * `unknown` — the label id meaning "Unknown";
+/// * `k` — neighbourhood size.
+///
+/// Returns extensions sorted by ascending average distance (most
+/// confident first).
+pub fn extend_ground_truth(
+    embedding: &Embedding<Ipv4>,
+    neighbors: &[Vec<Neighbor>],
+    labels: &[Label],
+    unknown: Label,
+    k: usize,
+) -> Vec<Extension> {
+    assert_eq!(neighbors.len(), labels.len(), "rows must align");
+    let avg_dist = |neigh: &[Neighbor]| -> f64 {
+        let take = neigh.iter().take(k);
+        let n = take.len().max(1);
+        take.map(|nb| 1.0 - nb.similarity as f64).sum::<f64>() / n as f64
+    };
+
+    // Per-class acceptance threshold: the maximum average kNN distance
+    // observed among that class's *labelled* members.
+    let nclasses = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+    let mut threshold = vec![f64::NEG_INFINITY; nclasses];
+    for (i, &l) in labels.iter().enumerate() {
+        if l != unknown {
+            let d = avg_dist(&neighbors[i]);
+            if d > threshold[l as usize] {
+                threshold[l as usize] = d;
+            }
+        }
+    }
+
+    let outcome = loo_knn_classify(neighbors, labels, k);
+    let mut out = Vec::new();
+    for (i, &pred) in outcome.predictions.iter().enumerate() {
+        if labels[i] != unknown || pred == unknown {
+            continue;
+        }
+        let d = avg_dist(&neighbors[i]);
+        if d <= threshold[pred as usize] {
+            out.push(Extension {
+                ip: *embedding.vocab().word(i as u32),
+                class: pred,
+                avg_distance: d,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.avg_distance.partial_cmp(&b.avg_distance).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkvec_ml::knn::knn_all;
+    use darkvec_ml::vectors::Matrix;
+    use darkvec_w2v::Vocab;
+
+    /// Class 0 at (1,0); one Unknown right inside it, one Unknown far away
+    /// but still voting class 0 (nearest points are class 0).
+    fn fixture() -> (Embedding<Ipv4>, Vec<Vec<Neighbor>>, Vec<Label>) {
+        let ips: Vec<Ipv4> = (1..=6).map(|d| Ipv4::new(10, 0, 0, d)).collect();
+        let corpus: Vec<Vec<Ipv4>> = ips.iter().map(|&ip| vec![ip, ip]).collect();
+        let vocab = Vocab::build(corpus.iter().map(|s| s.iter()), 1);
+        // 4 class members tightly at angle 0; one unknown at ~2 degrees;
+        // one unknown at 40 degrees (votes class 0 but is far).
+        let angles = [0.00f32, 0.01, 0.02, 0.03, 0.035, 0.70];
+        let mut vectors = vec![0.0f32; 6 * 2];
+        let mut labels = vec![9u32; 6];
+        for (i, &ip) in ips.iter().enumerate() {
+            let id = vocab.id(&ip).unwrap() as usize;
+            vectors[id * 2] = angles[i].cos();
+            vectors[id * 2 + 1] = angles[i].sin();
+            if i < 4 {
+                labels[id] = 0;
+            }
+        }
+        let emb = Embedding::from_parts(vocab, vectors, 2);
+        let nn = knn_all(Matrix::new(emb.vectors(), 6, 2), 3, 1);
+        (emb, nn, labels)
+    }
+
+    #[test]
+    fn close_unknown_is_extended_far_one_is_not() {
+        let (emb, nn, labels) = fixture();
+        let ext = extend_ground_truth(&emb, &nn, &labels, 9, 3);
+        assert_eq!(ext.len(), 1, "extensions: {ext:?}");
+        assert_eq!(ext[0].class, 0);
+        // The accepted one is the near sender (angle 0.035).
+        let near_ip = *emb.vocab().word(
+            (0..6u32).find(|&id| labels[id as usize] == 9 && {
+                let v = emb.row(id);
+                v[1] < 0.1
+            }).unwrap(),
+        );
+        assert_eq!(ext[0].ip, near_ip);
+    }
+
+    #[test]
+    fn results_sorted_by_confidence() {
+        let (emb, nn, mut labels) = fixture();
+        // Make the far sender a class member so its distance lifts the
+        // threshold, letting both unknowns in.
+        let far_id = (0..6usize).find(|&id| emb.row(id as u32)[1] > 0.5).unwrap();
+        labels[far_id] = 0;
+        // The remaining unknown:
+        let ext = extend_ground_truth(&emb, &nn, &labels, 9, 3);
+        assert!(!ext.is_empty());
+        for pair in ext.windows(2) {
+            assert!(pair[0].avg_distance <= pair[1].avg_distance);
+        }
+    }
+
+    #[test]
+    fn no_unknowns_no_extensions() {
+        let (emb, nn, mut labels) = fixture();
+        for l in labels.iter_mut() {
+            if *l == 9 {
+                *l = 0;
+            }
+        }
+        assert!(extend_ground_truth(&emb, &nn, &labels, 9, 3).is_empty());
+    }
+}

@@ -1,0 +1,289 @@
+//! Cluster inspection (§7.3): turn a cluster of sender addresses back into
+//! the traffic evidence an analyst reads — dominant ports and their
+//! shares, subnet concentration, packet volume, temporal regularity. This
+//! is the machinery behind Table 5's "Description" column.
+
+use crate::temporal::{classify_hourly, trend, Regularity};
+use crate::unsupervised::Clustering;
+use darkvec_graph::jaccard::mean_pairwise_jaccard;
+use darkvec_types::stats::Counter;
+use darkvec_types::{Ipv4, PortKey, Subnet, Trace, HOUR};
+use darkvec_w2v::Embedding;
+use std::collections::{HashMap, HashSet};
+
+/// Traffic evidence for one cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterProfile {
+    /// Cluster id.
+    pub cluster: u32,
+    /// Member senders.
+    pub ips: usize,
+    /// Packets sent by members (within the inspected trace).
+    pub packets: u64,
+    /// Distinct (port, protocol) keys targeted.
+    pub ports: usize,
+    /// Top ports with their traffic share, largest first.
+    pub top_ports: Vec<(PortKey, f64)>,
+    /// Distinct /24 subnets members come from.
+    pub subnets24: usize,
+    /// Distinct /16 subnets members come from.
+    pub subnets16: usize,
+    /// Largest member count in any single /24.
+    pub max_in_one_24: usize,
+    /// Mean silhouette of the cluster.
+    pub silhouette: f64,
+    /// Coefficient of variation of hourly packet counts over the cluster's
+    /// active span — low values mean "very regular pattern".
+    pub hourly_cv: f64,
+    /// Temporal-regularity judgement of the hourly series (Table 5's
+    /// "very regular daily/hourly pattern" evidence).
+    pub regularity: Regularity,
+    /// Normalised growth rate of the hourly series; clearly positive for
+    /// worm-style ramps (Figure 15).
+    pub growth: f64,
+}
+
+impl ClusterProfile {
+    /// A terse one-line summary in the spirit of Table 5.
+    pub fn summary(&self) -> String {
+        let top = self
+            .top_ports
+            .iter()
+            .take(3)
+            .map(|(k, f)| format!("{k} {:.0}%", f * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "C{}: {} IPs / {} /24s, {} pkts on {} ports (top: {}), sh={:.2}",
+            self.cluster, self.ips, self.subnets24, self.packets, self.ports, top, self.silhouette
+        )
+    }
+}
+
+/// Profiles every cluster against a trace.
+pub fn profile_clusters(
+    trace: &Trace,
+    embedding: &Embedding<Ipv4>,
+    clustering: &Clustering,
+) -> Vec<ClusterProfile> {
+    let members = clustering.members(embedding);
+    // Sender -> cluster map for a single pass over the trace.
+    let mut of: HashMap<Ipv4, u32> = HashMap::new();
+    for (c, ips) in members.iter().enumerate() {
+        for &ip in ips {
+            of.insert(ip, c as u32);
+        }
+    }
+
+    let n = clustering.clusters;
+    let mut port_counters: Vec<Counter<PortKey>> = vec![Counter::new(); n];
+    let mut hourly: Vec<HashMap<u64, u64>> = vec![HashMap::new(); n];
+    for p in trace.packets() {
+        if let Some(&c) = of.get(&p.src) {
+            port_counters[c as usize].add(p.port_key());
+            *hourly[c as usize].entry(p.ts.0 / HOUR).or_insert(0) += 1;
+        }
+    }
+
+    members
+        .iter()
+        .enumerate()
+        .map(|(c, ips)| {
+            let ports = &port_counters[c];
+            let total = ports.total();
+            let top_ports = ports
+                .top(5)
+                .into_iter()
+                .map(|(k, cnt)| (k, if total == 0 { 0.0 } else { cnt as f64 / total as f64 }))
+                .collect();
+            let nets24: Counter<Subnet> = ips.iter().map(|ip| ip.slash24()).collect();
+            let nets16: HashSet<Subnet> = ips.iter().map(|ip| ip.slash16()).collect();
+            let max_in_one_24 =
+                nets24.top(1).first().map(|&(_, cnt)| cnt as usize).unwrap_or(0);
+            ClusterProfile {
+                cluster: c as u32,
+                ips: ips.len(),
+                packets: total,
+                ports: ports.distinct(),
+                top_ports,
+                subnets24: nets24.distinct(),
+                subnets16: nets16.len(),
+                max_in_one_24,
+                silhouette: clustering.silhouettes.get(c).copied().unwrap_or(0.0),
+                hourly_cv: coefficient_of_variation(&hourly[c]),
+                regularity: classify_hourly(&dense_hourly(&hourly[c])),
+                growth: trend(&dense_hourly(&hourly[c])),
+            }
+        })
+        .collect()
+}
+
+/// Mean pairwise Jaccard index between the port sets of the given clusters
+/// — the §7.3.1 measurement (0.19 across Censys sub-clusters).
+pub fn port_set_jaccard(profiles: &[&ClusterProfile], trace: &Trace, embedding: &Embedding<Ipv4>, clustering: &Clustering) -> f64 {
+    let members = clustering.members(embedding);
+    let sets: Vec<HashSet<PortKey>> = profiles
+        .iter()
+        .map(|p| {
+            let ips: HashSet<Ipv4> = members[p.cluster as usize].iter().copied().collect();
+            trace
+                .packets()
+                .iter()
+                .filter(|pkt| ips.contains(&pkt.src))
+                .map(|pkt| pkt.port_key())
+                .collect()
+        })
+        .collect();
+    mean_pairwise_jaccard(&sets)
+}
+
+/// Densifies an hour -> count map into a contiguous series over the
+/// active span (silent hours as zero).
+fn dense_hourly(hourly: &HashMap<u64, u64>) -> Vec<f64> {
+    if hourly.is_empty() {
+        return Vec::new();
+    }
+    let lo = *hourly.keys().min().expect("non-empty");
+    let hi = *hourly.keys().max().expect("non-empty");
+    (lo..=hi).map(|h| hourly.get(&h).copied().unwrap_or(0) as f64).collect()
+}
+
+/// CV of hourly packet counts over the active span (hours with traffic
+/// between the first and last active hour; silent hours count as zero).
+fn coefficient_of_variation(hourly: &HashMap<u64, u64>) -> f64 {
+    if hourly.is_empty() {
+        return 0.0;
+    }
+    let lo = *hourly.keys().min().expect("non-empty");
+    let hi = *hourly.keys().max().expect("non-empty");
+    let span = (hi - lo + 1) as f64;
+    let total: u64 = hourly.values().sum();
+    let mean = total as f64 / span;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = (lo..=hi)
+        .map(|h| {
+            let v = hourly.get(&h).copied().unwrap_or(0) as f64 - mean;
+            v * v
+        })
+        .sum::<f64>()
+        / span;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkvec_types::{Packet, Protocol, Timestamp};
+    use darkvec_w2v::Vocab;
+
+    /// Two clusters: cluster 0 = 3 IPs in one /24 hammering 137/udp
+    /// hourly; cluster 1 = 2 IPs in two /24s on port 445, bursty.
+    fn fixture() -> (Trace, Embedding<Ipv4>, Clustering) {
+        let a: Vec<Ipv4> = (1..=3).map(|d| Ipv4::new(38, 1, 1, d)).collect();
+        let b = vec![Ipv4::new(91, 1, 1, 1), Ipv4::new(91, 1, 2, 1)];
+        let mut packets = Vec::new();
+        for h in 0..48u64 {
+            for &ip in &a {
+                packets.push(Packet::new(Timestamp(h * HOUR + 10), ip, 137, Protocol::Udp));
+            }
+        }
+        for &ip in &b {
+            for i in 0..30u64 {
+                packets.push(Packet::new(Timestamp(i), ip, 445, Protocol::Tcp));
+            }
+        }
+        let trace = Trace::new(packets);
+
+        let all: Vec<Ipv4> = a.iter().chain(b.iter()).copied().collect();
+        let corpus: Vec<Vec<Ipv4>> = all.iter().map(|&ip| vec![ip, ip]).collect();
+        let vocab = Vocab::build(corpus.iter().map(|s| s.iter()), 1);
+        let mut vectors = vec![0.0f32; all.len() * 2];
+        let mut assignment = vec![0u32; all.len()];
+        for &ip in &all {
+            let id = vocab.id(&ip).unwrap() as usize;
+            let is_a = a.contains(&ip);
+            vectors[id * 2] = if is_a { 1.0 } else { 0.0 };
+            vectors[id * 2 + 1] = if is_a { 0.0 } else { 1.0 };
+            assignment[id] = if is_a { 0 } else { 1 };
+        }
+        let emb = Embedding::from_parts(vocab, vectors, 2);
+        let clustering = Clustering {
+            assignment,
+            clusters: 2,
+            modularity: 0.5,
+            silhouettes: vec![0.9, 0.8],
+        };
+        (trace, emb, clustering)
+    }
+
+    #[test]
+    fn profiles_count_members_and_packets() {
+        let (trace, emb, clustering) = fixture();
+        let profiles = profile_clusters(&trace, &emb, &clustering);
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].ips, 3);
+        assert_eq!(profiles[0].packets, 3 * 48);
+        assert_eq!(profiles[1].ips, 2);
+        assert_eq!(profiles[1].packets, 60);
+    }
+
+    #[test]
+    fn subnet_concentration_detected() {
+        let (trace, emb, clustering) = fixture();
+        let profiles = profile_clusters(&trace, &emb, &clustering);
+        assert_eq!(profiles[0].subnets24, 1);
+        assert_eq!(profiles[0].max_in_one_24, 3);
+        assert_eq!(profiles[1].subnets24, 2);
+        assert_eq!(profiles[1].subnets16, 1);
+    }
+
+    #[test]
+    fn dominant_port_share() {
+        let (trace, emb, clustering) = fixture();
+        let profiles = profile_clusters(&trace, &emb, &clustering);
+        let (key, share) = profiles[0].top_ports[0];
+        assert_eq!(key, PortKey::udp(137));
+        assert!((share - 1.0).abs() < 1e-12);
+        assert_eq!(profiles[0].ports, 1);
+    }
+
+    #[test]
+    fn regularity_judgement_of_fixture_clusters() {
+        let (trace, emb, clustering) = fixture();
+        let profiles = profile_clusters(&trace, &emb, &clustering);
+        // Cluster 0 sends the same 3 packets every hour: "hourly regular".
+        assert_eq!(profiles[0].regularity, Regularity::Hourly);
+        assert!(profiles[0].growth.abs() < 0.05, "growth {}", profiles[0].growth);
+    }
+
+    #[test]
+    fn regular_cluster_has_low_cv() {
+        let (trace, emb, clustering) = fixture();
+        let profiles = profile_clusters(&trace, &emb, &clustering);
+        // Cluster 0 sends exactly 3 pkts every hour: CV = 0.
+        assert!(profiles[0].hourly_cv < 1e-9, "cv {}", profiles[0].hourly_cv);
+        // Cluster 1 is a single-hour burst over one hour of span: CV 0 too,
+        // but with a different span; just check it is finite.
+        assert!(profiles[1].hourly_cv.is_finite());
+    }
+
+    #[test]
+    fn jaccard_of_disjoint_port_sets_is_zero() {
+        let (trace, emb, clustering) = fixture();
+        let profiles = profile_clusters(&trace, &emb, &clustering);
+        let refs: Vec<&ClusterProfile> = profiles.iter().collect();
+        let j = port_set_jaccard(&refs, &trace, &emb, &clustering);
+        assert_eq!(j, 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_key_facts() {
+        let (trace, emb, clustering) = fixture();
+        let profiles = profile_clusters(&trace, &emb, &clustering);
+        let s = profiles[0].summary();
+        assert!(s.contains("3 IPs"));
+        assert!(s.contains("137/udp"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The end-to-end DarkVec pipeline: trace → activity filter → services →
+//! corpus → Word2Vec embedding (Figure 4, left half).
+
+use crate::config::{DarkVecConfig, ServiceDef};
+use crate::corpus::{build_corpus, corpus_stats, CorpusStats};
+use crate::services::ServiceMap;
+use darkvec_types::{Ipv4, Trace};
+use darkvec_w2v::{count_skipgrams, train, Embedding, TrainStats};
+
+/// A trained DarkVec model.
+#[derive(Debug)]
+pub struct TrainedModel {
+    /// The sender embedding (one vector per active sender).
+    pub embedding: Embedding<Ipv4>,
+    /// The service map used (needed to embed the same way later).
+    pub services: ServiceMap,
+    /// Corpus statistics (sentences, tokens).
+    pub corpus: CorpusStats,
+    /// Skip-gram count at the configured context window (Table 3's metric).
+    pub skipgrams: u64,
+    /// Word2Vec training statistics.
+    pub train: TrainStats,
+}
+
+/// Resolves the configured service definition against (filtered) traffic.
+pub fn resolve_services(trace: &Trace, def: &ServiceDef) -> ServiceMap {
+    match def {
+        ServiceDef::Single => ServiceMap::single(),
+        ServiceDef::Auto(n) => ServiceMap::auto(&trace.port_counter(), *n),
+        ServiceDef::DomainKnowledge => ServiceMap::domain_knowledge(),
+    }
+}
+
+/// Runs the full pipeline on a raw trace.
+pub fn run(trace: &Trace, cfg: &DarkVecConfig) -> TrainedModel {
+    let filtered = trace.filter_active(cfg.min_packets);
+    let services = resolve_services(&filtered, &cfg.service);
+    let corpus = build_corpus(&filtered, &services, cfg.dt);
+    let stats = corpus_stats(&corpus);
+    let skipgrams = count_skipgrams(&corpus, cfg.w2v.window);
+    let (embedding, train_stats) = train(&corpus, &cfg.w2v);
+    TrainedModel { embedding, services, corpus: stats, skipgrams, train: train_stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkvec_gen::{simulate, SimConfig};
+
+    fn small_model(seed: u64) -> TrainedModel {
+        let out = simulate(&SimConfig::tiny(seed));
+        run(&out.trace, &DarkVecConfig::test_size(seed))
+    }
+
+    #[test]
+    fn pipeline_embeds_active_senders_only() {
+        let out = simulate(&SimConfig::tiny(21));
+        let cfg = DarkVecConfig::test_size(21);
+        let model = run(&out.trace, &cfg);
+        let active = out.trace.active_senders(cfg.min_packets);
+        assert_eq!(model.embedding.len(), active.len());
+        for ip in active.iter().take(50) {
+            assert!(model.embedding.get(ip).is_some(), "{ip} missing from embedding");
+        }
+    }
+
+    #[test]
+    fn corpus_tokens_equal_filtered_packets() {
+        let out = simulate(&SimConfig::tiny(22));
+        let cfg = DarkVecConfig::test_size(22);
+        let model = run(&out.trace, &cfg);
+        assert_eq!(model.corpus.tokens as usize, out.trace.filter_active(10).len());
+        assert!(model.skipgrams > 0);
+        assert!(model.train.pairs_trained > 0);
+    }
+
+    #[test]
+    fn single_service_yields_fewer_sentences() {
+        let out = simulate(&SimConfig::tiny(23));
+        let single =
+            run(&out.trace, &DarkVecConfig { service: ServiceDef::Single, ..DarkVecConfig::test_size(23) });
+        let domain = run(&out.trace, &DarkVecConfig::test_size(23));
+        assert!(single.corpus.sentences < domain.corpus.sentences);
+        assert_eq!(single.corpus.tokens, domain.corpus.tokens);
+        assert_eq!(single.services.len(), 1);
+        assert_eq!(domain.services.len(), 16);
+    }
+
+    #[test]
+    fn auto_services_resolve_from_traffic() {
+        let out = simulate(&SimConfig::tiny(24));
+        let model =
+            run(&out.trace, &DarkVecConfig { service: ServiceDef::Auto(10), ..DarkVecConfig::test_size(24) });
+        assert_eq!(model.services.len(), 11);
+        // Telnet floods the simulated darknet, so 23/tcp must be a top port.
+        assert!(model.services.names().iter().any(|n| n == "23/tcp"));
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_single_thread() {
+        let out = simulate(&SimConfig::tiny(25));
+        let mut cfg = DarkVecConfig::test_size(25);
+        cfg.w2v.threads = 1;
+        let a = run(&out.trace, &cfg);
+        let b = run(&out.trace, &cfg);
+        assert_eq!(a.embedding.vectors(), b.embedding.vectors());
+        assert_eq!(a.skipgrams, b.skipgrams);
+    }
+
+    #[test]
+    fn same_campaign_senders_land_nearby() {
+        use darkvec_gen::CampaignId;
+        let out = simulate(&SimConfig::tiny(26));
+        let model = small_model(26);
+        let engin = out.truth.members(CampaignId::EnginUmich);
+        // Average intra-Engin cosine must exceed the cosine to random
+        // Mirai senders by a clear margin.
+        let mirai = out.truth.members(CampaignId::MiraiCore);
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in 0..engin.len() {
+            for j in (i + 1)..engin.len() {
+                if let Some(c) = model.embedding.cosine(&engin[i], &engin[j]) {
+                    intra.push(c);
+                }
+            }
+            for m in mirai.iter().take(20) {
+                if let Some(c) = model.embedding.cosine(&engin[i], m) {
+                    inter.push(c);
+                }
+            }
+        }
+        assert!(!intra.is_empty(), "no embedded engin pairs");
+        let intra_avg: f32 = intra.iter().sum::<f32>() / intra.len() as f32;
+        let inter_avg: f32 = inter.iter().sum::<f32>() / inter.len().max(1) as f32;
+        assert!(
+            intra_avg > inter_avg + 0.2,
+            "intra {intra_avg} vs inter {inter_avg}: embedding lost coordination"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Temporal-regularity analysis of sender groups.
+//!
+//! Table 5's evidence column repeatedly reads temporal structure out of a
+//! cluster: "very regular daily pattern", "regular hourly pattern",
+//! "increasing activity". This module derives those judgements from a
+//! group's hourly packet series:
+//!
+//! * [`autocorrelation`] — normalised autocorrelation of the series;
+//! * [`dominant_period`] — the lag with the strongest autocorrelation
+//!   peak (e.g. 24 h for a daily scanner);
+//! * [`trend`] — least-squares slope, normalised by the mean, for
+//!   worm-style growth detection (Figure 15).
+
+/// Normalised autocorrelation of `series` at `lag` (Pearson-style, mean
+/// removed). Returns 0 for degenerate inputs.
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if lag == 0 || lag >= n {
+        return if lag == 0 { 1.0 } else { 0.0 };
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if var == 0.0 {
+        // A perfectly flat series is perfectly periodic at every lag.
+        return 1.0;
+    }
+    let cov: f64 =
+        (0..n - lag).map(|i| (series[i] - mean) * (series[i + lag] - mean)).sum();
+    cov / var
+}
+
+/// The dominant period of a series: the lag in `2..=max_lag` whose
+/// autocorrelation is a local maximum with the highest value. Returns
+/// `(lag, strength)` or `None` if nothing exceeds `min_strength`.
+pub fn dominant_period(series: &[f64], max_lag: usize, min_strength: f64) -> Option<(usize, f64)> {
+    if series.len() < 6 {
+        return None;
+    }
+    let max_lag = max_lag.min(series.len() / 2);
+    let ac: Vec<f64> = (0..=max_lag).map(|l| autocorrelation(series, l)).collect();
+    let mut best: Option<(usize, f64)> = None;
+    for lag in 2..max_lag {
+        // Local maximum of the autocorrelation curve.
+        if ac[lag] >= ac[lag - 1] && ac[lag] >= ac[lag + 1] && ac[lag] >= min_strength {
+            if best.map(|(_, s)| ac[lag] > s).unwrap_or(true) {
+                best = Some((lag, ac[lag]));
+            }
+        }
+    }
+    best
+}
+
+/// Least-squares slope of the series divided by its mean — a unitless
+/// growth rate per step. Positive ≈ ramping (worm-like), near zero ≈
+/// stationary. Returns 0 for degenerate inputs.
+pub fn trend(series: &[f64]) -> f64 {
+    let n = series.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mean_x = (nf - 1.0) / 2.0;
+    let mean_y = series.iter().sum::<f64>() / nf;
+    if mean_y == 0.0 {
+        return 0.0;
+    }
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (i, &y) in series.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        sxy += dx * (y - mean_y);
+        sxx += dx * dx;
+    }
+    (sxy / sxx) / mean_y
+}
+
+/// A human-readable regularity judgement for an hourly series.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Regularity {
+    /// Strong ~24h periodicity.
+    Daily,
+    /// Strong short-period (< 12h) periodicity or near-flat series.
+    Hourly,
+    /// Clear monotone growth.
+    Growing,
+    /// None of the above.
+    Irregular,
+}
+
+/// Classifies an hourly packet series.
+pub fn classify_hourly(series: &[f64]) -> Regularity {
+    // Growing: the fitted line gains more than 100% of the mean level
+    // across the observed span (length-independent criterion).
+    if trend(series) * series.len() as f64 > 1.0 {
+        return Regularity::Growing;
+    }
+    if let Some((lag, _)) = dominant_period(series, 48, 0.3) {
+        if (20..=28).contains(&lag) {
+            return Regularity::Daily;
+        }
+        if lag < 12 {
+            return Regularity::Hourly;
+        }
+    }
+    // A flat series (every hour similar) is the "very regular hourly
+    // pattern" of unknown1: low relative variance, no need for a peak.
+    let n = series.len() as f64;
+    if n >= 6.0 {
+        let mean = series.iter().sum::<f64>() / n;
+        if mean > 0.0 {
+            let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            if var.sqrt() / mean < 0.5 {
+                return Regularity::Hourly;
+            }
+        }
+    }
+    Regularity::Irregular
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daily_series() -> Vec<f64> {
+        // 10 days of hourly counts with a clear 24h cycle.
+        (0..240).map(|h| if h % 24 < 2 { 100.0 } else { 1.0 }).collect()
+    }
+
+    #[test]
+    fn autocorrelation_basics() {
+        let s = daily_series();
+        assert_eq!(autocorrelation(&s, 0), 1.0);
+        assert!(autocorrelation(&s, 24) > 0.8, "ac24 = {}", autocorrelation(&s, 24));
+        assert!(autocorrelation(&s, 12) < 0.2);
+        assert_eq!(autocorrelation(&s, 10_000), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_flat_series_is_one() {
+        let s = vec![5.0; 50];
+        assert_eq!(autocorrelation(&s, 7), 1.0);
+    }
+
+    #[test]
+    fn dominant_period_finds_daily_cycle() {
+        let s = daily_series();
+        let (lag, strength) = dominant_period(&s, 48, 0.3).expect("a period");
+        assert_eq!(lag, 24);
+        assert!(strength > 0.8);
+    }
+
+    #[test]
+    fn dominant_period_none_for_noise() {
+        // Deterministic pseudo-noise.
+        let mut state = 1u64;
+        let s: Vec<f64> = (0..200)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % 100) as f64
+            })
+            .collect();
+        assert!(dominant_period(&s, 48, 0.5).is_none());
+    }
+
+    #[test]
+    fn trend_detects_growth() {
+        let growing: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        // Linear 0..N: slope 1, mean N/2 => normalised trend ~ 2/N.
+        assert!((trend(&growing) - 2.0 / 100.0).abs() < 1e-3);
+        let flat = vec![10.0; 100];
+        assert!(trend(&flat).abs() < 1e-12);
+        let shrinking: Vec<f64> = (0..100).map(|i| (100 - i) as f64).collect();
+        assert!(trend(&shrinking) < 0.0);
+    }
+
+    #[test]
+    fn classify_shapes() {
+        assert_eq!(classify_hourly(&daily_series()), Regularity::Daily);
+        let hourly: Vec<f64> = (0..200).map(|h| if h % 4 == 0 { 50.0 } else { 2.0 }).collect();
+        assert_eq!(classify_hourly(&hourly), Regularity::Hourly);
+        let growing: Vec<f64> = (0..200).map(|i| 1.0 + i as f64 * 0.5).collect();
+        assert_eq!(classify_hourly(&growing), Regularity::Growing);
+        let flat = vec![7.0; 100];
+        assert_eq!(classify_hourly(&flat), Regularity::Hourly);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(trend(&[]), 0.0);
+        assert_eq!(trend(&[1.0]), 0.0);
+        assert!(dominant_period(&[1.0, 2.0], 48, 0.3).is_none());
+        assert_eq!(classify_hourly(&[]), Regularity::Irregular);
+    }
+}

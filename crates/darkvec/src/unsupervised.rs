@@ -1,0 +1,242 @@
+//! Unsupervised analysis (§7): cluster the embedded senders with a k′-NN
+//! graph and Louvain community detection, then score cluster quality with
+//! silhouettes.
+
+use darkvec_graph::components::connected_components;
+use darkvec_graph::knn_graph::{build_knn_graph, KnnGraphConfig};
+use darkvec_graph::louvain::louvain;
+use darkvec_graph::silhouette::cluster_silhouettes;
+use darkvec_ml::vectors::Matrix;
+use darkvec_types::Ipv4;
+use darkvec_w2v::Embedding;
+use std::collections::HashMap;
+
+/// Configuration for the unsupervised clustering.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Out-degree k′ of the sender graph (the paper's elbow pick is 3).
+    pub k: usize,
+    /// Louvain tie-breaking seed.
+    pub seed: u64,
+    /// Threads for kNN (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig { k: 3, seed: 1, threads: 0 }
+    }
+}
+
+/// The result of clustering an embedding.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Cluster id per vocab row (cluster 0 is the largest).
+    pub assignment: Vec<u32>,
+    /// Number of clusters.
+    pub clusters: usize,
+    /// Modularity of the partition on the k′-NN graph.
+    pub modularity: f64,
+    /// Mean silhouette per cluster, under cosine distance in the
+    /// embedding space (Figure 11).
+    pub silhouettes: Vec<f64>,
+}
+
+impl Clustering {
+    /// Cluster id of a sender, given the embedding used for clustering.
+    pub fn cluster_of(&self, embedding: &Embedding<Ipv4>, ip: &Ipv4) -> Option<u32> {
+        embedding.vocab().id(ip).map(|id| self.assignment[id as usize])
+    }
+
+    /// Members of each cluster as sender addresses.
+    pub fn members(&self, embedding: &Embedding<Ipv4>) -> Vec<Vec<Ipv4>> {
+        let mut out = vec![Vec::new(); self.clusters];
+        for (row, &c) in self.assignment.iter().enumerate() {
+            out[c as usize].push(*embedding.vocab().word(row as u32));
+        }
+        out
+    }
+
+    /// Cluster sizes, indexed by cluster id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.clusters];
+        for &c in &self.assignment {
+            out[c as usize] += 1;
+        }
+        out
+    }
+
+    /// `(cluster id, mean silhouette)` sorted by decreasing silhouette —
+    /// Figure 11's x-axis order.
+    pub fn silhouette_ranking(&self) -> Vec<(u32, f64)> {
+        let mut v: Vec<(u32, f64)> =
+            self.silhouettes.iter().enumerate().map(|(c, &s)| (c as u32, s)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+/// Clusters an embedding: k′-NN graph → Louvain → silhouettes.
+///
+/// # Panics
+/// Panics if the embedding is empty.
+pub fn cluster_embedding(embedding: &Embedding<Ipv4>, cfg: &ClusterConfig) -> Clustering {
+    assert!(!embedding.is_empty(), "cannot cluster an empty embedding");
+    let matrix = Matrix::new(embedding.vectors(), embedding.len(), embedding.dim());
+    let graph = build_knn_graph(
+        matrix,
+        &KnnGraphConfig { k: cfg.k, threads: cfg.threads, mutual: false },
+    );
+    let partition = louvain(&graph, cfg.seed);
+    let silhouettes = cluster_silhouettes(matrix, &partition.assignment);
+    Clustering {
+        assignment: partition.assignment,
+        clusters: partition.communities,
+        modularity: partition.modularity,
+        silhouettes,
+    }
+}
+
+/// The k′-sweep of Figure 10: for each k′, the number of clusters and the
+/// modularity. Also reports the connected-component count, which explains
+/// the k′ = 1 fragmentation regime.
+pub fn k_sweep(
+    embedding: &Embedding<Ipv4>,
+    ks: &[usize],
+    seed: u64,
+    threads: usize,
+) -> Vec<KSweepPoint> {
+    let matrix = Matrix::new(embedding.vectors(), embedding.len(), embedding.dim());
+    ks.iter()
+        .map(|&k| {
+            let graph = build_knn_graph(matrix, &KnnGraphConfig { k, threads, mutual: false });
+            let partition = louvain(&graph, seed);
+            let (_, components) = connected_components(&graph);
+            KSweepPoint { k, clusters: partition.communities, modularity: partition.modularity, components }
+        })
+        .collect()
+}
+
+/// One point of the Figure 10 sweep.
+#[derive(Clone, Debug)]
+pub struct KSweepPoint {
+    /// k′ value.
+    pub k: usize,
+    /// Louvain cluster count.
+    pub clusters: usize,
+    /// Partition modularity.
+    pub modularity: f64,
+    /// Connected components of the k′-NN graph.
+    pub components: usize,
+}
+
+/// Matches discovered clusters against hidden campaign labels: for each
+/// cluster, the dominant campaign and its purity. Used by validation tests
+/// and the Table 5 experiment.
+pub fn dominant_labels<L: Eq + std::hash::Hash + Copy>(
+    clustering: &Clustering,
+    embedding: &Embedding<Ipv4>,
+    truth: &HashMap<Ipv4, L>,
+) -> Vec<Option<(L, f64)>> {
+    let members = clustering.members(embedding);
+    members
+        .iter()
+        .map(|ips| {
+            let mut counts: HashMap<L, usize> = HashMap::new();
+            let mut total = 0usize;
+            for ip in ips {
+                if let Some(&l) = truth.get(ip) {
+                    *counts.entry(l).or_insert(0) += 1;
+                    total += 1;
+                }
+            }
+            counts
+                .into_iter()
+                .max_by_key(|&(_, c)| c)
+                .map(|(l, c)| (l, if total == 0 { 0.0 } else { c as f64 / total as f64 }))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkvec_w2v::Vocab;
+
+    /// A synthetic embedding with three planted groups of 8 senders.
+    fn planted() -> (Embedding<Ipv4>, HashMap<Ipv4, usize>) {
+        let mut ips = Vec::new();
+        let mut truth = HashMap::new();
+        for g in 0..3u8 {
+            for i in 0..8u8 {
+                let ip = Ipv4::new(10, g, 0, i);
+                ips.push(ip);
+                truth.insert(ip, g as usize);
+            }
+        }
+        let corpus: Vec<Vec<Ipv4>> = ips.iter().map(|&ip| vec![ip, ip]).collect();
+        let vocab = Vocab::build(corpus.iter().map(|s| s.iter()), 1);
+        let dirs = [(1.0f32, 0.0f32, 0.0f32), (0.0, 1.0, 0.0), (0.0, 0.0, 1.0)];
+        let mut vectors = vec![0.0f32; ips.len() * 3];
+        for (i, &ip) in ips.iter().enumerate() {
+            let id = vocab.id(&ip).unwrap() as usize;
+            let (x, y, z) = dirs[i / 8];
+            let eps = (i % 8) as f32 * 0.01;
+            vectors[id * 3] = x + eps;
+            vectors[id * 3 + 1] = y + eps;
+            vectors[id * 3 + 2] = z;
+        }
+        (Embedding::from_parts(vocab, vectors, 3), truth)
+    }
+
+    #[test]
+    fn recovers_planted_groups() {
+        let (emb, truth) = planted();
+        let clustering = cluster_embedding(&emb, &ClusterConfig { k: 3, seed: 1, threads: 1 });
+        assert_eq!(clustering.clusters, 3);
+        // Every cluster is pure.
+        for dom in dominant_labels(&clustering, &emb, &truth) {
+            let (_, purity) = dom.expect("cluster has labelled members");
+            assert_eq!(purity, 1.0);
+        }
+        assert!(clustering.modularity > 0.5);
+    }
+
+    #[test]
+    fn silhouettes_high_for_planted_groups() {
+        let (emb, _) = planted();
+        let clustering = cluster_embedding(&emb, &ClusterConfig { k: 3, seed: 1, threads: 1 });
+        for (c, s) in clustering.silhouette_ranking() {
+            assert!(s > 0.5, "cluster {c} silhouette {s}");
+        }
+    }
+
+    #[test]
+    fn members_partition_vocab() {
+        let (emb, _) = planted();
+        let clustering = cluster_embedding(&emb, &ClusterConfig::default());
+        let total: usize = clustering.members(&emb).iter().map(|m| m.len()).sum();
+        assert_eq!(total, emb.len());
+        assert_eq!(clustering.sizes().iter().sum::<usize>(), emb.len());
+    }
+
+    #[test]
+    fn cluster_of_known_and_unknown_ip() {
+        let (emb, _) = planted();
+        let clustering = cluster_embedding(&emb, &ClusterConfig::default());
+        assert!(clustering.cluster_of(&emb, &Ipv4::new(10, 0, 0, 0)).is_some());
+        assert!(clustering.cluster_of(&emb, &Ipv4::new(99, 0, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn k_sweep_declines_from_fragmentation() {
+        let (emb, _) = planted();
+        let points = k_sweep(&emb, &[1, 3, 6], 1, 1);
+        assert_eq!(points.len(), 3);
+        // More neighbours => no more clusters than the fragmented regime.
+        assert!(points[0].clusters >= points[2].clusters);
+        for p in &points {
+            assert!((-0.5..=1.0).contains(&p.modularity));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Sender address allocation.
+//!
+//! Cluster inspection (§7.3) reads campaign structure out of the address
+//! space — "85 IP addresses that belong to the same /24 subnet", "113
+//! Shadowserver senders belonging to the same /16". The allocator hands
+//! each campaign the right shape: a block of a given prefix, several
+//! scattered /24s, or fully random addresses, while guaranteeing global
+//! uniqueness.
+
+use darkvec_types::{Ipv4, Subnet};
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// Allocates unique sender addresses.
+#[derive(Debug, Default)]
+pub struct AddressAllocator {
+    used: HashSet<Ipv4>,
+}
+
+impl AddressAllocator {
+    /// An empty allocator.
+    pub fn new() -> Self {
+        AddressAllocator::default()
+    }
+
+    /// Number of addresses handed out.
+    pub fn allocated(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Whether an address has been handed out.
+    pub fn is_used(&self, ip: Ipv4) -> bool {
+        self.used.contains(&ip)
+    }
+
+    /// Takes `n` consecutive-ish addresses from a subnet (sequential hosts,
+    /// skipping any already used).
+    ///
+    /// # Panics
+    /// Panics if the subnet cannot supply `n` fresh addresses.
+    pub fn from_subnet(&mut self, net: Subnet, n: usize) -> Vec<Ipv4> {
+        let mut out = Vec::with_capacity(n);
+        for ip in net.hosts() {
+            if out.len() == n {
+                break;
+            }
+            if self.used.insert(ip) {
+                out.push(ip);
+            }
+        }
+        assert_eq!(out.len(), n, "subnet {net} exhausted ({n} requested)");
+        out
+    }
+
+    /// Takes `n` addresses spread over `subnets.len()` given /24s,
+    /// round-robin — the "61 IP addresses scattered into 23 /24 subnets"
+    /// shape of unknown3.
+    ///
+    /// # Panics
+    /// Panics if the subnets cannot supply `n` fresh addresses.
+    pub fn scattered(&mut self, subnets: &[Subnet], n: usize) -> Vec<Ipv4> {
+        assert!(!subnets.is_empty(), "no subnets given");
+        let mut out = Vec::with_capacity(n);
+        let mut offset = 0u64;
+        'outer: loop {
+            let mut progressed = false;
+            for net in subnets {
+                if out.len() == n {
+                    break 'outer;
+                }
+                if offset < net.size() {
+                    let ip = net.host(offset);
+                    if self.used.insert(ip) {
+                        out.push(ip);
+                    }
+                    progressed = true;
+                }
+            }
+            offset += 1;
+            if !progressed {
+                panic!("subnets exhausted ({n} requested, {} found)", out.len());
+            }
+        }
+        out
+    }
+
+    /// Takes `n` uniformly random public-ish addresses (outside multicast/
+    /// reserved high ranges and 0/8, 10/8, 127/8) — Mirai-style global
+    /// scatter.
+    pub fn random<R: Rng>(&mut self, n: usize, rng: &mut R) -> Vec<Ipv4> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let first = rng.random_range(1u32..=223);
+            if first == 10 || first == 127 {
+                continue;
+            }
+            let ip = Ipv4((first << 24) | rng.random_range(0u32..(1 << 24)));
+            if self.used.insert(ip) {
+                out.push(ip);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::str::FromStr;
+
+    fn net(s: &str) -> Subnet {
+        Subnet::from_str(s).unwrap()
+    }
+
+    #[test]
+    fn subnet_allocation_is_contained_and_unique() {
+        let mut a = AddressAllocator::new();
+        let ips = a.from_subnet(net("66.240.205.0/24"), 85);
+        assert_eq!(ips.len(), 85);
+        let distinct: HashSet<_> = ips.iter().collect();
+        assert_eq!(distinct.len(), 85);
+        for ip in &ips {
+            assert_eq!(ip.slash24(), net("66.240.205.0/24"));
+        }
+    }
+
+    #[test]
+    fn sequential_allocations_do_not_collide() {
+        let mut a = AddressAllocator::new();
+        let first = a.from_subnet(net("10.1.0.0/24"), 100);
+        let second = a.from_subnet(net("10.1.0.0/24"), 100);
+        let all: HashSet<_> = first.iter().chain(second.iter()).collect();
+        assert_eq!(all.len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn subnet_exhaustion_panics() {
+        AddressAllocator::new().from_subnet(net("10.0.0.0/30"), 5);
+    }
+
+    #[test]
+    fn scattered_spreads_across_subnets() {
+        let mut a = AddressAllocator::new();
+        let nets: Vec<Subnet> = (0..23).map(|i| Ipv4::new(81, i, 7, 0).slash24()).collect();
+        let ips = a.scattered(&nets, 61);
+        assert_eq!(ips.len(), 61);
+        let used_nets: HashSet<Subnet> = ips.iter().map(|ip| ip.slash24()).collect();
+        assert_eq!(used_nets.len(), 23, "all 23 subnets should be used");
+    }
+
+    #[test]
+    fn random_avoids_reserved_and_collisions() {
+        let mut a = AddressAllocator::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pre = a.from_subnet(net("66.0.0.0/24"), 10);
+        let ips = a.random(5_000, &mut rng);
+        let all: HashSet<_> = ips.iter().chain(pre.iter()).collect();
+        assert_eq!(all.len(), 5_010);
+        for ip in &ips {
+            let first = ip.octets()[0];
+            assert!((1..=223).contains(&first) && first != 10 && first != 127, "bad {ip}");
+        }
+    }
+
+    #[test]
+    fn allocated_counter() {
+        let mut a = AddressAllocator::new();
+        a.from_subnet(net("10.9.0.0/24"), 3);
+        assert_eq!(a.allocated(), 3);
+        assert!(a.is_used(Ipv4::new(10, 9, 0, 0)));
+        assert!(!a.is_used(Ipv4::new(10, 9, 0, 77)));
+    }
+}

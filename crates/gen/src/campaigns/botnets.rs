@@ -1,0 +1,246 @@
+//! Botnet-style campaigns: the Mirai-like core (GT1) and the botnet-like
+//! unknowns of §7.3.3 — the growing ADB worm (unknown4, Figure 15), the
+//! Mirai-like extension with partial fingerprints (unknown5) and the SSH
+//! brute-force bots (unknown6).
+
+use super::{Campaign, SenderSpec};
+use crate::address_space::AddressAllocator;
+use crate::config::SimConfig;
+use crate::mix::PortMix;
+use crate::schedule::{periodic_times, random_times, Schedule};
+use crate::truth::CampaignId;
+use darkvec_types::{PortKey, DAY, HOUR, MINUTE};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::sync::Arc;
+
+/// Builds all botnet campaigns.
+pub fn build(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Vec<Campaign> {
+    vec![mirai_core(cfg, alloc, rng), u5_mirai_ext(cfg, alloc, rng), u4_adb_worm(cfg, alloc, rng), u6_ssh(cfg, alloc, rng)]
+}
+
+/// GT1 — the Mirai-like botnet(s): the paper sees 7 351 fingerprinted
+/// senders on the last day, overwhelmingly on Telnet (Table 2: 23/tcp
+/// 89.6 %, 2323/tcp 3.9 %, 5555/tcp 1.7 %, 26/tcp 1.3 %, 9530/tcp 0.84 %).
+/// Infected hosts are scattered worldwide and churn: each sender is active
+/// for a 5–14-day window, scanning continuously while infected.
+fn mirai_core(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
+    let n = cfg.scaled(7_351);
+    let ips = alloc.random(n, rng);
+    let mix = Arc::new(PortMix::with_tail(
+        vec![
+            (PortKey::tcp(23), 89.6),
+            (PortKey::tcp(2323), 3.9),
+            (PortKey::tcp(5555), 1.7),
+            (PortKey::tcp(26), 1.3),
+            (PortKey::tcp(9530), 0.84),
+        ],
+        70,
+        0.0266,
+        rng,
+    ));
+    let horizon = cfg.horizon();
+    // Infection windows are 5-14 days on the paper's 30-day horizon; keep
+    // the same *fraction* of the capture at shorter horizons so churn
+    // (partial presence, Figure 1b's horizontal segments) survives scaling.
+    let dur_lo = (horizon * 5 / 30).max(DAY).min(horizon);
+    let dur_hi = (horizon * 14 / 30).clamp(dur_lo, horizon);
+    let senders = ips
+        .into_iter()
+        .map(|ip| {
+            let duration = rng.random_range(dur_lo..=dur_hi);
+            let start = rng.random_range(0..=horizon.saturating_sub(duration));
+            SenderSpec {
+                ip,
+                window: (start, start + duration),
+                schedule: Schedule::Continuous { rate_per_day: cfg.rate(12.0) },
+                mix: mix.clone(),
+                mirai_fingerprint: true,
+            }
+        })
+        .collect();
+    Campaign { id: CampaignId::MiraiCore, published_as: None, senders }
+}
+
+/// unknown5 — 1 412 senders in 1 381 distinct /24s hitting Telnet in
+/// lockstep; 71 % carry the Mirai fingerprint (and are therefore labelled
+/// GT1 by the labelling procedure), 29 % do not and stay Unknown — the
+/// cluster that "illustrates the usefulness of DarkVec in extending the
+/// knowledge about botnets" (§7.3.3).
+fn u5_mirai_ext(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
+    let n = cfg.scaled(1_412);
+    let ips = alloc.random(n, rng);
+    let mix = Arc::new(PortMix::with_tail(
+        vec![
+            (PortKey::tcp(23), 87.7),
+            (PortKey::tcp(2323), 2.0),
+            (PortKey::udp(2000), 1.0),
+        ],
+        210,
+        0.093,
+        rng,
+    ));
+    let horizon = cfg.horizon();
+    let times = periodic_times(rng.random_range(0..2 * HOUR), 2 * HOUR, horizon);
+    let senders = ips
+        .into_iter()
+        .map(|ip| SenderSpec {
+            ip,
+            window: (0, horizon),
+            schedule: Schedule::Rounds {
+                times: times.clone(),
+                jitter: 15 * MINUTE,
+                pkts_per_round: (1, 3),
+            },
+            mix: mix.clone(),
+            mirai_fingerprint: rng.random::<f64>() < 0.71,
+        })
+        .collect();
+    Campaign { id: CampaignId::U5MiraiExt, published_as: None, senders }
+}
+
+/// unknown4 — the ADB mass scan "like the spreading of an ADB worm"
+/// (Figure 15): 525 senders, 75 % of traffic to 5555/tcp, with membership
+/// *growing* over the capture (arrival density increases linearly, so the
+/// cluster's activity ramps up exactly as the figure shows).
+fn u4_adb_worm(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
+    let n = cfg.scaled(525);
+    let ips = alloc.random(n, rng);
+    let mix = Arc::new(PortMix::with_tail(vec![(PortKey::tcp(5555), 75.0)], 140, 0.25, rng));
+    let horizon = cfg.horizon();
+    let times = periodic_times(rng.random_range(0..30 * MINUTE), 30 * MINUTE, horizon);
+    let senders = ips
+        .into_iter()
+        .map(|ip| {
+            // P(start <= t) = (t/h)^2: infection density grows linearly.
+            let u: f64 = rng.random();
+            let start = (horizon as f64 * u.sqrt()) as u64;
+            let start = start.min(horizon.saturating_sub(DAY));
+            SenderSpec {
+                ip,
+                window: (start, horizon),
+                schedule: Schedule::Rounds {
+                    times: times.clone(),
+                    jitter: 10 * MINUTE,
+                    pkts_per_round: (1, 2),
+                },
+                mix: mix.clone(),
+                mirai_fingerprint: false,
+            }
+        })
+        .collect();
+    Campaign { id: CampaignId::U4AdbWorm, published_as: None, senders }
+}
+
+/// unknown6 — SSH brute-force bots: 623 senders, 88 % of traffic to
+/// 22/tcp, working in campaign-wide attempt waves (confirmed as
+/// brute-forcers by the authors' honeypot).
+fn u6_ssh(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
+    let n = cfg.scaled(623);
+    let ips = alloc.random(n, rng);
+    let mix = Arc::new(PortMix::with_tail(vec![(PortKey::tcp(22), 88.0)], 115, 0.12, rng));
+    let horizon = cfg.horizon();
+    let n_waves = (cfg.days as usize).max(4);
+    let times = random_times(n_waves, horizon, rng);
+    let pkts_hi = ((20.0 * cfg.rate_scale).round() as u32).max(2);
+    let senders = ips
+        .into_iter()
+        .map(|ip| SenderSpec {
+            ip,
+            window: (0, horizon),
+            schedule: Schedule::Bursts {
+                times: times.clone(),
+                spread: 30 * MINUTE,
+                pkts_per_burst: (pkts_hi / 2, pkts_hi),
+            },
+            mix: mix.clone(),
+            mirai_fingerprint: false,
+        })
+        .collect();
+    Campaign { id: CampaignId::U6Ssh, published_as: None, senders }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn built() -> Vec<Campaign> {
+        let cfg = SimConfig::tiny(2);
+        build(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(2))
+    }
+
+    fn find(campaigns: &[Campaign], id: CampaignId) -> &Campaign {
+        campaigns.iter().find(|c| c.id == id).unwrap()
+    }
+
+    use rand::SeedableRng;
+
+    #[test]
+    fn populations_scale() {
+        let c = built();
+        let cfg = SimConfig::tiny(2);
+        assert_eq!(find(&c, CampaignId::MiraiCore).len(), cfg.scaled(7_351));
+        assert_eq!(find(&c, CampaignId::U5MiraiExt).len(), cfg.scaled(1_412));
+        assert_eq!(find(&c, CampaignId::U4AdbWorm).len(), cfg.scaled(525));
+        assert_eq!(find(&c, CampaignId::U6Ssh).len(), cfg.scaled(623));
+    }
+
+    #[test]
+    fn mirai_is_telnet_heavy_and_fingerprinted() {
+        let c = built();
+        let mirai = find(&c, CampaignId::MiraiCore);
+        let mix = &mirai.senders[0].mix;
+        assert!(mix.weight(PortKey::tcp(23)) > 0.85);
+        assert!(mirai.senders.iter().all(|s| s.mirai_fingerprint));
+    }
+
+    #[test]
+    fn mirai_senders_churn() {
+        let c = built();
+        let mirai = find(&c, CampaignId::MiraiCore);
+        let horizon = SimConfig::tiny(2).horizon();
+        let mut full_month = 0;
+        for s in &mirai.senders {
+            assert!(s.window.1 - s.window.0 <= horizon * 14 / 30 + 1);
+            if s.window == (0, horizon) {
+                full_month += 1;
+            }
+        }
+        assert!(full_month < mirai.len() / 2, "most senders should have partial windows");
+    }
+
+    #[test]
+    fn adb_worm_grows() {
+        let c = built();
+        let worm = find(&c, CampaignId::U4AdbWorm);
+        let horizon = SimConfig::tiny(2).horizon();
+        let early = worm.senders.iter().filter(|s| s.window.0 < horizon / 2).count();
+        let late = worm.len() - early;
+        // Quadratic arrival CDF => ~25% arrive in the first half.
+        assert!(late > early, "worm should grow: {early} early vs {late} late");
+        assert!(worm.senders[0].mix.weight(PortKey::tcp(5555)) > 0.7);
+    }
+
+    #[test]
+    fn u5_mix_of_fingerprints() {
+        let c = built();
+        let u5 = find(&c, CampaignId::U5MiraiExt);
+        let fp = u5.senders.iter().filter(|s| s.mirai_fingerprint).count();
+        assert!(fp > 0 && fp < u5.len(), "u5 must mix fingerprinted and clean senders");
+    }
+
+    #[test]
+    fn ssh_bots_target_ssh() {
+        let c = built();
+        let u6 = find(&c, CampaignId::U6Ssh);
+        assert!(u6.senders[0].mix.weight(PortKey::tcp(22)) > 0.8);
+        assert!(matches!(u6.senders[0].schedule, Schedule::Bursts { .. }));
+    }
+
+    #[test]
+    fn botnets_are_never_published() {
+        for c in built() {
+            assert_eq!(c.published_as, None, "{} must not be on a scanner list", c.id);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Campaign specifications: one behavioural model per coordinated group.
+//!
+//! A [`Campaign`] is a set of senders sharing a port mix, a temporal
+//! behaviour and (usually) an address-space shape. The constants in the
+//! submodules encode the paper's Table 2 (class sizes, top-port shares,
+//! distinct-port counts) and §7.3 (subnet layouts, regularity, growth):
+//!
+//! * [`scanners`] — the eight named scan projects (GT2–GT9);
+//! * [`botnets`] — Mirai-core (GT1) and the botnet-like unknowns
+//!   (unknown4 ADB worm, unknown5 Mirai extension, unknown6 SSH);
+//! * [`unknowns`] — Shadowserver and the coordinated unknown scanners
+//!   (unknown1–3, 7, 8);
+//! * [`noise`] — uncoordinated active senders and one-shot backscatter.
+
+pub mod botnets;
+pub mod noise;
+pub mod scanners;
+pub mod unknowns;
+
+use crate::address_space::AddressAllocator;
+use crate::config::SimConfig;
+use crate::mix::PortMix;
+use crate::schedule::Schedule;
+use crate::truth::{CampaignId, GtClass};
+use darkvec_types::Ipv4;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// One simulated sender.
+#[derive(Clone, Debug)]
+pub struct SenderSpec {
+    /// Source address.
+    pub ip: Ipv4,
+    /// Active window `[start, end)` in seconds.
+    pub window: (u64, u64),
+    /// Temporal behaviour.
+    pub schedule: Schedule,
+    /// Destination-port distribution (shared across the campaign).
+    pub mix: Arc<PortMix>,
+    /// Whether this sender stamps the Mirai fingerprint on TCP packets.
+    pub mirai_fingerprint: bool,
+}
+
+/// A coordinated (or noise) group of senders.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Hidden campaign identity.
+    pub id: CampaignId,
+    /// If the campaign's IPs appear on a published scanner list, the GT
+    /// class that list labels them as (§3.2). `None` for botnets and
+    /// unknowns — those are only labelable via fingerprints, or not at all.
+    pub published_as: Option<GtClass>,
+    /// Member senders.
+    pub senders: Vec<SenderSpec>,
+}
+
+impl Campaign {
+    /// Total packets this campaign *would* send is schedule-dependent;
+    /// member count is static.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True when the campaign has no members.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+}
+
+/// Builds every campaign of the simulated darknet, in a fixed order with
+/// per-campaign derived seeds, so output is identical regardless of how the
+/// caller consumes it.
+pub fn build_all(cfg: &SimConfig, alloc: &mut AddressAllocator) -> Vec<Campaign> {
+    // A dedicated sub-seed per builder keeps campaigns independent: adding
+    // a campaign or resizing one never perturbs the others' randomness.
+    let sub = |tag: u64| StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(tag));
+
+    let mut campaigns = Vec::new();
+    campaigns.extend(scanners::build(cfg, alloc, &mut sub(1)));
+    campaigns.extend(botnets::build(cfg, alloc, &mut sub(2)));
+    campaigns.extend(unknowns::build(cfg, alloc, &mut sub(3)));
+    campaigns.extend(noise::build(cfg, alloc, &mut sub(4)));
+    campaigns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn build_all_is_deterministic() {
+        let cfg = SimConfig::tiny(11);
+        let a = build_all(&cfg, &mut AddressAllocator::new());
+        let b = build_all(&cfg, &mut AddressAllocator::new());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.len(), y.len());
+            for (sx, sy) in x.senders.iter().zip(&y.senders) {
+                assert_eq!(sx.ip, sy.ip);
+                assert_eq!(sx.window, sy.window);
+            }
+        }
+    }
+
+    #[test]
+    fn no_ip_is_shared_between_campaigns() {
+        let cfg = SimConfig::tiny(3);
+        let campaigns = build_all(&cfg, &mut AddressAllocator::new());
+        let mut seen = HashSet::new();
+        for c in &campaigns {
+            for s in &c.senders {
+                assert!(seen.insert(s.ip), "{} reused by {}", s.ip, c.id);
+            }
+        }
+    }
+
+    #[test]
+    fn every_expected_campaign_is_present() {
+        let cfg = SimConfig::tiny(5);
+        let campaigns = build_all(&cfg, &mut AddressAllocator::new());
+        let ids: HashSet<CampaignId> = campaigns.iter().map(|c| c.id).collect();
+        for want in [
+            CampaignId::MiraiCore,
+            CampaignId::Censys(0),
+            CampaignId::Censys(6),
+            CampaignId::CensysSporadic,
+            CampaignId::Stretchoid,
+            CampaignId::InternetCensus,
+            CampaignId::BinaryEdge,
+            CampaignId::Sharashka,
+            CampaignId::Ipip,
+            CampaignId::Shodan,
+            CampaignId::EnginUmich,
+            CampaignId::Shadowserver(0),
+            CampaignId::Shadowserver(2),
+            CampaignId::U1NetBios,
+            CampaignId::U2Smtp,
+            CampaignId::U3Smb,
+            CampaignId::U4AdbWorm,
+            CampaignId::U5MiraiExt,
+            CampaignId::U6Ssh,
+            CampaignId::U7Horizontal,
+            CampaignId::U8Horizontal,
+            CampaignId::MiscUnknown,
+        ] {
+            assert!(ids.contains(&want), "missing campaign {want}");
+        }
+    }
+
+    #[test]
+    fn windows_fit_the_horizon() {
+        let cfg = SimConfig::tiny(7);
+        for c in build_all(&cfg, &mut AddressAllocator::new()) {
+            for s in &c.senders {
+                assert!(s.window.0 < s.window.1, "{}: empty window", c.id);
+                assert!(s.window.1 <= cfg.horizon(), "{}: window beyond horizon", c.id);
+            }
+        }
+    }
+
+    #[test]
+    fn scanner_campaigns_are_published_botnets_are_not() {
+        let cfg = SimConfig::tiny(9);
+        for c in build_all(&cfg, &mut AddressAllocator::new()) {
+            match c.id {
+                CampaignId::Censys(_) | CampaignId::CensysSporadic => {
+                    assert_eq!(c.published_as, Some(GtClass::Censys))
+                }
+                CampaignId::Shodan => assert_eq!(c.published_as, Some(GtClass::Shodan)),
+                CampaignId::EnginUmich => assert_eq!(c.published_as, Some(GtClass::EnginUmich)),
+                CampaignId::MiraiCore
+                | CampaignId::U5MiraiExt
+                | CampaignId::Shadowserver(_)
+                | CampaignId::U1NetBios => assert_eq!(c.published_as, None),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn mirai_fingerprint_only_on_botnet_campaigns() {
+        let cfg = SimConfig::tiny(13);
+        for c in build_all(&cfg, &mut AddressAllocator::new()) {
+            let any_fp = c.senders.iter().any(|s| s.mirai_fingerprint);
+            match c.id {
+                CampaignId::MiraiCore => assert!(any_fp, "mirai-core must fingerprint"),
+                CampaignId::U5MiraiExt => {
+                    let fp = c.senders.iter().filter(|s| s.mirai_fingerprint).count();
+                    let frac = fp as f64 / c.len() as f64;
+                    // The paper reports 71% fingerprinted in unknown5.
+                    assert!((0.5..0.9).contains(&frac), "unknown5 fingerprint frac {frac}");
+                }
+                _ => assert!(!any_fp, "{} must not fingerprint", c.id),
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Uncoordinated traffic: the heterogeneous active-Unknown mass and the
+//! one-shot backscatter floor.
+//!
+//! §3.1: "36% [of senders] are seen just once in a month. These senders
+//! are likely victims of attacks with spoofed addresses"; only ~20% of
+//! senders pass the 10-packet activity filter. The noise campaigns supply
+//! both populations so Figure 2's ECDFs and the Unknown column of Figure 3
+//! have the right shape.
+
+use super::{Campaign, SenderSpec};
+use crate::address_space::AddressAllocator;
+use crate::config::SimConfig;
+use crate::mix::PortMix;
+use crate::schedule::Schedule;
+use crate::truth::CampaignId;
+use darkvec_types::{PortKey, DAY};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::sync::Arc;
+
+/// Builds the noise campaigns.
+pub fn build(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Vec<Campaign> {
+    let mut out = vec![misc_unknown(cfg, alloc, rng)];
+    if cfg.backscatter {
+        out.push(backscatter(cfg, alloc, rng));
+    }
+    out
+}
+
+/// Popular darknet magnets, used to give the Unknown mass the Table 1 /
+/// Figure 3 service profile (445 and 5555 on top, databases, NTP, Redis…).
+fn popular_ports() -> Vec<(PortKey, f64)> {
+    vec![
+        (PortKey::tcp(445), 9.4),
+        (PortKey::tcp(5555), 9.4),
+        (PortKey::tcp(1433), 1.8),
+        (PortKey::udp(123), 1.6),
+        (PortKey::tcp(6379), 1.5),
+        (PortKey::tcp(80), 1.4),
+        (PortKey::tcp(8080), 1.2),
+        (PortKey::tcp(3389), 1.2),
+        (PortKey::tcp(22), 1.1),
+        (PortKey::tcp(23), 1.0),
+        (PortKey::udp(53), 1.0),
+        (PortKey::tcp(443), 0.9),
+        (PortKey::tcp(3306), 0.8),
+        (PortKey::tcp(5432), 0.7),
+        (PortKey::tcp(25), 0.6),
+        (PortKey::udp(161), 0.5),
+        (PortKey::tcp(21), 0.5),
+        (PortKey::tcp(110), 0.4),
+        (PortKey::tcp(139), 0.4),
+        (PortKey::icmp(), 0.8),
+    ]
+}
+
+/// The active-but-uncoordinated Unknown senders (~2/3 of the paper's
+/// active population, §3.2). Every sender draws its own small port
+/// preference from the popular pool plus private filler ports and its own
+/// independent schedule — enough traffic to pass the activity filter, no
+/// structure for the clustering to find.
+fn misc_unknown(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
+    let n = cfg.scaled(11_000);
+    let ips = alloc.random(n, rng);
+    let pool = popular_ports();
+    let horizon = cfg.horizon();
+    let senders = ips
+        .into_iter()
+        .map(|ip| {
+            // 1-4 ports of personal interest from the popular pool.
+            let k = rng.random_range(1..=4usize);
+            let mut entries = Vec::with_capacity(k);
+            let mut tries = 0;
+            while entries.len() < k && tries < 40 {
+                tries += 1;
+                let (key, _) = pool[sample_weighted(&pool, rng)];
+                if !entries.iter().any(|&(e, _)| e == key) {
+                    entries.push((key, rng.random_range(1.0..5.0f64)));
+                }
+            }
+            let mix = Arc::new(PortMix::new(entries));
+            let dur_lo = (3 * DAY).min(horizon);
+            let duration = rng.random_range(dur_lo..=horizon);
+            let start = rng.random_range(0..=horizon.saturating_sub(duration));
+            let rate = cfg.rate(rng.random_range(1.5..12.0));
+            SenderSpec {
+                ip,
+                window: (start, start + duration),
+                schedule: Schedule::Continuous { rate_per_day: rate },
+                mix,
+                mirai_fingerprint: false,
+            }
+        })
+        .collect();
+    Campaign { id: CampaignId::MiscUnknown, published_as: None, senders }
+}
+
+/// One-shot / low-rate backscatter victims: the bulk of distinct senders,
+/// filtered out by the 10-packet threshold but essential for the dataset
+/// overview (Table 1 source counts, Figure 2a).
+fn backscatter(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
+    // 440 000 month-long inactive senders in the paper (543 900 total −
+    // ~100 000 active): scaled like the other large populations.
+    let n = cfg.scaled(440_000);
+    let ips = alloc.random(n, rng);
+    let horizon = cfg.horizon();
+    // Backscatter is responses to spoofed traffic: high source-facing ports and a few
+    // classic reflected services.
+    let mix = Arc::new(PortMix::new(vec![
+        (PortKey::tcp(80), 2.0),
+        (PortKey::tcp(443), 2.0),
+        (PortKey::udp(53), 1.5),
+        (PortKey::tcp(53222), 1.0),
+        (PortKey::tcp(61000), 1.0),
+        (PortKey::udp(50000), 1.0),
+        (PortKey::icmp(), 1.5),
+    ]));
+    let senders = ips
+        .into_iter()
+        .map(|ip| {
+            // Geometric-ish packet counts: ~60% singletons, tail to 9 —
+            // always below the activity threshold.
+            let r: f64 = rng.random();
+            let pkts = if r < 0.6 {
+                1
+            } else if r < 0.85 {
+                rng.random_range(2..=3)
+            } else {
+                rng.random_range(4..=9)
+            };
+            SenderSpec {
+                ip,
+                window: (0, horizon),
+                schedule: Schedule::Sporadic { pkts: (pkts, pkts) },
+                mix: mix.clone(),
+                mirai_fingerprint: false,
+            }
+        })
+        .collect();
+    Campaign { id: CampaignId::Backscatter, published_as: None, senders }
+}
+
+/// Index sampling proportional to the pool's weights.
+fn sample_weighted(pool: &[(PortKey, f64)], rng: &mut StdRng) -> usize {
+    let total: f64 = pool.iter().map(|&(_, w)| w).sum();
+    let mut x: f64 = rng.random::<f64>() * total;
+    for (i, &(_, w)) in pool.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    pool.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn misc_senders_have_personal_mixes() {
+        let cfg = SimConfig::tiny(6);
+        let camp = misc_unknown(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(6));
+        assert_eq!(camp.len(), cfg.scaled(11_000));
+        // Port mixes differ across senders (heterogeneous noise).
+        let a: Vec<_> = camp.senders[0].mix.keys().to_vec();
+        let distinct = camp.senders.iter().any(|s| s.mix.keys() != a.as_slice());
+        assert!(distinct, "misc senders should not share one mix");
+    }
+
+    #[test]
+    fn backscatter_is_always_inactive() {
+        let cfg = SimConfig { backscatter: true, ..SimConfig::tiny(7) };
+        let camp = backscatter(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(7));
+        for s in &camp.senders {
+            match s.schedule {
+                Schedule::Sporadic { pkts } => assert!(pkts.1 < 10, "backscatter must stay under the filter"),
+                _ => panic!("backscatter must be sporadic"),
+            }
+        }
+    }
+
+    #[test]
+    fn backscatter_mostly_singletons() {
+        let cfg = SimConfig { backscatter: true, sender_scale: 0.01, ..SimConfig::tiny(8) };
+        let camp = backscatter(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(8));
+        let singles = camp
+            .senders
+            .iter()
+            .filter(|s| matches!(s.schedule, Schedule::Sporadic { pkts: (1, 1) }))
+            .count();
+        let frac = singles as f64 / camp.len() as f64;
+        assert!((0.5..0.7).contains(&frac), "singleton fraction {frac}");
+    }
+
+    #[test]
+    fn build_respects_backscatter_flag() {
+        let cfg = SimConfig { backscatter: false, ..SimConfig::tiny(9) };
+        let campaigns = build(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(9));
+        assert!(campaigns.iter().all(|c| c.id != CampaignId::Backscatter));
+        let cfg = SimConfig { backscatter: true, ..SimConfig::tiny(9) };
+        let campaigns = build(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(9));
+        assert!(campaigns.iter().any(|c| c.id == CampaignId::Backscatter));
+    }
+}

@@ -1,0 +1,274 @@
+//! Coordinated scanners the paper's ground truth does *not* know about —
+//! the groups DarkVec's unsupervised analysis discovers in §7.3:
+//! Shadowserver (three sub-groups in one /16) and the unknown1/2/3/7/8
+//! scan campaigns. All are GT-Unknown; their campaign ids are the hidden
+//! truth the clustering should rediscover.
+
+use super::{Campaign, SenderSpec};
+use crate::address_space::AddressAllocator;
+use crate::config::SimConfig;
+use crate::mix::PortMix;
+use crate::schedule::{periodic_times, Schedule};
+use crate::truth::CampaignId;
+use darkvec_types::{Ipv4, PortKey, Subnet, DAY, HOUR, MINUTE};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::sync::Arc;
+
+/// Builds all unknown-scanner campaigns.
+pub fn build(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Vec<Campaign> {
+    let mut out = shadowserver(cfg, alloc, rng);
+    out.push(u1_netbios(cfg, alloc, rng));
+    out.push(u2_smtp(cfg, alloc, rng));
+    out.push(u3_smb(cfg, alloc, rng));
+    out.push(u7_horizontal(cfg, alloc, rng));
+    out.push(u8_horizontal(cfg, alloc, rng));
+    out
+}
+
+/// Shadowserver (§7.3.2): 113 senders in the same /16, split into three
+/// sub-groups (61/36/16) that target the *same* port pool "but with very
+/// different intensity": C25 favours 623/123 udp, C29 5683/3389, C37
+/// 111/137. Temporal patterns are "less evident" than Censys — looser
+/// jitter, no staggering.
+fn shadowserver(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Vec<Campaign> {
+    let net16 = Ipv4::new(184, 105, 0, 0).slash16();
+    let horizon = cfg.horizon();
+    // (size, heavy ports with shares) per sub-group, from §7.3.2.
+    let groups: [(usize, Vec<(PortKey, f64)>); 3] = [
+        (61, vec![(PortKey::udp(623), 10.0), (PortKey::udp(123), 10.0)]),
+        (36, vec![(PortKey::udp(5683), 12.5), (PortKey::udp(3389), 12.5)]),
+        (16, vec![(PortKey::udp(111), 31.5), (PortKey::udp(137), 31.5)]),
+    ];
+    // The shared scan pool: every group also touches the others' ports plus
+    // a common tail, so the groups differ by intensity, not by set.
+    let shared_pool: Vec<PortKey> = vec![
+        PortKey::udp(623),
+        PortKey::udp(123),
+        PortKey::udp(5683),
+        PortKey::udp(3389),
+        PortKey::udp(111),
+        PortKey::udp(137),
+        PortKey::udp(17),
+        PortKey::udp(19),
+        PortKey::udp(53),
+        PortKey::udp(161),
+        PortKey::udp(389),
+        PortKey::udp(1900),
+    ];
+    let mut out = Vec::new();
+    for (g, (size, heavy)) in groups.into_iter().enumerate() {
+        let heavy_share: f64 = heavy.iter().map(|&(_, w)| w).sum();
+        let mut entries = heavy.clone();
+        let rest = 100.0 - heavy_share;
+        let fillers: Vec<PortKey> =
+            shared_pool.iter().copied().filter(|k| !heavy.iter().any(|&(h, _)| h == *k)).collect();
+        let w = rest / fillers.len() as f64;
+        entries.extend(fillers.into_iter().map(|k| (k, w)));
+        let mix = Arc::new(PortMix::new(entries));
+        let subnet = Subnet::new(Ipv4(net16.base.0 + ((g as u32 + 1) << 8)), 24);
+        let ips = alloc.from_subnet(subnet, size);
+        let times = periodic_times(rng.random_range(0..3 * HOUR), 3 * HOUR, horizon);
+        let pkts_hi = ((4.0 * cfg.rate_scale).round() as u32).max(2);
+        let senders = ips
+            .into_iter()
+            .map(|ip| SenderSpec {
+                ip,
+                window: (0, horizon),
+                schedule: Schedule::Rounds {
+                    times: times.clone(),
+                    jitter: 80 * MINUTE,
+                    pkts_per_round: (1, pkts_hi),
+                },
+                mix: mix.clone(),
+                mirai_fingerprint: false,
+            })
+            .collect();
+        out.push(Campaign { id: CampaignId::Shadowserver(g as u8), published_as: None, senders });
+    }
+    out
+}
+
+/// unknown1 — 85 senders from one /24 in the Cogent range; 60 % of
+/// traffic to NetBIOS 137/udp "with a very regular pattern" (Figure 14).
+fn u1_netbios(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
+    let ips = alloc.from_subnet(Ipv4::new(38, 77, 146, 0).slash24(), 85);
+    let mix = Arc::new(PortMix::with_tail(vec![(PortKey::udp(137), 60.0)], 17, 0.40, rng));
+    regular_campaign(cfg, CampaignId::U1NetBios, ips, mix, HOUR, 2 * MINUTE, (1, 2), rng)
+}
+
+/// unknown2 — 10 senders from one /24 in cloud address space; 76 % of
+/// traffic to SMTP 25/tcp.
+fn u2_smtp(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
+    let ips = alloc.from_subnet(Ipv4::new(34, 86, 102, 0).slash24(), 10);
+    let mix = Arc::new(PortMix::with_tail(vec![(PortKey::tcp(25), 76.0)], 11, 0.24, rng));
+    regular_campaign(cfg, CampaignId::U2Smtp, ips, mix, 2 * HOUR, 5 * MINUTE, (2, 4), rng)
+}
+
+/// unknown3 — 61 senders scattered into 23 /24 subnets, 99.5 % of traffic
+/// to SMB 445/tcp with a very regular temporal pattern.
+fn u3_smb(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
+    let nets: Vec<Subnet> = (0..23)
+        .map(|i| Ipv4::new(91, 148 + (i / 8) as u8, 37 + (i % 8) as u8 * 13, 0).slash24())
+        .collect();
+    let ips = alloc.scattered(&nets, 61);
+    let mix = Arc::new(PortMix::new(vec![
+        (PortKey::tcp(445), 99.5),
+        (PortKey::tcp(139), 0.2),
+        (PortKey::tcp(135), 0.2),
+        (PortKey::udp(137), 0.1),
+    ]));
+    regular_campaign(cfg, CampaignId::U3Smb, ips, mix, HOUR, 3 * MINUTE, (1, 3), rng)
+}
+
+/// unknown7 — 158 senders scanning 148 ports with an almost equal share,
+/// "a very regular daily pattern, hinting to a botnet performing
+/// horizontal scans".
+fn u7_horizontal(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
+    let n = 158.min((Subnet::new(Ipv4::new(45, 143, 200, 0), 24)).size() as usize * 4);
+    let nets: Vec<Subnet> = (0..4).map(|i| Ipv4::new(45, 143, 200 + i, 0).slash24()).collect();
+    let ips = alloc.scattered(&nets, n);
+    let ports: Vec<PortKey> = distinct_ports(148, rng);
+    let mix = Arc::new(PortMix::uniform(ports));
+    let pkts_hi = ((20.0 * cfg.rate_scale).round() as u32).max(2);
+    regular_campaign(cfg, CampaignId::U7Horizontal, ips, mix, DAY, 2 * HOUR, (pkts_hi / 2, pkts_hi), rng)
+}
+
+/// unknown8 — 22 senders scanning 69 ports with an almost equal share
+/// (port Jaccard 0.82 between members) and a very regular hourly pattern.
+fn u8_horizontal(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
+    let ips = alloc.from_subnet(Ipv4::new(176, 113, 115, 0).slash24(), 22);
+    let ports: Vec<PortKey> = distinct_ports(69, rng);
+    let mix = Arc::new(PortMix::uniform(ports));
+    regular_campaign(cfg, CampaignId::U8Horizontal, ips, mix, HOUR, 5 * MINUTE, (1, 3), rng)
+}
+
+/// `n` distinct pseudo-random user-range TCP ports.
+fn distinct_ports(n: usize, rng: &mut StdRng) -> Vec<PortKey> {
+    let mut set = std::collections::HashSet::new();
+    while set.len() < n {
+        set.insert(PortKey::tcp(rng.random_range(1024..49151)));
+    }
+    let mut v: Vec<PortKey> = set.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// A full-horizon campaign with tightly periodic rounds — the "very
+/// regular pattern" signature of unknown1/2/3/8.
+#[allow(clippy::too_many_arguments)]
+fn regular_campaign(
+    cfg: &SimConfig,
+    id: CampaignId,
+    ips: Vec<Ipv4>,
+    mix: Arc<PortMix>,
+    period: u64,
+    jitter: u64,
+    pkts_per_round: (u32, u32),
+    rng: &mut StdRng,
+) -> Campaign {
+    let horizon = cfg.horizon();
+    let times = periodic_times(rng.random_range(0..period), period, horizon);
+    let pkts = (
+        ((pkts_per_round.0 as f64 * cfg.rate_scale).round() as u32).max(1),
+        ((pkts_per_round.1 as f64 * cfg.rate_scale).round() as u32).max(1),
+    );
+    let pkts = (pkts.0.min(pkts.1), pkts.1.max(pkts.0));
+    let senders = ips
+        .into_iter()
+        .map(|ip| SenderSpec {
+            ip,
+            window: (0, horizon),
+            schedule: Schedule::Rounds { times: times.clone(), jitter, pkts_per_round: pkts },
+            mix: mix.clone(),
+            mirai_fingerprint: false,
+        })
+        .collect();
+    Campaign { id, published_as: None, senders }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn built() -> Vec<Campaign> {
+        let cfg = SimConfig::tiny(4);
+        build(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(4))
+    }
+
+    fn find(campaigns: &[Campaign], id: CampaignId) -> &Campaign {
+        campaigns.iter().find(|c| c.id == id).unwrap()
+    }
+
+    #[test]
+    fn shadowserver_sits_in_one_slash16() {
+        let c = built();
+        let mut sizes = Vec::new();
+        let mut nets16 = std::collections::HashSet::new();
+        for g in 0..3u8 {
+            let camp = find(&c, CampaignId::Shadowserver(g));
+            sizes.push(camp.len());
+            for s in &camp.senders {
+                nets16.insert(s.ip.slash16());
+            }
+        }
+        assert_eq!(sizes, vec![61, 36, 16]);
+        assert_eq!(nets16.len(), 1, "all shadowserver groups share a /16");
+    }
+
+    #[test]
+    fn shadowserver_groups_share_ports_differ_in_intensity() {
+        let c = built();
+        let m0 = &find(&c, CampaignId::Shadowserver(0)).senders[0].mix;
+        let m2 = &find(&c, CampaignId::Shadowserver(2)).senders[0].mix;
+        // Same pool...
+        let k0: std::collections::HashSet<_> = m0.keys().iter().collect();
+        let k2: std::collections::HashSet<_> = m2.keys().iter().collect();
+        assert_eq!(k0, k2);
+        // ...different emphasis.
+        assert!(m0.weight(PortKey::udp(623)) > 2.0 * m2.weight(PortKey::udp(623)));
+        assert!(m2.weight(PortKey::udp(111)) > 2.0 * m0.weight(PortKey::udp(111)));
+    }
+
+    #[test]
+    fn u1_is_one_slash24_netbios() {
+        let c = built();
+        let u1 = find(&c, CampaignId::U1NetBios);
+        assert_eq!(u1.len(), 85);
+        let nets: std::collections::HashSet<_> = u1.senders.iter().map(|s| s.ip.slash24()).collect();
+        assert_eq!(nets.len(), 1);
+        assert!(u1.senders[0].mix.weight(PortKey::udp(137)) > 0.5);
+    }
+
+    #[test]
+    fn u3_scatters_over_23_slash24s() {
+        let c = built();
+        let u3 = find(&c, CampaignId::U3Smb);
+        assert_eq!(u3.len(), 61);
+        let nets: std::collections::HashSet<_> = u3.senders.iter().map(|s| s.ip.slash24()).collect();
+        assert_eq!(nets.len(), 23);
+        assert!(u3.senders[0].mix.weight(PortKey::tcp(445)) > 0.99);
+    }
+
+    #[test]
+    fn horizontal_scanners_have_uniform_mixes() {
+        let c = built();
+        let u7 = find(&c, CampaignId::U7Horizontal);
+        let u8c = find(&c, CampaignId::U8Horizontal);
+        assert_eq!(u7.senders[0].mix.keys().len(), 148);
+        assert_eq!(u8c.senders[0].mix.keys().len(), 69);
+        assert_eq!(u8c.len(), 22);
+        // Equal share: every port's weight is ~1/n.
+        let w = u8c.senders[0].mix.weight(u8c.senders[0].mix.keys()[0]);
+        assert!((w - 1.0 / 69.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_unknowns_are_gt_unknown() {
+        for c in built() {
+            assert_eq!(c.published_as, None, "{} must stay off scanner lists", c.id);
+            assert!(c.senders.iter().all(|s| !s.mirai_fingerprint));
+        }
+    }
+}

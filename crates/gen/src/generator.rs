@@ -1,0 +1,203 @@
+//! Materialises campaigns into a packet trace.
+
+use crate::address_space::AddressAllocator;
+use crate::campaigns::{self, Campaign};
+use crate::config::SimConfig;
+use crate::truth::GroundTruth;
+use darkvec_types::{Fingerprint, Packet, Protocol, Timestamp, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A simulated capture: the trace plus both label layers.
+#[derive(Clone, Debug)]
+pub struct SimOutput {
+    /// The packet trace, time-sorted.
+    pub trace: Trace,
+    /// Campaign identities and published scanner lists.
+    pub truth: GroundTruth,
+}
+
+/// Runs the simulator: builds every campaign, realises each sender's
+/// schedule, samples destination ports, stamps fingerprints and returns the
+/// sorted trace with its ground truth. Fully deterministic in `cfg.seed`.
+pub fn simulate(cfg: &SimConfig) -> SimOutput {
+    let mut alloc = AddressAllocator::new();
+    let campaigns = campaigns::build_all(cfg, &mut alloc);
+    realize(cfg, &campaigns)
+}
+
+/// Realises pre-built campaigns (exposed so tests can inject custom ones).
+pub fn realize(cfg: &SimConfig, campaigns: &[Campaign]) -> SimOutput {
+    let mut truth = GroundTruth::default();
+    let mut packets: Vec<Packet> = Vec::new();
+
+    for (ci, campaign) in campaigns.iter().enumerate() {
+        // Per-campaign RNG stream: realisation of one campaign never
+        // perturbs another's packets.
+        let mut rng = StdRng::seed_from_u64(
+            cfg.seed ^ (ci as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+        );
+        for spec in &campaign.senders {
+            truth.register(spec.ip, campaign.id, campaign.published_as);
+            for ts in spec.schedule.realize(spec.window.0, spec.window.1, &mut rng) {
+                let key = spec.mix.sample(&mut rng);
+                // The Mirai fingerprint lives in the TCP sequence number, so
+                // it can only mark TCP probes.
+                let fingerprint = if spec.mirai_fingerprint && key.proto == Protocol::Tcp {
+                    Fingerprint::Mirai
+                } else {
+                    Fingerprint::None
+                };
+                packets.push(Packet {
+                    ts: Timestamp(ts),
+                    src: spec.ip,
+                    dst_port: key.port,
+                    proto: key.proto,
+                    fingerprint,
+                });
+            }
+        }
+    }
+
+    SimOutput { trace: Trace::new(packets), truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::{CampaignId, GtClass};
+    use darkvec_types::PortKey;
+
+    fn sim(seed: u64) -> SimOutput {
+        simulate(&SimConfig::tiny(seed))
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = sim(42);
+        let b = sim(42);
+        assert_eq!(a.trace, b.trace);
+        let c = sim(43);
+        assert_ne!(a.trace, c.trace);
+    }
+
+    #[test]
+    fn trace_is_sorted_and_bounded() {
+        let out = sim(1);
+        let cfg = SimConfig::tiny(1);
+        assert!(!out.trace.is_empty());
+        let pkts = out.trace.packets();
+        assert!(pkts.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert!(pkts.last().unwrap().ts.0 < cfg.horizon());
+    }
+
+    #[test]
+    fn every_sender_is_registered() {
+        let out = sim(2);
+        for ip in out.trace.senders() {
+            assert!(out.truth.campaign(ip).is_some(), "{ip} has no campaign");
+        }
+    }
+
+    #[test]
+    fn labelling_recovers_scanner_classes() {
+        let out = sim(3);
+        let labels = out.truth.label_trace(&out.trace);
+        let mut per_class: std::collections::HashMap<GtClass, usize> = Default::default();
+        for (_, &c) in &labels {
+            *per_class.entry(c).or_default() += 1;
+        }
+        // All scanner classes and Mirai must be present; Unknown dominates.
+        for class in GtClass::ALL {
+            assert!(per_class.get(&class).copied().unwrap_or(0) > 0, "missing {class}");
+        }
+        assert!(per_class[&GtClass::Unknown] > per_class[&GtClass::Censys]);
+    }
+
+    #[test]
+    fn engin_umich_senders_only_hit_dns() {
+        let out = sim(4);
+        let engin = out.truth.members(CampaignId::EnginUmich);
+        assert_eq!(engin.len(), 10);
+        let set: std::collections::HashSet<_> = engin.into_iter().collect();
+        for p in out.trace.packets() {
+            if set.contains(&p.src) {
+                assert_eq!(p.port_key(), PortKey::udp(53));
+            }
+        }
+    }
+
+    #[test]
+    fn mirai_core_telnet_share_matches_table2() {
+        let out = sim(5);
+        let mirai: std::collections::HashSet<_> =
+            out.truth.members(CampaignId::MiraiCore).into_iter().collect();
+        let mut total = 0u64;
+        let mut telnet = 0u64;
+        for p in out.trace.packets() {
+            if mirai.contains(&p.src) {
+                total += 1;
+                if p.port_key() == PortKey::tcp(23) {
+                    telnet += 1;
+                }
+            }
+        }
+        let share = telnet as f64 / total as f64;
+        assert!((share - 0.896).abs() < 0.03, "telnet share {share}");
+    }
+
+    #[test]
+    fn fingerprints_only_on_tcp() {
+        let out = sim(6);
+        for p in out.trace.packets() {
+            if p.fingerprint == Fingerprint::Mirai {
+                assert_eq!(p.proto, Protocol::Tcp);
+            }
+        }
+    }
+
+    #[test]
+    fn active_filter_keeps_coordinated_campaigns() {
+        let out = sim(7);
+        let active = out.trace.active_senders(10);
+        // Scanners run all month with rounds; nearly all must be active.
+        for campaign in [CampaignId::Shodan, CampaignId::EnginUmich, CampaignId::U1NetBios] {
+            let members = out.truth.members(campaign);
+            let kept = members.iter().filter(|ip| active.contains(ip)).count();
+            assert!(
+                kept * 10 >= members.len() * 8,
+                "{campaign}: only {kept}/{} active",
+                members.len()
+            );
+        }
+    }
+
+    #[test]
+    fn backscatter_senders_are_filtered_out() {
+        let cfg = SimConfig { backscatter: true, ..SimConfig::tiny(8) };
+        let out = simulate(&cfg);
+        let active = out.trace.active_senders(10);
+        let bs = out.truth.members(CampaignId::Backscatter);
+        assert!(!bs.is_empty());
+        let survivors = bs.iter().filter(|ip| active.contains(ip)).count();
+        assert_eq!(survivors, 0, "backscatter must never pass the filter");
+    }
+
+    #[test]
+    fn adb_worm_traffic_grows_over_time() {
+        let out = sim(9);
+        let worm: std::collections::HashSet<_> =
+            out.truth.members(CampaignId::U4AdbWorm).into_iter().collect();
+        let days = out.trace.days();
+        let first_half: usize = (0..days / 2)
+            .map(|d| out.trace.day_slice(d).iter().filter(|p| worm.contains(&p.src)).count())
+            .sum();
+        let second_half: usize = (days / 2..days)
+            .map(|d| out.trace.day_slice(d).iter().filter(|p| worm.contains(&p.src)).count())
+            .sum();
+        assert!(
+            second_half > first_half * 2,
+            "worm should ramp: {first_half} then {second_half}"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Weighted destination-port distributions.
+//!
+//! Each campaign targets services with a characteristic mix — Table 2's
+//! "Top-5 Ports (% Traffic)" column plus a long tail. A [`PortMix`] is a
+//! normalised discrete distribution over [`PortKey`]s sampled by binary
+//! search over cumulative weights.
+
+use darkvec_types::{PortKey, Protocol};
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// A discrete distribution over (port, protocol) keys.
+#[derive(Clone, Debug)]
+pub struct PortMix {
+    keys: Vec<PortKey>,
+    /// Cumulative weights, normalised so the last entry is 1.0.
+    cum: Vec<f64>,
+}
+
+impl PortMix {
+    /// Builds a mix from `(key, weight)` pairs; weights need not sum to 1.
+    ///
+    /// # Panics
+    /// Panics if `entries` is empty, or any weight is non-positive or
+    /// non-finite, or a key repeats.
+    pub fn new(entries: Vec<(PortKey, f64)>) -> Self {
+        assert!(!entries.is_empty(), "empty port mix");
+        let mut seen = HashSet::new();
+        let total: f64 = entries
+            .iter()
+            .map(|&(k, w)| {
+                assert!(w.is_finite() && w > 0.0, "weight for {k} must be positive");
+                assert!(seen.insert(k), "duplicate key {k}");
+                w
+            })
+            .sum();
+        let mut keys = Vec::with_capacity(entries.len());
+        let mut cum = Vec::with_capacity(entries.len());
+        let mut acc = 0.0;
+        for (k, w) in entries {
+            acc += w / total;
+            keys.push(k);
+            cum.push(acc);
+        }
+        // Guard against floating-point shortfall at the tail.
+        *cum.last_mut().expect("non-empty") = 1.0;
+        PortMix { keys, cum }
+    }
+
+    /// A uniform mix over the given keys.
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty or contains duplicates.
+    pub fn uniform(keys: Vec<PortKey>) -> Self {
+        let entries = keys.into_iter().map(|k| (k, 1.0)).collect();
+        PortMix::new(entries)
+    }
+
+    /// A mix with explicit head entries holding `1 - tail_share` of the
+    /// probability, plus `tail_count` deterministic pseudo-random filler
+    /// TCP ports sharing `tail_share` uniformly — the "11 118 distinct
+    /// ports" shape of Censys-style scanners.
+    ///
+    /// # Panics
+    /// Panics if `tail_share` is outside `[0, 1)`, or the head is empty
+    /// while `tail_count` is 0.
+    pub fn with_tail<R: Rng>(
+        head: Vec<(PortKey, f64)>,
+        tail_count: usize,
+        tail_share: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&tail_share), "tail share must be in [0,1)");
+        let head_total: f64 = head.iter().map(|&(_, w)| w).sum();
+        let mut entries = head;
+        if tail_count > 0 && tail_share > 0.0 {
+            // Head weights currently sum to head_total representing
+            // (1 - tail_share); scale tail accordingly.
+            let tail_total = head_total * tail_share / (1.0 - tail_share);
+            let used: HashSet<PortKey> = entries.iter().map(|&(k, _)| k).collect();
+            let mut added = HashSet::new();
+            while added.len() < tail_count {
+                let port: u16 = rng.random_range(1..=49151);
+                let key = PortKey::tcp(port);
+                if !used.contains(&key) {
+                    added.insert(key);
+                }
+            }
+            let mut sorted: Vec<PortKey> = added.into_iter().collect();
+            sorted.sort();
+            let w = tail_total.max(f64::MIN_POSITIVE) / tail_count as f64;
+            entries.extend(sorted.into_iter().map(|k| (k, w)));
+        }
+        PortMix::new(entries)
+    }
+
+    /// Draws one key.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> PortKey {
+        let x: f64 = rng.random();
+        let i = self.cum.partition_point(|&c| c < x);
+        self.keys[i.min(self.keys.len() - 1)]
+    }
+
+    /// All keys in the mix.
+    pub fn keys(&self) -> &[PortKey] {
+        &self.keys
+    }
+
+    /// The probability mass of a key (0 if absent).
+    pub fn weight(&self, key: PortKey) -> f64 {
+        self.keys
+            .iter()
+            .position(|&k| k == key)
+            .map(|i| self.cum[i] - if i == 0 { 0.0 } else { self.cum[i - 1] })
+            .unwrap_or(0.0)
+    }
+}
+
+/// Shorthand for `PortKey::tcp` used heavily by the campaign tables.
+pub const fn tcp(port: u16) -> (PortKey, f64) {
+    (PortKey { port, proto: Protocol::Tcp }, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_tracks_weights() {
+        let mix = PortMix::new(vec![(PortKey::tcp(23), 0.9), (PortKey::tcp(80), 0.1)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| mix.sample(&mut rng) == PortKey::tcp(23)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_mix_is_even() {
+        let keys = vec![PortKey::tcp(1), PortKey::tcp(2), PortKey::udp(3), PortKey::icmp()];
+        let mix = PortMix::uniform(keys.clone());
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            let k = mix.sample(&mut rng);
+            counts[keys.iter().position(|&x| x == k).unwrap()] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 / 40_000.0 - 0.25).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn weight_lookup() {
+        let mix = PortMix::new(vec![(PortKey::tcp(23), 3.0), (PortKey::tcp(80), 1.0)]);
+        assert!((mix.weight(PortKey::tcp(23)) - 0.75).abs() < 1e-12);
+        assert!((mix.weight(PortKey::tcp(80)) - 0.25).abs() < 1e-12);
+        assert_eq!(mix.weight(PortKey::udp(53)), 0.0);
+    }
+
+    #[test]
+    fn tail_reaches_requested_count_and_share() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let head = vec![(PortKey::tcp(23), 0.6), (PortKey::udp(53), 0.2)];
+        // head 0.8, tail 0.2 of the final mass.
+        let mix = PortMix::with_tail(head, 50, 0.2, &mut rng);
+        assert_eq!(mix.keys().len(), 52);
+        assert!((mix.weight(PortKey::tcp(23)) - 0.6).abs() < 1e-9);
+        let tail_mass: f64 = mix
+            .keys()
+            .iter()
+            .filter(|&&k| k != PortKey::tcp(23) && k != PortKey::udp(53))
+            .map(|&k| mix.weight(k))
+            .sum();
+        assert!((tail_mass - 0.2).abs() < 1e-9, "tail mass {tail_mass}");
+    }
+
+    #[test]
+    fn tail_avoids_head_ports() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let head = vec![(PortKey::tcp(23), 1.0)];
+        let mix = PortMix::with_tail(head, 200, 0.5, &mut rng);
+        let telnet_count = mix.keys().iter().filter(|&&k| k == PortKey::tcp(23)).count();
+        assert_eq!(telnet_count, 1);
+    }
+
+    #[test]
+    fn zero_tail_is_pure_head() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mix = PortMix::with_tail(vec![(PortKey::tcp(23), 1.0)], 0, 0.0, &mut rng);
+        assert_eq!(mix.keys().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        PortMix::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicate_keys() {
+        PortMix::new(vec![(PortKey::tcp(1), 1.0), (PortKey::tcp(1), 2.0)]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mix = PortMix::uniform(vec![PortKey::tcp(1), PortKey::tcp(2), PortKey::tcp(3)]);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..10).map(|_| mix.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

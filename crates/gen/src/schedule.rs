@@ -1,0 +1,259 @@
+//! Temporal behaviour models — *when* a sender transmits.
+//!
+//! Co-occurrence in time is the signal DarkVec learns from (§5.1: "senders
+//! that perform similar patterns nearby on time are mapped into a compact
+//! region"), so the simulator's temporal models are its most important
+//! part. Four behaviours cover every class in the paper's evaluation:
+//!
+//! * [`Schedule::Continuous`] — a Poisson process over the sender's active
+//!   window (Mirai churn, generic scanners);
+//! * [`Schedule::Rounds`] — the campaign fires in shared *rounds*: every
+//!   member sends a volley within a small jitter of the round time. This
+//!   produces exactly the tight co-occurrence that puts a campaign's IPs
+//!   into the same context windows (Censys sub-groups, Figure 12);
+//! * [`Schedule::Bursts`] — a handful of campaign-wide impulses
+//!   (Engin-Umich, Figure 9b: "coordinated and very impulsive");
+//! * [`Schedule::Sporadic`] — a few packets at irregular, per-sender
+//!   random instants (Stretchoid, Figure 9a — the class the embedding
+//!   *fails* on, by design).
+
+use rand::{Rng, RngExt};
+use std::sync::Arc;
+
+/// A sender's temporal behaviour. Round/burst instants are shared across a
+/// campaign (via `Arc`) — that sharing *is* the coordination.
+#[derive(Clone, Debug)]
+pub enum Schedule {
+    /// Poisson arrivals at `rate_per_day` over the active window.
+    Continuous {
+        /// Mean packets per day.
+        rate_per_day: f64,
+    },
+    /// A volley of `pkts_per_round` packets within `jitter` seconds after
+    /// each shared round instant that falls inside the active window.
+    Rounds {
+        /// Campaign-wide round start times (seconds).
+        times: Arc<Vec<u64>>,
+        /// Maximum delay of each packet after the round start.
+        jitter: u64,
+        /// Inclusive range of packets per member per round.
+        pkts_per_round: (u32, u32),
+    },
+    /// Like rounds but meant for a handful of high-intensity impulses.
+    Bursts {
+        /// Campaign-wide burst times (seconds).
+        times: Arc<Vec<u64>>,
+        /// Width of each burst.
+        spread: u64,
+        /// Inclusive range of packets per member per burst.
+        pkts_per_burst: (u32, u32),
+    },
+    /// `pkts` packets at uniformly random instants in the active window,
+    /// independent across senders.
+    Sporadic {
+        /// Inclusive range of total packets.
+        pkts: (u32, u32),
+    },
+}
+
+impl Schedule {
+    /// Materialises packet timestamps for one sender with active window
+    /// `[start, end)`. Returns an unsorted list; the trace constructor
+    /// sorts globally.
+    pub fn realize<R: Rng>(&self, start: u64, end: u64, rng: &mut R) -> Vec<u64> {
+        if start >= end {
+            return Vec::new();
+        }
+        match self {
+            Schedule::Continuous { rate_per_day } => {
+                let span_days = (end - start) as f64 / darkvec_types::DAY as f64;
+                let expected = rate_per_day * span_days;
+                let n = poisson(expected, rng);
+                (0..n).map(|_| rng.random_range(start..end)).collect()
+            }
+            Schedule::Rounds { times, jitter, pkts_per_round } => {
+                let mut out = Vec::new();
+                for &t in times.iter().filter(|&&t| t >= start && t < end) {
+                    let n = rng.random_range(pkts_per_round.0..=pkts_per_round.1);
+                    for _ in 0..n {
+                        out.push((t + rng.random_range(0..=*jitter)).min(end - 1));
+                    }
+                }
+                out
+            }
+            Schedule::Bursts { times, spread, pkts_per_burst } => {
+                let mut out = Vec::new();
+                for &t in times.iter().filter(|&&t| t >= start && t < end) {
+                    let n = rng.random_range(pkts_per_burst.0..=pkts_per_burst.1);
+                    for _ in 0..n {
+                        out.push((t + rng.random_range(0..=*spread)).min(end - 1));
+                    }
+                }
+                out
+            }
+            Schedule::Sporadic { pkts } => {
+                let n = rng.random_range(pkts.0..=pkts.1);
+                (0..n).map(|_| rng.random_range(start..end)).collect()
+            }
+        }
+    }
+}
+
+/// Generates evenly spaced round times with optional phase offset:
+/// `offset, offset+period, ...` up to `horizon`.
+pub fn periodic_times(offset: u64, period: u64, horizon: u64) -> Arc<Vec<u64>> {
+    assert!(period > 0, "period must be positive");
+    Arc::new((0..).map(|i| offset + i * period).take_while(|&t| t < horizon).collect())
+}
+
+/// Draws `n` random instants in `[0, horizon)`, sorted — used for
+/// irregular campaign-wide burst times.
+pub fn random_times<R: Rng>(n: usize, horizon: u64, rng: &mut R) -> Arc<Vec<u64>> {
+    let mut v: Vec<u64> = (0..n).map(|_| rng.random_range(0..horizon)).collect();
+    v.sort_unstable();
+    Arc::new(v)
+}
+
+/// Sampling from a Poisson distribution.
+///
+/// Knuth's product method below `λ = 30`, normal approximation above
+/// (adequate for traffic volumes; exactness does not matter here).
+pub fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Box-Muller normal approximation N(λ, λ).
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (lambda + z * lambda.sqrt()).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darkvec_types::DAY;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn continuous_rate_matches_expectation() {
+        let s = Schedule::Continuous { rate_per_day: 20.0 };
+        let mut r = rng(1);
+        let total: usize = (0..50).map(|_| s.realize(0, 10 * DAY, &mut r).len()).sum();
+        let mean = total as f64 / 50.0;
+        assert!((mean - 200.0).abs() < 15.0, "mean {mean}");
+    }
+
+    #[test]
+    fn continuous_respects_window() {
+        let s = Schedule::Continuous { rate_per_day: 100.0 };
+        let mut r = rng(2);
+        for t in s.realize(DAY, 2 * DAY, &mut r) {
+            assert!((DAY..2 * DAY).contains(&t));
+        }
+    }
+
+    #[test]
+    fn rounds_cluster_near_round_times() {
+        let times = periodic_times(100, DAY, 5 * DAY);
+        let s = Schedule::Rounds { times: times.clone(), jitter: 60, pkts_per_round: (2, 4) };
+        let mut r = rng(3);
+        let pkts = s.realize(0, 5 * DAY, &mut r);
+        assert!(!pkts.is_empty());
+        for t in &pkts {
+            let near = times.iter().any(|&rt| *t >= rt && *t <= rt + 60);
+            assert!(near, "packet at {t} not near any round");
+        }
+        // 5 rounds × 2..=4 packets.
+        assert!((10..=20).contains(&pkts.len()));
+    }
+
+    #[test]
+    fn rounds_outside_window_are_skipped() {
+        let times = periodic_times(0, DAY, 10 * DAY);
+        let s = Schedule::Rounds { times, jitter: 10, pkts_per_round: (1, 1) };
+        let mut r = rng(4);
+        // Window covers only days 2..4 => rounds at 2*DAY and 3*DAY.
+        let pkts = s.realize(2 * DAY, 4 * DAY, &mut r);
+        assert_eq!(pkts.len(), 2);
+    }
+
+    #[test]
+    fn bursts_are_tight() {
+        let mut r = rng(5);
+        let times = random_times(3, 30 * DAY, &mut r);
+        let s = Schedule::Bursts { times: times.clone(), spread: 300, pkts_per_burst: (50, 50) };
+        let pkts = s.realize(0, 30 * DAY, &mut r);
+        assert_eq!(pkts.len(), 150);
+        for t in &pkts {
+            assert!(times.iter().any(|&bt| *t >= bt && *t <= bt + 300));
+        }
+    }
+
+    #[test]
+    fn sporadic_count_in_range() {
+        let s = Schedule::Sporadic { pkts: (5, 9) };
+        let mut r = rng(6);
+        for _ in 0..20 {
+            let n = s.realize(0, 30 * DAY, &mut r).len();
+            assert!((5..=9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn empty_window_yields_nothing() {
+        let s = Schedule::Sporadic { pkts: (5, 9) };
+        let mut r = rng(7);
+        assert!(s.realize(100, 100, &mut r).is_empty());
+        assert!(s.realize(200, 100, &mut r).is_empty());
+    }
+
+    #[test]
+    fn periodic_times_cover_horizon() {
+        let t = periodic_times(50, 100, 500);
+        assert_eq!(*t, vec![50, 150, 250, 350, 450]);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut r = rng(8);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(3.0, &mut r)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut r = rng(9);
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| poisson(200.0, &mut r)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut r = rng(10);
+        assert_eq!(poisson(0.0, &mut r), 0);
+        assert_eq!(poisson(-1.0, &mut r), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the traffic simulator's building blocks.
+
+use darkvec_gen::mix::PortMix;
+use darkvec_gen::schedule::{periodic_times, poisson, Schedule};
+use darkvec_gen::{simulate, SimConfig};
+use darkvec_types::PortKey;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn port_mix_samples_only_its_keys(ports in prop::collection::hash_set(1u16..60_000, 1..25), seed in 0u64..500) {
+        let keys: Vec<PortKey> = ports.iter().map(|&p| PortKey::tcp(p)).collect();
+        let mix = PortMix::uniform(keys.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let k = mix.sample(&mut rng);
+            prop_assert!(keys.contains(&k));
+        }
+        // Weights sum to 1.
+        let total: f64 = keys.iter().map(|&k| mix.weight(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedules_stay_in_window(start in 0u64..1_000_000, len in 1u64..1_000_000, seed in 0u64..500) {
+        let end = start + len;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schedules = [
+            Schedule::Continuous { rate_per_day: 50.0 },
+            Schedule::Sporadic { pkts: (1, 20) },
+            Schedule::Rounds {
+                times: periodic_times(start % 7, 3_600, end),
+                jitter: 60,
+                pkts_per_round: (1, 3),
+            },
+            Schedule::Bursts {
+                times: Arc::new(vec![start + len / 2]),
+                spread: 600,
+                pkts_per_burst: (1, 5),
+            },
+        ];
+        for s in schedules {
+            for t in s.realize(start, end, &mut rng) {
+                prop_assert!(t >= start && t < end, "packet at {t} outside [{start},{end})");
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_is_nonnegative_and_scales(lambda in 0.0f64..500.0, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = poisson(lambda, &mut rng);
+        // Soft bound: far tail beyond 10x the mean (+ slack) is a bug.
+        prop_assert!((sample as f64) < 10.0 * lambda + 50.0, "lambda={lambda} sample={sample}");
+    }
+
+    #[test]
+    fn simulation_invariants_hold_at_any_seed(seed in 0u64..12) {
+        let cfg = SimConfig {
+            days: 3,
+            sender_scale: 0.01,
+            rate_scale: 0.3,
+            backscatter: true,
+            seed,
+        };
+        let out = simulate(&cfg);
+        // Sorted, bounded, every sender registered.
+        prop_assert!(out.trace.packets().windows(2).all(|w| w[0].ts <= w[1].ts));
+        if let Some(last) = out.trace.packets().last() {
+            prop_assert!(last.ts.0 < cfg.horizon());
+        }
+        for ip in out.trace.senders() {
+            prop_assert!(out.truth.campaign(ip).is_some());
+        }
+        // Labelling is total over trace senders.
+        let labels = out.truth.label_trace(&out.trace);
+        prop_assert_eq!(labels.len(), out.trace.senders().len());
+    }
+}

@@ -1,0 +1,76 @@
+//! Connected components, used to explain the k′ = 1 regime of Figure 10:
+//! with a single out-edge per node the k-NN graph fragments into thousands
+//! of tiny components, which Louvain then reports as tiny clusters.
+
+use crate::graph::{Graph, NodeId};
+
+/// Labels each node with its connected-component id (dense, in order of
+/// first discovery) and returns `(labels, component_count)`.
+pub fn connected_components(graph: &Graph) -> (Vec<u32>, usize) {
+    let n = graph.len();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in 0..n as NodeId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &(v, _) in graph.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_components() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        let (labels, n) = connected_components(&g);
+        assert_eq!(n, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+        assert_ne!(labels[5], labels[3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (labels, n) = connected_components(&Graph::new(0));
+        assert!(labels.is_empty());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn fully_connected_is_one_component() {
+        let mut g = Graph::new(4);
+        for i in 0..3u32 {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        let (_, n) = connected_components(&g);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn self_loops_do_not_merge() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0, 1.0);
+        let (_, n) = connected_components(&g);
+        assert_eq!(n, 2);
+    }
+}

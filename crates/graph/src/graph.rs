@@ -1,0 +1,125 @@
+//! A weighted undirected graph stored as adjacency lists.
+
+/// Node index.
+pub type NodeId = u32;
+
+/// A weighted undirected graph.
+///
+/// Each undirected edge `{u, v}` appears in both adjacency lists; a
+/// self-loop `{u, u}` appears once in `u`'s list. Weights must be
+/// non-negative (modularity is undefined otherwise).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    adj: Vec<Vec<(NodeId, f64)>>,
+    /// Sum of all edge weights, counting each undirected edge once
+    /// (self-loops once too) — the `m` of the modularity formula.
+    total_weight: f64,
+}
+
+impl Graph {
+    /// An edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], total_weight: 0.0 }
+    }
+
+    /// Adds an undirected edge. Parallel edges accumulate naturally
+    /// (callers that want accumulation on one entry should pre-merge).
+    ///
+    /// # Panics
+    /// Panics if a node is out of range or the weight is negative/non-finite.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
+        assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len(), "node out of range");
+        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and non-negative");
+        if u == v {
+            self.adj[u as usize].push((v, w));
+        } else {
+            self.adj[u as usize].push((v, w));
+            self.adj[v as usize].push((u, w));
+        }
+        self.total_weight += w;
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbours of `u` with edge weights. A self-loop appears once.
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[u as usize]
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Weighted degree of `u`. Self-loops count twice, per the modularity
+    /// convention (a self-loop contributes 2w to the degree).
+    pub fn degree(&self, u: NodeId) -> f64 {
+        self.adj[u as usize].iter().map(|&(v, w)| if v == u { 2.0 * w } else { w }).sum()
+    }
+
+    /// Number of stored edges (each undirected edge once).
+    pub fn edge_count(&self) -> usize {
+        let endpoints: usize = self.adj.iter().map(|l| l.len()).sum();
+        let self_loops: usize =
+            self.adj.iter().enumerate().map(|(u, l)| l.iter().filter(|&&(v, _)| v as usize == u).count()).sum();
+        // Non-loop edges were stored twice.
+        (endpoints - self_loops) / 2 + self_loops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_both_directions() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2.0);
+        assert_eq!(g.neighbors(0), &[(1, 2.0)]);
+        assert_eq!(g.neighbors(1), &[(0, 2.0)]);
+        assert!(g.neighbors(2).is_empty());
+        assert_eq!(g.total_weight(), 2.0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loop_counted_once_in_list_twice_in_degree() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0, 1.5);
+        assert_eq!(g.neighbors(0).len(), 1);
+        assert_eq!(g.degree(0), 3.0);
+        assert_eq!(g.total_weight(), 1.5);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn degrees_sum_to_twice_total_weight() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 0.5);
+        g.add_edge(2, 2, 0.25);
+        g.add_edge(3, 0, 2.0);
+        let deg_sum: f64 = (0..4).map(|u| g.degree(u)).sum();
+        assert!((deg_sum - 2.0 * g.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_node() {
+        Graph::new(1).add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weight() {
+        Graph::new(2).add_edge(0, 1, -1.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! The k′-NN graph of §7.1: every embedded sender becomes a vertex with
+//! directed edges to its k′ nearest neighbours, weighted by cosine
+//! similarity. For community detection the directed graph is symmetrised
+//! into an undirected one (an undirected edge exists if *either* direction
+//! picked it; weights of reciprocated edges are summed, matching how the
+//! Louvain modularity treats a directed graph's symmetrisation).
+
+use crate::graph::Graph;
+use darkvec_ml::knn::knn_all;
+use darkvec_ml::vectors::Matrix;
+use std::collections::HashMap;
+
+/// Configuration for the k′-NN graph construction.
+#[derive(Clone, Debug)]
+pub struct KnnGraphConfig {
+    /// Out-degree k′ of the directed graph.
+    pub k: usize,
+    /// Threads for the kNN search (0 = all cores).
+    pub threads: usize,
+    /// If true (mutual mode), keep only edges selected by *both*
+    /// endpoints — the ablation of DESIGN.md §4.6. Default: union mode.
+    pub mutual: bool,
+}
+
+impl Default for KnnGraphConfig {
+    fn default() -> Self {
+        // k′ = 3, the paper's elbow-method choice (§7.2).
+        KnnGraphConfig { k: 3, threads: 0, mutual: false }
+    }
+}
+
+/// Builds the symmetrised k′-NN graph over the rows of `matrix`.
+///
+/// Cosine similarities can be slightly negative for far-apart neighbours;
+/// modularity needs non-negative weights, so similarities are clamped to a
+/// small positive floor, preserving connectivity without rewarding the
+/// edge.
+pub fn build_knn_graph(matrix: Matrix<'_>, cfg: &KnnGraphConfig) -> Graph {
+    const WEIGHT_FLOOR: f64 = 1e-6;
+    let n = matrix.rows();
+    let neighbors = knn_all(matrix, cfg.k.max(1), cfg.threads);
+
+    // Accumulate directed selections into undirected weights.
+    let mut edges: HashMap<(u32, u32), (f64, u8)> = HashMap::new();
+    for (u, neigh) in neighbors.iter().enumerate() {
+        for nb in neigh {
+            let v = nb.index;
+            let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+            let w = (nb.similarity as f64).max(WEIGHT_FLOOR);
+            let e = edges.entry(key).or_insert((0.0, 0));
+            e.0 += w;
+            e.1 += 1;
+        }
+    }
+
+    let mut g = Graph::new(n);
+    // Sort for deterministic insertion order (HashMap iteration is not).
+    let mut sorted: Vec<((u32, u32), (f64, u8))> = edges.into_iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    for ((u, v), (w, picks)) in sorted {
+        if cfg.mutual && picks < 2 {
+            continue;
+        }
+        g.add_edge(u, v, w);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight groups of 3 points each.
+    fn grouped() -> Vec<f32> {
+        let mut data = Vec::new();
+        for (cx, cy) in [(1.0f32, 0.0f32), (0.0, 1.0)] {
+            for d in 0..3 {
+                data.extend_from_slice(&[cx + d as f32 * 0.01, cy]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn edges_stay_within_groups() {
+        let data = grouped();
+        let g = build_knn_graph(Matrix::new(&data, 6, 2), &KnnGraphConfig { k: 2, threads: 1, mutual: false });
+        for u in 0..6u32 {
+            for &(v, _) in g.neighbors(u) {
+                assert_eq!(u / 3, v / 3, "edge {u}-{v} crosses groups");
+            }
+        }
+        assert!(g.total_weight() > 0.0);
+    }
+
+    #[test]
+    fn reciprocated_edges_accumulate_weight() {
+        // Two identical points: each picks the other, so the single
+        // undirected edge carries both directed weights (≈ 2.0).
+        let data = [1.0f32, 0.0, 1.0, 0.0, -1.0, 0.0, -1.0, 0.01];
+        let g = build_knn_graph(Matrix::new(&data, 4, 2), &KnnGraphConfig { k: 1, threads: 1, mutual: false });
+        let w01 = g.neighbors(0).iter().find(|&&(v, _)| v == 1).map(|&(_, w)| w).unwrap();
+        assert!((w01 - 2.0).abs() < 1e-3, "weight {w01}");
+    }
+
+    #[test]
+    fn mutual_mode_drops_one_way_edges() {
+        // p2 is a far outlier whose nearest is p0, but p0 and p1 pick each
+        // other; in mutual mode p2 becomes isolated.
+        let data = [1.0f32, 0.0, 1.0, 0.01, 0.0, 1.0];
+        let m = Matrix::new(&data, 3, 2);
+        let union = build_knn_graph(m, &KnnGraphConfig { k: 1, threads: 1, mutual: false });
+        let mutual = build_knn_graph(m, &KnnGraphConfig { k: 1, threads: 1, mutual: true });
+        assert!(!union.neighbors(2).is_empty());
+        assert!(mutual.neighbors(2).is_empty());
+        assert!(!mutual.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn negative_similarities_get_floor_weight() {
+        // Opposite vectors: similarity -1, clamped to the floor.
+        let data = [1.0f32, 0.0, -1.0, 0.0];
+        let g = build_knn_graph(Matrix::new(&data, 2, 2), &KnnGraphConfig { k: 1, threads: 1, mutual: false });
+        let (_, w) = g.neighbors(0)[0];
+        assert!(w > 0.0 && w < 1e-5);
+    }
+
+    #[test]
+    fn empty_matrix_builds_empty_graph() {
+        let g = build_knn_graph(Matrix::new(&[], 0, 4), &KnnGraphConfig::default());
+        assert!(g.is_empty());
+    }
+}

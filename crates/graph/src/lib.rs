@@ -1,0 +1,33 @@
+//! # darkvec-graph
+//!
+//! The graph-clustering substrate behind DarkVec's unsupervised analysis
+//! (§7): a directed k′-NN graph over the embedded senders, symmetrised into
+//! a weighted undirected graph, clustered with the **Louvain** modularity
+//! algorithm, and evaluated with **silhouette** scores and **Jaccard**
+//! indices.
+//!
+//! * [`graph::Graph`] — weighted undirected adjacency lists with self-loop
+//!   support (needed by Louvain's aggregation phase);
+//! * [`knn_graph`] — builds the paper's directed k′-NN graph (edges to each
+//!   vertex's k′ nearest embedding neighbours, weighted by cosine
+//!   similarity) and symmetrises it;
+//! * [`louvain`] — two-phase Louvain with deterministic seeded ordering;
+//! * [`silhouette`] — cosine-distance silhouette computed in O(n·K·dim)
+//!   via per-cluster centroid sums;
+//! * [`jaccard`] — set-overlap index used to compare cluster port sets
+//!   (§7.3.1);
+//! * [`components`] — connected components, used to sanity-check k′=1
+//!   fragmentation (Figure 10).
+
+pub mod components;
+pub mod graph;
+pub mod jaccard;
+pub mod knn_graph;
+pub mod louvain;
+pub mod silhouette;
+
+pub use graph::Graph;
+pub use jaccard::jaccard_index;
+pub use knn_graph::{build_knn_graph, KnnGraphConfig};
+pub use louvain::{louvain, modularity, Partition};
+pub use silhouette::{cluster_silhouettes, silhouette_samples};

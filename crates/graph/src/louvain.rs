@@ -1,0 +1,379 @@
+//! The Louvain community-detection algorithm (Blondel et al., 2008), the
+//! clustering method DarkVec applies to the k′-NN graph (§7.1).
+//!
+//! Two phases repeated until the modularity stops improving:
+//!
+//! 1. **Local moving** — each node greedily joins the neighbouring
+//!    community with the best modularity gain;
+//! 2. **Aggregation** — communities collapse into super-nodes (intra-
+//!    community weight becomes a self-loop) and the process restarts.
+//!
+//! Node visit order is a seeded shuffle, so results are reproducible for a
+//! fixed seed.
+
+use crate::graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A partition of graph nodes into communities.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Community id per node, dense in `0..num_communities`, numbered by
+    /// decreasing community size (community 0 is the largest).
+    pub assignment: Vec<u32>,
+    /// Number of communities.
+    pub communities: usize,
+    /// Modularity of this partition on the input graph.
+    pub modularity: f64,
+}
+
+impl Partition {
+    /// The member node ids of each community, indexed by community id.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.communities];
+        for (node, &c) in self.assignment.iter().enumerate() {
+            out[c as usize].push(node as NodeId);
+        }
+        out
+    }
+
+    /// Size of each community, indexed by community id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.communities];
+        for &c in &self.assignment {
+            out[c as usize] += 1;
+        }
+        out
+    }
+}
+
+/// Modularity of an assignment on a graph:
+/// `Q = Σ_c (in_c / 2m − (tot_c / 2m)²)` where `in_c` is twice the
+/// intra-community weight and `tot_c` the summed degree of community `c`.
+///
+/// Returns 0 for a graph with no edges.
+pub fn modularity(graph: &Graph, assignment: &[u32]) -> f64 {
+    assert_eq!(assignment.len(), graph.len(), "assignment must cover every node");
+    let m2 = 2.0 * graph.total_weight();
+    if m2 == 0.0 {
+        return 0.0;
+    }
+    let ncomm = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut intra2 = vec![0.0f64; ncomm]; // 2 × intra-community weight
+    let mut tot = vec![0.0f64; ncomm];
+    for u in 0..graph.len() as NodeId {
+        let cu = assignment[u as usize] as usize;
+        tot[cu] += graph.degree(u);
+        for &(v, w) in graph.neighbors(u) {
+            if assignment[v as usize] as usize == cu {
+                // Non-loop intra edges are visited from both endpoints
+                // (w + w = 2w); self-loops appear once and count 2w.
+                intra2[cu] += if v == u { 2.0 * w } else { w };
+            }
+        }
+    }
+    (0..ncomm).map(|c| intra2[c] / m2 - (tot[c] / m2).powi(2)).sum()
+}
+
+/// Runs Louvain to convergence and returns the final partition
+/// (communities renumbered largest-first).
+pub fn louvain(graph: &Graph, seed: u64) -> Partition {
+    const MIN_GAIN: f64 = 1e-9;
+    let n = graph.len();
+    if n == 0 {
+        return Partition { assignment: Vec::new(), communities: 0, modularity: 0.0 };
+    }
+
+    // node -> community on the *original* graph, refined level by level.
+    let mut global: Vec<u32> = (0..n as u32).collect();
+    let mut level_graph = graph.clone();
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    loop {
+        let (local, improved) = one_level(&level_graph, &mut rng, MIN_GAIN);
+        if !improved {
+            break;
+        }
+        // Compose: original node -> level community.
+        for g in global.iter_mut() {
+            *g = local[*g as usize];
+        }
+        level_graph = aggregate(&level_graph, &local);
+        if level_graph.len() <= 1 {
+            break;
+        }
+    }
+
+    let assignment = renumber_by_size(&global);
+    let communities = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let q = modularity(graph, &assignment);
+    Partition { assignment, communities, modularity: q }
+}
+
+/// Phase 1: greedy local moving on one aggregation level. Returns the
+/// dense community assignment and whether any node moved.
+fn one_level(graph: &Graph, rng: &mut SmallRng, min_gain: f64) -> (Vec<u32>, bool) {
+    let n = graph.len();
+    let m2 = 2.0 * graph.total_weight();
+    let mut community: Vec<u32> = (0..n as u32).collect();
+    if m2 == 0.0 {
+        return (community, false);
+    }
+    let degrees: Vec<f64> = (0..n as NodeId).map(|u| graph.degree(u)).collect();
+    // tot[c]: summed degree of community c.
+    let mut tot: Vec<f64> = degrees.clone();
+
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.shuffle(rng);
+
+    let mut improved = false;
+    let mut neigh_weight: HashMap<u32, f64> = HashMap::new();
+    loop {
+        let mut moves = 0usize;
+        for &u in &order {
+            let cu = community[u as usize];
+            // Weight from u to each neighbouring community (self-loops
+            // excluded: they move with the node and cancel in the gain).
+            neigh_weight.clear();
+            for &(v, w) in graph.neighbors(u) {
+                if v != u {
+                    *neigh_weight.entry(community[v as usize]).or_insert(0.0) += w;
+                }
+            }
+            // Remove u from its community.
+            tot[cu as usize] -= degrees[u as usize];
+            let w_own = neigh_weight.get(&cu).copied().unwrap_or(0.0);
+
+            // Best destination: maximise ΔQ = w_uc/m − tot_c·k_u/(2m²)
+            // (scaled by 2/m2 relative to the textbook formula — ordering
+            // is unaffected). Ties prefer the current community, then the
+            // smaller id for determinism.
+            let ku = degrees[u as usize];
+            let mut best_c = cu;
+            let mut best_gain = w_own - tot[cu as usize] * ku / m2;
+            let mut candidates: Vec<(&u32, &f64)> = neigh_weight.iter().collect();
+            candidates.sort_by_key(|(c, _)| **c);
+            for (&c, &w_uc) in candidates {
+                if c == cu {
+                    continue;
+                }
+                let gain = w_uc - tot[c as usize] * ku / m2;
+                if gain > best_gain + min_gain {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+
+            tot[best_c as usize] += degrees[u as usize];
+            if best_c != cu {
+                community[u as usize] = best_c;
+                moves += 1;
+            }
+        }
+        if moves == 0 {
+            break;
+        }
+        improved = true;
+    }
+    // Renumber communities densely for the aggregation step.
+    (renumber_dense(&community), improved)
+}
+
+/// Phase 2: collapses communities into super-nodes.
+fn aggregate(graph: &Graph, community: &[u32]) -> Graph {
+    let ncomm = community.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut weights: HashMap<(u32, u32), f64> = HashMap::new();
+    for u in 0..graph.len() as NodeId {
+        let cu = community[u as usize];
+        for &(v, w) in graph.neighbors(u) {
+            let cv = community[v as usize];
+            // Each non-loop edge is seen twice (once per endpoint); halve
+            // to keep total weight invariant. Self-loops are seen once.
+            let contribution = if v == u { w } else { w / 2.0 };
+            let key = if cu <= cv { (cu, cv) } else { (cv, cu) };
+            *weights.entry(key).or_insert(0.0) += contribution;
+        }
+    }
+    let mut g = Graph::new(ncomm);
+    let mut sorted: Vec<((u32, u32), f64)> = weights.into_iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    for ((cu, cv), w) in sorted {
+        g.add_edge(cu, cv, w);
+    }
+    g
+}
+
+/// Renumbers labels densely in first-appearance order.
+fn renumber_dense(labels: &[u32]) -> Vec<u32> {
+    let mut map: HashMap<u32, u32> = HashMap::new();
+    labels
+        .iter()
+        .map(|&c| {
+            let next = map.len() as u32;
+            *map.entry(c).or_insert(next)
+        })
+        .collect()
+}
+
+/// Renumbers labels densely with community 0 the largest (ties by first
+/// appearance), the rank order used by Figure 11.
+fn renumber_by_size(labels: &[u32]) -> Vec<u32> {
+    let dense = renumber_dense(labels);
+    let ncomm = dense.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut sizes = vec![0u64; ncomm];
+    for &c in &dense {
+        sizes[c as usize] += 1;
+    }
+    let mut order: Vec<u32> = (0..ncomm as u32).collect();
+    order.sort_by_key(|&c| (std::cmp::Reverse(sizes[c as usize]), c));
+    let mut rank = vec![0u32; ncomm];
+    for (r, &c) in order.iter().enumerate() {
+        rank[c as usize] = r as u32;
+    }
+    dense.into_iter().map(|c| rank[c as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by a single weak edge.
+    fn two_cliques() -> Graph {
+        let mut g = Graph::new(8);
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    g.add_edge(base + i, base + j, 1.0);
+                }
+            }
+        }
+        g.add_edge(0, 4, 0.1);
+        g
+    }
+
+    #[test]
+    fn detects_planted_cliques() {
+        let p = louvain(&two_cliques(), 42);
+        assert_eq!(p.communities, 2);
+        let a = p.assignment[0];
+        for i in 0..4 {
+            assert_eq!(p.assignment[i], a);
+        }
+        let b = p.assignment[4];
+        assert_ne!(a, b);
+        for i in 4..8 {
+            assert_eq!(p.assignment[i], b);
+        }
+        assert!(p.modularity > 0.3, "modularity {}", p.modularity);
+    }
+
+    #[test]
+    fn modularity_of_trivial_partitions() {
+        let g = two_cliques();
+        // All nodes in one community: Q = 0 by definition.
+        let q_one = modularity(&g, &vec![0; 8]);
+        assert!(q_one.abs() < 1e-12, "single community Q = {q_one}");
+        // Singletons: negative Q.
+        let q_single = modularity(&g, &(0..8u32).collect::<Vec<_>>());
+        assert!(q_single < 0.0);
+        // Q is bounded.
+        assert!((-0.5..=1.0).contains(&q_single));
+    }
+
+    #[test]
+    fn louvain_beats_trivial_partition() {
+        let g = two_cliques();
+        let p = louvain(&g, 7);
+        assert!(p.modularity >= modularity(&g, &vec![0; 8]));
+        assert!(p.modularity >= modularity(&g, &(0..8u32).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = two_cliques();
+        let a = louvain(&g, 5);
+        let b = louvain(&g, 5);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.modularity, b.modularity);
+    }
+
+    #[test]
+    fn disconnected_components_stay_separate() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        g.add_edge(4, 5, 1.0);
+        let p = louvain(&g, 1);
+        assert_eq!(p.communities, 2);
+        assert_eq!(p.assignment[0], p.assignment[2]);
+        assert_eq!(p.assignment[3], p.assignment[5]);
+        assert_ne!(p.assignment[0], p.assignment[3]);
+    }
+
+    #[test]
+    fn communities_numbered_by_size() {
+        let mut g = Graph::new(7);
+        // Big component: 5 nodes; small: 2.
+        for i in 0..4u32 {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        g.add_edge(5, 6, 1.0);
+        let p = louvain(&g, 3);
+        let sizes = p.sizes();
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "sizes not sorted: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let p = louvain(&Graph::new(0), 1);
+        assert_eq!(p.communities, 0);
+        let p = louvain(&Graph::new(1), 1);
+        assert_eq!(p.communities, 1);
+        assert_eq!(p.assignment, vec![0]);
+    }
+
+    #[test]
+    fn edgeless_graph_keeps_singletons() {
+        let p = louvain(&Graph::new(5), 1);
+        assert_eq!(p.communities, 5);
+    }
+
+    #[test]
+    fn members_partition_the_nodes() {
+        let p = louvain(&two_cliques(), 11);
+        let members = p.members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn ring_of_cliques_recovers_all() {
+        // Classic Louvain test: a ring of 6 small cliques.
+        let k = 5;
+        let cliques = 6;
+        let mut g = Graph::new(k * cliques);
+        for c in 0..cliques {
+            let base = (c * k) as u32;
+            for i in 0..k as u32 {
+                for j in (i + 1)..k as u32 {
+                    g.add_edge(base + i, base + j, 1.0);
+                }
+            }
+            let next_base = (((c + 1) % cliques) * k) as u32;
+            g.add_edge(base, next_base, 0.2);
+        }
+        let p = louvain(&g, 9);
+        assert_eq!(p.communities, cliques);
+        for c in 0..cliques {
+            let expect = p.assignment[c * k];
+            for i in 0..k {
+                assert_eq!(p.assignment[c * k + i], expect);
+            }
+        }
+    }
+}

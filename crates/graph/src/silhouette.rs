@@ -1,0 +1,192 @@
+//! Silhouette scores under cosine distance (§7.2, Figure 11).
+//!
+//! For sample `i` in cluster `C`: `a(i)` is its mean distance to the other
+//! members of `C`, `b(i)` the smallest mean distance to any other cluster,
+//! and `s(i) = (b − a) / max(a, b)`; singleton clusters score 0 (the
+//! scikit-learn convention the paper's pipeline uses).
+//!
+//! Because cosine distance is affine in the (normalised) vectors —
+//! `mean_{j∈C} (1 − uᵢ·uⱼ) = 1 − uᵢ·centroid(C)` — per-cluster vector sums
+//! reduce the cost from O(n²·d) to O(n·K·d).
+
+use darkvec_ml::vectors::{dot, normalize_rows, Matrix};
+
+/// Per-sample silhouette coefficients for an assignment of matrix rows to
+/// clusters, under cosine distance.
+///
+/// # Panics
+/// Panics if `assignment.len() != matrix.rows()`.
+pub fn silhouette_samples(matrix: Matrix<'_>, assignment: &[u32]) -> Vec<f64> {
+    assert_eq!(assignment.len(), matrix.rows(), "assignment must cover every row");
+    let n = matrix.rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dim = matrix.dim();
+    let ncl = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+
+    let mut normed = matrix.data().to_vec();
+    normalize_rows(&mut normed, dim);
+    let normed = Matrix::new(&normed, n, dim);
+
+    // Per-cluster vector sums and sizes.
+    let mut sums = vec![0.0f64; ncl * dim];
+    let mut sizes = vec![0usize; ncl];
+    for i in 0..n {
+        let c = assignment[i] as usize;
+        sizes[c] += 1;
+        for (k, &x) in normed.row(i).iter().enumerate() {
+            sums[c * dim + k] += x as f64;
+        }
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = assignment[i] as usize;
+        if sizes[c] <= 1 {
+            out.push(0.0);
+            continue;
+        }
+        let u = normed.row(i);
+        // a(i): mean distance to own cluster, excluding self. The sum
+        // includes u itself (distance 0), so subtract its contribution.
+        let dot_own: f64 = dot_f64(u, &sums[c * dim..(c + 1) * dim]);
+        let self_sim = dot(u, u) as f64; // ≈ 1 for unit rows, 0 for zero rows
+        let a = 1.0 - (dot_own - self_sim) / (sizes[c] - 1) as f64;
+
+        // b(i): smallest mean distance to another non-empty cluster.
+        let mut b = f64::INFINITY;
+        for (oc, &sz) in sizes.iter().enumerate() {
+            if oc == c || sz == 0 {
+                continue;
+            }
+            let d = 1.0 - dot_f64(u, &sums[oc * dim..(oc + 1) * dim]) / sz as f64;
+            if d < b {
+                b = d;
+            }
+        }
+        if !b.is_finite() {
+            // Only one non-empty cluster exists.
+            out.push(0.0);
+            continue;
+        }
+        let denom = a.max(b);
+        out.push(if denom == 0.0 { 0.0 } else { (b - a) / denom });
+    }
+    out
+}
+
+/// Mean silhouette per cluster — Figure 11's y-axis. Empty clusters get 0.
+pub fn cluster_silhouettes(matrix: Matrix<'_>, assignment: &[u32]) -> Vec<f64> {
+    let samples = silhouette_samples(matrix, assignment);
+    let ncl = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut sums = vec![0.0f64; ncl];
+    let mut counts = vec![0usize; ncl];
+    for (s, &c) in samples.iter().zip(assignment) {
+        sums[c as usize] += s;
+        counts[c as usize] += 1;
+    }
+    (0..ncl).map(|c| if counts[c] == 0 { 0.0 } else { sums[c] / counts[c] as f64 }).collect()
+}
+
+fn dot_f64(a: &[f32], b_f64: &[f64]) -> f64 {
+    a.iter().zip(b_f64).map(|(&x, &y)| x as f64 * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight, well-separated clusters.
+    fn good_clusters() -> (Vec<f32>, Vec<u32>) {
+        let mut data = Vec::new();
+        for d in 0..4 {
+            data.extend_from_slice(&[1.0, 0.005 * d as f32]);
+        }
+        for d in 0..4 {
+            data.extend_from_slice(&[0.005 * d as f32, 1.0]);
+        }
+        (data, vec![0, 0, 0, 0, 1, 1, 1, 1])
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let (data, assign) = good_clusters();
+        let s = silhouette_samples(Matrix::new(&data, 8, 2), &assign);
+        for (i, v) in s.iter().enumerate() {
+            assert!(*v > 0.9, "sample {i} silhouette {v}");
+            assert!(*v <= 1.0);
+        }
+    }
+
+    #[test]
+    fn wrong_assignment_scores_negative() {
+        let (data, _) = good_clusters();
+        // Swap one sample into the wrong cluster.
+        let assign = vec![0, 0, 0, 1, 1, 1, 1, 0];
+        let s = silhouette_samples(Matrix::new(&data, 8, 2), &assign);
+        assert!(s[3] < 0.0, "misassigned sample scored {}", s[3]);
+        assert!(s[7] < 0.0, "misassigned sample scored {}", s[7]);
+    }
+
+    #[test]
+    fn values_bounded() {
+        let (data, assign) = good_clusters();
+        for v in silhouette_samples(Matrix::new(&data, 8, 2), &assign) {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn singleton_cluster_scores_zero() {
+        let data = [1.0f32, 0.0, 0.0, 1.0, 0.1, 1.0];
+        let assign = vec![0, 1, 1];
+        let s = silhouette_samples(Matrix::new(&data, 3, 2), &assign);
+        assert_eq!(s[0], 0.0);
+        assert!(s[1] > 0.0);
+    }
+
+    #[test]
+    fn single_cluster_scores_zero() {
+        let (data, _) = good_clusters();
+        let s = silhouette_samples(Matrix::new(&data, 8, 2), &vec![0; 8]);
+        assert!(s.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn matches_naive_computation() {
+        let (data, assign) = good_clusters();
+        let m = Matrix::new(&data, 8, 2);
+        let fast = silhouette_samples(m, &assign);
+        // Naive O(n²) reference.
+        let mut normed = data.clone();
+        normalize_rows(&mut normed, 2);
+        let nm = Matrix::new(&normed, 8, 2);
+        for i in 0..8 {
+            let my: Vec<usize> = (0..8).filter(|&j| assign[j] == assign[i] && j != i).collect();
+            let other: Vec<usize> = (0..8).filter(|&j| assign[j] != assign[i]).collect();
+            let a: f64 = my.iter().map(|&j| 1.0 - dot(nm.row(i), nm.row(j)) as f64).sum::<f64>()
+                / my.len() as f64;
+            let b: f64 = other.iter().map(|&j| 1.0 - dot(nm.row(i), nm.row(j)) as f64).sum::<f64>()
+                / other.len() as f64;
+            let expect = (b - a) / a.max(b);
+            assert!((fast[i] - expect).abs() < 1e-6, "sample {i}: {} vs {expect}", fast[i]);
+        }
+    }
+
+    #[test]
+    fn cluster_means_aggregate_samples() {
+        let (data, assign) = good_clusters();
+        let m = Matrix::new(&data, 8, 2);
+        let per_cluster = cluster_silhouettes(m, &assign);
+        assert_eq!(per_cluster.len(), 2);
+        let samples = silhouette_samples(m, &assign);
+        let mean0: f64 = samples[..4].iter().sum::<f64>() / 4.0;
+        assert!((per_cluster[0] - mean0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(silhouette_samples(Matrix::new(&[], 0, 3), &[]).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the graph-clustering substrate.
+
+use darkvec_graph::components::connected_components;
+use darkvec_graph::graph::Graph;
+use darkvec_graph::jaccard::{jaccard_index, mean_pairwise_jaccard};
+use darkvec_graph::knn_graph::{build_knn_graph, KnnGraphConfig};
+use darkvec_graph::louvain::{louvain, modularity};
+use darkvec_graph::silhouette::silhouette_samples;
+use darkvec_ml::vectors::Matrix;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random sparse graph: n nodes, m edges with bounded weights.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32, 0.01f64..5.0), 0..120);
+        edges.prop_map(move |edges| {
+            let mut g = Graph::new(n);
+            for (u, v, w) in edges {
+                g.add_edge(u, v, w);
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn modularity_is_bounded(g in arb_graph(), seed in 0u64..100) {
+        let p = louvain(&g, seed);
+        prop_assert!((-0.5..=1.0).contains(&p.modularity), "Q={}", p.modularity);
+        // The assignment is dense and covers every node.
+        prop_assert_eq!(p.assignment.len(), g.len());
+        let max = p.assignment.iter().copied().max().unwrap_or(0) as usize;
+        prop_assert_eq!(max + 1, p.communities.max(1));
+    }
+
+    #[test]
+    fn louvain_never_loses_to_trivial_partitions(g in arb_graph(), seed in 0u64..100) {
+        let p = louvain(&g, seed);
+        let one_community = modularity(&g, &vec![0; g.len()]);
+        let singletons = modularity(&g, &(0..g.len() as u32).collect::<Vec<_>>());
+        let eps = 1e-9;
+        prop_assert!(p.modularity + eps >= one_community, "{} < {}", p.modularity, one_community);
+        prop_assert!(p.modularity + eps >= singletons, "{} < {}", p.modularity, singletons);
+    }
+
+    #[test]
+    fn louvain_communities_renumbered_by_size(g in arb_graph(), seed in 0u64..100) {
+        let p = louvain(&g, seed);
+        let sizes = p.sizes();
+        for w in sizes.windows(2) {
+            prop_assert!(w[0] >= w[1], "sizes not sorted: {sizes:?}");
+        }
+        prop_assert_eq!(sizes.iter().sum::<usize>(), g.len());
+    }
+
+    #[test]
+    fn communities_never_straddle_components(g in arb_graph(), seed in 0u64..100) {
+        // Modularity optimisation never merges disconnected components.
+        let p = louvain(&g, seed);
+        let (comp, _) = connected_components(&g);
+        for u in 0..g.len() {
+            for v in (u + 1)..g.len() {
+                if p.assignment[u] == p.assignment[v] && g.total_weight() > 0.0 {
+                    prop_assert_eq!(comp[u], comp[v], "nodes {},{} share a community across components", u, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn silhouettes_bounded(rows in 2usize..30, seed in 0u64..100) {
+        // Deterministic pseudo-random embedding + assignment.
+        let dim = 4;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        };
+        let data: Vec<f32> = (0..rows * dim).map(|_| next()).collect();
+        let assignment: Vec<u32> = (0..rows).map(|i| (i % 3) as u32).collect();
+        let s = silhouette_samples(Matrix::new(&data, rows, dim), &assignment);
+        prop_assert_eq!(s.len(), rows);
+        for v in s {
+            prop_assert!((-1.0..=1.0).contains(&v), "silhouette {v}");
+        }
+    }
+
+    #[test]
+    fn knn_graph_respects_degree_bounds(rows in 2usize..40, k in 1usize..6) {
+        let dim = 3;
+        let data: Vec<f32> = (0..rows * dim).map(|i| ((i * 37 + 11) % 97) as f32 / 97.0).collect();
+        let g = build_knn_graph(Matrix::new(&data, rows, dim), &KnnGraphConfig { k, threads: 1, mutual: false });
+        prop_assert_eq!(g.len(), rows);
+        // Union symmetrisation: each node has between k' (its own picks,
+        // possibly merged with reciprocals) and... at most n-1 neighbours.
+        for u in 0..rows as u32 {
+            let deg = g.neighbors(u).len();
+            prop_assert!(deg <= rows - 1);
+            prop_assert!(deg >= 1, "node {u} isolated in union kNN graph");
+        }
+    }
+
+    #[test]
+    fn mutual_graph_is_subgraph_of_union(rows in 3usize..25, k in 1usize..4) {
+        let dim = 3;
+        let data: Vec<f32> = (0..rows * dim).map(|i| ((i * 53 + 7) % 89) as f32 / 89.0).collect();
+        let m = Matrix::new(&data, rows, dim);
+        let union = build_knn_graph(m, &KnnGraphConfig { k, threads: 1, mutual: false });
+        let mutual = build_knn_graph(m, &KnnGraphConfig { k, threads: 1, mutual: true });
+        for u in 0..rows as u32 {
+            let union_set: HashSet<u32> = union.neighbors(u).iter().map(|&(v, _)| v).collect();
+            for &(v, _) in mutual.neighbors(u) {
+                prop_assert!(union_set.contains(&v), "mutual edge {u}-{v} missing from union");
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_bounds_and_symmetry(a in prop::collection::hash_set(0u16..50, 0..30), b in prop::collection::hash_set(0u16..50, 0..30)) {
+        let j = jaccard_index(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, jaccard_index(&b, &a));
+        prop_assert_eq!(jaccard_index(&a, &a), 1.0);
+        let mean = mean_pairwise_jaccard(&[a.clone(), b.clone()]);
+        prop_assert_eq!(mean, j);
+    }
+
+    #[test]
+    fn component_count_decreases_with_edges(n in 2usize..30) {
+        let mut g = Graph::new(n);
+        let (_, c0) = connected_components(&g);
+        prop_assert_eq!(c0, n);
+        // Chain all nodes: exactly one component.
+        for i in 0..n - 1 {
+            g.add_edge(i as u32, (i + 1) as u32, 1.0);
+        }
+        let (_, c1) = connected_components(&g);
+        prop_assert_eq!(c1, 1);
+    }
+}

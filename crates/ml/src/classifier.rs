@@ -1,0 +1,151 @@
+//! The leave-one-out k-NN majority-vote classifier (§6.1).
+//!
+//! For each labelled sender, the paper takes its `k` nearest neighbours in
+//! the embedded space under cosine similarity and predicts the majority
+//! label among them; "Unknown" neighbours vote too, which is why accuracy
+//! degrades for large `k` (§6.2.2: "the Unknown senders dominate the
+//! neighborhood for large k").
+
+use crate::knn::Neighbor;
+use std::collections::HashMap;
+
+/// Class label: a dense id. Callers keep the id → name mapping.
+pub type Label = u32;
+
+/// The result of a leave-one-out classification pass.
+#[derive(Clone, Debug)]
+pub struct LooOutcome {
+    /// Predicted label per point, aligned with the input rows.
+    pub predictions: Vec<Label>,
+}
+
+impl LooOutcome {
+    /// Accuracy over the points whose true label is in `eval_classes`
+    /// (the paper evaluates GT1–GT9 only, skipping Unknown).
+    ///
+    /// Returns 0 when no point qualifies.
+    pub fn accuracy(&self, truth: &[Label], eval_classes: &dyn Fn(Label) -> bool) -> f64 {
+        let mut seen = 0u64;
+        let mut correct = 0u64;
+        for (pred, t) in self.predictions.iter().zip(truth) {
+            if eval_classes(*t) {
+                seen += 1;
+                if pred == t {
+                    correct += 1;
+                }
+            }
+        }
+        if seen == 0 {
+            0.0
+        } else {
+            correct as f64 / seen as f64
+        }
+    }
+}
+
+/// Classifies every point by majority vote over its precomputed neighbour
+/// lists. Ties are broken by the summed similarity of the tied classes'
+/// voters, then by the smaller label for full determinism.
+///
+/// `neighbors[i]` must index into `labels`; only the first `k` entries of
+/// each list are used (lists may be longer, allowing one kNN pass to serve
+/// several `k` values, as in the paper's Figure 7 sweep).
+///
+/// # Panics
+/// Panics if a neighbour index is out of range or `k == 0`.
+pub fn loo_knn_classify(neighbors: &[Vec<Neighbor>], labels: &[Label], k: usize) -> LooOutcome {
+    assert!(k > 0, "k must be positive");
+    let mut predictions = Vec::with_capacity(neighbors.len());
+    let mut votes: HashMap<Label, (usize, f64)> = HashMap::new();
+    for neigh in neighbors {
+        votes.clear();
+        for n in neigh.iter().take(k) {
+            let label = labels[n.index];
+            let e = votes.entry(label).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += n.similarity as f64;
+        }
+        let winner = votes
+            .iter()
+            .max_by(|a, b| {
+                (a.1 .0, a.1 .1, std::cmp::Reverse(*a.0))
+                    .partial_cmp(&(b.1 .0, b.1 .1, std::cmp::Reverse(*b.0)))
+                    .expect("similarities are finite")
+            })
+            .map(|(&l, _)| l)
+            .unwrap_or(0);
+        predictions.push(winner);
+    }
+    LooOutcome { predictions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::knn_all;
+    use crate::vectors::Matrix;
+
+    fn nb(index: usize, similarity: f32) -> Neighbor {
+        Neighbor { index, similarity }
+    }
+
+    #[test]
+    fn majority_vote_wins() {
+        let labels = vec![0, 0, 1, 1, 1];
+        let neighbors = vec![vec![nb(1, 0.9), nb(2, 0.8), nb(3, 0.7)]];
+        let out = loo_knn_classify(&neighbors, &labels, 3);
+        assert_eq!(out.predictions, vec![1]);
+    }
+
+    #[test]
+    fn tie_broken_by_similarity() {
+        let labels = vec![0, 0, 1, 1];
+        // One vote each: class 1's voter is more similar.
+        let neighbors = vec![vec![nb(1, 0.5), nb(2, 0.9)]];
+        let out = loo_knn_classify(&neighbors, &labels, 2);
+        assert_eq!(out.predictions, vec![1]);
+    }
+
+    #[test]
+    fn exact_tie_broken_by_smaller_label() {
+        let labels = vec![9, 3, 7];
+        let neighbors = vec![vec![nb(1, 0.5), nb(2, 0.5)]];
+        let out = loo_knn_classify(&neighbors, &labels, 2);
+        assert_eq!(out.predictions, vec![3]);
+    }
+
+    #[test]
+    fn k_truncates_neighbour_lists() {
+        let labels = vec![0, 1, 0, 0];
+        // With k=1 the nearest (label 1) wins; with k=3 label 0 wins.
+        let neighbors = vec![vec![nb(1, 0.99), nb(2, 0.5), nb(3, 0.4)]];
+        assert_eq!(loo_knn_classify(&neighbors, &labels, 1).predictions, vec![1]);
+        assert_eq!(loo_knn_classify(&neighbors, &labels, 3).predictions, vec![0]);
+    }
+
+    #[test]
+    fn accuracy_scopes_to_eval_classes() {
+        let out = LooOutcome { predictions: vec![0, 1, 1, 2] };
+        let truth = vec![0, 1, 0, 9]; // class 9 plays "Unknown"
+        let acc = out.accuracy(&truth, &|l| l != 9);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+        // Nothing evaluable -> 0.
+        assert_eq!(out.accuracy(&truth, &|_| false), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_with_knn_recovers_clusters() {
+        // Two well-separated groups; LOO 3-NN should be perfect.
+        let mut data = Vec::new();
+        for i in 0..5 {
+            data.extend_from_slice(&[1.0, 0.01 * i as f32]);
+        }
+        for i in 0..5 {
+            data.extend_from_slice(&[0.01 * i as f32, 1.0]);
+        }
+        let labels: Vec<Label> = (0..10).map(|i| (i / 5) as Label).collect();
+        let nn = knn_all(Matrix::new(&data, 10, 2), 3, 1);
+        let out = loo_knn_classify(&nn, &labels, 3);
+        assert_eq!(out.accuracy(&labels, &|_| true), 1.0);
+    }
+}

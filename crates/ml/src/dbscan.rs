@@ -1,0 +1,165 @@
+//! DBSCAN under cosine distance.
+//!
+//! The second classic alternative the paper tried before the k′-NN-graph
+//! approach (§7.1). Its well-known weakness in this setting — one global
+//! density threshold `eps` cannot fit both the dense Mirai blob and the
+//! tiny tight scanner groups — is exactly what the `clustering_ablation`
+//! experiment demonstrates.
+
+use crate::vectors::{dot, normalize_rows, Matrix};
+
+/// DBSCAN configuration.
+#[derive(Clone, Debug)]
+pub struct DbscanConfig {
+    /// Neighbourhood radius in cosine distance (1 − similarity).
+    pub eps: f64,
+    /// Minimum neighbours (self included) for a core point.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanConfig {
+    fn default() -> Self {
+        DbscanConfig { eps: 0.05, min_pts: 4 }
+    }
+}
+
+/// Label for a point that belongs to no cluster.
+pub const NOISE: u32 = u32::MAX;
+
+/// A DBSCAN result.
+#[derive(Clone, Debug)]
+pub struct DbscanResult {
+    /// Cluster id per row; [`NOISE`] for noise points.
+    pub assignment: Vec<u32>,
+    /// Number of clusters found.
+    pub clusters: usize,
+}
+
+impl DbscanResult {
+    /// Number of noise points.
+    pub fn noise_count(&self) -> usize {
+        self.assignment.iter().filter(|&&c| c == NOISE).count()
+    }
+}
+
+/// Runs DBSCAN on the rows of `matrix` (brute-force O(n²) region queries;
+/// fine at darknet scale and exact).
+pub fn dbscan(matrix: Matrix<'_>, cfg: &DbscanConfig) -> DbscanResult {
+    let n = matrix.rows();
+    let dim = matrix.dim();
+    if n == 0 {
+        return DbscanResult { assignment: Vec::new(), clusters: 0 };
+    }
+    let mut data = matrix.data().to_vec();
+    normalize_rows(&mut data, dim);
+    let data = Matrix::new(&data, n, dim);
+
+    // Cosine distance threshold as a similarity floor.
+    let min_sim = (1.0 - cfg.eps) as f32;
+    let neighbors = |i: usize| -> Vec<usize> {
+        (0..n).filter(|&j| dot(data.row(i), data.row(j)) >= min_sim).collect()
+    };
+
+    const UNVISITED: u32 = u32::MAX - 1;
+    let mut assignment = vec![UNVISITED; n];
+    let mut cluster = 0u32;
+
+    for i in 0..n {
+        if assignment[i] != UNVISITED {
+            continue;
+        }
+        let neigh = neighbors(i);
+        if neigh.len() < cfg.min_pts {
+            assignment[i] = NOISE;
+            continue;
+        }
+        // Grow a new cluster from this core point.
+        assignment[i] = cluster;
+        let mut queue: Vec<usize> = neigh;
+        while let Some(j) = queue.pop() {
+            if assignment[j] == NOISE {
+                assignment[j] = cluster; // border point
+            }
+            if assignment[j] != UNVISITED {
+                continue;
+            }
+            assignment[j] = cluster;
+            let jn = neighbors(j);
+            if jn.len() >= cfg.min_pts {
+                queue.extend(jn);
+            }
+        }
+        cluster += 1;
+    }
+    DbscanResult { assignment, clusters: cluster as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight groups plus one lone outlier.
+    fn data() -> Vec<f32> {
+        let mut d = Vec::new();
+        for j in 0..5 {
+            d.extend_from_slice(&[1.0, 0.01 * j as f32]);
+        }
+        for j in 0..5 {
+            d.extend_from_slice(&[0.01 * j as f32, 1.0]);
+        }
+        d.extend_from_slice(&[-1.0, -1.0]);
+        d
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let d = data();
+        let r = dbscan(Matrix::new(&d, 11, 2), &DbscanConfig { eps: 0.01, min_pts: 3 });
+        assert_eq!(r.clusters, 2);
+        assert_eq!(r.noise_count(), 1);
+        assert_eq!(r.assignment[10], NOISE);
+        for j in 1..5 {
+            assert_eq!(r.assignment[j], r.assignment[0]);
+            assert_eq!(r.assignment[5 + j], r.assignment[5]);
+        }
+        assert_ne!(r.assignment[0], r.assignment[5]);
+    }
+
+    #[test]
+    fn huge_eps_merges_everything() {
+        let d = data();
+        let r = dbscan(Matrix::new(&d, 11, 2), &DbscanConfig { eps: 2.0, min_pts: 2 });
+        assert_eq!(r.clusters, 1);
+        assert_eq!(r.noise_count(), 0);
+    }
+
+    #[test]
+    fn huge_min_pts_marks_all_noise() {
+        let d = data();
+        let r = dbscan(Matrix::new(&d, 11, 2), &DbscanConfig { eps: 0.01, min_pts: 50 });
+        assert_eq!(r.clusters, 0);
+        assert_eq!(r.noise_count(), 11);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = dbscan(Matrix::new(&[], 0, 2), &DbscanConfig::default());
+        assert_eq!(r.clusters, 0);
+        assert!(r.assignment.is_empty());
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // A chain: a-b dense core, c within eps of b but with too few
+        // neighbours to be core: c must still join as a border point.
+        let d = vec![
+            1.0, 0.0, //
+            0.999, 0.02, //
+            0.995, 0.05, //
+            0.97, 0.24, // border-ish point
+        ];
+        let r = dbscan(Matrix::new(&d, 4, 2), &DbscanConfig { eps: 0.002, min_pts: 3 });
+        assert!(r.clusters >= 1);
+        assert_ne!(r.assignment[0], NOISE);
+    }
+}

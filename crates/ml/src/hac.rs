@@ -1,0 +1,279 @@
+//! Hierarchical Agglomerative Clustering (average linkage) under cosine
+//! distance — the third classic alternative of §7.1.
+//!
+//! Implemented with the nearest-neighbour-chain algorithm, which computes
+//! the exact average-linkage dendrogram in O(n²) time and O(n²) memory
+//! (average linkage is reducible, so NN-chain is exact). The dendrogram is
+//! then cut either at a target cluster count or at a distance threshold.
+
+use crate::vectors::{dot, normalize_rows, Matrix};
+
+/// One merge step of the dendrogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Merge {
+    /// First merged cluster (see [`Dendrogram`] for id conventions).
+    pub a: u32,
+    /// Second merged cluster.
+    pub b: u32,
+    /// Average-linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Size of the merged cluster.
+    pub size: u32,
+}
+
+/// A full agglomerative dendrogram over `n` leaves.
+///
+/// Ids follow the scipy convention: leaves are `0..n`, the cluster created
+/// by `merges[i]` has id `n + i`.
+#[derive(Clone, Debug)]
+pub struct Dendrogram {
+    /// Number of leaves.
+    pub n: usize,
+    /// The `n - 1` merges, in non-decreasing distance order.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cuts the dendrogram to exactly `k` clusters (1 ≤ k ≤ n), returning
+    /// dense cluster ids per leaf.
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    pub fn cut_k(&self, k: usize) -> Vec<u32> {
+        assert!(k >= 1 && k <= self.n.max(1), "k={k} out of range for n={}", self.n);
+        // Apply the first n - k merges.
+        self.cut_after(self.n.saturating_sub(k))
+    }
+
+    /// Cuts at a distance threshold: merges with `distance <= threshold`
+    /// are applied.
+    pub fn cut_distance(&self, threshold: f64) -> Vec<u32> {
+        let applied = self.merges.iter().take_while(|m| m.distance <= threshold).count();
+        self.cut_after(applied)
+    }
+
+    /// Applies the first `applied` merges and labels the leaves.
+    fn cut_after(&self, applied: usize) -> Vec<u32> {
+        // Union-find over leaves + internal nodes.
+        let total = self.n + applied;
+        let mut parent: Vec<u32> = (0..total as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for (i, m) in self.merges.iter().take(applied).enumerate() {
+            let node = (self.n + i) as u32;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra as usize] = node;
+            parent[rb as usize] = node;
+        }
+        // Dense renumbering of leaf roots.
+        let mut ids = std::collections::HashMap::new();
+        (0..self.n)
+            .map(|leaf| {
+                let root = find(&mut parent, leaf as u32);
+                let next = ids.len() as u32;
+                *ids.entry(root).or_insert(next)
+            })
+            .collect()
+    }
+}
+
+/// Computes the average-linkage dendrogram of the rows of `matrix` under
+/// cosine distance, via the nearest-neighbour chain algorithm.
+///
+/// # Panics
+/// Panics if the matrix has no rows.
+pub fn hac_average(matrix: Matrix<'_>) -> Dendrogram {
+    let n = matrix.rows();
+    assert!(n > 0, "cannot cluster zero rows");
+    let dim = matrix.dim();
+    let mut data = matrix.data().to_vec();
+    normalize_rows(&mut data, dim);
+    let data = Matrix::new(&data, n, dim);
+
+    // Pairwise cosine distances, mutated in place by Lance-Williams.
+    // dist is a flat upper-triangle-free full matrix for simplicity.
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = 1.0 - dot(data.row(i), data.row(j)) as f64;
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<u32> = vec![1; n];
+    // Map position -> current dendrogram node id.
+    let mut node_id: Vec<u32> = (0..n as u32).collect();
+    let mut merges: Vec<Merge> = Vec::with_capacity(n.saturating_sub(1));
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+
+    let mut remaining = n;
+    while remaining > 1 {
+        if chain.is_empty() {
+            let start = active.iter().position(|&a| a).expect("remaining > 1");
+            chain.push(start);
+        }
+        loop {
+            let top = *chain.last().expect("non-empty chain");
+            // Nearest active neighbour of `top`.
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for j in 0..n {
+                if j != top && active[j] {
+                    let d = dist[top * n + j];
+                    if d < best_d {
+                        best_d = d;
+                        best = j;
+                    }
+                }
+            }
+            debug_assert_ne!(best, usize::MAX);
+            // Reciprocal nearest neighbours? (previous chain element)
+            if chain.len() >= 2 && chain[chain.len() - 2] == best {
+                chain.pop();
+                let other = chain.pop().expect("checked length");
+                let (a, b) = (top.min(other), top.max(other));
+                // Merge b into a with Lance-Williams average linkage.
+                let (sa, sb) = (size[a] as f64, size[b] as f64);
+                for j in 0..n {
+                    if active[j] && j != a && j != b {
+                        let d = (sa * dist[a * n + j] + sb * dist[b * n + j]) / (sa + sb);
+                        dist[a * n + j] = d;
+                        dist[j * n + a] = d;
+                    }
+                }
+                active[b] = false;
+                merges.push(Merge {
+                    a: node_id[a],
+                    b: node_id[b],
+                    distance: best_d,
+                    size: size[a] + size[b],
+                });
+                size[a] += size[b];
+                node_id[a] = (n + merges.len() - 1) as u32;
+                remaining -= 1;
+                break;
+            }
+            chain.push(best);
+        }
+    }
+    // NN-chain discovers reciprocal pairs in chain order, not distance
+    // order; sort by distance (the scipy convention) and remap internal
+    // node ids accordingly. Monotonicity of average linkage guarantees a
+    // parent merge never sorts before the merges that created its
+    // children, so the remapped ids stay valid.
+    let mut order: Vec<usize> = (0..merges.len()).collect();
+    order.sort_by(|&a, &b| {
+        merges[a]
+            .distance
+            .partial_cmp(&merges[b].distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut new_index = vec![0usize; merges.len()];
+    for (new_i, &old_i) in order.iter().enumerate() {
+        new_index[old_i] = new_i;
+    }
+    let remap = |id: u32| -> u32 {
+        if (id as usize) < n {
+            id
+        } else {
+            (n + new_index[id as usize - n]) as u32
+        }
+    };
+    let merges: Vec<Merge> = order
+        .into_iter()
+        .map(|old_i| {
+            let m = merges[old_i];
+            Merge { a: remap(m.a), b: remap(m.b), distance: m.distance, size: m.size }
+        })
+        .collect();
+    debug_assert!(merges.windows(2).all(|w| w[0].distance <= w[1].distance + 1e-9));
+    Dendrogram { n, merges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grouped() -> Vec<f32> {
+        let mut d = Vec::new();
+        for j in 0..4 {
+            d.extend_from_slice(&[1.0, 0.01 * j as f32]);
+        }
+        for j in 0..4 {
+            d.extend_from_slice(&[0.01 * j as f32, 1.0]);
+        }
+        d
+    }
+
+    #[test]
+    fn dendrogram_has_n_minus_1_merges() {
+        let d = grouped();
+        let dg = hac_average(Matrix::new(&d, 8, 2));
+        assert_eq!(dg.merges.len(), 7);
+        // Distances non-decreasing (reducibility).
+        for w in dg.merges.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-9);
+        }
+        assert_eq!(dg.merges.last().unwrap().size, 8);
+    }
+
+    #[test]
+    fn cut_k2_recovers_groups() {
+        let d = grouped();
+        let dg = hac_average(Matrix::new(&d, 8, 2));
+        let labels = dg.cut_k(2);
+        for j in 1..4 {
+            assert_eq!(labels[j], labels[0]);
+            assert_eq!(labels[4 + j], labels[4]);
+        }
+        assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let d = grouped();
+        let dg = hac_average(Matrix::new(&d, 8, 2));
+        let singletons = dg.cut_k(8);
+        assert_eq!(
+            singletons.iter().collect::<std::collections::HashSet<_>>().len(),
+            8
+        );
+        let one = dg.cut_k(1);
+        assert!(one.iter().all(|&c| c == one[0]));
+    }
+
+    #[test]
+    fn cut_distance_matches_cut_k() {
+        let d = grouped();
+        let dg = hac_average(Matrix::new(&d, 8, 2));
+        // Cut just below the final (largest) merge distance: 2 clusters.
+        let last = dg.merges.last().unwrap().distance;
+        let labels = dg.cut_distance(last - 1e-9);
+        let distinct: std::collections::HashSet<u32> = labels.iter().copied().collect();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn single_row() {
+        let d = [1.0f32, 0.0];
+        let dg = hac_average(Matrix::new(&d, 1, 2));
+        assert!(dg.merges.is_empty());
+        assert_eq!(dg.cut_k(1), vec![0]);
+    }
+
+    #[test]
+    fn identical_points_merge_at_zero() {
+        let d = [1.0f32, 0.0, 1.0, 0.0, 0.0, 1.0];
+        let dg = hac_average(Matrix::new(&d, 3, 2));
+        assert!(dg.merges[0].distance.abs() < 1e-6);
+    }
+}

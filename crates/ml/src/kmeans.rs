@@ -1,0 +1,233 @@
+//! k-Means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! One of the "classic algorithms that work directly in the embedded
+//! space" the paper tried before settling on graph clustering (§7.1:
+//! "these algorithms produce poor results due to the well-known curse of
+//! dimensionality as well as their difficult parameter tuning"). It is
+//! implemented here so that claim can be reproduced (see the
+//! `clustering_ablation` experiment).
+//!
+//! Vectors are L2-normalised internally, making squared Euclidean distance
+//! a monotone transform of cosine distance — the metric everything else in
+//! this workspace uses.
+
+use crate::vectors::{normalize_rows, Matrix};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// k-Means configuration.
+#[derive(Clone, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Seed for k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 8, max_iters: 50, seed: 1 }
+    }
+}
+
+/// A k-Means result.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster id per row.
+    pub assignment: Vec<u32>,
+    /// Row-major `k × dim` centroids (unit-normalised input space).
+    pub centroids: Vec<f32>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Runs k-Means on the rows of `matrix`.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > rows` (with at least one row).
+pub fn kmeans(matrix: Matrix<'_>, cfg: &KMeansConfig) -> KMeansResult {
+    let n = matrix.rows();
+    let dim = matrix.dim();
+    assert!(cfg.k > 0, "k must be positive");
+    assert!(cfg.k <= n, "k={} exceeds {} rows", cfg.k, n);
+
+    let mut data = matrix.data().to_vec();
+    normalize_rows(&mut data, dim);
+    let data = Matrix::new(&data, n, dim);
+
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut centroids = init_plus_plus(data, cfg.k, &mut rng);
+    let mut assignment = vec![0u32; n];
+    let mut iterations = 0;
+    let mut inertia = f64::INFINITY;
+
+    for iter in 0..cfg.max_iters {
+        iterations = iter + 1;
+        // Assign.
+        let mut moved = false;
+        let mut new_inertia = 0.0f64;
+        for i in 0..n {
+            let (best, d) = nearest_centroid(data.row(i), &centroids, dim);
+            new_inertia += d as f64;
+            if assignment[i] != best {
+                assignment[i] = best;
+                moved = true;
+            }
+        }
+        inertia = new_inertia;
+        if !moved && iter > 0 {
+            break;
+        }
+        // Update.
+        let mut sums = vec![0.0f32; cfg.k * dim];
+        let mut counts = vec![0usize; cfg.k];
+        for i in 0..n {
+            let c = assignment[i] as usize;
+            counts[c] += 1;
+            for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(data.row(i)) {
+                *s += x;
+            }
+        }
+        for c in 0..cfg.k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at a random point (standard fix).
+                let pick = rng.random_range(0..n);
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(data.row(pick));
+            } else {
+                for (slot, &s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..]) {
+                    *slot = s / counts[c] as f32;
+                }
+            }
+        }
+    }
+    KMeansResult { assignment, centroids, inertia, iterations }
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to D².
+fn init_plus_plus(data: Matrix<'_>, k: usize, rng: &mut SmallRng) -> Vec<f32> {
+    let n = data.rows();
+    let dim = data.dim();
+    let mut centroids = Vec::with_capacity(k * dim);
+    let first = rng.random_range(0..n);
+    centroids.extend_from_slice(data.row(first));
+    let mut d2: Vec<f32> = (0..n).map(|i| sq_dist(data.row(i), data.row(first))).collect();
+    while centroids.len() < k * dim {
+        let total: f64 = d2.iter().map(|&d| d as f64).sum();
+        let pick = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut x = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if x < d as f64 {
+                    chosen = i;
+                    break;
+                }
+                x -= d as f64;
+            }
+            chosen
+        };
+        let new_c = data.row(pick).to_vec();
+        for i in 0..n {
+            let d = sq_dist(data.row(i), &new_c);
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+        centroids.extend_from_slice(&new_c);
+    }
+    centroids
+}
+
+fn nearest_centroid(row: &[f32], centroids: &[f32], dim: usize) -> (u32, f32) {
+    let mut best = 0u32;
+    let mut best_d = f32::INFINITY;
+    for (c, centroid) in centroids.chunks(dim).enumerate() {
+        let d = sq_dist(row, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c as u32;
+        }
+    }
+    (best, best_d)
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three clean groups on orthogonal axes.
+    fn grouped() -> Vec<f32> {
+        let mut data = Vec::new();
+        for axis in 0..3 {
+            for j in 0..6 {
+                let mut v = [0.0f32; 3];
+                v[axis] = 1.0;
+                v[(axis + 1) % 3] = 0.02 * j as f32;
+                data.extend_from_slice(&v);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn recovers_clean_groups() {
+        let data = grouped();
+        let m = Matrix::new(&data, 18, 3);
+        let r = kmeans(m, &KMeansConfig { k: 3, max_iters: 50, seed: 4 });
+        // All members of each planted group share a cluster id.
+        for g in 0..3 {
+            let first = r.assignment[g * 6];
+            for j in 0..6 {
+                assert_eq!(r.assignment[g * 6 + j], first, "group {g}");
+            }
+        }
+        // And groups get distinct ids.
+        let ids: std::collections::HashSet<u32> =
+            (0..3).map(|g| r.assignment[g * 6]).collect();
+        assert_eq!(ids.len(), 3);
+        assert!(r.inertia < 0.1, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = grouped();
+        let m = Matrix::new(&data, 18, 3);
+        let a = kmeans(m, &KMeansConfig { k: 3, max_iters: 50, seed: 9 });
+        let b = kmeans(m, &KMeansConfig { k: 3, max_iters: 50, seed: 9 });
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let data = grouped();
+        let m = Matrix::new(&data, 18, 3);
+        let r = kmeans(m, &KMeansConfig { k: 18, max_iters: 20, seed: 2 });
+        assert!(r.inertia < 1e-9);
+    }
+
+    #[test]
+    fn wrong_k_still_terminates() {
+        let data = grouped();
+        let m = Matrix::new(&data, 18, 3);
+        let r = kmeans(m, &KMeansConfig { k: 7, max_iters: 10, seed: 3 });
+        assert!(r.iterations <= 10);
+        assert_eq!(r.assignment.len(), 18);
+        assert!(r.assignment.iter().all(|&c| c < 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_k_above_n() {
+        let data = [1.0f32, 0.0];
+        kmeans(Matrix::new(&data, 1, 2), &KMeansConfig { k: 2, ..KMeansConfig::default() });
+    }
+}

@@ -1,0 +1,277 @@
+//! Classification metrics: confusion matrices and the per-class
+//! precision / recall / F-score reports of Tables 4 and 6.
+//!
+//! Metric definitions follow the paper's footnote 8: precision is the
+//! fraction of correct instances among those *classified as* a class;
+//! recall is the fraction of a class's instances that are recovered; the
+//! F-score is their harmonic mean; and the weighted average of recall over
+//! the evaluated classes equals the overall accuracy.
+
+use crate::classifier::Label;
+
+/// A dense `classes × classes` confusion matrix; `m[truth][pred]`.
+#[derive(Clone, Debug)]
+pub struct ConfusionMatrix {
+    counts: Vec<u64>,
+    classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// An all-zero matrix over `classes` labels (`0..classes`).
+    pub fn new(classes: usize) -> Self {
+        ConfusionMatrix { counts: vec![0; classes * classes], classes }
+    }
+
+    /// Builds from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or a label is out of range.
+    pub fn from_pairs(truth: &[Label], pred: &[Label], classes: usize) -> Self {
+        assert_eq!(truth.len(), pred.len(), "label slices must align");
+        let mut m = ConfusionMatrix::new(classes);
+        for (&t, &p) in truth.iter().zip(pred) {
+            m.record(t, p);
+        }
+        m
+    }
+
+    /// Records one (truth, prediction) observation.
+    ///
+    /// # Panics
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, truth: Label, pred: Label) {
+        let (t, p) = (truth as usize, pred as usize);
+        assert!(t < self.classes && p < self.classes, "label out of range");
+        self.counts[t * self.classes + p] += 1;
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// `m[truth][pred]`.
+    pub fn get(&self, truth: Label, pred: Label) -> u64 {
+        self.counts[truth as usize * self.classes + pred as usize]
+    }
+
+    /// Instances whose true label is `class` (the report's "support").
+    pub fn support(&self, class: Label) -> u64 {
+        (0..self.classes).map(|p| self.get(class, p as Label)).sum()
+    }
+
+    /// Instances predicted as `class`.
+    pub fn predicted(&self, class: Label) -> u64 {
+        (0..self.classes).map(|t| self.get(t as Label, class)).sum()
+    }
+
+    /// Correct predictions of `class`.
+    pub fn true_positives(&self, class: Label) -> u64 {
+        self.get(class, class)
+    }
+
+    /// Precision of a class; 0 when nothing was predicted as it.
+    pub fn precision(&self, class: Label) -> f64 {
+        let p = self.predicted(class);
+        if p == 0 {
+            0.0
+        } else {
+            self.true_positives(class) as f64 / p as f64
+        }
+    }
+
+    /// Recall of a class; 0 when it has no instances.
+    pub fn recall(&self, class: Label) -> f64 {
+        let s = self.support(class);
+        if s == 0 {
+            0.0
+        } else {
+            self.true_positives(class) as f64 / s as f64
+        }
+    }
+
+    /// F-score (harmonic mean of precision and recall); 0 when both are 0.
+    pub fn f_score(&self, class: Label) -> f64 {
+        let (p, r) = (self.precision(class), self.recall(class));
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over the classes selected by `eval` (weighted recall).
+    pub fn accuracy_over(&self, eval: &dyn Fn(Label) -> bool) -> f64 {
+        let mut total = 0u64;
+        let mut correct = 0u64;
+        for c in 0..self.classes as Label {
+            if eval(c) {
+                total += self.support(c);
+                correct += self.true_positives(c);
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+/// One row of a classification report (one class).
+#[derive(Clone, Debug)]
+pub struct ClassRow {
+    /// Class label id.
+    pub label: Label,
+    /// Human-readable class name.
+    pub name: String,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F-score.
+    pub f_score: f64,
+    /// Number of true instances.
+    pub support: u64,
+}
+
+/// A per-class report plus the overall accuracy — the shape of Table 4.
+#[derive(Clone, Debug)]
+pub struct ClassReport {
+    /// One row per class, in label order.
+    pub rows: Vec<ClassRow>,
+    /// Accuracy over the evaluated (non-excluded) classes.
+    pub accuracy: f64,
+}
+
+impl ClassReport {
+    /// Builds a report from a confusion matrix. `names[label]` provides
+    /// display names; classes for which `evaluated` is false (the paper's
+    /// "Unknown") still get a row — their recall is meaningful, their
+    /// precision is reported but they are excluded from the accuracy.
+    pub fn from_confusion(
+        m: &ConfusionMatrix,
+        names: &[&str],
+        evaluated: &dyn Fn(Label) -> bool,
+    ) -> Self {
+        assert_eq!(names.len(), m.classes(), "one name per class");
+        let rows = (0..m.classes() as Label)
+            .map(|c| ClassRow {
+                label: c,
+                name: names[c as usize].to_string(),
+                precision: m.precision(c),
+                recall: m.recall(c),
+                f_score: m.f_score(c),
+                support: m.support(c),
+            })
+            .collect();
+        ClassReport { rows, accuracy: m.accuracy_over(evaluated) }
+    }
+
+    /// The row for a class name, if present.
+    pub fn row(&self, name: &str) -> Option<&ClassRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>9} {:>9} {:>9} {:>9}\n",
+            "class", "precision", "recall", "f-score", "support"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<18} {:>9.2} {:>9.2} {:>9.2} {:>9}\n",
+                r.name, r.precision, r.recall, r.f_score, r.support
+            ));
+        }
+        out.push_str(&format!("accuracy: {:.4}\n", self.accuracy));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// truth:  0 0 0 1 1 2
+    /// pred:   0 0 1 1 1 0
+    fn sample() -> ConfusionMatrix {
+        ConfusionMatrix::from_pairs(&[0, 0, 0, 1, 1, 2], &[0, 0, 1, 1, 1, 0], 3)
+    }
+
+    #[test]
+    fn counts() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 2);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(2, 0), 1);
+        assert_eq!(m.support(0), 3);
+        assert_eq!(m.support(2), 1);
+        assert_eq!(m.predicted(0), 3);
+        assert_eq!(m.predicted(1), 3);
+        assert_eq!(m.predicted(2), 0);
+    }
+
+    #[test]
+    fn precision_recall_f() {
+        let m = sample();
+        assert!((m.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f_score(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(1) - 1.0).abs() < 1e-12);
+        assert_eq!(m.precision(2), 0.0);
+        assert_eq!(m.recall(2), 0.0);
+        assert_eq!(m.f_score(2), 0.0);
+    }
+
+    #[test]
+    fn accuracy_is_weighted_recall() {
+        let m = sample();
+        let acc = m.accuracy_over(&|_| true);
+        assert!((acc - 4.0 / 6.0).abs() < 1e-12);
+        // Weighted recall over all classes must equal accuracy (footnote 8).
+        let total: u64 = (0..3).map(|c| m.support(c)).sum();
+        let weighted: f64 =
+            (0..3).map(|c| m.recall(c) * m.support(c) as f64 / total as f64).sum();
+        assert!((acc - weighted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_excluding_class() {
+        let m = sample();
+        // Exclude class 2 (the "Unknown" pattern): 4 correct of 5.
+        let acc = m.accuracy_over(&|c| c != 2);
+        assert!((acc - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_rows_and_lookup() {
+        let m = sample();
+        let rep = ClassReport::from_confusion(&m, &["alpha", "beta", "unknown"], &|c| c != 2);
+        assert_eq!(rep.rows.len(), 3);
+        assert_eq!(rep.row("beta").unwrap().support, 2);
+        assert!(rep.row("nope").is_none());
+        assert!((rep.accuracy - 0.8).abs() < 1e-12);
+        let table = rep.to_table();
+        assert!(table.contains("alpha"));
+        assert!(table.contains("accuracy: 0.8000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_rejects_bad_label() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(2, 0);
+    }
+
+    #[test]
+    fn empty_matrix_metrics_are_zero() {
+        let m = ConfusionMatrix::new(3);
+        assert_eq!(m.accuracy_over(&|_| true), 0.0);
+        assert_eq!(m.precision(0), 0.0);
+        assert_eq!(m.recall(0), 0.0);
+    }
+}

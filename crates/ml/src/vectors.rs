@@ -1,0 +1,141 @@
+//! Dense row-major matrices and the vector operations kNN needs.
+
+/// A borrowed row-major `rows × dim` matrix view.
+///
+/// The embedding crates hand over flat `Vec<f32>` buffers; this view adds
+/// shape without copying.
+#[derive(Clone, Copy, Debug)]
+pub struct Matrix<'a> {
+    data: &'a [f32],
+    rows: usize,
+    dim: usize,
+}
+
+impl<'a> Matrix<'a> {
+    /// Wraps a flat buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * dim`.
+    pub fn new(data: &'a [f32], rows: usize, dim: usize) -> Self {
+        assert_eq!(data.len(), rows * dim, "matrix shape mismatch");
+        Matrix { data, rows, dim }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &'a [f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The underlying flat buffer.
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Cosine similarity; 0 if either vector is all-zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+/// L2-normalises each `dim`-sized row of a flat buffer in place; zero rows
+/// are left untouched. After this, cosine similarity is a plain dot product.
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `dim` (`dim > 0`).
+pub fn normalize_rows(data: &mut [f32], dim: usize) {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(data.len() % dim, 0, "buffer is not a whole number of rows");
+    for row in data.chunks_mut(dim) {
+        let norm = dot(row, row).sqrt();
+        if norm > 0.0 {
+            for x in row {
+                *x /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_rows() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let m = Matrix::new(&data, 2, 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn matrix_rejects_bad_shape() {
+        Matrix::new(&[1.0; 5], 2, 3);
+    }
+
+    #[test]
+    fn cosine_identities() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let a = [0.3, -0.7, 2.0];
+        let b = [1.5, 0.2, -0.4];
+        let scaled: Vec<f32> = a.iter().map(|x| x * 42.0).collect();
+        assert!((cosine(&a, &b) - cosine(&scaled, &b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let mut data = vec![3.0, 4.0, 0.0, 0.0, 1.0, 1.0];
+        normalize_rows(&mut data, 2);
+        assert!((data[0] - 0.6).abs() < 1e-6);
+        assert!((data[1] - 0.8).abs() < 1e-6);
+        // Zero row untouched.
+        assert_eq!(&data[2..4], &[0.0, 0.0]);
+        // Last row normalised.
+        let n = (data[4] * data[4] + data[5] * data[5]).sqrt();
+        assert!((n - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_dot_equals_cosine() {
+        let a = [0.3f32, -0.7, 2.0];
+        let b = [1.5f32, 0.2, -0.4];
+        let mut buf: Vec<f32> = a.iter().chain(b.iter()).copied().collect();
+        normalize_rows(&mut buf, 3);
+        assert!((dot(&buf[..3], &buf[3..]) - cosine(&a, &b)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for kNN and the classification metrics.
+
+use darkvec_ml::classifier::loo_knn_classify;
+use darkvec_ml::knn::knn_all;
+use darkvec_ml::metrics::ConfusionMatrix;
+use darkvec_ml::vectors::{cosine, normalize_rows, Matrix};
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = (Vec<f32>, usize, usize)> {
+    (2usize..25, 2usize..6).prop_flat_map(|(rows, dim)| {
+        prop::collection::vec(-10.0f32..10.0, rows * dim).prop_map(move |data| (data, rows, dim))
+    })
+}
+
+proptest! {
+    #[test]
+    fn knn_excludes_self_and_respects_k((data, rows, dim) in arb_matrix(), k in 1usize..8) {
+        let m = Matrix::new(&data, rows, dim);
+        let nn = knn_all(m, k, 1);
+        prop_assert_eq!(nn.len(), rows);
+        for (i, neigh) in nn.iter().enumerate() {
+            prop_assert_eq!(neigh.len(), k.min(rows - 1));
+            let mut seen = std::collections::HashSet::new();
+            for n in neigh {
+                prop_assert_ne!(n.index, i, "self in neighbour list");
+                prop_assert!(n.index < rows);
+                prop_assert!(seen.insert(n.index), "duplicate neighbour");
+            }
+            for pair in neigh.windows(2) {
+                prop_assert!(pair[0].similarity >= pair[1].similarity);
+            }
+        }
+    }
+
+    #[test]
+    fn knn_parallel_equals_serial((data, rows, dim) in arb_matrix(), k in 1usize..5) {
+        let m = Matrix::new(&data, rows, dim);
+        let serial = knn_all(m, k, 1);
+        let parallel = knn_all(m, k, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            let si: Vec<usize> = s.iter().map(|n| n.index).collect();
+            let pi: Vec<usize> = p.iter().map(|n| n.index).collect();
+            prop_assert_eq!(si, pi);
+        }
+    }
+
+    #[test]
+    fn cosine_in_unit_interval(a in prop::collection::vec(-5.0f32..5.0, 4), b in prop::collection::vec(-5.0f32..5.0, 4)) {
+        let c = cosine(&a, &b);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&c), "cosine {c}");
+        prop_assert!((cosine(&a, &b) - cosine(&b, &a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalization_is_idempotent(mut data in prop::collection::vec(-5.0f32..5.0, 12)) {
+        normalize_rows(&mut data, 4);
+        let once = data.clone();
+        normalize_rows(&mut data, 4);
+        for (a, b) in once.iter().zip(&data) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accuracy_equals_weighted_recall(pairs in prop::collection::vec((0u32..5, 0u32..5), 1..200)) {
+        let truth: Vec<u32> = pairs.iter().map(|&(t, _)| t).collect();
+        let pred: Vec<u32> = pairs.iter().map(|&(_, p)| p).collect();
+        let m = ConfusionMatrix::from_pairs(&truth, &pred, 5);
+        let acc = m.accuracy_over(&|_| true);
+        let total: u64 = (0..5).map(|c| m.support(c)).sum();
+        let weighted: f64 = (0..5)
+            .map(|c| m.recall(c) * m.support(c) as f64 / total as f64)
+            .sum();
+        prop_assert!((acc - weighted).abs() < 1e-12);
+        // All metrics bounded.
+        for c in 0..5u32 {
+            prop_assert!((0.0..=1.0).contains(&m.precision(c)));
+            prop_assert!((0.0..=1.0).contains(&m.recall(c)));
+            prop_assert!((0.0..=1.0).contains(&m.f_score(c)));
+        }
+    }
+
+    #[test]
+    fn classifier_prediction_is_always_a_neighbour_label(
+        labels in prop::collection::vec(0u32..4, 5..20),
+        k in 1usize..4,
+        seed in 0u64..100,
+    ) {
+        // Build a deterministic pseudo-random matrix over the labels.
+        let rows = labels.len();
+        let dim = 3;
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(7);
+        let data: Vec<f32> = (0..rows * dim)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect();
+        let nn = knn_all(Matrix::new(&data, rows, dim), k, 1);
+        let out = loo_knn_classify(&nn, &labels, k);
+        for (i, &pred) in out.predictions.iter().enumerate() {
+            let neighbour_labels: std::collections::HashSet<u32> =
+                nn[i].iter().take(k).map(|n| labels[n.index]).collect();
+            prop_assert!(neighbour_labels.contains(&pred), "prediction {pred} not among neighbours");
+        }
+    }
+}

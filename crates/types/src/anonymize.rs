@@ -1,0 +1,158 @@
+//! Prefix-preserving IP anonymisation.
+//!
+//! The paper releases "an anonymized version of the dataset" (§1). For a
+//! DarkVec dataset the anonymisation must be **prefix-preserving**: the
+//! cluster-inspection evidence (same /24, same /16, §7.3) has to survive,
+//! while the real addresses must not. This module implements the
+//! Crypto-PAn construction (Xu et al., 2002) with a keyed SplitMix-based
+//! PRF in place of AES: for each bit of the address, the flipped/kept
+//! decision depends only on the preceding prefix bits and the key, so
+//! `a` and `b` share a k-bit prefix **iff** their anonymised forms do.
+//!
+//! This is an anonymisation for *research artifact release* — the
+//! threat model of the paper's dataset, not a cryptographic guarantee
+//! against a motivated global adversary (known Crypto-PAn caveat).
+
+use crate::ip::Ipv4;
+use crate::packet::Packet;
+use crate::trace::Trace;
+
+/// A keyed prefix-preserving IPv4 anonymiser.
+#[derive(Clone, Debug)]
+pub struct Anonymizer {
+    key: u64,
+}
+
+impl Anonymizer {
+    /// Creates an anonymiser from a secret key.
+    pub fn new(key: u64) -> Self {
+        Anonymizer { key }
+    }
+
+    /// Anonymises one address, preserving prefix relations.
+    pub fn anonymize(&self, ip: Ipv4) -> Ipv4 {
+        let addr = ip.0;
+        let mut out = 0u32;
+        for bit in 0..32 {
+            // The prefix above this bit (the bits already processed), in
+            // the original address — Crypto-PAn keys the flip decision on
+            // the *original* prefix.
+            let shift = 31 - bit;
+            let prefix = if bit == 0 { 0 } else { addr >> (shift + 1) };
+            let flip = (prf(self.key, bit as u64, prefix as u64) & 1) as u32;
+            let orig_bit = (addr >> shift) & 1;
+            out |= (orig_bit ^ flip) << shift;
+        }
+        Ipv4(out)
+    }
+
+    /// Anonymises a whole trace (source addresses only — destination ports
+    /// and timestamps are what DarkVec consumes and are not identifying
+    /// for a darknet).
+    pub fn anonymize_trace(&self, trace: &Trace) -> Trace {
+        let packets: Vec<Packet> = trace
+            .packets()
+            .iter()
+            .map(|p| Packet { src: self.anonymize(p.src), ..*p })
+            .collect();
+        Trace::new(packets)
+    }
+}
+
+/// A tiny keyed PRF: SplitMix64 over (key, position, prefix). One 64-bit
+/// mix is plenty for artifact-release anonymisation.
+fn prf(key: u64, bit: u64, prefix: u64) -> u64 {
+    let mut z = key ^ bit.wrapping_mul(0xA076_1D64_78BD_642F) ^ prefix.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::Protocol;
+    use crate::time::Timestamp;
+
+    fn ip(s: &str) -> Ipv4 {
+        s.parse().unwrap()
+    }
+
+    /// Length of the longest common prefix of two addresses.
+    fn common_prefix(a: Ipv4, b: Ipv4) -> u32 {
+        (a.0 ^ b.0).leading_zeros()
+    }
+
+    #[test]
+    fn is_deterministic_and_key_dependent() {
+        let a = Anonymizer::new(42);
+        let b = Anonymizer::new(42);
+        let c = Anonymizer::new(43);
+        let x = ip("130.192.5.7");
+        assert_eq!(a.anonymize(x), b.anonymize(x));
+        assert_ne!(a.anonymize(x), c.anonymize(x));
+    }
+
+    #[test]
+    fn actually_changes_addresses() {
+        let a = Anonymizer::new(7);
+        let mut changed = 0;
+        for i in 0..100u8 {
+            let x = Ipv4::new(10, 20, i, 1);
+            if a.anonymize(x) != x {
+                changed += 1;
+            }
+        }
+        assert!(changed > 90, "only {changed}/100 addresses changed");
+    }
+
+    #[test]
+    fn preserves_prefix_relations_exactly() {
+        let a = Anonymizer::new(99);
+        let pairs = [
+            ("66.240.205.1", "66.240.205.200"), // /24 siblings
+            ("66.240.205.1", "66.240.99.1"),    // /16 siblings
+            ("66.240.205.1", "66.3.2.1"),       // /8 siblings
+            ("66.240.205.1", "193.0.0.1"),      // unrelated
+        ];
+        for (x, y) in pairs {
+            let (x, y) = (ip(x), ip(y));
+            let before = common_prefix(x, y);
+            let after = common_prefix(a.anonymize(x), a.anonymize(y));
+            assert_eq!(before, after, "{x} vs {y}: prefix {before} became {after}");
+        }
+    }
+
+    #[test]
+    fn is_injective_on_a_block() {
+        let a = Anonymizer::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..=255u8 {
+            for j in [0u8, 1, 77] {
+                assert!(seen.insert(a.anonymize(Ipv4::new(192, 168, i, j))));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_anonymisation_preserves_everything_but_sources() {
+        let a = Anonymizer::new(5);
+        let trace = Trace::new(vec![
+            Packet::new(Timestamp(10), ip("10.0.0.1"), 23, Protocol::Tcp),
+            Packet::mirai(Timestamp(20), ip("10.0.0.2"), 2323),
+        ]);
+        let anon = a.anonymize_trace(&trace);
+        assert_eq!(anon.len(), trace.len());
+        for (p, q) in trace.packets().iter().zip(anon.packets()) {
+            assert_eq!(p.ts, q.ts);
+            assert_eq!(p.dst_port, q.dst_port);
+            assert_eq!(p.proto, q.proto);
+            assert_eq!(p.fingerprint, q.fingerprint);
+            assert_ne!(p.src, q.src);
+        }
+        // The two sources were /24 siblings and still are.
+        let srcs: Vec<Ipv4> = anon.senders().into_iter().collect();
+        assert_eq!(srcs[0].slash24(), srcs[1].slash24());
+    }
+}

@@ -1,0 +1,362 @@
+//! A time-ordered darknet packet trace and the trace-level operations
+//! DarkVec needs: activity filtering (§3.1), time slicing (training vs the
+//! last-day test set, §3), ΔT windowing (§5.2) and summary statistics
+//! (Table 1).
+
+use crate::ip::Ipv4;
+use crate::packet::Packet;
+use crate::port::{PortKey, Protocol};
+use crate::stats::Counter;
+use crate::time::{Timestamp, WindowIter, DAY};
+use std::collections::HashSet;
+
+/// A darknet capture: packets sorted by arrival time.
+///
+/// The sort invariant is established at construction and preserved by every
+/// operation, so windowing and slicing are binary searches over a flat
+/// vector.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    packets: Vec<Packet>,
+}
+
+impl Trace {
+    /// Builds a trace, sorting packets by `(ts, src, port)` so equal-time
+    /// packets have a deterministic order regardless of generation order.
+    pub fn new(mut packets: Vec<Packet>) -> Self {
+        packets.sort_by_key(|p| (p.ts, p.src, p.dst_port, p.proto));
+        Trace { packets }
+    }
+
+    /// Builds a trace from packets already sorted by timestamp.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the input is not sorted.
+    pub fn from_sorted(packets: Vec<Packet>) -> Self {
+        debug_assert!(packets.windows(2).all(|w| w[0].ts <= w[1].ts), "packets must be sorted");
+        Trace { packets }
+    }
+
+    /// The packets, in arrival order.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when the trace holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// First and one-past-last timestamps `(t0, tf)`; `tf` is the last
+    /// packet's timestamp + 1 so `[t0, tf)` covers every packet.
+    /// Returns `None` for an empty trace.
+    pub fn span(&self) -> Option<(Timestamp, Timestamp)> {
+        let first = self.packets.first()?;
+        let last = self.packets.last()?;
+        Some((first.ts, last.ts + 1))
+    }
+
+    /// Number of capture days spanned (day index of the last packet + 1).
+    pub fn days(&self) -> u64 {
+        self.packets.last().map(|p| p.ts.day() + 1).unwrap_or(0)
+    }
+
+    /// The set of distinct sender addresses.
+    pub fn senders(&self) -> HashSet<Ipv4> {
+        self.packets.iter().map(|p| p.src).collect()
+    }
+
+    /// Packets sent by each sender.
+    pub fn packets_per_sender(&self) -> Counter<Ipv4> {
+        self.packets.iter().map(|p| p.src).collect()
+    }
+
+    /// Packets received by each (port, protocol) service key.
+    pub fn port_counter(&self) -> Counter<PortKey> {
+        self.packets.iter().map(|p| p.port_key()).collect()
+    }
+
+    /// Distinct senders observed per (port, protocol) — Table 1's
+    /// "Sources" column for top ports.
+    pub fn sources_per_port(&self, key: PortKey) -> usize {
+        self.packets
+            .iter()
+            .filter(|p| p.port_key() == key)
+            .map(|p| p.src)
+            .collect::<HashSet<_>>()
+            .len()
+    }
+
+    /// The *active* senders: those sending at least `min_packets` packets
+    /// in this trace. The paper filters at 10 packets/month (§3.1).
+    pub fn active_senders(&self, min_packets: u64) -> HashSet<Ipv4> {
+        self.packets_per_sender()
+            .iter()
+            .filter(|&(_, c)| c >= min_packets)
+            .map(|(ip, _)| *ip)
+            .collect()
+    }
+
+    /// A new trace retaining only packets from the given senders.
+    pub fn retain_senders(&self, keep: &HashSet<Ipv4>) -> Trace {
+        Trace::from_sorted(self.packets.iter().filter(|p| keep.contains(&p.src)).copied().collect())
+    }
+
+    /// A new trace retaining only packets whose sender is active
+    /// (≥ `min_packets` packets in this trace).
+    pub fn filter_active(&self, min_packets: u64) -> Trace {
+        self.retain_senders(&self.active_senders(min_packets))
+    }
+
+    /// The sub-trace with `t0 ≤ ts < tf` (zero-copy bounds, copied packets).
+    pub fn slice_time(&self, t0: Timestamp, tf: Timestamp) -> Trace {
+        Trace::from_sorted(self.slice(t0, tf).to_vec())
+    }
+
+    /// The packets with `t0 ≤ ts < tf`, as a borrowed slice.
+    pub fn slice(&self, t0: Timestamp, tf: Timestamp) -> &[Packet] {
+        let lo = self.packets.partition_point(|p| p.ts < t0);
+        let hi = self.packets.partition_point(|p| p.ts < tf);
+        &self.packets[lo..hi.max(lo)]
+    }
+
+    /// The first `days` full days of the trace.
+    pub fn first_days(&self, days: u64) -> Trace {
+        self.slice_time(Timestamp::ZERO, Timestamp(days * DAY))
+    }
+
+    /// The packets of day `day` (zero-based).
+    pub fn day_slice(&self, day: u64) -> &[Packet] {
+        self.slice(Timestamp(day * DAY), Timestamp((day + 1) * DAY))
+    }
+
+    /// The last full-or-partial day of the trace — the paper's test set
+    /// (§3: "we separate the last day of our collection as a testing set").
+    pub fn last_day(&self) -> Trace {
+        if self.is_empty() {
+            return Trace::default();
+        }
+        let last = self.days() - 1;
+        Trace::from_sorted(self.day_slice(last).to_vec())
+    }
+
+    /// Iterates over non-overlapping ΔT windows covering the trace span,
+    /// yielding `(window_start, packets_in_window)`.
+    pub fn windows(&self, dt: u64) -> impl Iterator<Item = (Timestamp, &[Packet])> {
+        let (t0, tf) = self.span().unwrap_or((Timestamp::ZERO, Timestamp::ZERO));
+        // Align window boundaries to multiples of dt (like wall-clock hours)
+        // rather than to the first packet, so ΔT windows are stable across
+        // sub-slices of the same capture.
+        let aligned = Timestamp(t0.0 / dt * dt);
+        WindowIter::new(aligned, tf, dt).map(move |(ws, we)| (ws, self.slice(ws, we)))
+    }
+
+    /// Cumulative number of distinct senders after each day — Figure 2b.
+    /// Entry `d` is the count over days `0..=d`.
+    pub fn cumulative_senders_per_day(&self) -> Vec<usize> {
+        let mut seen: HashSet<Ipv4> = HashSet::new();
+        let mut out = Vec::new();
+        for day in 0..self.days() {
+            for p in self.day_slice(day) {
+                seen.insert(p.src);
+            }
+            out.push(seen.len());
+        }
+        out
+    }
+
+    /// Summary statistics (Table 1).
+    pub fn stats(&self) -> TraceStats {
+        let ports = self.port_counter();
+        let tcp_ports: Counter<u16> = self
+            .packets
+            .iter()
+            .filter(|p| p.proto == Protocol::Tcp)
+            .map(|p| p.dst_port)
+            .collect();
+        let top_tcp = tcp_ports
+            .top(3)
+            .into_iter()
+            .map(|(port, pkts)| TopPort {
+                port,
+                traffic_pct: 100.0 * pkts as f64 / self.len().max(1) as f64,
+                sources: self.sources_per_port(PortKey::tcp(port)),
+            })
+            .collect();
+        TraceStats {
+            days: self.days(),
+            sources: self.senders().len(),
+            packets: self.len(),
+            ports: ports.distinct(),
+            top_tcp,
+        }
+    }
+
+    /// Merges two traces into a new sorted trace.
+    pub fn merge(&self, other: &Trace) -> Trace {
+        let mut all = Vec::with_capacity(self.len() + other.len());
+        all.extend_from_slice(&self.packets);
+        all.extend_from_slice(&other.packets);
+        Trace::new(all)
+    }
+}
+
+/// One row of Table 1's "Top-3 TCP ports" block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopPort {
+    /// TCP destination port.
+    pub port: u16,
+    /// Percentage of *all* trace packets targeting it.
+    pub traffic_pct: f64,
+    /// Distinct senders targeting it.
+    pub sources: usize,
+}
+
+/// Dataset summary, one per Table 1 row group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Capture length in days.
+    pub days: u64,
+    /// Distinct source addresses.
+    pub sources: usize,
+    /// Total packets.
+    pub packets: usize,
+    /// Distinct (port, protocol) keys targeted.
+    pub ports: usize,
+    /// The three busiest TCP ports.
+    pub top_tcp: Vec<TopPort>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::HOUR;
+
+    fn ip(d: u8) -> Ipv4 {
+        Ipv4::new(10, 0, 0, d)
+    }
+
+    fn pkt(ts: u64, src: u8, port: u16) -> Packet {
+        Packet::new(Timestamp(ts), ip(src), port, Protocol::Tcp)
+    }
+
+    fn sample() -> Trace {
+        Trace::new(vec![
+            pkt(50, 1, 23),
+            pkt(10, 2, 445),
+            pkt(5, 1, 23),
+            pkt(DAY + 3, 3, 23),
+            pkt(DAY + 9, 1, 80),
+        ])
+    }
+
+    #[test]
+    fn construction_sorts() {
+        let t = sample();
+        let ts: Vec<u64> = t.packets().iter().map(|p| p.ts.0).collect();
+        assert_eq!(ts, vec![5, 10, 50, DAY + 3, DAY + 9]);
+    }
+
+    #[test]
+    fn construction_breaks_time_ties_deterministically() {
+        let a = Trace::new(vec![pkt(7, 2, 23), pkt(7, 1, 23)]);
+        let b = Trace::new(vec![pkt(7, 1, 23), pkt(7, 2, 23)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn span_and_days() {
+        let t = sample();
+        assert_eq!(t.span(), Some((Timestamp(5), Timestamp(DAY + 10))));
+        assert_eq!(t.days(), 2);
+        assert_eq!(Trace::default().span(), None);
+        assert_eq!(Trace::default().days(), 0);
+    }
+
+    #[test]
+    fn sender_counting() {
+        let t = sample();
+        assert_eq!(t.senders().len(), 3);
+        assert_eq!(t.packets_per_sender().get(&ip(1)), 3);
+    }
+
+    #[test]
+    fn active_filter_keeps_heavy_senders_only() {
+        let t = sample();
+        let active = t.active_senders(2);
+        assert_eq!(active.len(), 1);
+        assert!(active.contains(&ip(1)));
+        let filtered = t.filter_active(2);
+        assert_eq!(filtered.len(), 3);
+        assert!(filtered.packets().iter().all(|p| p.src == ip(1)));
+    }
+
+    #[test]
+    fn slice_time_is_half_open() {
+        let t = sample();
+        assert_eq!(t.slice_time(Timestamp(5), Timestamp(50)).len(), 2);
+        assert_eq!(t.slice_time(Timestamp(5), Timestamp(51)).len(), 3);
+        assert_eq!(t.slice_time(Timestamp(1000), Timestamp(100)).len(), 0);
+    }
+
+    #[test]
+    fn first_days_and_last_day() {
+        let t = sample();
+        assert_eq!(t.first_days(1).len(), 3);
+        let last = t.last_day();
+        assert_eq!(last.len(), 2);
+        assert!(last.packets().iter().all(|p| p.ts.day() == 1));
+        assert!(Trace::default().last_day().is_empty());
+    }
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let t = sample();
+        let total: usize = t.windows(HOUR).map(|(_, w)| w.len()).sum();
+        assert_eq!(total, t.len());
+        // First window starts at an aligned boundary.
+        let (start, _) = t.windows(HOUR).next().unwrap();
+        assert_eq!(start.0 % HOUR, 0);
+    }
+
+    #[test]
+    fn cumulative_senders_grow_monotonically() {
+        let t = sample();
+        let cum = t.cumulative_senders_per_day();
+        assert_eq!(cum, vec![2, 3]);
+    }
+
+    #[test]
+    fn stats_top_ports() {
+        let t = sample();
+        let s = t.stats();
+        assert_eq!(s.sources, 3);
+        assert_eq!(s.packets, 5);
+        assert_eq!(s.ports, 3);
+        assert_eq!(s.top_tcp[0].port, 23);
+        assert_eq!(s.top_tcp[0].sources, 2);
+        assert!((s.top_tcp[0].traffic_pct - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_preserves_order_and_size() {
+        let t = sample();
+        let u = Trace::new(vec![pkt(7, 9, 22)]);
+        let m = t.merge(&u);
+        assert_eq!(m.len(), 6);
+        assert!(m.packets().windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn sources_per_port_counts_distinct() {
+        let t = sample();
+        assert_eq!(t.sources_per_port(PortKey::tcp(23)), 2);
+        assert_eq!(t.sources_per_port(PortKey::tcp(80)), 1);
+        assert_eq!(t.sources_per_port(PortKey::udp(23)), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the traffic substrate types.
+
+use darkvec_types::stats::{rank_cumulative, Counter, Ecdf};
+use darkvec_types::{io, Ipv4, Packet, Protocol, Subnet, Timestamp, Trace, WindowIter};
+use proptest::prelude::*;
+
+fn arb_protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![Just(Protocol::Tcp), Just(Protocol::Udp), Just(Protocol::Icmp)]
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (0u64..3_000_000, any::<u32>(), any::<u16>(), arb_protocol()).prop_map(|(ts, src, port, proto)| {
+        let port = if proto == Protocol::Icmp { 0 } else { port };
+        Packet::new(Timestamp(ts), Ipv4(src), port, proto)
+    })
+}
+
+proptest! {
+    #[test]
+    fn ipv4_display_parse_round_trip(raw in any::<u32>()) {
+        let ip = Ipv4(raw);
+        prop_assert_eq!(ip.to_string().parse::<Ipv4>().unwrap(), ip);
+    }
+
+    #[test]
+    fn subnet_contains_its_hosts(raw in any::<u32>(), prefix in 20u8..=32) {
+        let net = Ipv4(raw).subnet(prefix);
+        for ip in net.hosts().take(16) {
+            prop_assert!(net.contains(ip));
+            prop_assert_eq!(ip.subnet(prefix), net);
+        }
+    }
+
+    #[test]
+    fn subnet_display_parse_round_trip(raw in any::<u32>(), prefix in 0u8..=32) {
+        let net = Ipv4(raw).subnet(prefix);
+        prop_assert_eq!(net.to_string().parse::<Subnet>().unwrap(), net);
+    }
+
+    #[test]
+    fn windows_tile_any_interval(t0 in 0u64..10_000, len in 0u64..50_000, dt in 1u64..5_000) {
+        let wins: Vec<_> = WindowIter::new(Timestamp(t0), Timestamp(t0 + len), dt).collect();
+        // Count matches the paper's N = ceil((tf - t0) / dt).
+        prop_assert_eq!(wins.len() as u64, len.div_ceil(dt));
+        // Consecutive windows are adjacent; the union covers [t0, t0+len).
+        if let Some(first) = wins.first() {
+            prop_assert_eq!(first.0.0, t0);
+        }
+        for pair in wins.windows(2) {
+            prop_assert_eq!(pair[0].1.0, pair[1].0.0);
+        }
+        if let Some(last) = wins.last() {
+            prop_assert_eq!(last.1.0, t0 + len);
+        }
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(mut samples in prop::collection::vec(0u64..100_000, 1..200)) {
+        samples.sort_unstable();
+        let e = Ecdf::from_counts(&samples);
+        let mut prev = 0.0;
+        for x in [-1.0, 0.0, 1.0, 10.0, 1e3, 1e5, 1e9] {
+            let v = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        prop_assert_eq!(e.eval(*samples.last().unwrap() as f64), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_inverts_eval(samples in prop::collection::vec(0u64..1_000, 1..100), q in 0.01f64..1.0) {
+        let e = Ecdf::from_counts(&samples);
+        let x = e.quantile(q);
+        // At least a fraction q of samples are <= quantile(q).
+        prop_assert!(e.eval(x) + 1e-12 >= q);
+    }
+
+    #[test]
+    fn counter_total_is_sum(keys in prop::collection::vec(0u16..50, 0..300)) {
+        let c: Counter<u16> = keys.iter().copied().collect();
+        prop_assert_eq!(c.total() as usize, keys.len());
+        let sum: u64 = c.values().iter().sum();
+        prop_assert_eq!(sum as usize, keys.len());
+        let ranked = rank_cumulative(&c);
+        // Ranked counts are non-increasing.
+        for pair in ranked.windows(2) {
+            prop_assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn trace_binary_round_trip(pkts in prop::collection::vec(arb_packet(), 0..300)) {
+        let t = Trace::new(pkts);
+        let back = io::from_bytes(&io::to_bytes(&t)[..]).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn trace_csv_round_trip(pkts in prop::collection::vec(arb_packet(), 0..150)) {
+        let t = Trace::new(pkts);
+        let mut buf = Vec::new();
+        io::write_csv(&t, &mut buf).unwrap();
+        prop_assert_eq!(io::read_csv(&buf[..]).unwrap(), t);
+    }
+
+    #[test]
+    fn trace_windows_partition(pkts in prop::collection::vec(arb_packet(), 1..300), dt in 1u64..200_000) {
+        let t = Trace::new(pkts);
+        let total: usize = t.windows(dt).map(|(_, w)| w.len()).sum();
+        prop_assert_eq!(total, t.len());
+        // Every packet falls inside its window.
+        for (start, w) in t.windows(dt) {
+            for p in w {
+                prop_assert!(p.ts.0 >= start.0 && p.ts.0 < start.0 + dt);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_active_is_idempotent(pkts in prop::collection::vec(arb_packet(), 0..300), min in 1u64..5) {
+        let t = Trace::new(pkts);
+        let once = t.filter_active(min);
+        let twice = once.filter_active(min);
+        prop_assert_eq!(&once, &twice);
+        // All remaining senders really have >= min packets.
+        let per = once.packets_per_sender();
+        for (_, c) in per.iter() {
+            prop_assert!(c >= min);
+        }
+    }
+
+    #[test]
+    fn slice_time_returns_exactly_in_range(pkts in prop::collection::vec(arb_packet(), 0..300), a in 0u64..3_000_000, b in 0u64..3_000_000) {
+        let t = Trace::new(pkts);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let s = t.slice_time(Timestamp(lo), Timestamp(hi));
+        let expected = t.packets().iter().filter(|p| p.ts.0 >= lo && p.ts.0 < hi).count();
+        prop_assert_eq!(s.len(), expected);
+    }
+}

@@ -1,0 +1,320 @@
+//! The trained embedding: a vocabulary plus one dense vector per word.
+
+use crate::vocab::{TokenId, Vocab};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt::Display;
+use std::hash::Hash;
+use std::path::Path;
+use std::str::FromStr;
+
+/// An embedding matrix keyed by words of type `W`.
+///
+/// Rows are stored row-major in a flat `Vec<f32>` indexed by
+/// [`TokenId`]; lookups by word go through the vocabulary index.
+#[derive(Clone, Debug)]
+pub struct Embedding<W> {
+    vocab: Vocab<W>,
+    vectors: Vec<f32>,
+    dim: usize,
+}
+
+impl<W: Eq + Hash + Clone + Ord> Embedding<W> {
+    /// Assembles an embedding from a vocabulary and its row-major matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix size does not match `vocab.len() * dim`.
+    pub fn from_parts(vocab: Vocab<W>, vectors: Vec<f32>, dim: usize) -> Self {
+        assert_eq!(vectors.len(), vocab.len() * dim, "matrix shape mismatch");
+        Embedding { vocab, vectors, dim }
+    }
+
+    /// Number of embedded words.
+    pub fn len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// True when no words are embedded.
+    pub fn is_empty(&self) -> bool {
+        self.vocab.is_empty()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The vocabulary backing this embedding.
+    pub fn vocab(&self) -> &Vocab<W> {
+        &self.vocab
+    }
+
+    /// The full row-major matrix.
+    pub fn vectors(&self) -> &[f32] {
+        &self.vectors
+    }
+
+    /// The vector of a word, if embedded.
+    pub fn get(&self, word: &W) -> Option<&[f32]> {
+        self.vocab.id(word).map(|id| self.row(id))
+    }
+
+    /// The vector behind a token id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn row(&self, id: TokenId) -> &[f32] {
+        let i = id as usize * self.dim;
+        &self.vectors[i..i + self.dim]
+    }
+
+    /// Cosine similarity between two embedded words.
+    /// `None` if either is out of vocabulary.
+    pub fn cosine(&self, a: &W, b: &W) -> Option<f32> {
+        Some(cosine(self.get(a)?, self.get(b)?))
+    }
+
+    /// The `topn` nearest words to `word` by cosine similarity, excluding
+    /// the word itself, sorted by decreasing similarity.
+    pub fn most_similar(&self, word: &W, topn: usize) -> Vec<(W, f32)> {
+        let Some(target_id) = self.vocab.id(word) else { return Vec::new() };
+        let target = self.row(target_id);
+        let mut sims: Vec<(TokenId, f32)> = (0..self.len() as TokenId)
+            .filter(|&id| id != target_id)
+            .map(|id| (id, cosine(target, self.row(id))))
+            .collect();
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        sims.truncate(topn);
+        sims.into_iter().map(|(id, s)| (self.vocab.word(id).clone(), s)).collect()
+    }
+
+    /// A copy with L2-normalised rows, so cosine similarity becomes a dot
+    /// product — what the kNN search wants.
+    pub fn normalized(&self) -> Embedding<W> {
+        let mut vectors = self.vectors.clone();
+        for row in vectors.chunks_mut(self.dim.max(1)) {
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for x in row {
+                    *x /= norm;
+                }
+            }
+        }
+        Embedding { vocab: self.vocab.clone(), vectors, dim: self.dim }
+    }
+}
+
+/// Cosine similarity of two equal-length vectors; 0 when either is zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Binary serialisation ("DKVE" + version): word strings are written with
+/// a u16 length prefix, vectors as little-endian f32.
+const MAGIC: &[u8; 4] = b"DKVE";
+const VERSION: u8 = 1;
+
+impl<W: Eq + Hash + Clone + Ord + Display + FromStr> Embedding<W> {
+    /// Encodes the embedding to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.len() * (self.dim * 4 + 16));
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u32_le(self.len() as u32);
+        buf.put_u32_le(self.dim as u32);
+        for id in 0..self.len() as TokenId {
+            let w = self.vocab.word(id).to_string();
+            let bytes = w.as_bytes();
+            buf.put_u16_le(bytes.len() as u16);
+            buf.put_slice(bytes);
+            buf.put_u64_le(self.vocab.count(id));
+            for &v in self.row(id) {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes an embedding from bytes produced by [`Embedding::to_bytes`].
+    pub fn from_bytes(mut buf: impl Buf) -> Result<Self, String> {
+        if buf.remaining() < 13 {
+            return Err("truncated header".into());
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err("bad magic".into());
+        }
+        if buf.get_u8() != VERSION {
+            return Err("unsupported version".into());
+        }
+        let n = buf.get_u32_le() as usize;
+        let dim = buf.get_u32_le() as usize;
+        let mut corpus_words: Vec<Vec<W>> = Vec::new();
+        let mut counts = Vec::with_capacity(n);
+        let mut vectors = Vec::with_capacity(n * dim);
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            if buf.remaining() < 2 {
+                return Err("truncated word".into());
+            }
+            let wlen = buf.get_u16_le() as usize;
+            if buf.remaining() < wlen + 8 + dim * 4 {
+                return Err("truncated record".into());
+            }
+            let mut wbytes = vec![0u8; wlen];
+            buf.copy_to_slice(&mut wbytes);
+            let s = String::from_utf8(wbytes).map_err(|e| e.to_string())?;
+            let w: W = s.parse().map_err(|_| format!("unparsable word {s:?}"))?;
+            words.push(w);
+            counts.push(buf.get_u64_le());
+            for _ in 0..dim {
+                vectors.push(buf.get_f32_le());
+            }
+        }
+        // Rebuild the vocabulary by replaying each word `count` times is
+        // wasteful; instead synthesise a corpus of single-word sentences
+        // with the recorded multiplicities.
+        for (w, &c) in words.iter().zip(&counts) {
+            corpus_words.push(std::iter::repeat_n(w.clone(), c as usize).collect());
+        }
+        let vocab = Vocab::build(corpus_words.iter().map(|s| s.iter()), 1);
+        // The rebuilt vocabulary must assign the same ids (same counts,
+        // same tie-break); reorder the rows accordingly to be safe.
+        let mut reordered = vec![0.0f32; vectors.len()];
+        for (orig_id, w) in words.iter().enumerate() {
+            let new_id = vocab.id(w).ok_or("vocab rebuild lost a word")? as usize;
+            reordered[new_id * dim..(new_id + 1) * dim]
+                .copy_from_slice(&vectors[orig_id * dim..(orig_id + 1) * dim]);
+        }
+        Ok(Embedding::from_parts(vocab, reordered, dim))
+    }
+
+    /// Saves to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Loads from a file.
+    pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(&data[..])
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Embedding<String> {
+        let corpus = vec![
+            vec!["x".to_string(), "x".to_string(), "y".to_string()],
+            vec!["z".to_string(), "x".to_string()],
+        ];
+        let vocab = Vocab::build(corpus.iter().map(|s| s.iter()), 1);
+        // ids: x=0 (3), y/z tie broken by order: y=1, z=2
+        let vectors = vec![
+            1.0, 0.0, // x
+            0.0, 1.0, // y
+            1.0, 1.0, // z
+        ];
+        Embedding::from_parts(vocab, vectors, 2)
+    }
+
+    #[test]
+    fn get_and_row() {
+        let e = sample();
+        assert_eq!(e.get(&"x".to_string()).unwrap(), &[1.0, 0.0]);
+        assert_eq!(e.get(&"nope".to_string()), None);
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn cosine_values() {
+        let e = sample();
+        assert!((e.cosine(&"x".into(), &"y".into()).unwrap() - 0.0).abs() < 1e-6);
+        let xz = e.cosine(&"x".into(), &"z".into()).unwrap();
+        assert!((xz - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-6);
+        assert_eq!(e.cosine(&"x".into(), &"nope".into()), None);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn most_similar_sorted_and_excludes_self() {
+        let e = sample();
+        let sims = e.most_similar(&"x".to_string(), 10);
+        assert_eq!(sims.len(), 2);
+        assert_eq!(sims[0].0, "z");
+        assert!(sims[0].1 > sims[1].1);
+        assert!(e.most_similar(&"nope".to_string(), 3).is_empty());
+    }
+
+    #[test]
+    fn normalized_rows_have_unit_norm() {
+        let e = sample().normalized();
+        for id in 0..e.len() as TokenId {
+            let n: f32 = e.row(id).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-6);
+        }
+        // Normalisation preserves cosine similarity.
+        let orig = sample();
+        let a = orig.cosine(&"x".into(), &"z".into()).unwrap();
+        let b = e.cosine(&"x".into(), &"z".into()).unwrap();
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let e = sample();
+        let back = Embedding::<String>::from_bytes(&e.to_bytes()[..]).unwrap();
+        assert_eq!(back.len(), e.len());
+        assert_eq!(back.dim(), e.dim());
+        for w in ["x", "y", "z"] {
+            assert_eq!(back.get(&w.to_string()), e.get(&w.to_string()), "word {w}");
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(Embedding::<String>::from_bytes(&b"oops"[..]).is_err());
+        let mut good = sample().to_bytes().to_vec();
+        good.truncate(good.len() - 2);
+        assert!(Embedding::<String>::from_bytes(&good[..]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn from_parts_checks_shape() {
+        let vocab: Vocab<String> =
+            Vocab::build(vec![vec!["a".to_string()]].iter().map(|s| s.iter()), 1);
+        Embedding::from_parts(vocab, vec![1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let e = sample();
+        let dir = std::env::temp_dir().join("darkvec-w2v-emb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("emb.bin");
+        e.save(&path).unwrap();
+        let back = Embedding::<String>::load(&path).unwrap();
+        assert_eq!(back.get(&"x".to_string()), e.get(&"x".to_string()));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,201 @@
+//! Huffman coding of the vocabulary, for hierarchical softmax.
+//!
+//! `word2vec.c` offers two output layers: negative sampling (the paper's
+//! configuration, see [`crate::sampling`]) and **hierarchical softmax**,
+//! where each word is a leaf of a Huffman tree over corpus frequencies and
+//! the model learns one binary decision per internal node on the word's
+//! root-to-leaf path. Frequent words get short codes, so expected update
+//! cost is O(log |V|) weighted towards the hot words.
+
+use crate::vocab::TokenId;
+
+/// The Huffman code of one word: the internal nodes on its path and the
+/// binary branch taken at each.
+#[derive(Clone, Debug, Default)]
+pub struct Code {
+    /// Internal-node ids (rows of the output matrix), root first.
+    pub points: Vec<u32>,
+    /// Branch bits aligned with `points` (0 = left, 1 = right).
+    pub bits: Vec<u8>,
+}
+
+/// Huffman codes for every vocabulary word.
+#[derive(Clone, Debug)]
+pub struct HuffmanTree {
+    codes: Vec<Code>,
+    internal_nodes: usize,
+}
+
+impl HuffmanTree {
+    /// Builds the tree from per-id corpus counts (ids must be frequency-
+    /// sorted or not — the tree only depends on the counts).
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty.
+    pub fn new(counts: &[u64]) -> Self {
+        let n = counts.len();
+        assert!(n > 0, "empty vocabulary");
+        if n == 1 {
+            // Degenerate tree: a single word needs no decisions.
+            return HuffmanTree { codes: vec![Code::default()], internal_nodes: 0 };
+        }
+
+        // The classic word2vec.c construction: an array of 2n-1 nodes,
+        // counts sorted *descending* in the first n slots (so slot n-1 is
+        // the rarest word), internal nodes appended; two pointers walk the
+        // leaves (downwards from n-1) and the created internal nodes
+        // (upwards from n) to pick the two smallest at each step.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+        let mut count = vec![0u64; 2 * n - 1];
+        for (slot, &i) in order.iter().enumerate() {
+            count[slot] = counts[i];
+        }
+        let mut parent = vec![0usize; 2 * n - 1];
+        let mut binary = vec![0u8; 2 * n - 1];
+
+        let (mut pos1, mut pos2) = (n as isize - 1, n as isize);
+        for a in 0..n - 1 {
+            // Pick the two smallest available nodes.
+            let mut pick = |count: &[u64]| -> usize {
+                if pos1 >= 0 && (pos2 >= (n + a) as isize || count[pos1 as usize] < count[pos2 as usize])
+                {
+                    let m = pos1 as usize;
+                    pos1 -= 1;
+                    m
+                } else {
+                    let m = pos2 as usize;
+                    pos2 += 1;
+                    m
+                }
+            };
+            let min1 = pick(&count);
+            let min2 = pick(&count);
+            count[n + a] = count[min1] + count[min2];
+            parent[min1] = n + a;
+            parent[min2] = n + a;
+            binary[min2] = 1;
+        }
+
+        // Walk each leaf to the root, collecting bits and points.
+        let root = 2 * n - 2;
+        let mut codes = vec![Code::default(); n];
+        for (slot, &word) in order.iter().enumerate() {
+            let mut bits = Vec::new();
+            let mut points = Vec::new();
+            let mut node = slot;
+            while node != root {
+                bits.push(binary[node]);
+                node = parent[node];
+                // Internal node id: offset above the leaves.
+                points.push((node - n) as u32);
+            }
+            bits.reverse();
+            points.reverse();
+            codes[word] = Code { points, bits };
+        }
+        HuffmanTree { codes, internal_nodes: n - 1 }
+    }
+
+    /// The code of a word.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn code(&self, id: TokenId) -> &Code {
+        &self.codes[id as usize]
+    }
+
+    /// Number of internal nodes (rows the output matrix needs).
+    pub fn internal_nodes(&self) -> usize {
+        self.internal_nodes
+    }
+
+    /// Number of coded words.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when no words are coded.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn codes_are_prefix_free() {
+        let counts = [50u64, 30, 10, 5, 3, 2];
+        let tree = HuffmanTree::new(&counts);
+        let codes: Vec<String> = (0..counts.len() as u32)
+            .map(|i| tree.code(i).bits.iter().map(|b| (b'0' + b) as char).collect())
+            .collect();
+        for (i, a) in codes.iter().enumerate() {
+            for (j, b) in codes.iter().enumerate() {
+                if i != j {
+                    assert!(!b.starts_with(a.as_str()), "code {a} is a prefix of {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_words_get_shorter_codes() {
+        let counts = [1000u64, 500, 10, 5, 2, 1];
+        let tree = HuffmanTree::new(&counts);
+        assert!(tree.code(0).bits.len() <= tree.code(5).bits.len());
+        assert!(tree.code(0).bits.len() <= tree.code(4).bits.len());
+    }
+
+    #[test]
+    fn expected_code_length_is_optimal_for_dyadic() {
+        // Counts 8,4,2,1,1: optimal Huffman lengths 1,2,3,4,4.
+        let counts = [8u64, 4, 2, 1, 1];
+        let tree = HuffmanTree::new(&counts);
+        let lens: Vec<usize> = (0..5u32).map(|i| tree.code(i).bits.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn points_index_internal_nodes_only() {
+        let counts = [7u64, 6, 5, 4, 3, 2, 1];
+        let tree = HuffmanTree::new(&counts);
+        assert_eq!(tree.internal_nodes(), 6);
+        for i in 0..counts.len() as u32 {
+            let code = tree.code(i);
+            assert_eq!(code.points.len(), code.bits.len());
+            for &p in &code.points {
+                assert!((p as usize) < tree.internal_nodes());
+            }
+            // Root (the last created internal node) is first on the path.
+            assert_eq!(code.points[0] as usize, tree.internal_nodes() - 1);
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let counts = [5u64, 5, 5, 5];
+        let tree = HuffmanTree::new(&counts);
+        let mut seen: HashMap<Vec<u8>, u32> = HashMap::new();
+        for i in 0..4u32 {
+            let prev = seen.insert(tree.code(i).bits.clone(), i);
+            assert!(prev.is_none(), "duplicate code for {i} and {prev:?}");
+        }
+    }
+
+    #[test]
+    fn single_word_has_empty_code() {
+        let tree = HuffmanTree::new(&[42]);
+        assert!(tree.code(0).bits.is_empty());
+        assert_eq!(tree.internal_nodes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_vocab() {
+        HuffmanTree::new(&[]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Negative sampling and frequent-word subsampling.
+//!
+//! Negative targets are drawn from the unigram distribution raised to the
+//! 3/4 power (Mikolov et al., "Distributed Representations of Words and
+//! Phrases", §2.2), materialised as a fixed-size alias table like
+//! `word2vec.c`. Subsampling discards occurrences of very frequent words
+//! with the Gensim keep-probability `(sqrt(f/t) + 1) · t/f`.
+
+use crate::vocab::TokenId;
+use rand::{Rng, RngExt};
+
+/// Default power applied to unigram counts.
+pub const UNIGRAM_POWER: f64 = 0.75;
+
+/// Default number of table slots; 10M gives < 0.01% distribution error for
+/// vocabularies up to ~1M words. We default smaller because darknet
+/// vocabularies are ~10^5.
+pub const DEFAULT_TABLE_SIZE: usize = 2_000_000;
+
+/// Fixed-size sampling table over `counts[i]^power`.
+pub struct UnigramTable {
+    table: Vec<TokenId>,
+}
+
+impl UnigramTable {
+    /// Builds a table of `size` slots where token `i` occupies a share of
+    /// slots proportional to `counts[i]^power`.
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty, all-zero, or `size` is zero.
+    pub fn new(counts: &[u64], power: f64, size: usize) -> Self {
+        assert!(!counts.is_empty(), "empty vocabulary");
+        assert!(size > 0, "table size must be positive");
+        let total: f64 = counts.iter().map(|&c| (c as f64).powf(power)).sum();
+        assert!(total > 0.0, "all counts are zero");
+
+        let mut table = Vec::with_capacity(size);
+        let mut cum = (counts[0] as f64).powf(power) / total;
+        let mut word: TokenId = 0;
+        for slot in 0..size {
+            table.push(word);
+            if (slot + 1) as f64 / size as f64 > cum && (word as usize) < counts.len() - 1 {
+                word += 1;
+                cum += (counts[word as usize] as f64).powf(power) / total;
+            }
+        }
+        UnigramTable { table }
+    }
+
+    /// Builds a table with the default power and size.
+    pub fn with_defaults(counts: &[u64]) -> Self {
+        // Keep the table proportionate for small vocabularies so tests stay
+        // fast, while large vocabularies get full resolution.
+        let size = (counts.len() * 100).clamp(1_000, DEFAULT_TABLE_SIZE);
+        Self::new(counts, UNIGRAM_POWER, size)
+    }
+
+    /// Draws one token id.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> TokenId {
+        self.table[rng.random_range(0..self.table.len())]
+    }
+
+    /// Number of slots (for tests).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the table has no slots (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// Frequent-word subsampler.
+///
+/// With threshold `t`, an occurrence of a word with corpus frequency `f`
+/// (fraction of total words) is *kept* with probability
+/// `min(1, (sqrt(f/t) + 1) · t/f)`.
+pub struct SubSampler {
+    keep: Vec<f32>,
+}
+
+impl SubSampler {
+    /// Precomputes keep-probabilities per token id.
+    ///
+    /// `threshold = 0` disables subsampling (all probabilities are 1).
+    pub fn new(counts: &[u64], total: u64, threshold: f64) -> Self {
+        let keep = counts
+            .iter()
+            .map(|&c| {
+                if threshold <= 0.0 || c == 0 || total == 0 {
+                    return 1.0;
+                }
+                let f = c as f64 / total as f64;
+                (((f / threshold).sqrt() + 1.0) * threshold / f).min(1.0) as f32
+            })
+            .collect();
+        SubSampler { keep }
+    }
+
+    /// Keep-probability of a token.
+    #[inline]
+    pub fn keep_prob(&self, id: TokenId) -> f32 {
+        self.keep[id as usize]
+    }
+
+    /// Randomly decides whether to keep this occurrence.
+    #[inline]
+    pub fn keep<R: Rng>(&self, id: TokenId, rng: &mut R) -> bool {
+        let p = self.keep[id as usize];
+        p >= 1.0 || rng.random::<f32>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_distribution_tracks_pow_counts() {
+        // counts 8:1 with power 0.75 => ratio 8^0.75 ≈ 4.76.
+        let t = UnigramTable::new(&[8, 1], 0.75, 100_000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hits = [0u64; 2];
+        for _ in 0..200_000 {
+            hits[t.sample(&mut rng) as usize] += 1;
+        }
+        let ratio = hits[0] as f64 / hits[1] as f64;
+        let expect = 8f64.powf(0.75);
+        assert!((ratio - expect).abs() / expect < 0.1, "ratio {ratio} vs {expect}");
+    }
+
+    #[test]
+    fn table_covers_all_words() {
+        let t = UnigramTable::new(&[5, 5, 5, 5], 0.75, 10_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..10_000 {
+            seen[t.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn table_single_word() {
+        let t = UnigramTable::new(&[42], 0.75, 1_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn with_defaults_sizes_by_vocab() {
+        assert_eq!(UnigramTable::with_defaults(&[1; 5]).len(), 1_000);
+        assert_eq!(UnigramTable::with_defaults(&[1; 100]).len(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn table_rejects_empty() {
+        UnigramTable::new(&[], 0.75, 100);
+    }
+
+    #[test]
+    fn subsampler_keeps_rare_words() {
+        // A word at exactly the threshold frequency keeps everything.
+        let s = SubSampler::new(&[1, 1_000_000], 1_001_000, 1e-3);
+        assert_eq!(s.keep_prob(0), 1.0);
+        // The dominant word is heavily discarded.
+        assert!(s.keep_prob(1) < 0.1);
+    }
+
+    #[test]
+    fn subsampler_disabled_with_zero_threshold() {
+        let s = SubSampler::new(&[1_000_000, 1], 1_000_001, 0.0);
+        assert_eq!(s.keep_prob(0), 1.0);
+        assert_eq!(s.keep_prob(1), 1.0);
+    }
+
+    #[test]
+    fn subsampler_keep_matches_probability() {
+        let counts = [900_000u64, 100_000];
+        let s = SubSampler::new(&counts, 1_000_000, 1e-3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 100_000;
+        let kept = (0..trials).filter(|_| s.keep(0, &mut rng)).count();
+        let observed = kept as f64 / trials as f64;
+        let expected = s.keep_prob(0) as f64;
+        assert!((observed - expected).abs() < 0.01, "{observed} vs {expected}");
+    }
+}

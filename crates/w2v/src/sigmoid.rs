@@ -1,0 +1,95 @@
+//! Precomputed sigmoid, the same optimisation as `word2vec.c`'s
+//! `expTable`: the logistic function is evaluated by table lookup inside
+//! the SGD inner loop, with saturation outside ±[`MAX_EXP`].
+
+/// Saturation bound: `sigmoid(x)` is treated as 0/1 for `|x| > MAX_EXP`.
+pub const MAX_EXP: f32 = 6.0;
+
+/// Number of table buckets over `[-MAX_EXP, MAX_EXP]`.
+pub const TABLE_SIZE: usize = 1024;
+
+/// The precomputed table. Built once per process on first use.
+pub struct SigmoidTable {
+    table: [f32; TABLE_SIZE],
+}
+
+impl SigmoidTable {
+    /// Builds the table; cheap enough to construct eagerly.
+    pub fn new() -> Self {
+        let mut table = [0.0f32; TABLE_SIZE];
+        for (i, slot) in table.iter_mut().enumerate() {
+            // Bucket centre mapped into [-MAX_EXP, MAX_EXP].
+            let x = (i as f32 / TABLE_SIZE as f32 * 2.0 - 1.0) * MAX_EXP;
+            *slot = 1.0 / (1.0 + (-x).exp());
+        }
+        SigmoidTable { table }
+    }
+
+    /// `sigmoid(x)` by table lookup with saturation.
+    #[inline]
+    pub fn get(&self, x: f32) -> f32 {
+        if x >= MAX_EXP {
+            1.0
+        } else if x <= -MAX_EXP {
+            0.0
+        } else {
+            let idx = ((x + MAX_EXP) / (2.0 * MAX_EXP) * TABLE_SIZE as f32) as usize;
+            self.table[idx.min(TABLE_SIZE - 1)]
+        }
+    }
+}
+
+impl Default for SigmoidTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Exact sigmoid, for tests and non-hot-path callers.
+pub fn sigmoid_exact(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exact_within_table_resolution() {
+        let t = SigmoidTable::new();
+        let mut x = -5.9f32;
+        while x < 5.9 {
+            let err = (t.get(x) - sigmoid_exact(x)).abs();
+            assert!(err < 5e-3, "x={x}: table={} exact={}", t.get(x), sigmoid_exact(x));
+            x += 0.037;
+        }
+    }
+
+    #[test]
+    fn saturates_outside_range() {
+        let t = SigmoidTable::new();
+        assert_eq!(t.get(100.0), 1.0);
+        assert_eq!(t.get(6.0), 1.0);
+        assert_eq!(t.get(-100.0), 0.0);
+        assert_eq!(t.get(-6.0), 0.0);
+    }
+
+    #[test]
+    fn midpoint_is_half() {
+        let t = SigmoidTable::new();
+        assert!((t.get(0.0) - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let t = SigmoidTable::new();
+        let mut prev = -1.0f32;
+        let mut x = -7.0f32;
+        while x < 7.0 {
+            let v = t.get(x);
+            assert!(v >= prev, "sigmoid table not monotone at {x}");
+            prev = v;
+            x += 0.01;
+        }
+    }
+}

@@ -1,0 +1,676 @@
+//! The Word2Vec training loop.
+//!
+//! This follows the reference `word2vec.c` schedule that Gensim reimplements
+//! (the paper trains with Gensim, §5.3), covering the full architecture
+//! matrix:
+//!
+//! * **architecture** — [`Arch::SkipGram`] (the paper's choice) or
+//!   [`Arch::Cbow`] (described in Appendix A.1 alongside it);
+//! * **output layer** — [`Loss::NegativeSampling`] against the
+//!   unigram^0.75 table, or [`Loss::HierarchicalSoftmax`] over a Huffman
+//!   tree of the vocabulary;
+//! * per-occurrence subsampling of frequent words;
+//! * dynamic window: the effective context radius at each position is
+//!   uniform in `1..=window`;
+//! * learning rate decayed linearly over all epochs.
+//!
+//! Threads work Hogwild-style on contiguous sentence chunks of the encoded
+//! corpus (see [`crate::matrix::AtomicMatrix`] for why this is safe Rust).
+
+use crate::embedding::Embedding;
+use crate::huffman::HuffmanTree;
+use crate::matrix::AtomicMatrix;
+use crate::sampling::{SubSampler, UnigramTable};
+use crate::sigmoid::SigmoidTable;
+use crate::vocab::{TokenId, Vocab};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Model architecture (Appendix A.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Arch {
+    /// Predict context words from the centre word.
+    #[default]
+    SkipGram,
+    /// Continuous bag of words: predict the centre word from the averaged
+    /// context.
+    Cbow,
+}
+
+/// Output layer / objective.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Loss {
+    /// `negative` noise samples from the unigram^0.75 distribution per
+    /// positive pair (Mikolov et al. 2013b).
+    #[default]
+    NegativeSampling,
+    /// One sigmoid decision per Huffman-tree node on the target's path.
+    HierarchicalSoftmax,
+}
+
+/// Hyper-parameters of the trainer.
+///
+/// Defaults mirror the paper's DarkVec configuration: skip-gram with
+/// negative sampling, `V = 50` dimensions, context window `c = 25`,
+/// `min_count = 10` (the active-sender filter) — with Gensim's defaults
+/// for the knobs the paper leaves unstated.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Model architecture.
+    pub arch: Arch,
+    /// Output layer.
+    pub loss: Loss,
+    /// Embedding dimension (the paper's `V`).
+    pub dim: usize,
+    /// Maximum context window radius (the paper's `c`).
+    pub window: usize,
+    /// Negative samples per positive pair (negative-sampling loss only).
+    pub negative: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub alpha: f32,
+    /// Floor for the decayed learning rate.
+    pub min_alpha: f32,
+    /// Subsampling threshold (`0.0` disables).
+    pub subsample: f64,
+    /// Minimum corpus frequency for a word to be embedded.
+    pub min_count: u64,
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// RNG seed (initialisation and sampling).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            arch: Arch::SkipGram,
+            loss: Loss::NegativeSampling,
+            dim: 50,
+            window: 25,
+            negative: 5,
+            epochs: 10,
+            alpha: 0.025,
+            min_alpha: 1e-4,
+            subsample: 1e-3,
+            min_count: 10,
+            threads: 0,
+            seed: 1,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Resolved worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// What happened during training — the numbers behind Table 3's
+/// skip-grams / ETA columns.
+#[derive(Clone, Debug)]
+pub struct TrainStats {
+    /// Retained vocabulary size.
+    pub vocab_size: usize,
+    /// Corpus tokens after OOV removal, single epoch.
+    pub corpus_tokens: u64,
+    /// Training interactions performed, summed over epochs (after
+    /// subsampling and window shrinking): (input, output) pairs for
+    /// skip-gram, one per centre word for CBOW.
+    pub pairs_trained: u64,
+    /// Wall-clock training time.
+    pub elapsed: std::time::Duration,
+}
+
+/// Counts the skip-grams a corpus yields with a *full* (non-shrunk) window —
+/// the corpus-size metric the paper reports in Table 3.
+///
+/// A sentence of length `L` contributes `Σ_i min(c, i) + min(c, L-1-i)`
+/// pairs.
+pub fn count_skipgrams<T>(corpus: &[Vec<T>], window: usize) -> u64 {
+    let c = window as u64;
+    corpus
+        .iter()
+        .map(|s| {
+            let l = s.len() as u64;
+            (0..l).map(|i| c.min(i) + c.min(l - 1 - i)).sum::<u64>()
+        })
+        .sum()
+}
+
+/// Trains an embedding over a corpus of sentences.
+///
+/// Words below `min_count` are dropped; remaining sentences train a single
+/// shared model (DarkVec's "single embedding" design, §5.2). Returns the
+/// input-layer embedding and training statistics.
+///
+/// # Panics
+/// Panics if `dim == 0`, `window == 0` or `epochs == 0`.
+pub fn train<W>(corpus: &[Vec<W>], cfg: &TrainConfig) -> (Embedding<W>, TrainStats)
+where
+    W: Eq + Hash + Clone + Ord + Send + Sync,
+{
+    assert!(cfg.dim > 0, "dim must be positive");
+    assert!(cfg.window > 0, "window must be positive");
+    assert!(cfg.epochs > 0, "epochs must be positive");
+    let start = Instant::now();
+
+    let vocab = Vocab::build(corpus.iter().map(|s| s.iter()), cfg.min_count);
+    if vocab.is_empty() {
+        let stats = TrainStats {
+            vocab_size: 0,
+            corpus_tokens: 0,
+            pairs_trained: 0,
+            elapsed: start.elapsed(),
+        };
+        return (Embedding::from_parts(vocab, Vec::new(), cfg.dim), stats);
+    }
+
+    let encoded: Vec<Vec<TokenId>> =
+        vocab.encode_corpus(corpus).into_iter().filter(|s| s.len() >= 2).collect();
+    let corpus_tokens: u64 = encoded.iter().map(|s| s.len() as u64).sum();
+
+    let table = match cfg.loss {
+        Loss::NegativeSampling => Some(UnigramTable::with_defaults(vocab.counts())),
+        Loss::HierarchicalSoftmax => None,
+    };
+    let tree = match cfg.loss {
+        Loss::HierarchicalSoftmax => Some(HuffmanTree::new(vocab.counts())),
+        Loss::NegativeSampling => None,
+    };
+    let subsampler = SubSampler::new(vocab.counts(), vocab.total_count(), cfg.subsample);
+    let sig = SigmoidTable::new();
+
+    let syn0 = AtomicMatrix::uniform_init(vocab.len(), cfg.dim, cfg.seed);
+    // Output matrix: one row per word (negative sampling) or per internal
+    // Huffman node (hierarchical softmax); vocab.len() rows cover both.
+    let syn1 = AtomicMatrix::zeros(vocab.len(), cfg.dim);
+
+    let total_words = (corpus_tokens * cfg.epochs as u64).max(1);
+    let words_done = AtomicU64::new(0);
+    let pairs_trained = AtomicU64::new(0);
+
+    let threads = cfg.effective_threads().min(encoded.len().max(1));
+    let chunk = encoded.len().div_ceil(threads);
+
+    crossbeam::scope(|scope| {
+        for (tid, sentences) in encoded.chunks(chunk).enumerate() {
+            let (syn0, syn1, sig, subsampler) = (&syn0, &syn1, &sig, &subsampler);
+            let (table, tree) = (&table, &tree);
+            let (words_done, pairs_trained) = (&words_done, &pairs_trained);
+            scope.spawn(move |_| {
+                let mut worker = Worker {
+                    rng: SmallRng::seed_from_u64(
+                        cfg.seed ^ (tid as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
+                    ),
+                    sen: Vec::new(),
+                    neu1: vec![0.0f32; cfg.dim],
+                    neu1e: vec![0.0f32; cfg.dim],
+                    local_pairs: 0,
+                };
+                for _epoch in 0..cfg.epochs {
+                    for sentence in sentences {
+                        // Alpha from global progress, as in word2vec.c.
+                        let done = words_done.fetch_add(sentence.len() as u64, Ordering::Relaxed);
+                        let progress = done as f32 / total_words as f32;
+                        let alpha = (cfg.alpha * (1.0 - progress)).max(cfg.min_alpha);
+                        worker.train_sentence(
+                            sentence,
+                            cfg,
+                            alpha,
+                            syn0,
+                            syn1,
+                            sig,
+                            subsampler,
+                            table.as_ref(),
+                            tree.as_ref(),
+                        );
+                    }
+                }
+                pairs_trained.fetch_add(worker.local_pairs, Ordering::Relaxed);
+            });
+        }
+    })
+    .expect("training thread panicked");
+
+    let stats = TrainStats {
+        vocab_size: vocab.len(),
+        corpus_tokens,
+        pairs_trained: pairs_trained.into_inner(),
+        elapsed: start.elapsed(),
+    };
+    (Embedding::from_parts(vocab, syn0.to_vec(), cfg.dim), stats)
+}
+
+/// Thread-local training state.
+struct Worker {
+    rng: SmallRng,
+    sen: Vec<TokenId>,
+    /// CBOW context average.
+    neu1: Vec<f32>,
+    /// Gradient accumulator for the input side.
+    neu1e: Vec<f32>,
+    local_pairs: u64,
+}
+
+impl Worker {
+    #[allow(clippy::too_many_arguments)]
+    fn train_sentence(
+        &mut self,
+        sentence: &[TokenId],
+        cfg: &TrainConfig,
+        alpha: f32,
+        syn0: &AtomicMatrix,
+        syn1: &AtomicMatrix,
+        sig: &SigmoidTable,
+        subsampler: &SubSampler,
+        table: Option<&UnigramTable>,
+        tree: Option<&HuffmanTree>,
+    ) {
+        self.sen.clear();
+        let rng = &mut self.rng;
+        self.sen.extend(sentence.iter().copied().filter(|&w| subsampler.keep(w, rng)));
+        if self.sen.len() < 2 {
+            return;
+        }
+        for i in 0..self.sen.len() {
+            let center = self.sen[i];
+            let radius = self.rng.random_range(1..=cfg.window);
+            let lo = i.saturating_sub(radius);
+            let hi = (i + radius + 1).min(self.sen.len());
+            match cfg.arch {
+                Arch::SkipGram => {
+                    for j in lo..hi {
+                        if j == i {
+                            continue;
+                        }
+                        // Input = context word, output = centre word
+                        // (the word2vec.c orientation).
+                        let input = self.sen[j] as usize;
+                        self.neu1e.fill(0.0);
+                        match cfg.loss {
+                            Loss::NegativeSampling => ns_update(
+                                syn0,
+                                syn1,
+                                sig,
+                                table.expect("table built for NS"),
+                                &mut self.rng,
+                                &mut self.neu1e,
+                                InputSide::Row(input),
+                                center,
+                                cfg.negative,
+                                alpha,
+                            ),
+                            Loss::HierarchicalSoftmax => hs_update(
+                                syn0,
+                                syn1,
+                                sig,
+                                tree.expect("tree built for HS"),
+                                &mut self.neu1e,
+                                InputSide::Row(input),
+                                center,
+                                alpha,
+                            ),
+                        }
+                        syn0.row_add(input, &self.neu1e);
+                        self.local_pairs += 1;
+                    }
+                }
+                Arch::Cbow => {
+                    // Average the context window into neu1.
+                    let count = (hi - lo).saturating_sub(1);
+                    if count == 0 {
+                        continue;
+                    }
+                    self.neu1.fill(0.0);
+                    for j in lo..hi {
+                        if j != i {
+                            syn0.accumulate_row(self.sen[j] as usize, 1.0, &mut self.neu1);
+                        }
+                    }
+                    let inv = 1.0 / count as f32;
+                    for x in &mut self.neu1 {
+                        *x *= inv;
+                    }
+                    self.neu1e.fill(0.0);
+                    match cfg.loss {
+                        Loss::NegativeSampling => ns_update(
+                            syn0,
+                            syn1,
+                            sig,
+                            table.expect("table built for NS"),
+                            &mut self.rng,
+                            &mut self.neu1e,
+                            InputSide::Local(&self.neu1),
+                            center,
+                            cfg.negative,
+                            alpha,
+                        ),
+                        Loss::HierarchicalSoftmax => hs_update(
+                            syn0,
+                            syn1,
+                            sig,
+                            tree.expect("tree built for HS"),
+                            &mut self.neu1e,
+                            InputSide::Local(&self.neu1),
+                            center,
+                            alpha,
+                        ),
+                    }
+                    // Backpropagate the input gradient to every context
+                    // word (word2vec.c distributes neu1e undivided).
+                    for j in lo..hi {
+                        if j != i {
+                            syn0.row_add(self.sen[j] as usize, &self.neu1e);
+                        }
+                    }
+                    self.local_pairs += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The input of one update: a row of `syn0` (skip-gram) or a thread-local
+/// averaged vector (CBOW).
+enum InputSide<'a> {
+    Row(usize),
+    Local(&'a [f32]),
+}
+
+impl InputSide<'_> {
+    #[inline]
+    fn dot(&self, syn0: &AtomicMatrix, syn1: &AtomicMatrix, target: usize) -> f32 {
+        match self {
+            InputSide::Row(r) => syn0.row_dot(*r, syn1, target),
+            InputSide::Local(v) => syn1.row_dot_local(target, v),
+        }
+    }
+
+    #[inline]
+    fn update_output(&self, syn0: &AtomicMatrix, syn1: &AtomicMatrix, target: usize, g: f32) {
+        match self {
+            InputSide::Row(r) => syn1.row_axpy(target, g, syn0, *r),
+            InputSide::Local(v) => syn1.row_axpy_local(target, g, v),
+        }
+    }
+}
+
+/// One positive + `negative` negative SGD updates against the unigram
+/// table. The input-side gradient is accumulated into `neu1e`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn ns_update(
+    syn0: &AtomicMatrix,
+    syn1: &AtomicMatrix,
+    sig: &SigmoidTable,
+    table: &UnigramTable,
+    rng: &mut SmallRng,
+    neu1e: &mut [f32],
+    input: InputSide<'_>,
+    output: TokenId,
+    negative: usize,
+    alpha: f32,
+) {
+    for d in 0..=negative {
+        let (target, label) = if d == 0 {
+            (output, 1.0f32)
+        } else {
+            let t = table.sample(rng);
+            if t == output {
+                continue;
+            }
+            (t, 0.0)
+        };
+        let t = target as usize;
+        let f = input.dot(syn0, syn1, t);
+        let g = (label - sig.get(f)) * alpha;
+        syn1.accumulate_row(t, g, neu1e);
+        input.update_output(syn0, syn1, t, g);
+    }
+}
+
+/// One decision per Huffman node on `output`'s path. The input-side
+/// gradient is accumulated into `neu1e`.
+#[inline]
+fn hs_update(
+    syn0: &AtomicMatrix,
+    syn1: &AtomicMatrix,
+    sig: &SigmoidTable,
+    tree: &HuffmanTree,
+    neu1e: &mut [f32],
+    input: InputSide<'_>,
+    output: TokenId,
+    alpha: f32,
+) {
+    let code = tree.code(output);
+    for (&point, &bit) in code.points.iter().zip(&code.bits) {
+        let t = point as usize;
+        let f = input.dot(syn0, syn1, t);
+        // Label convention of word2vec.c: g = (1 - code - sigmoid).
+        let g = (1.0 - bit as f32 - sig.get(f)) * alpha;
+        syn1.accumulate_row(t, g, neu1e);
+        input.update_output(syn0, syn1, t, g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint "campaigns": words of the same group always co-occur,
+    /// words of different groups never do — a miniature of DarkVec's
+    /// coordinated-sender structure.
+    fn two_group_corpus() -> Vec<Vec<String>> {
+        let group = |prefix: &str, n: usize| -> Vec<String> {
+            (0..n).map(|i| format!("{prefix}{i}")).collect()
+        };
+        let a = group("a", 6);
+        let b = group("b", 6);
+        let mut corpus = Vec::new();
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for i in 0..400 {
+            let src = if i % 2 == 0 { &a } else { &b };
+            let mut sentence: Vec<String> = (0..8).map(|_| src[next() % src.len()].clone()).collect();
+            // Ensure variety within the sentence.
+            sentence.dedup();
+            corpus.push(sentence);
+        }
+        corpus
+    }
+
+    fn small_cfg() -> TrainConfig {
+        TrainConfig {
+            dim: 16,
+            window: 4,
+            negative: 5,
+            epochs: 12,
+            min_count: 1,
+            subsample: 0.0,
+            threads: 1,
+            seed: 7,
+            ..TrainConfig::default()
+        }
+    }
+
+    /// Mean intra-group minus inter-group cosine for the "a" group.
+    fn separation(emb: &Embedding<String>) -> f32 {
+        let a0 = "a0".to_string();
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in 1..6 {
+            intra.push(emb.cosine(&a0, &format!("a{i}")).unwrap());
+            inter.push(emb.cosine(&a0, &format!("b{i}")).unwrap());
+        }
+        intra.iter().sum::<f32>() / intra.len() as f32
+            - inter.iter().sum::<f32>() / inter.len() as f32
+    }
+
+    #[test]
+    fn embeds_cooccurring_words_nearby() {
+        let corpus = two_group_corpus();
+        let (emb, stats) = train(&corpus, &small_cfg());
+        assert_eq!(stats.vocab_size, 12);
+        assert!(stats.pairs_trained > 0);
+        assert!(separation(&emb) > 0.3, "separation {}", separation(&emb));
+    }
+
+    #[test]
+    fn cbow_also_learns_group_structure() {
+        let corpus = two_group_corpus();
+        let cfg = TrainConfig { arch: Arch::Cbow, epochs: 25, ..small_cfg() };
+        let (emb, stats) = train(&corpus, &cfg);
+        assert!(stats.pairs_trained > 0);
+        assert!(separation(&emb) > 0.3, "CBOW separation {}", separation(&emb));
+    }
+
+    #[test]
+    fn hierarchical_softmax_also_learns_group_structure() {
+        let corpus = two_group_corpus();
+        let cfg = TrainConfig { loss: Loss::HierarchicalSoftmax, ..small_cfg() };
+        let (emb, stats) = train(&corpus, &cfg);
+        assert!(stats.pairs_trained > 0);
+        assert!(separation(&emb) > 0.3, "HS separation {}", separation(&emb));
+    }
+
+    #[test]
+    fn cbow_hs_combination_works() {
+        let corpus = two_group_corpus();
+        let cfg = TrainConfig {
+            arch: Arch::Cbow,
+            loss: Loss::HierarchicalSoftmax,
+            epochs: 25,
+            ..small_cfg()
+        };
+        let (emb, _) = train(&corpus, &cfg);
+        assert!(separation(&emb) > 0.25, "CBOW+HS separation {}", separation(&emb));
+    }
+
+    #[test]
+    fn most_similar_prefers_own_group() {
+        let corpus = two_group_corpus();
+        let (emb, _) = train(&corpus, &small_cfg());
+        let sims = emb.most_similar(&"b2".to_string(), 3);
+        assert_eq!(sims.len(), 3);
+        for (w, _) in &sims {
+            assert!(w.starts_with('b'), "neighbour {w} should be a b-word");
+        }
+    }
+
+    #[test]
+    fn single_thread_training_is_deterministic() {
+        let corpus = two_group_corpus();
+        let cfg = small_cfg();
+        let (e1, _) = train(&corpus, &cfg);
+        let (e2, _) = train(&corpus, &cfg);
+        assert_eq!(e1.vectors(), e2.vectors());
+    }
+
+    #[test]
+    fn hs_single_thread_is_deterministic() {
+        let corpus = two_group_corpus();
+        let cfg = TrainConfig { loss: Loss::HierarchicalSoftmax, ..small_cfg() };
+        let (e1, _) = train(&corpus, &cfg);
+        let (e2, _) = train(&corpus, &cfg);
+        assert_eq!(e1.vectors(), e2.vectors());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let corpus = two_group_corpus();
+        let cfg = small_cfg();
+        let cfg2 = TrainConfig { seed: 8, ..cfg.clone() };
+        let (e1, _) = train(&corpus, &cfg);
+        let (e2, _) = train(&corpus, &cfg2);
+        assert_ne!(e1.vectors(), e2.vectors());
+    }
+
+    #[test]
+    fn multithreaded_training_produces_comparable_geometry() {
+        let corpus = two_group_corpus();
+        let cfg = TrainConfig { threads: 4, ..small_cfg() };
+        let (emb, _) = train(&corpus, &cfg);
+        assert!(separation(&emb) > 0.0, "hogwild run lost group structure");
+    }
+
+    #[test]
+    fn min_count_drops_rare_words() {
+        let mut corpus = two_group_corpus();
+        corpus.push(vec!["rare".to_string(), "a0".to_string()]);
+        let cfg = TrainConfig { min_count: 2, ..small_cfg() };
+        let (emb, _) = train(&corpus, &cfg);
+        assert!(emb.get(&"rare".to_string()).is_none());
+        assert!(emb.get(&"a0".to_string()).is_some());
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_embedding() {
+        let corpus: Vec<Vec<String>> = vec![];
+        let (emb, stats) = train(&corpus, &small_cfg());
+        assert_eq!(emb.len(), 0);
+        assert_eq!(stats.pairs_trained, 0);
+    }
+
+    #[test]
+    fn all_oov_yields_empty_embedding() {
+        let corpus = vec![vec!["x".to_string()]];
+        let cfg = TrainConfig { min_count: 5, ..small_cfg() };
+        let (emb, _) = train(&corpus, &cfg);
+        assert_eq!(emb.len(), 0);
+    }
+
+    #[test]
+    fn count_skipgrams_matches_bruteforce() {
+        let corpus: Vec<Vec<u32>> = vec![(0..7).collect(), (0..1).collect(), (0..2).collect(), vec![]];
+        for window in [1usize, 2, 3, 10] {
+            let mut expect = 0u64;
+            for s in &corpus {
+                for i in 0..s.len() {
+                    let lo = i.saturating_sub(window);
+                    let hi = (i + window + 1).min(s.len());
+                    expect += (hi - lo - 1) as u64;
+                }
+            }
+            assert_eq!(count_skipgrams(&corpus, window), expect, "window {window}");
+        }
+    }
+
+    #[test]
+    fn stats_report_corpus_size() {
+        let corpus = two_group_corpus();
+        let (_, stats) = train(&corpus, &small_cfg());
+        let expect: u64 = corpus.iter().map(|s| s.len() as u64).sum();
+        // Sentences shorter than 2 tokens are dropped; the test corpus has none.
+        assert_eq!(stats.corpus_tokens, expect);
+    }
+
+    #[test]
+    fn cbow_counts_one_interaction_per_center() {
+        let corpus = vec![vec!["a".to_string(), "b".to_string(), "c".to_string()]];
+        let cfg = TrainConfig {
+            arch: Arch::Cbow,
+            epochs: 1,
+            min_count: 1,
+            subsample: 0.0,
+            threads: 1,
+            window: 2,
+            dim: 4,
+            ..TrainConfig::default()
+        };
+        let (_, stats) = train(&corpus, &cfg);
+        assert_eq!(stats.pairs_trained, 3);
+    }
+}

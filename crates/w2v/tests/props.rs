@@ -1,0 +1,111 @@
+//! Property-based tests for the Word2Vec substrate.
+
+use darkvec_w2v::sampling::{SubSampler, UnigramTable};
+use darkvec_w2v::{count_skipgrams, train, TrainConfig, Vocab};
+use proptest::prelude::*;
+
+fn arb_corpus() -> impl Strategy<Value = Vec<Vec<u16>>> {
+    prop::collection::vec(prop::collection::vec(0u16..40, 0..20), 0..40)
+}
+
+proptest! {
+    #[test]
+    fn vocab_counts_sum_to_total(corpus in arb_corpus(), min_count in 1u64..4) {
+        let vocab = Vocab::build(corpus.iter().map(|s| s.iter()), min_count);
+        let sum: u64 = vocab.counts().iter().sum();
+        prop_assert_eq!(sum, vocab.total_count());
+        // Every retained word satisfies the filter, ids round-trip, and
+        // counts are non-increasing by id.
+        for id in 0..vocab.len() as u32 {
+            prop_assert!(vocab.count(id) >= min_count);
+            prop_assert_eq!(vocab.id(vocab.word(id)), Some(id));
+            if id > 0 {
+                prop_assert!(vocab.count(id - 1) >= vocab.count(id));
+            }
+        }
+    }
+
+    #[test]
+    fn encode_preserves_retained_occurrences(corpus in arb_corpus()) {
+        let vocab = Vocab::build(corpus.iter().map(|s| s.iter()), 1);
+        // With min_count=1 nothing is dropped: encoded lengths match.
+        for s in &corpus {
+            prop_assert_eq!(vocab.encode(s).len(), s.len());
+        }
+    }
+
+    #[test]
+    fn skipgram_count_bounds(corpus in arb_corpus(), window in 1usize..30) {
+        let n = count_skipgrams(&corpus, window);
+        let tokens: u64 = corpus.iter().map(|s| s.len() as u64).sum();
+        // Each token contributes at most 2*window pairs and at least 0.
+        prop_assert!(n <= tokens * 2 * window as u64);
+        // A sentence of length L >= 2 contributes at least L pairs... only
+        // guaranteed >= 2(L-1)/... keep the safe bound: sentences with >= 2
+        // tokens contribute at least 2 pairs each.
+        let long_sentences = corpus.iter().filter(|s| s.len() >= 2).count() as u64;
+        prop_assert!(n >= 2 * long_sentences);
+    }
+
+    #[test]
+    fn unigram_table_never_emits_unknown_ids(counts in prop::collection::vec(1u64..500, 1..60), seed in 0u64..1000) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let table = UnigramTable::new(&counts, 0.75, 10_000);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            let id = table.sample(&mut rng);
+            prop_assert!((id as usize) < counts.len());
+        }
+    }
+
+    #[test]
+    fn subsampler_probabilities_in_unit_interval(counts in prop::collection::vec(0u64..1_000_000, 1..60), t in 0.0f64..0.01) {
+        let total: u64 = counts.iter().sum();
+        let s = SubSampler::new(&counts, total, t);
+        for id in 0..counts.len() as u32 {
+            let p = s.keep_prob(id);
+            prop_assert!((0.0..=1.0).contains(&p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn training_always_yields_finite_unit_scale_vectors(seed in 0u64..50) {
+        // Small random-ish corpus; whatever the shape, no NaN/Inf may leak
+        // out of Hogwild SGD.
+        let corpus: Vec<Vec<u16>> = (0..30)
+            .map(|i| (0..6).map(|j| ((seed as usize + i * 7 + j * 3) % 25) as u16).collect())
+            .collect();
+        let cfg = TrainConfig {
+            dim: 8,
+            window: 3,
+            epochs: 2,
+            min_count: 1,
+            threads: 2,
+            seed,
+            ..TrainConfig::default()
+        };
+        let (emb, stats) = train(&corpus, &cfg);
+        prop_assert!(emb.len() <= 25);
+        prop_assert!(stats.pairs_trained > 0);
+        for v in emb.vectors() {
+            prop_assert!(v.is_finite(), "non-finite weight {v}");
+            prop_assert!(v.abs() < 100.0, "weight blew up: {v}");
+        }
+    }
+
+    #[test]
+    fn embedding_bytes_round_trip(seed in 0u64..30) {
+        let corpus: Vec<Vec<String>> = (0..10)
+            .map(|i| (0..5).map(|j| format!("w{}", (seed as usize + i + j) % 12)).collect())
+            .collect();
+        let cfg = TrainConfig { dim: 6, window: 2, epochs: 1, min_count: 1, threads: 1, seed, ..TrainConfig::default() };
+        let (emb, _) = train(&corpus, &cfg);
+        let back = darkvec_w2v::Embedding::<String>::from_bytes(&emb.to_bytes()[..]).unwrap();
+        prop_assert_eq!(back.len(), emb.len());
+        for id in 0..emb.len() as u32 {
+            let w = emb.vocab().word(id);
+            prop_assert_eq!(back.get(w), emb.get(w));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Method comparison on one capture: DarkVec vs the port-feature baseline
+//! vs IP2VEC vs DANTE — a miniature of the paper's Tables 3 and 6.
+//!
+//! ```text
+//! cargo run --release --example compare_methods
+//! ```
+
+use darkvec::config::DarkVecConfig;
+use darkvec::pipeline;
+use darkvec::supervised::Evaluation;
+use darkvec_baselines::port_features::{baseline_report, PortFeatureConfig};
+use darkvec_baselines::{dante, ip2vec};
+use darkvec_gen::{simulate, GtClass, SimConfig};
+use darkvec_ml::classifier::loo_knn_classify;
+use darkvec_ml::knn::knn_all;
+use darkvec_ml::vectors::Matrix;
+use std::collections::HashMap;
+
+fn main() {
+    let sim_cfg = SimConfig::tiny(3);
+    println!("simulating darknet capture...");
+    let sim = simulate(&sim_cfg);
+    let last_day = sim.trace.last_day();
+    let labels: HashMap<_, u32> = sim
+        .truth
+        .eval_labels(&sim.trace, 10)
+        .into_iter()
+        .map(|(ip, class)| (ip, class.label()))
+        .collect();
+    let unknown = GtClass::Unknown.label();
+    let k = 7;
+
+    // --- DarkVec ---
+    let mut cfg = DarkVecConfig::default();
+    cfg.w2v.dim = 32;
+    cfg.w2v.epochs = 8;
+    let model = pipeline::run(&sim.trace, &cfg);
+    let ev = Evaluation::prepare(&model.embedding, &labels, 10, unknown, k, 0);
+    println!(
+        "DarkVec          accuracy {:.3}   ({} skip-grams, {:.1?})",
+        ev.accuracy(k),
+        model.skipgrams,
+        model.train.elapsed
+    );
+
+    // --- Port-feature baseline ---
+    let report = baseline_report(&last_day, &labels, &GtClass::names(), unknown, &PortFeatureConfig::default());
+    println!("port features    accuracy {:.3}", report.accuracy);
+
+    // --- IP2VEC ---
+    let i2v = ip2vec::run(&sim.trace, &ip2vec::Ip2VecConfig {
+        w2v: darkvec_w2v::TrainConfig { dim: 32, epochs: 8, min_count: 1, ..Default::default() },
+        ..Default::default()
+    });
+    let vectors = ip2vec::sender_vectors(&i2v);
+    println!(
+        "IP2VEC           accuracy {:.3}   ({} pairs, {:.1?})",
+        vector_accuracy(&vectors, &labels, unknown, k),
+        i2v.pairs,
+        i2v.elapsed
+    );
+
+    // --- DANTE ---
+    // DANTE's faithful whole-capture sentences explode quadratically (the
+    // Table 3 "did not complete" row); give it the paper-style budget and
+    // also run a day-windowed variant so the demo shows an accuracy.
+    let dm = dante::run(&sim.trace, &dante::DanteConfig {
+        w2v: darkvec_w2v::TrainConfig { dim: 32, epochs: 8, min_count: 1, ..Default::default() },
+        skipgram_budget: Some(model.skipgrams * 8),
+        ..Default::default()
+    });
+    if dm.completed {
+        let vectors = dm.senders.expect("completed");
+        println!(
+            "DANTE            accuracy {:.3}   ({} skip-grams, {:.1?})",
+            vector_accuracy(&vectors, &labels, unknown, k),
+            dm.skipgrams,
+            dm.elapsed
+        );
+    } else {
+        println!(
+            "DANTE            did not complete ({} skip-grams exceed the budget; the paper saw the same)",
+            dm.skipgrams
+        );
+        let dm_daily = dante::run(&sim.trace, &dante::DanteConfig {
+            w2v: darkvec_w2v::TrainConfig { dim: 32, epochs: 8, min_count: 1, ..Default::default() },
+            window_secs: darkvec_types::DAY,
+            skipgram_budget: Some(model.skipgrams * 8),
+            ..Default::default()
+        });
+        if let Some(vectors) = dm_daily.senders {
+            println!(
+                "DANTE (daily)    accuracy {:.3}   ({} skip-grams, {:.1?}; day-windowed variant)",
+                vector_accuracy(&vectors, &labels, unknown, k),
+                dm_daily.skipgrams,
+                dm_daily.elapsed
+            );
+        }
+    }
+}
+
+/// LOO kNN accuracy over GT classes for an ip -> vector map.
+fn vector_accuracy(
+    vectors: &HashMap<darkvec_types::Ipv4, Vec<f32>>,
+    labels: &HashMap<darkvec_types::Ipv4, u32>,
+    unknown: u32,
+    k: usize,
+) -> f64 {
+    if vectors.is_empty() {
+        return 0.0;
+    }
+    let mut senders: Vec<_> = vectors.keys().copied().collect();
+    senders.sort();
+    let dim = vectors[&senders[0]].len();
+    let mut matrix = Vec::with_capacity(senders.len() * dim);
+    let mut row_labels = Vec::with_capacity(senders.len());
+    for ip in &senders {
+        matrix.extend_from_slice(&vectors[ip]);
+        row_labels.push(labels.get(ip).copied().unwrap_or(unknown));
+    }
+    let nn = knn_all(Matrix::new(&matrix, senders.len(), dim), k, 0);
+    let outcome = loo_knn_classify(&nn, &row_labels, k);
+    let mut seen = 0u64;
+    let mut ok = 0u64;
+    for (i, ip) in senders.iter().enumerate() {
+        if let Some(&l) = labels.get(ip) {
+            if l != unknown {
+                seen += 1;
+                if outcome.predictions[i] == l {
+                    ok += 1;
+                }
+            }
+        }
+    }
+    if seen == 0 {
+        0.0
+    } else {
+        ok as f64 / seen as f64
+    }
+}

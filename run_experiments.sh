@@ -1,0 +1,8 @@
+#!/bin/bash
+# Runs the full experiment sweep with the prebuilt release binary in one
+# process (the shared context trains the default model once), prioritised
+# so the cheap dataset artifacts come first and the heavy grid last.
+set -u
+ORDER="table1 fig1 fig2 table2 fig3 table7 table6 fig6 fig7 table4 fig10 fig11 table5 fig9 fig12_15 gt_extend transfer cluster_ablation table3 fig8"
+target/release/xp $ORDER "$@"
+echo "ALL_EXPERIMENTS_DONE"

@@ -1,0 +1,6 @@
+#!/bin/bash
+# Model-based experiments at a single-core-friendly scale (the cheap
+# dataset artifacts were generated at --scale 0.5 by run_experiments.sh).
+set -u
+target/release/xp fig6 fig7 table4 fig10 fig11 table5 fig9 fig12_15 gt_extend transfer cluster_ablation table3 --scale 0.15 --out results
+echo MODEL_EXPERIMENTS_DONE

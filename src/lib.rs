@@ -1,0 +1,22 @@
+//! # darkvec-suite
+//!
+//! Umbrella crate for the DarkVec reproduction workspace. It re-exports
+//! the member crates so the repository-level examples (`examples/`) and
+//! integration tests (`tests/`) can use a single dependency, and so
+//! downstream users can depend on one crate:
+//!
+//! * [`types`] — traffic substrate (packets, traces, IPs, services);
+//! * [`gen`] — the deterministic darknet simulator;
+//! * [`w2v`] — the from-scratch skip-gram/negative-sampling Word2Vec;
+//! * [`ml`] — kNN classification and metrics;
+//! * [`graph`] — kNN graphs, Louvain, silhouettes;
+//! * [`core`] — the DarkVec pipeline and analyses;
+//! * [`baselines`] — the port-feature baseline, DANTE and IP2VEC.
+
+pub use darkvec as core;
+pub use darkvec_baselines as baselines;
+pub use darkvec_gen as gen;
+pub use darkvec_graph as graph;
+pub use darkvec_ml as ml;
+pub use darkvec_types as types;
+pub use darkvec_w2v as w2v;

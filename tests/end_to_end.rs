@@ -1,0 +1,151 @@
+//! End-to-end integration: simulate → embed → classify, asserting the
+//! paper's *qualitative* results at test scale:
+//!
+//! * DarkVec beats the port-feature baseline;
+//! * domain-knowledge/auto services beat the single service;
+//! * Engin-Umich is recovered perfectly; Stretchoid poorly;
+//! * coverage grows with the training window.
+
+use darkvec::config::{DarkVecConfig, ServiceDef};
+use darkvec::pipeline;
+use darkvec::supervised::Evaluation;
+use darkvec_baselines::port_features::{baseline_report, PortFeatureConfig};
+use darkvec_gen::{simulate, GtClass, SimConfig, SimOutput};
+use darkvec_types::Ipv4;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+const SEED: u64 = 1001;
+
+/// Shared simulation + labels: computed once across all tests in this file.
+fn fixture() -> &'static (SimOutput, HashMap<Ipv4, u32>) {
+    static FIXTURE: OnceLock<(SimOutput, HashMap<Ipv4, u32>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let sim = simulate(&SimConfig::tiny(SEED));
+        let labels = sim
+            .truth
+            .eval_labels(&sim.trace, 10)
+            .into_iter()
+            .map(|(ip, c)| (ip, c.label()))
+            .collect();
+        (sim, labels)
+    })
+}
+
+fn test_cfg(service: ServiceDef) -> DarkVecConfig {
+    let mut cfg = DarkVecConfig::test_size(SEED);
+    cfg.service = service;
+    cfg
+}
+
+fn accuracy(service: ServiceDef, k: usize) -> f64 {
+    let (sim, labels) = fixture();
+    let model = pipeline::run(&sim.trace, &test_cfg(service));
+    Evaluation::prepare(&model.embedding, labels, 10, GtClass::Unknown.label(), k, 0).accuracy(k)
+}
+
+#[test]
+fn darkvec_beats_the_port_feature_baseline() {
+    let (sim, labels) = fixture();
+    let dv = accuracy(ServiceDef::DomainKnowledge, 7);
+    let last = sim.trace.last_day();
+    let base = baseline_report(
+        &last,
+        labels,
+        &GtClass::names(),
+        GtClass::Unknown.label(),
+        &PortFeatureConfig::default(),
+    )
+    .accuracy;
+    assert!(
+        dv > base + 0.05,
+        "DarkVec ({dv:.3}) should clearly beat the baseline ({base:.3})"
+    );
+    assert!(dv > 0.75, "DarkVec accuracy too low: {dv:.3}");
+}
+
+#[test]
+fn service_definition_ordering_matches_paper() {
+    // Figure 7 / Table 4: single service is significantly worse.
+    let single = accuracy(ServiceDef::Single, 7);
+    let domain = accuracy(ServiceDef::DomainKnowledge, 7);
+    let auto = accuracy(ServiceDef::Auto(10), 7);
+    assert!(
+        domain > single + 0.05,
+        "domain ({domain:.3}) must beat single ({single:.3})"
+    );
+    assert!(
+        auto > single + 0.05,
+        "auto ({auto:.3}) must beat single ({single:.3})"
+    );
+}
+
+#[test]
+fn engin_umich_is_perfectly_recalled_stretchoid_is_not() {
+    let (sim, labels) = fixture();
+    let model = pipeline::run(&sim.trace, &test_cfg(ServiceDef::DomainKnowledge));
+    let ev = Evaluation::prepare(&model.embedding, labels, 10, GtClass::Unknown.label(), 7, 0);
+    let report = ev.report(7, &GtClass::names());
+
+    let engin = report.row("Engin-umich").expect("engin row");
+    assert!(engin.support > 0, "no labelled Engin-Umich senders in test set");
+    assert!(
+        engin.recall >= 0.9,
+        "Engin-Umich should be (near-)perfectly recalled, got {:.2}",
+        engin.recall
+    );
+
+    let stretchoid = report.row("Stretchoid").expect("stretchoid row");
+    assert!(stretchoid.support > 0);
+    assert!(
+        stretchoid.recall < engin.recall,
+        "Stretchoid ({:.2}) must trail Engin-Umich ({:.2}) — its pattern is irregular",
+        stretchoid.recall,
+        engin.recall
+    );
+}
+
+#[test]
+fn mirai_dominant_class_is_well_classified() {
+    let (sim, labels) = fixture();
+    let model = pipeline::run(&sim.trace, &test_cfg(ServiceDef::DomainKnowledge));
+    let ev = Evaluation::prepare(&model.embedding, labels, 10, GtClass::Unknown.label(), 7, 0);
+    let report = ev.report(7, &GtClass::names());
+    let mirai = report.row("Mirai-like").expect("mirai row");
+    assert!(mirai.support > 20, "mirai support {}", mirai.support);
+    // At test scale the Mirai fleet is ~300 senders (vs 7 351 in the
+    // paper) over 8 days, so per-sender evidence is far thinner; require
+    // a clear signal rather than the paper's 0.98 F-score.
+    assert!(mirai.f_score > 0.55, "Mirai F-score {:.2}", mirai.f_score);
+    assert!(mirai.recall > 0.5, "Mirai recall {:.2}", mirai.recall);
+}
+
+#[test]
+fn coverage_grows_with_training_window() {
+    // Figure 6: longer training window embeds more of the labelled set.
+    let (sim, labels) = fixture();
+    let days = sim.trace.days();
+    let short = pipeline::run(&sim.trace.first_days(days / 4), &test_cfg(ServiceDef::DomainKnowledge));
+    let long = pipeline::run(&sim.trace, &test_cfg(ServiceDef::DomainKnowledge));
+    let c_short = Evaluation::coverage(&short.embedding, labels);
+    let c_long = Evaluation::coverage(&long.embedding, labels);
+    assert!(
+        c_long > c_short,
+        "coverage must grow: {c_short:.3} (short) vs {c_long:.3} (full)"
+    );
+    assert!(c_long > 0.95, "full-window coverage should be near total: {c_long:.3}");
+}
+
+#[test]
+fn accuracy_degrades_for_very_large_k() {
+    // Figure 7: past the sweet spot, Unknown neighbours dominate.
+    let (sim, labels) = fixture();
+    let model = pipeline::run(&sim.trace, &test_cfg(ServiceDef::DomainKnowledge));
+    let ev = Evaluation::prepare(&model.embedding, labels, 10, GtClass::Unknown.label(), 75, 0);
+    let at_7 = ev.accuracy(7);
+    let at_75 = ev.accuracy(75);
+    assert!(
+        at_7 >= at_75,
+        "k=7 ({at_7:.3}) should not be worse than a huge k=75 ({at_75:.3})"
+    );
+}
