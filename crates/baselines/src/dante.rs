@@ -49,7 +49,10 @@ impl Default for DanteConfig {
     fn default() -> Self {
         DanteConfig {
             window_secs: WHOLE_CAPTURE,
-            w2v: TrainConfig { min_count: 1, ..TrainConfig::default() },
+            w2v: TrainConfig {
+                min_count: 1,
+                ..TrainConfig::default()
+            },
             skipgram_budget: None,
             min_packets: 10,
         }
@@ -107,6 +110,7 @@ pub fn count_full_pairs(corpus: &[Vec<PortKey>]) -> u64 {
 
 /// Runs DANTE end to end.
 pub fn run(trace: &Trace, cfg: &DanteConfig) -> DanteModel {
+    let _span = darkvec_obs::span!("dante.run");
     let filtered = trace.filter_active(cfg.min_packets);
     let corpus = build_port_corpus(&filtered, cfg.window_secs);
     let skipgrams = count_full_pairs(&corpus);
@@ -123,7 +127,10 @@ pub fn run(trace: &Trace, cfg: &DanteConfig) -> DanteModel {
     }
     // Whole-sentence context: widen the window to the longest sentence.
     let max_len = corpus.iter().map(|s| s.len()).max().unwrap_or(1);
-    let w2v = TrainConfig { window: max_len.max(1), ..cfg.w2v.clone() };
+    let w2v = TrainConfig {
+        window: max_len.max(1),
+        ..cfg.w2v.clone()
+    };
     let (port_embedding, stats) = train(&corpus, &w2v);
     let senders = average_port_vectors(&filtered, &port_embedding);
     DanteModel {
@@ -136,10 +143,7 @@ pub fn run(trace: &Trace, cfg: &DanteConfig) -> DanteModel {
 }
 
 /// Sender vector = occurrence-weighted mean of its ports' embeddings.
-fn average_port_vectors(
-    trace: &Trace,
-    ports: &Embedding<PortKey>,
-) -> HashMap<Ipv4, Vec<f32>> {
+fn average_port_vectors(trace: &Trace, ports: &Embedding<PortKey>) -> HashMap<Ipv4, Vec<f32>> {
     let dim = ports.dim();
     let mut sums: HashMap<Ipv4, (Vec<f32>, u64)> = HashMap::new();
     for p in trace.packets() {
@@ -174,9 +178,24 @@ mod tests {
         let mut packets = Vec::new();
         // Sender 1 alternates 23/2323 (telnet-ish); sender 2 hits 53/80.
         for i in 0..30u64 {
-            packets.push(Packet::new(Timestamp(i * HOUR / 2), ip(1), if i % 2 == 0 { 23 } else { 2323 }, Protocol::Tcp));
-            packets.push(Packet::new(Timestamp(i * HOUR / 2 + 7), ip(2), if i % 2 == 0 { 53 } else { 80 }, Protocol::Udp));
-            packets.push(Packet::new(Timestamp(i * HOUR / 2 + 9), ip(3), if i % 2 == 0 { 23 } else { 2323 }, Protocol::Tcp));
+            packets.push(Packet::new(
+                Timestamp(i * HOUR / 2),
+                ip(1),
+                if i % 2 == 0 { 23 } else { 2323 },
+                Protocol::Tcp,
+            ));
+            packets.push(Packet::new(
+                Timestamp(i * HOUR / 2 + 7),
+                ip(2),
+                if i % 2 == 0 { 53 } else { 80 },
+                Protocol::Udp,
+            ));
+            packets.push(Packet::new(
+                Timestamp(i * HOUR / 2 + 9),
+                ip(3),
+                if i % 2 == 0 { 23 } else { 2323 },
+                Protocol::Tcp,
+            ));
         }
         Trace::new(packets)
     }
@@ -200,7 +219,16 @@ mod tests {
     #[test]
     fn similar_port_profiles_embed_nearby() {
         let cfg = DanteConfig {
-            w2v: TrainConfig { dim: 12, window: 5, epochs: 20, min_count: 1, subsample: 0.0, threads: 1, seed: 5, ..TrainConfig::default() },
+            w2v: TrainConfig {
+                dim: 12,
+                window: 5,
+                epochs: 20,
+                min_count: 1,
+                subsample: 0.0,
+                threads: 1,
+                seed: 5,
+                ..TrainConfig::default()
+            },
             min_packets: 5,
             ..DanteConfig::default()
         };
@@ -221,7 +249,11 @@ mod tests {
 
     #[test]
     fn budget_aborts_without_training() {
-        let cfg = DanteConfig { skipgram_budget: Some(10), min_packets: 1, ..DanteConfig::default() };
+        let cfg = DanteConfig {
+            skipgram_budget: Some(10),
+            min_packets: 1,
+            ..DanteConfig::default()
+        };
         let model = run(&fixture(), &cfg);
         assert!(!model.completed);
         assert!(model.senders.is_none());

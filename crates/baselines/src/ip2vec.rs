@@ -69,7 +69,11 @@ pub struct Ip2VecConfig {
 impl Default for Ip2VecConfig {
     fn default() -> Self {
         Ip2VecConfig {
-            w2v: TrainConfig { min_count: 1, epochs: 10, ..TrainConfig::default() },
+            w2v: TrainConfig {
+                min_count: 1,
+                epochs: 10,
+                ..TrainConfig::default()
+            },
             pair_budget: None,
             min_packets: 10,
         }
@@ -113,6 +117,7 @@ pub fn build_pairs(trace: &Trace) -> Vec<Vec<Token>> {
 
 /// Runs IP2VEC end to end.
 pub fn run(trace: &Trace, cfg: &Ip2VecConfig) -> Ip2VecModel {
+    let _span = darkvec_obs::span!("ip2vec.run");
     let filtered = trace.filter_active(cfg.min_packets);
     let corpus = build_pairs(&filtered);
     let pairs = corpus.len() as u64;
@@ -126,9 +131,17 @@ pub fn run(trace: &Trace, cfg: &Ip2VecConfig) -> Ip2VecModel {
             };
         }
     }
-    let w2v = TrainConfig { window: 1, ..cfg.w2v.clone() };
+    let w2v = TrainConfig {
+        window: 1,
+        ..cfg.w2v.clone()
+    };
     let (embedding, stats) = train(&corpus, &w2v);
-    Ip2VecModel { embedding: Some(embedding), pairs, completed: true, elapsed: stats.elapsed }
+    Ip2VecModel {
+        embedding: Some(embedding),
+        pairs,
+        completed: true,
+        elapsed: stats.elapsed,
+    }
 }
 
 /// Extracts the sender sub-embedding as per-IP vectors, for kNN evaluation
@@ -159,9 +172,24 @@ mod tests {
         // Two telnet senders, two DNS senders.
         for i in 0..25u64 {
             packets.push(Packet::new(Timestamp(i * 100), ip(1), 23, Protocol::Tcp));
-            packets.push(Packet::new(Timestamp(i * 100 + 3), ip(2), 23, Protocol::Tcp));
-            packets.push(Packet::new(Timestamp(i * 100 + 5), ip(3), 53, Protocol::Udp));
-            packets.push(Packet::new(Timestamp(i * 100 + 7), ip(4), 53, Protocol::Udp));
+            packets.push(Packet::new(
+                Timestamp(i * 100 + 3),
+                ip(2),
+                23,
+                Protocol::Tcp,
+            ));
+            packets.push(Packet::new(
+                Timestamp(i * 100 + 5),
+                ip(3),
+                53,
+                Protocol::Udp,
+            ));
+            packets.push(Packet::new(
+                Timestamp(i * 100 + 7),
+                ip(4),
+                53,
+                Protocol::Udp,
+            ));
         }
         Trace::new(packets)
     }
@@ -176,7 +204,11 @@ mod tests {
 
     #[test]
     fn token_display_parse_round_trip() {
-        for t in [Token::Ip(ip(9)), Token::Port(PortKey::udp(53)), Token::Proto(Protocol::Icmp)] {
+        for t in [
+            Token::Ip(ip(9)),
+            Token::Port(PortKey::udp(53)),
+            Token::Proto(Protocol::Icmp),
+        ] {
             assert_eq!(t.to_string().parse::<Token>().unwrap(), t);
         }
         assert!("garbage".parse::<Token>().is_err());
@@ -186,7 +218,15 @@ mod tests {
     #[test]
     fn same_service_senders_embed_nearby() {
         let cfg = Ip2VecConfig {
-            w2v: TrainConfig { dim: 12, epochs: 30, min_count: 1, subsample: 0.0, threads: 1, seed: 3, ..TrainConfig::default() },
+            w2v: TrainConfig {
+                dim: 12,
+                epochs: 30,
+                min_count: 1,
+                subsample: 0.0,
+                threads: 1,
+                seed: 3,
+                ..TrainConfig::default()
+            },
             min_packets: 5,
             ..Ip2VecConfig::default()
         };
@@ -201,7 +241,14 @@ mod tests {
     #[test]
     fn sender_vectors_extracts_only_ips() {
         let cfg = Ip2VecConfig {
-            w2v: TrainConfig { dim: 8, epochs: 2, min_count: 1, threads: 1, seed: 1, ..TrainConfig::default() },
+            w2v: TrainConfig {
+                dim: 8,
+                epochs: 2,
+                min_count: 1,
+                threads: 1,
+                seed: 1,
+                ..TrainConfig::default()
+            },
             min_packets: 1,
             ..Ip2VecConfig::default()
         };
@@ -213,7 +260,11 @@ mod tests {
 
     #[test]
     fn budget_aborts() {
-        let cfg = Ip2VecConfig { pair_budget: Some(5), min_packets: 1, ..Ip2VecConfig::default() };
+        let cfg = Ip2VecConfig {
+            pair_budget: Some(5),
+            min_packets: 1,
+            ..Ip2VecConfig::default()
+        };
         let model = run(&fixture(), &cfg);
         assert!(!model.completed);
         assert!(model.embedding.is_none());

@@ -27,7 +27,11 @@ pub struct PortFeatureConfig {
 
 impl Default for PortFeatureConfig {
     fn default() -> Self {
-        PortFeatureConfig { top_per_class: 5, k: 7, threads: 0 }
+        PortFeatureConfig {
+            top_per_class: 5,
+            k: 7,
+            threads: 0,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ pub fn build_features(
     let mut per_class: HashMap<Label, Counter<PortKey>> = HashMap::new();
     for p in trace.packets() {
         if let Some(&l) = labels.get(&p.src) {
-            per_class.entry(l).or_insert_with(Counter::new).add(p.port_key());
+            per_class
+                .entry(l)
+                .or_insert_with(Counter::new)
+                .add(p.port_key());
         }
     }
     let mut feature_set: Vec<PortKey> = Vec::new();
@@ -72,8 +79,11 @@ pub fn build_features(
     // Per-sender traffic fractions over the feature ports.
     let mut totals: Counter<Ipv4> = Counter::new();
     let mut hits: HashMap<(Ipv4, usize), u64> = HashMap::new();
-    let index: HashMap<PortKey, usize> =
-        feature_set.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    let index: HashMap<PortKey, usize> = feature_set
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i))
+        .collect();
     for p in trace.packets() {
         if !labels.contains_key(&p.src) {
             continue;
@@ -84,7 +94,11 @@ pub fn build_features(
         }
     }
 
-    let mut senders: Vec<Ipv4> = labels.keys().copied().filter(|ip| totals.get(ip) > 0).collect();
+    let mut senders: Vec<Ipv4> = labels
+        .keys()
+        .copied()
+        .filter(|ip| totals.get(ip) > 0)
+        .collect();
     senders.sort();
     let dim = feature_set.len();
     let mut matrix = vec![0.0f32; senders.len() * dim];
@@ -96,7 +110,11 @@ pub fn build_features(
             }
         }
     }
-    PortFeatures { ports: feature_set, senders, matrix }
+    PortFeatures {
+        ports: feature_set,
+        senders,
+        matrix,
+    }
 }
 
 /// Runs the full baseline: features → leave-one-out k-NN → Table 6 report.
@@ -139,14 +157,29 @@ mod tests {
         for d in 1..=4u8 {
             labels.insert(ip(d), 0);
             for i in 0..20u64 {
-                packets.push(Packet::new(Timestamp(i * 100 + d as u64), ip(d), 23, Protocol::Tcp));
+                packets.push(Packet::new(
+                    Timestamp(i * 100 + d as u64),
+                    ip(d),
+                    23,
+                    Protocol::Tcp,
+                ));
             }
         }
         for d in 5..=8u8 {
             labels.insert(ip(d), 1);
             for i in 0..10u64 {
-                packets.push(Packet::new(Timestamp(i * 90 + d as u64), ip(d), 53, Protocol::Udp));
-                packets.push(Packet::new(Timestamp(i * 95 + d as u64), ip(d), 80, Protocol::Tcp));
+                packets.push(Packet::new(
+                    Timestamp(i * 90 + d as u64),
+                    ip(d),
+                    53,
+                    Protocol::Udp,
+                ));
+                packets.push(Packet::new(
+                    Timestamp(i * 95 + d as u64),
+                    ip(d),
+                    80,
+                    Protocol::Tcp,
+                ));
             }
         }
         (Trace::new(packets), labels)
@@ -171,8 +204,22 @@ mod tests {
     #[test]
     fn distinct_port_profiles_classify_perfectly() {
         let (trace, labels) = fixture();
-        let report = baseline_report(&trace, &labels, &["a", "b"], u32::MAX, &PortFeatureConfig { k: 3, threads: 1, top_per_class: 5 });
-        assert!((report.accuracy - 1.0).abs() < 1e-12, "report: {}", report.to_table());
+        let report = baseline_report(
+            &trace,
+            &labels,
+            &["a", "b"],
+            u32::MAX,
+            &PortFeatureConfig {
+                k: 3,
+                threads: 1,
+                top_per_class: 5,
+            },
+        );
+        assert!(
+            (report.accuracy - 1.0).abs() < 1e-12,
+            "report: {}",
+            report.to_table()
+        );
     }
 
     #[test]
@@ -194,8 +241,22 @@ mod tests {
             }
         }
         let trace = Trace::new(packets);
-        let report = baseline_report(&trace, &labels, &["a", "b"], u32::MAX, &PortFeatureConfig { k: 3, threads: 1, top_per_class: 5 });
-        assert!(report.accuracy < 0.8, "baseline should fail: {}", report.to_table());
+        let report = baseline_report(
+            &trace,
+            &labels,
+            &["a", "b"],
+            u32::MAX,
+            &PortFeatureConfig {
+                k: 3,
+                threads: 1,
+                top_per_class: 5,
+            },
+        );
+        assert!(
+            report.accuracy < 0.8,
+            "baseline should fail: {}",
+            report.to_table()
+        );
     }
 
     #[test]

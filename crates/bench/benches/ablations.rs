@@ -15,12 +15,26 @@ use darkvec_w2v::TrainConfig;
 use std::hint::black_box;
 
 fn bench_trace() -> Trace {
-    let cfg = SimConfig { days: 2, sender_scale: 0.008, rate_scale: 0.35, backscatter: false, seed: 7 };
+    let cfg = SimConfig {
+        days: 2,
+        sender_scale: 0.008,
+        rate_scale: 0.35,
+        backscatter: false,
+        seed: 7,
+    };
     simulate(&cfg).trace.filter_active(10)
 }
 
 fn small_w2v(seed: u64) -> TrainConfig {
-    TrainConfig { dim: 24, window: 8, epochs: 1, min_count: 1, threads: 0, seed, ..TrainConfig::default() }
+    TrainConfig {
+        dim: 24,
+        window: 8,
+        epochs: 1,
+        min_count: 1,
+        threads: 0,
+        seed,
+        ..TrainConfig::default()
+    }
 }
 
 /// Ablation #1 — end-to-end pipeline cost per service definition.
@@ -60,7 +74,11 @@ fn bench_arch_loss(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             let cfg = DarkVecConfig {
-                w2v: TrainConfig { arch, loss, ..small_w2v(7) },
+                w2v: TrainConfig {
+                    arch,
+                    loss,
+                    ..small_w2v(7)
+                },
                 ..DarkVecConfig::default()
             };
             b.iter(|| darkvec::pipeline::run(black_box(&trace), &cfg));
@@ -75,13 +93,20 @@ fn bench_negative_samples(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/negative");
     g.sample_size(10);
     for negative in [5usize, 10, 20] {
-        g.bench_with_input(BenchmarkId::from_parameter(negative), &negative, |b, &negative| {
-            let cfg = DarkVecConfig {
-                w2v: TrainConfig { negative, ..small_w2v(7) },
-                ..DarkVecConfig::default()
-            };
-            b.iter(|| darkvec::pipeline::run(black_box(&trace), &cfg));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(negative),
+            &negative,
+            |b, &negative| {
+                let cfg = DarkVecConfig {
+                    w2v: TrainConfig {
+                        negative,
+                        ..small_w2v(7)
+                    },
+                    ..DarkVecConfig::default()
+                };
+                b.iter(|| darkvec::pipeline::run(black_box(&trace), &cfg));
+            },
+        );
     }
     g.finish();
 }
@@ -94,7 +119,10 @@ fn bench_subsampling(c: &mut Criterion) {
     for (name, threshold) in [("off", 0.0f64), ("1e-3", 1e-3), ("1e-4", 1e-4)] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &threshold, |b, &t| {
             let cfg = DarkVecConfig {
-                w2v: TrainConfig { subsample: t, ..small_w2v(7) },
+                w2v: TrainConfig {
+                    subsample: t,
+                    ..small_w2v(7)
+                },
                 ..DarkVecConfig::default()
             };
             b.iter(|| darkvec::pipeline::run(black_box(&trace), &cfg));
@@ -131,7 +159,14 @@ fn bench_symmetrisation(c: &mut Criterion) {
     for (name, mutual) in [("union", false), ("mutual", true)] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &mutual, |b, &mutual| {
             b.iter(|| {
-                let graph = build_knn_graph(black_box(m), &KnnGraphConfig { k: 3, threads: 4, mutual });
+                let graph = build_knn_graph(
+                    black_box(m),
+                    &KnnGraphConfig {
+                        k: 3,
+                        threads: 4,
+                        mutual,
+                    },
+                );
                 louvain(&graph, 1)
             })
         });

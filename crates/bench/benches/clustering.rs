@@ -43,9 +43,11 @@ fn bench_knn(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(n as u64));
     for threads in [1usize, 4] {
-        g.bench_with_input(BenchmarkId::new("k7/threads", threads), &threads, |b, &t| {
-            b.iter(|| knn_all(black_box(m), 7, t))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("k7/threads", threads),
+            &threads,
+            |b, &t| b.iter(|| knn_all(black_box(m), 7, t)),
+        );
     }
     g.finish();
 }
@@ -55,7 +57,16 @@ fn bench_knn_graph(c: &mut Criterion) {
     let data = synthetic_embedding(20, 60, dim);
     let m = Matrix::new(&data, data.len() / dim, dim);
     c.bench_function("graph/build_knn_k3", |b| {
-        b.iter(|| build_knn_graph(black_box(m), &KnnGraphConfig { k: 3, threads: 4, mutual: false }))
+        b.iter(|| {
+            build_knn_graph(
+                black_box(m),
+                &KnnGraphConfig {
+                    k: 3,
+                    threads: 4,
+                    mutual: false,
+                },
+            )
+        })
     });
 }
 
@@ -63,8 +74,17 @@ fn bench_louvain(c: &mut Criterion) {
     let dim = 50;
     let data = synthetic_embedding(20, 60, dim);
     let m = Matrix::new(&data, data.len() / dim, dim);
-    let graph = build_knn_graph(m, &KnnGraphConfig { k: 3, threads: 4, mutual: false });
-    c.bench_function("graph/louvain_1200n", |b| b.iter(|| louvain(black_box(&graph), 1)));
+    let graph = build_knn_graph(
+        m,
+        &KnnGraphConfig {
+            k: 3,
+            threads: 4,
+            mutual: false,
+        },
+    );
+    c.bench_function("graph/louvain_1200n", |b| {
+        b.iter(|| louvain(black_box(&graph), 1))
+    });
 }
 
 fn bench_silhouette(c: &mut Criterion) {
@@ -75,9 +95,17 @@ fn bench_silhouette(c: &mut Criterion) {
     let assignment: Vec<u32> = (0..n).map(|i| (i / 100) as u32).collect();
     let mut g = c.benchmark_group("graph/silhouette");
     g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("1200x50", |b| b.iter(|| cluster_silhouettes(black_box(m), &assignment)));
+    g.bench_function("1200x50", |b| {
+        b.iter(|| cluster_silhouettes(black_box(m), &assignment))
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_knn, bench_knn_graph, bench_louvain, bench_silhouette);
+criterion_group!(
+    benches,
+    bench_knn,
+    bench_knn_graph,
+    bench_louvain,
+    bench_silhouette
+);
 criterion_main!(benches);

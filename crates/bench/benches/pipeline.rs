@@ -11,7 +11,13 @@ use darkvec_w2v::count_skipgrams;
 use std::hint::black_box;
 
 fn bench_cfg() -> SimConfig {
-    SimConfig { days: 2, sender_scale: 0.012, rate_scale: 0.4, backscatter: true, seed: 7 }
+    SimConfig {
+        days: 2,
+        sender_scale: 0.012,
+        rate_scale: 0.4,
+        backscatter: true,
+        seed: 7,
+    }
 }
 
 fn bench_simulator(c: &mut Criterion) {
@@ -28,7 +34,9 @@ fn bench_filtering(c: &mut Criterion) {
     let trace = simulate(&bench_cfg()).trace;
     let mut g = c.benchmark_group("trace");
     g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("filter_active", |b| b.iter(|| black_box(&trace).filter_active(10)));
+    g.bench_function("filter_active", |b| {
+        b.iter(|| black_box(&trace).filter_active(10))
+    });
     g.bench_function("stats", |b| b.iter(|| black_box(&trace).stats()));
     g.finish();
 }
@@ -64,7 +72,9 @@ fn bench_trace_io(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Bytes(bytes.len() as u64));
     g.bench_function("encode", |b| b.iter(|| io::to_bytes(black_box(&trace))));
-    g.bench_function("decode", |b| b.iter(|| io::from_bytes(black_box(&bytes[..])).unwrap()));
+    g.bench_function("decode", |b| {
+        b.iter(|| io::from_bytes(black_box(&bytes[..])).unwrap())
+    });
     g.finish();
 }
 

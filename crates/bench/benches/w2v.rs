@@ -10,7 +10,12 @@ use std::hint::black_box;
 /// A synthetic corpus with group structure: `groups` word groups of
 /// `words_per_group`, `sentences` sentences of length `len` drawn within a
 /// group.
-fn synthetic_corpus(groups: usize, words_per_group: usize, sentences: usize, len: usize) -> Vec<Vec<u32>> {
+fn synthetic_corpus(
+    groups: usize,
+    words_per_group: usize,
+    sentences: usize,
+    len: usize,
+) -> Vec<Vec<u32>> {
     let mut state = 0x2545_F491_4F6C_DD1Du64;
     let mut next = move || {
         state ^= state << 13;
@@ -21,7 +26,9 @@ fn synthetic_corpus(groups: usize, words_per_group: usize, sentences: usize, len
     (0..sentences)
         .map(|i| {
             let g = i % groups;
-            (0..len).map(|_| (g * words_per_group + next() % words_per_group) as u32).collect()
+            (0..len)
+                .map(|_| (g * words_per_group + next() % words_per_group) as u32)
+                .collect()
         })
         .collect()
 }
@@ -51,18 +58,22 @@ fn bench_training_throughput(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(tokens));
     for threads in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
-            let cfg = TrainConfig {
-                dim: 50,
-                window: 10,
-                epochs: 1,
-                min_count: 1,
-                threads,
-                seed: 7,
-                ..TrainConfig::default()
-            };
-            b.iter(|| train(black_box(&corpus), &cfg));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let cfg = TrainConfig {
+                    dim: 50,
+                    window: 10,
+                    epochs: 1,
+                    min_count: 1,
+                    threads,
+                    seed: 7,
+                    ..TrainConfig::default()
+                };
+                b.iter(|| train(black_box(&corpus), &cfg));
+            },
+        );
     }
     g.finish();
 }
@@ -90,5 +101,11 @@ fn bench_dimension_cost(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_vocab, bench_unigram_table, bench_training_throughput, bench_dimension_cost);
+criterion_group!(
+    benches,
+    bench_vocab,
+    bench_unigram_table,
+    bench_training_throughput,
+    bench_dimension_cost
+);
 criterion_main!(benches);

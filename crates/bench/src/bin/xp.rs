@@ -8,14 +8,18 @@
 //!
 //! Regenerates the paper's tables and figures (DESIGN.md §3 maps ids to
 //! artifacts). Output is printed and mirrored under `--out` (default
-//! `results/`).
+//! `results/`). Every experiment also writes a JSON run manifest (stage
+//! timings + metrics) under `<out>/manifests/`; `-v` or `DARKVEC_LOG`
+//! control diagnostic verbosity.
 
 use darkvec_bench::{experiments, Ctx};
 use darkvec_gen::SimConfig;
+use darkvec_obs::{Json, Level, ManifestBuilder};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    darkvec_obs::log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
@@ -48,6 +52,11 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => return fail("--out needs a directory"),
             },
+            "-v" => darkvec_obs::log::set_level(Some(Level::Debug)),
+            "--log-level" => match it.next().as_deref().and_then(Level::parse) {
+                Some(parsed) => darkvec_obs::log::set_level(parsed),
+                None => return fail("--log-level must be error|warn|info|debug|off"),
+            },
             "list" => {
                 println!("available experiments:");
                 for id in experiments::ALL {
@@ -70,15 +79,28 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let ctx = Ctx::new(sim_cfg, out_dir);
+    let manifest_dir = out_dir.join("manifests");
+    let ctx = Ctx::new(sim_cfg.clone(), out_dir);
     for id in &ids {
+        // Spans/metrics are process-global; reset between experiments so
+        // each manifest describes exactly one experiment (the shared
+        // sim/model caches mean later manifests may show fewer stages).
+        darkvec_obs::span::reset();
+        darkvec_obs::metrics::reset();
+        darkvec_obs::manifest::clear_attached();
+        let manifest = ManifestBuilder::new(&format!("xp-{id}"));
         let started = std::time::Instant::now();
         match experiments::run(&ctx, id) {
             Some(output) => {
                 println!("\n================ {id} ================\n");
                 println!("{output}");
                 let path = ctx.write_artifact(&format!("{id}.txt"), &output);
-                eprintln!("[xp] {id} done in {:.1?} -> {}", started.elapsed(), path.display());
+                write_manifest(manifest, &manifest_dir, id, &sim_cfg, &path);
+                darkvec_obs::info!(
+                    "{id} done in {:.1?} -> {}",
+                    started.elapsed(),
+                    path.display()
+                );
             }
             None => {
                 eprintln!("unknown experiment '{id}' (try: xp list)");
@@ -87,6 +109,36 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Writes one experiment's run manifest; failures are warnings, not
+/// errors — the experiment's artifact is already on disk.
+fn write_manifest(
+    mut manifest: ManifestBuilder,
+    dir: &std::path::Path,
+    id: &str,
+    sim_cfg: &SimConfig,
+    artifact: &std::path::Path,
+) {
+    manifest.section(
+        "experiment",
+        Json::obj()
+            .with("id", id)
+            .with("artifact", artifact.display().to_string()),
+    );
+    manifest.section(
+        "sim_config",
+        Json::obj()
+            .with("days", sim_cfg.days)
+            .with("sender_scale", sim_cfg.sender_scale)
+            .with("rate_scale", sim_cfg.rate_scale)
+            .with("backscatter", sim_cfg.backscatter)
+            .with("seed", sim_cfg.seed),
+    );
+    match manifest.write(dir) {
+        Ok(path) => darkvec_obs::info!("manifest: {}", path.display()),
+        Err(e) => darkvec_obs::warn!("could not write manifest to {}: {e}", dir.display()),
+    }
 }
 
 fn take_f64(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, String> {
@@ -110,7 +162,10 @@ fn usage() {
          --scale S   multiply simulation size by S (default 1.0 = 1/10 paper scale)\n\
          --days D    capture length in days (default 30)\n\
          --seed N    simulation seed (default 1)\n\
-         --out DIR   artifact directory (default results/)",
+         --out DIR   artifact directory (default results/)\n\
+         -v          debug logging (also --log-level LEVEL or DARKVEC_LOG)\n\
+         \n\
+         each experiment writes a JSON run manifest under <out>/manifests/",
         experiments::ALL.join(" | ")
     );
 }

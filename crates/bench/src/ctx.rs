@@ -47,8 +47,10 @@ impl Ctx {
     }
 
     fn note(&self, msg: &str) {
+        // `verbose = false` (test contexts) silences notes regardless of
+        // the global log level.
         if self.verbose {
-            eprintln!("[xp] {msg}");
+            darkvec_obs::info!("{msg}");
         }
     }
 
@@ -141,7 +143,10 @@ impl Ctx {
 
     /// Last-day labels as dense ml labels.
     pub fn last_day_ml_labels(&self) -> HashMap<Ipv4, u32> {
-        self.last_day_labels().iter().map(|(&ip, &c)| (ip, c.label())).collect()
+        self.last_day_labels()
+            .iter()
+            .map(|(&ip, &c)| (ip, c.label()))
+            .collect()
     }
 
     /// The hidden ground truth.

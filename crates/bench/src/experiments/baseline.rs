@@ -10,9 +10,13 @@ use darkvec_ml::metrics::ClassReport;
 /// per class) and renders the Table 6 report.
 pub fn table6(ctx: &Ctx) -> String {
     let report = baseline_class_report(ctx, 7);
-    let mut out = String::from("Table 6: baseline 7-NN classifier on top-port traffic fractions\n\n");
+    let mut out =
+        String::from("Table 6: baseline 7-NN classifier on top-port traffic fractions\n\n");
     out.push_str(&render_report(&report));
-    out.push_str(&format!("\naccuracy over GT classes: {}\n", f(report.accuracy, 4)));
+    out.push_str(&format!(
+        "\naccuracy over GT classes: {}\n",
+        f(report.accuracy, 4)
+    ));
     out
 }
 
@@ -25,7 +29,10 @@ pub fn baseline_class_report(ctx: &Ctx, k: usize) -> ClassReport {
         &labels,
         &GtClass::names(),
         GtClass::Unknown.label(),
-        &PortFeatureConfig { k, ..PortFeatureConfig::default() },
+        &PortFeatureConfig {
+            k,
+            ..PortFeatureConfig::default()
+        },
     )
 }
 

@@ -18,16 +18,27 @@ pub fn table2(ctx: &Ctx) -> String {
     let mut senders: HashMap<GtClass, std::collections::HashSet<Ipv4>> = HashMap::new();
     for p in last.packets() {
         if let Some(&class) = labels.get(&p.src) {
-            per_class.entry(class).or_insert_with(Counter::new).add(p.port_key());
+            per_class
+                .entry(class)
+                .or_insert_with(Counter::new)
+                .add(p.port_key());
             senders.entry(class).or_default().insert(p.src);
         }
     }
 
     let mut out = String::from("Table 2: ground-truth classes, last day (active senders)\n\n");
-    let mut t = TextTable::new(vec!["class", "senders", "packets", "ports", "top-5 ports (% traffic)"]);
+    let mut t = TextTable::new(vec![
+        "class",
+        "senders",
+        "packets",
+        "ports",
+        "top-5 ports (% traffic)",
+    ]);
     let mut totals = (0u64, 0u64);
     for class in GtClass::ALL {
-        let Some(ports) = per_class.get(&class) else { continue };
+        let Some(ports) = per_class.get(&class) else {
+            continue;
+        };
         let n_senders = senders[&class].len();
         let top = ports
             .top(5)
@@ -67,15 +78,22 @@ pub fn fig3(ctx: &Ctx) -> String {
     let mut counts: HashMap<GtClass, Vec<u64>> = HashMap::new();
     for p in last.packets() {
         if let Some(&class) = labels.get(&p.src) {
-            let row = counts.entry(class).or_insert_with(|| vec![0; services.len()]);
+            let row = counts
+                .entry(class)
+                .or_insert_with(|| vec![0; services.len()]);
             row[services.service_of(p.port_key())] += 1;
         }
     }
 
-    let mut out =
-        String::from("Figure 3: fraction of daily packets per (service x class), normalised per class\n\n");
+    let mut out = String::from(
+        "Figure 3: fraction of daily packets per (service x class), normalised per class\n\n",
+    );
     let mut header = vec!["service".to_string()];
-    let classes: Vec<GtClass> = GtClass::ALL.iter().copied().filter(|c| counts.contains_key(c)).collect();
+    let classes: Vec<GtClass> = GtClass::ALL
+        .iter()
+        .copied()
+        .filter(|c| counts.contains_key(c))
+        .collect();
     header.extend(classes.iter().map(|c| c.name().to_string()));
     let mut t = TextTable::new(header);
     for (sid, sname) in services.names().iter().enumerate() {
@@ -83,8 +101,16 @@ pub fn fig3(ctx: &Ctx) -> String {
         for class in &classes {
             let col = &counts[class];
             let total: u64 = col.iter().sum();
-            let frac = if total == 0 { 0.0 } else { col[sid] as f64 / total as f64 };
-            row.push(if frac == 0.0 { "-".to_string() } else { pct(frac) });
+            let frac = if total == 0 {
+                0.0
+            } else {
+                col[sid] as f64 / total as f64
+            };
+            row.push(if frac == 0.0 {
+                "-".to_string()
+            } else {
+                pct(frac)
+            });
         }
         t.row(row);
     }
@@ -103,7 +129,12 @@ mod tests {
     fn table2_lists_all_gt_classes() {
         let ctx = Ctx::for_tests(51);
         let out = table2(&ctx);
-        for class in [GtClass::MiraiLike, GtClass::Censys, GtClass::EnginUmich, GtClass::Unknown] {
+        for class in [
+            GtClass::MiraiLike,
+            GtClass::Censys,
+            GtClass::EnginUmich,
+            GtClass::Unknown,
+        ] {
             assert!(out.contains(class.name()), "missing {class} in:\n{out}");
         }
         assert!(out.contains("Total"));
@@ -117,8 +148,13 @@ mod tests {
         let header_line = out.lines().find(|l| l.starts_with("service")).unwrap();
         let engin_col = header_line.find("Engin-umich").expect("engin column");
         let dns_line = out.lines().find(|l| l.starts_with("DNS")).unwrap();
-        let cell: String =
-            dns_line.chars().skip(engin_col).take(9).collect::<String>().trim().to_string();
+        let cell: String = dns_line
+            .chars()
+            .skip(engin_col)
+            .take(9)
+            .collect::<String>()
+            .trim()
+            .to_string();
         assert_eq!(cell, "100.0%", "fig3 output:\n{out}");
     }
 }

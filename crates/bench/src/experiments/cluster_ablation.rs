@@ -36,22 +36,48 @@ pub fn cluster_ablation(ctx: &Ctx) -> String {
         .filter_map(|ip| ctx.truth().campaign(ip).map(|c| (ip, c)))
         .collect();
 
-    let mut out = String::from(
-        "Extension (paper §7.1): classic clustering vs k'-NN graph + Louvain\n\n",
-    );
+    let mut out =
+        String::from("Extension (paper §7.1): classic clustering vs k'-NN graph + Louvain\n\n");
     let mut t = TextTable::new(vec![
-        "method", "clusters", "noise", "campaigns recovered", "mean silhouette",
+        "method",
+        "clusters",
+        "noise",
+        "campaigns recovered",
+        "mean silhouette",
     ]);
 
     // Louvain (the paper's choice).
     let louvain = default_clustering(ctx);
     let louvain_assign = louvain.assignment.clone();
-    t.row(score_row(ctx, emb, &truth, "kNN-graph + Louvain", &louvain_assign, 0, matrix));
+    t.row(score_row(
+        ctx,
+        emb,
+        &truth,
+        "kNN-graph + Louvain",
+        &louvain_assign,
+        0,
+        matrix,
+    ));
 
     // k-Means at the "oracle" k (Louvain's cluster count — a generous
     // tuning the analyst would not actually have).
-    let km = kmeans(matrix, &KMeansConfig { k: louvain.clusters.max(2).min(emb.len()), max_iters: 50, seed: ctx.sim_cfg.seed });
-    t.row(score_row(ctx, emb, &truth, "k-Means (oracle k)", &km.assignment, 0, matrix));
+    let km = kmeans(
+        matrix,
+        &KMeansConfig {
+            k: louvain.clusters.max(2).min(emb.len()),
+            max_iters: 50,
+            seed: ctx.sim_cfg.seed,
+        },
+    );
+    t.row(score_row(
+        ctx,
+        emb,
+        &truth,
+        "k-Means (oracle k)",
+        &km.assignment,
+        0,
+        matrix,
+    ));
 
     // DBSCAN at two eps settings, demonstrating the tuning dilemma.
     for (name, eps) in [("DBSCAN eps=0.05", 0.05), ("DBSCAN eps=0.30", 0.30)] {
@@ -72,14 +98,30 @@ pub fn cluster_ablation(ctx: &Ctx) -> String {
                 }
             })
             .collect();
-        t.row(score_row(ctx, emb, &truth, name, &assignment, db.noise_count(), matrix));
+        t.row(score_row(
+            ctx,
+            emb,
+            &truth,
+            name,
+            &assignment,
+            db.noise_count(),
+            matrix,
+        ));
     }
 
     // HAC cut at the oracle cluster count.
     if emb.len() <= 6_000 {
         let dendrogram = hac_average(matrix);
         let assignment = dendrogram.cut_k(louvain.clusters.max(2).min(emb.len()));
-        t.row(score_row(ctx, emb, &truth, "HAC avg (oracle k)", &assignment, 0, matrix));
+        t.row(score_row(
+            ctx,
+            emb,
+            &truth,
+            "HAC avg (oracle k)",
+            &assignment,
+            0,
+            matrix,
+        ));
     } else {
         t.row(vec![
             "HAC avg (oracle k)".to_string(),
@@ -105,7 +147,11 @@ fn score_row(
     noise: usize,
     matrix: Matrix<'_>,
 ) -> Vec<String> {
-    let nclusters = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let nclusters = assignment
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     // Members per cluster.
     let mut members: Vec<Vec<Ipv4>> = vec![Vec::new(); nclusters];
     for (row, &c) in assignment.iter().enumerate() {
@@ -132,7 +178,11 @@ fn score_row(
         }
     }
     let sil = silhouette_samples(matrix, assignment);
-    let mean_sil = if sil.is_empty() { 0.0 } else { sil.iter().sum::<f64>() / sil.len() as f64 };
+    let mean_sil = if sil.is_empty() {
+        0.0
+    } else {
+        sil.iter().sum::<f64>() / sil.len() as f64
+    };
     vec![
         name.to_string(),
         nclusters.to_string(),

@@ -3,7 +3,9 @@
 use crate::table::{count, f, TextTable};
 use crate::Ctx;
 use darkvec::inspect::profile_clusters;
-use darkvec::unsupervised::{cluster_embedding, dominant_labels, k_sweep, ClusterConfig, Clustering};
+use darkvec::unsupervised::{
+    cluster_embedding, dominant_labels, k_sweep, ClusterConfig, Clustering,
+};
 use darkvec_gen::CampaignId;
 use darkvec_types::Ipv4;
 use std::collections::HashMap;
@@ -18,7 +20,10 @@ pub fn fig10(ctx: &Ctx) -> String {
     let mut t = TextTable::new(vec!["k'", "clusters", "modularity", "graph components"]);
     let mut csv = String::from("k,clusters,modularity,components\n");
     for p in &points {
-        csv.push_str(&format!("{},{},{:.6},{}\n", p.k, p.clusters, p.modularity, p.components));
+        csv.push_str(&format!(
+            "{},{},{:.6},{}\n",
+            p.k, p.clusters, p.modularity, p.components
+        ));
         t.row(vec![
             p.k.to_string(),
             p.clusters.to_string(),
@@ -36,7 +41,11 @@ pub fn fig10(ctx: &Ctx) -> String {
 pub fn default_clustering(ctx: &Ctx) -> Clustering {
     cluster_embedding(
         &ctx.model().embedding,
-        &ClusterConfig { k: 3, seed: ctx.sim_cfg.seed, threads: 0 },
+        &ClusterConfig {
+            k: 3,
+            seed: ctx.sim_cfg.seed,
+            threads: 0,
+        },
     )
 }
 
@@ -53,10 +62,20 @@ pub fn fig11(ctx: &Ctx) -> String {
         "Figure 11: average silhouette of the {} clusters (k'=3, modularity {:.3})\n\n",
         clustering.clusters, clustering.modularity
     );
-    let mut t = TextTable::new(vec!["rank", "cluster", "size", "silhouette", "dominant campaign (purity)"]);
+    let mut t = TextTable::new(vec![
+        "rank",
+        "cluster",
+        "size",
+        "silhouette",
+        "dominant campaign (purity)",
+    ]);
     let mut csv = String::from("rank,cluster,size,silhouette\n");
     for (rank, (cid, sil)) in clustering.silhouette_ranking().into_iter().enumerate() {
-        csv.push_str(&format!("{},{cid},{},{sil:.6}\n", rank + 1, sizes[cid as usize]));
+        csv.push_str(&format!(
+            "{},{cid},{},{sil:.6}\n",
+            rank + 1,
+            sizes[cid as usize]
+        ));
         let note = match &dominants[cid as usize] {
             Some((campaign, purity)) => format!("{campaign} ({:.0}%)", purity * 100.0),
             None => "-".to_string(),
@@ -90,12 +109,20 @@ pub fn table5(ctx: &Ctx) -> String {
 
     let mut out = String::from("Table 5: summary of extracted coordinated senders (k'=3)\n\n");
     let mut t = TextTable::new(vec![
-        "cluster", "campaign (purity)", "IPs", "ports", "sil.", "/24s", "evidence",
+        "cluster",
+        "campaign (purity)",
+        "IPs",
+        "ports",
+        "sil.",
+        "/24s",
+        "evidence",
     ]);
     // Notable clusters: dominated by a coordinated campaign.
     let mut shown = 0;
     for p in &profiles {
-        let Some((campaign, purity)) = &dominants[p.cluster as usize] else { continue };
+        let Some((campaign, purity)) = &dominants[p.cluster as usize] else {
+            continue;
+        };
         if !campaign.coordinated() || p.ips < 4 || *purity < 0.5 {
             continue;
         }

@@ -19,9 +19,8 @@ const BUDGET_FACTOR: u64 = 8;
 
 /// Runs the comparison on the first 5 days and the full capture.
 pub fn table3(ctx: &Ctx) -> String {
-    let mut out = String::from(
-        "Table 3: DarkVec vs IP2VEC vs DANTE (k=7 LOO accuracy over GT classes)\n",
-    );
+    let mut out =
+        String::from("Table 3: DarkVec vs IP2VEC vs DANTE (k=7 LOO accuracy over GT classes)\n");
     let full_days = ctx.trace().days();
     let short_days = 5.min(full_days.saturating_sub(1)).max(1);
     for days in [short_days, full_days] {
@@ -38,7 +37,12 @@ fn run_scenario(ctx: &Ctx, days: u64) -> TextTable {
     let k = 7;
 
     let mut t = TextTable::new(vec![
-        "method", "epochs", "skip-grams/pairs", "training", "accuracy", "coverage",
+        "method",
+        "epochs",
+        "skip-grams/pairs",
+        "training",
+        "accuracy",
+        "coverage",
     ]);
 
     // DarkVec: domain-knowledge services; the paper trains 20 epochs on the
@@ -49,8 +53,18 @@ fn run_scenario(ctx: &Ctx, days: u64) -> TextTable {
     let (acc, coverage) = if model.embedding.is_empty() {
         (0.0, 0.0)
     } else {
-        let ev = Evaluation::prepare(&model.embedding, &eval_labels, 10, GtClass::Unknown.label(), k, 0);
-        (ev.accuracy(k), Evaluation::coverage(&model.embedding, &eval_labels))
+        let ev = Evaluation::prepare(
+            &model.embedding,
+            &eval_labels,
+            10,
+            GtClass::Unknown.label(),
+            k,
+            0,
+        );
+        (
+            ev.accuracy(k),
+            Evaluation::coverage(&model.embedding, &eval_labels),
+        )
     };
     t.row(vec![
         "DarkVec".to_string(),
@@ -153,8 +167,15 @@ pub fn accuracy_from_vectors(
             _ => {}
         }
     }
-    let acc = if seen == 0 { 0.0 } else { correct as f64 / seen as f64 };
-    let covered = eval_labels.keys().filter(|ip| vectors.contains_key(ip)).count();
+    let acc = if seen == 0 {
+        0.0
+    } else {
+        correct as f64 / seen as f64
+    };
+    let covered = eval_labels
+        .keys()
+        .filter(|ip| vectors.contains_key(ip))
+        .count();
     (acc, covered as f64 / eval_labels.len().max(1) as f64)
 }
 
@@ -169,7 +190,14 @@ mod tests {
         for d in 0..6u8 {
             let ip = Ipv4::new(10, 0, 0, d);
             let class = (d / 3) as u32;
-            vectors.insert(ip, if class == 0 { vec![1.0, 0.0] } else { vec![0.0, 1.0] });
+            vectors.insert(
+                ip,
+                if class == 0 {
+                    vec![1.0, 0.0]
+                } else {
+                    vec![0.0, 1.0]
+                },
+            );
             labels.insert(ip, class);
         }
         let (acc, cov) = accuracy_from_vectors(&vectors, &labels, 2);

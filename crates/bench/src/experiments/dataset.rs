@@ -71,7 +71,12 @@ pub fn fig1(ctx: &Ctx) -> String {
     marks.dedup();
     for &r in marks.iter().filter(|&&r| r < n) {
         let (key, pkts, cum) = &ranked[r];
-        t.row(vec![(r + 1).to_string(), key.to_string(), count(*pkts), pct(*cum)]);
+        t.row(vec![
+            (r + 1).to_string(),
+            key.to_string(),
+            count(*pkts),
+            pct(*cum),
+        ]);
     }
     out.push_str(&t.render());
 

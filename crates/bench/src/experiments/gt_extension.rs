@@ -42,9 +42,21 @@ fn consistent(campaign: CampaignId, class: GtClass) -> bool {
 pub fn gt_extend(ctx: &Ctx) -> String {
     let model = ctx.model();
     let labels = ctx.last_day_ml_labels();
-    let ev = Evaluation::prepare(&model.embedding, &labels, 10, GtClass::Unknown.label(), 7, 0);
-    let extensions =
-        extend_ground_truth(&model.embedding, ev.neighbors(), ev.labels(), GtClass::Unknown.label(), 7);
+    let ev = Evaluation::prepare(
+        &model.embedding,
+        &labels,
+        10,
+        GtClass::Unknown.label(),
+        7,
+        0,
+    );
+    let extensions = extend_ground_truth(
+        &model.embedding,
+        ev.neighbors(),
+        ev.labels(),
+        GtClass::Unknown.label(),
+        7,
+    );
 
     let mut out = String::from("Section 6.4: ground-truth extension by embedding distance\n\n");
     let mut per_class: HashMap<u32, (usize, usize)> = HashMap::new();
@@ -60,10 +72,17 @@ pub fn gt_extend(ctx: &Ctx) -> String {
         }
     }
 
-    let mut t = TextTable::new(vec!["proposed class", "extensions", "consistent with hidden truth", "precision"]);
+    let mut t = TextTable::new(vec![
+        "proposed class",
+        "extensions",
+        "consistent with hidden truth",
+        "precision",
+    ]);
     let mut total = (0usize, 0usize);
     for class in GtClass::ALL {
-        let Some(&(n, good)) = per_class.get(&class.label()) else { continue };
+        let Some(&(n, good)) = per_class.get(&class.label()) else {
+            continue;
+        };
         t.row(vec![
             class.name().to_string(),
             n.to_string(),

@@ -15,13 +15,24 @@ pub fn table4(ctx: &Ctx) -> String {
     let mut out = String::from("Table 4: 7-NN classifier report per service definition\n");
     for (name, def, c) in [
         ("Single service (c=75, V=50)", ServiceDef::Single, 75),
-        ("Auto-defined services (c=50, V=50)", ServiceDef::Auto(10), 50),
-        ("Domain knowledge based (c=25, V=50)", ServiceDef::DomainKnowledge, 25),
+        (
+            "Auto-defined services (c=50, V=50)",
+            ServiceDef::Auto(10),
+            50,
+        ),
+        (
+            "Domain knowledge based (c=25, V=50)",
+            ServiceDef::DomainKnowledge,
+            25,
+        ),
     ] {
         let report = service_report(ctx, def, c, 7);
         out.push_str(&format!("\n--- {name} ---\n"));
         out.push_str(&render_report(&report));
-        out.push_str(&format!("accuracy over GT classes: {}\n", f(report.accuracy, 4)));
+        out.push_str(&format!(
+            "accuracy over GT classes: {}\n",
+            f(report.accuracy, 4)
+        ));
     }
     out.push_str("\nExpected shape: single service fails on minority classes; domain/auto recover them;\nStretchoid recall stays low (irregular pattern); Engin-umich is perfect.\n");
     out
@@ -32,7 +43,14 @@ pub fn service_report(ctx: &Ctx, def: ServiceDef, window: usize, k: usize) -> Cl
     let cfg = ctx.config_with(def, window, 50);
     let model = darkvec::pipeline::run(ctx.trace(), &cfg);
     let eval_labels = ctx.last_day_ml_labels();
-    let ev = Evaluation::prepare(&model.embedding, &eval_labels, 10, GtClass::Unknown.label(), k, 0);
+    let ev = Evaluation::prepare(
+        &model.embedding,
+        &eval_labels,
+        10,
+        GtClass::Unknown.label(),
+        k,
+        0,
+    );
     ev.report(k, &GtClass::names())
 }
 

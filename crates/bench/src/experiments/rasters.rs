@@ -18,12 +18,26 @@ pub fn fig9(ctx: &Ctx) -> String {
     let mut out = String::from("Figure 9: activity patterns of GT classes\n");
     let labels = ctx.sim().truth.label_trace(ctx.trace());
     for (class, note) in [
-        (GtClass::Stretchoid, "expected: sparse, irregular (defeats the embedding)"),
-        (GtClass::EnginUmich, "expected: a few coordinated impulses on 53/udp"),
+        (
+            GtClass::Stretchoid,
+            "expected: sparse, irregular (defeats the embedding)",
+        ),
+        (
+            GtClass::EnginUmich,
+            "expected: a few coordinated impulses on 53/udp",
+        ),
     ] {
-        let ips: HashSet<Ipv4> =
-            labels.iter().filter(|&(_, &c)| c == class).map(|(&ip, _)| ip).collect();
-        out.push_str(&format!("\n--- {} ({} senders) — {} ---\n", class.name(), ips.len(), note));
+        let ips: HashSet<Ipv4> = labels
+            .iter()
+            .filter(|&(_, &c)| c == class)
+            .map(|(&ip, _)| ip)
+            .collect();
+        out.push_str(&format!(
+            "\n--- {} ({} senders) — {} ---\n",
+            class.name(),
+            ips.len(),
+            note
+        ));
         out.push_str(&daily_activity(ctx.trace(), &ips).render());
         ctx.write_artifact(
             &format!("fig9_{}.csv", class.name().to_lowercase()),
@@ -38,7 +52,13 @@ pub fn fig9(ctx: &Ctx) -> String {
 /// NetBIOS /24 scan (14) and the growing ADB worm (15).
 pub fn fig12_15(ctx: &Ctx) -> String {
     let model = ctx.model();
-    let clustering = cluster_embedding(&model.embedding, &ClusterConfig { seed: ctx.sim_cfg.seed, ..ClusterConfig::default() });
+    let clustering = cluster_embedding(
+        &model.embedding,
+        &ClusterConfig {
+            seed: ctx.sim_cfg.seed,
+            ..ClusterConfig::default()
+        },
+    );
     let members = clustering.members(&model.embedding);
     let truth = ctx.truth();
 
@@ -51,11 +71,20 @@ pub fn fig12_15(ctx: &Ctx) -> String {
     }
 
     let mut out = String::from("Figures 12-15: activity patterns of discovered clusters\n");
-    let figures: [(&str, fn(CampaignId) -> bool); 4] = [
-        ("Figure 12: Censys sub-clusters", |c| matches!(c, CampaignId::Censys(_))),
-        ("Figure 13: Shadowserver sub-clusters", |c| matches!(c, CampaignId::Shadowserver(_))),
-        ("Figure 14: unknown1 NetBIOS /24 scan", |c| c == CampaignId::U1NetBios),
-        ("Figure 15: unknown4 ADB worm", |c| c == CampaignId::U4AdbWorm),
+    type CampaignFilter = fn(CampaignId) -> bool;
+    let figures: [(&str, CampaignFilter); 4] = [
+        ("Figure 12: Censys sub-clusters", |c| {
+            matches!(c, CampaignId::Censys(_))
+        }),
+        ("Figure 13: Shadowserver sub-clusters", |c| {
+            matches!(c, CampaignId::Shadowserver(_))
+        }),
+        ("Figure 14: unknown1 NetBIOS /24 scan", |c| {
+            c == CampaignId::U1NetBios
+        }),
+        ("Figure 15: unknown4 ADB worm", |c| {
+            c == CampaignId::U4AdbWorm
+        }),
     ];
 
     for (title, wanted) in figures {
@@ -72,7 +101,9 @@ pub fn fig12_15(ctx: &Ctx) -> String {
                     *counts.entry(c).or_insert(0) += 1;
                 }
             }
-            let Some((&dom, &n)) = counts.iter().max_by_key(|&(_, &n)| n) else { continue };
+            let Some((&dom, &n)) = counts.iter().max_by_key(|&(_, &n)| n) else {
+                continue;
+            };
             if !wanted(dom) || n * 2 < ips.len() {
                 continue;
             }
@@ -85,7 +116,10 @@ pub fn fig12_15(ctx: &Ctx) -> String {
                 ips.len()
             ));
             out.push_str(&daily_activity(ctx.trace(), &set).render());
-            ctx.write_artifact(&format!("fig12_15_C{cid}.csv"), &group_raster_csv(ctx.trace(), &set));
+            ctx.write_artifact(
+                &format!("fig12_15_C{cid}.csv"),
+                &group_raster_csv(ctx.trace(), &set),
+            );
         }
         if shown == 0 {
             out.push_str("(no cluster dominated by this campaign at this scale)\n");
@@ -107,7 +141,11 @@ pub fn daily_activity(trace: &Trace, ips: &HashSet<Ipv4>) -> TextTable {
                 active.insert(p.src);
             }
         }
-        t.row(vec![day.to_string(), count(pkts), count(active.len() as u64)]);
+        t.row(vec![
+            day.to_string(),
+            count(pkts),
+            count(active.len() as u64),
+        ]);
     }
     t
 }

@@ -52,7 +52,11 @@ pub fn table7(ctx: &Ctx) -> String {
             }
             s.join(", ")
         };
-        t.row(vec![name.clone(), plist, format!("{:.2}%", 100.0 * pkts[sid] as f64 / total)]);
+        t.row(vec![
+            name.clone(),
+            plist,
+            format!("{:.2}%", 100.0 * pkts[sid] as f64 / total),
+        ]);
     }
     out.push_str(&t.render());
     out
@@ -66,7 +70,15 @@ mod tests {
     fn table7_lists_all_services() {
         let ctx = Ctx::for_tests(96);
         let out = table7(&ctx);
-        for name in ["Telnet", "SSH", "DNS", "Netbios-SMB", "P2P", "Unknown Ephemeral", "ICMP"] {
+        for name in [
+            "Telnet",
+            "SSH",
+            "DNS",
+            "Netbios-SMB",
+            "P2P",
+            "Unknown Ephemeral",
+            "ICMP",
+        ] {
             assert!(out.contains(name), "missing {name}");
         }
         assert!(out.contains("23/tcp"));

@@ -26,7 +26,12 @@ pub fn transfer(ctx: &Ctx) -> String {
     let mut out = String::from(
         "Extension (paper §8): temporal transfer — train early, classify the last day\n\n",
     );
-    let mut t = TextTable::new(vec!["training period", "embedded", "coverage", "accuracy (k=7)"]);
+    let mut t = TextTable::new(vec![
+        "training period",
+        "embedded",
+        "coverage",
+        "accuracy (k=7)",
+    ]);
     for (label, train_days) in [
         ("first half", days / 2),
         ("first 2/3", days * 2 / 3),
@@ -38,8 +43,15 @@ pub fn transfer(ctx: &Ctx) -> String {
         let acc = if model.embedding.is_empty() {
             0.0
         } else {
-            Evaluation::prepare(&model.embedding, &eval_labels, 10, GtClass::Unknown.label(), 7, 0)
-                .accuracy(7)
+            Evaluation::prepare(
+                &model.embedding,
+                &eval_labels,
+                10,
+                GtClass::Unknown.label(),
+                7,
+                0,
+            )
+            .accuracy(7)
         };
         t.row(vec![
             format!("{label} ({} days)", train_days.max(1)),

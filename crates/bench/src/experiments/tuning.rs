@@ -9,13 +9,21 @@ use darkvec_gen::GtClass;
 /// Figure 6 — embedding coverage (and accuracy) vs training-window length.
 pub fn fig6(ctx: &Ctx) -> String {
     let full_days = ctx.trace().days();
-    let windows: Vec<u64> =
-        [1u64, 5, 10, 20, 30].iter().copied().filter(|&d| d <= full_days).collect();
+    let windows: Vec<u64> = [1u64, 5, 10, 20, 30]
+        .iter()
+        .copied()
+        .filter(|&d| d <= full_days)
+        .collect();
     let eval_labels = ctx.last_day_ml_labels();
 
     let mut out = String::from("Figure 6: impact of training window length\n\n");
     let mut csv = String::from("training_days,embedded,coverage,accuracy\n");
-    let mut t = TextTable::new(vec!["training days", "embedded senders", "coverage", "accuracy (k=7)"]);
+    let mut t = TextTable::new(vec![
+        "training days",
+        "embedded senders",
+        "coverage",
+        "accuracy (k=7)",
+    ]);
     for days in windows {
         let trace = ctx.trace().first_days(days);
         let model = darkvec::pipeline::run(&trace, &ctx.default_config());
@@ -23,10 +31,20 @@ pub fn fig6(ctx: &Ctx) -> String {
         let acc = if model.embedding.is_empty() {
             0.0
         } else {
-            Evaluation::prepare(&model.embedding, &eval_labels, 10, GtClass::Unknown.label(), 7, 0)
-                .accuracy(7)
+            Evaluation::prepare(
+                &model.embedding,
+                &eval_labels,
+                10,
+                GtClass::Unknown.label(),
+                7,
+                0,
+            )
+            .accuracy(7)
         };
-        csv.push_str(&format!("{days},{},{coverage:.4},{acc:.4}\n", model.embedding.len()));
+        csv.push_str(&format!(
+            "{days},{},{coverage:.4},{acc:.4}\n",
+            model.embedding.len()
+        ));
         t.row(vec![
             days.to_string(),
             model.embedding.len().to_string(),
@@ -84,7 +102,9 @@ pub fn fig7(ctx: &Ctx) -> String {
     }
     ctx.write_artifact("fig7_series.csv", &csv);
     out.push_str(&t.render());
-    out.push_str("\nThe single-service model trails the other two across all k (paper: same ordering).\n");
+    out.push_str(
+        "\nThe single-service model trails the other two across all k (paper: same ordering).\n",
+    );
     out
 }
 
@@ -97,7 +117,10 @@ pub fn fig8(ctx: &Ctx) -> String {
     let eval_labels = ctx.last_day_ml_labels();
 
     let mut out = String::from("Figure 8: grid search on c and V (k=7)\n");
-    for (name, def) in [("auto-defined", ServiceDef::Auto(10)), ("domain knowledge", ServiceDef::DomainKnowledge)] {
+    for (name, def) in [
+        ("auto-defined", ServiceDef::Auto(10)),
+        ("domain knowledge", ServiceDef::DomainKnowledge),
+    ] {
         out.push_str(&format!("\n--- {name} services ---\n"));
         let mut acc_t = TextTable::new(vec!["V \\ c", "c=5", "c=25", "c=50", "c=75"]);
         let mut time_t = TextTable::new(vec!["V \\ c", "c=5", "c=25", "c=50", "c=75"]);
@@ -110,8 +133,15 @@ pub fn fig8(ctx: &Ctx) -> String {
                 let acc = if model.embedding.is_empty() {
                     0.0
                 } else {
-                    Evaluation::prepare(&model.embedding, &eval_labels, 10, GtClass::Unknown.label(), 7, 0)
-                        .accuracy(7)
+                    Evaluation::prepare(
+                        &model.embedding,
+                        &eval_labels,
+                        10,
+                        GtClass::Unknown.label(),
+                        7,
+                        0,
+                    )
+                    .accuracy(7)
                 };
                 acc_row.push(f(acc, 2));
                 time_row.push(dur(model.train.elapsed));

@@ -1,19 +1,31 @@
-//! Minimal flag parsing (no external dependencies): `--key value` pairs.
+//! Minimal flag parsing (no external dependencies): `--key value` pairs
+//! plus a small set of bare switches (`-v`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// Parsed `--flag value` options.
+/// Switches that take no value. Everything else must be a `--key value`
+/// pair.
+const BARE: &[&str] = &["-v"];
+
+/// Parsed `--flag value` options and bare switches.
 #[derive(Debug, Default)]
 pub struct Options {
     values: HashMap<String, String>,
+    switches: HashSet<String>,
 }
 
 impl Options {
-    /// Parses a flag list; every flag must take exactly one value.
+    /// Parses a flag list; every `--flag` takes exactly one value, bare
+    /// switches (see [`BARE`]) take none.
     pub fn parse(args: &[String]) -> Result<Options, String> {
         let mut values = HashMap::new();
+        let mut switches = HashSet::new();
         let mut it = args.iter();
         while let Some(arg) = it.next() {
+            if BARE.contains(&arg.as_str()) {
+                switches.insert(arg.trim_start_matches('-').to_string());
+                continue;
+            }
             let Some(name) = arg.strip_prefix("--") else {
                 return Err(format!("expected a --flag, got {arg:?}"));
             };
@@ -22,12 +34,15 @@ impl Options {
                 return Err(format!("--{name} given twice"));
             }
         }
-        Ok(Options { values })
+        Ok(Options { values, switches })
     }
 
     /// A required string flag.
     pub fn require(&self, name: &str) -> Result<&str, String> {
-        self.values.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{name}"))
     }
 
     /// An optional string flag.
@@ -35,11 +50,18 @@ impl Options {
         self.values.get(name).map(String::as_str)
     }
 
+    /// Whether a bare switch (e.g. `-v`) was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
     /// An optional parsed flag with default.
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.values.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
         }
     }
 }
@@ -59,6 +81,17 @@ mod tests {
         assert_eq!(o.get_or("dim", 50usize).unwrap(), 64);
         assert_eq!(o.get_or("window", 25usize).unwrap(), 25);
         assert!(o.get("missing").is_none());
+    }
+
+    #[test]
+    fn parses_bare_switches() {
+        let o = opts(&["-v", "--trace", "x.bin"]).unwrap();
+        assert!(o.has("v"));
+        assert_eq!(o.require("trace").unwrap(), "x.bin");
+        assert!(!opts(&["--trace", "x.bin"]).unwrap().has("v"));
+        // A bare switch never swallows the next token as its value.
+        let o = opts(&["--trace", "x.bin", "-v"]).unwrap();
+        assert!(o.has("v"));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use darkvec::inspect::profile_clusters;
 use darkvec::pipeline;
 use darkvec::unsupervised::{cluster_embedding, ClusterConfig};
 use darkvec_gen::{simulate as run_sim, SimConfig};
+use darkvec_obs::{info, manifest, Json};
 use darkvec_types::{io, Anonymizer, Ipv4, Trace};
 use darkvec_w2v::Embedding;
 use std::path::Path;
@@ -39,15 +40,35 @@ pub fn simulate(opts: &Options) -> Result<(), String> {
     let out = opts.require("out")?;
     let cfg = SimConfig {
         days: opts.get_or("days", 30u64)?,
-        sender_scale: opts.get_or("scale", 0.1f64)? ,
+        sender_scale: opts.get_or("scale", 0.1f64)?,
         rate_scale: opts.get_or("rate-scale", 1.0f64)?,
         backscatter: opts.get_or("backscatter", true)?,
         seed: opts.get_or("seed", 1u64)?,
     };
-    eprintln!("simulating {} days at sender scale {}...", cfg.days, cfg.sender_scale);
+    info!(
+        "simulating {} days at sender scale {}...",
+        cfg.days, cfg.sender_scale
+    );
+    manifest::attach(
+        "config",
+        Json::obj()
+            .with("days", cfg.days)
+            .with("sender_scale", cfg.sender_scale)
+            .with("rate_scale", cfg.rate_scale)
+            .with("backscatter", cfg.backscatter)
+            .with("seed", cfg.seed),
+    );
     let sim = run_sim(&cfg);
     save_trace(&sim.trace, out)?;
-    eprintln!(
+    manifest::attach(
+        "trace",
+        Json::obj()
+            .with("path", out)
+            .with("packets", sim.trace.len())
+            .with("senders", sim.trace.senders().len())
+            .with("days", sim.trace.days()),
+    );
+    info!(
         "wrote {out}: {} packets, {} senders, {} days",
         sim.trace.len(),
         sim.trace.senders().len(),
@@ -66,7 +87,10 @@ pub fn anonymize(opts: &Options) -> Result<(), String> {
     }
     let anon = Anonymizer::new(key).anonymize_trace(&trace);
     save_trace(&anon, out)?;
-    eprintln!("wrote {out}: {} packets anonymised (prefix-preserving)", anon.len());
+    info!(
+        "wrote {out}: {} packets anonymised (prefix-preserving)",
+        anon.len()
+    );
     Ok(())
 }
 
@@ -74,30 +98,74 @@ pub fn anonymize(opts: &Options) -> Result<(), String> {
 pub fn train(opts: &Options) -> Result<(), String> {
     let trace = load_trace(opts.require("trace")?)?;
     let out = opts.require("out")?;
-    let mut cfg = DarkVecConfig::default();
-    cfg.service = match opts.get("services").unwrap_or("domain") {
+    let service = match opts.get("services").unwrap_or("domain") {
         "domain" => ServiceDef::DomainKnowledge,
         "single" => ServiceDef::Single,
         "auto" => ServiceDef::Auto(opts.get_or("auto-n", 10usize)?),
-        other => return Err(format!("--services must be domain|auto|single, got {other}")),
+        other => {
+            return Err(format!(
+                "--services must be domain|auto|single, got {other}"
+            ))
+        }
     };
-    cfg.min_packets = opts.get_or("min-packets", 10u64)?;
-    cfg.dt = opts.get_or("dt", darkvec_types::HOUR)?;
+    let mut cfg = DarkVecConfig {
+        service,
+        min_packets: opts.get_or("min-packets", 10u64)?,
+        dt: opts.get_or("dt", darkvec_types::HOUR)?,
+        ..DarkVecConfig::default()
+    };
     cfg.w2v.dim = opts.get_or("dim", 50usize)?;
     cfg.w2v.window = opts.get_or("window", 25usize)?;
     cfg.w2v.epochs = opts.get_or("epochs", 10usize)?;
     cfg.w2v.seed = opts.get_or("seed", 1u64)?;
 
-    eprintln!(
+    info!(
         "training DarkVec (V={}, c={}, {} epochs) on {} packets...",
         cfg.w2v.dim,
         cfg.w2v.window,
         cfg.w2v.epochs,
         trace.len()
     );
+    manifest::attach(
+        "config",
+        Json::obj()
+            .with(
+                "services",
+                match &cfg.service {
+                    ServiceDef::DomainKnowledge => "domain".to_string(),
+                    ServiceDef::Single => "single".to_string(),
+                    ServiceDef::Auto(n) => format!("auto({n})"),
+                },
+            )
+            .with("dt", cfg.dt)
+            .with("min_packets", cfg.min_packets)
+            .with("dim", cfg.w2v.dim)
+            .with("window", cfg.w2v.window)
+            .with("epochs", cfg.w2v.epochs)
+            .with("seed", cfg.w2v.seed),
+    );
     let model = pipeline::run(&trace, &cfg);
-    model.embedding.save(out).map_err(|e| format!("{out}: {e}"))?;
-    eprintln!(
+    model
+        .embedding
+        .save(out)
+        .map_err(|e| format!("{out}: {e}"))?;
+    manifest::attach(
+        "corpus",
+        Json::obj()
+            .with("sentences", model.corpus.sentences)
+            .with("tokens", model.corpus.tokens)
+            .with("skipgrams", model.skipgrams),
+    );
+    manifest::attach(
+        "train",
+        Json::obj()
+            .with("vocab_size", model.train.vocab_size)
+            .with("corpus_tokens", model.train.corpus_tokens)
+            .with("pairs_trained", model.train.pairs_trained)
+            .with("elapsed_secs", model.train.elapsed.as_secs_f64())
+            .with("model_path", out),
+    );
+    info!(
         "wrote {out}: {} senders embedded ({} skip-grams, trained in {:.1?})",
         model.embedding.len(),
         model.skipgrams,
@@ -109,11 +177,17 @@ pub fn train(opts: &Options) -> Result<(), String> {
 /// `darkvec similar --model model.dkve --ip A.B.C.D [--top N]`
 pub fn similar(opts: &Options) -> Result<(), String> {
     let model_path = opts.require("model")?;
-    let ip: Ipv4 = opts.require("ip")?.parse().map_err(|e| format!("--ip: {e}"))?;
+    let ip: Ipv4 = opts
+        .require("ip")?
+        .parse()
+        .map_err(|e| format!("--ip: {e}"))?;
     let top: usize = opts.get_or("top", 10usize)?;
     let emb = Embedding::<Ipv4>::load(model_path).map_err(|e| format!("{model_path}: {e}"))?;
     if emb.get(&ip).is_none() {
-        return Err(format!("{ip} is not in the embedding ({} senders)", emb.len()));
+        return Err(format!(
+            "{ip} is not in the embedding ({} senders)",
+            emb.len()
+        ));
     }
     println!("nearest neighbours of {ip}:");
     for (n, sim) in emb.most_similar(&ip, top) {
@@ -136,15 +210,25 @@ pub fn cluster(opts: &Options) -> Result<(), String> {
         threads: 0,
     };
     let min_size: usize = opts.get_or("min-size", 4usize)?;
-    eprintln!("clustering {} senders (k'={})...", emb.len(), cfg.k);
+    info!("clustering {} senders (k'={})...", emb.len(), cfg.k);
     let clustering = cluster_embedding(&emb, &cfg);
+    manifest::attach(
+        "cluster",
+        Json::obj()
+            .with("senders", emb.len())
+            .with("k", cfg.k)
+            .with("clusters", clustering.clusters)
+            .with("modularity", clustering.modularity),
+    );
     println!(
         "{} clusters, modularity {:.3}; showing clusters with >= {min_size} members:",
         clustering.clusters, clustering.modularity
     );
     let mut profiles = profile_clusters(&trace, &emb, &clustering);
     profiles.sort_by(|a, b| {
-        b.silhouette.partial_cmp(&a.silhouette).unwrap_or(std::cmp::Ordering::Equal)
+        b.silhouette
+            .partial_cmp(&a.silhouette)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     for p in profiles.iter().filter(|p| p.ips >= min_size) {
         println!("{}", p.summary());
@@ -154,7 +238,10 @@ pub fn cluster(opts: &Options) -> Result<(), String> {
             println!("   evidence: {} /24s inside one /16", p.subnets24);
         }
         if p.hourly_cv < 0.5 && p.packets > 100 {
-            println!("   evidence: very regular hourly pattern (cv={:.2})", p.hourly_cv);
+            println!(
+                "   evidence: very regular hourly pattern (cv={:.2})",
+                p.hourly_cv
+            );
         }
     }
     Ok(())
@@ -172,7 +259,10 @@ pub fn stats(opts: &Options) -> Result<(), String> {
     println!("active senders (>=10 pkts): {}", active.len());
     println!("top TCP ports:");
     for p in &s.top_tcp {
-        println!("  {:<6} {:>6.2}% of packets, {} senders", p.port, p.traffic_pct, p.sources);
+        println!(
+            "  {:<6} {:>6.2}% of packets, {} senders",
+            p.port, p.traffic_pct, p.sources
+        );
     }
     Ok(())
 }
@@ -182,7 +272,7 @@ pub fn export(opts: &Options) -> Result<(), String> {
     let trace = load_trace(opts.require("trace")?)?;
     let out = opts.require("out")?;
     save_trace(&trace, out)?;
-    eprintln!("wrote {out} ({} packets)", trace.len());
+    info!("wrote {out} ({} packets)", trace.len());
     Ok(())
 }
 
@@ -230,8 +320,18 @@ mod tests {
         let emb = Embedding::<Ipv4>::load(&model_path).unwrap();
         assert!(!emb.is_empty());
         let probe = emb.vocab().word(0).to_string();
-        similar(&opts(&[("model", &model_path), ("ip", &probe), ("top", "3")])).unwrap();
-        cluster(&opts(&[("trace", &trace_path), ("model", &model_path), ("k", "3")])).unwrap();
+        similar(&opts(&[
+            ("model", &model_path),
+            ("ip", &probe),
+            ("top", "3"),
+        ]))
+        .unwrap();
+        cluster(&opts(&[
+            ("trace", &trace_path),
+            ("model", &model_path),
+            ("k", "3"),
+        ]))
+        .unwrap();
         stats(&opts(&[("trace", &trace_path)])).unwrap();
     }
 
@@ -264,7 +364,12 @@ mod tests {
         ]))
         .unwrap();
         assert!(anonymize(&opts(&[("trace", &bin_path), ("out", &anon_path)])).is_err());
-        anonymize(&opts(&[("trace", &bin_path), ("out", &anon_path), ("key", "12345")])).unwrap();
+        anonymize(&opts(&[
+            ("trace", &bin_path),
+            ("out", &anon_path),
+            ("key", "12345"),
+        ]))
+        .unwrap();
         let a = load_trace(&bin_path).unwrap();
         let b = load_trace(&anon_path).unwrap();
         assert_eq!(a.len(), b.len());
@@ -296,7 +401,11 @@ mod tests {
 
     #[test]
     fn bad_service_flag_is_rejected() {
-        let err = train(&opts(&[("trace", "x.bin"), ("out", "y"), ("services", "nope")]));
+        let err = train(&opts(&[
+            ("trace", "x.bin"),
+            ("out", "y"),
+            ("services", "nope"),
+        ]));
         assert!(err.is_err());
     }
 }

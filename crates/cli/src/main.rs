@@ -13,10 +13,18 @@
 //!
 //! Traces are the binary format of `darkvec-types::io` (`.bin`) or CSV;
 //! models are `darkvec-w2v` embedding files (`.dkve`).
+//!
+//! Observability flags, accepted by every command:
+//!
+//! * `-v` / `--log-level error|warn|info|debug|off` — stderr log
+//!   verbosity (`-v` is shorthand for debug; `DARKVEC_LOG` also works);
+//! * `--manifest-out DIR` — where to write the JSON run manifest
+//!   (default `results/manifests/`, `none` disables it).
 
 mod args;
 mod commands;
 
+use darkvec_obs::{Level, ManifestBuilder};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -32,6 +40,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = init_logging(&opts) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let manifest = ManifestBuilder::new(command);
     let result = match command.as_str() {
         "simulate" => commands::simulate(&opts),
         "anonymize" => commands::anonymize(&opts),
@@ -46,12 +59,53 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command '{other}' (try: darkvec help)")),
     };
+    write_manifest(manifest, &argv, &opts, &result);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Resolves the log level: `DARKVEC_LOG`, then `--log-level`, then `-v`
+/// (debug shorthand); the strongest request wins in that order.
+fn init_logging(opts: &args::Options) -> Result<(), String> {
+    darkvec_obs::log::init_from_env();
+    if let Some(raw) = opts.get("log-level") {
+        let parsed = Level::parse(raw)
+            .ok_or_else(|| format!("--log-level must be error|warn|info|debug|off, got {raw:?}"))?;
+        darkvec_obs::log::set_level(parsed);
+    }
+    if opts.has("v") {
+        darkvec_obs::log::set_level(Some(Level::Debug));
+    }
+    Ok(())
+}
+
+/// Writes the run manifest unless disabled with `--manifest-out none`.
+/// Manifest problems are warnings: the command's own result stands.
+fn write_manifest(
+    mut manifest: ManifestBuilder,
+    argv: &[String],
+    opts: &args::Options,
+    result: &Result<(), String>,
+) {
+    let dir = opts
+        .get("manifest-out")
+        .unwrap_or(darkvec_obs::manifest::DEFAULT_DIR);
+    if dir == "none" {
+        return;
+    }
+    manifest.section("argv", argv.to_vec());
+    manifest.section("ok", result.is_ok());
+    if let Err(e) = result {
+        manifest.section("error", e.as_str());
+    }
+    match manifest.write(std::path::Path::new(dir)) {
+        Ok(path) => darkvec_obs::info!("run manifest: {}", path.display()),
+        Err(e) => darkvec_obs::warn!("could not write run manifest to {dir}: {e}"),
     }
 }
 
@@ -71,9 +125,12 @@ fn usage() -> &'static str {
        help       this message\n\
      \n\
      common flags:\n\
-       --trace FILE   input capture (.bin or .csv)\n\
-       --model FILE   embedding file (.dkve)\n\
-       --out FILE     output path\n\
+       --trace FILE       input capture (.bin or .csv)\n\
+       --model FILE       embedding file (.dkve)\n\
+       --out FILE         output path\n\
+       -v                 debug logging (also --log-level LEVEL, DARKVEC_LOG)\n\
+       --manifest-out DIR JSON run-manifest directory (default results/manifests,\n\
+                          'none' disables)\n\
      \n\
      run a command with wrong/missing flags to see its specific options\n"
 }

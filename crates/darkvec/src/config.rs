@@ -40,7 +40,10 @@ impl Default for DarkVecConfig {
             // The activity filter guarantees every remaining sender has
             // >= min_packets tokens; min_count = 1 keeps the embedding
             // coverage identical to the filter's output.
-            w2v: TrainConfig { min_count: 1, ..TrainConfig::default() },
+            w2v: TrainConfig {
+                min_count: 1,
+                ..TrainConfig::default()
+            },
         }
     }
 }

@@ -121,7 +121,11 @@ mod tests {
 
     #[test]
     fn tokens_equal_packets() {
-        let trace = Trace::new((0..100).map(|i| pkt(i * 70, (i % 7) as u8, 23 + (i % 3) as u16)).collect());
+        let trace = Trace::new(
+            (0..100)
+                .map(|i| pkt(i * 70, (i % 7) as u8, 23 + (i % 3) as u16))
+                .collect(),
+        );
         for m in [ServiceMap::single(), ServiceMap::domain_knowledge()] {
             let corpus = build_corpus_hourly(&trace, &m);
             let stats = corpus_stats(&corpus);
@@ -133,7 +137,11 @@ mod tests {
 
     #[test]
     fn smaller_dt_gives_more_shorter_sentences() {
-        let trace = Trace::new((0..200u64).map(|i| pkt(i * 60, (i % 11) as u8, 23)).collect());
+        let trace = Trace::new(
+            (0..200u64)
+                .map(|i| pkt(i * 60, (i % 11) as u8, 23))
+                .collect(),
+        );
         let m = ServiceMap::single();
         let hourly = corpus_stats(&build_corpus(&trace, &m, HOUR));
         let minutely = corpus_stats(&build_corpus(&trace, &m, 60));
@@ -146,6 +154,13 @@ mod tests {
     fn empty_trace_empty_corpus() {
         let corpus = build_corpus_hourly(&Trace::default(), &ServiceMap::single());
         assert!(corpus.is_empty());
-        assert_eq!(corpus_stats(&corpus), CorpusStats { sentences: 0, tokens: 0, max_len: 0 });
+        assert_eq!(
+            corpus_stats(&corpus),
+            CorpusStats {
+                sentences: 0,
+                tokens: 0,
+                max_len: 0
+            }
+        );
     }
 }

@@ -75,7 +75,11 @@ pub fn extend_ground_truth(
             });
         }
     }
-    out.sort_by(|a, b| a.avg_distance.partial_cmp(&b.avg_distance).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        a.avg_distance
+            .partial_cmp(&b.avg_distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -118,10 +122,14 @@ mod tests {
         assert_eq!(ext[0].class, 0);
         // The accepted one is the near sender (angle 0.035).
         let near_ip = *emb.vocab().word(
-            (0..6u32).find(|&id| labels[id as usize] == 9 && {
-                let v = emb.row(id);
-                v[1] < 0.1
-            }).unwrap(),
+            (0..6u32)
+                .find(|&id| {
+                    labels[id as usize] == 9 && {
+                        let v = emb.row(id);
+                        v[1] < 0.1
+                    }
+                })
+                .unwrap(),
         );
         assert_eq!(ext[0].ip, near_ip);
     }

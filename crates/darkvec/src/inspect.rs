@@ -94,12 +94,24 @@ pub fn profile_clusters(
             let top_ports = ports
                 .top(5)
                 .into_iter()
-                .map(|(k, cnt)| (k, if total == 0 { 0.0 } else { cnt as f64 / total as f64 }))
+                .map(|(k, cnt)| {
+                    (
+                        k,
+                        if total == 0 {
+                            0.0
+                        } else {
+                            cnt as f64 / total as f64
+                        },
+                    )
+                })
                 .collect();
             let nets24: Counter<Subnet> = ips.iter().map(|ip| ip.slash24()).collect();
             let nets16: HashSet<Subnet> = ips.iter().map(|ip| ip.slash16()).collect();
-            let max_in_one_24 =
-                nets24.top(1).first().map(|&(_, cnt)| cnt as usize).unwrap_or(0);
+            let max_in_one_24 = nets24
+                .top(1)
+                .first()
+                .map(|&(_, cnt)| cnt as usize)
+                .unwrap_or(0);
             ClusterProfile {
                 cluster: c as u32,
                 ips: ips.len(),
@@ -120,7 +132,12 @@ pub fn profile_clusters(
 
 /// Mean pairwise Jaccard index between the port sets of the given clusters
 /// — the §7.3.1 measurement (0.19 across Censys sub-clusters).
-pub fn port_set_jaccard(profiles: &[&ClusterProfile], trace: &Trace, embedding: &Embedding<Ipv4>, clustering: &Clustering) -> f64 {
+pub fn port_set_jaccard(
+    profiles: &[&ClusterProfile],
+    trace: &Trace,
+    embedding: &Embedding<Ipv4>,
+    clustering: &Clustering,
+) -> f64 {
     let members = clustering.members(embedding);
     let sets: Vec<HashSet<PortKey>> = profiles
         .iter()
@@ -145,7 +162,9 @@ fn dense_hourly(hourly: &HashMap<u64, u64>) -> Vec<f64> {
     }
     let lo = *hourly.keys().min().expect("non-empty");
     let hi = *hourly.keys().max().expect("non-empty");
-    (lo..=hi).map(|h| hourly.get(&h).copied().unwrap_or(0) as f64).collect()
+    (lo..=hi)
+        .map(|h| hourly.get(&h).copied().unwrap_or(0) as f64)
+        .collect()
 }
 
 /// CV of hourly packet counts over the active span (hours with traffic
@@ -186,7 +205,12 @@ mod tests {
         let mut packets = Vec::new();
         for h in 0..48u64 {
             for &ip in &a {
-                packets.push(Packet::new(Timestamp(h * HOUR + 10), ip, 137, Protocol::Udp));
+                packets.push(Packet::new(
+                    Timestamp(h * HOUR + 10),
+                    ip,
+                    137,
+                    Protocol::Udp,
+                ));
             }
         }
         for &ip in &b {
@@ -255,7 +279,11 @@ mod tests {
         let profiles = profile_clusters(&trace, &emb, &clustering);
         // Cluster 0 sends the same 3 packets every hour: "hourly regular".
         assert_eq!(profiles[0].regularity, Regularity::Hourly);
-        assert!(profiles[0].growth.abs() < 0.05, "growth {}", profiles[0].growth);
+        assert!(
+            profiles[0].growth.abs() < 0.05,
+            "growth {}",
+            profiles[0].growth
+        );
     }
 
     #[test]

@@ -32,14 +32,81 @@ pub fn resolve_services(trace: &Trace, def: &ServiceDef) -> ServiceMap {
 }
 
 /// Runs the full pipeline on a raw trace.
+///
+/// Every stage is wrapped in a [`darkvec_obs`] span (`filter`,
+/// `services`, `corpus`, `skipgrams`, `train` under a `pipeline` root)
+/// and feeds the global metrics registry, so a run manifest written
+/// afterwards carries the full stage-timing tree.
 pub fn run(trace: &Trace, cfg: &DarkVecConfig) -> TrainedModel {
-    let filtered = trace.filter_active(cfg.min_packets);
-    let services = resolve_services(&filtered, &cfg.service);
-    let corpus = build_corpus(&filtered, &services, cfg.dt);
+    let _pipeline = darkvec_obs::span!("pipeline");
+    let t0 = std::time::Instant::now();
+
+    let filtered = {
+        let _s = darkvec_obs::span!("filter");
+        trace.filter_active(cfg.min_packets)
+    };
+    let filter_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    darkvec_obs::metrics::counter("pipeline.packets_in").add(trace.len() as u64);
+    darkvec_obs::metrics::counter("pipeline.packets_kept").add(filtered.len() as u64);
+    darkvec_obs::metrics::gauge("pipeline.packets_per_sec").set(trace.len() as f64 / filter_secs);
+    darkvec_obs::info!(
+        "activity filter kept {}/{} packets (min_packets = {})",
+        filtered.len(),
+        trace.len(),
+        cfg.min_packets
+    );
+
+    let services = {
+        let _s = darkvec_obs::span!("services");
+        resolve_services(&filtered, &cfg.service)
+    };
+    darkvec_obs::metrics::gauge("pipeline.services").set(services.len() as f64);
+
+    let corpus_start = std::time::Instant::now();
+    let corpus = {
+        let _s = darkvec_obs::span!("corpus");
+        build_corpus(&filtered, &services, cfg.dt)
+    };
     let stats = corpus_stats(&corpus);
-    let skipgrams = count_skipgrams(&corpus, cfg.w2v.window);
-    let (embedding, train_stats) = train(&corpus, &cfg.w2v);
-    TrainedModel { embedding, services, corpus: stats, skipgrams, train: train_stats }
+    darkvec_obs::metrics::counter("pipeline.corpus_sentences").add(stats.sentences as u64);
+    darkvec_obs::metrics::counter("pipeline.corpus_tokens").add(stats.tokens);
+    darkvec_obs::metrics::gauge("pipeline.tokens_per_sec")
+        .set(stats.tokens as f64 / corpus_start.elapsed().as_secs_f64().max(1e-9));
+    let lengths = darkvec_obs::metrics::histogram("pipeline.sentence_len");
+    for sentence in &corpus {
+        lengths.record(sentence.len() as u64);
+    }
+    darkvec_obs::info!(
+        "corpus: {} sentences, {} tokens ({} services, dt = {}s)",
+        stats.sentences,
+        stats.tokens,
+        services.len(),
+        cfg.dt
+    );
+
+    let skipgrams = {
+        let _s = darkvec_obs::span!("skipgrams");
+        count_skipgrams(&corpus, cfg.w2v.window)
+    };
+    darkvec_obs::metrics::counter("pipeline.skipgrams").add(skipgrams);
+
+    let (embedding, train_stats) = {
+        let _s = darkvec_obs::span!("train");
+        train(&corpus, &cfg.w2v)
+    };
+    darkvec_obs::info!(
+        "trained {} vectors ({} pairs) in {:.2?}",
+        embedding.len(),
+        train_stats.pairs_trained,
+        train_stats.elapsed
+    );
+    TrainedModel {
+        embedding,
+        services,
+        corpus: stats,
+        skipgrams,
+        train: train_stats,
+    }
 }
 
 #[cfg(test)]
@@ -60,7 +127,10 @@ mod tests {
         let active = out.trace.active_senders(cfg.min_packets);
         assert_eq!(model.embedding.len(), active.len());
         for ip in active.iter().take(50) {
-            assert!(model.embedding.get(ip).is_some(), "{ip} missing from embedding");
+            assert!(
+                model.embedding.get(ip).is_some(),
+                "{ip} missing from embedding"
+            );
         }
     }
 
@@ -69,7 +139,10 @@ mod tests {
         let out = simulate(&SimConfig::tiny(22));
         let cfg = DarkVecConfig::test_size(22);
         let model = run(&out.trace, &cfg);
-        assert_eq!(model.corpus.tokens as usize, out.trace.filter_active(10).len());
+        assert_eq!(
+            model.corpus.tokens as usize,
+            out.trace.filter_active(10).len()
+        );
         assert!(model.skipgrams > 0);
         assert!(model.train.pairs_trained > 0);
     }
@@ -77,8 +150,13 @@ mod tests {
     #[test]
     fn single_service_yields_fewer_sentences() {
         let out = simulate(&SimConfig::tiny(23));
-        let single =
-            run(&out.trace, &DarkVecConfig { service: ServiceDef::Single, ..DarkVecConfig::test_size(23) });
+        let single = run(
+            &out.trace,
+            &DarkVecConfig {
+                service: ServiceDef::Single,
+                ..DarkVecConfig::test_size(23)
+            },
+        );
         let domain = run(&out.trace, &DarkVecConfig::test_size(23));
         assert!(single.corpus.sentences < domain.corpus.sentences);
         assert_eq!(single.corpus.tokens, domain.corpus.tokens);
@@ -89,8 +167,13 @@ mod tests {
     #[test]
     fn auto_services_resolve_from_traffic() {
         let out = simulate(&SimConfig::tiny(24));
-        let model =
-            run(&out.trace, &DarkVecConfig { service: ServiceDef::Auto(10), ..DarkVecConfig::test_size(24) });
+        let model = run(
+            &out.trace,
+            &DarkVecConfig {
+                service: ServiceDef::Auto(10),
+                ..DarkVecConfig::test_size(24)
+            },
+        );
         assert_eq!(model.services.len(), 11);
         // Telnet floods the simulated darknet, so 23/tcp must be a top port.
         assert!(model.services.names().iter().any(|n| n == "23/tcp"));

@@ -63,7 +63,11 @@ impl ServiceMap {
         }
         let other = names.len();
         names.push("Other".to_string());
-        ServiceMap { names, exact, fallback: Fallback::Single(other) }
+        ServiceMap {
+            names,
+            exact,
+            fallback: Fallback::Single(other),
+        }
     }
 
     /// The domain-knowledge map of Table 7 (15 services + ICMP).
@@ -86,11 +90,38 @@ impl ServiceMap {
         add("SSH", &[t(22)]);
         add(
             "Kerberos",
-            &[t(88), u(88), t(543), t(544), t(749), t(7004), u(750), t(750), t(751), u(752), t(754), u(464), t(464)],
+            &[
+                t(88),
+                u(88),
+                t(543),
+                t(544),
+                t(749),
+                t(7004),
+                u(750),
+                t(750),
+                t(751),
+                u(752),
+                t(754),
+                u(464),
+                t(464),
+            ],
         );
         add("HTTP", &[t(80), t(443), t(8080)]);
         add("Proxy", &[t(1080), t(6446), t(2121), t(8081), t(57000)]);
-        add("Mail", &[t(25), t(143), t(174), t(209), t(465), t(587), t(110), t(995), t(993)]);
+        add(
+            "Mail",
+            &[
+                t(25),
+                t(143),
+                t(174),
+                t(209),
+                t(465),
+                t(587),
+                t(110),
+                t(995),
+                t(993),
+            ],
+        );
         add(
             "Database",
             &[
@@ -150,7 +181,20 @@ impl ServiceMap {
                 u(6347),
             ],
         );
-        add("FTP", &[t(20), t(21), u(69), t(989), t(990), u(2431), u(2433), t(2811), t(8021)]);
+        add(
+            "FTP",
+            &[
+                t(20),
+                t(21),
+                u(69),
+                t(989),
+                t(990),
+                u(2431),
+                u(2433),
+                t(2811),
+                t(8021),
+            ],
+        );
 
         let system = names.len();
         names.push("Unknown System".to_string());
@@ -161,7 +205,16 @@ impl ServiceMap {
         let icmp = names.len();
         names.push("ICMP".to_string());
 
-        ServiceMap { names, exact, fallback: Fallback::Iana { system, user, ephemeral, icmp } }
+        ServiceMap {
+            names,
+            exact,
+            fallback: Fallback::Iana {
+                system,
+                user,
+                ephemeral,
+                icmp,
+            },
+        }
     }
 
     /// Number of services.
@@ -186,7 +239,12 @@ impl ServiceMap {
         }
         match self.fallback {
             Fallback::Single(id) => id,
-            Fallback::Iana { system, user, ephemeral, icmp } => {
+            Fallback::Iana {
+                system,
+                user,
+                ephemeral,
+                icmp,
+            } => {
                 if key.proto == Protocol::Icmp {
                     icmp
                 } else if key.port <= 1023 {
@@ -250,8 +308,21 @@ mod tests {
         // Table 7's 15 services + the ICMP bucket.
         assert_eq!(m.len(), 16);
         for name in [
-            "Telnet", "SSH", "Kerberos", "HTTP", "Proxy", "Mail", "Database", "DNS", "Netbios",
-            "Netbios-SMB", "P2P", "FTP", "Unknown System", "Unknown User", "Unknown Ephemeral",
+            "Telnet",
+            "SSH",
+            "Kerberos",
+            "HTTP",
+            "Proxy",
+            "Mail",
+            "Database",
+            "DNS",
+            "Netbios",
+            "Netbios-SMB",
+            "P2P",
+            "FTP",
+            "Unknown System",
+            "Unknown User",
+            "Unknown Ephemeral",
             "ICMP",
         ] {
             assert!(m.id_of(name).is_some(), "missing service {name}");
@@ -289,7 +360,10 @@ mod tests {
         let m = ServiceMap::domain_knowledge();
         // 1433/tcp and 1433/udp are both Database, but 5353/tcp is NOT DNS
         // (only 5353/udp is in Table 7).
-        assert_eq!(m.service_of(PortKey::tcp(1433)), m.service_of(PortKey::udp(1433)));
+        assert_eq!(
+            m.service_of(PortKey::tcp(1433)),
+            m.service_of(PortKey::udp(1433))
+        );
         assert_ne!(m.service_of(PortKey::tcp(5353)), m.id_of("DNS").unwrap());
     }
 

@@ -69,7 +69,13 @@ impl Evaluation {
                 }
             }
         }
-        Evaluation { neighbors, labels: row_labels, evaluated, unknown, classes }
+        Evaluation {
+            neighbors,
+            labels: row_labels,
+            evaluated,
+            unknown,
+            classes,
+        }
     }
 
     /// Classifies at a given `k` and builds the per-class report.
@@ -114,7 +120,10 @@ impl Evaluation {
         if universe.is_empty() {
             return 0.0;
         }
-        let covered = universe.keys().filter(|ip| embedding.get(ip).is_some()).count();
+        let covered = universe
+            .keys()
+            .filter(|ip| embedding.get(ip).is_some())
+            .count();
         covered as f64 / universe.len() as f64
     }
 
@@ -197,7 +206,11 @@ mod tests {
         let (emb, mut labels) = toy();
         // Remove the two unknown-labelled senders from the map entirely:
         // they become "embedding-only" senders.
-        let ips: Vec<Ipv4> = labels.iter().filter(|&(_, &l)| l == 2).map(|(&ip, _)| ip).collect();
+        let ips: Vec<Ipv4> = labels
+            .iter()
+            .filter(|&(_, &l)| l == 2)
+            .map(|(&ip, _)| ip)
+            .collect();
         for ip in &ips {
             labels.remove(ip);
         }

@@ -24,8 +24,9 @@ pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
         // A perfectly flat series is perfectly periodic at every lag.
         return 1.0;
     }
-    let cov: f64 =
-        (0..n - lag).map(|i| (series[i] - mean) * (series[i + lag] - mean)).sum();
+    let cov: f64 = (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum();
     cov / var
 }
 
@@ -41,10 +42,12 @@ pub fn dominant_period(series: &[f64], max_lag: usize, min_strength: f64) -> Opt
     let mut best: Option<(usize, f64)> = None;
     for lag in 2..max_lag {
         // Local maximum of the autocorrelation curve.
-        if ac[lag] >= ac[lag - 1] && ac[lag] >= ac[lag + 1] && ac[lag] >= min_strength {
-            if best.map(|(_, s)| ac[lag] > s).unwrap_or(true) {
-                best = Some((lag, ac[lag]));
-            }
+        if ac[lag] >= ac[lag - 1]
+            && ac[lag] >= ac[lag + 1]
+            && ac[lag] >= min_strength
+            && best.map(|(_, s)| ac[lag] > s).unwrap_or(true)
+        {
+            best = Some((lag, ac[lag]));
         }
     }
     best
@@ -123,14 +126,20 @@ mod tests {
 
     fn daily_series() -> Vec<f64> {
         // 10 days of hourly counts with a clear 24h cycle.
-        (0..240).map(|h| if h % 24 < 2 { 100.0 } else { 1.0 }).collect()
+        (0..240)
+            .map(|h| if h % 24 < 2 { 100.0 } else { 1.0 })
+            .collect()
     }
 
     #[test]
     fn autocorrelation_basics() {
         let s = daily_series();
         assert_eq!(autocorrelation(&s, 0), 1.0);
-        assert!(autocorrelation(&s, 24) > 0.8, "ac24 = {}", autocorrelation(&s, 24));
+        assert!(
+            autocorrelation(&s, 24) > 0.8,
+            "ac24 = {}",
+            autocorrelation(&s, 24)
+        );
         assert!(autocorrelation(&s, 12) < 0.2);
         assert_eq!(autocorrelation(&s, 10_000), 0.0);
     }
@@ -176,7 +185,9 @@ mod tests {
     #[test]
     fn classify_shapes() {
         assert_eq!(classify_hourly(&daily_series()), Regularity::Daily);
-        let hourly: Vec<f64> = (0..200).map(|h| if h % 4 == 0 { 50.0 } else { 2.0 }).collect();
+        let hourly: Vec<f64> = (0..200)
+            .map(|h| if h % 4 == 0 { 50.0 } else { 2.0 })
+            .collect();
         assert_eq!(classify_hourly(&hourly), Regularity::Hourly);
         let growing: Vec<f64> = (0..200).map(|i| 1.0 + i as f64 * 0.5).collect();
         assert_eq!(classify_hourly(&growing), Regularity::Growing);

@@ -24,7 +24,11 @@ pub struct ClusterConfig {
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        ClusterConfig { k: 3, seed: 1, threads: 0 }
+        ClusterConfig {
+            k: 3,
+            seed: 1,
+            threads: 0,
+        }
     }
 }
 
@@ -45,7 +49,10 @@ pub struct Clustering {
 impl Clustering {
     /// Cluster id of a sender, given the embedding used for clustering.
     pub fn cluster_of(&self, embedding: &Embedding<Ipv4>, ip: &Ipv4) -> Option<u32> {
-        embedding.vocab().id(ip).map(|id| self.assignment[id as usize])
+        embedding
+            .vocab()
+            .id(ip)
+            .map(|id| self.assignment[id as usize])
     }
 
     /// Members of each cluster as sender addresses.
@@ -69,8 +76,12 @@ impl Clustering {
     /// `(cluster id, mean silhouette)` sorted by decreasing silhouette —
     /// Figure 11's x-axis order.
     pub fn silhouette_ranking(&self) -> Vec<(u32, f64)> {
-        let mut v: Vec<(u32, f64)> =
-            self.silhouettes.iter().enumerate().map(|(c, &s)| (c as u32, s)).collect();
+        let mut v: Vec<(u32, f64)> = self
+            .silhouettes
+            .iter()
+            .enumerate()
+            .map(|(c, &s)| (c as u32, s))
+            .collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         v
     }
@@ -85,7 +96,11 @@ pub fn cluster_embedding(embedding: &Embedding<Ipv4>, cfg: &ClusterConfig) -> Cl
     let matrix = Matrix::new(embedding.vectors(), embedding.len(), embedding.dim());
     let graph = build_knn_graph(
         matrix,
-        &KnnGraphConfig { k: cfg.k, threads: cfg.threads, mutual: false },
+        &KnnGraphConfig {
+            k: cfg.k,
+            threads: cfg.threads,
+            mutual: false,
+        },
     );
     let partition = louvain(&graph, cfg.seed);
     let silhouettes = cluster_silhouettes(matrix, &partition.assignment);
@@ -109,10 +124,22 @@ pub fn k_sweep(
     let matrix = Matrix::new(embedding.vectors(), embedding.len(), embedding.dim());
     ks.iter()
         .map(|&k| {
-            let graph = build_knn_graph(matrix, &KnnGraphConfig { k, threads, mutual: false });
+            let graph = build_knn_graph(
+                matrix,
+                &KnnGraphConfig {
+                    k,
+                    threads,
+                    mutual: false,
+                },
+            );
             let partition = louvain(&graph, seed);
             let (_, components) = connected_components(&graph);
-            KSweepPoint { k, clusters: partition.communities, modularity: partition.modularity, components }
+            KSweepPoint {
+                k,
+                clusters: partition.communities,
+                modularity: partition.modularity,
+                components,
+            }
         })
         .collect()
 }
@@ -150,10 +177,16 @@ pub fn dominant_labels<L: Eq + std::hash::Hash + Copy>(
                     total += 1;
                 }
             }
-            counts
-                .into_iter()
-                .max_by_key(|&(_, c)| c)
-                .map(|(l, c)| (l, if total == 0 { 0.0 } else { c as f64 / total as f64 }))
+            counts.into_iter().max_by_key(|&(_, c)| c).map(|(l, c)| {
+                (
+                    l,
+                    if total == 0 {
+                        0.0
+                    } else {
+                        c as f64 / total as f64
+                    },
+                )
+            })
         })
         .collect()
 }
@@ -192,7 +225,14 @@ mod tests {
     #[test]
     fn recovers_planted_groups() {
         let (emb, truth) = planted();
-        let clustering = cluster_embedding(&emb, &ClusterConfig { k: 3, seed: 1, threads: 1 });
+        let clustering = cluster_embedding(
+            &emb,
+            &ClusterConfig {
+                k: 3,
+                seed: 1,
+                threads: 1,
+            },
+        );
         assert_eq!(clustering.clusters, 3);
         // Every cluster is pure.
         for dom in dominant_labels(&clustering, &emb, &truth) {
@@ -205,7 +245,14 @@ mod tests {
     #[test]
     fn silhouettes_high_for_planted_groups() {
         let (emb, _) = planted();
-        let clustering = cluster_embedding(&emb, &ClusterConfig { k: 3, seed: 1, threads: 1 });
+        let clustering = cluster_embedding(
+            &emb,
+            &ClusterConfig {
+                k: 3,
+                seed: 1,
+                threads: 1,
+            },
+        );
         for (c, s) in clustering.silhouette_ranking() {
             assert!(s > 0.5, "cluster {c} silhouette {s}");
         }
@@ -224,8 +271,12 @@ mod tests {
     fn cluster_of_known_and_unknown_ip() {
         let (emb, _) = planted();
         let clustering = cluster_embedding(&emb, &ClusterConfig::default());
-        assert!(clustering.cluster_of(&emb, &Ipv4::new(10, 0, 0, 0)).is_some());
-        assert!(clustering.cluster_of(&emb, &Ipv4::new(99, 0, 0, 0)).is_none());
+        assert!(clustering
+            .cluster_of(&emb, &Ipv4::new(10, 0, 0, 0))
+            .is_some());
+        assert!(clustering
+            .cluster_of(&emb, &Ipv4::new(99, 0, 0, 0))
+            .is_none());
     }
 
     #[test]

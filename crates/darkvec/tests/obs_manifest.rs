@@ -1,0 +1,82 @@
+//! Observability integration: a single `pipeline::run` must leave behind
+//! everything a run manifest needs — the five stage spans nested under
+//! the `pipeline` root and non-zero corpus/training counters — and the
+//! manifest file itself must serialize all of it.
+//!
+//! This test lives alone in its own binary: spans and metrics are
+//! process-global, and a dedicated binary keeps the assertions
+//! independent of whatever other tests record.
+
+use darkvec::{pipeline, DarkVecConfig};
+use darkvec_gen::{simulate, SimConfig};
+use darkvec_obs::{Json, ManifestBuilder};
+
+const STAGES: [&str; 5] = ["filter", "services", "corpus", "skipgrams", "train"];
+
+#[test]
+fn pipeline_run_emits_manifest_with_stage_spans() {
+    let out = simulate(&SimConfig::tiny(31));
+    let model = pipeline::run(&out.trace, &DarkVecConfig::test_size(31));
+
+    // The span tree has a pipeline root with all five stages as children.
+    let roots = darkvec_obs::span::snapshot();
+    let root = roots
+        .iter()
+        .find_map(|r| r.find("pipeline"))
+        .expect("pipeline root span");
+    for stage in STAGES {
+        let child = root
+            .child(stage)
+            .unwrap_or_else(|| panic!("missing stage span {stage}"));
+        assert_eq!(child.count, 1, "{stage} ran once");
+    }
+    // Word2Vec sub-spans nest under the train stage.
+    let train = root.child("train").expect("train stage");
+    assert!(
+        train.find("w2v.hogwild").is_some(),
+        "w2v spans nest under train"
+    );
+
+    // Counters reflect the run.
+    let snap = darkvec_obs::metrics::snapshot();
+    assert!(
+        snap.counters["pipeline.corpus_tokens"] > 0,
+        "token counter populated"
+    );
+    assert!(
+        snap.counters["pipeline.skipgrams"] > 0,
+        "skipgram counter populated"
+    );
+    assert!(
+        snap.counters["w2v.pairs_trained"] > 0,
+        "training counter populated"
+    );
+    assert_eq!(snap.counters["pipeline.corpus_tokens"], model.corpus.tokens);
+    assert_eq!(snap.counters["pipeline.skipgrams"], model.skipgrams);
+
+    // The manifest file serializes spans, metrics, and custom sections.
+    let mut builder = ManifestBuilder::new("obs-manifest-test");
+    builder.section(
+        "corpus",
+        Json::obj()
+            .with("sentences", model.corpus.sentences)
+            .with("tokens", model.corpus.tokens),
+    );
+    let dir = std::env::temp_dir().join(format!("darkvec_obs_manifest_{}", std::process::id()));
+    let path = builder.write(&dir).expect("manifest written");
+    let text = std::fs::read_to_string(&path).expect("manifest readable");
+    for name in [
+        "\"pipeline\"",
+        "\"filter\"",
+        "\"services\"",
+        "\"corpus\"",
+        "\"skipgrams\"",
+        "\"train\"",
+    ] {
+        assert!(text.contains(name), "manifest missing span {name}");
+    }
+    assert!(text.contains("pipeline.corpus_tokens"));
+    assert!(text.contains("w2v.pairs_trained"));
+    assert!(text.contains("\"schema_version\""));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -8,7 +8,7 @@
 //! uniqueness.
 
 use darkvec_types::{Ipv4, Subnet};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashSet;
 
 /// Allocates unique sender addresses.
@@ -161,7 +161,10 @@ mod tests {
         assert_eq!(all.len(), 5_010);
         for ip in &ips {
             let first = ip.octets()[0];
-            assert!((1..=223).contains(&first) && first != 10 && first != 127, "bad {ip}");
+            assert!(
+                (1..=223).contains(&first) && first != 10 && first != 127,
+                "bad {ip}"
+            );
         }
     }
 

@@ -16,7 +16,12 @@ use std::sync::Arc;
 
 /// Builds all botnet campaigns.
 pub fn build(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Vec<Campaign> {
-    vec![mirai_core(cfg, alloc, rng), u5_mirai_ext(cfg, alloc, rng), u4_adb_worm(cfg, alloc, rng), u6_ssh(cfg, alloc, rng)]
+    vec![
+        mirai_core(cfg, alloc, rng),
+        u5_mirai_ext(cfg, alloc, rng),
+        u4_adb_worm(cfg, alloc, rng),
+        u6_ssh(cfg, alloc, rng),
+    ]
 }
 
 /// GT1 — the Mirai-like botnet(s): the paper sees 7 351 fingerprinted
@@ -53,13 +58,19 @@ fn mirai_core(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -
             SenderSpec {
                 ip,
                 window: (start, start + duration),
-                schedule: Schedule::Continuous { rate_per_day: cfg.rate(12.0) },
+                schedule: Schedule::Continuous {
+                    rate_per_day: cfg.rate(12.0),
+                },
                 mix: mix.clone(),
                 mirai_fingerprint: true,
             }
         })
         .collect();
-    Campaign { id: CampaignId::MiraiCore, published_as: None, senders }
+    Campaign {
+        id: CampaignId::MiraiCore,
+        published_as: None,
+        senders,
+    }
 }
 
 /// unknown5 — 1 412 senders in 1 381 distinct /24s hitting Telnet in
@@ -96,7 +107,11 @@ fn u5_mirai_ext(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng)
             mirai_fingerprint: rng.random::<f64>() < 0.71,
         })
         .collect();
-    Campaign { id: CampaignId::U5MiraiExt, published_as: None, senders }
+    Campaign {
+        id: CampaignId::U5MiraiExt,
+        published_as: None,
+        senders,
+    }
 }
 
 /// unknown4 — the ADB mass scan "like the spreading of an ADB worm"
@@ -106,7 +121,12 @@ fn u5_mirai_ext(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng)
 fn u4_adb_worm(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
     let n = cfg.scaled(525);
     let ips = alloc.random(n, rng);
-    let mix = Arc::new(PortMix::with_tail(vec![(PortKey::tcp(5555), 75.0)], 140, 0.25, rng));
+    let mix = Arc::new(PortMix::with_tail(
+        vec![(PortKey::tcp(5555), 75.0)],
+        140,
+        0.25,
+        rng,
+    ));
     let horizon = cfg.horizon();
     let times = periodic_times(rng.random_range(0..30 * MINUTE), 30 * MINUTE, horizon);
     let senders = ips
@@ -129,7 +149,11 @@ fn u4_adb_worm(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) 
             }
         })
         .collect();
-    Campaign { id: CampaignId::U4AdbWorm, published_as: None, senders }
+    Campaign {
+        id: CampaignId::U4AdbWorm,
+        published_as: None,
+        senders,
+    }
 }
 
 /// unknown6 — SSH brute-force bots: 623 senders, 88 % of traffic to
@@ -138,7 +162,12 @@ fn u4_adb_worm(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) 
 fn u6_ssh(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
     let n = cfg.scaled(623);
     let ips = alloc.random(n, rng);
-    let mix = Arc::new(PortMix::with_tail(vec![(PortKey::tcp(22), 88.0)], 115, 0.12, rng));
+    let mix = Arc::new(PortMix::with_tail(
+        vec![(PortKey::tcp(22), 88.0)],
+        115,
+        0.12,
+        rng,
+    ));
     let horizon = cfg.horizon();
     let n_waves = (cfg.days as usize).max(4);
     let times = random_times(n_waves, horizon, rng);
@@ -157,7 +186,11 @@ fn u6_ssh(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Ca
             mirai_fingerprint: false,
         })
         .collect();
-    Campaign { id: CampaignId::U6Ssh, published_as: None, senders }
+    Campaign {
+        id: CampaignId::U6Ssh,
+        published_as: None,
+        senders,
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +199,11 @@ mod tests {
 
     fn built() -> Vec<Campaign> {
         let cfg = SimConfig::tiny(2);
-        build(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(2))
+        build(
+            &cfg,
+            &mut AddressAllocator::new(),
+            &mut StdRng::seed_from_u64(2),
+        )
     }
 
     fn find(campaigns: &[Campaign], id: CampaignId) -> &Campaign {
@@ -206,7 +243,10 @@ mod tests {
                 full_month += 1;
             }
         }
-        assert!(full_month < mirai.len() / 2, "most senders should have partial windows");
+        assert!(
+            full_month < mirai.len() / 2,
+            "most senders should have partial windows"
+        );
     }
 
     #[test]
@@ -214,10 +254,17 @@ mod tests {
         let c = built();
         let worm = find(&c, CampaignId::U4AdbWorm);
         let horizon = SimConfig::tiny(2).horizon();
-        let early = worm.senders.iter().filter(|s| s.window.0 < horizon / 2).count();
+        let early = worm
+            .senders
+            .iter()
+            .filter(|s| s.window.0 < horizon / 2)
+            .count();
         let late = worm.len() - early;
         // Quadratic arrival CDF => ~25% arrive in the first half.
-        assert!(late > early, "worm should grow: {early} early vs {late} late");
+        assert!(
+            late > early,
+            "worm should grow: {early} early vs {late} late"
+        );
         assert!(worm.senders[0].mix.weight(PortKey::tcp(5555)) > 0.7);
     }
 
@@ -226,7 +273,10 @@ mod tests {
         let c = built();
         let u5 = find(&c, CampaignId::U5MiraiExt);
         let fp = u5.senders.iter().filter(|s| s.mirai_fingerprint).count();
-        assert!(fp > 0 && fp < u5.len(), "u5 must mix fingerprinted and clean senders");
+        assert!(
+            fp > 0 && fp < u5.len(),
+            "u5 must mix fingerprinted and clean senders"
+        );
     }
 
     #[test]
@@ -240,7 +290,11 @@ mod tests {
     #[test]
     fn botnets_are_never_published() {
         for c in built() {
-            assert_eq!(c.published_as, None, "{} must not be on a scanner list", c.id);
+            assert_eq!(
+                c.published_as, None,
+                "{} must not be on a scanner list",
+                c.id
+            );
         }
     }
 }

@@ -74,7 +74,8 @@ impl Campaign {
 pub fn build_all(cfg: &SimConfig, alloc: &mut AddressAllocator) -> Vec<Campaign> {
     // A dedicated sub-seed per builder keeps campaigns independent: adding
     // a campaign or resizing one never perturbs the others' randomness.
-    let sub = |tag: u64| StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(tag));
+    let sub =
+        |tag: u64| StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(tag));
 
     let mut campaigns = Vec::new();
     campaigns.extend(scanners::build(cfg, alloc, &mut sub(1)));
@@ -156,7 +157,11 @@ mod tests {
         for c in build_all(&cfg, &mut AddressAllocator::new()) {
             for s in &c.senders {
                 assert!(s.window.0 < s.window.1, "{}: empty window", c.id);
-                assert!(s.window.1 <= cfg.horizon(), "{}: window beyond horizon", c.id);
+                assert!(
+                    s.window.1 <= cfg.horizon(),
+                    "{}: window beyond horizon",
+                    c.id
+                );
             }
         }
     }
@@ -191,7 +196,10 @@ mod tests {
                     let fp = c.senders.iter().filter(|s| s.mirai_fingerprint).count();
                     let frac = fp as f64 / c.len() as f64;
                     // The paper reports 71% fingerprinted in unknown5.
-                    assert!((0.5..0.9).contains(&frac), "unknown5 fingerprint frac {frac}");
+                    assert!(
+                        (0.5..0.9).contains(&frac),
+                        "unknown5 fingerprint frac {frac}"
+                    );
                 }
                 _ => assert!(!any_fp, "{} must not fingerprint", c.id),
             }

@@ -92,7 +92,11 @@ fn misc_unknown(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng)
             }
         })
         .collect();
-    Campaign { id: CampaignId::MiscUnknown, published_as: None, senders }
+    Campaign {
+        id: CampaignId::MiscUnknown,
+        published_as: None,
+        senders,
+    }
 }
 
 /// One-shot / low-rate backscatter victims: the bulk of distinct senders,
@@ -137,7 +141,11 @@ fn backscatter(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) 
             }
         })
         .collect();
-    Campaign { id: CampaignId::Backscatter, published_as: None, senders }
+    Campaign {
+        id: CampaignId::Backscatter,
+        published_as: None,
+        senders,
+    }
 }
 
 /// Index sampling proportional to the pool's weights.
@@ -161,7 +169,11 @@ mod tests {
     #[test]
     fn misc_senders_have_personal_mixes() {
         let cfg = SimConfig::tiny(6);
-        let camp = misc_unknown(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(6));
+        let camp = misc_unknown(
+            &cfg,
+            &mut AddressAllocator::new(),
+            &mut StdRng::seed_from_u64(6),
+        );
         assert_eq!(camp.len(), cfg.scaled(11_000));
         // Port mixes differ across senders (heterogeneous noise).
         let a: Vec<_> = camp.senders[0].mix.keys().to_vec();
@@ -171,11 +183,20 @@ mod tests {
 
     #[test]
     fn backscatter_is_always_inactive() {
-        let cfg = SimConfig { backscatter: true, ..SimConfig::tiny(7) };
-        let camp = backscatter(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(7));
+        let cfg = SimConfig {
+            backscatter: true,
+            ..SimConfig::tiny(7)
+        };
+        let camp = backscatter(
+            &cfg,
+            &mut AddressAllocator::new(),
+            &mut StdRng::seed_from_u64(7),
+        );
         for s in &camp.senders {
             match s.schedule {
-                Schedule::Sporadic { pkts } => assert!(pkts.1 < 10, "backscatter must stay under the filter"),
+                Schedule::Sporadic { pkts } => {
+                    assert!(pkts.1 < 10, "backscatter must stay under the filter")
+                }
                 _ => panic!("backscatter must be sporadic"),
             }
         }
@@ -183,8 +204,16 @@ mod tests {
 
     #[test]
     fn backscatter_mostly_singletons() {
-        let cfg = SimConfig { backscatter: true, sender_scale: 0.01, ..SimConfig::tiny(8) };
-        let camp = backscatter(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(8));
+        let cfg = SimConfig {
+            backscatter: true,
+            sender_scale: 0.01,
+            ..SimConfig::tiny(8)
+        };
+        let camp = backscatter(
+            &cfg,
+            &mut AddressAllocator::new(),
+            &mut StdRng::seed_from_u64(8),
+        );
         let singles = camp
             .senders
             .iter()
@@ -196,11 +225,25 @@ mod tests {
 
     #[test]
     fn build_respects_backscatter_flag() {
-        let cfg = SimConfig { backscatter: false, ..SimConfig::tiny(9) };
-        let campaigns = build(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(9));
+        let cfg = SimConfig {
+            backscatter: false,
+            ..SimConfig::tiny(9)
+        };
+        let campaigns = build(
+            &cfg,
+            &mut AddressAllocator::new(),
+            &mut StdRng::seed_from_u64(9),
+        );
         assert!(campaigns.iter().all(|c| c.id != CampaignId::Backscatter));
-        let cfg = SimConfig { backscatter: true, ..SimConfig::tiny(9) };
-        let campaigns = build(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(9));
+        let cfg = SimConfig {
+            backscatter: true,
+            ..SimConfig::tiny(9)
+        };
+        let campaigns = build(
+            &cfg,
+            &mut AddressAllocator::new(),
+            &mut StdRng::seed_from_u64(9),
+        );
         assert!(campaigns.iter().any(|c| c.id == CampaignId::Backscatter));
     }
 }

@@ -57,12 +57,20 @@ fn rounds_scanner(
         .map(|ip| SenderSpec {
             ip,
             window: (0, horizon),
-            schedule: Schedule::Rounds { times: times.clone(), jitter, pkts_per_round: pkts },
+            schedule: Schedule::Rounds {
+                times: times.clone(),
+                jitter,
+                pkts_per_round: pkts,
+            },
             mix: mix.clone(),
             mirai_fingerprint: false,
         })
         .collect();
-    Campaign { id, published_as: Some(published_as), senders }
+    Campaign {
+        id,
+        published_as: Some(published_as),
+        senders,
+    }
 }
 
 /// Scales a per-round/burst packet range by `rate_scale`, keeping ≥ 1.
@@ -92,7 +100,7 @@ fn censys(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Ve
     ];
 
     for g in 0..GROUPS {
-        let ips = alloc.from_subnet(Ipv4::new(74, 120, 14 + g as u8, 0).slash24(), PER_GROUP);
+        let ips = alloc.from_subnet(Ipv4::new(74, 120, 14 + g, 0).slash24(), PER_GROUP);
         // Each group owns a distinct scan tail: ~160 ports, 92% of traffic.
         let mix = PortMix::with_tail(head.clone(), 160, 0.92, rng);
         // Staggered, overlapping activity bands (Figure 12): group g is
@@ -108,12 +116,20 @@ fn censys(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Ve
             .map(|ip| SenderSpec {
                 ip,
                 window: (start, end),
-                schedule: Schedule::Rounds { times: times.clone(), jitter: 10 * MINUTE, pkts_per_round: pkts },
+                schedule: Schedule::Rounds {
+                    times: times.clone(),
+                    jitter: 10 * MINUTE,
+                    pkts_per_round: pkts,
+                },
                 mix: mix.clone(),
                 mirai_fingerprint: false,
             })
             .collect();
-        out.push(Campaign { id: CampaignId::Censys(g), published_as: Some(GtClass::Censys), senders });
+        out.push(Campaign {
+            id: CampaignId::Censys(g),
+            published_as: Some(GtClass::Censys),
+            senders,
+        });
     }
 
     // Sporadic members: on the Censys list, but with too little regularity
@@ -132,7 +148,11 @@ fn censys(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Ve
             mirai_fingerprint: false,
         })
         .collect();
-    out.push(Campaign { id: CampaignId::CensysSporadic, published_as: Some(GtClass::Censys), senders });
+    out.push(Campaign {
+        id: CampaignId::CensysSporadic,
+        published_as: Some(GtClass::Censys),
+        senders,
+    });
     out
 }
 
@@ -161,7 +181,11 @@ fn stretchoid(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -
             mirai_fingerprint: false,
         })
         .collect();
-    Campaign { id: CampaignId::Stretchoid, published_as: Some(GtClass::Stretchoid), senders }
+    Campaign {
+        id: CampaignId::Stretchoid,
+        published_as: Some(GtClass::Stretchoid),
+        senders,
+    }
 }
 
 /// GT4 — Internet Census: 103 senders, 231 ports, SIP/SNMP-heavy head.
@@ -175,7 +199,17 @@ fn internet_census(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdR
         (PortKey::udp(53), 2.9),
     ];
     let mix = PortMix::with_tail(head, 226, 0.627, rng);
-    rounds_scanner(cfg, CampaignId::InternetCensus, GtClass::InternetCensus, ips, mix, 6 * HOUR, 20 * MINUTE, (2, 6), rng)
+    rounds_scanner(
+        cfg,
+        CampaignId::InternetCensus,
+        GtClass::InternetCensus,
+        ips,
+        mix,
+        6 * HOUR,
+        20 * MINUTE,
+        (2, 6),
+        rng,
+    )
 }
 
 /// GT5 — BinaryEdge: 101 senders, only 21 distinct ports.
@@ -189,7 +223,17 @@ fn binaryedge(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -
         (PortKey::tcp(9100), 5.8),
     ];
     let mix = PortMix::with_tail(head, 16, 0.613, rng);
-    rounds_scanner(cfg, CampaignId::BinaryEdge, GtClass::BinaryEdge, ips, mix, 4 * HOUR, 15 * MINUTE, (2, 5), rng)
+    rounds_scanner(
+        cfg,
+        CampaignId::BinaryEdge,
+        GtClass::BinaryEdge,
+        ips,
+        mix,
+        4 * HOUR,
+        15 * MINUTE,
+        (2, 5),
+        rng,
+    )
 }
 
 /// GT6 — Sharashka: 50 senders spreading thinly over ~485 ports
@@ -198,7 +242,17 @@ fn sharashka(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) ->
     let ips = alloc.from_subnet(Ipv4::new(185, 163, 109, 0).slash24(), 50);
     let head = vec![(PortKey::tcp(5986), 0.48), (PortKey::tcp(2103), 0.48)];
     let mix = PortMix::with_tail(head, 483, 0.99, rng);
-    rounds_scanner(cfg, CampaignId::Sharashka, GtClass::Sharashka, ips, mix, 3 * HOUR, 10 * MINUTE, (2, 5), rng)
+    rounds_scanner(
+        cfg,
+        CampaignId::Sharashka,
+        GtClass::Sharashka,
+        ips,
+        mix,
+        3 * HOUR,
+        10 * MINUTE,
+        (2, 5),
+        rng,
+    )
 }
 
 /// GT7 — Ipip.net: 49 senders, SIP-dominated with an ICMP component
@@ -213,7 +267,17 @@ fn ipip(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Camp
         (PortKey::tcp(22), 2.1),
     ];
     let mix = PortMix::with_tail(head, 36, 0.411, rng);
-    rounds_scanner(cfg, CampaignId::Ipip, GtClass::Ipip, ips, mix, 3 * HOUR, 5 * MINUTE, (5, 12), rng)
+    rounds_scanner(
+        cfg,
+        CampaignId::Ipip,
+        GtClass::Ipip,
+        ips,
+        mix,
+        3 * HOUR,
+        5 * MINUTE,
+        (5, 12),
+        rng,
+    )
 }
 
 /// GT8 — Shodan: 23 heavy senders over ~349 ports, near-uniform spread
@@ -228,7 +292,17 @@ fn shodan(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Ca
         (PortKey::tcp(2087), 0.7),
     ];
     let mix = PortMix::with_tail(head, 344, 0.959, rng);
-    rounds_scanner(cfg, CampaignId::Shodan, GtClass::Shodan, ips, mix, 90 * MINUTE, 15 * MINUTE, (6, 12), rng)
+    rounds_scanner(
+        cfg,
+        CampaignId::Shodan,
+        GtClass::Shodan,
+        ips,
+        mix,
+        90 * MINUTE,
+        15 * MINUTE,
+        (6, 12),
+        rng,
+    )
 }
 
 /// GT9 — Engin-Umich: 10 senders, 53/udp **only**, in a handful of
@@ -252,12 +326,20 @@ fn engin_umich(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) 
         .map(|ip| SenderSpec {
             ip,
             window: (0, cfg.horizon()),
-            schedule: Schedule::Bursts { times: times.clone(), spread: 10 * MINUTE, pkts_per_burst: pkts },
+            schedule: Schedule::Bursts {
+                times: times.clone(),
+                spread: 10 * MINUTE,
+                pkts_per_burst: pkts,
+            },
             mix: mix.clone(),
             mirai_fingerprint: false,
         })
         .collect();
-    Campaign { id: CampaignId::EnginUmich, published_as: Some(GtClass::EnginUmich), senders }
+    Campaign {
+        id: CampaignId::EnginUmich,
+        published_as: Some(GtClass::EnginUmich),
+        senders,
+    }
 }
 
 #[cfg(test)]
@@ -279,8 +361,11 @@ mod tests {
     #[test]
     fn paper_class_sizes() {
         let c = built();
-        let censys_total: usize =
-            c.iter().filter(|c| matches!(c.id, CampaignId::Censys(_) | CampaignId::CensysSporadic)).map(|c| c.len()).sum();
+        let censys_total: usize = c
+            .iter()
+            .filter(|c| matches!(c.id, CampaignId::Censys(_) | CampaignId::CensysSporadic))
+            .map(|c| c.len())
+            .sum();
         assert_eq!(censys_total, 336);
         assert_eq!(find(&c, CampaignId::Stretchoid).len(), 104);
         assert_eq!(find(&c, CampaignId::InternetCensus).len(), 103);
@@ -294,10 +379,18 @@ mod tests {
     #[test]
     fn censys_groups_have_disjointish_tails() {
         let c = built();
-        let g0: std::collections::HashSet<PortKey> =
-            find(&c, CampaignId::Censys(0)).senders[0].mix.keys().iter().copied().collect();
-        let g1: std::collections::HashSet<PortKey> =
-            find(&c, CampaignId::Censys(1)).senders[0].mix.keys().iter().copied().collect();
+        let g0: std::collections::HashSet<PortKey> = find(&c, CampaignId::Censys(0)).senders[0]
+            .mix
+            .keys()
+            .iter()
+            .copied()
+            .collect();
+        let g1: std::collections::HashSet<PortKey> = find(&c, CampaignId::Censys(1)).senders[0]
+            .mix
+            .keys()
+            .iter()
+            .copied()
+            .collect();
         let inter = g0.intersection(&g1).count();
         let j = inter as f64 / (g0.len() + g1.len() - inter) as f64;
         assert!(j < 0.3, "censys group port Jaccard {j} too high");
@@ -342,14 +435,24 @@ mod tests {
     #[test]
     fn binaryedge_has_few_ports_sharashka_many() {
         let c = built();
-        assert_eq!(find(&c, CampaignId::BinaryEdge).senders[0].mix.keys().len(), 21);
-        assert_eq!(find(&c, CampaignId::Sharashka).senders[0].mix.keys().len(), 485);
+        assert_eq!(
+            find(&c, CampaignId::BinaryEdge).senders[0].mix.keys().len(),
+            21
+        );
+        assert_eq!(
+            find(&c, CampaignId::Sharashka).senders[0].mix.keys().len(),
+            485
+        );
     }
 
     #[test]
     fn each_campaign_shares_one_subnet_shape() {
         let c = built();
-        for id in [CampaignId::Ipip, CampaignId::Sharashka, CampaignId::EnginUmich] {
+        for id in [
+            CampaignId::Ipip,
+            CampaignId::Sharashka,
+            CampaignId::EnginUmich,
+        ] {
             let camp = find(&c, id);
             let nets: std::collections::HashSet<_> =
                 camp.senders.iter().map(|s| s.ip.slash24()).collect();

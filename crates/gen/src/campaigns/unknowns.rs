@@ -36,9 +36,18 @@ fn shadowserver(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng)
     let horizon = cfg.horizon();
     // (size, heavy ports with shares) per sub-group, from §7.3.2.
     let groups: [(usize, Vec<(PortKey, f64)>); 3] = [
-        (61, vec![(PortKey::udp(623), 10.0), (PortKey::udp(123), 10.0)]),
-        (36, vec![(PortKey::udp(5683), 12.5), (PortKey::udp(3389), 12.5)]),
-        (16, vec![(PortKey::udp(111), 31.5), (PortKey::udp(137), 31.5)]),
+        (
+            61,
+            vec![(PortKey::udp(623), 10.0), (PortKey::udp(123), 10.0)],
+        ),
+        (
+            36,
+            vec![(PortKey::udp(5683), 12.5), (PortKey::udp(3389), 12.5)],
+        ),
+        (
+            16,
+            vec![(PortKey::udp(111), 31.5), (PortKey::udp(137), 31.5)],
+        ),
     ];
     // The shared scan pool: every group also touches the others' ports plus
     // a common tail, so the groups differ by intensity, not by set.
@@ -61,8 +70,11 @@ fn shadowserver(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng)
         let heavy_share: f64 = heavy.iter().map(|&(_, w)| w).sum();
         let mut entries = heavy.clone();
         let rest = 100.0 - heavy_share;
-        let fillers: Vec<PortKey> =
-            shared_pool.iter().copied().filter(|k| !heavy.iter().any(|&(h, _)| h == *k)).collect();
+        let fillers: Vec<PortKey> = shared_pool
+            .iter()
+            .copied()
+            .filter(|k| !heavy.iter().any(|&(h, _)| h == *k))
+            .collect();
         let w = rest / fillers.len() as f64;
         entries.extend(fillers.into_iter().map(|k| (k, w)));
         let mix = Arc::new(PortMix::new(entries));
@@ -84,7 +96,11 @@ fn shadowserver(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng)
                 mirai_fingerprint: false,
             })
             .collect();
-        out.push(Campaign { id: CampaignId::Shadowserver(g as u8), published_as: None, senders });
+        out.push(Campaign {
+            id: CampaignId::Shadowserver(g as u8),
+            published_as: None,
+            senders,
+        });
     }
     out
 }
@@ -93,16 +109,44 @@ fn shadowserver(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng)
 /// traffic to NetBIOS 137/udp "with a very regular pattern" (Figure 14).
 fn u1_netbios(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
     let ips = alloc.from_subnet(Ipv4::new(38, 77, 146, 0).slash24(), 85);
-    let mix = Arc::new(PortMix::with_tail(vec![(PortKey::udp(137), 60.0)], 17, 0.40, rng));
-    regular_campaign(cfg, CampaignId::U1NetBios, ips, mix, HOUR, 2 * MINUTE, (1, 2), rng)
+    let mix = Arc::new(PortMix::with_tail(
+        vec![(PortKey::udp(137), 60.0)],
+        17,
+        0.40,
+        rng,
+    ));
+    regular_campaign(
+        cfg,
+        CampaignId::U1NetBios,
+        ips,
+        mix,
+        HOUR,
+        2 * MINUTE,
+        (1, 2),
+        rng,
+    )
 }
 
 /// unknown2 — 10 senders from one /24 in cloud address space; 76 % of
 /// traffic to SMTP 25/tcp.
 fn u2_smtp(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
     let ips = alloc.from_subnet(Ipv4::new(34, 86, 102, 0).slash24(), 10);
-    let mix = Arc::new(PortMix::with_tail(vec![(PortKey::tcp(25), 76.0)], 11, 0.24, rng));
-    regular_campaign(cfg, CampaignId::U2Smtp, ips, mix, 2 * HOUR, 5 * MINUTE, (2, 4), rng)
+    let mix = Arc::new(PortMix::with_tail(
+        vec![(PortKey::tcp(25), 76.0)],
+        11,
+        0.24,
+        rng,
+    ));
+    regular_campaign(
+        cfg,
+        CampaignId::U2Smtp,
+        ips,
+        mix,
+        2 * HOUR,
+        5 * MINUTE,
+        (2, 4),
+        rng,
+    )
 }
 
 /// unknown3 — 61 senders scattered into 23 /24 subnets, 99.5 % of traffic
@@ -118,7 +162,16 @@ fn u3_smb(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Ca
         (PortKey::tcp(135), 0.2),
         (PortKey::udp(137), 0.1),
     ]));
-    regular_campaign(cfg, CampaignId::U3Smb, ips, mix, HOUR, 3 * MINUTE, (1, 3), rng)
+    regular_campaign(
+        cfg,
+        CampaignId::U3Smb,
+        ips,
+        mix,
+        HOUR,
+        3 * MINUTE,
+        (1, 3),
+        rng,
+    )
 }
 
 /// unknown7 — 158 senders scanning 148 ports with an almost equal share,
@@ -126,12 +179,23 @@ fn u3_smb(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Ca
 /// horizontal scans".
 fn u7_horizontal(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng) -> Campaign {
     let n = 158.min((Subnet::new(Ipv4::new(45, 143, 200, 0), 24)).size() as usize * 4);
-    let nets: Vec<Subnet> = (0..4).map(|i| Ipv4::new(45, 143, 200 + i, 0).slash24()).collect();
+    let nets: Vec<Subnet> = (0..4)
+        .map(|i| Ipv4::new(45, 143, 200 + i, 0).slash24())
+        .collect();
     let ips = alloc.scattered(&nets, n);
     let ports: Vec<PortKey> = distinct_ports(148, rng);
     let mix = Arc::new(PortMix::uniform(ports));
     let pkts_hi = ((20.0 * cfg.rate_scale).round() as u32).max(2);
-    regular_campaign(cfg, CampaignId::U7Horizontal, ips, mix, DAY, 2 * HOUR, (pkts_hi / 2, pkts_hi), rng)
+    regular_campaign(
+        cfg,
+        CampaignId::U7Horizontal,
+        ips,
+        mix,
+        DAY,
+        2 * HOUR,
+        (pkts_hi / 2, pkts_hi),
+        rng,
+    )
 }
 
 /// unknown8 — 22 senders scanning 69 ports with an almost equal share
@@ -140,7 +204,16 @@ fn u8_horizontal(cfg: &SimConfig, alloc: &mut AddressAllocator, rng: &mut StdRng
     let ips = alloc.from_subnet(Ipv4::new(176, 113, 115, 0).slash24(), 22);
     let ports: Vec<PortKey> = distinct_ports(69, rng);
     let mix = Arc::new(PortMix::uniform(ports));
-    regular_campaign(cfg, CampaignId::U8Horizontal, ips, mix, HOUR, 5 * MINUTE, (1, 3), rng)
+    regular_campaign(
+        cfg,
+        CampaignId::U8Horizontal,
+        ips,
+        mix,
+        HOUR,
+        5 * MINUTE,
+        (1, 3),
+        rng,
+    )
 }
 
 /// `n` distinct pseudo-random user-range TCP ports.
@@ -179,12 +252,20 @@ fn regular_campaign(
         .map(|ip| SenderSpec {
             ip,
             window: (0, horizon),
-            schedule: Schedule::Rounds { times: times.clone(), jitter, pkts_per_round: pkts },
+            schedule: Schedule::Rounds {
+                times: times.clone(),
+                jitter,
+                pkts_per_round: pkts,
+            },
             mix: mix.clone(),
             mirai_fingerprint: false,
         })
         .collect();
-    Campaign { id, published_as: None, senders }
+    Campaign {
+        id,
+        published_as: None,
+        senders,
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +275,11 @@ mod tests {
 
     fn built() -> Vec<Campaign> {
         let cfg = SimConfig::tiny(4);
-        build(&cfg, &mut AddressAllocator::new(), &mut StdRng::seed_from_u64(4))
+        build(
+            &cfg,
+            &mut AddressAllocator::new(),
+            &mut StdRng::seed_from_u64(4),
+        )
     }
 
     fn find(campaigns: &[Campaign], id: CampaignId) -> &Campaign {
@@ -236,7 +321,8 @@ mod tests {
         let c = built();
         let u1 = find(&c, CampaignId::U1NetBios);
         assert_eq!(u1.len(), 85);
-        let nets: std::collections::HashSet<_> = u1.senders.iter().map(|s| s.ip.slash24()).collect();
+        let nets: std::collections::HashSet<_> =
+            u1.senders.iter().map(|s| s.ip.slash24()).collect();
         assert_eq!(nets.len(), 1);
         assert!(u1.senders[0].mix.weight(PortKey::udp(137)) > 0.5);
     }
@@ -246,7 +332,8 @@ mod tests {
         let c = built();
         let u3 = find(&c, CampaignId::U3Smb);
         assert_eq!(u3.len(), 61);
-        let nets: std::collections::HashSet<_> = u3.senders.iter().map(|s| s.ip.slash24()).collect();
+        let nets: std::collections::HashSet<_> =
+            u3.senders.iter().map(|s| s.ip.slash24()).collect();
         assert_eq!(nets.len(), 23);
         assert!(u3.senders[0].mix.weight(PortKey::tcp(445)) > 0.99);
     }

@@ -30,7 +30,13 @@ impl Default for SimConfig {
     /// a 30-day horizon, ~2.5 M packets. All evaluation shapes hold at
     /// this scale (EXPERIMENTS.md reports paper-vs-measured).
     fn default() -> Self {
-        SimConfig { days: 30, sender_scale: 0.1, rate_scale: 1.0, backscatter: true, seed: 1 }
+        SimConfig {
+            days: 30,
+            sender_scale: 0.1,
+            rate_scale: 1.0,
+            backscatter: true,
+            seed: 1,
+        }
     }
 }
 
@@ -38,7 +44,13 @@ impl SimConfig {
     /// A small configuration for unit/integration tests: 8 days, reduced
     /// populations and rates, no backscatter noise floor.
     pub fn tiny(seed: u64) -> Self {
-        SimConfig { days: 8, sender_scale: 0.04, rate_scale: 0.5, backscatter: false, seed }
+        SimConfig {
+            days: 8,
+            sender_scale: 0.04,
+            rate_scale: 0.5,
+            backscatter: false,
+            seed,
+        }
     }
 
     /// Scales a large-class population, guaranteeing at least a handful of
@@ -71,7 +83,10 @@ mod tests {
 
     #[test]
     fn scaled_has_floor() {
-        let c = SimConfig { sender_scale: 0.001, ..SimConfig::default() };
+        let c = SimConfig {
+            sender_scale: 0.001,
+            ..SimConfig::default()
+        };
         assert_eq!(c.scaled(100), 4);
         assert_eq!(c.scaled(10_000), 10);
     }
@@ -84,7 +99,10 @@ mod tests {
 
     #[test]
     fn rate_scaling() {
-        let c = SimConfig { rate_scale: 0.5, ..SimConfig::default() };
+        let c = SimConfig {
+            rate_scale: 0.5,
+            ..SimConfig::default()
+        };
         assert_eq!(c.rate(40.0), 20.0);
     }
 }

@@ -21,6 +21,7 @@ pub struct SimOutput {
 /// schedule, samples destination ports, stamps fingerprints and returns the
 /// sorted trace with its ground truth. Fully deterministic in `cfg.seed`.
 pub fn simulate(cfg: &SimConfig) -> SimOutput {
+    let _span = darkvec_obs::span!("gen.simulate");
     let mut alloc = AddressAllocator::new();
     let campaigns = campaigns::build_all(cfg, &mut alloc);
     realize(cfg, &campaigns)
@@ -28,18 +29,21 @@ pub fn simulate(cfg: &SimConfig) -> SimOutput {
 
 /// Realises pre-built campaigns (exposed so tests can inject custom ones).
 pub fn realize(cfg: &SimConfig, campaigns: &[Campaign]) -> SimOutput {
+    let _span = darkvec_obs::span!("gen.realize");
     let mut truth = GroundTruth::default();
     let mut packets: Vec<Packet> = Vec::new();
 
     for (ci, campaign) in campaigns.iter().enumerate() {
         // Per-campaign RNG stream: realisation of one campaign never
         // perturbs another's packets.
-        let mut rng = StdRng::seed_from_u64(
-            cfg.seed ^ (ci as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ (ci as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93));
         for spec in &campaign.senders {
             truth.register(spec.ip, campaign.id, campaign.published_as);
-            for ts in spec.schedule.realize(spec.window.0, spec.window.1, &mut rng) {
+            for ts in spec
+                .schedule
+                .realize(spec.window.0, spec.window.1, &mut rng)
+            {
                 let key = spec.mix.sample(&mut rng);
                 // The Mirai fingerprint lives in the TCP sequence number, so
                 // it can only mark TCP probes.
@@ -59,7 +63,18 @@ pub fn realize(cfg: &SimConfig, campaigns: &[Campaign]) -> SimOutput {
         }
     }
 
-    SimOutput { trace: Trace::new(packets), truth }
+    darkvec_obs::metrics::counter("gen.packets").add(packets.len() as u64);
+    darkvec_obs::metrics::counter("gen.senders").add(truth.len() as u64);
+    darkvec_obs::info!(
+        "simulated {} packets from {} senders across {} campaigns",
+        packets.len(),
+        truth.len(),
+        campaigns.len()
+    );
+    SimOutput {
+        trace: Trace::new(packets),
+        truth,
+    }
 }
 
 #[cfg(test)]
@@ -104,12 +119,15 @@ mod tests {
         let out = sim(3);
         let labels = out.truth.label_trace(&out.trace);
         let mut per_class: std::collections::HashMap<GtClass, usize> = Default::default();
-        for (_, &c) in &labels {
+        for &c in labels.values() {
             *per_class.entry(c).or_default() += 1;
         }
         // All scanner classes and Mirai must be present; Unknown dominates.
         for class in GtClass::ALL {
-            assert!(per_class.get(&class).copied().unwrap_or(0) > 0, "missing {class}");
+            assert!(
+                per_class.get(&class).copied().unwrap_or(0) > 0,
+                "missing {class}"
+            );
         }
         assert!(per_class[&GtClass::Unknown] > per_class[&GtClass::Censys]);
     }
@@ -130,8 +148,11 @@ mod tests {
     #[test]
     fn mirai_core_telnet_share_matches_table2() {
         let out = sim(5);
-        let mirai: std::collections::HashSet<_> =
-            out.truth.members(CampaignId::MiraiCore).into_iter().collect();
+        let mirai: std::collections::HashSet<_> = out
+            .truth
+            .members(CampaignId::MiraiCore)
+            .into_iter()
+            .collect();
         let mut total = 0u64;
         let mut telnet = 0u64;
         for p in out.trace.packets() {
@@ -161,7 +182,11 @@ mod tests {
         let out = sim(7);
         let active = out.trace.active_senders(10);
         // Scanners run all month with rounds; nearly all must be active.
-        for campaign in [CampaignId::Shodan, CampaignId::EnginUmich, CampaignId::U1NetBios] {
+        for campaign in [
+            CampaignId::Shodan,
+            CampaignId::EnginUmich,
+            CampaignId::U1NetBios,
+        ] {
             let members = out.truth.members(campaign);
             let kept = members.iter().filter(|ip| active.contains(ip)).count();
             assert!(
@@ -174,7 +199,10 @@ mod tests {
 
     #[test]
     fn backscatter_senders_are_filtered_out() {
-        let cfg = SimConfig { backscatter: true, ..SimConfig::tiny(8) };
+        let cfg = SimConfig {
+            backscatter: true,
+            ..SimConfig::tiny(8)
+        };
         let out = simulate(&cfg);
         let active = out.trace.active_senders(10);
         let bs = out.truth.members(CampaignId::Backscatter);
@@ -186,14 +214,29 @@ mod tests {
     #[test]
     fn adb_worm_traffic_grows_over_time() {
         let out = sim(9);
-        let worm: std::collections::HashSet<_> =
-            out.truth.members(CampaignId::U4AdbWorm).into_iter().collect();
+        let worm: std::collections::HashSet<_> = out
+            .truth
+            .members(CampaignId::U4AdbWorm)
+            .into_iter()
+            .collect();
         let days = out.trace.days();
         let first_half: usize = (0..days / 2)
-            .map(|d| out.trace.day_slice(d).iter().filter(|p| worm.contains(&p.src)).count())
+            .map(|d| {
+                out.trace
+                    .day_slice(d)
+                    .iter()
+                    .filter(|p| worm.contains(&p.src))
+                    .count()
+            })
             .sum();
         let second_half: usize = (days / 2..days)
-            .map(|d| out.trace.day_slice(d).iter().filter(|p| worm.contains(&p.src)).count())
+            .map(|d| {
+                out.trace
+                    .day_slice(d)
+                    .iter()
+                    .filter(|p| worm.contains(&p.src))
+                    .count()
+            })
             .sum();
         assert!(
             second_half > first_half * 2,

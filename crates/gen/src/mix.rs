@@ -6,7 +6,7 @@
 //! search over cumulative weights.
 
 use darkvec_types::{PortKey, Protocol};
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashSet;
 
 /// A discrete distribution over (port, protocol) keys.
@@ -70,7 +70,10 @@ impl PortMix {
         tail_share: f64,
         rng: &mut R,
     ) -> Self {
-        assert!((0.0..1.0).contains(&tail_share), "tail share must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&tail_share),
+            "tail share must be in [0,1)"
+        );
         let head_total: f64 = head.iter().map(|&(_, w)| w).sum();
         let mut entries = head;
         if tail_count > 0 && tail_share > 0.0 {
@@ -118,7 +121,13 @@ impl PortMix {
 
 /// Shorthand for `PortKey::tcp` used heavily by the campaign tables.
 pub const fn tcp(port: u16) -> (PortKey, f64) {
-    (PortKey { port, proto: Protocol::Tcp }, 1.0)
+    (
+        PortKey {
+            port,
+            proto: Protocol::Tcp,
+        },
+        1.0,
+    )
 }
 
 #[cfg(test)]
@@ -132,14 +141,21 @@ mod tests {
         let mix = PortMix::new(vec![(PortKey::tcp(23), 0.9), (PortKey::tcp(80), 0.1)]);
         let mut rng = StdRng::seed_from_u64(5);
         let n = 50_000;
-        let hits = (0..n).filter(|_| mix.sample(&mut rng) == PortKey::tcp(23)).count();
+        let hits = (0..n)
+            .filter(|_| mix.sample(&mut rng) == PortKey::tcp(23))
+            .count();
         let frac = hits as f64 / n as f64;
         assert!((frac - 0.9).abs() < 0.01, "fraction {frac}");
     }
 
     #[test]
     fn uniform_mix_is_even() {
-        let keys = vec![PortKey::tcp(1), PortKey::tcp(2), PortKey::udp(3), PortKey::icmp()];
+        let keys = vec![
+            PortKey::tcp(1),
+            PortKey::tcp(2),
+            PortKey::udp(3),
+            PortKey::icmp(),
+        ];
         let mix = PortMix::uniform(keys.clone());
         let mut rng = StdRng::seed_from_u64(9);
         let mut counts = [0u32; 4];
@@ -182,7 +198,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let head = vec![(PortKey::tcp(23), 1.0)];
         let mix = PortMix::with_tail(head, 200, 0.5, &mut rng);
-        let telnet_count = mix.keys().iter().filter(|&&k| k == PortKey::tcp(23)).count();
+        let telnet_count = mix
+            .keys()
+            .iter()
+            .filter(|&&k| k == PortKey::tcp(23))
+            .count();
         assert_eq!(telnet_count, 1);
     }
 

@@ -17,7 +17,7 @@
 //!   random instants (Stretchoid, Figure 9a — the class the embedding
 //!   *fails* on, by design).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::sync::Arc;
 
 /// A sender's temporal behaviour. Round/burst instants are shared across a
@@ -71,7 +71,11 @@ impl Schedule {
                 let n = poisson(expected, rng);
                 (0..n).map(|_| rng.random_range(start..end)).collect()
             }
-            Schedule::Rounds { times, jitter, pkts_per_round } => {
+            Schedule::Rounds {
+                times,
+                jitter,
+                pkts_per_round,
+            } => {
                 let mut out = Vec::new();
                 for &t in times.iter().filter(|&&t| t >= start && t < end) {
                     let n = rng.random_range(pkts_per_round.0..=pkts_per_round.1);
@@ -81,7 +85,11 @@ impl Schedule {
                 }
                 out
             }
-            Schedule::Bursts { times, spread, pkts_per_burst } => {
+            Schedule::Bursts {
+                times,
+                spread,
+                pkts_per_burst,
+            } => {
                 let mut out = Vec::new();
                 for &t in times.iter().filter(|&&t| t >= start && t < end) {
                     let n = rng.random_range(pkts_per_burst.0..=pkts_per_burst.1);
@@ -103,7 +111,12 @@ impl Schedule {
 /// `offset, offset+period, ...` up to `horizon`.
 pub fn periodic_times(offset: u64, period: u64, horizon: u64) -> Arc<Vec<u64>> {
     assert!(period > 0, "period must be positive");
-    Arc::new((0..).map(|i| offset + i * period).take_while(|&t| t < horizon).collect())
+    Arc::new(
+        (0..)
+            .map(|i| offset + i * period)
+            .take_while(|&t| t < horizon)
+            .collect(),
+    )
 }
 
 /// Draws `n` random instants in `[0, horizon)`, sorted — used for
@@ -164,7 +177,9 @@ mod tests {
 
     #[test]
     fn continuous_respects_window() {
-        let s = Schedule::Continuous { rate_per_day: 100.0 };
+        let s = Schedule::Continuous {
+            rate_per_day: 100.0,
+        };
         let mut r = rng(2);
         for t in s.realize(DAY, 2 * DAY, &mut r) {
             assert!((DAY..2 * DAY).contains(&t));
@@ -174,7 +189,11 @@ mod tests {
     #[test]
     fn rounds_cluster_near_round_times() {
         let times = periodic_times(100, DAY, 5 * DAY);
-        let s = Schedule::Rounds { times: times.clone(), jitter: 60, pkts_per_round: (2, 4) };
+        let s = Schedule::Rounds {
+            times: times.clone(),
+            jitter: 60,
+            pkts_per_round: (2, 4),
+        };
         let mut r = rng(3);
         let pkts = s.realize(0, 5 * DAY, &mut r);
         assert!(!pkts.is_empty());
@@ -189,7 +208,11 @@ mod tests {
     #[test]
     fn rounds_outside_window_are_skipped() {
         let times = periodic_times(0, DAY, 10 * DAY);
-        let s = Schedule::Rounds { times, jitter: 10, pkts_per_round: (1, 1) };
+        let s = Schedule::Rounds {
+            times,
+            jitter: 10,
+            pkts_per_round: (1, 1),
+        };
         let mut r = rng(4);
         // Window covers only days 2..4 => rounds at 2*DAY and 3*DAY.
         let pkts = s.realize(2 * DAY, 4 * DAY, &mut r);
@@ -200,7 +223,11 @@ mod tests {
     fn bursts_are_tight() {
         let mut r = rng(5);
         let times = random_times(3, 30 * DAY, &mut r);
-        let s = Schedule::Bursts { times: times.clone(), spread: 300, pkts_per_burst: (50, 50) };
+        let s = Schedule::Bursts {
+            times: times.clone(),
+            spread: 300,
+            pkts_per_burst: (50, 50),
+        };
         let pkts = s.realize(0, 30 * DAY, &mut r);
         assert_eq!(pkts.len(), 150);
         for t in &pkts {

@@ -148,7 +148,10 @@ impl CampaignId {
     /// Whether this campaign is a *coordinated* group (should form a
     /// cluster), as opposed to noise.
     pub fn coordinated(self) -> bool {
-        !matches!(self, CampaignId::MiscUnknown | CampaignId::Backscatter | CampaignId::CensysSporadic)
+        !matches!(
+            self,
+            CampaignId::MiscUnknown | CampaignId::Backscatter | CampaignId::CensysSporadic
+        )
     }
 }
 
@@ -223,8 +226,12 @@ impl GroundTruth {
 
     /// All senders of a campaign.
     pub fn members(&self, campaign: CampaignId) -> Vec<Ipv4> {
-        let mut v: Vec<Ipv4> =
-            self.campaigns.iter().filter(|&(_, &c)| c == campaign).map(|(&ip, _)| ip).collect();
+        let mut v: Vec<Ipv4> = self
+            .campaigns
+            .iter()
+            .filter(|&(_, &c)| c == campaign)
+            .map(|(&ip, _)| ip)
+            .collect();
         v.sort();
         v
     }
@@ -311,7 +318,10 @@ mod tests {
     #[test]
     fn campaign_display_is_unique_per_subgroup() {
         assert_eq!(CampaignId::Censys(2).to_string(), "censys-2");
-        assert_ne!(CampaignId::Censys(2).to_string(), CampaignId::Censys(3).to_string());
+        assert_ne!(
+            CampaignId::Censys(2).to_string(),
+            CampaignId::Censys(3).to_string()
+        );
         assert_eq!(CampaignId::U1NetBios.to_string(), "unknown1-netbios");
     }
 

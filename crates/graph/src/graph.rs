@@ -19,7 +19,10 @@ pub struct Graph {
 impl Graph {
     /// An edgeless graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], total_weight: 0.0 }
+        Graph {
+            adj: vec![Vec::new(); n],
+            total_weight: 0.0,
+        }
     }
 
     /// Adds an undirected edge. Parallel edges accumulate naturally
@@ -28,8 +31,14 @@ impl Graph {
     /// # Panics
     /// Panics if a node is out of range or the weight is negative/non-finite.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) {
-        assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len(), "node out of range");
-        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and non-negative");
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "node out of range"
+        );
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "edge weight must be finite and non-negative"
+        );
         if u == v {
             self.adj[u as usize].push((v, w));
         } else {
@@ -62,14 +71,21 @@ impl Graph {
     /// Weighted degree of `u`. Self-loops count twice, per the modularity
     /// convention (a self-loop contributes 2w to the degree).
     pub fn degree(&self, u: NodeId) -> f64 {
-        self.adj[u as usize].iter().map(|&(v, w)| if v == u { 2.0 * w } else { w }).sum()
+        self.adj[u as usize]
+            .iter()
+            .map(|&(v, w)| if v == u { 2.0 * w } else { w })
+            .sum()
     }
 
     /// Number of stored edges (each undirected edge once).
     pub fn edge_count(&self) -> usize {
         let endpoints: usize = self.adj.iter().map(|l| l.len()).sum();
-        let self_loops: usize =
-            self.adj.iter().enumerate().map(|(u, l)| l.iter().filter(|&&(v, _)| v as usize == u).count()).sum();
+        let self_loops: usize = self
+            .adj
+            .iter()
+            .enumerate()
+            .map(|(u, l)| l.iter().filter(|&&(v, _)| v as usize == u).count())
+            .sum();
         // Non-loop edges were stored twice.
         (endpoints - self_loops) / 2 + self_loops
     }

@@ -25,7 +25,11 @@ pub struct KnnGraphConfig {
 impl Default for KnnGraphConfig {
     fn default() -> Self {
         // k′ = 3, the paper's elbow-method choice (§7.2).
-        KnnGraphConfig { k: 3, threads: 0, mutual: false }
+        KnnGraphConfig {
+            k: 3,
+            threads: 0,
+            mutual: false,
+        }
     }
 }
 
@@ -37,6 +41,7 @@ impl Default for KnnGraphConfig {
 /// edge.
 pub fn build_knn_graph(matrix: Matrix<'_>, cfg: &KnnGraphConfig) -> Graph {
     const WEIGHT_FLOOR: f64 = 1e-6;
+    let _span = darkvec_obs::span!("graph.knn_build");
     let n = matrix.rows();
     let neighbors = knn_all(matrix, cfg.k.max(1), cfg.threads);
 
@@ -45,7 +50,11 @@ pub fn build_knn_graph(matrix: Matrix<'_>, cfg: &KnnGraphConfig) -> Graph {
     for (u, neigh) in neighbors.iter().enumerate() {
         for nb in neigh {
             let v = nb.index;
-            let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+            let key = if u < v {
+                (u as u32, v as u32)
+            } else {
+                (v as u32, u as u32)
+            };
             let w = (nb.similarity as f64).max(WEIGHT_FLOOR);
             let e = edges.entry(key).or_insert((0.0, 0));
             e.0 += w;
@@ -56,13 +65,21 @@ pub fn build_knn_graph(matrix: Matrix<'_>, cfg: &KnnGraphConfig) -> Graph {
     let mut g = Graph::new(n);
     // Sort for deterministic insertion order (HashMap iteration is not).
     let mut sorted: Vec<((u32, u32), (f64, u8))> = edges.into_iter().collect();
-    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    sorted.sort_by_key(|a| a.0);
     for ((u, v), (w, picks)) in sorted {
         if cfg.mutual && picks < 2 {
             continue;
         }
         g.add_edge(u, v, w);
     }
+    darkvec_obs::metrics::gauge("graph.knn.nodes").set(n as f64);
+    darkvec_obs::metrics::gauge("graph.knn.total_weight").set(g.total_weight());
+    darkvec_obs::debug!(
+        "k'-NN graph: {} nodes, total weight {:.3} (k' = {})",
+        n,
+        g.total_weight(),
+        cfg.k
+    );
     g
 }
 
@@ -84,7 +101,14 @@ mod tests {
     #[test]
     fn edges_stay_within_groups() {
         let data = grouped();
-        let g = build_knn_graph(Matrix::new(&data, 6, 2), &KnnGraphConfig { k: 2, threads: 1, mutual: false });
+        let g = build_knn_graph(
+            Matrix::new(&data, 6, 2),
+            &KnnGraphConfig {
+                k: 2,
+                threads: 1,
+                mutual: false,
+            },
+        );
         for u in 0..6u32 {
             for &(v, _) in g.neighbors(u) {
                 assert_eq!(u / 3, v / 3, "edge {u}-{v} crosses groups");
@@ -98,8 +122,20 @@ mod tests {
         // Two identical points: each picks the other, so the single
         // undirected edge carries both directed weights (≈ 2.0).
         let data = [1.0f32, 0.0, 1.0, 0.0, -1.0, 0.0, -1.0, 0.01];
-        let g = build_knn_graph(Matrix::new(&data, 4, 2), &KnnGraphConfig { k: 1, threads: 1, mutual: false });
-        let w01 = g.neighbors(0).iter().find(|&&(v, _)| v == 1).map(|&(_, w)| w).unwrap();
+        let g = build_knn_graph(
+            Matrix::new(&data, 4, 2),
+            &KnnGraphConfig {
+                k: 1,
+                threads: 1,
+                mutual: false,
+            },
+        );
+        let w01 = g
+            .neighbors(0)
+            .iter()
+            .find(|&&(v, _)| v == 1)
+            .map(|&(_, w)| w)
+            .unwrap();
         assert!((w01 - 2.0).abs() < 1e-3, "weight {w01}");
     }
 
@@ -109,8 +145,22 @@ mod tests {
         // other; in mutual mode p2 becomes isolated.
         let data = [1.0f32, 0.0, 1.0, 0.01, 0.0, 1.0];
         let m = Matrix::new(&data, 3, 2);
-        let union = build_knn_graph(m, &KnnGraphConfig { k: 1, threads: 1, mutual: false });
-        let mutual = build_knn_graph(m, &KnnGraphConfig { k: 1, threads: 1, mutual: true });
+        let union = build_knn_graph(
+            m,
+            &KnnGraphConfig {
+                k: 1,
+                threads: 1,
+                mutual: false,
+            },
+        );
+        let mutual = build_knn_graph(
+            m,
+            &KnnGraphConfig {
+                k: 1,
+                threads: 1,
+                mutual: true,
+            },
+        );
         assert!(!union.neighbors(2).is_empty());
         assert!(mutual.neighbors(2).is_empty());
         assert!(!mutual.neighbors(0).is_empty());
@@ -120,7 +170,14 @@ mod tests {
     fn negative_similarities_get_floor_weight() {
         // Opposite vectors: similarity -1, clamped to the floor.
         let data = [1.0f32, 0.0, -1.0, 0.0];
-        let g = build_knn_graph(Matrix::new(&data, 2, 2), &KnnGraphConfig { k: 1, threads: 1, mutual: false });
+        let g = build_knn_graph(
+            Matrix::new(&data, 2, 2),
+            &KnnGraphConfig {
+                k: 1,
+                threads: 1,
+                mutual: false,
+            },
+        );
         let (_, w) = g.neighbors(0)[0];
         assert!(w > 0.0 && w < 1e-5);
     }

@@ -55,12 +55,20 @@ impl Partition {
 ///
 /// Returns 0 for a graph with no edges.
 pub fn modularity(graph: &Graph, assignment: &[u32]) -> f64 {
-    assert_eq!(assignment.len(), graph.len(), "assignment must cover every node");
+    assert_eq!(
+        assignment.len(),
+        graph.len(),
+        "assignment must cover every node"
+    );
     let m2 = 2.0 * graph.total_weight();
     if m2 == 0.0 {
         return 0.0;
     }
-    let ncomm = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let ncomm = assignment
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut intra2 = vec![0.0f64; ncomm]; // 2 × intra-community weight
     let mut tot = vec![0.0f64; ncomm];
     for u in 0..graph.len() as NodeId {
@@ -74,28 +82,37 @@ pub fn modularity(graph: &Graph, assignment: &[u32]) -> f64 {
             }
         }
     }
-    (0..ncomm).map(|c| intra2[c] / m2 - (tot[c] / m2).powi(2)).sum()
+    (0..ncomm)
+        .map(|c| intra2[c] / m2 - (tot[c] / m2).powi(2))
+        .sum()
 }
 
 /// Runs Louvain to convergence and returns the final partition
 /// (communities renumbered largest-first).
 pub fn louvain(graph: &Graph, seed: u64) -> Partition {
     const MIN_GAIN: f64 = 1e-9;
+    let _span = darkvec_obs::span!("graph.louvain");
     let n = graph.len();
     if n == 0 {
-        return Partition { assignment: Vec::new(), communities: 0, modularity: 0.0 };
+        return Partition {
+            assignment: Vec::new(),
+            communities: 0,
+            modularity: 0.0,
+        };
     }
 
     // node -> community on the *original* graph, refined level by level.
     let mut global: Vec<u32> = (0..n as u32).collect();
     let mut level_graph = graph.clone();
     let mut rng = SmallRng::seed_from_u64(seed);
+    let mut levels = 0u64;
 
     loop {
         let (local, improved) = one_level(&level_graph, &mut rng, MIN_GAIN);
         if !improved {
             break;
         }
+        levels += 1;
         // Compose: original node -> level community.
         for g in global.iter_mut() {
             *g = local[*g as usize];
@@ -107,9 +124,21 @@ pub fn louvain(graph: &Graph, seed: u64) -> Partition {
     }
 
     let assignment = renumber_by_size(&global);
-    let communities = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let communities = assignment
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     let q = modularity(graph, &assignment);
-    Partition { assignment, communities, modularity: q }
+    darkvec_obs::metrics::counter("graph.louvain.levels").add(levels);
+    darkvec_obs::metrics::gauge("graph.louvain.communities").set(communities as f64);
+    darkvec_obs::metrics::gauge("graph.louvain.modularity").set(q);
+    darkvec_obs::debug!("louvain: {levels} levels, {communities} communities, Q = {q:.4}");
+    Partition {
+        assignment,
+        communities,
+        modularity: q,
+    }
 }
 
 /// Phase 1: greedy local moving on one aggregation level. Returns the
@@ -198,7 +227,7 @@ fn aggregate(graph: &Graph, community: &[u32]) -> Graph {
     }
     let mut g = Graph::new(ncomm);
     let mut sorted: Vec<((u32, u32), f64)> = weights.into_iter().collect();
-    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    sorted.sort_by_key(|a| a.0);
     for ((cu, cv), w) in sorted {
         g.add_edge(cu, cv, w);
     }
@@ -273,7 +302,7 @@ mod tests {
     fn modularity_of_trivial_partitions() {
         let g = two_cliques();
         // All nodes in one community: Q = 0 by definition.
-        let q_one = modularity(&g, &vec![0; 8]);
+        let q_one = modularity(&g, &[0; 8]);
         assert!(q_one.abs() < 1e-12, "single community Q = {q_one}");
         // Singletons: negative Q.
         let q_single = modularity(&g, &(0..8u32).collect::<Vec<_>>());
@@ -286,7 +315,7 @@ mod tests {
     fn louvain_beats_trivial_partition() {
         let g = two_cliques();
         let p = louvain(&g, 7);
-        assert!(p.modularity >= modularity(&g, &vec![0; 8]));
+        assert!(p.modularity >= modularity(&g, &[0; 8]));
         assert!(p.modularity >= modularity(&g, &(0..8u32).collect::<Vec<_>>()));
     }
 

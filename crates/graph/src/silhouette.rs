@@ -17,13 +17,21 @@ use darkvec_ml::vectors::{dot, normalize_rows, Matrix};
 /// # Panics
 /// Panics if `assignment.len() != matrix.rows()`.
 pub fn silhouette_samples(matrix: Matrix<'_>, assignment: &[u32]) -> Vec<f64> {
-    assert_eq!(assignment.len(), matrix.rows(), "assignment must cover every row");
+    assert_eq!(
+        assignment.len(),
+        matrix.rows(),
+        "assignment must cover every row"
+    );
     let n = matrix.rows();
     if n == 0 {
         return Vec::new();
     }
     let dim = matrix.dim();
-    let ncl = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let ncl = assignment
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
 
     let mut normed = matrix.data().to_vec();
     normalize_rows(&mut normed, dim);
@@ -32,8 +40,8 @@ pub fn silhouette_samples(matrix: Matrix<'_>, assignment: &[u32]) -> Vec<f64> {
     // Per-cluster vector sums and sizes.
     let mut sums = vec![0.0f64; ncl * dim];
     let mut sizes = vec![0usize; ncl];
-    for i in 0..n {
-        let c = assignment[i] as usize;
+    for (i, &a) in assignment.iter().enumerate() {
+        let c = a as usize;
         sizes[c] += 1;
         for (k, &x) in normed.row(i).iter().enumerate() {
             sums[c * dim + k] += x as f64;
@@ -41,8 +49,8 @@ pub fn silhouette_samples(matrix: Matrix<'_>, assignment: &[u32]) -> Vec<f64> {
     }
 
     let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let c = assignment[i] as usize;
+    for (i, &a) in assignment.iter().enumerate() {
+        let c = a as usize;
         if sizes[c] <= 1 {
             out.push(0.0);
             continue;
@@ -79,14 +87,26 @@ pub fn silhouette_samples(matrix: Matrix<'_>, assignment: &[u32]) -> Vec<f64> {
 /// Mean silhouette per cluster — Figure 11's y-axis. Empty clusters get 0.
 pub fn cluster_silhouettes(matrix: Matrix<'_>, assignment: &[u32]) -> Vec<f64> {
     let samples = silhouette_samples(matrix, assignment);
-    let ncl = assignment.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let ncl = assignment
+        .iter()
+        .map(|&c| c as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut sums = vec![0.0f64; ncl];
     let mut counts = vec![0usize; ncl];
     for (s, &c) in samples.iter().zip(assignment) {
         sums[c as usize] += s;
         counts[c as usize] += 1;
     }
-    (0..ncl).map(|c| if counts[c] == 0 { 0.0 } else { sums[c] / counts[c] as f64 }).collect()
+    (0..ncl)
+        .map(|c| {
+            if counts[c] == 0 {
+                0.0
+            } else {
+                sums[c] / counts[c] as f64
+            }
+        })
+        .collect()
 }
 
 fn dot_f64(a: &[f32], b_f64: &[f64]) -> f64 {
@@ -149,7 +169,7 @@ mod tests {
     #[test]
     fn single_cluster_scores_zero() {
         let (data, _) = good_clusters();
-        let s = silhouette_samples(Matrix::new(&data, 8, 2), &vec![0; 8]);
+        let s = silhouette_samples(Matrix::new(&data, 8, 2), &[0; 8]);
         assert!(s.iter().all(|&v| v == 0.0));
     }
 
@@ -163,14 +183,26 @@ mod tests {
         normalize_rows(&mut normed, 2);
         let nm = Matrix::new(&normed, 8, 2);
         for i in 0..8 {
-            let my: Vec<usize> = (0..8).filter(|&j| assign[j] == assign[i] && j != i).collect();
+            let my: Vec<usize> = (0..8)
+                .filter(|&j| assign[j] == assign[i] && j != i)
+                .collect();
             let other: Vec<usize> = (0..8).filter(|&j| assign[j] != assign[i]).collect();
-            let a: f64 = my.iter().map(|&j| 1.0 - dot(nm.row(i), nm.row(j)) as f64).sum::<f64>()
+            let a: f64 = my
+                .iter()
+                .map(|&j| 1.0 - dot(nm.row(i), nm.row(j)) as f64)
+                .sum::<f64>()
                 / my.len() as f64;
-            let b: f64 = other.iter().map(|&j| 1.0 - dot(nm.row(i), nm.row(j)) as f64).sum::<f64>()
+            let b: f64 = other
+                .iter()
+                .map(|&j| 1.0 - dot(nm.row(i), nm.row(j)) as f64)
+                .sum::<f64>()
                 / other.len() as f64;
             let expect = (b - a) / a.max(b);
-            assert!((fast[i] - expect).abs() < 1e-6, "sample {i}: {} vs {expect}", fast[i]);
+            assert!(
+                (fast[i] - expect).abs() < 1e-6,
+                "sample {i}: {} vs {expect}",
+                fast[i]
+            );
         }
     }
 

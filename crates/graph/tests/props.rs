@@ -99,7 +99,7 @@ proptest! {
         // possibly merged with reciprocals) and... at most n-1 neighbours.
         for u in 0..rows as u32 {
             let deg = g.neighbors(u).len();
-            prop_assert!(deg <= rows - 1);
+            prop_assert!(deg < rows);
             prop_assert!(deg >= 1, "node {u} isolated in union kNN graph");
         }
     }

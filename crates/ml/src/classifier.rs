@@ -119,13 +119,21 @@ mod tests {
         let labels = vec![0, 1, 0, 0];
         // With k=1 the nearest (label 1) wins; with k=3 label 0 wins.
         let neighbors = vec![vec![nb(1, 0.99), nb(2, 0.5), nb(3, 0.4)]];
-        assert_eq!(loo_knn_classify(&neighbors, &labels, 1).predictions, vec![1]);
-        assert_eq!(loo_knn_classify(&neighbors, &labels, 3).predictions, vec![0]);
+        assert_eq!(
+            loo_knn_classify(&neighbors, &labels, 1).predictions,
+            vec![1]
+        );
+        assert_eq!(
+            loo_knn_classify(&neighbors, &labels, 3).predictions,
+            vec![0]
+        );
     }
 
     #[test]
     fn accuracy_scopes_to_eval_classes() {
-        let out = LooOutcome { predictions: vec![0, 1, 1, 2] };
+        let out = LooOutcome {
+            predictions: vec![0, 1, 1, 2],
+        };
         let truth = vec![0, 1, 0, 9]; // class 9 plays "Unknown"
         let acc = out.accuracy(&truth, &|l| l != 9);
         assert!((acc - 2.0 / 3.0).abs() < 1e-12);

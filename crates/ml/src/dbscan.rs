@@ -19,7 +19,10 @@ pub struct DbscanConfig {
 
 impl Default for DbscanConfig {
     fn default() -> Self {
-        DbscanConfig { eps: 0.05, min_pts: 4 }
+        DbscanConfig {
+            eps: 0.05,
+            min_pts: 4,
+        }
     }
 }
 
@@ -48,7 +51,10 @@ pub fn dbscan(matrix: Matrix<'_>, cfg: &DbscanConfig) -> DbscanResult {
     let n = matrix.rows();
     let dim = matrix.dim();
     if n == 0 {
-        return DbscanResult { assignment: Vec::new(), clusters: 0 };
+        return DbscanResult {
+            assignment: Vec::new(),
+            clusters: 0,
+        };
     }
     let mut data = matrix.data().to_vec();
     normalize_rows(&mut data, dim);
@@ -57,7 +63,9 @@ pub fn dbscan(matrix: Matrix<'_>, cfg: &DbscanConfig) -> DbscanResult {
     // Cosine distance threshold as a similarity floor.
     let min_sim = (1.0 - cfg.eps) as f32;
     let neighbors = |i: usize| -> Vec<usize> {
-        (0..n).filter(|&j| dot(data.row(i), data.row(j)) >= min_sim).collect()
+        (0..n)
+            .filter(|&j| dot(data.row(i), data.row(j)) >= min_sim)
+            .collect()
     };
 
     const UNVISITED: u32 = u32::MAX - 1;
@@ -91,7 +99,10 @@ pub fn dbscan(matrix: Matrix<'_>, cfg: &DbscanConfig) -> DbscanResult {
         }
         cluster += 1;
     }
-    DbscanResult { assignment, clusters: cluster as usize }
+    DbscanResult {
+        assignment,
+        clusters: cluster as usize,
+    }
 }
 
 #[cfg(test)]
@@ -114,7 +125,13 @@ mod tests {
     #[test]
     fn finds_two_clusters_and_noise() {
         let d = data();
-        let r = dbscan(Matrix::new(&d, 11, 2), &DbscanConfig { eps: 0.01, min_pts: 3 });
+        let r = dbscan(
+            Matrix::new(&d, 11, 2),
+            &DbscanConfig {
+                eps: 0.01,
+                min_pts: 3,
+            },
+        );
         assert_eq!(r.clusters, 2);
         assert_eq!(r.noise_count(), 1);
         assert_eq!(r.assignment[10], NOISE);
@@ -128,7 +145,13 @@ mod tests {
     #[test]
     fn huge_eps_merges_everything() {
         let d = data();
-        let r = dbscan(Matrix::new(&d, 11, 2), &DbscanConfig { eps: 2.0, min_pts: 2 });
+        let r = dbscan(
+            Matrix::new(&d, 11, 2),
+            &DbscanConfig {
+                eps: 2.0,
+                min_pts: 2,
+            },
+        );
         assert_eq!(r.clusters, 1);
         assert_eq!(r.noise_count(), 0);
     }
@@ -136,7 +159,13 @@ mod tests {
     #[test]
     fn huge_min_pts_marks_all_noise() {
         let d = data();
-        let r = dbscan(Matrix::new(&d, 11, 2), &DbscanConfig { eps: 0.01, min_pts: 50 });
+        let r = dbscan(
+            Matrix::new(&d, 11, 2),
+            &DbscanConfig {
+                eps: 0.01,
+                min_pts: 50,
+            },
+        );
         assert_eq!(r.clusters, 0);
         assert_eq!(r.noise_count(), 11);
     }
@@ -158,7 +187,13 @@ mod tests {
             0.995, 0.05, //
             0.97, 0.24, // border-ish point
         ];
-        let r = dbscan(Matrix::new(&d, 4, 2), &DbscanConfig { eps: 0.002, min_pts: 3 });
+        let r = dbscan(
+            Matrix::new(&d, 4, 2),
+            &DbscanConfig {
+                eps: 0.002,
+                min_pts: 3,
+            },
+        );
         assert!(r.clusters >= 1);
         assert_ne!(r.assignment[0], NOISE);
     }

@@ -40,7 +40,11 @@ impl Dendrogram {
     /// # Panics
     /// Panics if `k` is out of range.
     pub fn cut_k(&self, k: usize) -> Vec<u32> {
-        assert!(k >= 1 && k <= self.n.max(1), "k={k} out of range for n={}", self.n);
+        assert!(
+            k >= 1 && k <= self.n.max(1),
+            "k={k} out of range for n={}",
+            self.n
+        );
         // Apply the first n - k merges.
         self.cut_after(self.n.saturating_sub(k))
     }
@@ -48,7 +52,11 @@ impl Dendrogram {
     /// Cuts at a distance threshold: merges with `distance <= threshold`
     /// are applied.
     pub fn cut_distance(&self, threshold: f64) -> Vec<u32> {
-        let applied = self.merges.iter().take_while(|m| m.distance <= threshold).count();
+        let applied = self
+            .merges
+            .iter()
+            .take_while(|m| m.distance <= threshold)
+            .count();
         self.cut_after(applied)
     }
 
@@ -192,10 +200,17 @@ pub fn hac_average(matrix: Matrix<'_>) -> Dendrogram {
         .into_iter()
         .map(|old_i| {
             let m = merges[old_i];
-            Merge { a: remap(m.a), b: remap(m.b), distance: m.distance, size: m.size }
+            Merge {
+                a: remap(m.a),
+                b: remap(m.b),
+                distance: m.distance,
+                size: m.size,
+            }
         })
         .collect();
-    debug_assert!(merges.windows(2).all(|w| w[0].distance <= w[1].distance + 1e-9));
+    debug_assert!(merges
+        .windows(2)
+        .all(|w| w[0].distance <= w[1].distance + 1e-9));
     Dendrogram { n, merges }
 }
 
@@ -244,7 +259,10 @@ mod tests {
         let dg = hac_average(Matrix::new(&d, 8, 2));
         let singletons = dg.cut_k(8);
         assert_eq!(
-            singletons.iter().collect::<std::collections::HashSet<_>>().len(),
+            singletons
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
             8
         );
         let one = dg.cut_k(1);

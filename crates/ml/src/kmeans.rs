@@ -28,7 +28,11 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        KMeansConfig { k: 8, max_iters: 50, seed: 1 }
+        KMeansConfig {
+            k: 8,
+            max_iters: 50,
+            seed: 1,
+        }
     }
 }
 
@@ -50,6 +54,7 @@ pub struct KMeansResult {
 /// # Panics
 /// Panics if `k == 0` or `k > rows` (with at least one row).
 pub fn kmeans(matrix: Matrix<'_>, cfg: &KMeansConfig) -> KMeansResult {
+    let _span = darkvec_obs::span!("ml.kmeans");
     let n = matrix.rows();
     let dim = matrix.dim();
     assert!(cfg.k > 0, "k must be positive");
@@ -70,11 +75,11 @@ pub fn kmeans(matrix: Matrix<'_>, cfg: &KMeansConfig) -> KMeansResult {
         // Assign.
         let mut moved = false;
         let mut new_inertia = 0.0f64;
-        for i in 0..n {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let (best, d) = nearest_centroid(data.row(i), &centroids, dim);
             new_inertia += d as f64;
-            if assignment[i] != best {
-                assignment[i] = best;
+            if *slot != best {
+                *slot = best;
                 moved = true;
             }
         }
@@ -85,8 +90,8 @@ pub fn kmeans(matrix: Matrix<'_>, cfg: &KMeansConfig) -> KMeansResult {
         // Update.
         let mut sums = vec![0.0f32; cfg.k * dim];
         let mut counts = vec![0usize; cfg.k];
-        for i in 0..n {
-            let c = assignment[i] as usize;
+        for (i, &a) in assignment.iter().enumerate() {
+            let c = a as usize;
             counts[c] += 1;
             for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(data.row(i)) {
                 *s += x;
@@ -98,13 +103,27 @@ pub fn kmeans(matrix: Matrix<'_>, cfg: &KMeansConfig) -> KMeansResult {
                 let pick = rng.random_range(0..n);
                 centroids[c * dim..(c + 1) * dim].copy_from_slice(data.row(pick));
             } else {
-                for (slot, &s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..]) {
+                for (slot, &s) in centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[c * dim..])
+                {
                     *slot = s / counts[c] as f32;
                 }
             }
         }
     }
-    KMeansResult { assignment, centroids, inertia, iterations }
+    darkvec_obs::metrics::counter("ml.kmeans.iterations").add(iterations as u64);
+    darkvec_obs::metrics::gauge("ml.kmeans.inertia").set(inertia);
+    darkvec_obs::debug!(
+        "k-means: k = {}, {iterations} iterations, inertia {inertia:.4}",
+        cfg.k
+    );
+    KMeansResult {
+        assignment,
+        centroids,
+        inertia,
+        iterations,
+    }
 }
 
 /// k-means++ seeding: first centroid uniform, then proportional to D².
@@ -114,7 +133,9 @@ fn init_plus_plus(data: Matrix<'_>, k: usize, rng: &mut SmallRng) -> Vec<f32> {
     let mut centroids = Vec::with_capacity(k * dim);
     let first = rng.random_range(0..n);
     centroids.extend_from_slice(data.row(first));
-    let mut d2: Vec<f32> = (0..n).map(|i| sq_dist(data.row(i), data.row(first))).collect();
+    let mut d2: Vec<f32> = (0..n)
+        .map(|i| sq_dist(data.row(i), data.row(first)))
+        .collect();
     while centroids.len() < k * dim {
         let total: f64 = d2.iter().map(|&d| d as f64).sum();
         let pick = if total <= 0.0 {
@@ -132,10 +153,10 @@ fn init_plus_plus(data: Matrix<'_>, k: usize, rng: &mut SmallRng) -> Vec<f32> {
             chosen
         };
         let new_c = data.row(pick).to_vec();
-        for i in 0..n {
+        for (i, d2i) in d2.iter_mut().enumerate() {
             let d = sq_dist(data.row(i), &new_c);
-            if d < d2[i] {
-                d2[i] = d;
+            if d < *d2i {
+                *d2i = d;
             }
         }
         centroids.extend_from_slice(&new_c);
@@ -182,7 +203,14 @@ mod tests {
     fn recovers_clean_groups() {
         let data = grouped();
         let m = Matrix::new(&data, 18, 3);
-        let r = kmeans(m, &KMeansConfig { k: 3, max_iters: 50, seed: 4 });
+        let r = kmeans(
+            m,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 50,
+                seed: 4,
+            },
+        );
         // All members of each planted group share a cluster id.
         for g in 0..3 {
             let first = r.assignment[g * 6];
@@ -191,8 +219,7 @@ mod tests {
             }
         }
         // And groups get distinct ids.
-        let ids: std::collections::HashSet<u32> =
-            (0..3).map(|g| r.assignment[g * 6]).collect();
+        let ids: std::collections::HashSet<u32> = (0..3).map(|g| r.assignment[g * 6]).collect();
         assert_eq!(ids.len(), 3);
         assert!(r.inertia < 0.1, "inertia {}", r.inertia);
     }
@@ -201,8 +228,22 @@ mod tests {
     fn deterministic_per_seed() {
         let data = grouped();
         let m = Matrix::new(&data, 18, 3);
-        let a = kmeans(m, &KMeansConfig { k: 3, max_iters: 50, seed: 9 });
-        let b = kmeans(m, &KMeansConfig { k: 3, max_iters: 50, seed: 9 });
+        let a = kmeans(
+            m,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 50,
+                seed: 9,
+            },
+        );
+        let b = kmeans(
+            m,
+            &KMeansConfig {
+                k: 3,
+                max_iters: 50,
+                seed: 9,
+            },
+        );
         assert_eq!(a.assignment, b.assignment);
     }
 
@@ -210,7 +251,14 @@ mod tests {
     fn k_equals_n_gives_singletons() {
         let data = grouped();
         let m = Matrix::new(&data, 18, 3);
-        let r = kmeans(m, &KMeansConfig { k: 18, max_iters: 20, seed: 2 });
+        let r = kmeans(
+            m,
+            &KMeansConfig {
+                k: 18,
+                max_iters: 20,
+                seed: 2,
+            },
+        );
         assert!(r.inertia < 1e-9);
     }
 
@@ -218,7 +266,14 @@ mod tests {
     fn wrong_k_still_terminates() {
         let data = grouped();
         let m = Matrix::new(&data, 18, 3);
-        let r = kmeans(m, &KMeansConfig { k: 7, max_iters: 10, seed: 3 });
+        let r = kmeans(
+            m,
+            &KMeansConfig {
+                k: 7,
+                max_iters: 10,
+                seed: 3,
+            },
+        );
         assert!(r.iterations <= 10);
         assert_eq!(r.assignment.len(), 18);
         assert!(r.assignment.iter().all(|&c| c < 7));
@@ -228,6 +283,12 @@ mod tests {
     #[should_panic(expected = "exceeds")]
     fn rejects_k_above_n() {
         let data = [1.0f32, 0.0];
-        kmeans(Matrix::new(&data, 1, 2), &KMeansConfig { k: 2, ..KMeansConfig::default() });
+        kmeans(
+            Matrix::new(&data, 1, 2),
+            &KMeansConfig {
+                k: 2,
+                ..KMeansConfig::default()
+            },
+        );
     }
 }

@@ -25,10 +25,12 @@ pub struct Neighbor {
 /// Panics if `k == 0`.
 pub fn knn_all(matrix: Matrix<'_>, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
     assert!(k > 0, "k must be positive");
+    let _span = darkvec_obs::span!("ml.knn");
     let n = matrix.rows();
     if n == 0 {
         return Vec::new();
     }
+    darkvec_obs::metrics::counter("ml.knn.queries").add(n as u64);
     // Normalise once so similarity is a dot product.
     let mut normed = matrix.data().to_vec();
     normalize_rows(&mut normed, matrix.dim());
@@ -37,7 +39,9 @@ pub fn knn_all(matrix: Matrix<'_>, k: usize, threads: usize) -> Vec<Vec<Neighbor
     let threads = if threads > 0 {
         threads
     } else {
-        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
     }
     .min(n);
 
@@ -74,7 +78,13 @@ fn knn_row(normed: Matrix<'_>, query: usize, k: usize) -> Vec<Neighbor> {
             continue;
         }
         let pos = best.partition_point(|b| b.similarity >= sim);
-        best.insert(pos, Neighbor { index: i, similarity: sim });
+        best.insert(
+            pos,
+            Neighbor {
+                index: i,
+                similarity: sim,
+            },
+        );
         if best.len() > k {
             best.pop();
         }
@@ -99,7 +109,13 @@ pub fn knn_query(matrix: Matrix<'_>, query: &[f32], k: usize) -> Vec<Neighbor> {
             continue;
         }
         let pos = best.partition_point(|b| b.similarity >= sim);
-        best.insert(pos, Neighbor { index: i, similarity: sim });
+        best.insert(
+            pos,
+            Neighbor {
+                index: i,
+                similarity: sim,
+            },
+        );
         if best.len() > k {
             best.pop();
         }
@@ -183,7 +199,11 @@ mod tests {
         let res = knn_query(m, &[0.1, 0.95], 4);
         assert_eq!(res.len(), 4);
         for n in &res {
-            assert!((4..8).contains(&n.index), "query near group 1, got {}", n.index);
+            assert!(
+                (4..8).contains(&n.index),
+                "query near group 1, got {}",
+                n.index
+            );
         }
     }
 

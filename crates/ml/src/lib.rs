@@ -11,7 +11,7 @@
 //!   paper uses to measure embedding quality;
 //! * [`metrics`] — accuracy, per-class precision/recall/F-score and
 //!   confusion matrices (Table 4 / Table 6 reports).
-
+//!
 //! The crate also implements the classic clustering algorithms the paper
 //! compared against its graph-based approach (§7.1) — [`kmeans`],
 //! [`dbscan`] and [`hac`] — so that "these algorithms produce poor

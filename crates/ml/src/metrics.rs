@@ -19,7 +19,10 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// An all-zero matrix over `classes` labels (`0..classes`).
     pub fn new(classes: usize) -> Self {
-        ConfusionMatrix { counts: vec![0; classes * classes], classes }
+        ConfusionMatrix {
+            counts: vec![0; classes * classes],
+            classes,
+        }
     }
 
     /// Builds from parallel truth/prediction slices.
@@ -165,7 +168,10 @@ impl ClassReport {
                 support: m.support(c),
             })
             .collect();
-        ClassReport { rows, accuracy: m.accuracy_over(evaluated) }
+        ClassReport {
+            rows,
+            accuracy: m.accuracy_over(evaluated),
+        }
     }
 
     /// The row for a class name, if present.
@@ -234,8 +240,9 @@ mod tests {
         assert!((acc - 4.0 / 6.0).abs() < 1e-12);
         // Weighted recall over all classes must equal accuracy (footnote 8).
         let total: u64 = (0..3).map(|c| m.support(c)).sum();
-        let weighted: f64 =
-            (0..3).map(|c| m.recall(c) * m.support(c) as f64 / total as f64).sum();
+        let weighted: f64 = (0..3)
+            .map(|c| m.recall(c) * m.support(c) as f64 / total as f64)
+            .sum();
         assert!((acc - weighted).abs() < 1e-12);
     }
 

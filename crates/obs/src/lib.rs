@@ -1,0 +1,44 @@
+//! # darkvec-obs
+//!
+//! The observability layer of the DarkVec workspace: **std-only, zero
+//! external dependencies**, threaded through every pipeline stage.
+//!
+//! Three facilities, one per module:
+//!
+//! * [`log`] — a leveled logger (`error!`/`warn!`/`info!`/`debug!`)
+//!   controlled by the `DARKVEC_LOG` environment variable or
+//!   [`log::set_level`]; replaces ad-hoc `eprintln!` diagnostics.
+//! * [`span`] — hierarchical timed spans: `let _g = span!("corpus");`
+//!   records wall time into a per-process span tree on guard drop.
+//!   Repeated spans with the same name under the same parent aggregate
+//!   (count + total time), so per-window instrumentation stays readable.
+//! * [`metrics`] — a global registry of monotonically increasing
+//!   counters, float gauges, and log₂-bucketed histograms, all built on
+//!   atomics and cheap enough to bump from Hogwild workers.
+//!
+//! [`manifest`] ties them together: a [`manifest::ManifestBuilder`]
+//! snapshots the span tree and metrics registry into a JSON **run
+//! manifest** under `results/manifests/`, giving every CLI command and
+//! every `xp` experiment a machine-readable perf/quality record. [`json`]
+//! is the tiny JSON writer backing it (the workspace's serde is an inert
+//! offline stub, so manifests are emitted by hand).
+//!
+//! ```
+//! use darkvec_obs::{info, metrics, span};
+//!
+//! darkvec_obs::log::init_from_env();
+//! let _run = span!("my_stage");
+//! metrics::counter("my_stage.items").add(42);
+//! info!("stage finished");
+//! ```
+
+pub mod json;
+pub mod log;
+pub mod manifest;
+pub mod metrics;
+pub mod span;
+
+pub use json::Json;
+pub use log::Level;
+pub use manifest::ManifestBuilder;
+pub use span::SpanNode;

@@ -1,0 +1,169 @@
+//! Leveled logging to stderr.
+//!
+//! The level is a process-wide atomic; `DARKVEC_LOG=debug` (or
+//! `error|warn|info|debug|off`) sets it from the environment, and the CLI
+//! exposes `--log-level`/`-v`. Diagnostics go to **stderr** so that
+//! user-facing table output on stdout stays machine-consumable.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum Level {
+    /// The run cannot proceed as requested.
+    Error = 1,
+    /// Something surprising that the run survives.
+    Warn = 2,
+    /// Stage-level progress notes (the default).
+    Info = 3,
+    /// Per-iteration details: epochs, workers, cache decisions.
+    Debug = 4,
+}
+
+impl Level {
+    /// Parses `error|warn|info|debug|off` (case-insensitive); `None` for
+    /// anything else.
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "quiet" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" | "verbose" => Some(Some(Level::Debug)),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => " WARN",
+            Level::Info => " INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+/// 0 = off; otherwise the numeric value of the maximum enabled [`Level`].
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the maximum enabled level (`None` silences everything).
+pub fn set_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// The current maximum enabled level.
+pub fn level() -> Option<Level> {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        4 => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// Whether `level` would currently be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Applies `DARKVEC_LOG` if set and valid; keeps the current level
+/// otherwise.
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("DARKVEC_LOG") {
+        if let Some(parsed) = Level::parse(&v) {
+            set_level(parsed);
+        }
+    }
+}
+
+/// Writes one record to stderr. Use the [`error!`](crate::error),
+/// [`warn!`](crate::warn), [`info!`](crate::info), or
+/// [`debug!`](crate::debug) macros instead of calling this directly.
+pub fn emit(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    // One single write keeps concurrent records line-atomic in practice.
+    let line = format!("[{secs:.3} {} {target}] {args}\n", level.tag());
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Error) {
+            $crate::log::emit($crate::Level::Error, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Warn) {
+            $crate::log::emit($crate::Level::Warn, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Info) {
+            $crate::log::emit($crate::Level::Info, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Debug) {
+            $crate::log::emit($crate::Level::Debug, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_levels() {
+        assert_eq!(Level::parse("debug"), Some(Some(Level::Debug)));
+        assert_eq!(Level::parse("WARN"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn enabled_respects_threshold() {
+        // Other tests share the global level; restore it when done.
+        let before = level();
+        set_level(Some(Level::Warn));
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(None);
+        assert!(!enabled(Level::Error));
+        set_level(before);
+    }
+}

@@ -1,0 +1,261 @@
+//! Run manifests: one JSON file per CLI command or experiment.
+//!
+//! A manifest freezes everything needed to reproduce and compare a run:
+//! the command and its configuration, the aggregated span tree (stage
+//! timings), a full metrics snapshot, and any extra sections the caller
+//! attaches (corpus stats, training stats, artifact paths). Files land
+//! under `results/manifests/` by default as
+//! `<command>_<unix-secs>_<pid>-<seq>.json`, so two runs can be diffed
+//! with any JSON tool.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::json::Json;
+use crate::{metrics, span};
+
+/// Manifest schema version, bumped on breaking layout changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Default output directory, relative to the working directory.
+pub const DEFAULT_DIR: &str = "results/manifests";
+
+/// Per-process sequence number keeping same-second filenames unique
+/// (`xp` writes one manifest per experiment from a single process).
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn attached() -> &'static Mutex<Vec<(String, Json)>> {
+    static ATTACHED: OnceLock<Mutex<Vec<(String, Json)>>> = OnceLock::new();
+    ATTACHED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Stashes a section for any manifest finished later in this process —
+/// lets code deep inside a command attach structured results (configs,
+/// stats) without threading a [`ManifestBuilder`] through every call.
+/// Attaching the same name again replaces the earlier value.
+pub fn attach(name: &str, value: impl Into<Json>) {
+    let mut stash = attached().lock().expect("manifest stash poisoned");
+    let value = value.into();
+    if let Some(entry) = stash.iter_mut().find(|(k, _)| k == name) {
+        entry.1 = value;
+    } else {
+        stash.push((name.to_string(), value));
+    }
+}
+
+/// Clears attached sections (used between independent runs sharing one
+/// process, alongside [`crate::span::reset`] and
+/// [`crate::metrics::reset`]).
+pub fn clear_attached() {
+    attached().lock().expect("manifest stash poisoned").clear();
+}
+
+/// Accumulates a run manifest; see the [module docs](self).
+#[derive(Debug)]
+pub struct ManifestBuilder {
+    command: String,
+    started: Instant,
+    started_unix: Duration,
+    sections: Vec<(String, Json)>,
+}
+
+impl ManifestBuilder {
+    /// Starts a manifest for `command`; elapsed time counts from here.
+    pub fn new(command: &str) -> ManifestBuilder {
+        ManifestBuilder {
+            command: command.to_string(),
+            started: Instant::now(),
+            started_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .unwrap_or(Duration::ZERO),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Attaches (or replaces) a named section, e.g. `"config"`,
+    /// `"corpus"`, `"train"`.
+    pub fn section(&mut self, name: &str, value: impl Into<Json>) -> &mut Self {
+        let value = value.into();
+        if let Some(entry) = self.sections.iter_mut().find(|(k, _)| k == name) {
+            entry.1 = value;
+        } else {
+            self.sections.push((name.to_string(), value));
+        }
+        self
+    }
+
+    /// Builds the manifest value, snapshotting spans and metrics now.
+    pub fn finish(&self) -> Json {
+        let mut root = Json::obj()
+            .with("schema_version", SCHEMA_VERSION)
+            .with("command", self.command.as_str())
+            .with("started_unix_secs", self.started_unix.as_secs_f64())
+            .with("elapsed_secs", self.started.elapsed().as_secs_f64())
+            .with("pid", u64::from(std::process::id()));
+        for (name, value) in attached().lock().expect("manifest stash poisoned").iter() {
+            root.set(name, value.clone());
+        }
+        // Builder-local sections win over process-global attachments.
+        for (name, value) in &self.sections {
+            root.set(name, value.clone());
+        }
+        root.set(
+            "spans",
+            Json::Arr(span::snapshot().iter().map(span_to_json).collect()),
+        );
+        root.set("metrics", snapshot_to_json(&metrics::snapshot()));
+        root
+    }
+
+    /// Writes the manifest into `dir` (created if missing) and returns
+    /// the file path.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let name = format!(
+            "{}_{}_{}-{}.json",
+            sanitize(&self.command),
+            self.started_unix.as_secs(),
+            std::process::id(),
+            seq
+        );
+        let path = dir.join(name);
+        std::fs::write(&path, self.finish().pretty())?;
+        Ok(path)
+    }
+
+    /// [`write`](Self::write) into [`DEFAULT_DIR`].
+    pub fn write_default(&self) -> io::Result<PathBuf> {
+        self.write(Path::new(DEFAULT_DIR))
+    }
+}
+
+fn sanitize(command: &str) -> String {
+    command
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn span_to_json(node: &span::SpanNode) -> Json {
+    let mut j = Json::obj()
+        .with("name", node.name.as_str())
+        .with("count", node.count)
+        .with("total_secs", node.total.as_secs_f64());
+    if !node.children.is_empty() {
+        j.set(
+            "children",
+            Json::Arr(node.children.iter().map(span_to_json).collect()),
+        );
+    }
+    j
+}
+
+fn snapshot_to_json(snap: &metrics::Snapshot) -> Json {
+    let mut counters = Json::obj();
+    for (name, value) in &snap.counters {
+        counters.set(name, *value);
+    }
+    let mut gauges = Json::obj();
+    for (name, value) in &snap.gauges {
+        gauges.set(name, *value);
+    }
+    let mut histograms = Json::obj();
+    for (name, (count, sum, buckets)) in &snap.histograms {
+        let entries: Vec<Json> = buckets
+            .iter()
+            .map(|&(floor, n)| Json::obj().with("ge", floor).with("count", n))
+            .collect();
+        histograms.set(
+            name,
+            Json::obj()
+                .with("count", *count)
+                .with("sum", *sum)
+                .with("buckets", Json::Arr(entries)),
+        );
+    }
+    Json::obj()
+        .with("counters", counters)
+        .with("gauges", gauges)
+        .with("histograms", histograms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_includes_sections_spans_and_metrics() {
+        metrics::counter("test.manifest_counter").add(7);
+        {
+            let _g = crate::span!("test_manifest_span");
+        }
+        let mut b = ManifestBuilder::new("unit-test");
+        b.section("config", Json::obj().with("seed", 42u64));
+        let m = b.finish();
+        assert_eq!(
+            m.get("schema_version"),
+            Some(&Json::Num(SCHEMA_VERSION as f64))
+        );
+        assert_eq!(m.get("command"), Some(&Json::Str("unit-test".into())));
+        assert_eq!(
+            m.get("config").and_then(|c| c.get("seed")),
+            Some(&Json::Num(42.0))
+        );
+        let text = m.pretty();
+        assert!(
+            text.contains("test_manifest_span"),
+            "span tree serialized:\n{text}"
+        );
+        assert!(
+            text.contains("test.manifest_counter"),
+            "metrics serialized:\n{text}"
+        );
+    }
+
+    #[test]
+    fn attached_sections_reach_later_manifests() {
+        attach("test_attached", Json::obj().with("k", 1u64));
+        attach("test_attached", Json::obj().with("k", 2u64));
+        let m = ManifestBuilder::new("attach-test").finish();
+        assert_eq!(
+            m.get("test_attached").and_then(|s| s.get("k")),
+            Some(&Json::Num(2.0)),
+            "second attach replaces the first"
+        );
+        // A builder-local section with the same name wins.
+        let mut b = ManifestBuilder::new("attach-test");
+        b.section("test_attached", Json::obj().with("k", 3u64));
+        assert_eq!(
+            b.finish().get("test_attached").and_then(|s| s.get("k")),
+            Some(&Json::Num(3.0))
+        );
+    }
+
+    #[test]
+    fn write_creates_unique_files() {
+        let dir = std::env::temp_dir().join(format!("obs_manifest_test_{}", std::process::id()));
+        let b = ManifestBuilder::new("unit test/odd:name");
+        let p1 = b.write(&dir).expect("first write");
+        let p2 = b.write(&dir).expect("second write");
+        assert_ne!(p1, p2, "sequence number keeps filenames unique");
+        let text = std::fs::read_to_string(&p1).unwrap();
+        assert!(text.starts_with('{') && text.ends_with("}\n"));
+        assert!(p1
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("unit_test_odd_name_"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,346 @@
+//! Global metrics registry: counters, gauges, and log₂ histograms.
+//!
+//! Handles are `&'static` and lock-free to bump, so hot loops (Hogwild
+//! workers, per-packet filters) can update them without contention on
+//! anything but the cache line of the atomic itself. Registration
+//! (first use of a name) takes a mutex; steady-state lookups are
+//! read-mostly and callers are expected to cache the handle:
+//!
+//! ```
+//! use darkvec_obs::metrics;
+//! let tokens = metrics::counter("corpus.tokens");
+//! for _ in 0..1000 {
+//!     tokens.add(1);
+//! }
+//! assert!(tokens.get() >= 1000);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing integer metric.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins floating point metric (rates, alphas, ratios).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ buckets: values `0, 1, 2, 4, …, 2^62, overflow`.
+const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A histogram over `u64` samples with log₂ buckets.
+///
+/// Bucket `0` holds the sample `0`; bucket `i ≥ 1` holds samples in
+/// `[2^(i-1), 2^i)`. Designed for latencies in µs and batch sizes, where
+/// order of magnitude is the interesting resolution.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a sample falls into.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        // ilog2 is 0..=63, so the index is 1..=64; clamp 2^63.. into the
+        // last bucket.
+        ((value.ilog2() as usize) + 1).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive lower bound of bucket `i` (0, 1, 2, 4, …).
+pub fn bucket_floor(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// `(bucket_floor, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_floor(i), n))
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, &'static Counter>,
+    gauges: BTreeMap<String, &'static Gauge>,
+    histograms: BTreeMap<String, &'static Histogram>,
+}
+
+fn registry() -> &'static Mutex<RegistryInner> {
+    static REGISTRY: OnceLock<Mutex<RegistryInner>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(RegistryInner::default()))
+}
+
+/// The counter registered under `name`, creating it on first use.
+///
+/// Metric objects are leaked intentionally: the registry lives for the
+/// whole process and handles must be `&'static` to be cheap to share.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    if let Some(c) = reg.counters.get(name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::default());
+    reg.counters.insert(name.to_string(), c);
+    c
+}
+
+/// The gauge registered under `name`, creating it on first use.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    if let Some(g) = reg.gauges.get(name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::default());
+    reg.gauges.insert(name.to_string(), g);
+    g
+}
+
+/// The histogram registered under `name`, creating it on first use.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    if let Some(h) = reg.histograms.get(name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::default());
+    reg.histograms.insert(name.to_string(), h);
+    h
+}
+
+/// A histogram snapshot: `(count, sum, nonzero (floor, count) buckets)`.
+pub type HistogramSnapshot = (u64, u64, Vec<(u64, u64)>);
+
+/// A point-in-time copy of every registered metric.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Snapshots every registered metric.
+pub fn snapshot() -> Snapshot {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    Snapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), (h.count(), h.sum(), h.nonzero_buckets())))
+            .collect(),
+    }
+}
+
+/// Zeroes every registered metric (names stay registered). Used between
+/// independent runs sharing one process, e.g. consecutive experiments.
+pub fn reset() {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    for c in reg.counters.values() {
+        c.reset();
+    }
+    for g in reg.gauges.values() {
+        g.reset();
+    }
+    for h in reg.histograms.values() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(
+                bucket_index(bucket_floor(i)),
+                i,
+                "floor of bucket {i} maps back"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::default();
+        for v in [0, 1, 3, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 107);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (64, 1)]);
+    }
+
+    #[test]
+    fn registry_returns_same_handle() {
+        let a = counter("test.same_handle");
+        let b = counter("test.same_handle");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        assert_eq!(b.get(), a.get());
+    }
+
+    #[test]
+    fn gauge_round_trips_f64() {
+        let g = gauge("test.gauge_rt");
+        g.set(0.0375);
+        assert_eq!(g.get(), 0.0375);
+        g.set(-1.5);
+        assert_eq!(g.get(), -1.5);
+    }
+
+    #[test]
+    fn concurrent_counter_updates_are_lossless() {
+        let c = counter("test.concurrent");
+        let start = c.get();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get() - start, 80_000);
+    }
+
+    #[test]
+    fn concurrent_histogram_updates_are_lossless() {
+        let h = histogram("test.concurrent_hist");
+        let start = h.count();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..5_000 {
+                        h.record(t * 7 + i % 13);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count() - start, 20_000);
+    }
+
+    #[test]
+    fn snapshot_contains_registered_names() {
+        counter("test.snap_counter").add(3);
+        gauge("test.snap_gauge").set(2.5);
+        histogram("test.snap_hist").record(9);
+        let snap = snapshot();
+        assert!(snap.counters["test.snap_counter"] >= 3);
+        assert_eq!(snap.gauges["test.snap_gauge"], 2.5);
+        let (count, sum, _) = &snap.histograms["test.snap_hist"];
+        assert!(*count >= 1 && *sum >= 9);
+    }
+}

@@ -1,0 +1,293 @@
+//! Hierarchical timed spans.
+//!
+//! `let _g = span!("corpus");` opens a span that closes (and records its
+//! wall time) when the guard drops. Nesting is tracked per thread: a span
+//! opened while another is active on the same thread becomes its child.
+//! Completed spans land in a process-wide registry; [`snapshot`] folds
+//! them into a tree where same-named siblings aggregate into one node
+//! with a call count and total duration.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One completed span occurrence.
+#[derive(Clone, Debug)]
+struct SpanRecord {
+    id: usize,
+    parent: Option<usize>,
+    name: &'static str,
+    /// Offset from the registry epoch at which the span opened.
+    start: Duration,
+    duration: Duration,
+}
+
+struct Registry {
+    epoch: Instant,
+    records: Mutex<Vec<SpanRecord>>,
+    next_id: AtomicUsize,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        epoch: Instant::now(),
+        records: Mutex::new(Vec::new()),
+        next_id: AtomicUsize::new(0),
+    })
+}
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, outermost first.
+    static ACTIVE: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for an open span; records the span on drop.
+#[must_use = "a span guard that is dropped immediately records a zero-length span"]
+pub struct SpanGuard {
+    id: usize,
+    parent: Option<usize>,
+    name: &'static str,
+    opened: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Robust to out-of-order drops: remove our id wherever it is.
+            if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let reg = registry();
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            start: self.opened.duration_since(reg.epoch),
+            duration: self.opened.elapsed(),
+        };
+        reg.records
+            .lock()
+            .expect("span registry poisoned")
+            .push(record);
+    }
+}
+
+/// Opens a span; prefer the [`span!`](crate::span!) macro.
+pub fn enter(name: &'static str) -> SpanGuard {
+    let reg = registry();
+    let id = reg.next_id.fetch_add(1, Ordering::Relaxed);
+    let parent = ACTIVE.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    SpanGuard {
+        id,
+        parent,
+        name,
+        opened: Instant::now(),
+    }
+}
+
+/// Opens a [`SpanGuard`] recording wall time until the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}
+
+/// An aggregated node of the span tree: all occurrences of one span name
+/// under one parent path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanNode {
+    /// Span name as given to [`enter`].
+    pub name: String,
+    /// Number of occurrences aggregated into this node.
+    pub count: u64,
+    /// Total wall time across occurrences.
+    pub total: Duration,
+    /// Aggregated children, ordered by first occurrence.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Finds a direct child by name.
+    pub fn child(&self, name: &str) -> Option<&SpanNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Depth-first search for a descendant (or self) by name.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// Folds all completed spans into aggregated root nodes (spans whose
+/// parent was still open at snapshot time surface as roots too).
+pub fn snapshot() -> Vec<SpanNode> {
+    let records = registry()
+        .records
+        .lock()
+        .expect("span registry poisoned")
+        .clone();
+    build_tree(&records)
+}
+
+/// Drops all recorded spans (used between independent runs in one
+/// process, e.g. consecutive `xp` experiments).
+pub fn reset() {
+    registry()
+        .records
+        .lock()
+        .expect("span registry poisoned")
+        .clear();
+}
+
+fn build_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
+    use std::collections::{BTreeMap, HashMap, HashSet};
+
+    let known: HashSet<usize> = records.iter().map(|r| r.id).collect();
+    // Child occurrences grouped under their parent occurrence (or root).
+    let mut by_parent: HashMap<Option<usize>, Vec<&SpanRecord>> = HashMap::new();
+    for r in records {
+        let parent = r.parent.filter(|p| known.contains(p));
+        by_parent.entry(parent).or_default().push(r);
+    }
+
+    fn fold(
+        parent: Option<usize>,
+        by_parent: &HashMap<Option<usize>, Vec<&SpanRecord>>,
+    ) -> Vec<SpanNode> {
+        let Some(occurrences) = by_parent.get(&parent) else {
+            return Vec::new();
+        };
+        // Aggregate same-named occurrences, keeping first-seen order.
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut grouped: BTreeMap<&'static str, (u64, Duration, Vec<SpanNode>)> = BTreeMap::new();
+        let mut sorted: Vec<&&SpanRecord> = occurrences.iter().collect();
+        sorted.sort_by_key(|r| r.start);
+        for r in sorted {
+            let entry = grouped.entry(r.name).or_insert_with(|| {
+                order.push(r.name);
+                (0, Duration::ZERO, Vec::new())
+            });
+            entry.0 += 1;
+            entry.1 += r.duration;
+            // Merge this occurrence's children into the aggregate node.
+            for child in fold(Some(r.id), by_parent) {
+                if let Some(existing) = entry.2.iter_mut().find(|c| c.name == child.name) {
+                    existing.count += child.count;
+                    existing.total += child.total;
+                    merge_children(&mut existing.children, child.children);
+                } else {
+                    entry.2.push(child);
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|name| {
+                let (count, total, children) = grouped.remove(name).expect("grouped by name");
+                SpanNode {
+                    name: name.to_string(),
+                    count,
+                    total,
+                    children,
+                }
+            })
+            .collect()
+    }
+
+    fn merge_children(into: &mut Vec<SpanNode>, from: Vec<SpanNode>) {
+        for child in from {
+            if let Some(existing) = into.iter_mut().find(|c| c.name == child.name) {
+                existing.count += child.count;
+                existing.total += child.total;
+                merge_children(&mut existing.children, child.children);
+            } else {
+                into.push(child);
+            }
+        }
+    }
+
+    fold(None, &by_parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs in a dedicated thread so this test's parent stack cannot see
+    /// spans from concurrently running tests.
+    fn in_fresh_thread<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+        std::thread::scope(|s| s.spawn(f).join().expect("test thread panicked"))
+    }
+
+    #[test]
+    fn nesting_and_aggregation() {
+        in_fresh_thread(|| {
+            {
+                let _outer = enter("test_outer");
+                for _ in 0..3 {
+                    let _inner = enter("test_inner");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                let _other = enter("test_other");
+            }
+            let roots = snapshot();
+            let outer = roots
+                .iter()
+                .find_map(|r| r.find("test_outer"))
+                .expect("outer span");
+            assert_eq!(outer.count, 1);
+            let inner = outer.child("test_inner").expect("inner nested under outer");
+            assert_eq!(inner.count, 3, "three occurrences aggregate into one node");
+            assert!(outer.child("test_other").is_some());
+            // Children appear in first-occurrence order.
+            assert_eq!(outer.children[0].name, "test_inner");
+        });
+    }
+
+    #[test]
+    fn timing_is_monotone() {
+        in_fresh_thread(|| {
+            {
+                let _outer = enter("test_mono_outer");
+                let _inner = enter("test_mono_inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let roots = snapshot();
+            let outer = roots
+                .iter()
+                .find_map(|r| r.find("test_mono_outer"))
+                .expect("outer");
+            let inner = outer.child("test_mono_inner").expect("inner");
+            assert!(inner.total >= std::time::Duration::from_millis(2));
+            assert!(
+                outer.total >= inner.total,
+                "parent {:?} must cover child {:?}",
+                outer.total,
+                inner.total
+            );
+        });
+    }
+
+    #[test]
+    fn spans_on_other_threads_become_roots() {
+        let handle = std::thread::spawn(|| {
+            let _g = enter("test_thread_root");
+        });
+        handle.join().unwrap();
+        let roots = snapshot();
+        assert!(roots.iter().any(|r| r.name == "test_thread_root"));
+    }
+}

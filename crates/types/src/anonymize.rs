@@ -53,7 +53,10 @@ impl Anonymizer {
         let packets: Vec<Packet> = trace
             .packets()
             .iter()
-            .map(|p| Packet { src: self.anonymize(p.src), ..*p })
+            .map(|p| Packet {
+                src: self.anonymize(p.src),
+                ..*p
+            })
             .collect();
         Trace::new(packets)
     }
@@ -62,7 +65,8 @@ impl Anonymizer {
 /// A tiny keyed PRF: SplitMix64 over (key, position, prefix). One 64-bit
 /// mix is plenty for artifact-release anonymisation.
 fn prf(key: u64, bit: u64, prefix: u64) -> u64 {
-    let mut z = key ^ bit.wrapping_mul(0xA076_1D64_78BD_642F) ^ prefix.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    let mut z =
+        key ^ bit.wrapping_mul(0xA076_1D64_78BD_642F) ^ prefix.wrapping_mul(0xE703_7ED1_A0B4_28DB);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::Parse { what: "ipv4", input: "300.1.2.3".into() };
+        let e = Error::Parse {
+            what: "ipv4",
+            input: "300.1.2.3".into(),
+        };
         assert!(e.to_string().contains("ipv4"));
         assert!(e.to_string().contains("300.1.2.3"));
     }

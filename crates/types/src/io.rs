@@ -47,19 +47,27 @@ pub fn read_csv<R: Read>(input: R) -> Result<Trace> {
         if i == 0 {
             // Header; validate rather than silently skipping arbitrary data.
             if line != "timestamp,src,dst_port,proto,fingerprint" {
-                return Err(Error::BadRecord { line: 1, reason: format!("unexpected header {line:?}") });
+                return Err(Error::BadRecord {
+                    line: 1,
+                    reason: format!("unexpected header {line:?}"),
+                });
             }
             continue;
         }
         if line.is_empty() {
             continue;
         }
-        let bad = |reason: String| Error::BadRecord { line: i + 1, reason };
+        let bad = |reason: String| Error::BadRecord {
+            line: i + 1,
+            reason,
+        };
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 5 {
             return Err(bad(format!("expected 5 fields, got {}", fields.len())));
         }
-        let ts: u64 = fields[0].parse().map_err(|e| bad(format!("timestamp: {e}")))?;
+        let ts: u64 = fields[0]
+            .parse()
+            .map_err(|e| bad(format!("timestamp: {e}")))?;
         let src: Ipv4 = fields[1].parse()?;
         let dst_port: u16 = fields[2].parse().map_err(|e| bad(format!("port: {e}")))?;
         let proto: Protocol = fields[3].parse()?;
@@ -68,7 +76,13 @@ pub fn read_csv<R: Read>(input: R) -> Result<Trace> {
             "mirai" => Fingerprint::Mirai,
             other => return Err(bad(format!("unknown fingerprint {other:?}"))),
         };
-        packets.push(Packet { ts: Timestamp(ts), src, dst_port, proto, fingerprint });
+        packets.push(Packet {
+            ts: Timestamp(ts),
+            src,
+            dst_port,
+            proto,
+            fingerprint,
+        });
     }
     Ok(Trace::new(packets))
 }
@@ -122,7 +136,13 @@ pub fn from_bytes(mut buf: impl Buf) -> Result<Trace> {
             1 => Fingerprint::Mirai,
             _ => return Err(err("bad fingerprint tag")),
         };
-        packets.push(Packet { ts, src, dst_port, proto, fingerprint });
+        packets.push(Packet {
+            ts,
+            src,
+            dst_port,
+            proto,
+            fingerprint,
+        });
     }
     Ok(Trace::new(packets))
 }
@@ -197,7 +217,10 @@ mod tests {
     fn binary_rejects_truncation() {
         let bytes = to_bytes(&sample());
         for cut in [0, 4, 12, bytes.len() - 1] {
-            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
         }
     }
 

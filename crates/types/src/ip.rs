@@ -36,12 +36,18 @@ impl Ipv4 {
 
     /// The /24 subnet containing this address.
     pub const fn slash24(self) -> Subnet {
-        Subnet { base: Ipv4(self.0 & 0xFFFF_FF00), prefix: 24 }
+        Subnet {
+            base: Ipv4(self.0 & 0xFFFF_FF00),
+            prefix: 24,
+        }
     }
 
     /// The /16 subnet containing this address.
     pub const fn slash16(self) -> Subnet {
-        Subnet { base: Ipv4(self.0 & 0xFFFF_0000), prefix: 16 }
+        Subnet {
+            base: Ipv4(self.0 & 0xFFFF_0000),
+            prefix: 16,
+        }
     }
 
     /// The subnet of the given prefix length containing this address.
@@ -50,7 +56,10 @@ impl Ipv4 {
     /// Panics if `prefix > 32`.
     pub fn subnet(self, prefix: u8) -> Subnet {
         assert!(prefix <= 32, "prefix {prefix} out of range");
-        Subnet { base: Ipv4(self.0 & Subnet::mask(prefix)), prefix }
+        Subnet {
+            base: Ipv4(self.0 & Subnet::mask(prefix)),
+            prefix,
+        }
     }
 }
 
@@ -71,7 +80,10 @@ impl FromStr for Ipv4 {
     type Err = Error;
 
     fn from_str(s: &str) -> Result<Self> {
-        let err = || Error::Parse { what: "ipv4", input: s.to_string() };
+        let err = || Error::Parse {
+            what: "ipv4",
+            input: s.to_string(),
+        };
         let mut octets = [0u8; 4];
         let mut parts = s.split('.');
         for slot in &mut octets {
@@ -170,7 +182,10 @@ impl FromStr for Subnet {
     type Err = Error;
 
     fn from_str(s: &str) -> Result<Self> {
-        let err = || Error::Parse { what: "subnet", input: s.to_string() };
+        let err = || Error::Parse {
+            what: "subnet",
+            input: s.to_string(),
+        };
         let (ip, prefix) = s.split_once('/').ok_or_else(err)?;
         let base: Ipv4 = ip.parse()?;
         let prefix: u8 = prefix.parse().map_err(|_| err())?;
@@ -202,7 +217,16 @@ mod tests {
 
     #[test]
     fn parse_invalid() {
-        for bad in ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3", "-1.2.3.4", "01234.1.1.1"] {
+        for bad in [
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.1.1.1",
+            "a.b.c.d",
+            "1..2.3",
+            "-1.2.3.4",
+            "01234.1.1.1",
+        ] {
             assert!(bad.parse::<Ipv4>().is_err(), "{bad:?} should not parse");
         }
     }

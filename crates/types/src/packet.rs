@@ -43,17 +43,32 @@ pub struct Packet {
 impl Packet {
     /// Builds a packet with no fingerprint.
     pub const fn new(ts: Timestamp, src: Ipv4, dst_port: u16, proto: Protocol) -> Self {
-        Packet { ts, src, dst_port, proto, fingerprint: Fingerprint::None }
+        Packet {
+            ts,
+            src,
+            dst_port,
+            proto,
+            fingerprint: Fingerprint::None,
+        }
     }
 
     /// Builds a TCP packet carrying the Mirai fingerprint.
     pub const fn mirai(ts: Timestamp, src: Ipv4, dst_port: u16) -> Self {
-        Packet { ts, src, dst_port, proto: Protocol::Tcp, fingerprint: Fingerprint::Mirai }
+        Packet {
+            ts,
+            src,
+            dst_port,
+            proto: Protocol::Tcp,
+            fingerprint: Fingerprint::Mirai,
+        }
     }
 
     /// The (port, protocol) service key this packet targets.
     pub const fn port_key(&self) -> PortKey {
-        PortKey { port: self.dst_port, proto: self.proto }
+        PortKey {
+            port: self.dst_port,
+            proto: self.proto,
+        }
     }
 }
 

@@ -72,7 +72,10 @@ impl FromStr for Protocol {
             "tcp" | "TCP" => Ok(Protocol::Tcp),
             "udp" | "UDP" => Ok(Protocol::Udp),
             "icmp" | "ICMP" => Ok(Protocol::Icmp),
-            _ => Err(Error::Parse { what: "protocol", input: s.to_string() }),
+            _ => Err(Error::Parse {
+                what: "protocol",
+                input: s.to_string(),
+            }),
         }
     }
 }
@@ -90,17 +93,26 @@ pub struct PortKey {
 impl PortKey {
     /// A TCP port key.
     pub const fn tcp(port: u16) -> Self {
-        PortKey { port, proto: Protocol::Tcp }
+        PortKey {
+            port,
+            proto: Protocol::Tcp,
+        }
     }
 
     /// A UDP port key.
     pub const fn udp(port: u16) -> Self {
-        PortKey { port, proto: Protocol::Udp }
+        PortKey {
+            port,
+            proto: Protocol::Udp,
+        }
     }
 
     /// The ICMP pseudo-key (port 0).
     pub const fn icmp() -> Self {
-        PortKey { port: 0, proto: Protocol::Icmp }
+        PortKey {
+            port: 0,
+            proto: Protocol::Icmp,
+        }
     }
 }
 
@@ -121,7 +133,10 @@ impl FromStr for PortKey {
         if s.eq_ignore_ascii_case("icmp") {
             return Ok(PortKey::icmp());
         }
-        let err = || Error::Parse { what: "port key", input: s.to_string() };
+        let err = || Error::Parse {
+            what: "port key",
+            input: s.to_string(),
+        };
         let (port, proto) = s.split_once('/').ok_or_else(err)?;
         let port: u16 = port.parse().map_err(|_| err())?;
         let proto: Protocol = proto.parse()?;
@@ -176,7 +191,12 @@ mod tests {
 
     #[test]
     fn port_key_parse_round_trip() {
-        for k in [PortKey::tcp(445), PortKey::udp(123), PortKey::icmp(), PortKey::tcp(0)] {
+        for k in [
+            PortKey::tcp(445),
+            PortKey::udp(123),
+            PortKey::icmp(),
+            PortKey::tcp(0),
+        ] {
             assert_eq!(k.to_string().parse::<PortKey>().unwrap(), k);
         }
     }
@@ -208,6 +228,9 @@ mod tests {
     fn ordering_groups_by_port_then_proto() {
         let mut keys = vec![PortKey::udp(53), PortKey::tcp(53), PortKey::tcp(22)];
         keys.sort();
-        assert_eq!(keys, vec![PortKey::tcp(22), PortKey::tcp(53), PortKey::udp(53)]);
+        assert_eq!(
+            keys,
+            vec![PortKey::tcp(22), PortKey::tcp(53), PortKey::udp(53)]
+        );
     }
 }

@@ -18,7 +18,10 @@ pub struct Counter<K: Eq + Hash> {
 impl<K: Eq + Hash + Clone> Counter<K> {
     /// An empty counter.
     pub fn new() -> Self {
-        Counter { counts: HashMap::new(), total: 0 }
+        Counter {
+            counts: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// Adds one observation of `key`.
@@ -111,7 +114,10 @@ impl Ecdf {
     /// # Panics
     /// Panics if any sample is NaN or infinite.
     pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(samples.iter().all(|x| x.is_finite()), "ECDF samples must be finite");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "ECDF samples must be finite"
+        );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
         Ecdf { sorted: samples }
     }

@@ -59,7 +59,14 @@ impl fmt::Display for Timestamp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let d = self.day();
         let rem = self.second_of_day();
-        write!(f, "d{:02} {:02}:{:02}:{:02}", d, rem / HOUR, (rem % HOUR) / MINUTE, rem % MINUTE)
+        write!(
+            f,
+            "d{:02} {:02}:{:02}:{:02}",
+            d,
+            rem / HOUR,
+            (rem % HOUR) / MINUTE,
+            rem % MINUTE
+        )
     }
 }
 
@@ -107,7 +114,11 @@ impl WindowIter {
     /// Panics if `dt` is zero.
     pub fn new(t0: Timestamp, tf: Timestamp, dt: u64) -> Self {
         assert!(dt > 0, "window length must be positive");
-        WindowIter { next_start: t0.0, end: tf.0.max(t0.0), dt }
+        WindowIter {
+            next_start: t0.0,
+            end: tf.0.max(t0.0),
+            dt,
+        }
     }
 }
 
@@ -132,7 +143,10 @@ mod tests {
 
     #[test]
     fn dhms_construction() {
-        assert_eq!(Timestamp::from_dhms(1, 2, 3, 4).0, DAY + 2 * HOUR + 3 * MINUTE + 4);
+        assert_eq!(
+            Timestamp::from_dhms(1, 2, 3, 4).0,
+            DAY + 2 * HOUR + 3 * MINUTE + 4
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl Trace {
     /// # Panics
     /// Panics (in debug builds) if the input is not sorted.
     pub fn from_sorted(packets: Vec<Packet>) -> Self {
-        debug_assert!(packets.windows(2).all(|w| w[0].ts <= w[1].ts), "packets must be sorted");
+        debug_assert!(
+            packets.windows(2).all(|w| w[0].ts <= w[1].ts),
+            "packets must be sorted"
+        );
         Trace { packets }
     }
 
@@ -104,7 +107,13 @@ impl Trace {
 
     /// A new trace retaining only packets from the given senders.
     pub fn retain_senders(&self, keep: &HashSet<Ipv4>) -> Trace {
-        Trace::from_sorted(self.packets.iter().filter(|p| keep.contains(&p.src)).copied().collect())
+        Trace::from_sorted(
+            self.packets
+                .iter()
+                .filter(|p| keep.contains(&p.src))
+                .copied()
+                .collect(),
+        )
     }
 
     /// A new trace retaining only packets whose sender is active

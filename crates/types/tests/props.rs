@@ -5,14 +5,20 @@ use darkvec_types::{io, Ipv4, Packet, Protocol, Subnet, Timestamp, Trace, Window
 use proptest::prelude::*;
 
 fn arb_protocol() -> impl Strategy<Value = Protocol> {
-    prop_oneof![Just(Protocol::Tcp), Just(Protocol::Udp), Just(Protocol::Icmp)]
+    prop_oneof![
+        Just(Protocol::Tcp),
+        Just(Protocol::Udp),
+        Just(Protocol::Icmp)
+    ]
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
-    (0u64..3_000_000, any::<u32>(), any::<u16>(), arb_protocol()).prop_map(|(ts, src, port, proto)| {
-        let port = if proto == Protocol::Icmp { 0 } else { port };
-        Packet::new(Timestamp(ts), Ipv4(src), port, proto)
-    })
+    (0u64..3_000_000, any::<u32>(), any::<u16>(), arb_protocol()).prop_map(
+        |(ts, src, port, proto)| {
+            let port = if proto == Protocol::Icmp { 0 } else { port };
+            Packet::new(Timestamp(ts), Ipv4(src), port, proto)
+        },
+    )
 }
 
 proptest! {

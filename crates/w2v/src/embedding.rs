@@ -25,7 +25,11 @@ impl<W: Eq + Hash + Clone + Ord> Embedding<W> {
     /// Panics if the matrix size does not match `vocab.len() * dim`.
     pub fn from_parts(vocab: Vocab<W>, vectors: Vec<f32>, dim: usize) -> Self {
         assert_eq!(vectors.len(), vocab.len() * dim, "matrix shape mismatch");
-        Embedding { vocab, vectors, dim }
+        Embedding {
+            vocab,
+            vectors,
+            dim,
+        }
     }
 
     /// Number of embedded words.
@@ -76,7 +80,9 @@ impl<W: Eq + Hash + Clone + Ord> Embedding<W> {
     /// The `topn` nearest words to `word` by cosine similarity, excluding
     /// the word itself, sorted by decreasing similarity.
     pub fn most_similar(&self, word: &W, topn: usize) -> Vec<(W, f32)> {
-        let Some(target_id) = self.vocab.id(word) else { return Vec::new() };
+        let Some(target_id) = self.vocab.id(word) else {
+            return Vec::new();
+        };
         let target = self.row(target_id);
         let mut sims: Vec<(TokenId, f32)> = (0..self.len() as TokenId)
             .filter(|&id| id != target_id)
@@ -84,7 +90,9 @@ impl<W: Eq + Hash + Clone + Ord> Embedding<W> {
             .collect();
         sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         sims.truncate(topn);
-        sims.into_iter().map(|(id, s)| (self.vocab.word(id).clone(), s)).collect()
+        sims.into_iter()
+            .map(|(id, s)| (self.vocab.word(id).clone(), s))
+            .collect()
     }
 
     /// A copy with L2-normalised rows, so cosine similarity becomes a dot
@@ -99,7 +107,11 @@ impl<W: Eq + Hash + Clone + Ord> Embedding<W> {
                 }
             }
         }
-        Embedding { vocab: self.vocab.clone(), vectors, dim: self.dim }
+        Embedding {
+            vocab: self.vocab.clone(),
+            vectors,
+            dim: self.dim,
+        }
     }
 }
 
@@ -218,7 +230,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Embedding<String> {
-        let corpus = vec![
+        let corpus = [
             vec!["x".to_string(), "x".to_string(), "y".to_string()],
             vec!["z".to_string(), "x".to_string()],
         ];
@@ -302,7 +314,7 @@ mod tests {
     #[should_panic(expected = "shape")]
     fn from_parts_checks_shape() {
         let vocab: Vocab<String> =
-            Vocab::build(vec![vec!["a".to_string()]].iter().map(|s| s.iter()), 1);
+            Vocab::build([vec!["a".to_string()]].iter().map(|s| s.iter()), 1);
         Embedding::from_parts(vocab, vec![1.0, 2.0, 3.0], 2);
     }
 

@@ -37,7 +37,10 @@ impl HuffmanTree {
         assert!(n > 0, "empty vocabulary");
         if n == 1 {
             // Degenerate tree: a single word needs no decisions.
-            return HuffmanTree { codes: vec![Code::default()], internal_nodes: 0 };
+            return HuffmanTree {
+                codes: vec![Code::default()],
+                internal_nodes: 0,
+            };
         }
 
         // The classic word2vec.c construction: an array of 2n-1 nodes,
@@ -58,7 +61,8 @@ impl HuffmanTree {
         for a in 0..n - 1 {
             // Pick the two smallest available nodes.
             let mut pick = |count: &[u64]| -> usize {
-                if pos1 >= 0 && (pos2 >= (n + a) as isize || count[pos1 as usize] < count[pos2 as usize])
+                if pos1 >= 0
+                    && (pos2 >= (n + a) as isize || count[pos1 as usize] < count[pos2 as usize])
                 {
                     let m = pos1 as usize;
                     pos1 -= 1;
@@ -94,7 +98,10 @@ impl HuffmanTree {
             points.reverse();
             codes[word] = Code { points, bits };
         }
-        HuffmanTree { codes, internal_nodes: n - 1 }
+        HuffmanTree {
+            codes,
+            internal_nodes: n - 1,
+        }
     }
 
     /// The code of a word.
@@ -131,7 +138,13 @@ mod tests {
         let counts = [50u64, 30, 10, 5, 3, 2];
         let tree = HuffmanTree::new(&counts);
         let codes: Vec<String> = (0..counts.len() as u32)
-            .map(|i| tree.code(i).bits.iter().map(|b| (b'0' + b) as char).collect())
+            .map(|i| {
+                tree.code(i)
+                    .bits
+                    .iter()
+                    .map(|b| (b'0' + b) as char)
+                    .collect()
+            })
             .collect();
         for (i, a) in codes.iter().enumerate() {
             for (j, b) in codes.iter().enumerate() {

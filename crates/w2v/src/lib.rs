@@ -29,11 +29,13 @@
 pub mod embedding;
 pub mod huffman;
 pub mod matrix;
+pub mod observer;
 pub mod sampling;
 pub mod sigmoid;
 pub mod train;
 pub mod vocab;
 
 pub use embedding::Embedding;
+pub use observer::{CollectingObserver, EpochStats, TrainObserver};
 pub use train::{count_skipgrams, train, Arch, Loss, TrainConfig, TrainStats};
 pub use vocab::Vocab;

@@ -153,7 +153,10 @@ impl AtomicMatrix {
 
     /// Snapshots the matrix into a flat `Vec<f32>` (row-major).
     pub fn to_vec(&self) -> Vec<f32> {
-        self.cells.iter().map(|c| f32::from_bits(c.load(Ordering::Relaxed))).collect()
+        self.cells
+            .iter()
+            .map(|c| f32::from_bits(c.load(Ordering::Relaxed)))
+            .collect()
     }
 }
 

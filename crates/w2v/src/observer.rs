@@ -1,0 +1,100 @@
+//! Training progress callbacks.
+//!
+//! [`train`](crate::train()) reports per-epoch progress through an
+//! optional [`TrainObserver`] on
+//! [`TrainConfig::observer`](crate::TrainConfig::observer). The callback
+//! fires at **epoch granularity** from one designated worker thread, so
+//! an attached observer costs a handful of atomic loads per epoch and an
+//! unset one costs a single `Option` check — the Hogwild inner loop is
+//! untouched either way.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A point-in-time view of training progress, passed to
+/// [`TrainObserver::on_epoch`] when the reporting worker finishes an
+/// epoch.
+///
+/// Workers proceed independently (Hogwild), so global quantities
+/// (`words_done`, `pairs_trained`) are snapshots of shared counters, not
+/// an exact barrier: other workers may be slightly ahead or behind.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// Completed epochs on the reporting worker (1-based).
+    pub epoch: usize,
+    /// Total epochs configured.
+    pub epochs: usize,
+    /// Learning rate at the epoch boundary (after decay).
+    pub alpha: f32,
+    /// Fraction of `corpus_tokens * epochs` consumed across all workers.
+    pub progress: f32,
+    /// Words consumed across all workers so far.
+    pub words_done: u64,
+    /// Training pairs performed across all workers (flushed per epoch).
+    pub pairs_trained: u64,
+    /// Wall time since training started.
+    pub elapsed: Duration,
+    /// Estimated remaining wall time, extrapolated from `progress`.
+    pub eta: Duration,
+}
+
+/// Receives per-epoch progress during [`train`](crate::train()).
+///
+/// Implementations must be cheap and non-blocking: the reporting worker
+/// calls them inline between epochs.
+pub trait TrainObserver: Send + Sync {
+    /// Called once per epoch completed by the reporting worker.
+    fn on_epoch(&self, stats: &EpochStats);
+}
+
+/// A [`TrainObserver`] that stores every callback, for tests and run
+/// manifests.
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    epochs: Mutex<Vec<EpochStats>>,
+}
+
+impl CollectingObserver {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All callbacks received so far, in order.
+    pub fn epochs(&self) -> Vec<EpochStats> {
+        self.epochs.lock().expect("observer poisoned").clone()
+    }
+}
+
+impl TrainObserver for CollectingObserver {
+    fn on_epoch(&self, stats: &EpochStats) {
+        self.epochs.lock().expect("observer poisoned").push(*stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_keeps_order() {
+        let c = CollectingObserver::new();
+        for epoch in 1..=3 {
+            c.on_epoch(&EpochStats {
+                epoch,
+                epochs: 3,
+                alpha: 0.02,
+                progress: epoch as f32 / 3.0,
+                words_done: epoch as u64 * 10,
+                pairs_trained: epoch as u64 * 5,
+                elapsed: Duration::from_millis(epoch as u64),
+                eta: Duration::ZERO,
+            });
+        }
+        let seen = c.epochs();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].epoch, 1);
+        assert_eq!(seen[2].epoch, 3);
+        assert!(seen[0].progress < seen[2].progress);
+    }
+}

@@ -7,7 +7,7 @@
 //! with the Gensim keep-probability `(sqrt(f/t) + 1) · t/f`.
 
 use crate::vocab::TokenId;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Default power applied to unigram counts.
 pub const UNIGRAM_POWER: f64 = 0.75;
@@ -130,7 +130,10 @@ mod tests {
         }
         let ratio = hits[0] as f64 / hits[1] as f64;
         let expect = 8f64.powf(0.75);
-        assert!((ratio - expect).abs() / expect < 0.1, "ratio {ratio} vs {expect}");
+        assert!(
+            (ratio - expect).abs() / expect < 0.1,
+            "ratio {ratio} vs {expect}"
+        );
     }
 
     #[test]
@@ -190,6 +193,9 @@ mod tests {
         let kept = (0..trials).filter(|_| s.keep(0, &mut rng)).count();
         let observed = kept as f64 / trials as f64;
         let expected = s.keep_prob(0) as f64;
-        assert!((observed - expected).abs() < 0.01, "{observed} vs {expected}");
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "{observed} vs {expected}"
+        );
     }
 }

@@ -60,7 +60,12 @@ mod tests {
         let mut x = -5.9f32;
         while x < 5.9 {
             let err = (t.get(x) - sigmoid_exact(x)).abs();
-            assert!(err < 5e-3, "x={x}: table={} exact={}", t.get(x), sigmoid_exact(x));
+            assert!(
+                err < 5e-3,
+                "x={x}: table={} exact={}",
+                t.get(x),
+                sigmoid_exact(x)
+            );
             x += 0.037;
         }
     }

@@ -20,6 +20,7 @@
 use crate::embedding::Embedding;
 use crate::huffman::HuffmanTree;
 use crate::matrix::AtomicMatrix;
+use crate::observer::{EpochStats, TrainObserver};
 use crate::sampling::{SubSampler, UnigramTable};
 use crate::sigmoid::SigmoidTable;
 use crate::vocab::{TokenId, Vocab};
@@ -27,7 +28,8 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Model architecture (Appendix A.1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -57,7 +59,7 @@ pub enum Loss {
 /// negative sampling, `V = 50` dimensions, context window `c = 25`,
 /// `min_count = 10` (the active-sender filter) — with Gensim's defaults
 /// for the knobs the paper leaves unstated.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct TrainConfig {
     /// Model architecture.
     pub arch: Arch,
@@ -83,6 +85,34 @@ pub struct TrainConfig {
     pub threads: usize,
     /// RNG seed (initialisation and sampling).
     pub seed: u64,
+    /// Optional per-epoch progress callback (see [`crate::observer`]).
+    /// `None` adds no overhead to training; an attached observer is
+    /// called at epoch granularity only. Ignored by `PartialEq`-style
+    /// comparisons of configs and omitted from `Debug`.
+    pub observer: Option<Arc<dyn TrainObserver>>,
+}
+
+impl std::fmt::Debug for TrainConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainConfig")
+            .field("arch", &self.arch)
+            .field("loss", &self.loss)
+            .field("dim", &self.dim)
+            .field("window", &self.window)
+            .field("negative", &self.negative)
+            .field("epochs", &self.epochs)
+            .field("alpha", &self.alpha)
+            .field("min_alpha", &self.min_alpha)
+            .field("subsample", &self.subsample)
+            .field("min_count", &self.min_count)
+            .field("threads", &self.threads)
+            .field("seed", &self.seed)
+            .field(
+                "observer",
+                &self.observer.as_ref().map(|_| "<dyn TrainObserver>"),
+            )
+            .finish()
+    }
 }
 
 impl Default for TrainConfig {
@@ -100,6 +130,7 @@ impl Default for TrainConfig {
             min_count: 10,
             threads: 0,
             seed: 1,
+            observer: None,
         }
     }
 }
@@ -110,7 +141,9 @@ impl TrainConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -164,7 +197,10 @@ where
     assert!(cfg.epochs > 0, "epochs must be positive");
     let start = Instant::now();
 
-    let vocab = Vocab::build(corpus.iter().map(|s| s.iter()), cfg.min_count);
+    let vocab = {
+        let _s = darkvec_obs::span!("w2v.vocab");
+        Vocab::build(corpus.iter().map(|s| s.iter()), cfg.min_count)
+    };
     if vocab.is_empty() {
         let stats = TrainStats {
             vocab_size: 0,
@@ -175,10 +211,17 @@ where
         return (Embedding::from_parts(vocab, Vec::new(), cfg.dim), stats);
     }
 
-    let encoded: Vec<Vec<TokenId>> =
-        vocab.encode_corpus(corpus).into_iter().filter(|s| s.len() >= 2).collect();
+    let encoded: Vec<Vec<TokenId>> = {
+        let _s = darkvec_obs::span!("w2v.encode");
+        vocab
+            .encode_corpus(corpus)
+            .into_iter()
+            .filter(|s| s.len() >= 2)
+            .collect()
+    };
     let corpus_tokens: u64 = encoded.iter().map(|s| s.len() as u64).sum();
 
+    let init_span = darkvec_obs::span!("w2v.init");
     let table = match cfg.loss {
         Loss::NegativeSampling => Some(UnigramTable::with_defaults(vocab.counts())),
         Loss::HierarchicalSoftmax => None,
@@ -194,6 +237,7 @@ where
     // Output matrix: one row per word (negative sampling) or per internal
     // Huffman node (hierarchical softmax); vocab.len() rows cover both.
     let syn1 = AtomicMatrix::zeros(vocab.len(), cfg.dim);
+    drop(init_span);
 
     let total_words = (corpus_tokens * cfg.epochs as u64).max(1);
     let words_done = AtomicU64::new(0);
@@ -202,6 +246,7 @@ where
     let threads = cfg.effective_threads().min(encoded.len().max(1));
     let chunk = encoded.len().div_ceil(threads);
 
+    let hogwild_span = darkvec_obs::span!("w2v.hogwild");
     crossbeam::scope(|scope| {
         for (tid, sentences) in encoded.chunks(chunk).enumerate() {
             let (syn0, syn1, sig, subsampler) = (&syn0, &syn1, &sig, &subsampler);
@@ -217,7 +262,11 @@ where
                     neu1e: vec![0.0f32; cfg.dim],
                     local_pairs: 0,
                 };
-                for _epoch in 0..cfg.epochs {
+                let worker_start = Instant::now();
+                // Pairs already flushed into the shared counter, so the
+                // per-epoch flush adds only this epoch's delta.
+                let mut flushed = 0u64;
+                for epoch in 0..cfg.epochs {
                     for sentence in sentences {
                         // Alpha from global progress, as in word2vec.c.
                         let done = words_done.fetch_add(sentence.len() as u64, Ordering::Relaxed);
@@ -235,12 +284,34 @@ where
                             tree.as_ref(),
                         );
                     }
+                    pairs_trained.fetch_add(worker.local_pairs - flushed, Ordering::Relaxed);
+                    flushed = worker.local_pairs;
+                    // One worker reports progress; the others just train.
+                    if tid == 0 {
+                        report_epoch(
+                            epoch + 1,
+                            cfg,
+                            start,
+                            total_words,
+                            words_done,
+                            pairs_trained,
+                        );
+                    }
                 }
-                pairs_trained.fetch_add(worker.local_pairs, Ordering::Relaxed);
+                // Per-worker throughput over the whole run; epochs-scale
+                // cost, invisible to the inner loop.
+                let secs = worker_start.elapsed().as_secs_f64().max(1e-9);
+                let worker_words =
+                    sentences.iter().map(|s| s.len() as u64).sum::<u64>() * cfg.epochs as u64;
+                darkvec_obs::metrics::gauge(&format!("w2v.worker{tid}.words_per_sec"))
+                    .set(worker_words as f64 / secs);
+                darkvec_obs::metrics::gauge(&format!("w2v.worker{tid}.pairs_per_sec"))
+                    .set(worker.local_pairs as f64 / secs);
             });
         }
     })
     .expect("training thread panicked");
+    drop(hogwild_span);
 
     let stats = TrainStats {
         vocab_size: vocab.len(),
@@ -248,7 +319,61 @@ where
         pairs_trained: pairs_trained.into_inner(),
         elapsed: start.elapsed(),
     };
+    darkvec_obs::metrics::counter("w2v.pairs_trained").add(stats.pairs_trained);
+    darkvec_obs::metrics::counter("w2v.corpus_tokens").add(stats.corpus_tokens);
+    darkvec_obs::metrics::gauge("w2v.vocab_size").set(stats.vocab_size as f64);
+    darkvec_obs::metrics::gauge("w2v.pairs_per_sec")
+        .set(stats.pairs_trained as f64 / stats.elapsed.as_secs_f64().max(1e-9));
+    darkvec_obs::debug!(
+        "trained {} pairs over {} tokens (vocab {}) in {:.2?}",
+        stats.pairs_trained,
+        stats.corpus_tokens,
+        stats.vocab_size,
+        stats.elapsed
+    );
     (Embedding::from_parts(vocab, syn0.to_vec(), cfg.dim), stats)
+}
+
+/// Publishes one epoch boundary: gauges for alpha/progress/ETA, a debug
+/// log line, and the optional [`TrainObserver`] callback. Runs on the
+/// reporting worker only, once per epoch.
+fn report_epoch(
+    epoch: usize,
+    cfg: &TrainConfig,
+    start: Instant,
+    total_words: u64,
+    words_done: &AtomicU64,
+    pairs_trained: &AtomicU64,
+) {
+    let words = words_done.load(Ordering::Relaxed);
+    let progress = (words as f32 / total_words as f32).min(1.0);
+    let alpha = (cfg.alpha * (1.0 - progress)).max(cfg.min_alpha);
+    let elapsed = start.elapsed();
+    let eta = if progress > 0.0 {
+        elapsed.mul_f64(f64::from((1.0 - progress) / progress))
+    } else {
+        Duration::ZERO
+    };
+    darkvec_obs::metrics::gauge("w2v.alpha").set(f64::from(alpha));
+    darkvec_obs::metrics::gauge("w2v.progress").set(f64::from(progress));
+    darkvec_obs::metrics::gauge("w2v.eta_secs").set(eta.as_secs_f64());
+    darkvec_obs::debug!(
+        "epoch {epoch}/{}: progress {:.1}%, alpha {alpha:.5}, eta {eta:.1?}",
+        cfg.epochs,
+        progress * 100.0
+    );
+    if let Some(observer) = &cfg.observer {
+        observer.on_epoch(&EpochStats {
+            epoch,
+            epochs: cfg.epochs,
+            alpha,
+            progress,
+            words_done: words,
+            pairs_trained: pairs_trained.load(Ordering::Relaxed),
+            elapsed,
+            eta,
+        });
+    }
 }
 
 /// Thread-local training state.
@@ -278,7 +403,12 @@ impl Worker {
     ) {
         self.sen.clear();
         let rng = &mut self.rng;
-        self.sen.extend(sentence.iter().copied().filter(|&w| subsampler.keep(w, rng)));
+        self.sen.extend(
+            sentence
+                .iter()
+                .copied()
+                .filter(|&w| subsampler.keep(w, rng)),
+        );
         if self.sen.len() < 2 {
             return;
         }
@@ -442,6 +572,7 @@ fn ns_update(
 /// One decision per Huffman node on `output`'s path. The input-side
 /// gradient is accumulated into `neu1e`.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn hs_update(
     syn0: &AtomicMatrix,
     syn1: &AtomicMatrix,
@@ -479,12 +610,15 @@ mod tests {
         let mut corpus = Vec::new();
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for i in 0..400 {
             let src = if i % 2 == 0 { &a } else { &b };
-            let mut sentence: Vec<String> = (0..8).map(|_| src[next() % src.len()].clone()).collect();
+            let mut sentence: Vec<String> =
+                (0..8).map(|_| src[next() % src.len()].clone()).collect();
             // Ensure variety within the sentence.
             sentence.dedup();
             corpus.push(sentence);
@@ -531,16 +665,27 @@ mod tests {
     #[test]
     fn cbow_also_learns_group_structure() {
         let corpus = two_group_corpus();
-        let cfg = TrainConfig { arch: Arch::Cbow, epochs: 25, ..small_cfg() };
+        let cfg = TrainConfig {
+            arch: Arch::Cbow,
+            epochs: 25,
+            ..small_cfg()
+        };
         let (emb, stats) = train(&corpus, &cfg);
         assert!(stats.pairs_trained > 0);
-        assert!(separation(&emb) > 0.3, "CBOW separation {}", separation(&emb));
+        assert!(
+            separation(&emb) > 0.3,
+            "CBOW separation {}",
+            separation(&emb)
+        );
     }
 
     #[test]
     fn hierarchical_softmax_also_learns_group_structure() {
         let corpus = two_group_corpus();
-        let cfg = TrainConfig { loss: Loss::HierarchicalSoftmax, ..small_cfg() };
+        let cfg = TrainConfig {
+            loss: Loss::HierarchicalSoftmax,
+            ..small_cfg()
+        };
         let (emb, stats) = train(&corpus, &cfg);
         assert!(stats.pairs_trained > 0);
         assert!(separation(&emb) > 0.3, "HS separation {}", separation(&emb));
@@ -556,7 +701,11 @@ mod tests {
             ..small_cfg()
         };
         let (emb, _) = train(&corpus, &cfg);
-        assert!(separation(&emb) > 0.25, "CBOW+HS separation {}", separation(&emb));
+        assert!(
+            separation(&emb) > 0.25,
+            "CBOW+HS separation {}",
+            separation(&emb)
+        );
     }
 
     #[test]
@@ -582,7 +731,10 @@ mod tests {
     #[test]
     fn hs_single_thread_is_deterministic() {
         let corpus = two_group_corpus();
-        let cfg = TrainConfig { loss: Loss::HierarchicalSoftmax, ..small_cfg() };
+        let cfg = TrainConfig {
+            loss: Loss::HierarchicalSoftmax,
+            ..small_cfg()
+        };
         let (e1, _) = train(&corpus, &cfg);
         let (e2, _) = train(&corpus, &cfg);
         assert_eq!(e1.vectors(), e2.vectors());
@@ -592,7 +744,10 @@ mod tests {
     fn different_seeds_differ() {
         let corpus = two_group_corpus();
         let cfg = small_cfg();
-        let cfg2 = TrainConfig { seed: 8, ..cfg.clone() };
+        let cfg2 = TrainConfig {
+            seed: 8,
+            ..cfg.clone()
+        };
         let (e1, _) = train(&corpus, &cfg);
         let (e2, _) = train(&corpus, &cfg2);
         assert_ne!(e1.vectors(), e2.vectors());
@@ -601,7 +756,10 @@ mod tests {
     #[test]
     fn multithreaded_training_produces_comparable_geometry() {
         let corpus = two_group_corpus();
-        let cfg = TrainConfig { threads: 4, ..small_cfg() };
+        let cfg = TrainConfig {
+            threads: 4,
+            ..small_cfg()
+        };
         let (emb, _) = train(&corpus, &cfg);
         assert!(separation(&emb) > 0.0, "hogwild run lost group structure");
     }
@@ -610,7 +768,10 @@ mod tests {
     fn min_count_drops_rare_words() {
         let mut corpus = two_group_corpus();
         corpus.push(vec!["rare".to_string(), "a0".to_string()]);
-        let cfg = TrainConfig { min_count: 2, ..small_cfg() };
+        let cfg = TrainConfig {
+            min_count: 2,
+            ..small_cfg()
+        };
         let (emb, _) = train(&corpus, &cfg);
         assert!(emb.get(&"rare".to_string()).is_none());
         assert!(emb.get(&"a0".to_string()).is_some());
@@ -627,14 +788,18 @@ mod tests {
     #[test]
     fn all_oov_yields_empty_embedding() {
         let corpus = vec![vec!["x".to_string()]];
-        let cfg = TrainConfig { min_count: 5, ..small_cfg() };
+        let cfg = TrainConfig {
+            min_count: 5,
+            ..small_cfg()
+        };
         let (emb, _) = train(&corpus, &cfg);
         assert_eq!(emb.len(), 0);
     }
 
     #[test]
     fn count_skipgrams_matches_bruteforce() {
-        let corpus: Vec<Vec<u32>> = vec![(0..7).collect(), (0..1).collect(), (0..2).collect(), vec![]];
+        let corpus: Vec<Vec<u32>> =
+            vec![(0..7).collect(), (0..1).collect(), (0..2).collect(), vec![]];
         for window in [1usize, 2, 3, 10] {
             let mut expect = 0u64;
             for s in &corpus {
@@ -655,6 +820,40 @@ mod tests {
         let expect: u64 = corpus.iter().map(|s| s.len() as u64).sum();
         // Sentences shorter than 2 tokens are dropped; the test corpus has none.
         assert_eq!(stats.corpus_tokens, expect);
+    }
+
+    #[test]
+    fn observer_receives_every_epoch() {
+        let corpus = two_group_corpus();
+        let collector = Arc::new(crate::observer::CollectingObserver::new());
+        let cfg = TrainConfig {
+            observer: Some(collector.clone()),
+            ..small_cfg()
+        };
+        let (_, stats) = train(&corpus, &cfg);
+        let seen = collector.epochs();
+        assert_eq!(seen.len(), cfg.epochs);
+        assert_eq!(seen.last().unwrap().epoch, cfg.epochs);
+        for w in seen.windows(2) {
+            assert!(w[0].words_done <= w[1].words_done, "progress is monotone");
+            assert!(w[0].alpha >= w[1].alpha, "alpha decays");
+        }
+        // Single-threaded: the final flush lands before the last callback.
+        assert_eq!(seen.last().unwrap().pairs_trained, stats.pairs_trained);
+        assert!(seen.last().unwrap().progress > 0.99);
+    }
+
+    #[test]
+    fn observer_does_not_change_results() {
+        let corpus = two_group_corpus();
+        let plain = small_cfg();
+        let observed = TrainConfig {
+            observer: Some(Arc::new(crate::observer::CollectingObserver::new())),
+            ..small_cfg()
+        };
+        let (e1, _) = train(&corpus, &plain);
+        let (e2, _) = train(&corpus, &observed);
+        assert_eq!(e1.vectors(), e2.vectors());
     }
 
     #[test]

@@ -37,8 +37,10 @@ impl<W: Eq + Hash + Clone + Ord> Vocab<W> {
                 *raw.entry(w.clone()).or_insert(0) += 1;
             }
         }
-        let mut kept: Vec<(W, u64)> =
-            raw.into_iter().filter(|&(_, c)| c >= min_count.max(1)).collect();
+        let mut kept: Vec<(W, u64)> = raw
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count.max(1))
+            .collect();
         kept.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
         let mut words = Vec::with_capacity(kept.len());
@@ -51,7 +53,12 @@ impl<W: Eq + Hash + Clone + Ord> Vocab<W> {
             counts.push(c);
             total += c;
         }
-        Vocab { words, counts, index, total }
+        Vocab {
+            words,
+            counts,
+            index,
+            total,
+        }
     }
 
     /// Number of distinct retained words.
@@ -117,11 +124,7 @@ mod tests {
     use super::*;
 
     fn corpus() -> Vec<Vec<&'static str>> {
-        vec![
-            vec!["a", "b", "a", "c"],
-            vec!["a", "b", "d"],
-            vec!["a"],
-        ]
+        vec![vec!["a", "b", "a", "c"], vec!["a", "b", "d"], vec!["a"]]
     }
 
     fn build(min: u64) -> Vocab<&'static str> {

@@ -30,8 +30,15 @@ fn main() {
         .into_iter()
         .map(|(ip, class)| (ip, class.label()))
         .collect();
-    let known = labels.values().filter(|&&l| l != GtClass::Unknown.label()).count();
-    println!("  {} last-day active senders, {} with known labels", labels.len(), known);
+    let known = labels
+        .values()
+        .filter(|&&l| l != GtClass::Unknown.label())
+        .count();
+    println!(
+        "  {} last-day active senders, {} with known labels",
+        labels.len(),
+        known
+    );
 
     let mut cfg = DarkVecConfig::default();
     cfg.w2v.dim = 32;
@@ -40,7 +47,14 @@ fn main() {
     let model = pipeline::run(&sim.trace, &cfg);
 
     println!("evaluating leave-one-out 7-NN classification...");
-    let ev = Evaluation::prepare(&model.embedding, &labels, 10, GtClass::Unknown.label(), 7, 0);
+    let ev = Evaluation::prepare(
+        &model.embedding,
+        &labels,
+        10,
+        GtClass::Unknown.label(),
+        7,
+        0,
+    );
     let report = ev.report(7, &GtClass::names());
     println!("{}", report.to_table());
 
@@ -62,7 +76,9 @@ fn main() {
         println!("  {n} senders proposed for {name}");
     }
     for e in extensions.iter().take(10) {
-        let name = GtClass::from_label(e.class).map(|c| c.name()).unwrap_or("?");
+        let name = GtClass::from_label(e.class)
+            .map(|c| c.name())
+            .unwrap_or("?");
         let campaign = sim
             .truth
             .campaign(e.ip)

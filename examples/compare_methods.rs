@@ -44,14 +44,28 @@ fn main() {
     );
 
     // --- Port-feature baseline ---
-    let report = baseline_report(&last_day, &labels, &GtClass::names(), unknown, &PortFeatureConfig::default());
+    let report = baseline_report(
+        &last_day,
+        &labels,
+        &GtClass::names(),
+        unknown,
+        &PortFeatureConfig::default(),
+    );
     println!("port features    accuracy {:.3}", report.accuracy);
 
     // --- IP2VEC ---
-    let i2v = ip2vec::run(&sim.trace, &ip2vec::Ip2VecConfig {
-        w2v: darkvec_w2v::TrainConfig { dim: 32, epochs: 8, min_count: 1, ..Default::default() },
-        ..Default::default()
-    });
+    let i2v = ip2vec::run(
+        &sim.trace,
+        &ip2vec::Ip2VecConfig {
+            w2v: darkvec_w2v::TrainConfig {
+                dim: 32,
+                epochs: 8,
+                min_count: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
     let vectors = ip2vec::sender_vectors(&i2v);
     println!(
         "IP2VEC           accuracy {:.3}   ({} pairs, {:.1?})",
@@ -64,11 +78,19 @@ fn main() {
     // DANTE's faithful whole-capture sentences explode quadratically (the
     // Table 3 "did not complete" row); give it the paper-style budget and
     // also run a day-windowed variant so the demo shows an accuracy.
-    let dm = dante::run(&sim.trace, &dante::DanteConfig {
-        w2v: darkvec_w2v::TrainConfig { dim: 32, epochs: 8, min_count: 1, ..Default::default() },
-        skipgram_budget: Some(model.skipgrams * 8),
-        ..Default::default()
-    });
+    let dm = dante::run(
+        &sim.trace,
+        &dante::DanteConfig {
+            w2v: darkvec_w2v::TrainConfig {
+                dim: 32,
+                epochs: 8,
+                min_count: 1,
+                ..Default::default()
+            },
+            skipgram_budget: Some(model.skipgrams * 8),
+            ..Default::default()
+        },
+    );
     if dm.completed {
         let vectors = dm.senders.expect("completed");
         println!(
@@ -82,12 +104,20 @@ fn main() {
             "DANTE            did not complete ({} skip-grams exceed the budget; the paper saw the same)",
             dm.skipgrams
         );
-        let dm_daily = dante::run(&sim.trace, &dante::DanteConfig {
-            w2v: darkvec_w2v::TrainConfig { dim: 32, epochs: 8, min_count: 1, ..Default::default() },
-            window_secs: darkvec_types::DAY,
-            skipgram_budget: Some(model.skipgrams * 8),
-            ..Default::default()
-        });
+        let dm_daily = dante::run(
+            &sim.trace,
+            &dante::DanteConfig {
+                w2v: darkvec_w2v::TrainConfig {
+                    dim: 32,
+                    epochs: 8,
+                    min_count: 1,
+                    ..Default::default()
+                },
+                window_secs: darkvec_types::DAY,
+                skipgram_budget: Some(model.skipgrams * 8),
+                ..Default::default()
+            },
+        );
         if let Some(vectors) = dm_daily.senders {
             println!(
                 "DANTE (daily)    accuracy {:.3}   ({} skip-grams, {:.1?}; day-windowed variant)",

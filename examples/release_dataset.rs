@@ -19,7 +19,11 @@ fn main() {
     // 1. Anonymise with a secret key.
     let anonymizer = Anonymizer::new(0xC0FF_EE00_D15E_A5E5);
     let anon = anonymizer.anonymize_trace(&sim.trace);
-    println!("anonymised {} packets from {} senders", anon.len(), anon.senders().len());
+    println!(
+        "anonymised {} packets from {} senders",
+        anon.len(),
+        anon.senders().len()
+    );
 
     // 2. Write the release artifact (CSV, like the paper's dataset).
     let dir = std::env::temp_dir().join("darkvec-release");
@@ -41,14 +45,20 @@ fn main() {
     // 4. The subnet evidence survives: the unknown1 campaign's 85 senders
     //    still share one /24 after anonymisation.
     let u1 = sim.truth.members(CampaignId::U1NetBios);
-    let nets: std::collections::HashSet<_> =
-        u1.iter().map(|&ip| anonymizer.anonymize(ip).slash24()).collect();
+    let nets: std::collections::HashSet<_> = u1
+        .iter()
+        .map(|&ip| anonymizer.anonymize(ip).slash24())
+        .collect();
     println!(
         "unknown1: {} senders -> {} distinct anonymised /24s (prefix structure preserved)",
         u1.len(),
         nets.len()
     );
-    assert_eq!(nets.len(), 1, "prefix preservation must keep the /24 together");
+    assert_eq!(
+        nets.len(),
+        1,
+        "prefix preservation must keep the /24 together"
+    );
 
     // ...while the actual addresses are unlinkable without the key.
     let original = u1[0];

@@ -27,7 +27,10 @@ fn main() {
     println!("training DarkVec embedding...");
     let model = pipeline::run(&sim.trace, &cfg);
 
-    println!("clustering {} embedded senders (k'=3 + Louvain)...", model.embedding.len());
+    println!(
+        "clustering {} embedded senders (k'=3 + Louvain)...",
+        model.embedding.len()
+    );
     let clustering = cluster_embedding(&model.embedding, &ClusterConfig::default());
     println!(
         "  {} clusters, modularity {:.3}\n",
@@ -54,7 +57,10 @@ fn main() {
         if p.subnets24 == 1 && p.ips > 3 {
             println!("   -> all members in ONE /24: coordinated infrastructure");
         } else if p.subnets16 == 1 && p.subnets24 > 1 {
-            println!("   -> {} /24s inside one /16: one operator, many blocks", p.subnets24);
+            println!(
+                "   -> {} /24s inside one /16: one operator, many blocks",
+                p.subnets24
+            );
         }
         match p.regularity {
             darkvec::temporal::Regularity::Daily => println!("   -> regular daily pattern"),
@@ -62,12 +68,18 @@ fn main() {
                 println!("   -> very regular hourly pattern (cv={:.2})", p.hourly_cv)
             }
             darkvec::temporal::Regularity::Growing => {
-                println!("   -> activity ramping up (growth {:.3}/h): worm-like", p.growth)
+                println!(
+                    "   -> activity ramping up (growth {:.3}/h): worm-like",
+                    p.growth
+                )
             }
             darkvec::temporal::Regularity::Irregular => {}
         }
         if let Some((campaign, purity)) = &dominants[p.cluster as usize] {
-            println!("   [hidden truth: {campaign}, purity {:.0}%]", purity * 100.0);
+            println!(
+                "   [hidden truth: {campaign}, purity {:.0}%]",
+                purity * 100.0
+            );
         }
         println!();
     }

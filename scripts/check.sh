@@ -1,0 +1,22 @@
+#!/bin/sh
+# Local CI: formatting, lints, and the test suite. Offline-friendly —
+# everything runs with --offline against the vendored dependency stubs.
+#
+#   scripts/check.sh          # fmt + clippy + tests
+#   scripts/check.sh --fast   # skip the (slow) workspace test run
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+if [ "${1:-}" = "--fast" ]; then
+    echo "==> skipping tests (--fast)"
+    exit 0
+fi
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace --offline

@@ -5,7 +5,9 @@
 use darkvec::config::DarkVecConfig;
 use darkvec::inspect::profile_clusters;
 use darkvec::pipeline::{self, TrainedModel};
-use darkvec::unsupervised::{cluster_embedding, dominant_labels, k_sweep, ClusterConfig, Clustering};
+use darkvec::unsupervised::{
+    cluster_embedding, dominant_labels, k_sweep, ClusterConfig, Clustering,
+};
 use darkvec_gen::{simulate, CampaignId, SimConfig, SimOutput};
 use darkvec_types::{Ipv4, PortKey};
 use std::collections::HashMap;
@@ -20,7 +22,11 @@ fn fixture() -> &'static (SimOutput, TrainedModel, Clustering) {
         let model = pipeline::run(&sim.trace, &DarkVecConfig::test_size(SEED));
         let clustering = cluster_embedding(
             &model.embedding,
-            &ClusterConfig { k: 3, seed: SEED, threads: 0 },
+            &ClusterConfig {
+                k: 3,
+                seed: SEED,
+                threads: 0,
+            },
         );
         (sim, model, clustering)
     })
@@ -116,7 +122,13 @@ fn adb_worm_cluster_ramps_up() {
     let days = sim.trace.days();
     let count_in = |lo: u64, hi: u64| -> usize {
         (lo..hi)
-            .map(|d| sim.trace.day_slice(d).iter().filter(|p| set.contains(&p.src)).count())
+            .map(|d| {
+                sim.trace
+                    .day_slice(d)
+                    .iter()
+                    .filter(|p| set.contains(&p.src))
+                    .count()
+            })
             .sum()
     };
     let first_half = count_in(0, days / 2);
@@ -151,9 +163,14 @@ fn more_than_half_the_big_clusters_have_good_silhouette() {
     // than 0.5".
     let (_, _, clustering) = fixture();
     let sizes = clustering.sizes();
-    let big: Vec<usize> = (0..clustering.clusters).filter(|&c| sizes[c] >= 4).collect();
+    let big: Vec<usize> = (0..clustering.clusters)
+        .filter(|&c| sizes[c] >= 4)
+        .collect();
     assert!(!big.is_empty());
-    let good = big.iter().filter(|&&c| clustering.silhouettes[c] > 0.5).count();
+    let good = big
+        .iter()
+        .filter(|&&c| clustering.silhouettes[c] > 0.5)
+        .count();
     assert!(
         good * 3 >= big.len(),
         "only {good}/{} sizeable clusters exceed silhouette 0.5",

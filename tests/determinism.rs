@@ -23,8 +23,22 @@ fn full_stack_is_deterministic_for_a_seed() {
     assert_eq!(ma.skipgrams, mb.skipgrams);
     assert_eq!(ma.corpus, mb.corpus);
 
-    let ca = cluster_embedding(&ma.embedding, &ClusterConfig { k: 3, seed: 9, threads: 1 });
-    let cb = cluster_embedding(&mb.embedding, &ClusterConfig { k: 3, seed: 9, threads: 1 });
+    let ca = cluster_embedding(
+        &ma.embedding,
+        &ClusterConfig {
+            k: 3,
+            seed: 9,
+            threads: 1,
+        },
+    );
+    let cb = cluster_embedding(
+        &mb.embedding,
+        &ClusterConfig {
+            k: 3,
+            seed: 9,
+            threads: 1,
+        },
+    );
     assert_eq!(ca.assignment, cb.assignment);
     assert_eq!(ca.modularity, cb.modularity);
 }
@@ -43,7 +57,9 @@ fn trace_round_trips_through_binary_and_csv() {
     let bytes = io::to_bytes(&sim.trace);
     assert_eq!(io::from_bytes(&bytes[..]).unwrap(), sim.trace);
     // CSV (on a slice, to keep the test fast).
-    let slice = sim.trace.slice_time(darkvec_types::Timestamp(0), darkvec_types::Timestamp(7200));
+    let slice = sim
+        .trace
+        .slice_time(darkvec_types::Timestamp(0), darkvec_types::Timestamp(7200));
     let mut buf = Vec::new();
     io::write_csv(&slice, &mut buf).unwrap();
     assert_eq!(io::read_csv(&buf[..]).unwrap(), slice);
@@ -84,8 +100,15 @@ fn multithreaded_training_preserves_quality() {
         let mut cfg = DarkVecConfig::test_size(4007);
         cfg.w2v.threads = threads;
         let model = pipeline::run(&sim.trace, &cfg);
-        Evaluation::prepare(&model.embedding, &labels, 10, GtClass::Unknown.label(), 7, 0)
-            .accuracy(7)
+        Evaluation::prepare(
+            &model.embedding,
+            &labels,
+            10,
+            GtClass::Unknown.label(),
+            7,
+            0,
+        )
+        .accuracy(7)
     };
     let single = accuracy(1);
     let multi = accuracy(4);

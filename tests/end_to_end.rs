@@ -88,7 +88,10 @@ fn engin_umich_is_perfectly_recalled_stretchoid_is_not() {
     let report = ev.report(7, &GtClass::names());
 
     let engin = report.row("Engin-umich").expect("engin row");
-    assert!(engin.support > 0, "no labelled Engin-Umich senders in test set");
+    assert!(
+        engin.support > 0,
+        "no labelled Engin-Umich senders in test set"
+    );
     assert!(
         engin.recall >= 0.9,
         "Engin-Umich should be (near-)perfectly recalled, got {:.2}",
@@ -125,7 +128,10 @@ fn coverage_grows_with_training_window() {
     // Figure 6: longer training window embeds more of the labelled set.
     let (sim, labels) = fixture();
     let days = sim.trace.days();
-    let short = pipeline::run(&sim.trace.first_days(days / 4), &test_cfg(ServiceDef::DomainKnowledge));
+    let short = pipeline::run(
+        &sim.trace.first_days(days / 4),
+        &test_cfg(ServiceDef::DomainKnowledge),
+    );
     let long = pipeline::run(&sim.trace, &test_cfg(ServiceDef::DomainKnowledge));
     let c_short = Evaluation::coverage(&short.embedding, labels);
     let c_long = Evaluation::coverage(&long.embedding, labels);
@@ -133,7 +139,10 @@ fn coverage_grows_with_training_window() {
         c_long > c_short,
         "coverage must grow: {c_short:.3} (short) vs {c_long:.3} (full)"
     );
-    assert!(c_long > 0.95, "full-window coverage should be near total: {c_long:.3}");
+    assert!(
+        c_long > 0.95,
+        "full-window coverage should be near total: {c_long:.3}"
+    );
 }
 
 #[test]
@@ -141,7 +150,14 @@ fn accuracy_degrades_for_very_large_k() {
     // Figure 7: past the sweet spot, Unknown neighbours dominate.
     let (sim, labels) = fixture();
     let model = pipeline::run(&sim.trace, &test_cfg(ServiceDef::DomainKnowledge));
-    let ev = Evaluation::prepare(&model.embedding, labels, 10, GtClass::Unknown.label(), 75, 0);
+    let ev = Evaluation::prepare(
+        &model.embedding,
+        labels,
+        10,
+        GtClass::Unknown.label(),
+        75,
+        0,
+    );
     let at_7 = ev.accuracy(7);
     let at_75 = ev.accuracy(75);
     assert!(

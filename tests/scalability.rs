@@ -19,7 +19,11 @@ fn dante_generates_more_skipgrams_than_darkvec() {
 
     // Same context window for an apples-to-apples skip-gram count.
     let dante_cfg = dante::DanteConfig {
-        w2v: TrainConfig { window: model_window(), min_count: 1, ..TrainConfig::default() },
+        w2v: TrainConfig {
+            window: model_window(),
+            min_count: 1,
+            ..TrainConfig::default()
+        },
         skipgram_budget: Some(0), // count only, never train
         ..dante::DanteConfig::default()
     };
@@ -59,13 +63,19 @@ fn budgets_reproduce_the_did_not_complete_rows() {
     let sim = simulate(&sim_cfg());
     let i2v = ip2vec::run(
         &sim.trace,
-        &ip2vec::Ip2VecConfig { pair_budget: Some(1), ..ip2vec::Ip2VecConfig::default() },
+        &ip2vec::Ip2VecConfig {
+            pair_budget: Some(1),
+            ..ip2vec::Ip2VecConfig::default()
+        },
     );
     assert!(!i2v.completed && i2v.embedding.is_none());
 
     let dm = dante::run(
         &sim.trace,
-        &dante::DanteConfig { skipgram_budget: Some(1), ..dante::DanteConfig::default() },
+        &dante::DanteConfig {
+            skipgram_budget: Some(1),
+            ..dante::DanteConfig::default()
+        },
     );
     assert!(!dm.completed && dm.senders.is_none());
 }

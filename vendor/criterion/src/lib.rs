@@ -1,0 +1,342 @@
+//! Offline mini reimplementation of the `criterion` API subset this
+//! workspace's benches use.
+//!
+//! Measurement model: a short calibration run sizes the per-sample
+//! iteration count, then `sample_size` samples are timed and the median,
+//! min, and max per-iteration times are reported (with throughput when
+//! configured). No plots, no statistical regression analysis — but the
+//! numbers are honest wall-clock medians, good enough to compare two
+//! commits.
+//!
+//! CLI: a bare (non-flag) argument filters benchmarks by substring;
+//! `--quick` (or being invoked by `cargo test`, which passes `--test`)
+//! runs one iteration per benchmark as a smoke test.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Throughput annotation: per-iteration work, used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `group/function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, `name/param`.
+    pub fn new<P: std::fmt::Display>(name: &str, param: P) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+/// Conversion for `bench_function`-style string ids.
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    filter: Option<String>,
+    quick: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            quick: false,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (filter substring, `--quick`).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" | "--test" => self.quick = true,
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--verbose" | "-v" | "--noplot" => {}
+                a if !a.starts_with('-') => self.filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(
+            &id.name,
+            None,
+            self.default_sample_size,
+            self.quick,
+            &self.filter,
+            f,
+        );
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_bench(
+            &full,
+            self.throughput,
+            samples,
+            self.criterion.quick,
+            &self.criterion.filter,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(
+    name: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    quick: bool,
+    filter: &Option<String>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(needle) = filter {
+        if !name.contains(needle.as_str()) {
+            return;
+        }
+    }
+    if quick {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{name:<40} quick: ok ({:?})", b.elapsed);
+        return;
+    }
+
+    // Calibrate: size iterations so one sample takes ~25 ms.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(25);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let lo = per_iter_ns.first().copied().unwrap_or(median);
+    let hi = per_iter_ns.last().copied().unwrap_or(median);
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" thrpt: {}/s", si(n as f64 / (median * 1e-9))),
+        Throughput::Bytes(n) => format!(" thrpt: {}B/s", si(n as f64 / (median * 1e-9))),
+    });
+    println!(
+        "{name:<40} time: [{} {} {}]{}",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} K", x / 1e3)
+    } else {
+        format!("{x:.1} ")
+    }
+}
+
+/// Declares a group function running the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        assert_eq!(BenchmarkId::new("threads", 4).name, "threads/4");
+        assert_eq!(BenchmarkId::from_parameter(50).name, "50");
+    }
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn groups_run_and_respect_filter() {
+        let mut c = Criterion {
+            filter: Some("keep".into()),
+            quick: true,
+            default_sample_size: 2,
+        };
+        let mut ran = Vec::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10)).sample_size(2);
+            g.bench_function("keep_me", |b| b.iter(|| ran.push("keep")));
+            g.finish();
+        }
+        let mut g = c.benchmark_group("g");
+        g.bench_function("skipped", |b| b.iter(|| ran.push("skip")));
+        g.finish();
+        assert_eq!(ran, vec!["keep"]);
+    }
+}

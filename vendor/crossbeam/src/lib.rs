@@ -1,0 +1,82 @@
+//! Offline stand-in for `crossbeam`, covering only [`scope`].
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, so this stub
+//! is a thin adapter that keeps the crossbeam 0.8 call shape:
+//! `crossbeam::scope(|s| { s.spawn(|_| …); }).expect("…")`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handle passed to [`scope`] closures; spawned threads may
+/// themselves spawn onto it.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so
+    /// workers can spawn siblings, as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed data may be shared with spawned
+/// threads; joins them all before returning. Returns `Err` with the panic
+/// payload if the closure or any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn threads_share_borrowed_state_and_join() {
+        let total = AtomicU64::new(0);
+        let data: Vec<u64> = (0..100).collect();
+        super::scope(|s| {
+            for chunk in data.chunks(30) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let count = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(count.into_inner(), 1);
+    }
+}

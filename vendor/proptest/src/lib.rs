@@ -1,0 +1,434 @@
+//! Offline mini reimplementation of the `proptest` API subset this
+//! workspace uses.
+//!
+//! Supported surface: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(…)]` header), range and tuple strategies,
+//! [`Just`], [`any`], `prop::collection::{vec, hash_set}`,
+//! `prop_map`/`prop_flat_map`, [`prop_oneof!`], and the `prop_assert*`
+//! macros. Failing cases panic with the case number; there is no input
+//! shrinking or failure persistence.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The deterministic RNG driving value generation.
+pub type TestRng = SmallRng;
+
+/// The RNG for one test case: deterministic in (test name, case index).
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5EED))
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Test cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values. Dyn-compatible; combinators require
+/// `Sized` receivers.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn gen_one(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_one(&self, rng: &mut TestRng) -> T {
+        (**self).gen_one(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_one(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_one(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn gen_one(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_one(rng)).gen_one(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_one(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_one(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_one(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_one(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($s:ident/$idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_one(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_one(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuples! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+    (A/0, B/1, C/2, D/3, E/4, F/5);
+}
+
+/// Uniform choice among same-typed strategies; backs [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_one(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].gen_one(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::*;
+
+    /// A collection-size specification: a fixed `usize` or a `Range<usize>`.
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec`s of `len` in the given range, elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, 0..300)` — a vector with length drawn from `len`
+    /// (a fixed `usize` length also works).
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into().0,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_one(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.gen_one(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s; see [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `hash_set(element, 1..25)` — a set with size drawn from `len`
+    /// (best-effort: duplicates are redrawn a bounded number of times).
+    pub fn hash_set<S>(element: S, len: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, len }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn gen_one(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            let mut out = HashSet::with_capacity(n);
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 20 + 100 {
+                out.insert(self.element.gen_one(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs, mirroring
+    //! `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($option)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: one test fn at a time, with a resolved config expression.
+    (@run ($cfg:expr)) => {};
+    (@run ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let mut prop_rng = $crate::test_rng(stringify!($name), case);
+                    $(let $pat = $crate::Strategy::gen_one(&($strategy), &mut prop_rng);)*
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest: {} failed at case {}/{} (deterministic; rerun reproduces it)",
+                        stringify!($name), case, cfg.cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    // Entry with an explicit config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    // Entry with the default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1_000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u32..20, y in 0f64..1.0, z in 3u8..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((3..=5).contains(&z));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(e in arb_even(), (a, b) in (0u16..50, prop_oneof![Just(1u8), Just(2u8)])) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(a < 50);
+            prop_assert!(b == 1 || b == 2);
+        }
+
+        #[test]
+        fn collections_respect_sizes(v in prop::collection::vec(0u16..40, 2..30), s in prop::collection::hash_set(0u32..1_000_000, 1..25)) {
+            prop_assert!((2..30).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 25);
+            for x in &v { prop_assert!(*x < 40); }
+        }
+
+        #[test]
+        fn flat_map_sees_outer_value(pair in (2usize..10).prop_flat_map(|n| prop::collection::vec(0usize..n, 1..4).prop_map(move |v| (n, v)))) {
+            let (n, v) = pair;
+            for x in v { prop_assert!(x < n); }
+        }
+
+        #[test]
+        fn mut_bindings_work(mut v in prop::collection::vec(0u64..100, 1..20)) {
+            v.sort_unstable();
+            for w in v.windows(2) { prop_assert!(w[0] <= w[1]); }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_rng("t", 3);
+        let mut b = crate::test_rng("t", 3);
+        let s = prop::collection::vec(0u64..1_000, 5..20);
+        assert_eq!(s.gen_one(&mut a), s.gen_one(&mut b));
+    }
+}

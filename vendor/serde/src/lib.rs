@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace marks several types `#[derive(Serialize, Deserialize)]`
+//! but performs no serde-based (de)serialisation — all persisted formats
+//! are hand-written codecs in `darkvec-types::io` and
+//! `darkvec-w2v::embedding`. This stub keeps those derives compiling
+//! offline: the traits exist, and the derive macros expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! The workspace derives serde traits on several types but never actually
+//! serialises through serde (trace and model I/O use hand-written codecs),
+//! so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the type simply does not implement `Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the type simply does not implement `Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
