@@ -29,10 +29,16 @@ fn main() -> ExitCode {
     let mut ids: Vec<String> = Vec::new();
     let mut sim_cfg = SimConfig::default();
     let mut out_dir = PathBuf::from("results");
+    let mut smoke = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--smoke" => {
+                smoke = true;
+                sim_cfg = SimConfig::tiny(sim_cfg.seed);
+            }
+            "--no-simd" => darkvec_kernels::set_simd_enabled(false),
             "--scale" => match take_f64(&mut it, "--scale") {
                 Ok(v) => {
                     sim_cfg.sender_scale *= v;
@@ -80,7 +86,8 @@ fn main() -> ExitCode {
     }
 
     let manifest_dir = out_dir.join("manifests");
-    let ctx = Ctx::new(sim_cfg.clone(), out_dir);
+    let mut ctx = Ctx::new(sim_cfg.clone(), out_dir);
+    ctx.smoke = smoke;
     for id in &ids {
         // Spans/metrics are process-global; reset between experiments so
         // each manifest describes exactly one experiment (the shared
@@ -163,6 +170,8 @@ fn usage() {
          --days D    capture length in days (default 30)\n\
          --seed N    simulation seed (default 1)\n\
          --out DIR   artifact directory (default results/)\n\
+         --smoke     tiny simulation + reduced workloads (CI); outputs stay in --out\n\
+         --no-simd   force scalar-equivalent portable kernels (also DARKVEC_NO_SIMD=1)\n\
          -v          debug logging (also --log-level LEVEL or DARKVEC_LOG)\n\
          \n\
          each experiment writes a JSON run manifest under <out>/manifests/",

@@ -18,6 +18,10 @@ pub struct Ctx {
     pub out_dir: PathBuf,
     /// Print progress notes to stderr.
     pub verbose: bool,
+    /// Reduced workloads for CI / tests (`xp --smoke`): experiments that
+    /// size their own work (e.g. `perf`) shrink it and keep all outputs
+    /// under [`Ctx::out_dir`] instead of the repo root.
+    pub smoke: bool,
     sim: OnceLock<SimOutput>,
     model: OnceLock<TrainedModel>,
     last_day_labels: OnceLock<HashMap<Ipv4, GtClass>>,
@@ -30,6 +34,7 @@ impl Ctx {
             sim_cfg,
             out_dir,
             verbose: true,
+            smoke: false,
             sim: OnceLock::new(),
             model: OnceLock::new(),
             last_day_labels: OnceLock::new(),
@@ -43,6 +48,7 @@ impl Ctx {
             std::env::temp_dir().join(format!("darkvec-xp-{seed}")),
         );
         ctx.verbose = false;
+        ctx.smoke = true;
         ctx
     }
 

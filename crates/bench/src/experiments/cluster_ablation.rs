@@ -16,11 +16,11 @@ use crate::experiments::clustering::default_clustering;
 use crate::table::{f, TextTable};
 use crate::Ctx;
 use darkvec_gen::CampaignId;
-use darkvec_graph::silhouette::silhouette_samples;
-use darkvec_ml::dbscan::{dbscan, DbscanConfig, NOISE};
-use darkvec_ml::hac::hac_average;
-use darkvec_ml::kmeans::{kmeans, KMeansConfig};
-use darkvec_ml::vectors::Matrix;
+use darkvec_graph::silhouette::silhouette_samples_normalized;
+use darkvec_ml::dbscan::{dbscan_normalized, DbscanConfig, NOISE};
+use darkvec_ml::hac::hac_average_normalized;
+use darkvec_ml::kmeans::{kmeans_normalized, KMeansConfig};
+use darkvec_ml::vectors::{Matrix, NormalizedMatrix};
 use darkvec_types::Ipv4;
 use std::collections::HashMap;
 
@@ -28,7 +28,9 @@ use std::collections::HashMap;
 pub fn cluster_ablation(ctx: &Ctx) -> String {
     let model = ctx.model();
     let emb = &model.embedding;
-    let matrix = Matrix::new(emb.vectors(), emb.len(), emb.dim());
+    // One normalised copy is shared by every method below.
+    let matrix = Matrix::new(emb.vectors(), emb.len(), emb.dim()).normalized();
+    let matrix = &matrix;
     let truth: HashMap<Ipv4, CampaignId> = ctx
         .trace()
         .senders()
@@ -61,7 +63,7 @@ pub fn cluster_ablation(ctx: &Ctx) -> String {
 
     // k-Means at the "oracle" k (Louvain's cluster count — a generous
     // tuning the analyst would not actually have).
-    let km = kmeans(
+    let km = kmeans_normalized(
         matrix,
         &KMeansConfig {
             k: louvain.clusters.max(2).min(emb.len()),
@@ -81,7 +83,7 @@ pub fn cluster_ablation(ctx: &Ctx) -> String {
 
     // DBSCAN at two eps settings, demonstrating the tuning dilemma.
     for (name, eps) in [("DBSCAN eps=0.05", 0.05), ("DBSCAN eps=0.30", 0.30)] {
-        let db = dbscan(matrix, &DbscanConfig { eps, min_pts: 4 });
+        let db = dbscan_normalized(matrix, &DbscanConfig { eps, min_pts: 4 });
         // Remap noise to per-point singleton ids so silhouette/purity
         // treat unclustered points as their own clusters.
         let mut next = db.clusters as u32;
@@ -111,7 +113,7 @@ pub fn cluster_ablation(ctx: &Ctx) -> String {
 
     // HAC cut at the oracle cluster count.
     if emb.len() <= 6_000 {
-        let dendrogram = hac_average(matrix);
+        let dendrogram = hac_average_normalized(matrix);
         let assignment = dendrogram.cut_k(louvain.clusters.max(2).min(emb.len()));
         t.row(score_row(
             ctx,
@@ -145,7 +147,7 @@ fn score_row(
     name: &str,
     assignment: &[u32],
     noise: usize,
-    matrix: Matrix<'_>,
+    matrix: &NormalizedMatrix,
 ) -> Vec<String> {
     let nclusters = assignment
         .iter()
@@ -177,7 +179,7 @@ fn score_row(
             }
         }
     }
-    let sil = silhouette_samples(matrix, assignment);
+    let sil = silhouette_samples_normalized(matrix, assignment);
     let mean_sil = if sil.is_empty() {
         0.0
     } else {

@@ -10,6 +10,7 @@ pub mod comparison;
 pub mod dataset;
 pub mod gt_extension;
 pub mod perclass;
+pub mod perf;
 pub mod rasters;
 pub mod services_xp;
 pub mod transfer;
@@ -39,6 +40,7 @@ pub const ALL: &[&str] = &[
     "gt_extend",
     "transfer",
     "cluster_ablation",
+    "perf",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.
@@ -64,6 +66,7 @@ pub fn run(ctx: &Ctx, id: &str) -> Option<String> {
         "gt_extend" => gt_extension::gt_extend(ctx),
         "transfer" => transfer::transfer(ctx),
         "cluster_ablation" => cluster_ablation::cluster_ablation(ctx),
+        "perf" => perf::perf(ctx),
         _ => return None,
     };
     Some(out)
@@ -82,6 +85,6 @@ mod tests {
             assert!(run(&ctx, id).is_some(), "{id} failed to run");
         }
         assert!(run(&ctx, "nope").is_none());
-        assert_eq!(ALL.len(), 20);
+        assert_eq!(ALL.len(), 21);
     }
 }

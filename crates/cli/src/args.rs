@@ -5,7 +5,7 @@ use std::collections::{HashMap, HashSet};
 
 /// Switches that take no value. Everything else must be a `--key value`
 /// pair.
-const BARE: &[&str] = &["-v"];
+const BARE: &[&str] = &["-v", "--no-simd"];
 
 /// Parsed `--flag value` options and bare switches.
 #[derive(Debug, Default)]
@@ -85,8 +85,9 @@ mod tests {
 
     #[test]
     fn parses_bare_switches() {
-        let o = opts(&["-v", "--trace", "x.bin"]).unwrap();
+        let o = opts(&["-v", "--no-simd", "--trace", "x.bin"]).unwrap();
         assert!(o.has("v"));
+        assert!(o.has("no-simd"));
         assert_eq!(o.require("trace").unwrap(), "x.bin");
         assert!(!opts(&["--trace", "x.bin"]).unwrap().has("v"));
         // A bare switch never swallows the next token as its value.

@@ -19,7 +19,9 @@
 //! * `-v` / `--log-level error|warn|info|debug|off` — stderr log
 //!   verbosity (`-v` is shorthand for debug; `DARKVEC_LOG` also works);
 //! * `--manifest-out DIR` — where to write the JSON run manifest
-//!   (default `results/manifests/`, `none` disables it).
+//!   (default `results/manifests/`, `none` disables it);
+//! * `--no-simd` — force the scalar compute kernels (debugging escape
+//!   hatch; `DARKVEC_NO_SIMD=1` also works).
 
 mod args;
 mod commands;
@@ -44,6 +46,10 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    if opts.has("no-simd") {
+        darkvec_kernels::set_simd_enabled(false);
+    }
+    darkvec_obs::debug!("compute kernels: {}", darkvec_kernels::active_path().name());
     let manifest = ManifestBuilder::new(command);
     let result = match command.as_str() {
         "simulate" => commands::simulate(&opts),
@@ -129,6 +135,7 @@ fn usage() -> &'static str {
        --model FILE       embedding file (.dkve)\n\
        --out FILE         output path\n\
        -v                 debug logging (also --log-level LEVEL, DARKVEC_LOG)\n\
+       --no-simd          force scalar compute kernels (also DARKVEC_NO_SIMD=1)\n\
        --manifest-out DIR JSON run-manifest directory (default results/manifests,\n\
                           'none' disables)\n\
      \n\

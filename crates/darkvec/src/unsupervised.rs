@@ -3,9 +3,9 @@
 //! silhouettes.
 
 use darkvec_graph::components::connected_components;
-use darkvec_graph::knn_graph::{build_knn_graph, KnnGraphConfig};
+use darkvec_graph::knn_graph::{build_knn_graph_normalized, KnnGraphConfig};
 use darkvec_graph::louvain::louvain;
-use darkvec_graph::silhouette::cluster_silhouettes;
+use darkvec_graph::silhouette::cluster_silhouettes_normalized;
 use darkvec_ml::vectors::Matrix;
 use darkvec_types::Ipv4;
 use darkvec_w2v::Embedding;
@@ -93,9 +93,10 @@ impl Clustering {
 /// Panics if the embedding is empty.
 pub fn cluster_embedding(embedding: &Embedding<Ipv4>, cfg: &ClusterConfig) -> Clustering {
     assert!(!embedding.is_empty(), "cannot cluster an empty embedding");
-    let matrix = Matrix::new(embedding.vectors(), embedding.len(), embedding.dim());
-    let graph = build_knn_graph(
-        matrix,
+    // One normalised copy feeds both the graph build and the silhouettes.
+    let normed = Matrix::new(embedding.vectors(), embedding.len(), embedding.dim()).normalized();
+    let graph = build_knn_graph_normalized(
+        &normed,
         &KnnGraphConfig {
             k: cfg.k,
             threads: cfg.threads,
@@ -103,7 +104,7 @@ pub fn cluster_embedding(embedding: &Embedding<Ipv4>, cfg: &ClusterConfig) -> Cl
         },
     );
     let partition = louvain(&graph, cfg.seed);
-    let silhouettes = cluster_silhouettes(matrix, &partition.assignment);
+    let silhouettes = cluster_silhouettes_normalized(&normed, &partition.assignment);
     Clustering {
         assignment: partition.assignment,
         clusters: partition.communities,
@@ -121,11 +122,12 @@ pub fn k_sweep(
     seed: u64,
     threads: usize,
 ) -> Vec<KSweepPoint> {
-    let matrix = Matrix::new(embedding.vectors(), embedding.len(), embedding.dim());
+    // Normalise once for the whole sweep.
+    let normed = Matrix::new(embedding.vectors(), embedding.len(), embedding.dim()).normalized();
     ks.iter()
         .map(|&k| {
-            let graph = build_knn_graph(
-                matrix,
+            let graph = build_knn_graph_normalized(
+                &normed,
                 &KnnGraphConfig {
                     k,
                     threads,

@@ -6,8 +6,8 @@
 //! Louvain modularity treats a directed graph's symmetrisation).
 
 use crate::graph::Graph;
-use darkvec_ml::knn::knn_all;
-use darkvec_ml::vectors::Matrix;
+use darkvec_ml::knn::knn_all_normalized;
+use darkvec_ml::vectors::{Matrix, NormalizedMatrix};
 use std::collections::HashMap;
 
 /// Configuration for the k′-NN graph construction.
@@ -40,10 +40,16 @@ impl Default for KnnGraphConfig {
 /// small positive floor, preserving connectivity without rewarding the
 /// edge.
 pub fn build_knn_graph(matrix: Matrix<'_>, cfg: &KnnGraphConfig) -> Graph {
+    build_knn_graph_normalized(&matrix.normalized(), cfg)
+}
+
+/// [`build_knn_graph`] over an already-normalised matrix, for callers
+/// sharing one [`NormalizedMatrix`] with the silhouette pass.
+pub fn build_knn_graph_normalized(matrix: &NormalizedMatrix, cfg: &KnnGraphConfig) -> Graph {
     const WEIGHT_FLOOR: f64 = 1e-6;
     let _span = darkvec_obs::span!("graph.knn_build");
     let n = matrix.rows();
-    let neighbors = knn_all(matrix, cfg.k.max(1), cfg.threads);
+    let neighbors = knn_all_normalized(matrix, cfg.k.max(1), cfg.threads);
 
     // Accumulate directed selections into undirected weights.
     let mut edges: HashMap<(u32, u32), (f64, u8)> = HashMap::new();

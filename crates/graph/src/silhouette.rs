@@ -9,7 +9,7 @@
 //! `mean_{j∈C} (1 − uᵢ·uⱼ) = 1 − uᵢ·centroid(C)` — per-cluster vector sums
 //! reduce the cost from O(n²·d) to O(n·K·d).
 
-use darkvec_ml::vectors::{dot, normalize_rows, Matrix};
+use darkvec_ml::vectors::{dot, Matrix, NormalizedMatrix};
 
 /// Per-sample silhouette coefficients for an assignment of matrix rows to
 /// clusters, under cosine distance.
@@ -17,25 +17,30 @@ use darkvec_ml::vectors::{dot, normalize_rows, Matrix};
 /// # Panics
 /// Panics if `assignment.len() != matrix.rows()`.
 pub fn silhouette_samples(matrix: Matrix<'_>, assignment: &[u32]) -> Vec<f64> {
+    silhouette_samples_normalized(&matrix.normalized(), assignment)
+}
+
+/// [`silhouette_samples`] over an already-normalised matrix, for callers
+/// sharing one [`NormalizedMatrix`] with the graph construction.
+///
+/// # Panics
+/// Panics if `assignment.len() != normed.rows()`.
+pub fn silhouette_samples_normalized(normed: &NormalizedMatrix, assignment: &[u32]) -> Vec<f64> {
     assert_eq!(
         assignment.len(),
-        matrix.rows(),
+        normed.rows(),
         "assignment must cover every row"
     );
-    let n = matrix.rows();
+    let n = normed.rows();
     if n == 0 {
         return Vec::new();
     }
-    let dim = matrix.dim();
+    let dim = normed.dim();
     let ncl = assignment
         .iter()
         .map(|&c| c as usize + 1)
         .max()
         .unwrap_or(0);
-
-    let mut normed = matrix.data().to_vec();
-    normalize_rows(&mut normed, dim);
-    let normed = Matrix::new(&normed, n, dim);
 
     // Per-cluster vector sums and sizes.
     let mut sums = vec![0.0f64; ncl * dim];
@@ -86,7 +91,12 @@ pub fn silhouette_samples(matrix: Matrix<'_>, assignment: &[u32]) -> Vec<f64> {
 
 /// Mean silhouette per cluster — Figure 11's y-axis. Empty clusters get 0.
 pub fn cluster_silhouettes(matrix: Matrix<'_>, assignment: &[u32]) -> Vec<f64> {
-    let samples = silhouette_samples(matrix, assignment);
+    cluster_silhouettes_normalized(&matrix.normalized(), assignment)
+}
+
+/// [`cluster_silhouettes`] over an already-normalised matrix.
+pub fn cluster_silhouettes_normalized(normed: &NormalizedMatrix, assignment: &[u32]) -> Vec<f64> {
+    let samples = silhouette_samples_normalized(normed, assignment);
     let ncl = assignment
         .iter()
         .map(|&c| c as usize + 1)
@@ -180,7 +190,7 @@ mod tests {
         let fast = silhouette_samples(m, &assign);
         // Naive O(n²) reference.
         let mut normed = data.clone();
-        normalize_rows(&mut normed, 2);
+        darkvec_ml::vectors::normalize_rows(&mut normed, 2);
         let nm = Matrix::new(&normed, 8, 2);
         for i in 0..8 {
             let my: Vec<usize> = (0..8)

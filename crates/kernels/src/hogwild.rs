@@ -1,0 +1,184 @@
+//! Kernels over rows of relaxed-`AtomicU32` `f32` cells — the Word2Vec
+//! Hogwild parameter matrices.
+//!
+//! Packed SIMD loads over `AtomicU32` cells would be a data race in the
+//! Rust memory model (a 256-bit load is not a sequence of relaxed 32-bit
+//! atomic loads), so these kernels never use intrinsics. The reductions
+//! instead use the 8-accumulator unrolled formulation: for latency-bound
+//! 50-dim dot products the serial FP add chain is the bottleneck, and
+//! breaking it recovers most of what packing would buy. Element-wise
+//! updates (`axpy`, `add`) have no cross-element dependency and keep the
+//! simple loop.
+//!
+//! When the active path is [`Path::Scalar`](crate::Path::Scalar) the dots
+//! fall back to the sequential reference order, so `--no-simd`-style
+//! forcing covers this module too.
+
+use crate::{active_path, reduce8, Path};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+#[inline(always)]
+fn ld(c: &AtomicU32) -> f32 {
+    f32::from_bits(c.load(Ordering::Relaxed))
+}
+
+#[inline(always)]
+fn st(c: &AtomicU32, v: f32) {
+    c.store(v.to_bits(), Ordering::Relaxed);
+}
+
+/// Copies a row of cells into a plain buffer.
+#[inline]
+pub fn load(row: &[AtomicU32], out: &mut [f32]) {
+    debug_assert_eq!(row.len(), out.len());
+    for (slot, c) in out.iter_mut().zip(row) {
+        *slot = ld(c);
+    }
+}
+
+/// Writes a plain buffer over a row of cells (store-only, no
+/// read-modify-write). Callers that snapshot a row with [`load`], update
+/// the copy with packed kernels, and publish it back with this trade a
+/// slightly wider Hogwild lost-update window for SIMD arithmetic;
+/// single-threaded the round trip is exact.
+#[inline]
+pub fn store(row: &[AtomicU32], buf: &[f32]) {
+    debug_assert_eq!(row.len(), buf.len());
+    for (c, &v) in row.iter().zip(buf) {
+        st(c, v);
+    }
+}
+
+/// `Σ row[i] · v[i]` against a thread-local vector.
+#[inline]
+pub fn dot(row: &[AtomicU32], v: &[f32]) -> f32 {
+    debug_assert_eq!(row.len(), v.len());
+    if active_path() == Path::Scalar {
+        return row.iter().zip(v).map(|(c, &x)| ld(c) * x).sum();
+    }
+    let mut lanes = [0.0f32; 8];
+    let mut cr = row.chunks_exact(8);
+    let mut cv = v.chunks_exact(8);
+    for (r8, v8) in (&mut cr).zip(&mut cv) {
+        for ((l, c), &x) in lanes.iter_mut().zip(r8).zip(v8) {
+            *l += ld(c) * x;
+        }
+    }
+    let tail: f32 = cr
+        .remainder()
+        .iter()
+        .zip(cv.remainder())
+        .map(|(c, &x)| ld(c) * x)
+        .sum();
+    reduce8(&lanes) + tail
+}
+
+/// `Σ a[i] · b[i]` between two rows of cells.
+#[inline]
+pub fn dot_rows(a: &[AtomicU32], b: &[AtomicU32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    if active_path() == Path::Scalar {
+        return a.iter().zip(b).map(|(x, y)| ld(x) * ld(y)).sum();
+    }
+    let mut lanes = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (a8, b8) in (&mut ca).zip(&mut cb) {
+        for ((l, x), y) in lanes.iter_mut().zip(a8).zip(b8) {
+            *l += ld(x) * ld(y);
+        }
+    }
+    let tail: f32 = ca
+        .remainder()
+        .iter()
+        .zip(cb.remainder())
+        .map(|(x, y)| ld(x) * ld(y))
+        .sum();
+    reduce8(&lanes) + tail
+}
+
+/// `row += g · v` — the Hogwild AXPY against a thread-local vector. Racy
+/// by design: concurrent writers may lose updates, which SGNS tolerates.
+#[inline]
+pub fn axpy(row: &[AtomicU32], g: f32, v: &[f32]) {
+    debug_assert_eq!(row.len(), v.len());
+    for (c, &x) in row.iter().zip(v) {
+        st(c, ld(c) + g * x);
+    }
+}
+
+/// `dst += g · src` between two rows of cells.
+#[inline]
+pub fn axpy_rows(dst: &[AtomicU32], g: f32, src: &[AtomicU32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter().zip(src) {
+        st(d, ld(d) + g * ld(s));
+    }
+}
+
+/// `row += buf` for a thread-local accumulation buffer.
+#[inline]
+pub fn add(row: &[AtomicU32], buf: &[f32]) {
+    debug_assert_eq!(row.len(), buf.len());
+    for (c, &x) in row.iter().zip(buf) {
+        st(c, ld(c) + x);
+    }
+}
+
+/// `buf += g · row` — accumulate a scaled row into a local buffer.
+#[inline]
+pub fn accumulate(buf: &mut [f32], g: f32, row: &[AtomicU32]) {
+    debug_assert_eq!(buf.len(), row.len());
+    for (slot, c) in buf.iter_mut().zip(row) {
+        *slot += g * ld(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells(vals: &[f32]) -> Vec<AtomicU32> {
+        vals.iter().map(|v| AtomicU32::new(v.to_bits())).collect()
+    }
+
+    fn values(row: &[AtomicU32]) -> Vec<f32> {
+        row.iter().map(ld).collect()
+    }
+
+    #[test]
+    fn dot_matches_plain_math_for_odd_lengths() {
+        for len in [1usize, 7, 8, 9, 31, 50, 63, 257] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.73).cos()).collect();
+            let want: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let ra = cells(&a);
+            let got = dot(&ra, &b);
+            assert!(
+                (got - want).abs() <= want.abs().max(1.0) * 1e-5,
+                "len {len}: {got} vs {want}"
+            );
+            let rb = cells(&b);
+            let got2 = dot_rows(&ra, &rb);
+            assert!((got2 - want).abs() <= want.abs().max(1.0) * 1e-5);
+        }
+    }
+
+    #[test]
+    fn updates_match_plain_math() {
+        let row = cells(&[1.0, 2.0, 3.0]);
+        axpy(&row, 2.0, &[1.0, 0.5, -1.0]);
+        assert_eq!(values(&row), vec![3.0, 3.0, 1.0]);
+        add(&row, &[1.0, 1.0, 1.0]);
+        assert_eq!(values(&row), vec![4.0, 4.0, 2.0]);
+        let src = cells(&[2.0, 0.0, 1.0]);
+        axpy_rows(&row, 0.5, &src);
+        assert_eq!(values(&row), vec![5.0, 4.0, 2.5]);
+        let mut buf = [1.0f32; 3];
+        accumulate(&mut buf, 2.0, &src);
+        assert_eq!(buf, [5.0, 1.0, 3.0]);
+        let mut out = [0.0f32; 3];
+        load(&row, &mut out);
+        assert_eq!(out, [5.0, 4.0, 2.5]);
+    }
+}

@@ -1,0 +1,84 @@
+//! [`NormalizedMatrix`] — normalise once, share everywhere.
+//!
+//! Before this type existed, every cosine-space consumer (kNN, the kNN
+//! graph, silhouettes, k-means, HAC, DBSCAN) copied the embedding matrix
+//! and L2-normalised its private copy. A clustering sweep therefore
+//! re-normalised the same matrix a handful of times per run and held that
+//! many redundant copies alive. `NormalizedMatrix` does the work once and
+//! hands out row views; in the normalised space cosine similarity is a
+//! plain [`dot`](crate::dot), so consumers need nothing else.
+
+/// A row-major `f32` matrix whose rows are L2-normalised (zero rows are
+/// kept as zeros).
+#[derive(Clone, Debug)]
+pub struct NormalizedMatrix {
+    data: Vec<f32>,
+    rows: usize,
+    dim: usize,
+}
+
+impl NormalizedMatrix {
+    /// Normalises a flat row-major buffer in place and takes ownership.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn from_flat(mut data: Vec<f32>, dim: usize) -> Self {
+        crate::normalize_rows(&mut data, dim);
+        let rows = data.len() / dim;
+        NormalizedMatrix { data, rows, dim }
+    }
+
+    /// Copies and normalises a borrowed row-major buffer.
+    pub fn from_rows(data: &[f32], dim: usize) -> Self {
+        Self::from_flat(data.to_vec(), dim)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One unit-norm (or zero) row.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Cosine similarity between two rows — a plain dot product here.
+    #[inline]
+    pub fn cosine(&self, i: usize, j: usize) -> f32 {
+        crate::dot(self.row(i), self.row(j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_unit_norm() {
+        let m = NormalizedMatrix::from_rows(&[3.0, 4.0, 0.0, 0.0, -2.0, 0.0], 2);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.row(0), &[0.6, 0.8]);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+        assert_eq!(m.row(2), &[-1.0, 0.0]);
+        assert_eq!(m.data().len(), 6);
+    }
+
+    #[test]
+    fn cosine_of_identical_rows_is_one() {
+        let m = NormalizedMatrix::from_rows(&[1.0, 2.0, 2.0, 1.0, 2.0, 2.0], 3);
+        assert!((m.cosine(0, 1) - 1.0).abs() < 1e-6);
+    }
+}

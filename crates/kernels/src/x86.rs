@@ -1,0 +1,114 @@
+//! AVX2 + FMA kernels for `x86_64`.
+//!
+//! Every function here carries `#[target_feature(enable = "avx2", enable =
+//! "fma")]` and is therefore `unsafe fn`: the dispatcher in `lib.rs` only
+//! reaches them after `is_x86_feature_detected!` confirmed both features,
+//! which is exactly the safety contract.
+//!
+//! `dot` keeps two 256-bit accumulators so consecutive FMAs target
+//! different registers — a single accumulator serialises on the ~4-cycle
+//! FMA latency and caps throughput at ¼ of what the two FMA ports sustain.
+//! The horizontal sum performs the same pairwise tree as
+//! [`crate::reduce8`], keeping the reduction order a property of the path,
+//! not the caller.
+
+#![allow(clippy::missing_safety_doc)] // contract documented in the module docs
+
+use std::arch::x86_64::*;
+
+/// Pairwise tree sum of 8 lanes, matching [`crate::reduce8`].
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hsum256(v: __m256) -> f32 {
+    // [l0+l4, l1+l5, l2+l6, l3+l7]
+    let q = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+    // [q0+q2, q1+q3, ..]
+    let s = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    // (q0+q2) + (q1+q3)
+    _mm_cvtss_f32(_mm_add_ss(s, _mm_shuffle_ps(s, s, 0b01)))
+}
+
+/// Inner product with two FMA accumulators.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(i + 8)),
+            _mm256_loadu_ps(pb.add(i + 8)),
+            acc1,
+        );
+        i += 16;
+    }
+    if i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+        i += 8;
+    }
+    let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+    while i < n {
+        sum += *pa.add(i) * *pb.add(i);
+        i += 1;
+    }
+    sum
+}
+
+/// `y += alpha · x`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    let n = y.len();
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let va = _mm256_set1_ps(alpha);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let r = _mm256_fmadd_ps(va, _mm256_loadu_ps(px.add(i)), _mm256_loadu_ps(py.add(i)));
+        _mm256_storeu_ps(py.add(i), r);
+        i += 8;
+    }
+    while i < n {
+        *py.add(i) += alpha * *px.add(i);
+        i += 1;
+    }
+}
+
+/// `y *= alpha`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn scale(y: &mut [f32], alpha: f32) {
+    let n = y.len();
+    let py = y.as_mut_ptr();
+    let va = _mm256_set1_ps(alpha);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        _mm256_storeu_ps(py.add(i), _mm256_mul_ps(va, _mm256_loadu_ps(py.add(i))));
+        i += 8;
+    }
+    while i < n {
+        *py.add(i) *= alpha;
+        i += 1;
+    }
+}
+
+/// `y = alpha · y + x`.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn scale_add(y: &mut [f32], alpha: f32, x: &[f32]) {
+    let n = y.len();
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let va = _mm256_set1_ps(alpha);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let r = _mm256_fmadd_ps(va, _mm256_loadu_ps(py.add(i)), _mm256_loadu_ps(px.add(i)));
+        _mm256_storeu_ps(py.add(i), r);
+        i += 8;
+    }
+    while i < n {
+        *py.add(i) = alpha * *py.add(i) + *px.add(i);
+        i += 1;
+    }
+}

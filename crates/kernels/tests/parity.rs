@@ -1,0 +1,272 @@
+//! Cross-path parity: every dispatchable kernel must agree with the
+//! scalar reference within 1e-5 relative error, on every path this
+//! machine can execute, across awkward lengths (remainder tails) and
+//! misaligned sub-slices (SIMD paths must not assume alignment).
+
+use darkvec_kernels::{
+    available_paths, axpy_on, dot_on, force_path, hogwild, normalize_rows_on, scale_add_on,
+    scale_on, squared_norm, Path,
+};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Vector lengths exercising every tail case: below one lane, below one
+/// 8-wide stride, one-off-a-stride, mid-size, and a prime well past the
+/// unrolled 16-element stride.
+const LENS: &[usize] = &[1, 7, 31, 50, 63, 257];
+
+/// Byte offsets into an over-allocated buffer, so SIMD loads start off
+/// the allocation's natural alignment.
+const OFFSETS: &[usize] = &[0, 1, 3];
+
+/// SplitMix64: a tiny seeded generator so this integration test needs no
+/// dependencies (the crate under test is std-only).
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [-1, 1).
+    fn f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (2.0 / (1u32 << 24) as f32) - 1.0
+    }
+
+    fn vec(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.f32()).collect()
+    }
+}
+
+/// Relative-error check at the tolerance the kernels guarantee.
+fn assert_close(got: f32, want: f32, what: &str) {
+    let tol = 1e-5 * want.abs().max(got.abs()).max(1.0);
+    assert!(
+        (got - want).abs() <= tol,
+        "{what}: got {got}, want {want} (tol {tol})"
+    );
+}
+
+fn assert_slices_close(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        assert_close(g, w, &format!("{what}[{i}]"));
+    }
+}
+
+/// Paths to test against the scalar reference.
+fn non_scalar_paths() -> Vec<Path> {
+    available_paths()
+        .into_iter()
+        .filter(|&p| p != Path::Scalar)
+        .collect()
+}
+
+#[test]
+fn dot_matches_scalar_on_every_path() {
+    let mut rng = Rng(11);
+    for &len in LENS {
+        for &off in OFFSETS {
+            let a = rng.vec(len + off);
+            let b = rng.vec(len + off);
+            let want = dot_on(Path::Scalar, &a[off..], &b[off..]);
+            for path in non_scalar_paths() {
+                let got = dot_on(path, &a[off..], &b[off..]);
+                assert_close(got, want, &format!("dot len={len} off={off} {path:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn axpy_matches_scalar_on_every_path() {
+    let mut rng = Rng(22);
+    for &len in LENS {
+        for &off in OFFSETS {
+            let x = rng.vec(len + off);
+            let y0 = rng.vec(len + off);
+            let alpha = rng.f32();
+            let mut want = y0.clone();
+            axpy_on(Path::Scalar, alpha, &x[off..], &mut want[off..]);
+            for path in non_scalar_paths() {
+                let mut got = y0.clone();
+                axpy_on(path, alpha, &x[off..], &mut got[off..]);
+                assert_slices_close(
+                    &got[off..],
+                    &want[off..],
+                    &format!("axpy len={len} off={off} {path:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scale_matches_scalar_on_every_path() {
+    let mut rng = Rng(33);
+    for &len in LENS {
+        for &off in OFFSETS {
+            let y0 = rng.vec(len + off);
+            let alpha = rng.f32();
+            let mut want = y0.clone();
+            scale_on(Path::Scalar, &mut want[off..], alpha);
+            for path in non_scalar_paths() {
+                let mut got = y0.clone();
+                scale_on(path, &mut got[off..], alpha);
+                assert_slices_close(
+                    &got[off..],
+                    &want[off..],
+                    &format!("scale len={len} off={off} {path:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scale_add_matches_scalar_on_every_path() {
+    let mut rng = Rng(44);
+    for &len in LENS {
+        for &off in OFFSETS {
+            let x = rng.vec(len + off);
+            let y0 = rng.vec(len + off);
+            let alpha = rng.f32();
+            let mut want = y0.clone();
+            scale_add_on(Path::Scalar, &mut want[off..], alpha, &x[off..]);
+            for path in non_scalar_paths() {
+                let mut got = y0.clone();
+                scale_add_on(path, &mut got[off..], alpha, &x[off..]);
+                assert_slices_close(
+                    &got[off..],
+                    &want[off..],
+                    &format!("scale_add len={len} off={off} {path:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn normalize_rows_matches_scalar_on_every_path() {
+    let mut rng = Rng(55);
+    for &dim in LENS {
+        let rows = 5;
+        let data = rng.vec(rows * dim);
+        let mut want = data.clone();
+        normalize_rows_on(Path::Scalar, &mut want, dim);
+        for path in non_scalar_paths() {
+            let mut got = data.clone();
+            normalize_rows_on(path, &mut got, dim);
+            assert_slices_close(&got, &want, &format!("normalize dim={dim} {path:?}"));
+        }
+        // Unit norms (except all-zero rows, which stay zero).
+        for r in 0..rows {
+            let n = squared_norm(&want[r * dim..(r + 1) * dim]).sqrt();
+            assert_close(n, 1.0, &format!("row {r} norm, dim={dim}"));
+        }
+    }
+}
+
+#[test]
+fn zero_rows_survive_normalization() {
+    for path in available_paths() {
+        let mut data = vec![0.0f32; 3 * 7];
+        normalize_rows_on(path, &mut data, 7);
+        assert!(data.iter().all(|&x| x == 0.0), "{path:?}");
+    }
+}
+
+fn atomic_row(vals: &[f32]) -> Vec<AtomicU32> {
+    vals.iter().map(|v| AtomicU32::new(v.to_bits())).collect()
+}
+
+fn plain_row(cells: &[AtomicU32]) -> Vec<f32> {
+    cells
+        .iter()
+        .map(|c| f32::from_bits(c.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// The hogwild kernels read the process-global active path, so this test
+/// owns all `force_path` toggling in this binary (the slice kernels above
+/// use the explicit `_on` variants and never touch the global state).
+#[test]
+fn hogwild_kernels_match_plain_kernels_on_every_path() {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            force_path(None);
+        }
+    }
+    let _restore = Restore;
+
+    let mut rng = Rng(66);
+    for path in available_paths() {
+        force_path(Some(path));
+        for &len in LENS {
+            let a = rng.vec(len);
+            let b = rng.vec(len);
+            let g = rng.f32();
+            let ra = atomic_row(&a);
+            let rb = atomic_row(&b);
+            let what = format!("hogwild len={len} {path:?}");
+
+            // load round-trips exactly.
+            let mut out = vec![0.0f32; len];
+            hogwild::load(&ra, &mut out);
+            assert_eq!(out, a, "{what}: load");
+
+            // dot against the scalar slice reference.
+            let want = dot_on(Path::Scalar, &a, &b);
+            assert_close(hogwild::dot(&ra, &b), want, &format!("{what}: dot"));
+            assert_close(
+                hogwild::dot_rows(&ra, &rb),
+                want,
+                &format!("{what}: dot_rows"),
+            );
+
+            // axpy: row += g * v.
+            let mut want_row = a.clone();
+            axpy_on(Path::Scalar, g, &b, &mut want_row);
+            hogwild::axpy(&ra, g, &b);
+            assert_slices_close(&plain_row(&ra), &want_row, &format!("{what}: axpy"));
+
+            // axpy_rows: dst += g * src (dst currently == want_row).
+            axpy_on(Path::Scalar, g, &b, &mut want_row);
+            hogwild::axpy_rows(&ra, g, &rb);
+            assert_slices_close(&plain_row(&ra), &want_row, &format!("{what}: axpy_rows"));
+
+            // add: row += buf.
+            for (w, &x) in want_row.iter_mut().zip(&b) {
+                *w += x;
+            }
+            hogwild::add(&ra, &b);
+            assert_slices_close(&plain_row(&ra), &want_row, &format!("{what}: add"));
+
+            // accumulate: buf += g * row.
+            let mut got_buf = b.clone();
+            hogwild::accumulate(&mut got_buf, g, &rb);
+            let mut want_buf = b.clone();
+            axpy_on(Path::Scalar, g, &b, &mut want_buf);
+            assert_slices_close(&got_buf, &want_buf, &format!("{what}: accumulate"));
+        }
+    }
+}
+
+/// Each path is internally deterministic: two runs over the same input
+/// produce bit-identical results (the per-path reproducibility DESIGN.md
+/// promises; cross-path bit-equality is explicitly *not* promised).
+#[test]
+fn each_path_is_bitwise_deterministic() {
+    let mut rng = Rng(77);
+    let a = rng.vec(257);
+    let b = rng.vec(257);
+    for path in available_paths() {
+        let d1 = dot_on(path, &a, &b);
+        let d2 = dot_on(path, &a, &b);
+        assert_eq!(d1.to_bits(), d2.to_bits(), "{path:?}");
+    }
+}

@@ -6,7 +6,7 @@
 //! tiny tight scanner groups — is exactly what the `clustering_ablation`
 //! experiment demonstrates.
 
-use crate::vectors::{dot, normalize_rows, Matrix};
+use crate::vectors::{dot, Matrix, NormalizedMatrix};
 
 /// DBSCAN configuration.
 #[derive(Clone, Debug)]
@@ -48,17 +48,19 @@ impl DbscanResult {
 /// Runs DBSCAN on the rows of `matrix` (brute-force O(n²) region queries;
 /// fine at darknet scale and exact).
 pub fn dbscan(matrix: Matrix<'_>, cfg: &DbscanConfig) -> DbscanResult {
-    let n = matrix.rows();
-    let dim = matrix.dim();
+    dbscan_normalized(&matrix.normalized(), cfg)
+}
+
+/// [`dbscan`] over an already-normalised matrix, for callers sharing one
+/// [`NormalizedMatrix`] across algorithms.
+pub fn dbscan_normalized(data: &NormalizedMatrix, cfg: &DbscanConfig) -> DbscanResult {
+    let n = data.rows();
     if n == 0 {
         return DbscanResult {
             assignment: Vec::new(),
             clusters: 0,
         };
     }
-    let mut data = matrix.data().to_vec();
-    normalize_rows(&mut data, dim);
-    let data = Matrix::new(&data, n, dim);
 
     // Cosine distance threshold as a similarity floor.
     let min_sim = (1.0 - cfg.eps) as f32;

@@ -6,7 +6,7 @@
 //! (average linkage is reducible, so NN-chain is exact). The dendrogram is
 //! then cut either at a target cluster count or at a distance threshold.
 
-use crate::vectors::{dot, normalize_rows, Matrix};
+use crate::vectors::{dot, Matrix, NormalizedMatrix};
 
 /// One merge step of the dendrogram.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -97,12 +97,17 @@ impl Dendrogram {
 /// # Panics
 /// Panics if the matrix has no rows.
 pub fn hac_average(matrix: Matrix<'_>) -> Dendrogram {
-    let n = matrix.rows();
+    hac_average_normalized(&matrix.normalized())
+}
+
+/// [`hac_average`] over an already-normalised matrix, for callers sharing
+/// one [`NormalizedMatrix`] across algorithms.
+///
+/// # Panics
+/// Panics if the matrix has no rows.
+pub fn hac_average_normalized(data: &NormalizedMatrix) -> Dendrogram {
+    let n = data.rows();
     assert!(n > 0, "cannot cluster zero rows");
-    let dim = matrix.dim();
-    let mut data = matrix.data().to_vec();
-    normalize_rows(&mut data, dim);
-    let data = Matrix::new(&data, n, dim);
 
     // Pairwise cosine distances, mutated in place by Lance-Williams.
     // dist is a flat upper-triangle-free full matrix for simplicity.

@@ -11,7 +11,7 @@
 //! a monotone transform of cosine distance — the metric everything else in
 //! this workspace uses.
 
-use crate::vectors::{normalize_rows, Matrix};
+use crate::vectors::{Matrix, NormalizedMatrix};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -49,20 +49,25 @@ pub struct KMeansResult {
     pub iterations: usize,
 }
 
-/// Runs k-Means on the rows of `matrix`.
+/// Runs k-Means on the rows of `matrix` (normalised internally).
 ///
 /// # Panics
 /// Panics if `k == 0` or `k > rows` (with at least one row).
 pub fn kmeans(matrix: Matrix<'_>, cfg: &KMeansConfig) -> KMeansResult {
+    kmeans_normalized(&matrix.normalized(), cfg)
+}
+
+/// [`kmeans`] over an already-normalised matrix, for callers sharing one
+/// [`NormalizedMatrix`] across algorithms.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > rows` (with at least one row).
+pub fn kmeans_normalized(data: &NormalizedMatrix, cfg: &KMeansConfig) -> KMeansResult {
     let _span = darkvec_obs::span!("ml.kmeans");
-    let n = matrix.rows();
-    let dim = matrix.dim();
+    let n = data.rows();
+    let dim = data.dim();
     assert!(cfg.k > 0, "k must be positive");
     assert!(cfg.k <= n, "k={} exceeds {} rows", cfg.k, n);
-
-    let mut data = matrix.data().to_vec();
-    normalize_rows(&mut data, dim);
-    let data = Matrix::new(&data, n, dim);
 
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut centroids = init_plus_plus(data, cfg.k, &mut rng);
@@ -127,7 +132,7 @@ pub fn kmeans(matrix: Matrix<'_>, cfg: &KMeansConfig) -> KMeansResult {
 }
 
 /// k-means++ seeding: first centroid uniform, then proportional to D².
-fn init_plus_plus(data: Matrix<'_>, k: usize, rng: &mut SmallRng) -> Vec<f32> {
+fn init_plus_plus(data: &NormalizedMatrix, k: usize, rng: &mut SmallRng) -> Vec<f32> {
     let n = data.rows();
     let dim = data.dim();
     let mut centroids = Vec::with_capacity(k * dim);

@@ -1,4 +1,12 @@
 //! Dense row-major matrices and the vector operations kNN needs.
+//!
+//! The arithmetic delegates to [`darkvec_kernels`], which dispatches to
+//! the best SIMD path the machine supports (see that crate's docs for the
+//! dispatch and determinism story). [`NormalizedMatrix`] is re-exported
+//! from there so every cosine-space consumer shares one normalise-once
+//! copy instead of each normalising its own.
+
+pub use darkvec_kernels::NormalizedMatrix;
 
 /// A borrowed row-major `rows × dim` matrix view.
 ///
@@ -43,13 +51,19 @@ impl<'a> Matrix<'a> {
     pub fn data(&self) -> &'a [f32] {
         self.data
     }
+
+    /// A normalise-once copy whose rows are unit-norm, for sharing across
+    /// cosine-space consumers (kNN, graphs, silhouettes, clustering).
+    pub fn normalized(&self) -> NormalizedMatrix {
+        NormalizedMatrix::from_rows(self.data, self.dim)
+    }
 }
 
-/// Dot product.
+/// Dot product (SIMD-dispatched).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    darkvec_kernels::dot(a, b)
 }
 
 /// Cosine similarity; 0 if either vector is all-zero.
@@ -69,16 +83,7 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
 /// # Panics
 /// Panics if `data.len()` is not a multiple of `dim` (`dim > 0`).
 pub fn normalize_rows(data: &mut [f32], dim: usize) {
-    assert!(dim > 0, "dim must be positive");
-    assert_eq!(data.len() % dim, 0, "buffer is not a whole number of rows");
-    for row in data.chunks_mut(dim) {
-        let norm = dot(row, row).sqrt();
-        if norm > 0.0 {
-            for x in row {
-                *x /= norm;
-            }
-        }
-    }
+    darkvec_kernels::normalize_rows(data, dim);
 }
 
 #[cfg(test)]

@@ -99,14 +99,7 @@ impl<W: Eq + Hash + Clone + Ord> Embedding<W> {
     /// product — what the kNN search wants.
     pub fn normalized(&self) -> Embedding<W> {
         let mut vectors = self.vectors.clone();
-        for row in vectors.chunks_mut(self.dim.max(1)) {
-            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
-            if norm > 0.0 {
-                for x in row {
-                    *x /= norm;
-                }
-            }
-        }
+        darkvec_kernels::normalize_rows(&mut vectors, self.dim.max(1));
         Embedding {
             vocab: self.vocab.clone(),
             vectors,

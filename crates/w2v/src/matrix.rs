@@ -8,7 +8,13 @@
 //! `f32` bit pattern and accesses it with `Ordering::Relaxed`. On x86-64
 //! (and AArch64) relaxed 32-bit loads/stores compile to plain `mov`/`ldr`,
 //! so this is the C algorithm at the C speed, without UB.
+//!
+//! The row-level math delegates to [`darkvec_kernels::hogwild`], which
+//! unrolls the latency-bound reductions (packed SIMD over atomics would be
+//! a data race, so those kernels stay scalar-per-element but break the FP
+//! dependency chain with independent accumulators).
 
+use darkvec_kernels::hogwild;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A `rows × dim` matrix of lock-free `f32` cells.
@@ -66,6 +72,16 @@ impl AtomicMatrix {
         self.cells[row * self.dim + col].store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// One row as a slice of raw atomic cells — the unit the
+    /// [`hogwild`] kernels operate on.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn row_cells(&self, row: usize) -> &[AtomicU32] {
+        &self.cells[row * self.dim..(row + 1) * self.dim]
+    }
+
     /// Copies a row into `out`.
     ///
     /// # Panics
@@ -73,24 +89,27 @@ impl AtomicMatrix {
     #[inline]
     pub fn read_row(&self, row: usize, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.dim);
-        let base = row * self.dim;
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = f32::from_bits(self.cells[base + i].load(Ordering::Relaxed));
-        }
+        hogwild::load(self.row_cells(row), out);
+    }
+
+    /// Overwrites a row from a plain buffer (store-only). Pairs with
+    /// [`read_row`](AtomicMatrix::read_row) for the snapshot → packed
+    /// update → publish pattern; see [`hogwild::store`] for the Hogwild
+    /// semantics.
+    ///
+    /// # Panics
+    /// Panics if `buf.len() != dim` (debug) or `row` is out of range.
+    #[inline]
+    pub fn write_row(&self, row: usize, buf: &[f32]) {
+        debug_assert_eq!(buf.len(), self.dim);
+        hogwild::store(self.row_cells(row), buf);
     }
 
     /// Dot product of row `a` of `self` with row `b` of `other`.
     #[inline]
     pub fn row_dot(&self, a: usize, other: &AtomicMatrix, b: usize) -> f32 {
         debug_assert_eq!(self.dim, other.dim);
-        let ba = a * self.dim;
-        let bb = b * other.dim;
-        let mut acc = 0.0f32;
-        for i in 0..self.dim {
-            acc += f32::from_bits(self.cells[ba + i].load(Ordering::Relaxed))
-                * f32::from_bits(other.cells[bb + i].load(Ordering::Relaxed));
-        }
-        acc
+        hogwild::dot_rows(self.row_cells(a), other.row_cells(b))
     }
 
     /// `self[row] += g * other[src]` — the Hogwild AXPY step. Racy by
@@ -98,57 +117,35 @@ impl AtomicMatrix {
     #[inline]
     pub fn row_axpy(&self, row: usize, g: f32, other: &AtomicMatrix, src: usize) {
         debug_assert_eq!(self.dim, other.dim);
-        let bd = row * self.dim;
-        let bs = src * other.dim;
-        for i in 0..self.dim {
-            let cur = f32::from_bits(self.cells[bd + i].load(Ordering::Relaxed));
-            let add = f32::from_bits(other.cells[bs + i].load(Ordering::Relaxed));
-            self.cells[bd + i].store((cur + g * add).to_bits(), Ordering::Relaxed);
-        }
+        hogwild::axpy_rows(self.row_cells(row), g, other.row_cells(src));
     }
 
     /// `self[row] += buf` for a thread-local accumulation buffer.
     #[inline]
     pub fn row_add(&self, row: usize, buf: &[f32]) {
         debug_assert_eq!(buf.len(), self.dim);
-        let base = row * self.dim;
-        for (i, &b) in buf.iter().enumerate() {
-            let cur = f32::from_bits(self.cells[base + i].load(Ordering::Relaxed));
-            self.cells[base + i].store((cur + b).to_bits(), Ordering::Relaxed);
-        }
+        hogwild::add(self.row_cells(row), buf);
     }
 
     /// Dot product of row `row` with a thread-local vector.
     #[inline]
     pub fn row_dot_local(&self, row: usize, v: &[f32]) -> f32 {
         debug_assert_eq!(v.len(), self.dim);
-        let base = row * self.dim;
-        let mut acc = 0.0f32;
-        for (i, &x) in v.iter().enumerate() {
-            acc += f32::from_bits(self.cells[base + i].load(Ordering::Relaxed)) * x;
-        }
-        acc
+        hogwild::dot(self.row_cells(row), v)
     }
 
     /// `self[row] += g * v` for a thread-local vector `v`.
     #[inline]
     pub fn row_axpy_local(&self, row: usize, g: f32, v: &[f32]) {
         debug_assert_eq!(v.len(), self.dim);
-        let base = row * self.dim;
-        for (i, &x) in v.iter().enumerate() {
-            let cur = f32::from_bits(self.cells[base + i].load(Ordering::Relaxed));
-            self.cells[base + i].store((cur + g * x).to_bits(), Ordering::Relaxed);
-        }
+        hogwild::axpy(self.row_cells(row), g, v);
     }
 
     /// `buf += g * self[row]` — accumulate a scaled row into a local buffer.
     #[inline]
     pub fn accumulate_row(&self, row: usize, g: f32, buf: &mut [f32]) {
         debug_assert_eq!(buf.len(), self.dim);
-        let base = row * self.dim;
-        for (i, slot) in buf.iter_mut().enumerate() {
-            *slot += g * f32::from_bits(self.cells[base + i].load(Ordering::Relaxed));
-        }
+        hogwild::accumulate(buf, g, self.row_cells(row));
     }
 
     /// Snapshots the matrix into a flat `Vec<f32>` (row-major).

@@ -80,6 +80,37 @@ mod tests {
     }
 
     #[test]
+    fn clip_boundary_is_exact_and_monotone() {
+        let t = SigmoidTable::new();
+        // Exactly ±MAX_EXP saturates; the nearest representable values
+        // inside still go through the table and stay strictly inside
+        // (0, 1), so saturation is a clean step at the boundary.
+        let below = f32::from_bits(MAX_EXP.to_bits() - 1);
+        // For negatives a smaller bit pattern is closer to zero, so this
+        // is the nearest representable value above -MAX_EXP.
+        let above = f32::from_bits((-MAX_EXP).to_bits() - 1);
+        assert_eq!(t.get(MAX_EXP), 1.0);
+        assert_eq!(t.get(-MAX_EXP), 0.0);
+        assert!(
+            t.get(below) < 1.0 && t.get(below) > 0.99,
+            "{}",
+            t.get(below)
+        );
+        assert!(
+            t.get(above) > 0.0 && t.get(above) < 0.01,
+            "{}",
+            t.get(above)
+        );
+        // The last table buckets agree with the exact sigmoid at the
+        // boundary to within the table's resolution.
+        assert!((t.get(below) - sigmoid_exact(MAX_EXP)).abs() < 5e-3);
+        assert!((t.get(above) - sigmoid_exact(-MAX_EXP)).abs() < 5e-3);
+        // Monotone across each boundary.
+        assert!(t.get(below) <= t.get(MAX_EXP));
+        assert!(t.get(-MAX_EXP) <= t.get(above));
+    }
+
+    #[test]
     fn midpoint_is_half() {
         let t = SigmoidTable::new();
         assert!((t.get(0.0) - 0.5).abs() < 1e-2);

@@ -258,8 +258,10 @@ where
                         cfg.seed ^ (tid as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
                     ),
                     sen: Vec::new(),
+                    input: vec![0.0f32; cfg.dim],
                     neu1: vec![0.0f32; cfg.dim],
                     neu1e: vec![0.0f32; cfg.dim],
+                    target: vec![0.0f32; cfg.dim],
                     local_pairs: 0,
                 };
                 let worker_start = Instant::now();
@@ -380,10 +382,23 @@ fn report_epoch(
 struct Worker {
     rng: SmallRng,
     sen: Vec<TokenId>,
+    /// Skip-gram input row, copied out of `syn0` once per (input, centre)
+    /// pair. Within one pair `syn0[input]` is constant (the updates only
+    /// write `syn1`; the input-side gradient is applied to this snapshot
+    /// and published back at pair end), so the copy is exact — and it
+    /// keeps every per-pair vector op on plain slices where the SIMD
+    /// kernels apply.
+    input: Vec<f32>,
     /// CBOW context average.
     neu1: Vec<f32>,
     /// Gradient accumulator for the input side.
     neu1e: Vec<f32>,
+    /// Output-row snapshot: the `syn1` row under update, copied out once
+    /// per (pair, target) so the dot and the gradient accumulation run on
+    /// plain slices through the SIMD kernels instead of element-wise over
+    /// atomic cells. Within one update the row is constant (its own write
+    /// comes last), so the snapshot is exact single-threaded.
+    target: Vec<f32>,
     local_pairs: u64,
 }
 
@@ -426,32 +441,37 @@ impl Worker {
                         // Input = context word, output = centre word
                         // (the word2vec.c orientation).
                         let input = self.sen[j] as usize;
+                        syn0.read_row(input, &mut self.input);
                         self.neu1e.fill(0.0);
                         match cfg.loss {
                             Loss::NegativeSampling => ns_update(
-                                syn0,
                                 syn1,
                                 sig,
                                 table.expect("table built for NS"),
                                 &mut self.rng,
                                 &mut self.neu1e,
-                                InputSide::Row(input),
+                                &mut self.target,
+                                &self.input,
                                 center,
                                 cfg.negative,
                                 alpha,
                             ),
                             Loss::HierarchicalSoftmax => hs_update(
-                                syn0,
                                 syn1,
                                 sig,
                                 tree.expect("tree built for HS"),
                                 &mut self.neu1e,
-                                InputSide::Row(input),
+                                &mut self.target,
+                                &self.input,
                                 center,
                                 alpha,
                             ),
                         }
-                        syn0.row_add(input, &self.neu1e);
+                        // Apply the input-side gradient to the snapshot
+                        // and publish it — the same snapshot/store trade
+                        // as the output rows (exact single-threaded).
+                        darkvec_kernels::axpy(1.0, &self.neu1e, &mut self.input);
+                        syn0.write_row(input, &self.input);
                         self.local_pairs += 1;
                     }
                 }
@@ -474,24 +494,24 @@ impl Worker {
                     self.neu1e.fill(0.0);
                     match cfg.loss {
                         Loss::NegativeSampling => ns_update(
-                            syn0,
                             syn1,
                             sig,
                             table.expect("table built for NS"),
                             &mut self.rng,
                             &mut self.neu1e,
-                            InputSide::Local(&self.neu1),
+                            &mut self.target,
+                            &self.neu1,
                             center,
                             cfg.negative,
                             alpha,
                         ),
                         Loss::HierarchicalSoftmax => hs_update(
-                            syn0,
                             syn1,
                             sig,
                             tree.expect("tree built for HS"),
                             &mut self.neu1e,
-                            InputSide::Local(&self.neu1),
+                            &mut self.target,
+                            &self.neu1,
                             center,
                             alpha,
                         ),
@@ -510,43 +530,23 @@ impl Worker {
     }
 }
 
-/// The input of one update: a row of `syn0` (skip-gram) or a thread-local
-/// averaged vector (CBOW).
-enum InputSide<'a> {
-    Row(usize),
-    Local(&'a [f32]),
-}
-
-impl InputSide<'_> {
-    #[inline]
-    fn dot(&self, syn0: &AtomicMatrix, syn1: &AtomicMatrix, target: usize) -> f32 {
-        match self {
-            InputSide::Row(r) => syn0.row_dot(*r, syn1, target),
-            InputSide::Local(v) => syn1.row_dot_local(target, v),
-        }
-    }
-
-    #[inline]
-    fn update_output(&self, syn0: &AtomicMatrix, syn1: &AtomicMatrix, target: usize, g: f32) {
-        match self {
-            InputSide::Row(r) => syn1.row_axpy(target, g, syn0, *r),
-            InputSide::Local(v) => syn1.row_axpy_local(target, g, v),
-        }
-    }
-}
-
 /// One positive + `negative` negative SGD updates against the unigram
-/// table. The input-side gradient is accumulated into `neu1e`.
+/// table. `input` is the input-side vector (a copy of the `syn0` row for
+/// skip-gram, the averaged context for CBOW); its gradient is accumulated
+/// into `neu1e`. `target_row` is scratch for the output-row snapshot:
+/// copying the `syn1` row out once lets the dot and the `neu1e`
+/// accumulation run through the packed SIMD kernels (which must not touch
+/// atomic cells), leaving only the final row write on the shared matrix.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn ns_update(
-    syn0: &AtomicMatrix,
     syn1: &AtomicMatrix,
     sig: &SigmoidTable,
     table: &UnigramTable,
     rng: &mut SmallRng,
     neu1e: &mut [f32],
-    input: InputSide<'_>,
+    target_row: &mut [f32],
+    input: &[f32],
     output: TokenId,
     negative: usize,
     alpha: f32,
@@ -562,35 +562,40 @@ fn ns_update(
             (t, 0.0)
         };
         let t = target as usize;
-        let f = input.dot(syn0, syn1, t);
+        syn1.read_row(t, target_row);
+        let f = darkvec_kernels::dot(target_row, input);
         let g = (label - sig.get(f)) * alpha;
-        syn1.accumulate_row(t, g, neu1e);
-        input.update_output(syn0, syn1, t, g);
+        darkvec_kernels::axpy(g, target_row, neu1e);
+        darkvec_kernels::axpy(g, input, target_row);
+        syn1.write_row(t, target_row);
     }
 }
 
-/// One decision per Huffman node on `output`'s path. The input-side
-/// gradient is accumulated into `neu1e`.
-#[inline]
+/// One decision per Huffman node on `output`'s path. `input` is the
+/// input-side vector; its gradient is accumulated into `neu1e`.
+/// `target_row` is the output-row snapshot scratch (see [`ns_update`]).
 #[allow(clippy::too_many_arguments)]
+#[inline]
 fn hs_update(
-    syn0: &AtomicMatrix,
     syn1: &AtomicMatrix,
     sig: &SigmoidTable,
     tree: &HuffmanTree,
     neu1e: &mut [f32],
-    input: InputSide<'_>,
+    target_row: &mut [f32],
+    input: &[f32],
     output: TokenId,
     alpha: f32,
 ) {
     let code = tree.code(output);
     for (&point, &bit) in code.points.iter().zip(&code.bits) {
         let t = point as usize;
-        let f = input.dot(syn0, syn1, t);
+        syn1.read_row(t, target_row);
+        let f = darkvec_kernels::dot(target_row, input);
         // Label convention of word2vec.c: g = (1 - code - sigmoid).
         let g = (1.0 - bit as f32 - sig.get(f)) * alpha;
-        syn1.accumulate_row(t, g, neu1e);
-        input.update_output(syn0, syn1, t, g);
+        darkvec_kernels::axpy(g, target_row, neu1e);
+        darkvec_kernels::axpy(g, input, target_row);
+        syn1.write_row(t, target_row);
     }
 }
 

@@ -44,6 +44,65 @@ fn full_stack_is_deterministic_for_a_seed() {
 }
 
 #[test]
+fn knn_results_are_thread_count_invariant() {
+    // The cache-blocked kNN search visits candidates in the same global
+    // order regardless of how rows are chunked across threads, so results
+    // must be byte-identical for any thread count.
+    use darkvec_ml::knn::knn_all;
+    use darkvec_ml::vectors::Matrix;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    let (rows, dim, k) = (301, 20, 5);
+    let mut rng = SmallRng::seed_from_u64(4010);
+    let data: Vec<f32> = (0..rows * dim)
+        .map(|_| rng.random_range(-1.0f32..1.0))
+        .collect();
+    let m = Matrix::new(&data, rows, dim);
+    let base = knn_all(m, k, 1);
+    for threads in [2, 8] {
+        let other = knn_all(m, k, threads);
+        assert_eq!(base, other, "knn_all diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn knn_graph_is_thread_count_invariant() {
+    use darkvec_graph::knn_graph::{build_knn_graph, KnnGraphConfig};
+    use darkvec_ml::vectors::Matrix;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    let (rows, dim) = (157, 12);
+    let mut rng = SmallRng::seed_from_u64(4011);
+    let data: Vec<f32> = (0..rows * dim)
+        .map(|_| rng.random_range(-1.0f32..1.0))
+        .collect();
+    let m = Matrix::new(&data, rows, dim);
+    let cfg = |threads| KnnGraphConfig {
+        k: 3,
+        threads,
+        mutual: false,
+    };
+    let base = build_knn_graph(m, &cfg(1));
+    for threads in [2, 8] {
+        let g = build_knn_graph(m, &cfg(threads));
+        assert_eq!(
+            base.total_weight(),
+            g.total_weight(),
+            "total weight diverged at {threads} threads"
+        );
+        for u in 0..rows as u32 {
+            assert_eq!(
+                base.neighbors(u),
+                g.neighbors(u),
+                "node {u} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn different_seeds_give_different_captures() {
     let a = simulate(&SimConfig::tiny(1));
     let b = simulate(&SimConfig::tiny(2));

@@ -165,3 +165,63 @@ fn accuracy_degrades_for_very_large_k() {
         "k=7 ({at_7:.3}) should not be worse than a huge k=75 ({at_75:.3})"
     );
 }
+
+/// Golden regression: the full fixed-seed pipeline must keep producing
+/// (numerically) the same headline metrics. Tolerances are wide enough to
+/// absorb kernel-path rounding differences (SIMD vs `--no-simd` runs are
+/// equal to ~1e-5 per operation, which training amplifies), but tight
+/// enough that a real behaviour change — a different corpus, a broken
+/// update rule, a changed tie-break — trips them.
+#[test]
+fn golden_pipeline_metrics_are_stable() {
+    use darkvec::unsupervised::{cluster_embedding, ClusterConfig};
+
+    const EXPECTED_MACRO_F1: f64 = 0.835;
+    const EXPECTED_CLUSTERS: i64 = 33;
+    const EXPECTED_MODULARITY: f64 = 0.916;
+
+    let (sim, labels) = fixture();
+    let mut cfg = test_cfg(ServiceDef::DomainKnowledge);
+    cfg.w2v.threads = 1; // bit-stable training within one kernel path
+    let model = pipeline::run(&sim.trace, &cfg);
+
+    let ev = Evaluation::prepare(&model.embedding, labels, 10, GtClass::Unknown.label(), 7, 0);
+    let report = ev.report(7, &GtClass::names());
+    let unknown = GtClass::Unknown.label();
+    let (mut f1_sum, mut classes) = (0.0f64, 0usize);
+    for row in &report.rows {
+        if row.label != unknown && row.support > 0 {
+            f1_sum += row.f_score;
+            classes += 1;
+        }
+    }
+    assert!(classes > 0, "no evaluated classes in the fixture");
+    let macro_f1 = f1_sum / classes as f64;
+
+    let clustering = cluster_embedding(
+        &model.embedding,
+        &ClusterConfig {
+            k: 3,
+            seed: SEED,
+            threads: 1,
+        },
+    );
+    println!(
+        "golden: macro_f1={macro_f1:.4} clusters={} modularity={:.4}",
+        clustering.clusters, clustering.modularity
+    );
+    assert!(
+        (macro_f1 - EXPECTED_MACRO_F1).abs() <= 0.05,
+        "macro-F1 drifted: {macro_f1:.4} vs expected {EXPECTED_MACRO_F1}"
+    );
+    assert!(
+        (clustering.clusters as i64 - EXPECTED_CLUSTERS).abs() <= 2,
+        "cluster count drifted: {} vs expected {EXPECTED_CLUSTERS}",
+        clustering.clusters
+    );
+    assert!(
+        (clustering.modularity - EXPECTED_MODULARITY).abs() <= 0.05,
+        "modularity drifted: {:.4} vs expected {EXPECTED_MODULARITY}",
+        clustering.modularity
+    );
+}
