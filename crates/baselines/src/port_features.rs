@@ -6,8 +6,8 @@
 //! top-5 port sets to compose our final feature set" — deliberately biased
 //! *toward* the GT classes (footnote 4), and still beaten by DarkVec.
 
+use darkvec_ml::ann::{knn_all_with, NeighborBackend};
 use darkvec_ml::classifier::{loo_knn_classify, Label};
-use darkvec_ml::knn::knn_all;
 use darkvec_ml::metrics::{ClassReport, ConfusionMatrix};
 use darkvec_ml::vectors::Matrix;
 use darkvec_types::stats::Counter;
@@ -23,6 +23,8 @@ pub struct PortFeatureConfig {
     pub k: usize,
     /// kNN threads (0 = all cores).
     pub threads: usize,
+    /// Neighbour-search backend for the k-NN vote (default exact).
+    pub backend: NeighborBackend,
 }
 
 impl Default for PortFeatureConfig {
@@ -31,6 +33,7 @@ impl Default for PortFeatureConfig {
             top_per_class: 5,
             k: 7,
             threads: 0,
+            backend: NeighborBackend::Exact,
         }
     }
 }
@@ -131,7 +134,7 @@ pub fn baseline_report(
     let features = build_features(trace, labels, cfg.top_per_class);
     let dim = features.ports.len().max(1);
     let matrix = Matrix::new(&features.matrix, features.senders.len(), dim);
-    let neighbors = knn_all(matrix, cfg.k, cfg.threads);
+    let neighbors = knn_all_with(&matrix.normalized(), cfg.k, cfg.threads, &cfg.backend);
     let row_labels: Vec<Label> = features.senders.iter().map(|ip| labels[ip]).collect();
     let outcome = loo_knn_classify(&neighbors, &row_labels, cfg.k);
     let mut m = ConfusionMatrix::new(names.len());
@@ -213,6 +216,7 @@ mod tests {
                 k: 3,
                 threads: 1,
                 top_per_class: 5,
+                ..Default::default()
             },
         );
         assert!(
@@ -250,6 +254,7 @@ mod tests {
                 k: 3,
                 threads: 1,
                 top_per_class: 5,
+                ..Default::default()
             },
         );
         assert!(

@@ -165,6 +165,7 @@ fn bench_symmetrisation(c: &mut Criterion) {
                         k: 3,
                         threads: 4,
                         mutual,
+                        ..Default::default()
                     },
                 );
                 louvain(&graph, 1)

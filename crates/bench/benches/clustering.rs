@@ -64,6 +64,7 @@ fn bench_knn_graph(c: &mut Criterion) {
                     k: 3,
                     threads: 4,
                     mutual: false,
+                    ..Default::default()
                 },
             )
         })
@@ -80,6 +81,7 @@ fn bench_louvain(c: &mut Criterion) {
             k: 3,
             threads: 4,
             mutual: false,
+            ..Default::default()
         },
     );
     c.bench_function("graph/louvain_1200n", |b| {

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
     let mut sim_cfg = SimConfig::default();
     let mut out_dir = PathBuf::from("results");
     let mut smoke = false;
+    let mut backend = darkvec_ml::ann::NeighborBackend::Exact;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -39,6 +40,8 @@ fn main() -> ExitCode {
                 sim_cfg = SimConfig::tiny(sim_cfg.seed);
             }
             "--no-simd" => darkvec_kernels::set_simd_enabled(false),
+            "--ann" => backend = darkvec_ml::ann::NeighborBackend::ann(),
+            "--exact" => backend = darkvec_ml::ann::NeighborBackend::Exact,
             "--scale" => match take_f64(&mut it, "--scale") {
                 Ok(v) => {
                     sim_cfg.sender_scale *= v;
@@ -88,6 +91,7 @@ fn main() -> ExitCode {
     let manifest_dir = out_dir.join("manifests");
     let mut ctx = Ctx::new(sim_cfg.clone(), out_dir);
     ctx.smoke = smoke;
+    ctx.backend = backend;
     for id in &ids {
         // Spans/metrics are process-global; reset between experiments so
         // each manifest describes exactly one experiment (the shared
@@ -172,6 +176,8 @@ fn usage() {
          --out DIR   artifact directory (default results/)\n\
          --smoke     tiny simulation + reduced workloads (CI); outputs stay in --out\n\
          --no-simd   force scalar-equivalent portable kernels (also DARKVEC_NO_SIMD=1)\n\
+         --ann       approximate HNSW neighbour search in kNN experiments\n\
+         --exact     exact brute-force neighbour search (the default)\n\
          -v          debug logging (also --log-level LEVEL or DARKVEC_LOG)\n\
          \n\
          each experiment writes a JSON run manifest under <out>/manifests/",

@@ -5,6 +5,7 @@
 use darkvec::config::{DarkVecConfig, ServiceDef};
 use darkvec::pipeline::{run as run_pipeline, TrainedModel};
 use darkvec_gen::{simulate, GroundTruth, GtClass, SimConfig, SimOutput};
+use darkvec_ml::ann::NeighborBackend;
 use darkvec_types::{io, Ipv4, Trace};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -22,6 +23,9 @@ pub struct Ctx {
     /// size their own work (e.g. `perf`) shrink it and keep all outputs
     /// under [`Ctx::out_dir`] instead of the repo root.
     pub smoke: bool,
+    /// Neighbour-search backend for kNN-based experiments (`xp --ann`
+    /// switches to HNSW; default exact, matching the paper numbers).
+    pub backend: NeighborBackend,
     sim: OnceLock<SimOutput>,
     model: OnceLock<TrainedModel>,
     last_day_labels: OnceLock<HashMap<Ipv4, GtClass>>,
@@ -35,6 +39,7 @@ impl Ctx {
             out_dir,
             verbose: true,
             smoke: false,
+            backend: NeighborBackend::Exact,
             sim: OnceLock::new(),
             model: OnceLock::new(),
             last_day_labels: OnceLock::new(),

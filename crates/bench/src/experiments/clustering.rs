@@ -4,7 +4,7 @@ use crate::table::{count, f, TextTable};
 use crate::Ctx;
 use darkvec::inspect::profile_clusters;
 use darkvec::unsupervised::{
-    cluster_embedding, dominant_labels, k_sweep, ClusterConfig, Clustering,
+    cluster_embedding, dominant_labels, k_sweep_with, ClusterConfig, Clustering,
 };
 use darkvec_gen::CampaignId;
 use darkvec_types::Ipv4;
@@ -14,7 +14,7 @@ use std::collections::HashMap;
 pub fn fig10(ctx: &Ctx) -> String {
     let model = ctx.model();
     let ks: Vec<usize> = (1..=14).collect();
-    let points = k_sweep(&model.embedding, &ks, ctx.sim_cfg.seed, 0);
+    let points = k_sweep_with(&model.embedding, &ks, ctx.sim_cfg.seed, 0, &ctx.backend);
 
     let mut out = String::from("Figure 10: impact of k' on cluster detection\n\n");
     let mut t = TextTable::new(vec!["k'", "clusters", "modularity", "graph components"]);
@@ -45,6 +45,7 @@ pub fn default_clustering(ctx: &Ctx) -> Clustering {
             k: 3,
             seed: ctx.sim_cfg.seed,
             threads: 0,
+            backend: ctx.backend.clone(),
         },
     )
 }

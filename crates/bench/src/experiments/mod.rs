@@ -2,6 +2,7 @@
 //! [`crate::Ctx`] and returns the rendered text artifact (also mirrored to
 //! `results/<id>.txt` by the `xp` binary).
 
+pub mod ann;
 pub mod baseline;
 pub mod classes;
 pub mod cluster_ablation;
@@ -41,6 +42,7 @@ pub const ALL: &[&str] = &[
     "transfer",
     "cluster_ablation",
     "perf",
+    "ann",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.
@@ -67,6 +69,7 @@ pub fn run(ctx: &Ctx, id: &str) -> Option<String> {
         "transfer" => transfer::transfer(ctx),
         "cluster_ablation" => cluster_ablation::cluster_ablation(ctx),
         "perf" => perf::perf(ctx),
+        "ann" => ann::ann(ctx),
         _ => return None,
     };
     Some(out)
@@ -85,6 +88,6 @@ mod tests {
             assert!(run(&ctx, id).is_some(), "{id} failed to run");
         }
         assert!(run(&ctx, "nope").is_none());
-        assert_eq!(ALL.len(), 21);
+        assert_eq!(ALL.len(), 22);
     }
 }

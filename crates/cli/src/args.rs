@@ -5,7 +5,7 @@ use std::collections::{HashMap, HashSet};
 
 /// Switches that take no value. Everything else must be a `--key value`
 /// pair.
-const BARE: &[&str] = &["-v", "--no-simd"];
+const BARE: &[&str] = &["-v", "--no-simd", "--ann", "--exact"];
 
 /// Parsed `--flag value` options and bare switches.
 #[derive(Debug, Default)]

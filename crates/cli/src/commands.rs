@@ -6,6 +6,7 @@ use darkvec::inspect::profile_clusters;
 use darkvec::pipeline;
 use darkvec::unsupervised::{cluster_embedding, ClusterConfig};
 use darkvec_gen::{simulate as run_sim, SimConfig};
+use darkvec_ml::ann::NeighborBackend;
 use darkvec_obs::{info, manifest, Json};
 use darkvec_types::{io, Anonymizer, Ipv4, Trace};
 use darkvec_w2v::Embedding;
@@ -196,7 +197,8 @@ pub fn similar(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `darkvec cluster --trace in.bin --model model.dkve [--k 3] [--min-size 4]`
+/// `darkvec cluster --trace in.bin --model model.dkve [--k 3] [--min-size 4]
+/// [--ann | --exact]`
 pub fn cluster(opts: &Options) -> Result<(), String> {
     let trace = load_trace(opts.require("trace")?)?;
     let model_path = opts.require("model")?;
@@ -204,19 +206,34 @@ pub fn cluster(opts: &Options) -> Result<(), String> {
     if emb.is_empty() {
         return Err("embedding is empty".to_string());
     }
+    if opts.has("ann") && opts.has("exact") {
+        return Err("--ann and --exact are mutually exclusive".to_string());
+    }
+    let backend = if opts.has("ann") {
+        NeighborBackend::ann()
+    } else {
+        NeighborBackend::Exact
+    };
     let cfg = ClusterConfig {
         k: opts.get_or("k", 3usize)?,
         seed: opts.get_or("seed", 1u64)?,
         threads: 0,
+        backend,
     };
     let min_size: usize = opts.get_or("min-size", 4usize)?;
-    info!("clustering {} senders (k'={})...", emb.len(), cfg.k);
+    info!(
+        "clustering {} senders (k'={}, {} neighbour search)...",
+        emb.len(),
+        cfg.k,
+        cfg.backend.name()
+    );
     let clustering = cluster_embedding(&emb, &cfg);
     manifest::attach(
         "cluster",
         Json::obj()
             .with("senders", emb.len())
             .with("k", cfg.k)
+            .with("backend", cfg.backend.name())
             .with("clusters", clustering.clusters)
             .with("modularity", clustering.modularity),
     );

@@ -7,10 +7,11 @@
 //! predictions for labelled senders are misclassifications). Accuracy is
 //! measured over GT classes only; the per-class report is Table 4.
 
+use darkvec_ml::ann::{knn_all_with, NeighborBackend};
 use darkvec_ml::classifier::{loo_knn_classify, Label};
-use darkvec_ml::knn::{knn_all, Neighbor};
+use darkvec_ml::knn::{knn_batch, Neighbor};
 use darkvec_ml::metrics::{ClassReport, ConfusionMatrix};
-use darkvec_ml::vectors::Matrix;
+use darkvec_ml::vectors::{Matrix, NormalizedMatrix};
 use darkvec_types::Ipv4;
 use darkvec_w2v::Embedding;
 use std::collections::HashMap;
@@ -18,6 +19,8 @@ use std::collections::HashMap;
 /// A reusable evaluation context: the kNN lists are computed once for the
 /// largest `k` and shared across the paper's k-sweep (Figure 7).
 pub struct Evaluation {
+    /// The normalised embedding matrix, kept for external queries.
+    normed: NormalizedMatrix,
     /// Neighbour lists per vocab row, sorted by decreasing similarity.
     neighbors: Vec<Vec<Neighbor>>,
     /// Voting label per vocab row (Unknown where unlabelled).
@@ -27,6 +30,7 @@ pub struct Evaluation {
     /// The label id treated as "Unknown".
     unknown: Label,
     classes: usize,
+    threads: usize,
 }
 
 impl Evaluation {
@@ -50,10 +54,33 @@ impl Evaluation {
         max_k: usize,
         threads: usize,
     ) -> Self {
+        Self::prepare_with(
+            embedding,
+            labels,
+            classes,
+            unknown,
+            max_k,
+            threads,
+            &NeighborBackend::Exact,
+        )
+    }
+
+    /// [`Evaluation::prepare`] with an explicit neighbour-search backend
+    /// for the all-rows kNN pass (exact for paper numbers, HNSW at scale).
+    #[allow(clippy::too_many_arguments)]
+    pub fn prepare_with(
+        embedding: &Embedding<Ipv4>,
+        labels: &HashMap<Ipv4, Label>,
+        classes: usize,
+        unknown: Label,
+        max_k: usize,
+        threads: usize,
+        backend: &NeighborBackend,
+    ) -> Self {
         assert!(!embedding.is_empty(), "cannot evaluate an empty embedding");
         let n = embedding.len();
-        let matrix = Matrix::new(embedding.vectors(), n, embedding.dim());
-        let neighbors = knn_all(matrix, max_k, threads);
+        let normed = Matrix::new(embedding.vectors(), n, embedding.dim()).normalized();
+        let neighbors = knn_all_with(&normed, max_k, threads, backend);
         let mut row_labels = Vec::with_capacity(n);
         let mut evaluated = Vec::with_capacity(n);
         for id in 0..n as u32 {
@@ -70,12 +97,27 @@ impl Evaluation {
             }
         }
         Evaluation {
+            normed,
             neighbors,
             labels: row_labels,
             evaluated,
             unknown,
             classes,
+            threads,
         }
+    }
+
+    /// Classifies external vectors (senders not in the embedding, e.g.
+    /// from a later trace day) by majority vote over their `k` nearest
+    /// embedded senders. Queries are `dim`-sized rows of `queries`,
+    /// answered in one batched cache-blocked scan.
+    ///
+    /// # Panics
+    /// Panics if `queries.len()` is not a multiple of the embedding
+    /// dimension or `k == 0`.
+    pub fn classify_external(&self, queries: &[f32], k: usize) -> Vec<Label> {
+        let neighbors = knn_batch(&self.normed, queries, k, self.threads);
+        loo_knn_classify(&neighbors, &self.labels, k).predictions
     }
 
     /// Classifies at a given `k` and builds the per-class report.
@@ -219,6 +261,32 @@ mod tests {
         // The unknown row has zero support now.
         assert_eq!(report.row("unknown").unwrap().support, 0);
         assert_eq!(report.row("a").unwrap().support, 4);
+    }
+
+    #[test]
+    fn external_queries_classify_by_nearest_class() {
+        let (emb, labels) = toy();
+        let ev = Evaluation::prepare(&emb, &labels, 3, 2, 3, 1);
+        // One query deep in class 0 territory, one in class 1.
+        let queries = [1.0f32, 0.0, 0.0, 1.0];
+        assert_eq!(ev.classify_external(&queries, 3), vec![0, 1]);
+        assert!(ev.classify_external(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn prepare_with_hnsw_matches_exact_on_toy_data() {
+        let (emb, labels) = toy();
+        let exact = Evaluation::prepare(&emb, &labels, 3, 2, 3, 1);
+        let ann = Evaluation::prepare_with(
+            &emb,
+            &labels,
+            3,
+            2,
+            3,
+            1,
+            &darkvec_ml::ann::NeighborBackend::ann(),
+        );
+        assert_eq!(exact.accuracy(3), ann.accuracy(3));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use darkvec_graph::components::connected_components;
 use darkvec_graph::knn_graph::{build_knn_graph_normalized, KnnGraphConfig};
 use darkvec_graph::louvain::louvain;
 use darkvec_graph::silhouette::cluster_silhouettes_normalized;
+use darkvec_ml::ann::NeighborBackend;
 use darkvec_ml::vectors::Matrix;
 use darkvec_types::Ipv4;
 use darkvec_w2v::Embedding;
@@ -20,6 +21,9 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Threads for kNN (0 = all cores).
     pub threads: usize,
+    /// Neighbour-search backend for the graph build (default exact; HNSW
+    /// for traces past the O(n²) wall).
+    pub backend: NeighborBackend,
 }
 
 impl Default for ClusterConfig {
@@ -28,6 +32,7 @@ impl Default for ClusterConfig {
             k: 3,
             seed: 1,
             threads: 0,
+            backend: NeighborBackend::Exact,
         }
     }
 }
@@ -101,6 +106,7 @@ pub fn cluster_embedding(embedding: &Embedding<Ipv4>, cfg: &ClusterConfig) -> Cl
             k: cfg.k,
             threads: cfg.threads,
             mutual: false,
+            backend: cfg.backend.clone(),
         },
     );
     let partition = louvain(&graph, cfg.seed);
@@ -122,6 +128,17 @@ pub fn k_sweep(
     seed: u64,
     threads: usize,
 ) -> Vec<KSweepPoint> {
+    k_sweep_with(embedding, ks, seed, threads, &NeighborBackend::Exact)
+}
+
+/// [`k_sweep`] with an explicit neighbour-search backend.
+pub fn k_sweep_with(
+    embedding: &Embedding<Ipv4>,
+    ks: &[usize],
+    seed: u64,
+    threads: usize,
+    backend: &NeighborBackend,
+) -> Vec<KSweepPoint> {
     // Normalise once for the whole sweep.
     let normed = Matrix::new(embedding.vectors(), embedding.len(), embedding.dim()).normalized();
     ks.iter()
@@ -132,6 +149,7 @@ pub fn k_sweep(
                     k,
                     threads,
                     mutual: false,
+                    backend: backend.clone(),
                 },
             );
             let partition = louvain(&graph, seed);
@@ -233,6 +251,7 @@ mod tests {
                 k: 3,
                 seed: 1,
                 threads: 1,
+                ..Default::default()
             },
         );
         assert_eq!(clustering.clusters, 3);
@@ -253,6 +272,7 @@ mod tests {
                 k: 3,
                 seed: 1,
                 threads: 1,
+                ..Default::default()
             },
         );
         for (c, s) in clustering.silhouette_ranking() {

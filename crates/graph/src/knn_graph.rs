@@ -6,7 +6,7 @@
 //! Louvain modularity treats a directed graph's symmetrisation).
 
 use crate::graph::Graph;
-use darkvec_ml::knn::knn_all_normalized;
+use darkvec_ml::ann::{knn_all_with, NeighborBackend};
 use darkvec_ml::vectors::{Matrix, NormalizedMatrix};
 use std::collections::HashMap;
 
@@ -20,6 +20,9 @@ pub struct KnnGraphConfig {
     /// If true (mutual mode), keep only edges selected by *both*
     /// endpoints — the ablation of DESIGN.md §4.6. Default: union mode.
     pub mutual: bool,
+    /// Neighbour-search backend: exact scan (default, used for all paper
+    /// numbers) or approximate HNSW for large traces.
+    pub backend: NeighborBackend,
 }
 
 impl Default for KnnGraphConfig {
@@ -29,6 +32,7 @@ impl Default for KnnGraphConfig {
             k: 3,
             threads: 0,
             mutual: false,
+            backend: NeighborBackend::Exact,
         }
     }
 }
@@ -49,7 +53,7 @@ pub fn build_knn_graph_normalized(matrix: &NormalizedMatrix, cfg: &KnnGraphConfi
     const WEIGHT_FLOOR: f64 = 1e-6;
     let _span = darkvec_obs::span!("graph.knn_build");
     let n = matrix.rows();
-    let neighbors = knn_all_normalized(matrix, cfg.k.max(1), cfg.threads);
+    let neighbors = knn_all_with(matrix, cfg.k.max(1), cfg.threads, &cfg.backend);
 
     // Accumulate directed selections into undirected weights.
     let mut edges: HashMap<(u32, u32), (f64, u8)> = HashMap::new();
@@ -113,6 +117,7 @@ mod tests {
                 k: 2,
                 threads: 1,
                 mutual: false,
+                ..Default::default()
             },
         );
         for u in 0..6u32 {
@@ -134,6 +139,7 @@ mod tests {
                 k: 1,
                 threads: 1,
                 mutual: false,
+                ..Default::default()
             },
         );
         let w01 = g
@@ -157,6 +163,7 @@ mod tests {
                 k: 1,
                 threads: 1,
                 mutual: false,
+                ..Default::default()
             },
         );
         let mutual = build_knn_graph(
@@ -165,6 +172,7 @@ mod tests {
                 k: 1,
                 threads: 1,
                 mutual: true,
+                ..Default::default()
             },
         );
         assert!(!union.neighbors(2).is_empty());
@@ -182,6 +190,7 @@ mod tests {
                 k: 1,
                 threads: 1,
                 mutual: false,
+                ..Default::default()
             },
         );
         let (_, w) = g.neighbors(0)[0];
@@ -192,5 +201,22 @@ mod tests {
     fn empty_matrix_builds_empty_graph() {
         let g = build_knn_graph(Matrix::new(&[], 0, 4), &KnnGraphConfig::default());
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn hnsw_backend_builds_the_same_graph_on_easy_data() {
+        let data = grouped();
+        let exact = build_knn_graph(Matrix::new(&data, 6, 2), &KnnGraphConfig::default());
+        let ann = build_knn_graph(
+            Matrix::new(&data, 6, 2),
+            &KnnGraphConfig {
+                backend: darkvec_ml::ann::NeighborBackend::ann(),
+                ..Default::default()
+            },
+        );
+        assert_eq!(exact.len(), ann.len());
+        // On a tiny well-separated fixture HNSW is exact, so the graphs
+        // carry identical structure and weight.
+        assert!((exact.total_weight() - ann.total_weight()).abs() < 1e-9);
     }
 }

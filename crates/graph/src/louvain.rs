@@ -102,13 +102,16 @@ pub fn louvain(graph: &Graph, seed: u64) -> Partition {
     }
 
     // node -> community on the *original* graph, refined level by level.
+    let start = std::time::Instant::now();
     let mut global: Vec<u32> = (0..n as u32).collect();
     let mut level_graph = graph.clone();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut levels = 0u64;
+    let mut sweeps = 0u64;
 
     loop {
-        let (local, improved) = one_level(&level_graph, &mut rng, MIN_GAIN);
+        let (local, improved, level_sweeps) = one_level(&level_graph, &mut rng, MIN_GAIN);
+        sweeps += level_sweeps;
         if !improved {
             break;
         }
@@ -131,8 +134,10 @@ pub fn louvain(graph: &Graph, seed: u64) -> Partition {
         .unwrap_or(0);
     let q = modularity(graph, &assignment);
     darkvec_obs::metrics::counter("graph.louvain.levels").add(levels);
+    darkvec_obs::metrics::counter("graph.louvain.sweeps").add(sweeps);
     darkvec_obs::metrics::gauge("graph.louvain.communities").set(communities as f64);
     darkvec_obs::metrics::gauge("graph.louvain.modularity").set(q);
+    darkvec_obs::metrics::gauge("graph.louvain.secs").set(start.elapsed().as_secs_f64());
     darkvec_obs::debug!("louvain: {levels} levels, {communities} communities, Q = {q:.4}");
     Partition {
         assignment,
@@ -142,13 +147,14 @@ pub fn louvain(graph: &Graph, seed: u64) -> Partition {
 }
 
 /// Phase 1: greedy local moving on one aggregation level. Returns the
-/// dense community assignment and whether any node moved.
-fn one_level(graph: &Graph, rng: &mut SmallRng, min_gain: f64) -> (Vec<u32>, bool) {
+/// dense community assignment, whether any node moved, and how many full
+/// sweeps over the nodes it took to converge.
+fn one_level(graph: &Graph, rng: &mut SmallRng, min_gain: f64) -> (Vec<u32>, bool, u64) {
     let n = graph.len();
     let m2 = 2.0 * graph.total_weight();
     let mut community: Vec<u32> = (0..n as u32).collect();
     if m2 == 0.0 {
-        return (community, false);
+        return (community, false, 0);
     }
     let degrees: Vec<f64> = (0..n as NodeId).map(|u| graph.degree(u)).collect();
     // tot[c]: summed degree of community c.
@@ -158,22 +164,42 @@ fn one_level(graph: &Graph, rng: &mut SmallRng, min_gain: f64) -> (Vec<u32>, boo
     order.shuffle(rng);
 
     let mut improved = false;
-    let mut neigh_weight: HashMap<u32, f64> = HashMap::new();
+    // Dense scratch reused for every node: `weight[c]` is the edge weight
+    // from the current node into community `c`, valid only where
+    // `stamp[c] == epoch` (stamping beats clearing: reset cost is the
+    // node's degree, not the community count).
+    let mut weight = vec![0.0f64; n];
+    let mut stamp = vec![0u64; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut epoch = 0u64;
+    let mut sweeps = 0u64;
     loop {
+        sweeps += 1;
         let mut moves = 0usize;
         for &u in &order {
             let cu = community[u as usize];
             // Weight from u to each neighbouring community (self-loops
             // excluded: they move with the node and cancel in the gain).
-            neigh_weight.clear();
+            epoch += 1;
+            touched.clear();
             for &(v, w) in graph.neighbors(u) {
                 if v != u {
-                    *neigh_weight.entry(community[v as usize]).or_insert(0.0) += w;
+                    let c = community[v as usize];
+                    if stamp[c as usize] != epoch {
+                        stamp[c as usize] = epoch;
+                        weight[c as usize] = 0.0;
+                        touched.push(c);
+                    }
+                    weight[c as usize] += w;
                 }
             }
             // Remove u from its community.
             tot[cu as usize] -= degrees[u as usize];
-            let w_own = neigh_weight.get(&cu).copied().unwrap_or(0.0);
+            let w_own = if stamp[cu as usize] == epoch {
+                weight[cu as usize]
+            } else {
+                0.0
+            };
 
             // Best destination: maximise ΔQ = w_uc/m − tot_c·k_u/(2m²)
             // (scaled by 2/m2 relative to the textbook formula — ordering
@@ -182,13 +208,12 @@ fn one_level(graph: &Graph, rng: &mut SmallRng, min_gain: f64) -> (Vec<u32>, boo
             let ku = degrees[u as usize];
             let mut best_c = cu;
             let mut best_gain = w_own - tot[cu as usize] * ku / m2;
-            let mut candidates: Vec<(&u32, &f64)> = neigh_weight.iter().collect();
-            candidates.sort_by_key(|(c, _)| **c);
-            for (&c, &w_uc) in candidates {
+            touched.sort_unstable();
+            for &c in &touched {
                 if c == cu {
                     continue;
                 }
-                let gain = w_uc - tot[c as usize] * ku / m2;
+                let gain = weight[c as usize] - tot[c as usize] * ku / m2;
                 if gain > best_gain + min_gain {
                     best_gain = gain;
                     best_c = c;
@@ -207,7 +232,7 @@ fn one_level(graph: &Graph, rng: &mut SmallRng, min_gain: f64) -> (Vec<u32>, boo
         improved = true;
     }
     // Renumber communities densely for the aggregation step.
-    (renumber_dense(&community), improved)
+    (renumber_dense(&community), improved, sweeps)
 }
 
 /// Phase 2: collapses communities into super-nodes.

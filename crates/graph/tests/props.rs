@@ -93,7 +93,7 @@ proptest! {
     fn knn_graph_respects_degree_bounds(rows in 2usize..40, k in 1usize..6) {
         let dim = 3;
         let data: Vec<f32> = (0..rows * dim).map(|i| ((i * 37 + 11) % 97) as f32 / 97.0).collect();
-        let g = build_knn_graph(Matrix::new(&data, rows, dim), &KnnGraphConfig { k, threads: 1, mutual: false });
+        let g = build_knn_graph(Matrix::new(&data, rows, dim), &KnnGraphConfig { k, threads: 1, mutual: false, ..Default::default() });
         prop_assert_eq!(g.len(), rows);
         // Union symmetrisation: each node has between k' (its own picks,
         // possibly merged with reciprocals) and... at most n-1 neighbours.
@@ -109,8 +109,8 @@ proptest! {
         let dim = 3;
         let data: Vec<f32> = (0..rows * dim).map(|i| ((i * 53 + 7) % 89) as f32 / 89.0).collect();
         let m = Matrix::new(&data, rows, dim);
-        let union = build_knn_graph(m, &KnnGraphConfig { k, threads: 1, mutual: false });
-        let mutual = build_knn_graph(m, &KnnGraphConfig { k, threads: 1, mutual: true });
+        let union = build_knn_graph(m, &KnnGraphConfig { k, threads: 1, mutual: false, ..Default::default() });
+        let mutual = build_knn_graph(m, &KnnGraphConfig { k, threads: 1, mutual: true, ..Default::default() });
         for u in 0..rows as u32 {
             let union_set: HashSet<u32> = union.neighbors(u).iter().map(|&(v, _)| v).collect();
             for &(v, _) in mutual.neighbors(u) {

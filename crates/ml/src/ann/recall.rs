@@ -1,0 +1,99 @@
+//! The recall harness: scores approximate neighbour lists against exact
+//! ones. `recall@k` is the standard quality metric for ANN indexes — the
+//! fraction of true k-nearest neighbours the approximate search returned,
+//! averaged over queries.
+
+use crate::knn::Neighbor;
+
+/// Mean recall@k of `approx` against the ground-truth `exact` lists:
+/// `|approx_i ∩ exact_i| / min(k, |exact_i|)` averaged over rows.
+///
+/// Only the first `k` entries of each list are considered, so one exact
+/// pass at a large `k` can score several settings. Rows whose exact list
+/// is empty (a 1-row matrix, or `k = 0` truncation) are skipped; returns
+/// 1.0 when nothing is scoreable, so trivial inputs never fail a gate.
+///
+/// # Panics
+/// Panics if the two slices have different lengths.
+pub fn recall_at_k(exact: &[Vec<Neighbor>], approx: &[Vec<Neighbor>], k: usize) -> f64 {
+    assert_eq!(
+        exact.len(),
+        approx.len(),
+        "exact and approximate result sets must cover the same queries"
+    );
+    let mut total = 0.0f64;
+    let mut scored = 0usize;
+    for (e, a) in exact.iter().zip(approx) {
+        let truth: Vec<usize> = e.iter().take(k).map(|n| n.index).collect();
+        if truth.is_empty() {
+            continue;
+        }
+        let hits = a
+            .iter()
+            .take(k)
+            .filter(|n| truth.contains(&n.index))
+            .count();
+        total += hits as f64 / truth.len() as f64;
+        scored += 1;
+    }
+    if scored == 0 {
+        1.0
+    } else {
+        total / scored as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(index: usize) -> Neighbor {
+        Neighbor {
+            index,
+            similarity: 1.0,
+        }
+    }
+
+    #[test]
+    fn perfect_and_partial_recall() {
+        let exact = vec![vec![nb(1), nb(2)], vec![nb(0), nb(3)]];
+        let same = exact.clone();
+        assert_eq!(recall_at_k(&exact, &same, 2), 1.0);
+        // Second query finds only one of two.
+        let partial = vec![vec![nb(1), nb(2)], vec![nb(0), nb(9)]];
+        assert!((recall_at_k(&exact, &partial, 2) - 0.75).abs() < 1e-12);
+        // Order within the top-k does not matter.
+        let reordered = vec![vec![nb(2), nb(1)], vec![nb(3), nb(0)]];
+        assert_eq!(recall_at_k(&exact, &reordered, 2), 1.0);
+    }
+
+    #[test]
+    fn k_truncates_both_sides() {
+        let exact = vec![vec![nb(1), nb(2), nb(3)]];
+        let approx = vec![vec![nb(1), nb(9), nb(2)]];
+        // At k=1 only the top hit counts; at k=2 the approx top-2 miss nb(2).
+        assert_eq!(recall_at_k(&exact, &approx, 1), 1.0);
+        assert!((recall_at_k(&exact, &approx, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_exact_lists_scale_the_denominator() {
+        // 2-row matrix: only one true neighbour exists even at k=5.
+        let exact = vec![vec![nb(1)], vec![nb(0)]];
+        let approx = vec![vec![nb(1)], vec![nb(0)]];
+        assert_eq!(recall_at_k(&exact, &approx, 5), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_score_one() {
+        assert_eq!(recall_at_k(&[], &[], 10), 1.0);
+        let empties = vec![Vec::new()];
+        assert_eq!(recall_at_k(&empties, &empties, 10), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same queries")]
+    fn mismatched_lengths_panic() {
+        recall_at_k(&[Vec::new()], &[], 3);
+    }
+}

@@ -12,7 +12,7 @@
 //! exact candidate order of a row-at-a-time scan — so results (including
 //! tie-breaking) are identical to the unblocked form.
 
-use crate::vectors::{dot, normalize_rows, Matrix, NormalizedMatrix};
+use crate::vectors::{dot, normalize_vec, Matrix, NormalizedMatrix};
 use std::time::Instant;
 
 /// Candidate rows per cache tile (× 50 dims × 4 bytes ≈ 50 KB, sized for
@@ -88,16 +88,35 @@ pub fn knn_all_normalized(
 /// Neighbour search for the query rows `base..base + out.len()`, blocked
 /// over candidate tiles so a tile stays cache-hot across a query block.
 fn knn_chunk(normed: &NormalizedMatrix, base: usize, out: &mut [Vec<Neighbor>], k: usize) {
+    let dim = normed.dim();
+    let queries = &normed.data()[base * dim..(base + out.len()) * dim];
+    scan_tiled(normed, queries, Some(base), out, k);
+}
+
+/// The shared cache-blocked scan: for each `dim`-sized row of `queries`
+/// (already unit-norm), the `k` most similar rows of `normed`. When the
+/// queries are themselves rows of `normed` starting at `exclude_base`,
+/// passing `Some(exclude_base)` skips each query's own row.
+fn scan_tiled(
+    normed: &NormalizedMatrix,
+    queries: &[f32],
+    exclude_base: Option<usize>,
+    out: &mut [Vec<Neighbor>],
+    k: usize,
+) {
     let n = normed.rows();
+    let dim = normed.dim();
+    debug_assert_eq!(queries.len(), out.len() * dim);
     for (b, block) in out.chunks_mut(QUERY_BLOCK).enumerate() {
-        let qbase = base + b * QUERY_BLOCK;
+        let qbase = b * QUERY_BLOCK;
         for tile_start in (0..n).step_by(TILE_ROWS) {
             let tile_end = (tile_start + TILE_ROWS).min(n);
             for (off, best) in block.iter_mut().enumerate() {
-                let query = qbase + off;
-                let q = normed.row(query);
+                let qi = qbase + off;
+                let q = &queries[qi * dim..(qi + 1) * dim];
+                let skip = exclude_base.map(|base| base + qi).unwrap_or(usize::MAX);
                 for i in tile_start..tile_end {
-                    if i == query {
+                    if i == skip {
                         continue;
                     }
                     insert_bounded(best, k, i, dot(q, normed.row(i)));
@@ -138,12 +157,62 @@ pub fn knn_query_normalized(normed: &NormalizedMatrix, query: &[f32], k: usize) 
     assert!(k > 0, "k must be positive");
     assert_eq!(query.len(), normed.dim(), "query dimension mismatch");
     let mut q = query.to_vec();
-    normalize_rows(&mut q, query.len().max(1));
-    let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
-    for i in 0..normed.rows() {
-        insert_bounded(&mut best, k, i, dot(&q, normed.row(i)));
+    normalize_vec(&mut q);
+    let mut best = vec![Vec::with_capacity(k + 1)];
+    scan_tiled(normed, &q, None, &mut best, k);
+    best.pop().expect("one query in, one result out")
+}
+
+/// Batched external-query search: for each `dim`-sized row of `queries`
+/// (*not* rows of the matrix — nothing is excluded), its `k` most similar
+/// rows of `normed`, ordered by decreasing similarity. Queries are
+/// L2-normalised internally; zero queries return neighbours with
+/// similarity 0, tie-broken by ascending row index.
+///
+/// Uses the same cache-blocked tiled scan as [`knn_all_normalized`], with
+/// query chunks spread over `threads` (0 = one per core) — the batch
+/// replacement for calling [`knn_query_normalized`] in a loop.
+///
+/// # Panics
+/// Panics if `k == 0` or `queries.len()` is not a multiple of the matrix
+/// dimension.
+pub fn knn_batch(
+    normed: &NormalizedMatrix,
+    queries: &[f32],
+    k: usize,
+    threads: usize,
+) -> Vec<Vec<Neighbor>> {
+    assert!(k > 0, "k must be positive");
+    let dim = normed.dim();
+    assert_eq!(queries.len() % dim, 0, "query batch dimension mismatch");
+    let nq = queries.len() / dim;
+    if nq == 0 {
+        return Vec::new();
     }
-    best
+    let _span = darkvec_obs::span!("ml.knn_batch");
+    darkvec_obs::metrics::counter("ml.knn.queries").add(nq as u64);
+    let mut normed_q = queries.to_vec();
+    crate::vectors::normalize_rows(&mut normed_q, dim);
+
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    }
+    .min(nq);
+
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+    let chunk = nq.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (c, out) in results.chunks_mut(chunk).enumerate() {
+            let q = &normed_q[c * chunk * dim..(c * chunk + out.len()) * dim];
+            scope.spawn(move |_| scan_tiled(normed, q, None, out, k));
+        }
+    })
+    .expect("knn_batch worker panicked");
+    results
 }
 
 #[cfg(test)]
@@ -235,5 +304,57 @@ mod tests {
     fn zero_k_panics() {
         let data = [1.0f32, 0.0];
         knn_all(Matrix::new(&data, 1, 2), 0, 1);
+    }
+
+    #[test]
+    fn zero_vector_query_returns_zero_similarities() {
+        let data = grouped_matrix();
+        let normed = Matrix::new(&data, 12, 2).normalized();
+        let res = knn_query_normalized(&normed, &[0.0, 0.0], 3);
+        assert_eq!(res.len(), 3);
+        for (rank, n) in res.iter().enumerate() {
+            assert_eq!(n.similarity, 0.0);
+            // All ties at 0: stable insertion keeps ascending row order.
+            assert_eq!(n.index, rank);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let data = grouped_matrix();
+        let normed = Matrix::new(&data, 12, 2).normalized();
+        let queries = [0.1f32, 0.95, 1.0, 0.0, -0.9, 0.1, 0.0, 0.0];
+        let batch = knn_batch(&normed, &queries, 4, 1);
+        assert_eq!(batch.len(), 4);
+        for (qi, got) in batch.iter().enumerate() {
+            let single = knn_query_normalized(&normed, &queries[qi * 2..qi * 2 + 2], 4);
+            assert_eq!(got, &single, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn batch_thread_count_is_invisible() {
+        let data = grouped_matrix();
+        let normed = Matrix::new(&data, 12, 2).normalized();
+        let queries: Vec<f32> = (0..10).flat_map(|i| [1.0 - 0.1 * i as f32, 0.2]).collect();
+        assert_eq!(
+            knn_batch(&normed, &queries, 3, 1),
+            knn_batch(&normed, &queries, 3, 4)
+        );
+    }
+
+    #[test]
+    fn empty_batch_returns_nothing() {
+        let data = grouped_matrix();
+        let normed = Matrix::new(&data, 12, 2).normalized();
+        assert!(knn_batch(&normed, &[], 3, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn batch_rejects_ragged_queries() {
+        let data = grouped_matrix();
+        let normed = Matrix::new(&data, 12, 2).normalized();
+        knn_batch(&normed, &[1.0, 0.0, 0.5], 3, 1);
     }
 }

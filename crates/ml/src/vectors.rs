@@ -86,6 +86,14 @@ pub fn normalize_rows(data: &mut [f32], dim: usize) {
     darkvec_kernels::normalize_rows(data, dim);
 }
 
+/// L2-normalises a single vector in place; the zero vector (and the empty
+/// vector) are left untouched, matching [`normalize_rows`]'s row semantics.
+pub fn normalize_vec(v: &mut [f32]) {
+    if !v.is_empty() {
+        darkvec_kernels::normalize_rows(v, v.len());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +141,19 @@ mod tests {
         // Last row normalised.
         let n = (data[4] * data[4] + data[5] * data[5]).sqrt();
         assert!((n - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_vec_handles_zero_and_empty() {
+        let mut v = vec![3.0f32, 4.0];
+        normalize_vec(&mut v);
+        assert!((v[0] - 0.6).abs() < 1e-6 && (v[1] - 0.8).abs() < 1e-6);
+        let mut z = vec![0.0f32; 3];
+        normalize_vec(&mut z);
+        assert_eq!(z, vec![0.0; 3]);
+        let mut e: Vec<f32> = Vec::new();
+        normalize_vec(&mut e); // must not panic
+        assert!(e.is_empty());
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! ANN subsystem integration tests: fixed-seed determinism, build
+//! thread-count invariance, and the recall@10 quality floor on a
+//! campaign-like clustered fixture — the properties the pipeline relies
+//! on when `--ann` replaces the exact scan.
+
+use darkvec_ml::ann::{recall_at_k, HnswConfig, HnswIndex, NeighborBackend};
+use darkvec_ml::knn::knn_all_normalized;
+use darkvec_ml::vectors::NormalizedMatrix;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A campaign-shaped fixture: `clusters` tight direction bundles plus a
+/// diffuse noise fraction, mirroring how coordinated senders embed.
+fn clustered_matrix(rows: usize, dim: usize, clusters: usize, seed: u64) -> NormalizedMatrix {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+        .collect();
+    let mut data = Vec::with_capacity(rows * dim);
+    for i in 0..rows {
+        if i % 10 == 9 {
+            // Unstructured noise sender.
+            data.extend((0..dim).map(|_| rng.random_range(-1.0f32..1.0)));
+        } else {
+            let c = &centers[i % clusters];
+            data.extend(c.iter().map(|&x| x + rng.random_range(-0.12f32..0.12)));
+        }
+    }
+    NormalizedMatrix::from_flat(data, dim)
+}
+
+#[test]
+fn fixed_seed_builds_are_identical() {
+    let m = clustered_matrix(600, 16, 8, 21);
+    let cfg = HnswConfig::default();
+    let a = HnswIndex::build(&m, &cfg, 2);
+    let b = HnswIndex::build(&m, &cfg, 2);
+    assert_eq!(a.fingerprint(), b.fingerprint(), "graphs must be identical");
+    assert_eq!(a.knn_all(10, 1), b.knn_all(10, 1));
+}
+
+#[test]
+fn build_is_invariant_to_thread_count() {
+    let m = clustered_matrix(500, 16, 6, 22);
+    let cfg = HnswConfig::default();
+    let fingerprints: Vec<u64> = [1usize, 2, 3, 8]
+        .iter()
+        .map(|&t| HnswIndex::build(&m, &cfg, t).fingerprint())
+        .collect();
+    for f in &fingerprints[1..] {
+        assert_eq!(*f, fingerprints[0], "thread count changed the graph");
+    }
+    // Query side too: chunked parallel queries equal serial queries.
+    let index = HnswIndex::build(&m, &cfg, 4);
+    assert_eq!(index.knn_all(5, 1), index.knn_all(5, 7));
+}
+
+#[test]
+fn recall_at_10_clears_the_quality_floor() {
+    // The property the `xp ann` CI gate enforces at benchmark scale,
+    // checked here at test scale: >= 0.95 recall@10 on clustered data.
+    let m = clustered_matrix(2000, 24, 12, 23);
+    let exact = knn_all_normalized(&m, 10, 0);
+    let index = HnswIndex::build(&m, &HnswConfig::default(), 0);
+    let approx = index.knn_all(10, 0);
+    let recall = recall_at_k(&exact, &approx, 10);
+    assert!(recall >= 0.95, "recall@10 = {recall:.4}, expected >= 0.95");
+}
+
+#[test]
+fn backend_plumbing_returns_equivalent_shapes() {
+    let m = clustered_matrix(300, 8, 4, 24);
+    let exact = darkvec_ml::ann::knn_all_with(&m, 7, 1, &NeighborBackend::Exact);
+    let ann = darkvec_ml::ann::knn_all_with(&m, 7, 1, &NeighborBackend::ann());
+    assert_eq!(exact.len(), ann.len());
+    let recall = recall_at_k(&exact, &ann, 7);
+    assert!(recall >= 0.9, "backend recall@7 = {recall:.4}");
+}

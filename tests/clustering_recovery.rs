@@ -26,6 +26,7 @@ fn fixture() -> &'static (SimOutput, TrainedModel, Clustering) {
                 k: 3,
                 seed: SEED,
                 threads: 0,
+                ..Default::default()
             },
         );
         (sim, model, clustering)

@@ -29,6 +29,7 @@ fn full_stack_is_deterministic_for_a_seed() {
             k: 3,
             seed: 9,
             threads: 1,
+            ..Default::default()
         },
     );
     let cb = cluster_embedding(
@@ -37,6 +38,7 @@ fn full_stack_is_deterministic_for_a_seed() {
             k: 3,
             seed: 9,
             threads: 1,
+            ..Default::default()
         },
     );
     assert_eq!(ca.assignment, cb.assignment);
@@ -83,6 +85,7 @@ fn knn_graph_is_thread_count_invariant() {
         k: 3,
         threads,
         mutual: false,
+        ..Default::default()
     };
     let base = build_knn_graph(m, &cfg(1));
     for threads in [2, 8] {

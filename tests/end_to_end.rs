@@ -204,6 +204,7 @@ fn golden_pipeline_metrics_are_stable() {
             k: 3,
             seed: SEED,
             threads: 1,
+            ..Default::default()
         },
     );
     println!(
