@@ -10,6 +10,7 @@ pub mod clustering;
 pub mod comparison;
 pub mod dataset;
 pub mod gt_extension;
+pub mod incremental;
 pub mod perclass;
 pub mod perf;
 pub mod rasters;
@@ -43,6 +44,7 @@ pub const ALL: &[&str] = &[
     "cluster_ablation",
     "perf",
     "ann",
+    "incremental",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.
@@ -70,6 +72,7 @@ pub fn run(ctx: &Ctx, id: &str) -> Option<String> {
         "cluster_ablation" => cluster_ablation::cluster_ablation(ctx),
         "perf" => perf::perf(ctx),
         "ann" => ann::ann(ctx),
+        "incremental" => incremental::incremental(ctx),
         _ => return None,
     };
     Some(out)
@@ -88,6 +91,6 @@ mod tests {
             assert!(run(&ctx, id).is_some(), "{id} failed to run");
         }
         assert!(run(&ctx, "nope").is_none());
-        assert_eq!(ALL.len(), 22);
+        assert_eq!(ALL.len(), 23);
     }
 }

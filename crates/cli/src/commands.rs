@@ -1,9 +1,11 @@
 //! Command implementations.
 
 use crate::args::Options;
-use darkvec::config::{DarkVecConfig, ServiceDef};
+use darkvec::cache::ArtifactCache;
+use darkvec::config::{DarkVecConfig, ServiceDef, SlidingWindow};
+use darkvec::incremental::{run_sliding, IncrementalOptions};
 use darkvec::inspect::profile_clusters;
-use darkvec::pipeline;
+use darkvec::pipeline::{self, TrainedModel};
 use darkvec::unsupervised::{cluster_embedding, ClusterConfig};
 use darkvec_gen::{simulate as run_sim, SimConfig};
 use darkvec_ml::ann::NeighborBackend;
@@ -95,10 +97,24 @@ pub fn anonymize(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `darkvec train --trace in.bin --out model.dkve [--services domain] ...`
-pub fn train(opts: &Options) -> Result<(), String> {
-    let trace = load_trace(opts.require("trace")?)?;
-    let out = opts.require("out")?;
+/// Loads a model file in either format: the full `DKVM` model written by
+/// `train`/`incremental`, or a bare `DKVE` embedding (the pre-DKVM format,
+/// still produced by `Embedding::save`). Commands that only need vectors
+/// accept both, so old model files keep working.
+fn load_embedding(path: &str) -> Result<Embedding<Ipv4>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.starts_with(pipeline::MODEL_MAGIC) {
+        TrainedModel::from_bytes(&bytes[..])
+            .map(|m| m.embedding)
+            .map_err(|e| format!("{path}: {e}"))
+    } else {
+        Embedding::<Ipv4>::from_bytes(&bytes[..]).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Builds the pipeline configuration shared by `train` and `incremental`
+/// from command-line flags.
+fn pipeline_config(opts: &Options) -> Result<DarkVecConfig, String> {
     let service = match opts.get("services").unwrap_or("domain") {
         "domain" => ServiceDef::DomainKnowledge,
         "single" => ServiceDef::Single,
@@ -119,6 +135,14 @@ pub fn train(opts: &Options) -> Result<(), String> {
     cfg.w2v.window = opts.get_or("window", 25usize)?;
     cfg.w2v.epochs = opts.get_or("epochs", 10usize)?;
     cfg.w2v.seed = opts.get_or("seed", 1u64)?;
+    Ok(cfg)
+}
+
+/// `darkvec train --trace in.bin --out model.dkvm [--services domain] ...`
+pub fn train(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts.require("trace")?)?;
+    let out = opts.require("out")?;
+    let cfg = pipeline_config(opts)?;
 
     info!(
         "training DarkVec (V={}, c={}, {} epochs) on {} packets...",
@@ -146,10 +170,9 @@ pub fn train(opts: &Options) -> Result<(), String> {
             .with("seed", cfg.w2v.seed),
     );
     let model = pipeline::run(&trace, &cfg);
-    model
-        .embedding
-        .save(out)
-        .map_err(|e| format!("{out}: {e}"))?;
+    // The full DKVM model (embedding + service map + config hash), so a
+    // later load can verify it matches the configuration it runs under.
+    model.save(out).map_err(|e| format!("{out}: {e}"))?;
     manifest::attach(
         "corpus",
         Json::obj()
@@ -183,7 +206,7 @@ pub fn similar(opts: &Options) -> Result<(), String> {
         .parse()
         .map_err(|e| format!("--ip: {e}"))?;
     let top: usize = opts.get_or("top", 10usize)?;
-    let emb = Embedding::<Ipv4>::load(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    let emb = load_embedding(model_path)?;
     if emb.get(&ip).is_none() {
         return Err(format!(
             "{ip} is not in the embedding ({} senders)",
@@ -202,7 +225,7 @@ pub fn similar(opts: &Options) -> Result<(), String> {
 pub fn cluster(opts: &Options) -> Result<(), String> {
     let trace = load_trace(opts.require("trace")?)?;
     let model_path = opts.require("model")?;
-    let emb = Embedding::<Ipv4>::load(model_path).map_err(|e| format!("{model_path}: {e}"))?;
+    let emb = load_embedding(model_path)?;
     if emb.is_empty() {
         return Err("embedding is empty".to_string());
     }
@@ -242,11 +265,7 @@ pub fn cluster(opts: &Options) -> Result<(), String> {
         clustering.clusters, clustering.modularity
     );
     let mut profiles = profile_clusters(&trace, &emb, &clustering);
-    profiles.sort_by(|a, b| {
-        b.silhouette
-            .partial_cmp(&a.silhouette)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    profiles.sort_by(|a, b| b.silhouette.total_cmp(&a.silhouette));
     for p in profiles.iter().filter(|p| p.ips >= min_size) {
         println!("{}", p.summary());
         if p.subnets24 == 1 && p.ips > 2 {
@@ -260,6 +279,132 @@ pub fn cluster(opts: &Options) -> Result<(), String> {
                 p.hourly_cv
             );
         }
+    }
+    Ok(())
+}
+
+/// `darkvec incremental --trace in.bin [--window-days 30] [--stride 1]
+/// [--warm-epochs 2] [--k 3] [--cache DIR] [--out model.dkvm]`
+///
+/// Slides a `--window-days` window over the capture in `--stride`-day
+/// steps. Each step warm-starts from the previous step's model
+/// (`--warm-epochs 0` forces cold retrains) and, with `--cache DIR`,
+/// per-day corpora, models and kNN lists are content-addressed on disk so
+/// an identical re-run is served from cache. `--k 0` skips clustering;
+/// `--out` saves the final step's model.
+pub fn incremental(opts: &Options) -> Result<(), String> {
+    let trace = load_trace(opts.require("trace")?)?;
+    let mut cfg = pipeline_config(opts)?;
+    cfg.window = SlidingWindow {
+        days: opts.get_or("window-days", 30u64)?,
+        stride: opts.get_or("stride", 1u64)?,
+    };
+    if cfg.window.days == 0 || cfg.window.stride == 0 {
+        return Err("--window-days and --stride must be positive".to_string());
+    }
+    if cfg.dt == 0 || !darkvec_types::DAY.is_multiple_of(cfg.dt) {
+        return Err(format!("--dt ({}) must divide a day", cfg.dt));
+    }
+    let k: usize = opts.get_or("k", 3usize)?;
+    let run_opts = IncrementalOptions {
+        warm_epochs: opts.get_or("warm-epochs", 2usize)?,
+        cluster_k: (k > 0).then_some(k),
+    };
+    let cache = match opts.get("cache") {
+        Some(dir) => Some(ArtifactCache::new(dir).map_err(|e| format!("{dir}: {e}"))?),
+        None => None,
+    };
+
+    info!(
+        "incremental run: {} days of traffic, window {} days, stride {}, {}",
+        trace.days(),
+        cfg.window.days,
+        cfg.window.stride,
+        if run_opts.warm_epochs > 0 {
+            format!("warm-start ({} epochs)", run_opts.warm_epochs)
+        } else {
+            "cold retrain each step".to_string()
+        }
+    );
+    manifest::attach(
+        "config",
+        Json::obj()
+            .with("window_days", cfg.window.days)
+            .with("stride", cfg.window.stride)
+            .with("warm_epochs", run_opts.warm_epochs as u64)
+            .with("k", k as u64)
+            .with("cache", opts.get("cache").unwrap_or("none"))
+            .with("fingerprint", cfg.fingerprint()),
+    );
+
+    let steps = run_sliding(&trace, &cfg, &run_opts, cache.as_ref());
+    if steps.is_empty() {
+        return Err("trace is empty: nothing to slide over".to_string());
+    }
+
+    println!("  days        senders  source   clusters  modularity  train[s]  step[s]");
+    for s in &steps {
+        let source = if s.from_cache {
+            "cache"
+        } else if s.warm {
+            "warm"
+        } else {
+            "cold"
+        };
+        let (clusters, modularity) = s
+            .clustering
+            .as_ref()
+            .map(|c| (c.clusters.to_string(), format!("{:.3}", c.modularity)))
+            .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
+        println!(
+            "  {:>3}..={:<3} {:>10}  {source:<6} {clusters:>9}  {modularity:>10}  {:>8.2}  {:>7.2}",
+            s.start_day,
+            s.end_day,
+            s.model.embedding.len(),
+            s.train_secs,
+            s.step_secs
+        );
+    }
+    manifest::attach(
+        "incremental",
+        Json::obj()
+            .with("steps", steps.len())
+            .with("warm_steps", steps.iter().filter(|s| s.warm).count())
+            .with(
+                "cached_steps",
+                steps.iter().filter(|s| s.from_cache).count(),
+            )
+            .with(
+                "train_secs",
+                steps.iter().map(|s| s.train_secs).sum::<f64>(),
+            ),
+    );
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        println!(
+            "cache: {} hits, {} misses, {} stores ({})",
+            stats.hits,
+            stats.misses,
+            stats.stores,
+            cache.root().display()
+        );
+        manifest::attach(
+            "cache",
+            Json::obj()
+                .with("hits", stats.hits)
+                .with("misses", stats.misses)
+                .with("stores", stats.stores),
+        );
+    }
+    if let Some(out) = opts.get("out") {
+        let last = steps.last().expect("steps is non-empty");
+        last.model.save(out).map_err(|e| format!("{out}: {e}"))?;
+        info!(
+            "wrote {out}: final model of days {}..={} ({} senders)",
+            last.start_day,
+            last.end_day,
+            last.model.embedding.len()
+        );
     }
     Ok(())
 }
@@ -333,8 +478,9 @@ mod tests {
             ("epochs", "3"),
         ]))
         .unwrap();
-        // Pick an embedded sender to query.
-        let emb = Embedding::<Ipv4>::load(&model_path).unwrap();
+        // Pick an embedded sender to query (train writes the full DKVM
+        // model now; the loader accepts it).
+        let emb = load_embedding(&model_path).unwrap();
         assert!(!emb.is_empty());
         let probe = emb.vocab().word(0).to_string();
         similar(&opts(&[
@@ -414,6 +560,78 @@ mod tests {
         .unwrap();
         let err = similar(&opts(&[("model", &model_path), ("ip", "203.0.113.99")])).unwrap_err();
         assert!(err.contains("not in the embedding"));
+    }
+
+    #[test]
+    fn legacy_bare_embedding_files_still_load() {
+        let trace_path = tmp("legacy.bin");
+        let model_path = tmp("legacy-full.dkvm");
+        let bare_path = tmp("legacy-bare.dkve");
+        simulate(&opts(&[
+            ("out", &trace_path),
+            ("days", "2"),
+            ("scale", "0.005"),
+            ("backscatter", "false"),
+        ]))
+        .unwrap();
+        train(&opts(&[
+            ("trace", &trace_path),
+            ("out", &model_path),
+            ("dim", "8"),
+            ("window", "4"),
+            ("epochs", "1"),
+        ]))
+        .unwrap();
+        // Re-save just the embedding in the old bare DKVE format; `similar`
+        // must accept both files and agree between them.
+        let full = load_embedding(&model_path).unwrap();
+        full.save(&bare_path).unwrap();
+        let bare = load_embedding(&bare_path).unwrap();
+        assert_eq!(full.vectors(), bare.vectors());
+        let probe = full.vocab().word(0).to_string();
+        similar(&opts(&[("model", &bare_path), ("ip", &probe)])).unwrap();
+        similar(&opts(&[("model", &model_path), ("ip", &probe)])).unwrap();
+    }
+
+    #[test]
+    fn incremental_runs_and_reuses_its_cache() {
+        let trace_path = tmp("incr.bin");
+        let model_path = tmp("incr.dkvm");
+        let cache_dir = tmp("incr-cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        simulate(&opts(&[
+            ("out", &trace_path),
+            ("days", "4"),
+            ("scale", "0.01"),
+            ("rate-scale", "0.4"),
+            ("backscatter", "false"),
+            ("seed", "5"),
+        ]))
+        .unwrap();
+        let run = |extra: &[(&str, &str)]| {
+            let mut pairs = vec![
+                ("trace", trace_path.as_str()),
+                ("window-days", "2"),
+                ("stride", "1"),
+                ("dim", "8"),
+                ("window", "4"),
+                ("epochs", "2"),
+                ("warm-epochs", "1"),
+                ("min-packets", "3"),
+                ("cache", cache_dir.as_str()),
+            ];
+            pairs.extend_from_slice(extra);
+            incremental(&opts(&pairs))
+        };
+        run(&[("out", &model_path)]).unwrap();
+        // The saved final model is a loadable DKVM file.
+        assert!(!load_embedding(&model_path).unwrap().is_empty());
+        // Second identical run is served from the populated cache.
+        run(&[]).unwrap();
+        // Flag validation.
+        assert!(incremental(&opts(&[("trace", &trace_path), ("stride", "0")])).is_err());
+        assert!(incremental(&opts(&[("trace", &trace_path), ("dt", "9999")])).is_err());
+        let _ = std::fs::remove_dir_all(&cache_dir);
     }
 
     #[test]

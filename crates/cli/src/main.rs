@@ -3,17 +3,21 @@
 //! ```text
 //! darkvec simulate  --out trace.bin [--days 30] [--scale 0.1] [--seed 1]
 //! darkvec anonymize --trace trace.bin --out anon.bin --key <hex>
-//! darkvec train     --trace trace.bin --out model.dkve [--services domain|auto|single]
+//! darkvec train     --trace trace.bin --out model.dkvm [--services domain|auto|single]
 //!                   [--dim 50] [--window 25] [--epochs 10] [--min-packets 10]
-//! darkvec similar   --model model.dkve --ip 1.2.3.4 [--top 10]
-//! darkvec cluster   --trace trace.bin --model model.dkve [--k 3] [--min-size 4]
+//! darkvec incremental --trace trace.bin [--window-days 30] [--stride 1]
+//!                   [--warm-epochs 2] [--k 3] [--cache DIR] [--out model.dkvm]
+//! darkvec similar   --model model.dkvm --ip 1.2.3.4 [--top 10]
+//! darkvec cluster   --trace trace.bin --model model.dkvm [--k 3] [--min-size 4]
 //!                   [--ann | --exact]
 //! darkvec stats     --trace trace.bin
 //! darkvec export    --trace trace.bin --out trace.csv
 //! ```
 //!
-//! Traces are the binary format of `darkvec-types::io` (`.bin`) or CSV;
-//! models are `darkvec-w2v` embedding files (`.dkve`).
+//! Traces are the binary format of `darkvec-types::io` (`.bin`) or CSV.
+//! Models are full `.dkvm` files (embedding + service map + config hash);
+//! commands that only read vectors also accept the older bare `.dkve`
+//! embedding format.
 //!
 //! Observability flags, accepted by every command:
 //!
@@ -60,6 +64,7 @@ fn main() -> ExitCode {
         "simulate" => commands::simulate(&opts),
         "anonymize" => commands::anonymize(&opts),
         "train" => commands::train(&opts),
+        "incremental" => commands::incremental(&opts),
         "similar" => commands::similar(&opts),
         "cluster" => commands::cluster(&opts),
         "stats" => commands::stats(&opts),
@@ -129,6 +134,8 @@ fn usage() -> &'static str {
        simulate   generate a synthetic darknet capture\n\
        anonymize  prefix-preserving anonymisation of a capture\n\
        train      train a DarkVec sender embedding from a capture\n\
+       incremental slide a training window day by day, warm-starting each\n\
+                  step from the last and caching artifacts (--cache DIR)\n\
        similar    query an embedding for a sender's nearest neighbours\n\
        cluster    discover coordinated sender groups (kNN graph + Louvain)\n\
        stats      dataset summary of a capture\n\
@@ -137,7 +144,7 @@ fn usage() -> &'static str {
      \n\
      common flags:\n\
        --trace FILE       input capture (.bin or .csv)\n\
-       --model FILE       embedding file (.dkve)\n\
+       --model FILE       model file (.dkvm, or a bare .dkve embedding)\n\
        --out FILE         output path\n\
        -v                 debug logging (also --log-level LEVEL, DARKVEC_LOG)\n\
        --no-simd          force scalar compute kernels (also DARKVEC_NO_SIMD=1)\n\

@@ -15,6 +15,29 @@ pub enum ServiceDef {
     DomainKnowledge,
 }
 
+/// The sliding window of the incremental pipeline: each step trains on the
+/// most recent `days` days and the window advances by `stride` days between
+/// steps (§6.2.1 evaluates training-window length; the incremental runner
+/// warm-starts each step from the previous one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlidingWindow {
+    /// Days of traffic per training window.
+    pub days: u64,
+    /// Days the window advances between steps.
+    pub stride: u64,
+}
+
+impl Default for SlidingWindow {
+    fn default() -> Self {
+        // The paper's best supervised setting trains on a 30-day window;
+        // stride 1 re-embeds every day, the deployment cadence of §8.
+        SlidingWindow {
+            days: 30,
+            stride: 1,
+        }
+    }
+}
+
 /// Full DarkVec configuration.
 ///
 /// The default is the paper's best setting: domain-knowledge services,
@@ -29,6 +52,9 @@ pub struct DarkVecConfig {
     pub min_packets: u64,
     /// Word2Vec hyper-parameters (dimension `V`, window `c`, epochs, …).
     pub w2v: TrainConfig,
+    /// Sliding window of the incremental pipeline ([`crate::incremental`]).
+    /// Ignored by the one-shot [`crate::pipeline::run`].
+    pub window: SlidingWindow,
 }
 
 impl Default for DarkVecConfig {
@@ -44,11 +70,45 @@ impl Default for DarkVecConfig {
                 min_count: 1,
                 ..TrainConfig::default()
             },
+            window: SlidingWindow::default(),
         }
     }
 }
 
 impl DarkVecConfig {
+    /// A canonical string of every parameter that determines the *trained
+    /// artifacts* — the cache-key material. Excludes execution details that
+    /// change wall clock but not (single-threaded) results: thread count
+    /// and the observer. Excludes the sliding window too: a per-day corpus
+    /// or per-window model is the same artifact whichever window schedule
+    /// requested it.
+    pub fn fingerprint(&self) -> String {
+        let w = &self.w2v;
+        format!(
+            "service={:?};dt={};min_packets={};arch={:?};loss={:?};dim={};window={};negative={};epochs={};alpha={};min_alpha={};subsample={};min_count={};seed={}",
+            self.service,
+            self.dt,
+            self.min_packets,
+            w.arch,
+            w.loss,
+            w.dim,
+            w.window,
+            w.negative,
+            w.epochs,
+            w.alpha,
+            w.min_alpha,
+            w.subsample,
+            w.min_count,
+            w.seed,
+        )
+    }
+
+    /// FNV-1a hash of [`DarkVecConfig::fingerprint`] — the compact form
+    /// cache keys and model files embed.
+    pub fn fingerprint_hash(&self) -> u64 {
+        crate::cache::fnv1a64(self.fingerprint().as_bytes())
+    }
+
     /// A configuration sized for fast unit tests (small model, 1 thread,
     /// deterministic).
     pub fn test_size(seed: u64) -> Self {
@@ -86,5 +146,32 @@ mod tests {
         assert_eq!(ServiceDef::Auto(10), ServiceDef::Auto(10));
         assert_ne!(ServiceDef::Auto(10), ServiceDef::Auto(5));
         assert_ne!(ServiceDef::Single, ServiceDef::DomainKnowledge);
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_parameters_only() {
+        let base = DarkVecConfig::default();
+        assert_eq!(
+            base.fingerprint_hash(),
+            DarkVecConfig::default().fingerprint_hash()
+        );
+
+        let mut seed = base.clone();
+        seed.w2v.seed += 1;
+        assert_ne!(base.fingerprint_hash(), seed.fingerprint_hash());
+
+        let mut dt = base.clone();
+        dt.dt *= 2;
+        assert_ne!(base.fingerprint_hash(), dt.fingerprint_hash());
+
+        // Execution details and the window schedule do not change what a
+        // cached artifact *is*.
+        let mut threads = base.clone();
+        threads.w2v.threads = 7;
+        assert_eq!(base.fingerprint_hash(), threads.fingerprint_hash());
+
+        let mut win = base.clone();
+        win.window = SlidingWindow { days: 4, stride: 2 };
+        assert_eq!(base.fingerprint_hash(), win.fingerprint_hash());
     }
 }

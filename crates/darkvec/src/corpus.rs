@@ -8,6 +8,7 @@
 //! "has marginal impact on performance").
 
 use crate::services::ServiceMap;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use darkvec_types::{Ipv4, Trace, HOUR};
 
 /// Summary of a built corpus — the "Skip-grams" column of Table 3 comes
@@ -52,6 +53,77 @@ pub fn build_corpus(trace: &Trace, services: &ServiceMap, dt: u64) -> Vec<Vec<Ip
 /// Builds the corpus with the paper's default ΔT of one hour.
 pub fn build_corpus_hourly(trace: &Trace, services: &ServiceMap) -> Vec<Vec<Ipv4>> {
     build_corpus(trace, services, HOUR)
+}
+
+/// Builds the corpus of one capture day (zero-based, absolute day index) —
+/// the shard unit of the incremental pipeline.
+///
+/// The day's packets go through [`build_corpus`] *unfiltered*: activity
+/// filtering is deferred to the trainer's `min_count`, because a per-day
+/// shard cannot know which senders are active over the whole sliding
+/// window. As long as `dt` divides the day length, concatenating day
+/// shards reproduces exactly the sentences [`build_corpus`] emits for the
+/// whole span (ΔT windows are aligned to the dt grid, so none straddles a
+/// day boundary).
+///
+/// # Panics
+/// Panics if `dt == 0`.
+pub fn build_day_corpus(trace: &Trace, day: u64, services: &ServiceMap, dt: u64) -> Vec<Vec<Ipv4>> {
+    let day_trace = Trace::from_sorted(trace.day_slice(day).to_vec());
+    build_corpus(&day_trace, services, dt)
+}
+
+/// Serialises a corpus for the artifact cache ("DKVC" format, version 1).
+pub fn corpus_to_bytes(corpus: &[Vec<Ipv4>]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_slice(b"DKVC");
+    buf.put_u8(1);
+    buf.put_u32_le(corpus.len() as u32);
+    for sentence in corpus {
+        buf.put_u32_le(sentence.len() as u32);
+        for ip in sentence {
+            buf.put_u32_le(ip.0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Inverse of [`corpus_to_bytes`]; fails cleanly on truncated or corrupt
+/// input.
+pub fn corpus_from_bytes(mut buf: impl Buf) -> Result<Vec<Vec<Ipv4>>, String> {
+    if buf.remaining() < 9 {
+        return Err("truncated corpus: missing header".to_string());
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != b"DKVC" {
+        return Err("not a DKVC corpus file".to_string());
+    }
+    let version = buf.get_u8();
+    if version != 1 {
+        return Err(format!("unsupported DKVC version {version}"));
+    }
+    let sentences = buf.get_u32_le() as usize;
+    // Every sentence costs at least its 4-byte length prefix.
+    if buf.remaining() < sentences * 4 {
+        return Err("truncated corpus: header promises more sentences than remain".to_string());
+    }
+    let mut corpus = Vec::with_capacity(sentences);
+    for _ in 0..sentences {
+        if buf.remaining() < 4 {
+            return Err("truncated corpus: missing sentence length".to_string());
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len * 4 {
+            return Err("truncated corpus: sentence overruns buffer".to_string());
+        }
+        let mut sentence = Vec::with_capacity(len);
+        for _ in 0..len {
+            sentence.push(Ipv4(buf.get_u32_le()));
+        }
+        corpus.push(sentence);
+    }
+    Ok(corpus)
 }
 
 /// Computes summary statistics of a corpus.
@@ -148,6 +220,56 @@ mod tests {
         assert!(minutely.sentences > hourly.sentences);
         assert!(minutely.max_len < hourly.max_len);
         assert_eq!(minutely.tokens, hourly.tokens);
+    }
+
+    #[test]
+    fn day_shards_concatenate_to_full_corpus() {
+        use darkvec_types::DAY;
+        // Three days of traffic; dt = 1h divides the day, so no window
+        // straddles a day boundary and shards concatenate exactly.
+        let trace = Trace::new(
+            (0..500u64)
+                .map(|i| pkt(i * 511 % (3 * DAY), (i % 13) as u8, 23 + (i % 4) as u16))
+                .collect(),
+        );
+        let m = ServiceMap::domain_knowledge();
+        let full = build_corpus(&trace, &m, HOUR);
+        let mut sharded = Vec::new();
+        for day in 0..trace.days() {
+            sharded.extend(build_day_corpus(&trace, day, &m, HOUR));
+        }
+        assert_eq!(full, sharded);
+    }
+
+    #[test]
+    fn corpus_bytes_round_trip() {
+        let corpus = vec![vec![ip(1), ip(2)], vec![], vec![ip(3)]];
+        let bytes = corpus_to_bytes(&corpus);
+        assert_eq!(corpus_from_bytes(&bytes[..]).unwrap(), corpus);
+        // Empty corpus too.
+        let empty: Vec<Vec<Ipv4>> = Vec::new();
+        let bytes = corpus_to_bytes(&empty);
+        assert_eq!(corpus_from_bytes(&bytes[..]).unwrap(), empty);
+    }
+
+    #[test]
+    fn corpus_from_bytes_rejects_truncation_and_corruption() {
+        let corpus = vec![vec![ip(1), ip(2)], vec![ip(3)]];
+        let bytes = corpus_to_bytes(&corpus);
+        for cut in 0..bytes.len() {
+            assert!(
+                corpus_from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(corpus_from_bytes(&bad[..]).is_err());
+        // A header promising far more sentences than the buffer holds must
+        // fail without allocating for them.
+        let mut huge = bytes.to_vec();
+        huge[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(corpus_from_bytes(&huge[..]).is_err());
     }
 
     #[test]

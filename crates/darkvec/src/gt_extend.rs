@@ -75,11 +75,7 @@ pub fn extend_ground_truth(
             });
         }
     }
-    out.sort_by(|a, b| {
-        a.avg_distance
-            .partial_cmp(&b.avg_distance)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    out.sort_by(|a, b| a.avg_distance.total_cmp(&b.avg_distance));
     out
 }
 

@@ -1,0 +1,440 @@
+//! Incremental sliding-window pipeline (§8 deployment cadence): instead of
+//! retraining one monolithic model per month, the trace is sharded per
+//! capture day, each sliding window trains **warm-started** from the
+//! previous window's model, and every expensive artifact (per-day corpus,
+//! trained model, kNN neighbour lists) is served from a content-addressed
+//! [`ArtifactCache`] when its inputs have not changed.
+//!
+//! ## Equivalence with the one-shot pipeline
+//!
+//! Per-day corpora are built *unfiltered* and activity filtering moves to
+//! the trainer's `min_count` (set to `max(cfg.min_packets,
+//! cfg.w2v.min_count)`). Because ΔT windows are aligned to the absolute dt
+//! grid and `dt` divides a day, concatenated day shards reproduce the
+//! one-shot corpus sentence-for-sentence; the vocabulary (word, count)
+//! multiset — and therefore token ids, the seeded init, and the whole
+//! single-threaded training trajectory — is identical to
+//! `filter_active(min_packets)` + `min_count = 1`. A window covering the
+//! whole trace yields an embedding bit-identical to
+//! [`crate::pipeline::run`] (the regression tests assert this against the
+//! golden numbers).
+//!
+//! The one intentional difference: `corpus`/`skipgrams` statistics of an
+//! incremental step count the unfiltered window corpus (a shard cannot
+//! know window-global activity).
+
+use crate::cache::{fnv1a64, hash_packets, ArtifactCache, KeyHasher};
+use crate::config::DarkVecConfig;
+use crate::corpus::{build_day_corpus, corpus_from_bytes, corpus_stats, corpus_to_bytes};
+use crate::pipeline::{resolve_services, TrainedModel};
+use crate::unsupervised::Clustering;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use darkvec_graph::knn_graph::{knn_graph_from_neighbors, KnnGraphConfig};
+use darkvec_graph::louvain::louvain;
+use darkvec_graph::silhouette::cluster_silhouettes_normalized;
+use darkvec_ml::ann::{knn_all_with, NeighborBackend};
+use darkvec_ml::knn::Neighbor;
+use darkvec_ml::vectors::Matrix;
+use darkvec_types::{Ipv4, Trace, DAY};
+use darkvec_w2v::{count_skipgrams, train, train_from};
+use std::time::Instant;
+
+/// Knobs of the incremental runner that are not part of the model
+/// configuration (they change wall clock, never single-run artifacts —
+/// warm epochs *are* folded into warm model cache keys).
+#[derive(Clone, Copy, Debug)]
+pub struct IncrementalOptions {
+    /// Epochs for warm-started steps; `0` disables warm starting (every
+    /// step cold-retrains with the full `cfg.w2v.epochs`). The first step
+    /// always trains cold — there is no prior to resume from.
+    pub warm_epochs: usize,
+    /// `Some(k)` clusters each step's embedding with a k′-NN graph +
+    /// Louvain (seeded by `cfg.w2v.seed`), caching the neighbour lists.
+    pub cluster_k: Option<usize>,
+}
+
+impl Default for IncrementalOptions {
+    fn default() -> Self {
+        IncrementalOptions {
+            warm_epochs: 2,
+            cluster_k: None,
+        }
+    }
+}
+
+/// One step of the sliding window.
+#[derive(Clone, Debug)]
+pub struct DayOutcome {
+    /// First capture day (zero-based, inclusive) of this window.
+    pub start_day: u64,
+    /// Last capture day (inclusive) of this window — the "current day".
+    pub end_day: u64,
+    /// Whether this step warm-started from the previous step's model.
+    pub warm: bool,
+    /// Whether the model was served from the artifact cache.
+    pub from_cache: bool,
+    /// The step's trained model.
+    pub model: TrainedModel,
+    /// Clustering of the step's embedding, when requested and non-empty.
+    pub clustering: Option<Clustering>,
+    /// The model's cache key (chains the full provenance of the run).
+    pub model_key: u64,
+    /// Seconds spent training (0 when served from cache).
+    pub train_secs: f64,
+    /// Seconds for the whole step, including cache traffic and clustering.
+    pub step_secs: f64,
+}
+
+/// Runs the sliding-window pipeline over a trace.
+///
+/// For each window position the runner assembles the window corpus from
+/// per-day shards, trains (or warm-starts, or loads from cache) a model,
+/// and optionally clusters the embedding. With `cache: Some(..)`, every
+/// artifact is keyed by configuration fingerprint + input content + code
+/// salt, so a second identical run is served entirely from disk.
+///
+/// # Panics
+/// Panics if `cfg.dt` is zero or does not divide a day (the shard
+/// equivalence argument needs day-aligned ΔT windows), or if
+/// `cfg.window.days`/`stride` is zero.
+pub fn run_sliding(
+    trace: &Trace,
+    cfg: &DarkVecConfig,
+    opts: &IncrementalOptions,
+    cache: Option<&ArtifactCache>,
+) -> Vec<DayOutcome> {
+    assert!(cfg.dt > 0, "dt must be positive");
+    assert!(
+        DAY.is_multiple_of(cfg.dt),
+        "incremental sharding needs dt ({}) to divide a day",
+        cfg.dt
+    );
+    assert!(cfg.window.days > 0, "window.days must be positive");
+    assert!(cfg.window.stride > 0, "window.stride must be positive");
+    let _span = darkvec_obs::span!("incremental");
+
+    let total_days = trace.days();
+    if total_days == 0 {
+        return Vec::new();
+    }
+
+    // Services are resolved ONCE, over the activity-filtered full trace —
+    // per-window Auto maps would give every shard a different sentence
+    // structure and defeat both caching and warm starting. Single and
+    // DomainKnowledge are static; only Auto needs the traffic.
+    let services = {
+        let _s = darkvec_obs::span!("incremental.services");
+        match &cfg.service {
+            crate::config::ServiceDef::Auto(_) => {
+                resolve_services(&trace.filter_active(cfg.min_packets), &cfg.service)
+            }
+            def => resolve_services(trace, def),
+        }
+    };
+    let services_hash = fnv1a64(&services.to_bytes());
+    let fingerprint = cfg.fingerprint();
+    let config_hash = cfg.fingerprint_hash();
+
+    // The trainer owns activity filtering (see module docs).
+    let mut train_cfg = cfg.w2v.clone();
+    train_cfg.min_count = cfg.min_packets.max(cfg.w2v.min_count);
+
+    // Window ends: the first window ends as soon as `days` days exist (or
+    // the trace ends), then advances by `stride`.
+    let mut ends = Vec::new();
+    let mut e = cfg.window.days.min(total_days) - 1;
+    loop {
+        ends.push(e);
+        if e + cfg.window.stride >= total_days {
+            break;
+        }
+        e += cfg.window.stride;
+    }
+
+    let mut day_keys: Vec<Option<u64>> = vec![None; total_days as usize];
+    let mut key_of_day = |day: u64| -> u64 {
+        *day_keys[day as usize].get_or_insert_with(|| {
+            let mut h = KeyHasher::new();
+            h.write_str("corpus")
+                .write_str(&fingerprint)
+                .write_u64(services_hash)
+                .write_u64(day)
+                .write_u64(hash_packets(trace.day_slice(day)));
+            h.finish()
+        })
+    };
+
+    let mut outcomes: Vec<DayOutcome> = Vec::with_capacity(ends.len());
+    let mut prior: Option<(u64, TrainedModel)> = None; // (model_key, model)
+
+    for &end_day in &ends {
+        let step_start = Instant::now();
+        let _step = darkvec_obs::span!("incremental.step");
+        let start_day = (end_day + 1).saturating_sub(cfg.window.days);
+
+        // 1. Window corpus out of per-day shards.
+        let mut corpus: Vec<Vec<Ipv4>> = Vec::new();
+        let mut step_day_keys = Vec::with_capacity((end_day - start_day + 1) as usize);
+        for day in start_day..=end_day {
+            let key = key_of_day(day);
+            step_day_keys.push(key);
+            let shard = cache
+                .and_then(|c| c.load("corpus", key))
+                .and_then(|raw| corpus_from_bytes(&raw[..]).ok())
+                .unwrap_or_else(|| {
+                    let built = build_day_corpus(trace, day, &services, cfg.dt);
+                    if let Some(c) = cache {
+                        let _ = c.store("corpus", key, &corpus_to_bytes(&built));
+                    }
+                    built
+                });
+            corpus.extend(shard);
+        }
+
+        // 2. The model key chains: a warm model depends on everything its
+        // prior depended on, transitively, via the prior's key.
+        let warm = opts.warm_epochs > 0 && prior.is_some();
+        let model_key = {
+            let mut h = KeyHasher::new();
+            h.write_str("model")
+                .write_str(&fingerprint)
+                .write_u64(services_hash);
+            for &k in &step_day_keys {
+                h.write_u64(k);
+            }
+            if warm {
+                let (prior_key, _) = prior.as_ref().expect("warm implies prior");
+                h.write_str("warm")
+                    .write_u64(opts.warm_epochs as u64)
+                    .write_u64(*prior_key);
+            } else {
+                h.write_str("cold");
+            }
+            h.finish()
+        };
+
+        // 3. Model: cache, else train (warm or cold).
+        let cached_model = cache
+            .and_then(|c| c.load("model", model_key))
+            .and_then(|raw| TrainedModel::from_bytes(&raw[..]).ok());
+        let from_cache = cached_model.is_some();
+        let mut train_secs = 0.0;
+        let model = cached_model.unwrap_or_else(|| {
+            let stats = corpus_stats(&corpus);
+            let skipgrams = count_skipgrams(&corpus, cfg.w2v.window);
+            let t0 = Instant::now();
+            let (embedding, train_stats) = {
+                let _s = darkvec_obs::span!("incremental.train");
+                if warm {
+                    let (_, prior_model) = prior.as_ref().expect("warm implies prior");
+                    let mut warm_cfg = train_cfg.clone();
+                    warm_cfg.epochs = opts.warm_epochs;
+                    train_from(&corpus, &warm_cfg, &prior_model.embedding)
+                } else {
+                    train(&corpus, &train_cfg)
+                }
+            };
+            train_secs = t0.elapsed().as_secs_f64();
+            let model = TrainedModel {
+                embedding,
+                services: services.clone(),
+                corpus: stats,
+                skipgrams,
+                train: train_stats,
+                config_hash,
+            };
+            if let Some(c) = cache {
+                let _ = c.store("model", model_key, &model.to_bytes());
+            }
+            model
+        });
+        darkvec_obs::metrics::counter(if warm {
+            "incremental.warm_steps"
+        } else {
+            "incremental.cold_steps"
+        })
+        .add(1);
+
+        // 4. Optional clustering, with the O(n²) neighbour search cached.
+        let clustering = opts
+            .cluster_k
+            .filter(|_| !model.embedding.is_empty())
+            .map(|k| {
+                let _s = darkvec_obs::span!("incremental.cluster");
+                let normed = Matrix::new(
+                    model.embedding.vectors(),
+                    model.embedding.len(),
+                    model.embedding.dim(),
+                )
+                .normalized();
+                let knn_key = {
+                    let mut h = KeyHasher::new();
+                    h.write_str("knn").write_u64(model_key).write_u64(k as u64);
+                    h.finish()
+                };
+                let neighbors = cache
+                    .and_then(|c| c.load("knn", knn_key))
+                    .and_then(|raw| neighbors_from_bytes(&raw[..]).ok())
+                    .unwrap_or_else(|| {
+                        let found =
+                            knn_all_with(&normed, k, cfg.w2v.threads, &NeighborBackend::Exact);
+                        if let Some(c) = cache {
+                            let _ = c.store("knn", knn_key, &neighbors_to_bytes(&found));
+                        }
+                        found
+                    });
+                let graph = knn_graph_from_neighbors(
+                    normed.rows(),
+                    &neighbors,
+                    &KnnGraphConfig {
+                        k,
+                        threads: cfg.w2v.threads,
+                        mutual: false,
+                        backend: NeighborBackend::Exact,
+                    },
+                );
+                let partition = louvain(&graph, cfg.w2v.seed);
+                let silhouettes = cluster_silhouettes_normalized(&normed, &partition.assignment);
+                Clustering {
+                    assignment: partition.assignment,
+                    clusters: partition.communities,
+                    modularity: partition.modularity,
+                    silhouettes,
+                }
+            });
+
+        let step_secs = step_start.elapsed().as_secs_f64();
+        darkvec_obs::debug!(
+            "step days {start_day}..={end_day}: vocab {}, {} ({:.2}s)",
+            model.embedding.len(),
+            if from_cache {
+                "cached"
+            } else if warm {
+                "warm-trained"
+            } else {
+                "cold-trained"
+            },
+            step_secs
+        );
+        prior = Some((model_key, model.clone()));
+        outcomes.push(DayOutcome {
+            start_day,
+            end_day,
+            warm,
+            from_cache,
+            model,
+            clustering,
+            model_key,
+            train_secs,
+            step_secs,
+        });
+    }
+    darkvec_obs::metrics::gauge("incremental.steps").set(outcomes.len() as f64);
+    outcomes
+}
+
+/// Serialises kNN neighbour lists for the artifact cache.
+fn neighbors_to_bytes(neighbors: &[Vec<Neighbor>]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    buf.put_u32_le(neighbors.len() as u32);
+    for row in neighbors {
+        buf.put_u32_le(row.len() as u32);
+        for nb in row {
+            buf.put_u32_le(nb.index as u32);
+            buf.put_f32_le(nb.similarity);
+        }
+    }
+    buf.freeze()
+}
+
+/// Inverse of [`neighbors_to_bytes`]; fails cleanly on truncated input.
+fn neighbors_from_bytes(mut buf: impl Buf) -> Result<Vec<Vec<Neighbor>>, String> {
+    if buf.remaining() < 4 {
+        return Err("truncated neighbour lists: missing header".to_string());
+    }
+    let rows = buf.get_u32_le() as usize;
+    if buf.remaining() < rows * 4 {
+        return Err("truncated neighbour lists: header promises more rows".to_string());
+    }
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        if buf.remaining() < 4 {
+            return Err("truncated neighbour lists: missing row length".to_string());
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len * 8 {
+            return Err("truncated neighbour lists: row overruns buffer".to_string());
+        }
+        let mut row = Vec::with_capacity(len);
+        for _ in 0..len {
+            let index = buf.get_u32_le() as usize;
+            let similarity = buf.get_f32_le();
+            row.push(Neighbor { index, similarity });
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_bytes_round_trip_and_truncate() {
+        let lists = vec![
+            vec![
+                Neighbor {
+                    index: 3,
+                    similarity: 0.5,
+                },
+                Neighbor {
+                    index: 1,
+                    similarity: -0.25,
+                },
+            ],
+            vec![],
+            vec![Neighbor {
+                index: 0,
+                similarity: 1.0,
+            }],
+        ];
+        let bytes = neighbors_to_bytes(&lists);
+        let back = neighbors_from_bytes(&bytes[..]).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0][0].index, 3);
+        assert_eq!(back[0][1].similarity, -0.25);
+        assert!(back[1].is_empty());
+        for cut in 0..bytes.len() {
+            assert!(
+                neighbors_from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide a day")]
+    fn rejects_dt_not_dividing_a_day() {
+        let mut cfg = DarkVecConfig::test_size(1);
+        cfg.dt = 7 * 60 * 60; // 7h does not divide 24h
+        let _ = run_sliding(
+            &Trace::default(),
+            &cfg,
+            &IncrementalOptions::default(),
+            None,
+        );
+    }
+
+    #[test]
+    fn empty_trace_yields_no_steps() {
+        let cfg = DarkVecConfig::test_size(1);
+        assert!(run_sliding(
+            &Trace::default(),
+            &cfg,
+            &IncrementalOptions::default(),
+            None
+        )
+        .is_empty());
+    }
+}

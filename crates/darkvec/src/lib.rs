@@ -33,9 +33,11 @@
 //! println!("embedded {} senders", model.embedding.len());
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod corpus;
 pub mod gt_extend;
+pub mod incremental;
 pub mod inspect;
 pub mod pipeline;
 pub mod services;
@@ -43,6 +45,8 @@ pub mod supervised;
 pub mod temporal;
 pub mod unsupervised;
 
-pub use config::{DarkVecConfig, ServiceDef};
+pub use cache::{ArtifactCache, CacheStats};
+pub use config::{DarkVecConfig, ServiceDef, SlidingWindow};
+pub use incremental::{run_sliding, DayOutcome, IncrementalOptions};
 pub use pipeline::{run, TrainedModel};
 pub use services::ServiceMap;

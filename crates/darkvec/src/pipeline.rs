@@ -4,11 +4,19 @@
 use crate::config::{DarkVecConfig, ServiceDef};
 use crate::corpus::{build_corpus, corpus_stats, CorpusStats};
 use crate::services::ServiceMap;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use darkvec_types::{Ipv4, Trace};
 use darkvec_w2v::{count_skipgrams, train, Embedding, TrainStats};
+use std::path::Path;
+
+/// Magic of the full-model file format (embedding + service map + config
+/// hash). Distinct from the bare embedding's `DKVE` so loaders can tell
+/// the two apart by peeking at the first four bytes.
+pub const MODEL_MAGIC: &[u8; 4] = b"DKVM";
+const MODEL_VERSION: u8 = 1;
 
 /// A trained DarkVec model.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TrainedModel {
     /// The sender embedding (one vector per active sender).
     pub embedding: Embedding<Ipv4>,
@@ -20,6 +28,131 @@ pub struct TrainedModel {
     pub skipgrams: u64,
     /// Word2Vec training statistics.
     pub train: TrainStats,
+    /// [`DarkVecConfig::fingerprint_hash`] of the training configuration.
+    /// Loading a model under a different configuration is rejected: the
+    /// embedding would silently disagree with the corpus/service settings
+    /// the caller is about to apply to new traffic.
+    pub config_hash: u64,
+}
+
+impl TrainedModel {
+    /// Serialises the *full* model: embedding, service map, corpus and
+    /// training statistics, and the config hash. This is what `save` must
+    /// persist — a bare embedding cannot be applied to new traffic because
+    /// the service map that shaped its sentences would be lost.
+    ///
+    /// Wall-clock (`train.elapsed`) is deliberately written as zero: it is
+    /// a property of a *run*, not of the artifact, and zeroing it keeps
+    /// same-seed artifacts byte-identical for the cache determinism
+    /// guarantee.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(MODEL_MAGIC);
+        buf.put_u8(MODEL_VERSION);
+        buf.put_u64_le(self.config_hash);
+        buf.put_u64_le(self.skipgrams);
+        buf.put_u64_le(self.corpus.sentences as u64);
+        buf.put_u64_le(self.corpus.tokens);
+        buf.put_u64_le(self.corpus.max_len as u64);
+        buf.put_u64_le(self.train.vocab_size as u64);
+        buf.put_u64_le(self.train.corpus_tokens);
+        buf.put_u64_le(self.train.pairs_trained);
+        let services = self.services.to_bytes();
+        buf.put_u32_le(services.len() as u32);
+        buf.put_slice(&services);
+        let embedding = self.embedding.to_bytes();
+        buf.put_u32_le(embedding.len() as u32);
+        buf.put_slice(&embedding);
+        buf.freeze()
+    }
+
+    /// Inverse of [`TrainedModel::to_bytes`]; fails cleanly on truncated
+    /// or corrupt input.
+    pub fn from_bytes(mut buf: impl Buf) -> Result<Self, String> {
+        if buf.remaining() < 4 + 1 + 8 * 8 {
+            return Err("truncated model: missing header".to_string());
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MODEL_MAGIC {
+            return Err("not a DKVM model file".to_string());
+        }
+        let version = buf.get_u8();
+        if version != MODEL_VERSION {
+            return Err(format!("unsupported DKVM version {version}"));
+        }
+        let config_hash = buf.get_u64_le();
+        let skipgrams = buf.get_u64_le();
+        let sentences = buf.get_u64_le() as usize;
+        let tokens = buf.get_u64_le();
+        let max_len = buf.get_u64_le() as usize;
+        let vocab_size = buf.get_u64_le() as usize;
+        let corpus_tokens = buf.get_u64_le();
+        let pairs_trained = buf.get_u64_le();
+
+        let section = |what: &str, buf: &mut dyn Buf| -> Result<Vec<u8>, String> {
+            if buf.remaining() < 4 {
+                return Err(format!("truncated model: missing {what} length"));
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(format!("truncated model: {what} overruns buffer"));
+            }
+            let mut raw = vec![0u8; len];
+            buf.copy_to_slice(&mut raw);
+            Ok(raw)
+        };
+        let services_raw = section("service map", &mut buf)?;
+        let embedding_raw = section("embedding", &mut buf)?;
+        let services = ServiceMap::from_bytes(&services_raw[..])?;
+        let embedding = Embedding::<Ipv4>::from_bytes(&embedding_raw[..])?;
+        Ok(TrainedModel {
+            embedding,
+            services,
+            corpus: CorpusStats {
+                sentences,
+                tokens,
+                max_len,
+            },
+            skipgrams,
+            train: TrainStats {
+                vocab_size,
+                corpus_tokens,
+                pairs_trained,
+                elapsed: std::time::Duration::ZERO,
+            },
+            config_hash,
+        })
+    }
+
+    /// Writes the full model to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a full model from a file.
+    pub fn load<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        TrainedModel::from_bytes(&bytes[..])
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Reads a full model and verifies it was trained under `cfg`,
+    /// rejecting the load on a fingerprint mismatch.
+    pub fn load_for<P: AsRef<Path>>(path: P, cfg: &DarkVecConfig) -> std::io::Result<Self> {
+        let model = TrainedModel::load(path)?;
+        let want = cfg.fingerprint_hash();
+        if model.config_hash != want {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "model was trained under config {:016x}, current config is {want:016x}",
+                    model.config_hash
+                ),
+            ));
+        }
+        Ok(model)
+    }
 }
 
 /// Resolves the configured service definition against (filtered) traffic.
@@ -106,6 +239,7 @@ pub fn run(trace: &Trace, cfg: &DarkVecConfig) -> TrainedModel {
         corpus: stats,
         skipgrams,
         train: train_stats,
+        config_hash: cfg.fingerprint_hash(),
     }
 }
 
@@ -188,6 +322,79 @@ mod tests {
         let b = run(&out.trace, &cfg);
         assert_eq!(a.embedding.vectors(), b.embedding.vectors());
         assert_eq!(a.skipgrams, b.skipgrams);
+    }
+
+    /// A hand-built tiny model: fast to construct, exercises every
+    /// serialised field.
+    fn tiny_model() -> TrainedModel {
+        use darkvec_w2v::Vocab;
+        let words = [Ipv4::new(10, 0, 0, 1), Ipv4::new(10, 0, 0, 2)];
+        let corpus = [vec![words[0], words[1], words[0]]];
+        let vocab = Vocab::build(corpus.iter().map(|s| s.iter()), 1);
+        let vectors = vec![0.5, -1.0, 0.25, 2.0];
+        TrainedModel {
+            embedding: Embedding::from_parts(vocab, vectors, 2),
+            services: ServiceMap::domain_knowledge(),
+            corpus: CorpusStats {
+                sentences: 1,
+                tokens: 3,
+                max_len: 3,
+            },
+            skipgrams: 4,
+            train: TrainStats {
+                vocab_size: 2,
+                corpus_tokens: 3,
+                pairs_trained: 4,
+                elapsed: std::time::Duration::ZERO,
+            },
+            config_hash: DarkVecConfig::default().fingerprint_hash(),
+        }
+    }
+
+    #[test]
+    fn model_bytes_round_trip_everything() {
+        let model = tiny_model();
+        let back = TrainedModel::from_bytes(&model.to_bytes()[..]).unwrap();
+        assert_eq!(back.embedding.vectors(), model.embedding.vectors());
+        assert_eq!(back.embedding.dim(), model.embedding.dim());
+        assert_eq!(back.services, model.services);
+        assert_eq!(back.corpus, model.corpus);
+        assert_eq!(back.skipgrams, model.skipgrams);
+        assert_eq!(back.train.vocab_size, model.train.vocab_size);
+        assert_eq!(back.train.corpus_tokens, model.train.corpus_tokens);
+        assert_eq!(back.train.pairs_trained, model.train.pairs_trained);
+        assert_eq!(back.config_hash, model.config_hash);
+        // Canonical: re-serialising the loaded model gives the same bytes.
+        assert_eq!(back.to_bytes(), model.to_bytes());
+    }
+
+    #[test]
+    fn model_save_load_for_checks_config_hash() {
+        let model = tiny_model();
+        let path =
+            std::env::temp_dir().join(format!("darkvec-model-test-{}.dkvm", std::process::id()));
+        model.save(&path).unwrap();
+        assert!(TrainedModel::load_for(&path, &DarkVecConfig::default()).is_ok());
+        let mut other = DarkVecConfig::default();
+        other.w2v.seed += 1;
+        let err = TrainedModel::load_for(&path, &other).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn model_from_bytes_fails_cleanly_at_every_truncation_point() {
+        let bytes = tiny_model().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                TrainedModel::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail, not panic or succeed"
+            );
+        }
+        assert!(TrainedModel::from_bytes(&bytes[..]).is_ok());
+        let mut bad = bytes.to_vec();
+        bad[0] = b'E';
+        assert!(TrainedModel::from_bytes(&bad[..]).is_err());
     }
 
     #[test]

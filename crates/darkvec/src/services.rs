@@ -11,6 +11,7 @@
 //!   (plus ICMP, which Figure 3 treats as its own service), with the three
 //!   IANA ranges as catch-alls.
 
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use darkvec_types::stats::Counter;
 use darkvec_types::{PortKey, Protocol};
 use std::collections::HashMap;
@@ -19,7 +20,7 @@ use std::collections::HashMap;
 pub type ServiceId = usize;
 
 /// A total mapping `PortKey -> ServiceId`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServiceMap {
     names: Vec<String>,
     exact: HashMap<PortKey, ServiceId>,
@@ -27,7 +28,7 @@ pub struct ServiceMap {
 }
 
 /// Where unmapped ports go.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 enum Fallback {
     /// Everything unmapped lands in one service.
     Single(ServiceId),
@@ -262,6 +263,115 @@ impl ServiceMap {
     pub fn id_of(&self, name: &str) -> Option<ServiceId> {
         self.names.iter().position(|n| n == name)
     }
+
+    /// Serialises the map into a canonical byte form: exact entries are
+    /// sorted by `(port, protocol)`, so equal maps always produce equal
+    /// bytes — which is what the artifact cache keys hash.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u32_le(self.names.len() as u32);
+        for name in &self.names {
+            let b = name.as_bytes();
+            buf.put_u16_le(b.len() as u16);
+            buf.put_slice(b);
+        }
+        let mut entries: Vec<(&PortKey, &ServiceId)> = self.exact.iter().collect();
+        entries.sort_by_key(|(k, _)| (k.port, k.proto.tag()));
+        buf.put_u32_le(entries.len() as u32);
+        for (k, &id) in entries {
+            buf.put_u16_le(k.port);
+            buf.put_u8(k.proto.tag());
+            buf.put_u32_le(id as u32);
+        }
+        match self.fallback {
+            Fallback::Single(id) => {
+                buf.put_u8(0);
+                buf.put_u32_le(id as u32);
+            }
+            Fallback::Iana {
+                system,
+                user,
+                ephemeral,
+                icmp,
+            } => {
+                buf.put_u8(1);
+                buf.put_u32_le(system as u32);
+                buf.put_u32_le(user as u32);
+                buf.put_u32_le(ephemeral as u32);
+                buf.put_u32_le(icmp as u32);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Inverse of [`ServiceMap::to_bytes`]; fails cleanly on truncated or
+    /// corrupt input.
+    pub fn from_bytes(mut buf: impl Buf) -> Result<Self, String> {
+        fn need(buf: &impl Buf, n: usize) -> Result<(), String> {
+            if buf.remaining() < n {
+                Err(format!(
+                    "truncated service map: need {n} bytes, {} remain",
+                    buf.remaining()
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        need(&buf, 4)?;
+        let n_names = buf.get_u32_le() as usize;
+        let mut names = Vec::with_capacity(n_names.min(1 << 16));
+        for _ in 0..n_names {
+            need(&buf, 2)?;
+            let len = buf.get_u16_le() as usize;
+            need(&buf, len)?;
+            let mut raw = vec![0u8; len];
+            buf.copy_to_slice(&mut raw);
+            names.push(String::from_utf8(raw).map_err(|e| format!("bad service name: {e}"))?);
+        }
+        need(&buf, 4)?;
+        let n_exact = buf.get_u32_le() as usize;
+        let mut exact = HashMap::with_capacity(n_exact.min(1 << 20));
+        for _ in 0..n_exact {
+            need(&buf, 7)?;
+            let port = buf.get_u16_le();
+            let proto = Protocol::from_tag(buf.get_u8())
+                .ok_or_else(|| "bad protocol tag in service map".to_string())?;
+            let id = buf.get_u32_le() as ServiceId;
+            if id >= names.len() {
+                return Err(format!("service id {id} out of range"));
+            }
+            exact.insert(PortKey { port, proto }, id);
+        }
+        need(&buf, 1)?;
+        let check = |id: u32| -> Result<ServiceId, String> {
+            if (id as usize) < names.len() {
+                Ok(id as ServiceId)
+            } else {
+                Err(format!("fallback service id {id} out of range"))
+            }
+        };
+        let fallback = match buf.get_u8() {
+            0 => {
+                need(&buf, 4)?;
+                Fallback::Single(check(buf.get_u32_le())?)
+            }
+            1 => {
+                need(&buf, 16)?;
+                Fallback::Iana {
+                    system: check(buf.get_u32_le())?,
+                    user: check(buf.get_u32_le())?,
+                    ephemeral: check(buf.get_u32_le())?,
+                    icmp: check(buf.get_u32_le())?,
+                }
+            }
+            t => return Err(format!("bad fallback tag {t} in service map")),
+        };
+        Ok(ServiceMap {
+            names,
+            exact,
+            fallback,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +475,35 @@ mod tests {
             m.service_of(PortKey::udp(1433))
         );
         assert_ne!(m.service_of(PortKey::tcp(5353)), m.id_of("DNS").unwrap());
+    }
+
+    #[test]
+    fn bytes_round_trip_all_variants() {
+        let mut c: Counter<PortKey> = Counter::new();
+        c.add_n(PortKey::tcp(23), 100);
+        c.add_n(PortKey::udp(53), 10);
+        for m in [
+            ServiceMap::single(),
+            ServiceMap::auto(&c, 2),
+            ServiceMap::domain_knowledge(),
+        ] {
+            let bytes = m.to_bytes();
+            let back = ServiceMap::from_bytes(&bytes[..]).unwrap();
+            assert_eq!(m, back);
+            // Canonical form: re-serialising gives identical bytes.
+            assert_eq!(bytes, back.to_bytes());
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation() {
+        let bytes = ServiceMap::domain_knowledge().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                ServiceMap::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
     }
 
     #[test]

@@ -87,7 +87,11 @@ impl Clustering {
             .enumerate()
             .map(|(c, &s)| (c as u32, s))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // A NaN silhouette (degenerate cluster) must not freeze wherever
+        // the input order left it, nor outrank finite scores; rank it
+        // below every finite value, ties broken by cluster id.
+        let rank = |x: f64| if x.is_nan() { f64::NEG_INFINITY } else { x };
+        v.sort_by(|a, b| rank(b.1).total_cmp(&rank(a.1)).then_with(|| a.0.cmp(&b.0)));
         v
     }
 }

@@ -50,10 +50,22 @@ pub fn build_knn_graph(matrix: Matrix<'_>, cfg: &KnnGraphConfig) -> Graph {
 /// [`build_knn_graph`] over an already-normalised matrix, for callers
 /// sharing one [`NormalizedMatrix`] with the silhouette pass.
 pub fn build_knn_graph_normalized(matrix: &NormalizedMatrix, cfg: &KnnGraphConfig) -> Graph {
-    const WEIGHT_FLOOR: f64 = 1e-6;
     let _span = darkvec_obs::span!("graph.knn_build");
-    let n = matrix.rows();
     let neighbors = knn_all_with(matrix, cfg.k.max(1), cfg.threads, &cfg.backend);
+    knn_graph_from_neighbors(matrix.rows(), &neighbors, cfg)
+}
+
+/// Builds the symmetrised graph from precomputed neighbour lists —
+/// the edge-accumulation half of [`build_knn_graph`], split out so the
+/// incremental pipeline can feed *cached* kNN results through the exact
+/// same construction. `neighbors[u]` holds u's selected neighbours;
+/// `cfg.threads`/`cfg.backend` are unused here (the search already ran).
+pub fn knn_graph_from_neighbors(
+    n: usize,
+    neighbors: &[Vec<darkvec_ml::knn::Neighbor>],
+    cfg: &KnnGraphConfig,
+) -> Graph {
+    const WEIGHT_FLOOR: f64 = 1e-6;
 
     // Accumulate directed selections into undirected weights.
     let mut edges: HashMap<(u32, u32), (f64, u8)> = HashMap::new();
@@ -201,6 +213,24 @@ mod tests {
     fn empty_matrix_builds_empty_graph() {
         let g = build_knn_graph(Matrix::new(&[], 0, 4), &KnnGraphConfig::default());
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn from_neighbors_matches_direct_build() {
+        let data = grouped();
+        let m = Matrix::new(&data, 6, 2).normalized();
+        let cfg = KnnGraphConfig {
+            k: 2,
+            threads: 1,
+            ..Default::default()
+        };
+        let direct = build_knn_graph_normalized(&m, &cfg);
+        let neighbors = knn_all_with(&m, cfg.k, cfg.threads, &cfg.backend);
+        let from_lists = knn_graph_from_neighbors(m.rows(), &neighbors, &cfg);
+        assert_eq!(direct.len(), from_lists.len());
+        for u in 0..6u32 {
+            assert_eq!(direct.neighbors(u), from_lists.neighbors(u));
+        }
     }
 
     #[test]

@@ -78,11 +78,10 @@ impl Eq for Cand {}
 
 impl Ord for Cand {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Similarities are finite (dot products of unit vectors); NaN
-        // would mean corrupt input, where any consistent order is fine.
+        // total_cmp keeps the heap order total even for NaN similarities
+        // (corrupt input); NaN then sorts below every finite value.
         self.sim
-            .partial_cmp(&other.sim)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&other.sim)
             .then_with(|| other.idx.cmp(&self.idx))
     }
 }

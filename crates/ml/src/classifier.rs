@@ -68,9 +68,13 @@ pub fn loo_knn_classify(neighbors: &[Vec<Neighbor>], labels: &[Label], k: usize)
         let winner = votes
             .iter()
             .max_by(|a, b| {
-                (a.1 .0, a.1 .1, std::cmp::Reverse(*a.0))
-                    .partial_cmp(&(b.1 .0, b.1 .1, std::cmp::Reverse(*b.0)))
-                    .expect("similarities are finite")
+                // Vote count, then summed similarity (total_cmp: a NaN
+                // similarity must not poison the winner selection), then
+                // the smaller label.
+                a.1 .0
+                    .cmp(&b.1 .0)
+                    .then_with(|| a.1 .1.total_cmp(&b.1 .1))
+                    .then_with(|| b.0.cmp(a.0))
             })
             .map(|(&l, _)| l)
             .unwrap_or(0);

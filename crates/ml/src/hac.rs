@@ -186,8 +186,7 @@ pub fn hac_average_normalized(data: &NormalizedMatrix) -> Dendrogram {
     order.sort_by(|&a, &b| {
         merges[a]
             .distance
-            .partial_cmp(&merges[b].distance)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&merges[b].distance)
             .then(a.cmp(&b))
     });
     let mut new_index = vec![0usize; merges.len()];

@@ -118,7 +118,7 @@ impl Ecdf {
             samples.iter().all(|x| x.is_finite()),
             "ECDF samples must be finite"
         );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        samples.sort_by(|a, b| a.total_cmp(b));
         Ecdf { sorted: samples }
     }
 

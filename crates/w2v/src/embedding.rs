@@ -88,7 +88,11 @@ impl<W: Eq + Hash + Clone + Ord> Embedding<W> {
             .filter(|&id| id != target_id)
             .map(|id| (id, cosine(target, self.row(id))))
             .collect();
-        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // A NaN similarity (corrupt row) must not make the order
+        // input-dependent or float to the top of the list; rank it below
+        // every finite similarity, ties broken by token id.
+        let rank = |x: f32| if x.is_nan() { f32::NEG_INFINITY } else { x };
+        sims.sort_by(|a, b| rank(b.1).total_cmp(&rank(a.1)).then_with(|| a.0.cmp(&b.0)));
         sims.truncate(topn);
         sims.into_iter()
             .map(|(id, s)| (self.vocab.word(id).clone(), s))
@@ -165,10 +169,25 @@ impl<W: Eq + Hash + Clone + Ord + Display + FromStr> Embedding<W> {
         }
         let n = buf.get_u32_le() as usize;
         let dim = buf.get_u32_le() as usize;
-        let mut corpus_words: Vec<Vec<W>> = Vec::new();
-        let mut counts = Vec::with_capacity(n);
-        let mut vectors = Vec::with_capacity(n * dim);
+        // Plausibility before allocation: every record is at least
+        // 2 (length prefix) + 8 (count) + dim*4 bytes, so a corrupt header
+        // cannot demand more memory than the buffer could possibly encode.
+        let min_record = (dim as u64)
+            .checked_mul(4)
+            .and_then(|v| v.checked_add(10))
+            .ok_or("implausible dimension")?;
+        let need = (n as u64)
+            .checked_mul(min_record)
+            .ok_or("implausible record count")?;
+        if need > buf.remaining() as u64 {
+            return Err(format!(
+                "truncated or corrupt: header promises {need} bytes, {} remain",
+                buf.remaining()
+            ));
+        }
+        let mut pairs: Vec<(W, u64)> = Vec::with_capacity(n);
         let mut words = Vec::with_capacity(n);
+        let mut vectors = Vec::with_capacity(n * dim);
         for _ in 0..n {
             if buf.remaining() < 2 {
                 return Err("truncated word".into());
@@ -181,21 +200,16 @@ impl<W: Eq + Hash + Clone + Ord + Display + FromStr> Embedding<W> {
             buf.copy_to_slice(&mut wbytes);
             let s = String::from_utf8(wbytes).map_err(|e| e.to_string())?;
             let w: W = s.parse().map_err(|_| format!("unparsable word {s:?}"))?;
-            words.push(w);
-            counts.push(buf.get_u64_le());
+            words.push(w.clone());
+            pairs.push((w, buf.get_u64_le()));
             for _ in 0..dim {
                 vectors.push(buf.get_f32_le());
             }
         }
-        // Rebuild the vocabulary by replaying each word `count` times is
-        // wasteful; instead synthesise a corpus of single-word sentences
-        // with the recorded multiplicities.
-        for (w, &c) in words.iter().zip(&counts) {
-            corpus_words.push(std::iter::repeat_n(w.clone(), c as usize).collect());
-        }
-        let vocab = Vocab::build(corpus_words.iter().map(|s| s.iter()), 1);
-        // The rebuilt vocabulary must assign the same ids (same counts,
-        // same tie-break); reorder the rows accordingly to be safe.
+        // Rebuild the vocabulary directly from the recorded counts; the
+        // re-rank assigns the same ids as the original build (same counts,
+        // same tie-break), so reorder the rows accordingly to be safe.
+        let vocab = Vocab::from_counts(pairs)?;
         let mut reordered = vec![0.0f32; vectors.len()];
         for (orig_id, w) in words.iter().enumerate() {
             let new_id = vocab.id(w).ok_or("vocab rebuild lost a word")? as usize;
@@ -301,6 +315,61 @@ mod tests {
         let mut good = sample().to_bytes().to_vec();
         good.truncate(good.len() - 2);
         assert!(Embedding::<String>::from_bytes(&good[..]).is_err());
+    }
+
+    /// Fuzz-style: truncating a valid model at *every* byte boundary must
+    /// produce a clean error — no panic, no partial model.
+    #[test]
+    fn from_bytes_fails_cleanly_at_every_truncation_point() {
+        let good = sample().to_bytes().to_vec();
+        for cut in 0..good.len() {
+            let r = Embedding::<String>::from_bytes(&good[..cut]);
+            assert!(r.is_err(), "truncation at byte {cut}/{} parsed", good.len());
+        }
+        assert!(Embedding::<String>::from_bytes(&good[..]).is_ok());
+    }
+
+    /// Corrupt headers promising absurd sizes must be rejected before any
+    /// large allocation (a corrupt cache file must not abort the process).
+    #[test]
+    fn from_bytes_rejects_implausible_headers() {
+        let mut huge_n = sample().to_bytes().to_vec();
+        huge_n[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Embedding::<String>::from_bytes(&huge_n[..]).is_err());
+        let mut huge_dim = sample().to_bytes().to_vec();
+        huge_dim[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Embedding::<String>::from_bytes(&huge_dim[..]).is_err());
+    }
+
+    /// Regression: a NaN row must not make `most_similar` ordering
+    /// input-dependent or panic — NaN sorts below every finite similarity.
+    #[test]
+    fn most_similar_is_stable_with_nan_rows() {
+        let corpus = [vec![
+            "a".to_string(),
+            "b".to_string(),
+            "c".to_string(),
+            "d".to_string(),
+        ]];
+        let vocab = Vocab::build(corpus.iter().map(|s| s.iter()), 1);
+        let vectors = vec![
+            1.0,
+            0.0, // a
+            f32::NAN,
+            f32::NAN, // b: corrupt row
+            1.0,
+            0.1, // c
+            0.0,
+            1.0, // d
+        ];
+        let e = Embedding::from_parts(vocab, vectors, 2);
+        let sims = e.most_similar(&"a".to_string(), 10);
+        assert_eq!(sims.len(), 3);
+        // Finite similarities first (c closest, then d), NaN last.
+        assert_eq!(sims[0].0, "c");
+        assert_eq!(sims[1].0, "d");
+        assert_eq!(sims[2].0, "b");
+        assert!(sims[2].1.is_nan());
     }
 
     #[test]

@@ -192,6 +192,45 @@ pub fn train<W>(corpus: &[Vec<W>], cfg: &TrainConfig) -> (Embedding<W>, TrainSta
 where
     W: Eq + Hash + Clone + Ord + Send + Sync,
 {
+    train_impl(corpus, cfg, None)
+}
+
+/// Warm-start training: like [`train`], but input rows of words already
+/// present in `prior` start from the prior's vectors instead of the seeded
+/// uniform init. Words new to this corpus get the usual deterministic init;
+/// words of the prior absent from this corpus are evicted (the vocabulary
+/// is rebuilt from `corpus` alone). This is the incremental sliding-window
+/// path: day *d+1* resumes from day *d*'s model and needs a fraction of the
+/// epochs a cold model does.
+///
+/// # Panics
+/// Panics if `prior.dim() != cfg.dim`, or as [`train`] does.
+pub fn train_from<W>(
+    corpus: &[Vec<W>],
+    cfg: &TrainConfig,
+    prior: &Embedding<W>,
+) -> (Embedding<W>, TrainStats)
+where
+    W: Eq + Hash + Clone + Ord + Send + Sync,
+{
+    assert_eq!(
+        prior.dim(),
+        cfg.dim,
+        "prior embedding dimension {} does not match cfg.dim {}",
+        prior.dim(),
+        cfg.dim
+    );
+    train_impl(corpus, cfg, Some(prior))
+}
+
+fn train_impl<W>(
+    corpus: &[Vec<W>],
+    cfg: &TrainConfig,
+    prior: Option<&Embedding<W>>,
+) -> (Embedding<W>, TrainStats)
+where
+    W: Eq + Hash + Clone + Ord + Send + Sync,
+{
     assert!(cfg.dim > 0, "dim must be positive");
     assert!(cfg.window > 0, "window must be positive");
     assert!(cfg.epochs > 0, "epochs must be positive");
@@ -234,6 +273,25 @@ where
     let sig = SigmoidTable::new();
 
     let syn0 = AtomicMatrix::uniform_init(vocab.len(), cfg.dim, cfg.seed);
+    if let Some(prior) = prior {
+        // Warm start: carry over the input rows of words the prior already
+        // embeds. Rows the prior lacks keep the seeded init above, and
+        // prior words missing from this vocabulary are dropped outright —
+        // both deterministic given (corpus, cfg, prior).
+        let mut seeded = 0u64;
+        for id in 0..vocab.len() as TokenId {
+            if let Some(row) = prior.get(vocab.word(id)) {
+                syn0.write_row(id as usize, row);
+                seeded += 1;
+            }
+        }
+        darkvec_obs::metrics::counter("w2v.warm_rows_seeded").add(seeded);
+        darkvec_obs::metrics::counter("w2v.warm_rows_fresh").add(vocab.len() as u64 - seeded);
+        darkvec_obs::debug!(
+            "warm start: {seeded}/{} rows seeded from prior",
+            vocab.len()
+        );
+    }
     // Output matrix: one row per word (negative sampling) or per internal
     // Huffman node (hierarchical softmax); vocab.len() rows cover both.
     let syn1 = AtomicMatrix::zeros(vocab.len(), cfg.dim);
@@ -859,6 +917,62 @@ mod tests {
         let (e1, _) = train(&corpus, &plain);
         let (e2, _) = train(&corpus, &observed);
         assert_eq!(e1.vectors(), e2.vectors());
+    }
+
+    #[test]
+    fn warm_start_with_disjoint_prior_equals_cold() {
+        // A prior that shares no word with the corpus seeds nothing, so the
+        // warm run must be bit-identical to the cold run.
+        let corpus = two_group_corpus();
+        let cfg = small_cfg();
+        let prior_corpus = vec![vec!["x".to_string(), "y".to_string()]; 4];
+        let (prior, _) = train(&prior_corpus, &cfg);
+        let (cold, _) = train(&corpus, &cfg);
+        let (warm, _) = train_from(&corpus, &cfg, &prior);
+        assert_eq!(cold.vectors(), warm.vectors());
+    }
+
+    #[test]
+    fn warm_start_is_deterministic_and_differs_from_cold() {
+        let corpus = two_group_corpus();
+        let cfg = small_cfg();
+        let (prior, _) = train(&corpus, &cfg);
+        let (w1, _) = train_from(&corpus, &cfg, &prior);
+        let (w2, _) = train_from(&corpus, &cfg, &prior);
+        assert_eq!(w1.vectors(), w2.vectors());
+        // Seeding from a trained prior changes the init, hence the result.
+        let (cold, _) = train(&corpus, &cfg);
+        assert_ne!(w1.vectors(), cold.vectors());
+        // Geometry survives the warm restart.
+        assert!(separation(&w1) > 0.3, "warm separation {}", separation(&w1));
+    }
+
+    #[test]
+    fn warm_start_evicts_words_absent_from_corpus() {
+        let mut prior_corpus = two_group_corpus();
+        prior_corpus.push(vec![
+            "gone".to_string(),
+            "a0".to_string(),
+            "gone".to_string(),
+        ]);
+        let cfg = small_cfg();
+        let (prior, _) = train(&prior_corpus, &cfg);
+        assert!(prior.get(&"gone".to_string()).is_some());
+        let (warm, _) = train_from(&two_group_corpus(), &cfg, &prior);
+        assert!(warm.get(&"gone".to_string()).is_none());
+        assert_eq!(warm.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match cfg.dim")]
+    fn warm_start_rejects_dim_mismatch() {
+        let corpus = two_group_corpus();
+        let (prior, _) = train(&corpus, &small_cfg());
+        let cfg = TrainConfig {
+            dim: 8,
+            ..small_cfg()
+        };
+        let _ = train_from(&corpus, &cfg, &prior);
     }
 
     #[test]

@@ -61,6 +61,38 @@ impl<W: Eq + Hash + Clone + Ord> Vocab<W> {
         }
     }
 
+    /// Rebuilds a vocabulary from explicit `(word, count)` pairs — the
+    /// deserialisation path of [`crate::Embedding::from_bytes`]. Words are
+    /// re-ranked by `(count desc, word asc)`, the same order [`Vocab::build`]
+    /// assigns, so token ids are reproducible regardless of input order.
+    /// Returns an error (instead of panicking or silently merging) on
+    /// duplicate words or zero counts.
+    pub fn from_counts(pairs: Vec<(W, u64)>) -> Result<Self, String> {
+        let mut kept = pairs;
+        if kept.iter().any(|&(_, c)| c == 0) {
+            return Err("vocabulary entry with zero count".to_string());
+        }
+        kept.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut words = Vec::with_capacity(kept.len());
+        let mut counts = Vec::with_capacity(kept.len());
+        let mut index = HashMap::with_capacity(kept.len());
+        let mut total = 0;
+        for (id, (w, c)) in kept.into_iter().enumerate() {
+            if index.insert(w.clone(), id as TokenId).is_some() {
+                return Err("duplicate word in vocabulary".to_string());
+            }
+            words.push(w);
+            counts.push(c);
+            total += c;
+        }
+        Ok(Vocab {
+            words,
+            counts,
+            index,
+            total,
+        })
+    }
+
     /// Number of distinct retained words.
     pub fn len(&self) -> usize {
         self.words.len()
@@ -183,6 +215,25 @@ mod tests {
         let v: Vocab<&str> = Vocab::build(std::iter::empty::<&[&str]>(), 1);
         assert!(v.is_empty());
         assert_eq!(v.total_count(), 0);
+    }
+
+    #[test]
+    fn from_counts_matches_build() {
+        let built = build(1);
+        let pairs: Vec<(&str, u64)> = vec![("d", 1), ("a", 4), ("c", 1), ("b", 2)];
+        let v = Vocab::from_counts(pairs).unwrap();
+        assert_eq!(v.len(), built.len());
+        assert_eq!(v.total_count(), built.total_count());
+        for w in ["a", "b", "c", "d"] {
+            assert_eq!(v.id(&w), built.id(&w), "word {w}");
+        }
+    }
+
+    #[test]
+    fn from_counts_rejects_duplicates_and_zero() {
+        assert!(Vocab::from_counts(vec![("a", 1u64), ("a", 2)]).is_err());
+        assert!(Vocab::from_counts(vec![("a", 0u64)]).is_err());
+        assert!(Vocab::<&str>::from_counts(Vec::new()).unwrap().is_empty());
     }
 
     #[test]

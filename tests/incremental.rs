@@ -1,0 +1,227 @@
+//! Integration tests for the incremental sliding-window pipeline: the
+//! one-window case must reproduce the one-shot pipeline bit-for-bit (and
+//! hence the golden numbers), the artifact cache must be deterministic and
+//! serve second runs entirely from disk, and warm-started steps must
+//! actually resume from the prior model.
+
+use darkvec::cache::ArtifactCache;
+use darkvec::config::{DarkVecConfig, ServiceDef, SlidingWindow};
+use darkvec::incremental::{run_sliding, IncrementalOptions};
+use darkvec::pipeline;
+use darkvec_gen::{simulate, SimConfig};
+use std::path::PathBuf;
+
+const SEED: u64 = 1001;
+
+fn test_cfg() -> DarkVecConfig {
+    let mut cfg = DarkVecConfig::test_size(SEED);
+    cfg.service = ServiceDef::DomainKnowledge;
+    cfg.w2v.threads = 1; // bit-stable training
+    cfg
+}
+
+fn cache_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("darkvec-incr-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// With one window covering the whole trace, the incremental path (per-day
+/// unfiltered shards + min_count activity filtering) must be bit-identical
+/// to `pipeline::run` (whole-trace `filter_active` + corpus) — the
+/// equivalence the sharding design rests on. Golden metrics then hold by
+/// construction (see `end_to_end.rs`).
+#[test]
+fn single_window_reproduces_one_shot_pipeline_bit_for_bit() {
+    let sim = simulate(&SimConfig::tiny(SEED));
+    let mut cfg = test_cfg();
+    cfg.window = SlidingWindow {
+        days: 30,
+        stride: 30,
+    };
+
+    let one_shot = pipeline::run(&sim.trace, &cfg);
+    let steps = run_sliding(
+        &sim.trace,
+        &cfg,
+        &IncrementalOptions {
+            warm_epochs: 3,
+            cluster_k: Some(3),
+        },
+        None,
+    );
+    assert_eq!(steps.len(), 1, "one window must mean one step");
+    let step = &steps[0];
+    assert_eq!(step.start_day, 0);
+    assert_eq!(step.end_day, sim.trace.days() - 1);
+    assert!(!step.warm, "the first step has no prior");
+
+    assert_eq!(
+        step.model.embedding.vectors(),
+        one_shot.embedding.vectors(),
+        "incremental embedding must be bit-identical to the one-shot pipeline"
+    );
+    assert_eq!(step.model.embedding.dim(), one_shot.embedding.dim());
+    assert_eq!(step.model.services, one_shot.services);
+    assert_eq!(step.model.config_hash, one_shot.config_hash);
+
+    // The clustering runs the same kNN-graph + Louvain as the golden test;
+    // identical vectors give identical partitions, so just sanity-check
+    // against the golden envelope (33 ± 2 clusters, modularity 0.916).
+    let clustering = step.clustering.as_ref().expect("clustering requested");
+    assert!(
+        (clustering.clusters as i64 - 33).abs() <= 2,
+        "cluster count {} drifted from golden 33",
+        clustering.clusters
+    );
+    assert!(
+        (clustering.modularity - 0.916).abs() <= 0.05,
+        "modularity {} drifted from golden 0.916",
+        clustering.modularity
+    );
+}
+
+/// Two same-seed runs into fresh caches must write byte-identical
+/// artifacts; a third run over a populated cache must be all-hits.
+#[test]
+fn cache_is_deterministic_and_second_run_is_all_hits() {
+    let sim = simulate(&SimConfig::tiny(SEED));
+    let mut cfg = test_cfg();
+    cfg.window = SlidingWindow { days: 4, stride: 2 };
+    let opts = IncrementalOptions {
+        warm_epochs: 2,
+        cluster_k: Some(3),
+    };
+
+    let dir1 = cache_dir("det1");
+    let dir2 = cache_dir("det2");
+    let cache1 = ArtifactCache::new(&dir1).unwrap();
+    let cache2 = ArtifactCache::new(&dir2).unwrap();
+    let run1 = run_sliding(&sim.trace, &cfg, &opts, Some(&cache1));
+    let run2 = run_sliding(&sim.trace, &cfg, &opts, Some(&cache2));
+    assert_eq!(run1.len(), run2.len());
+    assert!(
+        run1.len() > 1,
+        "expected multiple steps, got {}",
+        run1.len()
+    );
+    // A fresh cache misses everything it computes (overlapping windows may
+    // re-hit day shards stored earlier in the same run — that's the point).
+    assert!(cache1.stats().misses > 0);
+    assert!(cache1.stats().stores > 0);
+
+    // Same artifact set, byte-identical contents.
+    let list = |dir: &PathBuf| -> Vec<(String, Vec<u8>)> {
+        let mut files = Vec::new();
+        for kind in ["corpus", "model", "knn"] {
+            let sub = dir.join(kind);
+            if !sub.exists() {
+                continue;
+            }
+            for entry in std::fs::read_dir(&sub).unwrap() {
+                let path = entry.unwrap().path();
+                let name = format!("{kind}/{}", path.file_name().unwrap().to_string_lossy());
+                files.push((name, std::fs::read(&path).unwrap()));
+            }
+        }
+        files.sort();
+        files
+    };
+    let files1 = list(&dir1);
+    let files2 = list(&dir2);
+    assert!(!files1.is_empty());
+    assert_eq!(
+        files1, files2,
+        "same-seed runs must produce byte-identical cached artifacts"
+    );
+
+    // Third run over run1's cache: zero misses, zero stores, same models.
+    let cache3 = ArtifactCache::new(&dir1).unwrap();
+    let run3 = run_sliding(&sim.trace, &cfg, &opts, Some(&cache3));
+    let stats = cache3.stats();
+    assert_eq!(stats.misses, 0, "warmed cache must serve everything");
+    assert_eq!(stats.stores, 0);
+    assert!(stats.hits > 0);
+    for (a, b) in run1.iter().zip(&run3) {
+        assert_eq!(a.model_key, b.model_key);
+        assert!(b.from_cache);
+        assert_eq!(
+            a.model.embedding.vectors(),
+            b.model.embedding.vectors(),
+            "cached model differs from trained model"
+        );
+        assert_eq!(
+            a.clustering.as_ref().map(|c| &c.assignment),
+            b.clustering.as_ref().map(|c| &c.assignment)
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+/// Warm steps resume from the prior (fewer pairs trained than a cold
+/// retrain), evict senders inactive in the current window, and a change of
+/// `warm_epochs` changes the chained model keys.
+#[test]
+fn warm_start_resumes_evicts_and_keys_chain() {
+    let sim = simulate(&SimConfig::tiny(SEED));
+    let mut cfg = test_cfg();
+    cfg.window = SlidingWindow { days: 4, stride: 1 };
+    let warm = run_sliding(
+        &sim.trace,
+        &cfg,
+        &IncrementalOptions {
+            warm_epochs: 2,
+            cluster_k: None,
+        },
+        None,
+    );
+    let cold = run_sliding(
+        &sim.trace,
+        &cfg,
+        &IncrementalOptions {
+            warm_epochs: 0,
+            cluster_k: None,
+        },
+        None,
+    );
+    assert_eq!(warm.len(), cold.len());
+    assert!(warm.len() >= 3);
+    assert!(!warm[0].warm && warm[1..].iter().all(|s| s.warm));
+    assert!(cold.iter().all(|s| !s.warm));
+
+    for (w, c) in warm.iter().zip(&cold).skip(1) {
+        // Same window, same corpus: vocabularies agree; the warm run just
+        // does fewer epochs over it.
+        assert_eq!(w.model.train.vocab_size, c.model.train.vocab_size);
+        assert!(
+            w.model.train.pairs_trained < c.model.train.pairs_trained,
+            "warm step {} trained {} pairs, cold {}",
+            w.end_day,
+            w.model.train.pairs_trained,
+            c.model.train.pairs_trained
+        );
+        assert_ne!(w.model_key, c.model_key, "warm and cold keys must differ");
+    }
+
+    // Eviction: each step's vocabulary is exactly the window's active
+    // senders — senders of earlier, slid-out days don't linger.
+    for step in &warm {
+        let window = sim.trace.slice_time(
+            darkvec_types::Timestamp(step.start_day * darkvec_types::DAY),
+            darkvec_types::Timestamp((step.end_day + 1) * darkvec_types::DAY),
+        );
+        let active = window.active_senders(cfg.min_packets);
+        assert_eq!(
+            step.model.embedding.len(),
+            active.len(),
+            "step {}..={}: vocab != window-active senders",
+            step.start_day,
+            step.end_day
+        );
+        for ip in active.iter().take(20) {
+            assert!(step.model.embedding.get(ip).is_some());
+        }
+    }
+}
