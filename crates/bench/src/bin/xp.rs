@@ -31,10 +31,21 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
     let mut smoke = false;
     let mut backend = darkvec_ml::ann::NeighborBackend::Exact;
+    let mut _metrics_server = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--metrics-addr" => match it.next() {
+                Some(addr) => match darkvec_obs::serve::MetricsServer::start(&addr) {
+                    Ok(server) => {
+                        darkvec_obs::info!("metrics endpoint: http://{}/metrics", server.addr());
+                        _metrics_server = Some(server);
+                    }
+                    Err(e) => return fail(&format!("--metrics-addr {addr}: {e}")),
+                },
+                None => return fail("--metrics-addr needs host:port"),
+            },
             "--smoke" => {
                 smoke = true;
                 sim_cfg = SimConfig::tiny(sim_cfg.seed);
@@ -87,6 +98,17 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     }
+
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    darkvec_obs::manifest::set_env("threads", threads as u64);
+    darkvec_obs::manifest::set_env("simd", darkvec_kernels::active_path().name());
+    darkvec_obs::manifest::set_env(
+        "backend",
+        match backend {
+            darkvec_ml::ann::NeighborBackend::Exact => "exact",
+            _ => "ann",
+        },
+    );
 
     let manifest_dir = out_dir.join("manifests");
     let mut ctx = Ctx::new(sim_cfg.clone(), out_dir);
@@ -178,6 +200,7 @@ fn usage() {
          --no-simd   force scalar-equivalent portable kernels (also DARKVEC_NO_SIMD=1)\n\
          --ann       approximate HNSW neighbour search in kNN experiments\n\
          --exact     exact brute-force neighbour search (the default)\n\
+         --metrics-addr A  serve live Prometheus metrics on A while running\n\
          -v          debug logging (also --log-level LEVEL or DARKVEC_LOG)\n\
          \n\
          each experiment writes a JSON run manifest under <out>/manifests/",

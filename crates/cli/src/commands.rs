@@ -9,7 +9,9 @@ use darkvec::pipeline::{self, TrainedModel};
 use darkvec::unsupervised::{cluster_embedding, ClusterConfig};
 use darkvec_gen::{simulate as run_sim, SimConfig};
 use darkvec_ml::ann::NeighborBackend;
-use darkvec_obs::{info, manifest, Json};
+use darkvec_obs::diff::{diff_manifests, DiffOptions};
+use darkvec_obs::trace::chrome_trace;
+use darkvec_obs::{info, manifest, metrics, Json};
 use darkvec_types::{io, Anonymizer, Ipv4, Trace};
 use darkvec_w2v::Embedding;
 use std::path::Path;
@@ -135,6 +137,7 @@ fn pipeline_config(opts: &Options) -> Result<DarkVecConfig, String> {
     cfg.w2v.window = opts.get_or("window", 25usize)?;
     cfg.w2v.epochs = opts.get_or("epochs", 10usize)?;
     cfg.w2v.seed = opts.get_or("seed", 1u64)?;
+    cfg.w2v.threads = opts.get_or("threads", 0usize)?;
     Ok(cfg)
 }
 
@@ -240,7 +243,7 @@ pub fn cluster(opts: &Options) -> Result<(), String> {
     let cfg = ClusterConfig {
         k: opts.get_or("k", 3usize)?,
         seed: opts.get_or("seed", 1u64)?,
-        threads: 0,
+        threads: opts.get_or("threads", 0usize)?,
         backend,
     };
     let min_size: usize = opts.get_or("min-size", 4usize)?;
@@ -342,7 +345,7 @@ pub fn incremental(opts: &Options) -> Result<(), String> {
         return Err("trace is empty: nothing to slide over".to_string());
     }
 
-    println!("  days        senders  source   clusters  modularity  train[s]  step[s]");
+    println!("  days        senders  source   clusters  modularity  train[s]  step[s]  cache[s]");
     for s in &steps {
         let source = if s.from_cache {
             "cache"
@@ -357,12 +360,13 @@ pub fn incremental(opts: &Options) -> Result<(), String> {
             .map(|c| (c.clusters.to_string(), format!("{:.3}", c.modularity)))
             .unwrap_or_else(|| ("-".to_string(), "-".to_string()));
         println!(
-            "  {:>3}..={:<3} {:>10}  {source:<6} {clusters:>9}  {modularity:>10}  {:>8.2}  {:>7.2}",
+            "  {:>3}..={:<3} {:>10}  {source:<6} {clusters:>9}  {modularity:>10}  {:>8.2}  {:>7.2}  {:>8.3}",
             s.start_day,
             s.end_day,
             s.model.embedding.len(),
             s.train_secs,
-            s.step_secs
+            s.step_secs,
+            s.cache_secs
         );
     }
     manifest::attach(
@@ -395,6 +399,24 @@ pub fn incremental(opts: &Options) -> Result<(), String> {
                 .with("misses", stats.misses)
                 .with("stores", stats.stores),
         );
+        let mut latency = Vec::new();
+        for (label, name) in [
+            ("hit", "cache.hit_ns"),
+            ("miss", "cache.miss_ns"),
+            ("store", "cache.store_ns"),
+        ] {
+            let h = metrics::histogram(name);
+            if h.count() > 0 {
+                latency.push(format!(
+                    "{label} p50/p99 {:.0}/{:.0}",
+                    h.quantile(0.50) as f64 / 1_000.0,
+                    h.quantile(0.99) as f64 / 1_000.0
+                ));
+            }
+        }
+        if !latency.is_empty() {
+            println!("cache latency [us]: {}", latency.join(", "));
+        }
     }
     if let Some(out) = opts.get("out") {
         let last = steps.last().expect("steps is non-empty");
@@ -435,6 +457,105 @@ pub fn export(opts: &Options) -> Result<(), String> {
     let out = opts.require("out")?;
     save_trace(&trace, out)?;
     info!("wrote {out} ({} packets)", trace.len());
+    Ok(())
+}
+
+/// `darkvec obs <diff|trace> ...` — offline analysis of run manifests.
+///
+/// Hand-parsed because it takes positional manifest paths, which the
+/// flag-only [`Options`] parser rejects by design.
+pub fn obs(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("diff") => obs_diff(&args[1..]),
+        Some("trace") => obs_trace(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown obs subcommand {other:?} (expected diff or trace)"
+        )),
+        None => Err(
+            "usage: darkvec obs diff <a.json> <b.json> [--gate PCT] [--counters-only] [--force]\n\
+             \x20      darkvec obs trace <manifest.json> [-o trace.json]"
+                .to_string(),
+        ),
+    }
+}
+
+fn read_manifest(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `darkvec obs diff a.json b.json --gate 20` — compare two run manifests
+/// and fail (nonzero exit) when B regresses past the gate relative to A.
+fn obs_diff(args: &[String]) -> Result<(), String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut dopts = DiffOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--gate" => {
+                let v = it.next().ok_or("--gate needs a percent value")?;
+                let pct: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--gate: cannot parse {v:?} as a percent"))?;
+                dopts.gate_pct = Some(pct);
+            }
+            "--counters-only" => dopts.counters_only = true,
+            "--force" => dopts.force = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!(
+                    "unknown flag {flag} (obs diff takes --gate PCT, --counters-only, --force)"
+                ))
+            }
+            path => paths.push(path),
+        }
+    }
+    let [a, b] = paths[..] else {
+        return Err(format!(
+            "obs diff needs exactly two manifest paths, got {}",
+            paths.len()
+        ));
+    };
+    let report = diff_manifests(&read_manifest(a)?, &read_manifest(b)?, &dopts)?;
+    print!("{}", report.render());
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} metric(s) regressed past the gate",
+            report.breaches.len()
+        ))
+    }
+}
+
+/// `darkvec obs trace manifest.json -o trace.json` — export the span tree
+/// and counter samples as Chrome trace_event JSON for Perfetto.
+fn obs_trace(args: &[String]) -> Result<(), String> {
+    let mut input: Option<&str> = None;
+    let mut out = "trace.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--out" => {
+                out = it.next().ok_or("-o needs an output path")?.clone();
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag} (obs trace takes -o FILE)"))
+            }
+            path => {
+                if input.replace(path).is_some() {
+                    return Err("obs trace takes exactly one manifest path".to_string());
+                }
+            }
+        }
+    }
+    let input = input.ok_or("obs trace needs a manifest path")?;
+    let trace = chrome_trace(&read_manifest(input)?)?;
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .map_or(0, <[Json]>::len);
+    std::fs::write(&out, trace.pretty()).map_err(|e| format!("{out}: {e}"))?;
+    info!("wrote {out} ({events} trace events)");
     Ok(())
 }
 
@@ -642,5 +763,76 @@ mod tests {
             ("services", "nope"),
         ]));
         assert!(err.is_err());
+    }
+
+    /// Writes a minimal schema-v2 manifest for `obs` tests, with one
+    /// counter at the given value.
+    fn write_obs_manifest(name: &str, packets: u64) -> String {
+        let path = tmp(name);
+        let manifest = Json::obj()
+            .with("schema_version", 2u64)
+            .with("command", "train")
+            .with(
+                "env",
+                Json::obj()
+                    .with("threads", 1u64)
+                    .with("simd", "scalar")
+                    .with("backend", "exact"),
+            )
+            .with(
+                "metrics",
+                Json::obj()
+                    .with("counters", Json::obj().with("pipeline.packets", packets))
+                    .with("gauges", Json::obj())
+                    .with("histograms", Json::obj()),
+            )
+            .with("thread_names", Json::obj().with("0", "main"))
+            .with(
+                "trace_events",
+                Json::Arr(vec![Json::obj()
+                    .with("name", "cli.train")
+                    .with("ts_us", 0u64)
+                    .with("dur_us", 1500u64)
+                    .with("tid", 0u64)]),
+            )
+            .with("counter_samples", Json::Arr(Vec::new()));
+        std::fs::write(&path, manifest.pretty()).unwrap();
+        path
+    }
+
+    #[test]
+    fn obs_diff_gates_counter_regressions() {
+        let a = write_obs_manifest("obs-a.json", 1000);
+        let same = write_obs_manifest("obs-same.json", 1010);
+        let worse = write_obs_manifest("obs-worse.json", 2000);
+        let argv = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Within the gate: passes.
+        obs(&argv(&["diff", &a, &same, "--gate", "20"])).unwrap();
+        // Past the gate: structured failure mentioning the regression count.
+        let err = obs(&argv(&["diff", &a, &worse, "--gate", "20"])).unwrap_err();
+        assert!(err.contains("regressed"), "unexpected error: {err}");
+        // No gate: report-only, always passes.
+        obs(&argv(&["diff", &a, &worse])).unwrap();
+        // Wrong arity and unknown flags are rejected.
+        assert!(obs(&argv(&["diff", &a])).is_err());
+        assert!(obs(&argv(&["diff", &a, &same, "--bogus"])).is_err());
+        assert!(obs(&argv(&["nope"])).is_err());
+        assert!(obs(&[]).is_err());
+    }
+
+    #[test]
+    fn obs_trace_exports_chrome_trace_json() {
+        let manifest = write_obs_manifest("obs-trace-in.json", 42);
+        let out = tmp("obs-trace-out.json");
+        let argv: Vec<String> = vec!["trace".into(), manifest, "-o".into(), out.clone()];
+        obs(&argv).unwrap();
+        let trace = Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        let events = trace.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Metadata events plus the one span.
+        assert!(events.len() >= 2);
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("name").and_then(Json::as_str) == Some("cli.train")
+        }));
     }
 }

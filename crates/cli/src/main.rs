@@ -12,6 +12,8 @@
 //!                   [--ann | --exact]
 //! darkvec stats     --trace trace.bin
 //! darkvec export    --trace trace.bin --out trace.csv
+//! darkvec obs diff  a.json b.json [--gate PCT] [--counters-only] [--force]
+//! darkvec obs trace manifest.json [-o trace.json]
 //! ```
 //!
 //! Traces are the binary format of `darkvec-types::io` (`.bin`) or CSV.
@@ -26,7 +28,12 @@
 //! * `--manifest-out DIR` — where to write the JSON run manifest
 //!   (default `results/manifests/`, `none` disables it);
 //! * `--no-simd` — force the scalar compute kernels (debugging escape
-//!   hatch; `DARKVEC_NO_SIMD=1` also works).
+//!   hatch; `DARKVEC_NO_SIMD=1` also works);
+//! * `--metrics-addr HOST:PORT` — serve live Prometheus metrics
+//!   (`/metrics`) and a JSON snapshot (`/metrics.json`) for the
+//!   duration of the run;
+//! * `--threads N` — worker thread count for training and clustering
+//!   (0 or absent = all cores; also stamped into the manifest `env`).
 //!
 //! Neighbour-search flags (`cluster`): `--ann` switches the kNN pass to
 //! the approximate HNSW index (fast on large traces, ≥0.95 recall@10 in
@@ -44,6 +51,18 @@ fn main() -> ExitCode {
         eprint!("{}", usage());
         return ExitCode::FAILURE;
     };
+    if command == "obs" {
+        // `obs` analyses existing manifests offline: positional paths, no
+        // run manifest of its own, so it bypasses the flag-only parser.
+        darkvec_obs::log::init_from_env();
+        return match commands::obs(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match args::Options::parse(rest) {
         Ok(opts) => opts,
         Err(e) => {
@@ -59,6 +78,14 @@ fn main() -> ExitCode {
         darkvec_kernels::set_simd_enabled(false);
     }
     darkvec_obs::debug!("compute kernels: {}", darkvec_kernels::active_path().name());
+    stamp_env(command, &opts);
+    let _metrics_server = match start_metrics_server(&opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let manifest = ManifestBuilder::new(command);
     let result = match command.as_str() {
         "simulate" => commands::simulate(&opts),
@@ -83,6 +110,39 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Stamps run-environment facts into the manifest so `obs diff` can
+/// refuse to compare runs from incompatible configurations: resolved
+/// thread count, active SIMD dispatch path, and neighbour backend.
+fn stamp_env(command: &str, opts: &args::Options) {
+    use darkvec_obs::manifest::set_env;
+    let threads = opts
+        .get("threads")
+        .and_then(|raw| raw.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+    set_env("threads", threads as u64);
+    set_env("simd", darkvec_kernels::active_path().name());
+    let backend = if opts.has("ann") { "ann" } else { "exact" };
+    set_env("backend", backend);
+    set_env("command", command);
+}
+
+/// Starts the live metrics endpoint when `--metrics-addr` is given. The
+/// returned guard keeps the listener thread alive for the whole run.
+fn start_metrics_server(
+    opts: &args::Options,
+) -> Result<Option<darkvec_obs::serve::MetricsServer>, String> {
+    let Some(addr) = opts.get("metrics-addr") else {
+        return Ok(None);
+    };
+    let server = darkvec_obs::serve::MetricsServer::start(addr)
+        .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+    darkvec_obs::info!("metrics endpoint: http://{}/metrics", server.addr());
+    Ok(Some(server))
 }
 
 /// Resolves the log level: `DARKVEC_LOG`, then `--log-level`, then `-v`
@@ -140,6 +200,8 @@ fn usage() -> &'static str {
        cluster    discover coordinated sender groups (kNN graph + Louvain)\n\
        stats      dataset summary of a capture\n\
        export     convert a binary capture to CSV\n\
+       obs        analyse run manifests: 'obs diff A B --gate PCT' gates\n\
+                  perf regressions, 'obs trace M -o T' exports Chrome trace\n\
        help       this message\n\
      \n\
      common flags:\n\
@@ -150,6 +212,9 @@ fn usage() -> &'static str {
        --no-simd          force scalar compute kernels (also DARKVEC_NO_SIMD=1)\n\
        --ann / --exact    approximate (HNSW) vs. exact neighbour search\n\
                           where kNN is involved (default exact)\n\
+       --threads N        worker threads (0/absent = all cores)\n\
+       --metrics-addr A   serve live metrics on A (e.g. 127.0.0.1:9090):\n\
+                          /metrics (Prometheus), /metrics.json, /healthz\n\
        --manifest-out DIR JSON run-manifest directory (default results/manifests,\n\
                           'none' disables)\n\
      \n\

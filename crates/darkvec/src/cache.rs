@@ -152,19 +152,24 @@ impl ArtifactCache {
         self.root.join(kind).join(format!("{key:016x}.bin"))
     }
 
-    /// Loads an artifact, counting the hit or miss.
+    /// Loads an artifact, counting the hit or miss and recording the
+    /// disk-read latency into the `cache.hit_ns` / `cache.miss_ns`
+    /// histograms.
     pub fn load(&self, kind: &str, key: u64) -> Option<Vec<u8>> {
+        let started = std::time::Instant::now();
         match fs::read(self.path(kind, key)) {
             Ok(bytes) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 darkvec_obs::metrics::counter("cache.hit").add(1);
                 darkvec_obs::metrics::counter(&format!("cache.{kind}.hit")).add(1);
+                darkvec_obs::metrics::histogram("cache.hit_ns").record_duration(started.elapsed());
                 Some(bytes)
             }
             Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 darkvec_obs::metrics::counter("cache.miss").add(1);
                 darkvec_obs::metrics::counter(&format!("cache.{kind}.miss")).add(1);
+                darkvec_obs::metrics::histogram("cache.miss_ns").record_duration(started.elapsed());
                 None
             }
         }
@@ -172,7 +177,9 @@ impl ArtifactCache {
 
     /// Stores an artifact atomically (write to a temp file, then rename —
     /// a crashed run never leaves a truncated artifact under a valid key).
+    /// Write latency lands in the `cache.store_ns` histogram.
     pub fn store(&self, kind: &str, key: u64, bytes: &[u8]) -> io::Result<()> {
+        let started = std::time::Instant::now();
         let path = self.path(kind, key);
         let dir = path.parent().expect("cache path has a parent");
         fs::create_dir_all(dir)?;
@@ -181,6 +188,7 @@ impl ArtifactCache {
         fs::rename(&tmp, &path)?;
         self.stores.fetch_add(1, Ordering::Relaxed);
         darkvec_obs::metrics::counter("cache.store").add(1);
+        darkvec_obs::metrics::histogram("cache.store_ns").record_duration(started.elapsed());
         Ok(())
     }
 
@@ -256,6 +264,24 @@ mod tests {
                 stores: 1
             }
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latency_histograms_record_cache_io() {
+        let dir = tmpdir("latency");
+        let cache = ArtifactCache::new(&dir).unwrap();
+        let hit = darkvec_obs::metrics::histogram("cache.hit_ns");
+        let miss = darkvec_obs::metrics::histogram("cache.miss_ns");
+        let store = darkvec_obs::metrics::histogram("cache.store_ns");
+        let (h0, m0, s0) = (hit.count(), miss.count(), store.count());
+        assert!(cache.load("model", 1).is_none());
+        cache.store("model", 1, b"payload").unwrap();
+        assert!(cache.load("model", 1).is_some());
+        assert_eq!(hit.count() - h0, 1);
+        assert_eq!(miss.count() - m0, 1);
+        assert_eq!(store.count() - s0, 1);
+        assert!(store.quantile(0.99) > 0, "store latency is non-zero");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -83,6 +83,9 @@ pub struct DayOutcome {
     pub train_secs: f64,
     /// Seconds for the whole step, including cache traffic and clustering.
     pub step_secs: f64,
+    /// Seconds this step spent in artifact-cache I/O (loads + stores),
+    /// derived from the `cache.*_ns` latency histograms.
+    pub cache_secs: f64,
 }
 
 /// Runs the sliding-window pipeline over a trace.
@@ -167,8 +170,16 @@ pub fn run_sliding(
     let mut outcomes: Vec<DayOutcome> = Vec::with_capacity(ends.len());
     let mut prior: Option<(u64, TrainedModel)> = None; // (model_key, model)
 
+    let step_latency = darkvec_obs::metrics::histogram("incremental.step_ns");
+    let cache_io_ns = || {
+        darkvec_obs::metrics::histogram("cache.hit_ns").sum()
+            + darkvec_obs::metrics::histogram("cache.miss_ns").sum()
+            + darkvec_obs::metrics::histogram("cache.store_ns").sum()
+    };
+
     for &end_day in &ends {
         let step_start = Instant::now();
+        let cache_ns_before = cache_io_ns();
         let _step = darkvec_obs::span!("incremental.step");
         let start_day = (end_day + 1).saturating_sub(cfg.window.days);
 
@@ -304,6 +315,9 @@ pub fn run_sliding(
             });
 
         let step_secs = step_start.elapsed().as_secs_f64();
+        let cache_secs = cache_io_ns().saturating_sub(cache_ns_before) as f64 / 1e9;
+        step_latency.record_duration(step_start.elapsed());
+        darkvec_obs::metrics::record_sample();
         darkvec_obs::debug!(
             "step days {start_day}..={end_day}: vocab {}, {} ({:.2}s)",
             model.embedding.len(),
@@ -327,6 +341,7 @@ pub fn run_sliding(
             model_key,
             train_secs,
             step_secs,
+            cache_secs,
         });
     }
     darkvec_obs::metrics::gauge("incremental.steps").set(outcomes.len() as f64);

@@ -186,10 +186,12 @@ impl<'m> HnswIndex<'m> {
             if let Some(ep) = entry {
                 let chunk = batch.len().div_ceil(threads);
                 let idx_ref = &index;
+                let ctx = darkvec_obs::span::context();
                 crossbeam::scope(|scope| {
                     for (c, out) in batch.chunks_mut(chunk).enumerate() {
                         let base = done + c * chunk;
                         scope.spawn(move |_| {
+                            let _worker = darkvec_obs::span!("ml.ann.build.batch", ctx);
                             let mut scratch = Scratch::new(n);
                             for (off, cands) in out.iter_mut().enumerate() {
                                 let node = (base + off) as u32;
@@ -258,12 +260,16 @@ impl<'m> HnswIndex<'m> {
         let ef = ef.max(k + 1);
         let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
         let chunk = n.div_ceil(threads);
+        let ctx = darkvec_obs::span::context();
         crossbeam::scope(|scope| {
             for (c, out) in results.chunks_mut(chunk).enumerate() {
                 let base = c * chunk;
                 scope.spawn(move |_| {
+                    let _worker = darkvec_obs::span!("ml.ann.query.chunk", ctx);
+                    let query_latency = darkvec_obs::metrics::histogram("ml.knn.query_ns");
                     let mut scratch = Scratch::new(n);
                     for (off, best) in out.iter_mut().enumerate() {
+                        let started = Instant::now();
                         let row = base + off;
                         let found = self.search_indexed(row as u32, ef, &mut scratch);
                         *best = found
@@ -275,6 +281,7 @@ impl<'m> HnswIndex<'m> {
                                 similarity: c.sim,
                             })
                             .collect();
+                        query_latency.record_duration(started.elapsed());
                     }
                 });
             }
@@ -312,12 +319,16 @@ impl<'m> HnswIndex<'m> {
         let n = self.rows();
         let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
         let chunk = nq.div_ceil(threads);
+        let ctx = darkvec_obs::span::context();
         crossbeam::scope(|scope| {
             for (c, out) in results.chunks_mut(chunk).enumerate() {
                 let q = &normed_q[c * chunk * dim..(c * chunk + out.len()) * dim];
                 scope.spawn(move |_| {
+                    let _worker = darkvec_obs::span!("ml.ann.query.chunk", ctx);
+                    let query_latency = darkvec_obs::metrics::histogram("ml.knn.query_ns");
                     let mut scratch = Scratch::new(n);
                     for (off, best) in out.iter_mut().enumerate() {
+                        let started = Instant::now();
                         let found = self.search(&q[off * dim..(off + 1) * dim], ef, &mut scratch);
                         *best = found
                             .into_iter()
@@ -327,6 +338,7 @@ impl<'m> HnswIndex<'m> {
                                 similarity: c.sim,
                             })
                             .collect();
+                        query_latency.record_duration(started.elapsed());
                     }
                 });
             }

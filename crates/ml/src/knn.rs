@@ -74,9 +74,13 @@ pub fn knn_all_normalized(
 
     let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
     let chunk = n.div_ceil(threads);
+    let ctx = darkvec_obs::span::context();
     crossbeam::scope(|scope| {
         for (c, out) in results.chunks_mut(chunk).enumerate() {
-            scope.spawn(move |_| knn_chunk(normed, c * chunk, out, k));
+            scope.spawn(move |_| {
+                let _worker = darkvec_obs::span!("ml.knn.chunk", ctx);
+                knn_chunk(normed, c * chunk, out, k);
+            });
         }
     })
     .expect("knn worker panicked");
@@ -107,7 +111,9 @@ fn scan_tiled(
     let n = normed.rows();
     let dim = normed.dim();
     debug_assert_eq!(queries.len(), out.len() * dim);
+    let query_latency = darkvec_obs::metrics::histogram("ml.knn.query_ns");
     for (b, block) in out.chunks_mut(QUERY_BLOCK).enumerate() {
+        let block_started = Instant::now();
         let qbase = b * QUERY_BLOCK;
         for tile_start in (0..n).step_by(TILE_ROWS) {
             let tile_end = (tile_start + TILE_ROWS).min(n);
@@ -122,6 +128,15 @@ fn scan_tiled(
                     insert_bounded(best, k, i, dot(q, normed.row(i)));
                 }
             }
+        }
+        // Queries in a block interleave across tiles, so per-query time
+        // is the block's wall time amortized over its queries — one
+        // histogram sample per query keeps counts meaningful.
+        let per_query_ns = (block_started.elapsed().as_nanos() / block.len() as u128)
+            .try_into()
+            .unwrap_or(u64::MAX);
+        for _ in 0..block.len() {
+            query_latency.record(per_query_ns);
         }
     }
 }
@@ -205,10 +220,14 @@ pub fn knn_batch(
 
     let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
     let chunk = nq.div_ceil(threads);
+    let ctx = darkvec_obs::span::context();
     crossbeam::scope(|scope| {
         for (c, out) in results.chunks_mut(chunk).enumerate() {
             let q = &normed_q[c * chunk * dim..(c * chunk + out.len()) * dim];
-            scope.spawn(move |_| scan_tiled(normed, q, None, out, k));
+            scope.spawn(move |_| {
+                let _worker = darkvec_obs::span!("ml.knn.chunk", ctx);
+                scan_tiled(normed, q, None, out, k);
+            });
         }
     })
     .expect("knn_batch worker panicked");

@@ -1,0 +1,510 @@
+//! Structured manifest comparison — the engine behind
+//! `darkvec obs diff` and the CI perf-regression gate.
+//!
+//! Compares two run manifests (parsed JSON, schema v1 or v2) across
+//! four families:
+//!
+//! * **counters** — work done (pairs trained, cache hits, distance
+//!   evaluations). Gated symmetrically: drift in either direction
+//!   beyond the threshold is a breach, because a counter that moved
+//!   means the run did different *work*, not just different timing.
+//! * **histograms** — latency distributions; p50/p99 gated on
+//!   *increase* only, with an absolute floor so nanosecond jitter on
+//!   near-zero baselines can't trip the gate.
+//! * **spans** — stage wall times (flattened to `parent/child` paths);
+//!   gated on increase only, with an absolute floor, and skipped
+//!   entirely under `counters_only` (for cross-machine comparisons
+//!   where absolute timings are meaningless).
+//! * **gauges** — reported for context, never gated (rates and ratios
+//!   vary with hardware).
+//!
+//! Before comparing anything, the `env` stamps (thread count, SIMD
+//! dispatch path, kNN backend) and the command must match: comparing an
+//! AVX2 8-thread run against a scalar 1-thread run produces numbers
+//! that look like regressions but are configuration differences.
+//! `force` downgrades that refusal to a note.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Knobs for [`diff_manifests`].
+#[derive(Clone, Debug)]
+pub struct DiffOptions {
+    /// Regression threshold in percent (e.g. 20.0); `None` reports
+    /// without gating.
+    pub gate_pct: Option<f64>,
+    /// Compare only counters (skip spans and latency histograms) — for
+    /// cross-machine comparisons against committed baselines.
+    pub counters_only: bool,
+    /// Proceed despite mismatched environment stamps.
+    pub force: bool,
+    /// Minimum absolute increase (in histogram sample units, i.e.
+    /// nanoseconds for `_ns` histograms) before a histogram quantile
+    /// counts as a breach.
+    pub latency_floor: f64,
+    /// Minimum absolute increase in seconds before a span total counts
+    /// as a breach.
+    pub secs_floor: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            gate_pct: None,
+            counters_only: false,
+            force: false,
+            latency_floor: 50_000.0, // 50µs
+            secs_floor: 0.05,
+        }
+    }
+}
+
+/// One compared quantity.
+#[derive(Clone, Debug)]
+pub struct DiffLine {
+    /// Family: `counter`, `gauge`, `hist`, or `span`.
+    pub kind: &'static str,
+    /// Metric name / span path / histogram quantile.
+    pub name: String,
+    /// Value in manifest A (the baseline).
+    pub a: f64,
+    /// Value in manifest B (the candidate).
+    pub b: f64,
+    /// Relative change in percent (`(b - a) / a`), 0 when both are 0.
+    pub delta_pct: f64,
+    /// Whether this line exceeded the gate.
+    pub breach: bool,
+}
+
+/// The outcome of a manifest comparison.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Every compared quantity, in family order.
+    pub lines: Vec<DiffLine>,
+    /// Human-readable descriptions of gate breaches.
+    pub breaches: Vec<String>,
+    /// Non-fatal observations (missing env stamps, one-sided metrics).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when no gated quantity breached the threshold.
+    pub fn ok(&self) -> bool {
+        self.breaches.is_empty()
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let name_width = self
+            .lines
+            .iter()
+            .map(|l| l.name.len())
+            .chain([4])
+            .max()
+            .unwrap();
+        let _ = writeln!(
+            out,
+            "{:7} {:<name_width$} {:>14} {:>14} {:>9}",
+            "kind", "name", "a", "b", "delta"
+        );
+        for line in &self.lines {
+            let _ = writeln!(
+                out,
+                "{:7} {:<name_width$} {:>14} {:>14} {:>8.1}%{}",
+                line.kind,
+                line.name,
+                format_value(line.a),
+                format_value(line.b),
+                line.delta_pct,
+                if line.breach { "  << BREACH" } else { "" },
+            );
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        for breach in &self.breaches {
+            let _ = writeln!(out, "BREACH: {breach}");
+        }
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn delta_pct(a: f64, b: f64) -> f64 {
+    if a == 0.0 && b == 0.0 {
+        0.0
+    } else if a == 0.0 {
+        100.0
+    } else {
+        (b - a) / a * 100.0
+    }
+}
+
+/// Checks that two manifests describe comparable runs: same command,
+/// same env stamps. Returns notes (missing stamps) or an error naming
+/// the first mismatch.
+fn check_comparable(a: &Json, b: &Json, notes: &mut Vec<String>) -> Result<(), String> {
+    let cmd_a = a.get("command").and_then(Json::as_str).unwrap_or("");
+    let cmd_b = b.get("command").and_then(Json::as_str).unwrap_or("");
+    if cmd_a != cmd_b {
+        return Err(format!(
+            "manifests are from different commands ('{cmd_a}' vs '{cmd_b}')"
+        ));
+    }
+    let (env_a, env_b) = (a.get("env"), b.get("env"));
+    match (env_a.and_then(Json::as_obj), env_b.and_then(Json::as_obj)) {
+        (Some(ea), Some(eb)) => {
+            for (key, va) in ea {
+                if let Some(vb) = env_b.unwrap().get(key) {
+                    if va != vb {
+                        return Err(format!(
+                            "env mismatch on '{key}': {} vs {} — these runs are not comparable \
+                             (use --force to compare anyway)",
+                            va.pretty().trim(),
+                            vb.pretty().trim()
+                        ));
+                    }
+                } else {
+                    notes.push(format!("env key '{key}' missing from manifest B"));
+                }
+            }
+            for (key, _) in eb {
+                if env_a.unwrap().get(key).is_none() {
+                    notes.push(format!("env key '{key}' missing from manifest A"));
+                }
+            }
+        }
+        _ => notes.push(
+            "one or both manifests lack env stamps (pre-v2 schema); comparability not verified"
+                .to_string(),
+        ),
+    }
+    Ok(())
+}
+
+fn metric_section<'a>(manifest: &'a Json, section: &str) -> BTreeMap<String, &'a Json> {
+    manifest
+        .get("metrics")
+        .and_then(|m| m.get(section))
+        .and_then(Json::as_obj)
+        .map(|entries| {
+            entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v))
+                .collect::<BTreeMap<_, _>>()
+        })
+        .unwrap_or_default()
+}
+
+/// Flattens a manifest's span tree into `parent/child` path → total
+/// seconds.
+fn span_paths(manifest: &Json) -> BTreeMap<String, f64> {
+    fn walk(node: &Json, prefix: &str, out: &mut BTreeMap<String, f64>) {
+        let Some(name) = node.get("name").and_then(Json::as_str) else {
+            return;
+        };
+        let path = if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}/{name}")
+        };
+        if let Some(total) = node.get("total_secs").and_then(Json::as_f64) {
+            out.insert(path.clone(), total);
+        }
+        if let Some(children) = node.get("children").and_then(Json::as_arr) {
+            for child in children {
+                walk(child, &path, out);
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    if let Some(roots) = manifest.get("spans").and_then(Json::as_arr) {
+        for root in roots {
+            walk(root, "", &mut out);
+        }
+    }
+    out
+}
+
+/// Compares manifest `b` (candidate) against `a` (baseline). See the
+/// [module docs](self) for gating semantics.
+pub fn diff_manifests(a: &Json, b: &Json, opts: &DiffOptions) -> Result<DiffReport, String> {
+    let mut report = DiffReport::default();
+    if let Err(e) = check_comparable(a, b, &mut report.notes) {
+        if opts.force {
+            report.notes.push(format!("ignored (--force): {e}"));
+        } else {
+            return Err(e);
+        }
+    }
+    let gate = opts.gate_pct;
+
+    // Counters: symmetric gate on drift.
+    let ca = metric_section(a, "counters");
+    let cb = metric_section(b, "counters");
+    let names: Vec<&String> = ca.keys().chain(cb.keys()).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for name in names {
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        match (ca.get(name), cb.get(name)) {
+            (Some(va), Some(vb)) => {
+                let (va, vb) = (va.as_f64().unwrap_or(0.0), vb.as_f64().unwrap_or(0.0));
+                let pct = delta_pct(va, vb);
+                let breach = gate.is_some_and(|g| pct.abs() > g);
+                if breach {
+                    report.breaches.push(format!(
+                        "counter {name}: {va} -> {vb} ({pct:+.1}%) exceeds gate"
+                    ));
+                }
+                report.lines.push(DiffLine {
+                    kind: "counter",
+                    name: name.clone(),
+                    a: va,
+                    b: vb,
+                    delta_pct: pct,
+                    breach,
+                });
+            }
+            (Some(_), None) => report.notes.push(format!("counter {name} only in A")),
+            (None, Some(_)) => report.notes.push(format!("counter {name} only in B")),
+            (None, None) => unreachable!(),
+        }
+    }
+
+    // Gauges: context only.
+    let ga = metric_section(a, "gauges");
+    let gb = metric_section(b, "gauges");
+    for (name, va) in &ga {
+        if let Some(vb) = gb.get(name) {
+            let (va, vb) = (va.as_f64().unwrap_or(0.0), vb.as_f64().unwrap_or(0.0));
+            report.lines.push(DiffLine {
+                kind: "gauge",
+                name: name.clone(),
+                a: va,
+                b: vb,
+                delta_pct: delta_pct(va, vb),
+                breach: false,
+            });
+        }
+    }
+
+    if !opts.counters_only {
+        // Histogram quantiles: gate on increase beyond floor.
+        let ha = metric_section(a, "histograms");
+        let hb = metric_section(b, "histograms");
+        for (name, va) in &ha {
+            let Some(vb) = hb.get(name) else {
+                report.notes.push(format!("histogram {name} only in A"));
+                continue;
+            };
+            for q in ["p50", "p99"] {
+                let qa = va.get(q).and_then(Json::as_f64).unwrap_or(0.0);
+                let qb = vb.get(q).and_then(Json::as_f64).unwrap_or(0.0);
+                let pct = delta_pct(qa, qb);
+                let breach = gate.is_some_and(|g| pct > g && (qb - qa) > opts.latency_floor);
+                if breach {
+                    report.breaches.push(format!(
+                        "histogram {name} {q}: {qa} -> {qb} ({pct:+.1}%) exceeds gate"
+                    ));
+                }
+                report.lines.push(DiffLine {
+                    kind: "hist",
+                    name: format!("{name}.{q}"),
+                    a: qa,
+                    b: qb,
+                    delta_pct: pct,
+                    breach,
+                });
+            }
+        }
+
+        // Span paths: gate on increase beyond floor.
+        let sa = span_paths(a);
+        let sb = span_paths(b);
+        for (path, ta) in &sa {
+            let Some(tb) = sb.get(path) else {
+                report.notes.push(format!("span {path} only in A"));
+                continue;
+            };
+            let pct = delta_pct(*ta, *tb);
+            let breach = gate.is_some_and(|g| pct > g && (tb - ta) > opts.secs_floor);
+            if breach {
+                report.breaches.push(format!(
+                    "span {path}: {ta:.4}s -> {tb:.4}s ({pct:+.1}%) exceeds gate"
+                ));
+            }
+            report.lines.push(DiffLine {
+                kind: "span",
+                name: path.clone(),
+                a: *ta,
+                b: *tb,
+                delta_pct: pct,
+                breach,
+            });
+        }
+        for path in sb.keys() {
+            if !sa.contains_key(path) {
+                report.notes.push(format!("span {path} only in B"));
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(counters: &[(&str, u64)], p99: u64, span_secs: f64) -> Json {
+        let mut cs = Json::obj();
+        for &(name, value) in counters {
+            cs.set(name, value);
+        }
+        let hist = Json::obj()
+            .with("count", 100u64)
+            .with("sum", 1000u64)
+            .with("p50", p99 / 2)
+            .with("p99", p99);
+        Json::obj()
+            .with("schema_version", 2u64)
+            .with("command", "train")
+            .with(
+                "env",
+                Json::obj()
+                    .with("threads", 1u64)
+                    .with("simd", "scalar")
+                    .with("backend", "exact"),
+            )
+            .with(
+                "metrics",
+                Json::obj()
+                    .with("counters", cs)
+                    .with("gauges", Json::obj())
+                    .with("histograms", Json::obj().with("ml.knn.query_ns", hist)),
+            )
+            .with(
+                "spans",
+                Json::Arr(vec![Json::obj()
+                    .with("name", "pipeline")
+                    .with("count", 1u64)
+                    .with("total_secs", span_secs)]),
+            )
+    }
+
+    fn gate20() -> DiffOptions {
+        DiffOptions {
+            gate_pct: Some(20.0),
+            ..DiffOptions::default()
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let a = manifest(&[("pairs", 1000)], 1_000_000, 2.0);
+        let report = diff_manifests(&a, &a, &gate20()).unwrap();
+        assert!(report.ok(), "breaches: {:?}", report.breaches);
+        assert!(!report.lines.is_empty());
+    }
+
+    #[test]
+    fn counter_drift_breaches_in_both_directions() {
+        let a = manifest(&[("pairs", 1000)], 1_000_000, 2.0);
+        let up = manifest(&[("pairs", 1300)], 1_000_000, 2.0);
+        let down = manifest(&[("pairs", 700)], 1_000_000, 2.0);
+        assert!(!diff_manifests(&a, &up, &gate20()).unwrap().ok());
+        assert!(!diff_manifests(&a, &down, &gate20()).unwrap().ok());
+        // Within the gate: fine.
+        let near = manifest(&[("pairs", 1100)], 1_000_000, 2.0);
+        assert!(diff_manifests(&a, &near, &gate20()).unwrap().ok());
+    }
+
+    #[test]
+    fn latency_regression_breaches_above_floor_only() {
+        let a = manifest(&[("pairs", 1000)], 1_000_000, 2.0);
+        // +50% p99, well above the 50µs floor: breach.
+        let slow = manifest(&[("pairs", 1000)], 1_500_000, 2.0);
+        let report = diff_manifests(&a, &slow, &gate20()).unwrap();
+        assert!(!report.ok());
+        assert!(report.breaches.iter().any(|b| b.contains("p99")));
+        // +50% on a tiny baseline (100ns -> 150ns): under the absolute
+        // floor, no breach.
+        let a_tiny = manifest(&[("pairs", 1000)], 100, 2.0);
+        let b_tiny = manifest(&[("pairs", 1000)], 150, 2.0);
+        assert!(diff_manifests(&a_tiny, &b_tiny, &gate20()).unwrap().ok());
+        // A latency *improvement* is never a breach.
+        let fast = manifest(&[("pairs", 1000)], 500_000, 2.0);
+        assert!(diff_manifests(&a, &fast, &gate20()).unwrap().ok());
+    }
+
+    #[test]
+    fn span_regression_breaches() {
+        let a = manifest(&[("pairs", 1000)], 1_000_000, 2.0);
+        let slow = manifest(&[("pairs", 1000)], 1_000_000, 3.0);
+        let report = diff_manifests(&a, &slow, &gate20()).unwrap();
+        assert!(report.breaches.iter().any(|b| b.contains("span pipeline")));
+    }
+
+    #[test]
+    fn counters_only_skips_timing() {
+        let a = manifest(&[("pairs", 1000)], 1_000_000, 2.0);
+        let slow = manifest(&[("pairs", 1000)], 9_000_000, 9.0);
+        let opts = DiffOptions {
+            counters_only: true,
+            ..gate20()
+        };
+        let report = diff_manifests(&a, &slow, &opts).unwrap();
+        assert!(report.ok(), "timing ignored under counters_only");
+        assert!(report.lines.iter().all(|l| l.kind != "span"));
+    }
+
+    #[test]
+    fn incomparable_envs_refuse_unless_forced() {
+        let a = manifest(&[("pairs", 1000)], 1_000_000, 2.0);
+        let mut b = manifest(&[("pairs", 1000)], 1_000_000, 2.0);
+        b.set(
+            "env",
+            Json::obj()
+                .with("threads", 8u64)
+                .with("simd", "avx2+fma")
+                .with("backend", "exact"),
+        );
+        let err = diff_manifests(&a, &b, &gate20()).unwrap_err();
+        assert!(err.contains("env mismatch"), "err: {err}");
+        let forced = DiffOptions {
+            force: true,
+            ..gate20()
+        };
+        let report = diff_manifests(&a, &b, &forced).unwrap();
+        assert!(report.notes.iter().any(|n| n.contains("--force")));
+    }
+
+    #[test]
+    fn different_commands_never_compare() {
+        let a = manifest(&[("pairs", 1000)], 1_000_000, 2.0);
+        let mut b = manifest(&[("pairs", 1000)], 1_000_000, 2.0);
+        b.set("command", "cluster");
+        assert!(diff_manifests(&a, &b, &gate20()).is_err());
+    }
+
+    #[test]
+    fn no_gate_means_report_only() {
+        let a = manifest(&[("pairs", 1000)], 1_000_000, 2.0);
+        let wild = manifest(&[("pairs", 9000)], 9_000_000, 9.0);
+        let report = diff_manifests(&a, &wild, &DiffOptions::default()).unwrap();
+        assert!(report.ok(), "without a gate nothing breaches");
+        assert!(report.render().contains("counter"));
+    }
+}

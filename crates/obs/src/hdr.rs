@@ -1,0 +1,173 @@
+//! HDR-style sub-bucketed histogram math.
+//!
+//! Plain log₂ buckets answer "which order of magnitude" but are useless
+//! for percentile queries: a p99 read out of a bucket spanning
+//! `[2^20, 2^21)` can be off by almost 2×. The fix (the same one
+//! HdrHistogram uses) is to split every power-of-two octave into
+//! `2^SUB_BITS` equal sub-buckets.
+//!
+//! With `SUB_BITS = 5` (32 sub-buckets per octave):
+//!
+//! * values `0..32` are recorded **exactly** (one bucket per value);
+//! * a value `v ≥ 32` lands in a bucket of width `2^(⌊log₂ v⌋ - 5)`,
+//!   i.e. at most `v / 32`;
+//! * quantile queries report the **midpoint** of the selected bucket, so
+//!   the error vs. the exact sample at that rank is at most half a
+//!   bucket width: **relative error ≤ 1/64 ≈ 1.6%** for values ≥ 32
+//!   (plus one unit of integer quantization), exact below 32.
+//!
+//! The full `u64` range fits in `32 + 59·32 = 1920` buckets — small
+//! enough for a flat atomic array per histogram, no allocation on the
+//! record path, and cheap to snapshot.
+
+/// log₂ of the number of sub-buckets per octave.
+pub const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per octave (32).
+pub const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering all of `u64`.
+///
+/// Indices `0..32` are the exact values `0..32`; octaves for exponents
+/// `5..=63` contribute 32 buckets each.
+pub const BUCKETS: usize = (SUB + (63 - SUB_BITS as u64) * SUB + SUB) as usize;
+
+/// Upper bound on the relative error of a quantile estimate for values
+/// `≥ SUB` (midpoint reporting): `1 / (2 * SUB)`.
+pub const MAX_RELATIVE_ERROR: f64 = 1.0 / (2 * SUB) as f64;
+
+/// The bucket index `value` falls into.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros() as u64; // ⌊log₂ value⌋, ≥ SUB_BITS
+        let sub = (value >> (exp - SUB_BITS as u64)) - SUB; // 0..SUB
+        (SUB + (exp - SUB_BITS as u64) * SUB + sub) as usize
+    }
+}
+
+/// The inclusive lower bound of bucket `index`.
+pub fn bucket_floor(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        index
+    } else {
+        let octave = (index - SUB) / SUB; // exp - SUB_BITS
+        let sub = (index - SUB) % SUB;
+        (SUB + sub) << octave
+    }
+}
+
+/// The exclusive upper bound of bucket `index` (`u64::MAX` for the last
+/// bucket, whose top value is unreachable anyway).
+pub fn bucket_ceil(index: usize) -> u64 {
+    if index + 1 < BUCKETS {
+        bucket_floor(index + 1)
+    } else {
+        u64::MAX
+    }
+}
+
+/// The value reported for a sample known to lie in bucket `index`: the
+/// bucket midpoint, which halves the worst-case error vs. the floor.
+pub fn bucket_midpoint(index: usize) -> u64 {
+    let lo = bucket_floor(index);
+    let hi = bucket_ceil(index);
+    lo + (hi - lo - 1) / 2
+}
+
+/// Quantile estimate from `(bucket_floor, count)` pairs (ascending by
+/// floor, as produced by histogram snapshots and manifests).
+///
+/// `q` is clamped to `[0, 1]`; the estimate is the midpoint of the
+/// bucket containing the sample of rank `⌈q·total⌉` (1-based), matching
+/// the "nearest-rank" definition an exact sorted-sample oracle uses.
+/// Returns 0 for an empty histogram.
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for &(floor, count) in buckets {
+        cumulative += count;
+        if cumulative >= rank {
+            return bucket_midpoint(bucket_index(floor));
+        }
+    }
+    // Unreachable if counts sum to `total`; be defensive for manifests
+    // with inconsistent totals.
+    buckets.last().map_or(0, |&(floor, _)| floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB {
+            let i = bucket_index(v);
+            assert_eq!(bucket_floor(i), v);
+            assert_eq!(bucket_ceil(i), v + 1);
+            assert_eq!(bucket_midpoint(i), v);
+        }
+    }
+
+    #[test]
+    fn floors_round_trip_through_index() {
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(i)), i, "floor of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_ceil(i),
+                bucket_floor(i + 1),
+                "bucket {i} must abut bucket {}",
+                i + 1
+            );
+        }
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_width_bounds_relative_error() {
+        for v in [32u64, 100, 1_000, 123_456, u32::MAX as u64, 1 << 50] {
+            let i = bucket_index(v);
+            let width = bucket_ceil(i) - bucket_floor(i);
+            assert!(
+                width <= bucket_floor(i) / SUB,
+                "width {width} of bucket holding {v} exceeds floor/{SUB}"
+            );
+            let mid = bucket_midpoint(i) as f64;
+            let err = (mid - v as f64).abs() / v as f64;
+            assert!(
+                err <= MAX_RELATIVE_ERROR + 1.0 / v as f64,
+                "midpoint error {err} for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        // 100 samples: 1..=100, each exact (all < 32? no — use counts).
+        let mut counts = std::collections::BTreeMap::new();
+        for v in 1..=100u64 {
+            *counts.entry(bucket_floor(bucket_index(v))).or_insert(0u64) += 1;
+        }
+        let buckets: Vec<(u64, u64)> = counts.into_iter().collect();
+        let p50 = quantile_from_buckets(&buckets, 100, 0.50);
+        let p99 = quantile_from_buckets(&buckets, 100, 0.99);
+        assert!((p50 as f64 - 50.0).abs() <= 50.0 * MAX_RELATIVE_ERROR + 1.0);
+        assert!((p99 as f64 - 99.0).abs() <= 99.0 * MAX_RELATIVE_ERROR + 1.0);
+        assert_eq!(quantile_from_buckets(&buckets, 100, 0.0), 1);
+        assert_eq!(quantile_from_buckets(&[], 0, 0.5), 0);
+    }
+}

@@ -13,15 +13,26 @@
 //!   Repeated spans with the same name under the same parent aggregate
 //!   (count + total time), so per-window instrumentation stays readable.
 //! * [`metrics`] — a global registry of monotonically increasing
-//!   counters, float gauges, and log₂-bucketed histograms, all built on
-//!   atomics and cheap enough to bump from Hogwild workers.
+//!   counters, float gauges, and HDR sub-bucketed histograms (see
+//!   [`hdr`]) with bounded-error p50/p90/p99/p99.9 queries, all built
+//!   on atomics and cheap enough to bump from Hogwild workers.
 //!
 //! [`manifest`] ties them together: a [`manifest::ManifestBuilder`]
 //! snapshots the span tree and metrics registry into a JSON **run
 //! manifest** under `results/manifests/`, giving every CLI command and
 //! every `xp` experiment a machine-readable perf/quality record. [`json`]
-//! is the tiny JSON writer backing it (the workspace's serde is an inert
-//! offline stub, so manifests are emitted by hand).
+//! is the tiny JSON writer/parser backing it (the workspace's serde is
+//! an inert offline stub, so manifests are emitted by hand).
+//!
+//! On top of manifests sit the production-observability modules:
+//!
+//! * [`trace`] — exports a manifest's raw span events and counter
+//!   samples as Chrome `trace_event` JSON (Perfetto-compatible, real
+//!   per-thread lanes);
+//! * [`serve`] — a std-only TCP endpoint (`--metrics-addr`) exposing
+//!   the live registry as Prometheus text and JSON;
+//! * [`diff`] — structured regression comparison between two manifests
+//!   with a percent gate, used by `darkvec obs diff` in CI.
 //!
 //! ```
 //! use darkvec_obs::{info, metrics, span};
@@ -32,11 +43,15 @@
 //! info!("stage finished");
 //! ```
 
+pub mod diff;
+pub mod hdr;
 pub mod json;
 pub mod log;
 pub mod manifest;
 pub mod metrics;
+pub mod serve;
 pub mod span;
+pub mod trace;
 
 pub use json::Json;
 pub use log::Level;

@@ -1,16 +1,21 @@
 //! Run manifests: one JSON file per CLI command or experiment.
 //!
 //! A manifest freezes everything needed to reproduce and compare a run:
-//! the command and its configuration, the aggregated span tree (stage
-//! timings), a full metrics snapshot, and any extra sections the caller
-//! attaches (corpus stats, training stats, artifact paths). Files land
-//! under `results/manifests/` by default as
-//! `<command>_<unix-secs>_<pid>-<seq>.json`, so two runs can be diffed
-//! with any JSON tool.
+//! the command and its configuration, an `env` section stamping the
+//! execution environment (thread count, SIMD dispatch path, kNN
+//! backend — what [`crate::diff`] checks before comparing two runs),
+//! the aggregated span tree (stage timings), raw per-thread trace
+//! events (what [`crate::trace`] turns into Chrome JSON), counter
+//! samples, and a full metrics snapshot with p50/p90/p99/p99.9 per
+//! histogram. Extra sections can be attached by the caller (corpus
+//! stats, training stats, artifact paths).
+//!
+//! Files land under `results/manifests/` by default as
+//! `<command>_<unix-secs>_<pid>.json`; an existing file is never
+//! overwritten — a `-<seq>` run-sequence suffix is appended instead.
 
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
@@ -18,18 +23,27 @@ use crate::json::Json;
 use crate::{metrics, span};
 
 /// Manifest schema version, bumped on breaking layout changes.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: added `env`, `trace_events`, `thread_names`, `counter_samples`,
+/// and per-histogram quantiles; filenames gained collision-safe
+/// sequence suffixes.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Default output directory, relative to the working directory.
 pub const DEFAULT_DIR: &str = "results/manifests";
 
-/// Per-process sequence number keeping same-second filenames unique
-/// (`xp` writes one manifest per experiment from a single process).
-static SEQ: AtomicU64 = AtomicU64::new(0);
+/// Ceiling on raw trace events embedded in a manifest; manifests count
+/// (and report) anything dropped beyond it.
+pub const MAX_TRACE_EVENTS: usize = 20_000;
 
 fn attached() -> &'static Mutex<Vec<(String, Json)>> {
     static ATTACHED: OnceLock<Mutex<Vec<(String, Json)>>> = OnceLock::new();
     ATTACHED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn env_stash() -> &'static Mutex<Vec<(String, Json)>> {
+    static ENV: OnceLock<Mutex<Vec<(String, Json)>>> = OnceLock::new();
+    ENV.get_or_init(|| Mutex::new(Vec::new()))
 }
 
 /// Stashes a section for any manifest finished later in this process —
@@ -46,9 +60,23 @@ pub fn attach(name: &str, value: impl Into<Json>) {
     }
 }
 
+/// Stamps an environment key (e.g. `threads`, `simd`, `backend`) into
+/// every manifest finished later in this process. [`crate::diff`]
+/// refuses to compare manifests whose stamps disagree.
+pub fn set_env(key: &str, value: impl Into<Json>) {
+    let mut stash = env_stash().lock().expect("env stash poisoned");
+    let value = value.into();
+    if let Some(entry) = stash.iter_mut().find(|(k, _)| k == key) {
+        entry.1 = value;
+    } else {
+        stash.push((key.to_string(), value));
+    }
+}
+
 /// Clears attached sections (used between independent runs sharing one
 /// process, alongside [`crate::span::reset`] and
-/// [`crate::metrics::reset`]).
+/// [`crate::metrics::reset`]). Environment stamps survive: they
+/// describe the process, not the run.
 pub fn clear_attached() {
     attached().lock().expect("manifest stash poisoned").clear();
 }
@@ -89,12 +117,17 @@ impl ManifestBuilder {
 
     /// Builds the manifest value, snapshotting spans and metrics now.
     pub fn finish(&self) -> Json {
+        let mut env = Json::obj();
+        for (key, value) in env_stash().lock().expect("env stash poisoned").iter() {
+            env.set(key, value.clone());
+        }
         let mut root = Json::obj()
             .with("schema_version", SCHEMA_VERSION)
             .with("command", self.command.as_str())
             .with("started_unix_secs", self.started_unix.as_secs_f64())
             .with("elapsed_secs", self.started.elapsed().as_secs_f64())
-            .with("pid", u64::from(std::process::id()));
+            .with("pid", u64::from(std::process::id()))
+            .with("env", env);
         for (name, value) in attached().lock().expect("manifest stash poisoned").iter() {
             root.set(name, value.clone());
         }
@@ -107,23 +140,34 @@ impl ManifestBuilder {
             Json::Arr(span::snapshot().iter().map(span_to_json).collect()),
         );
         root.set("metrics", snapshot_to_json(&metrics::snapshot()));
+        root.set("thread_names", thread_names_to_json());
+        let (events, dropped) = trace_events_to_json();
+        root.set("trace_events", events);
+        if dropped > 0 {
+            root.set("trace_events_dropped", dropped);
+        }
+        root.set("counter_samples", samples_to_json());
         root
     }
 
     /// Writes the manifest into `dir` (created if missing) and returns
-    /// the file path.
+    /// the file path. Never overwrites: on a name collision a `-<seq>`
+    /// run-sequence suffix is bumped until the name is free.
     pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
-        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-        let name = format!(
-            "{}_{}_{}-{}.json",
+        let stem = format!(
+            "{}_{}_{}",
             sanitize(&self.command),
             self.started_unix.as_secs(),
             std::process::id(),
-            seq
         );
-        let path = dir.join(name);
-        std::fs::write(&path, self.finish().pretty())?;
+        let mut path = dir.join(format!("{stem}.json"));
+        let mut seq = 1u64;
+        while path.exists() {
+            path = dir.join(format!("{stem}-{seq}.json"));
+            seq += 1;
+        }
+        write_atomic(&path, self.finish().pretty().as_bytes())?;
         Ok(path)
     }
 
@@ -131,6 +175,14 @@ impl ManifestBuilder {
     pub fn write_default(&self) -> io::Result<PathBuf> {
         self.write(Path::new(DEFAULT_DIR))
     }
+}
+
+/// Writes via a unique temp file + rename so a crash mid-write can't
+/// leave a torn manifest at the final name.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension(format!("json.tmp{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
 }
 
 fn sanitize(command: &str) -> String {
@@ -160,7 +212,9 @@ fn span_to_json(node: &span::SpanNode) -> Json {
     j
 }
 
-fn snapshot_to_json(snap: &metrics::Snapshot) -> Json {
+/// Serializes a metrics snapshot (shared with the `/metrics.json`
+/// endpoint in [`crate::serve`]).
+pub fn snapshot_to_json(snap: &metrics::Snapshot) -> Json {
     let mut counters = Json::obj();
     for (name, value) in &snap.counters {
         counters.set(name, *value);
@@ -180,6 +234,22 @@ fn snapshot_to_json(snap: &metrics::Snapshot) -> Json {
             Json::obj()
                 .with("count", *count)
                 .with("sum", *sum)
+                .with(
+                    "p50",
+                    crate::hdr::quantile_from_buckets(buckets, *count, 0.50),
+                )
+                .with(
+                    "p90",
+                    crate::hdr::quantile_from_buckets(buckets, *count, 0.90),
+                )
+                .with(
+                    "p99",
+                    crate::hdr::quantile_from_buckets(buckets, *count, 0.99),
+                )
+                .with(
+                    "p999",
+                    crate::hdr::quantile_from_buckets(buckets, *count, 0.999),
+                )
                 .with("buckets", Json::Arr(entries)),
         );
     }
@@ -187,6 +257,54 @@ fn snapshot_to_json(snap: &metrics::Snapshot) -> Json {
         .with("counters", counters)
         .with("gauges", gauges)
         .with("histograms", histograms)
+}
+
+fn thread_names_to_json() -> Json {
+    let mut names = Json::obj();
+    for (tid, name) in span::thread_names() {
+        names.set(&tid.to_string(), name.as_str());
+    }
+    names
+}
+
+/// Raw span occurrences as JSON, earliest first, capped at
+/// [`MAX_TRACE_EVENTS`]; returns `(events, dropped_count)`.
+fn trace_events_to_json() -> (Json, u64) {
+    let events = span::events();
+    let dropped = events.len().saturating_sub(MAX_TRACE_EVENTS) as u64;
+    let items: Vec<Json> = events
+        .into_iter()
+        .take(MAX_TRACE_EVENTS)
+        .map(|e| {
+            Json::obj()
+                .with("name", e.name)
+                .with("ts_us", e.start.as_micros() as u64)
+                .with("dur_us", e.duration.as_micros() as u64)
+                .with("tid", e.tid)
+        })
+        .collect();
+    (Json::Arr(items), dropped)
+}
+
+fn samples_to_json() -> Json {
+    let items: Vec<Json> = metrics::samples()
+        .into_iter()
+        .map(|s| {
+            let mut counters = Json::obj();
+            for (name, value) in &s.counters {
+                counters.set(name, *value);
+            }
+            let mut gauges = Json::obj();
+            for (name, value) in &s.gauges {
+                gauges.set(name, *value);
+            }
+            Json::obj()
+                .with("ts_us", s.ts.as_micros() as u64)
+                .with("counters", counters)
+                .with("gauges", gauges)
+        })
+        .collect();
+    Json::Arr(items)
 }
 
 #[cfg(test)]
@@ -223,6 +341,45 @@ mod tests {
     }
 
     #[test]
+    fn manifest_carries_env_trace_events_and_quantiles() {
+        set_env("test_env_key", "test_env_value");
+        metrics::histogram("test.manifest_hist").record(1000);
+        {
+            let _g = crate::span!("test_manifest_trace_span");
+        }
+        let m = ManifestBuilder::new("env-test").finish();
+        assert_eq!(
+            m.get("env").and_then(|e| e.get("test_env_key")),
+            Some(&Json::Str("test_env_value".into()))
+        );
+        let events = m
+            .get("trace_events")
+            .and_then(Json::as_arr)
+            .expect("trace_events array");
+        let ours = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("test_manifest_trace_span"))
+            .expect("our span in trace events");
+        assert!(ours.get("ts_us").and_then(Json::as_u64).is_some());
+        assert!(ours.get("dur_us").and_then(Json::as_u64).is_some());
+        let tid = ours.get("tid").and_then(Json::as_u64).expect("tid");
+        assert!(
+            m.get("thread_names")
+                .and_then(|n| n.get(&tid.to_string()))
+                .is_some(),
+            "thread name registered for tid {tid}"
+        );
+        let hist = m
+            .get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .and_then(|h| h.get("test.manifest_hist"))
+            .expect("histogram serialized");
+        for q in ["p50", "p90", "p99", "p999"] {
+            assert!(hist.get(q).and_then(Json::as_u64).is_some(), "{q} present");
+        }
+    }
+
+    #[test]
     fn attached_sections_reach_later_manifests() {
         attach("test_attached", Json::obj().with("k", 1u64));
         attach("test_attached", Json::obj().with("k", 2u64));
@@ -244,10 +401,14 @@ mod tests {
     #[test]
     fn write_creates_unique_files() {
         let dir = std::env::temp_dir().join(format!("obs_manifest_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
         let b = ManifestBuilder::new("unit test/odd:name");
         let p1 = b.write(&dir).expect("first write");
         let p2 = b.write(&dir).expect("second write");
-        assert_ne!(p1, p2, "sequence number keeps filenames unique");
+        let p3 = b.write(&dir).expect("third write");
+        assert_ne!(p1, p2, "existing manifests are never overwritten");
+        assert_ne!(p2, p3);
+        assert!(p1.exists() && p2.exists() && p3.exists());
         let text = std::fs::read_to_string(&p1).unwrap();
         assert!(text.starts_with('{') && text.ends_with("}\n"));
         assert!(p1
@@ -256,6 +417,12 @@ mod tests {
             .to_str()
             .unwrap()
             .starts_with("unit_test_odd_name_"));
+        assert!(p2
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .ends_with("-1.json"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,4 +1,4 @@
-//! Global metrics registry: counters, gauges, and log₂ histograms.
+//! Global metrics registry: counters, gauges, and HDR histograms.
 //!
 //! Handles are `&'static` and lock-free to bump, so hot loops (Hogwild
 //! workers, per-packet filters) can update them without contention on
@@ -14,10 +14,22 @@
 //! }
 //! assert!(tokens.get() >= 1000);
 //! ```
+//!
+//! Histograms use the sub-bucketed log₂ layout from [`crate::hdr`], so
+//! [`Histogram::quantile`] answers p50/p90/p99/p99.9 with a bounded
+//! relative error (≤ [`crate::hdr::MAX_RELATIVE_ERROR`]) instead of the
+//! up-to-2× slop of plain power-of-two buckets.
+//!
+//! [`record_sample`] additionally appends a timestamped snapshot of all
+//! counters and gauges to a bounded in-process buffer; the trace
+//! exporter turns those into Chrome counter tracks.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::hdr;
 
 /// A monotonically increasing integer metric.
 #[derive(Debug, Default)]
@@ -67,55 +79,53 @@ impl Gauge {
     }
 }
 
-/// Number of log₂ buckets: values `0, 1, 2, 4, …, 2^62, overflow`.
-const HISTOGRAM_BUCKETS: usize = 64;
-
-/// A histogram over `u64` samples with log₂ buckets.
+/// A histogram over `u64` samples with HDR-style sub-bucketed log₂
+/// buckets (see [`crate::hdr`] for the layout and error bound).
 ///
-/// Bucket `0` holds the sample `0`; bucket `i ≥ 1` holds samples in
-/// `[2^(i-1), 2^i)`. Designed for latencies in µs and batch sizes, where
-/// order of magnitude is the interesting resolution.
+/// Values below [`hdr::SUB`] (32) are recorded exactly; larger values
+/// land in a bucket no wider than `value / 32`, so quantile estimates
+/// are accurate to ≤ 1.6% relative error. Designed for latencies in ns
+/// and batch sizes.
 #[derive(Debug)]
 pub struct Histogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    buckets: [AtomicU64; hdr::BUCKETS],
     sum: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
         Histogram {
-            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            buckets: [const { AtomicU64::new(0) }; hdr::BUCKETS],
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 }
 
-/// The bucket index a sample falls into.
+/// The bucket index a sample falls into (re-exported from [`hdr`]).
 pub fn bucket_index(value: u64) -> usize {
-    if value == 0 {
-        0
-    } else {
-        // ilog2 is 0..=63, so the index is 1..=64; clamp 2^63.. into the
-        // last bucket.
-        ((value.ilog2() as usize) + 1).min(HISTOGRAM_BUCKETS - 1)
-    }
+    hdr::bucket_index(value)
 }
 
-/// The inclusive lower bound of bucket `i` (0, 1, 2, 4, …).
+/// The inclusive lower bound of bucket `i` (re-exported from [`hdr`]).
 pub fn bucket_floor(index: usize) -> u64 {
-    if index == 0 {
-        0
-    } else {
-        1u64 << (index - 1)
-    }
+    hdr::bucket_floor(index)
 }
 
 impl Histogram {
     /// Records one sample.
     #[inline]
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[hdr::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] sample in nanoseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
     /// Total number of samples.
@@ -128,6 +138,32 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Largest sample recorded (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`), within the documented
+    /// relative-error bound of the exact sample at that rank. Returns 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let buckets = self.nonzero_buckets();
+        let total = buckets.iter().map(|&(_, n)| n).sum();
+        hdr::quantile_from_buckets(&buckets, total, q)
+    }
+
+    /// `(p50, p90, p99, p99.9)` in one pass.
+    pub fn percentiles(&self) -> (u64, u64, u64, u64) {
+        let buckets = self.nonzero_buckets();
+        let total = buckets.iter().map(|&(_, n)| n).sum();
+        (
+            hdr::quantile_from_buckets(&buckets, total, 0.50),
+            hdr::quantile_from_buckets(&buckets, total, 0.90),
+            hdr::quantile_from_buckets(&buckets, total, 0.99),
+            hdr::quantile_from_buckets(&buckets, total, 0.999),
+        )
+    }
+
     /// `(bucket_floor, count)` for every non-empty bucket, ascending.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -135,7 +171,7 @@ impl Histogram {
             .enumerate()
             .filter_map(|(i, b)| {
                 let n = b.load(Ordering::Relaxed);
-                (n > 0).then_some((bucket_floor(i), n))
+                (n > 0).then_some((hdr::bucket_floor(i), n))
             })
             .collect()
     }
@@ -145,6 +181,7 @@ impl Histogram {
             b.store(0, Ordering::Relaxed);
         }
         self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
     }
 }
 
@@ -232,8 +269,57 @@ pub fn snapshot() -> Snapshot {
     }
 }
 
-/// Zeroes every registered metric (names stay registered). Used between
-/// independent runs sharing one process, e.g. consecutive experiments.
+/// A timestamped counter/gauge snapshot for the trace exporter's
+/// counter tracks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Offset from the span-registry epoch (the trace time base).
+    pub ts: Duration,
+    /// Counter values by name at `ts`.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name at `ts`.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+/// Ceiling on retained counter samples; once reached, further
+/// [`record_sample`] calls are dropped (and counted) rather than growing
+/// the trace without bound.
+pub const MAX_SAMPLES: usize = 4096;
+
+fn samples_buffer() -> &'static Mutex<Vec<Sample>> {
+    static SAMPLES: OnceLock<Mutex<Vec<Sample>>> = OnceLock::new();
+    SAMPLES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Appends a timestamped snapshot of all counters and gauges to the
+/// sample buffer. Call at natural progress points (per epoch, per
+/// incremental step); capped at [`MAX_SAMPLES`].
+pub fn record_sample() {
+    let ts = crate::span::epoch().elapsed();
+    let mut buf = samples_buffer().lock().expect("sample buffer poisoned");
+    if buf.len() >= MAX_SAMPLES {
+        counter("obs.samples_dropped").inc();
+        return;
+    }
+    let snap = snapshot();
+    buf.push(Sample {
+        ts,
+        counters: snap.counters,
+        gauges: snap.gauges,
+    });
+}
+
+/// All counter samples recorded so far, in record order.
+pub fn samples() -> Vec<Sample> {
+    samples_buffer()
+        .lock()
+        .expect("sample buffer poisoned")
+        .clone()
+}
+
+/// Zeroes every registered metric (names stay registered) and clears the
+/// sample buffer. Used between independent runs sharing one process,
+/// e.g. consecutive experiments.
 pub fn reset() {
     let reg = registry().lock().expect("metrics registry poisoned");
     for c in reg.counters.values() {
@@ -245,6 +331,11 @@ pub fn reset() {
     for h in reg.histograms.values() {
         h.reset();
     }
+    drop(reg);
+    samples_buffer()
+        .lock()
+        .expect("sample buffer poisoned")
+        .clear();
 }
 
 #[cfg(test)]
@@ -253,15 +344,14 @@ mod tests {
 
     #[test]
     fn histogram_bucketing_boundaries() {
+        // Values below 32 get exact buckets; above, sub-bucketed log₂.
         assert_eq!(bucket_index(0), 0);
         assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        assert_eq!(bucket_index(7), 3);
-        assert_eq!(bucket_index(8), 4);
-        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
-        for i in 1..HISTOGRAM_BUCKETS {
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(33), 33);
+        assert_eq!(bucket_index(u64::MAX), hdr::BUCKETS - 1);
+        for i in 0..hdr::BUCKETS {
             assert_eq!(
                 bucket_index(bucket_floor(i)),
                 i,
@@ -278,8 +368,27 @@ mod tests {
         }
         assert_eq!(h.count(), 5);
         assert_eq!(h.sum(), 107);
+        assert_eq!(h.max(), 100);
+        // 0, 1, 3 are exact buckets; 100 lands in [100, 102).
         let buckets = h.nonzero_buckets();
-        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (64, 1)]);
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (100, 1)]);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_exact_values() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99, p999) = h.percentiles();
+        for (est, exact) in [(p50, 500.0), (p90, 900.0), (p99, 990.0), (p999, 999.0)] {
+            let err = (est as f64 - exact).abs() / exact;
+            assert!(
+                err <= hdr::MAX_RELATIVE_ERROR + 1.0 / exact,
+                "estimate {est} vs exact {exact}: err {err}"
+            );
+        }
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
     }
 
     #[test]
@@ -342,5 +451,17 @@ mod tests {
         assert_eq!(snap.gauges["test.snap_gauge"], 2.5);
         let (count, sum, _) = &snap.histograms["test.snap_hist"];
         assert!(*count >= 1 && *sum >= 9);
+    }
+
+    #[test]
+    fn samples_capture_counter_values_with_timestamps() {
+        counter("test.sampled").add(7);
+        record_sample();
+        let samples = samples();
+        let last = samples.last().expect("at least one sample");
+        assert!(last.counters["test.sampled"] >= 7);
+        if samples.len() >= 2 {
+            assert!(samples[0].ts <= samples[samples.len() - 1].ts);
+        }
     }
 }

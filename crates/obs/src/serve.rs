@@ -1,0 +1,284 @@
+//! Std-only TCP metrics endpoint.
+//!
+//! [`MetricsServer::start`] binds a localhost port and serves the live
+//! metrics registry over bare HTTP/1.1 — no framework, no dependencies,
+//! one background thread with a non-blocking accept loop. Opt-in from
+//! any CLI command via `--metrics-addr 127.0.0.1:9100` (port 0 picks a
+//! free port; the bound address is logged). This is the exact surface a
+//! future `darkvec serve` daemon reuses.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition (format 0.0.4):
+//!   counters, gauges, and histograms with cumulative `le` buckets,
+//!   `_sum`, `_count`, plus `p50/p90/p99/p999` as separate gauges.
+//!   Metric names are prefixed `darkvec_` with dots mapped to
+//!   underscores.
+//! * `GET /metrics.json` — the same snapshot as the manifest `metrics`
+//!   section (counts, sums, quantiles, sparse buckets).
+//! * `GET /healthz` — `ok`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::{hdr, manifest, metrics};
+
+/// A running metrics endpoint; shuts down when dropped (or via
+/// [`stop`](MetricsServer::stop)).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9100`; port 0 for an ephemeral
+    /// port) and starts serving in a background thread.
+    pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("obs-metrics".to_string())
+            .spawn(move || accept_loop(listener, &flag))
+            .expect("spawn metrics server thread");
+        Ok(MetricsServer {
+            addr: bound,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: a scrape is a handful of milliseconds and
+                // scrapers are few; no per-connection threads needed.
+                let _ = handle_connection(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Read the request head; we only care about the request line.
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_text(&metrics::snapshot()),
+        ),
+        "/metrics.json" => (
+            "200 OK",
+            "application/json",
+            manifest::snapshot_to_json(&metrics::snapshot()).pretty(),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /metrics.json, /healthz\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// A metric name in Prometheus form: `darkvec_` prefix, non-alphanumeric
+/// characters mapped to `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("darkvec_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format.
+pub fn prometheus_text(snap: &metrics::Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let pname = prom_name(name);
+        let _ = writeln!(out, "# TYPE {pname} counter");
+        let _ = writeln!(out, "{pname} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let pname = prom_name(name);
+        let _ = writeln!(out, "# TYPE {pname} gauge");
+        let _ = writeln!(out, "{pname} {value}");
+    }
+    for (name, (count, sum, buckets)) in &snap.histograms {
+        let pname = prom_name(name);
+        let _ = writeln!(out, "# TYPE {pname} histogram");
+        let mut cumulative = 0u64;
+        for &(floor, n) in buckets {
+            cumulative += n;
+            // `le` is the largest value the bucket can hold (our buckets
+            // are [floor, ceil), Prometheus buckets are inclusive).
+            let le = hdr::bucket_ceil(hdr::bucket_index(floor)) - 1;
+            let _ = writeln!(out, "{pname}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(out, "{pname}_sum {sum}");
+        let _ = writeln!(out, "{pname}_count {count}");
+        for (q, label) in [(0.50, "p50"), (0.90, "p90"), (0.99, "p99"), (0.999, "p999")] {
+            let est = hdr::quantile_from_buckets(buckets, *count, q);
+            let _ = writeln!(out, "# TYPE {pname}_{label} gauge");
+            let _ = writeln!(out, "{pname}_{label} {est}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_prometheus_exposition_end_to_end() {
+        metrics::counter("test.serve_counter").add(11);
+        metrics::histogram("test.serve_hist").record(500);
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        assert!(head.contains("text/plain"));
+        assert!(
+            body.contains("darkvec_test_serve_counter 11")
+                || body
+                    .lines()
+                    .any(|l| l.starts_with("darkvec_test_serve_counter ")),
+            "counter exposed:\n{body}"
+        );
+        assert!(body.contains("# TYPE darkvec_test_serve_hist histogram"));
+        assert!(body.contains("darkvec_test_serve_hist_bucket{le=\"+Inf\"}"));
+        assert!(body.contains("darkvec_test_serve_hist_count"));
+        assert!(body.contains("darkvec_test_serve_hist_p99"));
+
+        // Exposition parses line-by-line: every non-comment line is
+        // `name{labels} value` or `name value` with a numeric value.
+        for line in body.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            assert!(value.parse::<f64>().is_ok(), "numeric value in: {line}");
+        }
+
+        let (head, body) = http_get(addr, "/metrics.json");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        let parsed = crate::Json::parse(&body).expect("valid JSON snapshot");
+        assert!(parsed
+            .get("counters")
+            .and_then(|c| c.get("test.serve_counter"))
+            .is_some());
+
+        let (head, body) = http_get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"));
+        assert_eq!(body, "ok\n");
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.stop();
+        // After stop, connections are refused (or at least not served).
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err()
+                || TcpStream::connect(addr).is_ok(),
+            "socket released after stop"
+        );
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let h = metrics::histogram("test.serve_monotone");
+        for v in [1u64, 5, 40, 40, 1000, 100_000] {
+            h.record(v);
+        }
+        let text = prometheus_text(&metrics::snapshot());
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("darkvec_test_serve_monotone_bucket"))
+        {
+            let value: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(value >= last, "cumulative counts are monotone: {line}");
+            last = value;
+        }
+        assert!(last >= 6, "+Inf bucket holds all samples");
+    }
+}

@@ -6,9 +6,21 @@
 //! Completed spans land in a process-wide registry; [`snapshot`] folds
 //! them into a tree where same-named siblings aggregate into one node
 //! with a call count and total duration.
+//!
+//! Two extra facilities back the trace exporter ([`crate::trace`]):
+//!
+//! * every record carries a small process-local **thread id** (and the
+//!   thread's name, captured once), so [`events`] can reconstruct
+//!   per-thread lanes of a Chrome trace;
+//! * a [`SpanContext`] captured with [`context`] on one thread can be
+//!   handed to [`enter_with`] on another, attaching worker spans to the
+//!   spawning span instead of leaving them as orphan roots — the pattern
+//!   for crossbeam/scoped-thread fan-outs (Hogwild training, parallel
+//!   HNSW build, kNN chunks).
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -21,12 +33,16 @@ struct SpanRecord {
     /// Offset from the registry epoch at which the span opened.
     start: Duration,
     duration: Duration,
+    /// Process-local id of the thread the span ran on.
+    tid: u64,
 }
 
 struct Registry {
     epoch: Instant,
     records: Mutex<Vec<SpanRecord>>,
+    thread_names: Mutex<BTreeMap<u64, String>>,
     next_id: AtomicUsize,
+    next_tid: AtomicU64,
 }
 
 fn registry() -> &'static Registry {
@@ -34,13 +50,70 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         epoch: Instant::now(),
         records: Mutex::new(Vec::new()),
+        thread_names: Mutex::new(BTreeMap::new()),
         next_id: AtomicUsize::new(0),
+        next_tid: AtomicU64::new(0),
     })
+}
+
+/// The instant all span (and counter-sample) timestamps are relative to.
+pub(crate) fn epoch() -> Instant {
+    registry().epoch
 }
 
 thread_local! {
     /// Ids of the spans currently open on this thread, outermost first.
     static ACTIVE: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    /// This thread's process-local id, assigned on first span.
+    static TID: RefCell<Option<u64>> = const { RefCell::new(None) };
+}
+
+/// This thread's process-local id (stable for the thread's lifetime,
+/// dense from 0 in first-span order). Registers the thread's name on
+/// first use.
+pub fn thread_id() -> u64 {
+    TID.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if let Some(tid) = *slot {
+            return tid;
+        }
+        let reg = registry();
+        let tid = reg.next_tid.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        reg.thread_names
+            .lock()
+            .expect("thread name registry poisoned")
+            .insert(tid, name);
+        *slot = Some(tid);
+        tid
+    })
+}
+
+/// Names of every thread that has recorded a span, by thread id.
+pub fn thread_names() -> BTreeMap<u64, String> {
+    registry()
+        .thread_names
+        .lock()
+        .expect("thread name registry poisoned")
+        .clone()
+}
+
+/// A capturable handle to the innermost span active on the capturing
+/// thread. Hand it across a thread boundary and open worker spans with
+/// [`enter_with`] to keep them attached to the spawning span.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanContext {
+    parent: Option<usize>,
+}
+
+/// Captures the innermost active span of the current thread (if any).
+pub fn context() -> SpanContext {
+    SpanContext {
+        parent: ACTIVE.with(|stack| stack.borrow().last().copied()),
+    }
 }
 
 /// RAII guard for an open span; records the span on drop.
@@ -68,6 +141,7 @@ impl Drop for SpanGuard {
             name: self.name,
             start: self.opened.duration_since(reg.epoch),
             duration: self.opened.elapsed(),
+            tid: thread_id(),
         };
         reg.records
             .lock()
@@ -78,11 +152,23 @@ impl Drop for SpanGuard {
 
 /// Opens a span; prefer the [`span!`](crate::span!) macro.
 pub fn enter(name: &'static str) -> SpanGuard {
+    enter_impl(name, None)
+}
+
+/// Opens a span whose parent is the span captured in `ctx` — typically on
+/// a different thread — instead of this thread's innermost active span.
+/// The new span still joins this thread's local stack, so spans opened
+/// inside it nest normally.
+pub fn enter_with(name: &'static str, ctx: SpanContext) -> SpanGuard {
+    enter_impl(name, ctx.parent)
+}
+
+fn enter_impl(name: &'static str, explicit_parent: Option<usize>) -> SpanGuard {
     let reg = registry();
     let id = reg.next_id.fetch_add(1, Ordering::Relaxed);
     let parent = ACTIVE.with(|stack| {
         let mut stack = stack.borrow_mut();
-        let parent = stack.last().copied();
+        let parent = explicit_parent.or_else(|| stack.last().copied());
         stack.push(id);
         parent
     });
@@ -99,6 +185,9 @@ pub fn enter(name: &'static str) -> SpanGuard {
 macro_rules! span {
     ($name:expr) => {
         $crate::span::enter($name)
+    };
+    ($name:expr, $ctx:expr) => {
+        $crate::span::enter_with($name, $ctx)
     };
 }
 
@@ -131,6 +220,38 @@ impl SpanNode {
     }
 }
 
+/// One raw span occurrence, as exported to trace manifests: no
+/// aggregation, real thread id, timeline offsets from the process epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEvent {
+    /// Span name as given to [`enter`].
+    pub name: &'static str,
+    /// Offset from the process epoch at which the span opened.
+    pub start: Duration,
+    /// Wall time the span covered.
+    pub duration: Duration,
+    /// Process-local id of the thread the span ran on.
+    pub tid: u64,
+}
+
+/// Every completed span occurrence in timeline order (by start offset).
+pub fn events() -> Vec<SpanEvent> {
+    let mut events: Vec<SpanEvent> = registry()
+        .records
+        .lock()
+        .expect("span registry poisoned")
+        .iter()
+        .map(|r| SpanEvent {
+            name: r.name,
+            start: r.start,
+            duration: r.duration,
+            tid: r.tid,
+        })
+        .collect();
+    events.sort_by_key(|e| e.start);
+    events
+}
+
 /// Folds all completed spans into aggregated root nodes (spans whose
 /// parent was still open at snapshot time surface as roots too).
 pub fn snapshot() -> Vec<SpanNode> {
@@ -143,7 +264,8 @@ pub fn snapshot() -> Vec<SpanNode> {
 }
 
 /// Drops all recorded spans (used between independent runs in one
-/// process, e.g. consecutive `xp` experiments).
+/// process, e.g. consecutive `xp` experiments). Thread ids and names
+/// survive — they identify threads, not runs.
 pub fn reset() {
     registry()
         .records
@@ -153,7 +275,7 @@ pub fn reset() {
 }
 
 fn build_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
-    use std::collections::{BTreeMap, HashMap, HashSet};
+    use std::collections::{HashMap, HashSet};
 
     let known: HashSet<usize> = records.iter().map(|r| r.id).collect();
     // Child occurrences grouped under their parent occurrence (or root).
@@ -289,5 +411,85 @@ mod tests {
         handle.join().unwrap();
         let roots = snapshot();
         assert!(roots.iter().any(|r| r.name == "test_thread_root"));
+    }
+
+    #[test]
+    fn context_attaches_worker_spans_to_spawning_span() {
+        in_fresh_thread(|| {
+            {
+                let _outer = enter("test_ctx_outer");
+                let ctx = context();
+                std::thread::scope(|s| {
+                    for _ in 0..2 {
+                        s.spawn(move || {
+                            let _w = enter_with("test_ctx_worker", ctx);
+                            // A span opened inside the worker span nests
+                            // under it through the local stack.
+                            let _inner = enter("test_ctx_worker_inner");
+                        });
+                    }
+                });
+            }
+            let roots = snapshot();
+            let outer = roots
+                .iter()
+                .find_map(|r| r.find("test_ctx_outer"))
+                .expect("outer span");
+            let worker = outer
+                .child("test_ctx_worker")
+                .expect("worker spans attach to the captured parent");
+            assert_eq!(worker.count, 2, "both workers aggregate");
+            assert_eq!(
+                worker.child("test_ctx_worker_inner").map(|n| n.count),
+                Some(2),
+                "nested spans chain under the worker span"
+            );
+            assert!(
+                !roots.iter().any(|r| r.name == "test_ctx_worker"),
+                "no orphan worker roots"
+            );
+        });
+    }
+
+    #[test]
+    fn events_carry_distinct_thread_ids() {
+        let main_tid = thread_id();
+        {
+            let _g = enter("test_tid_main");
+        }
+        std::thread::spawn(|| {
+            let _g = enter("test_tid_worker");
+        })
+        .join()
+        .unwrap();
+        let events = events();
+        let main_ev = events
+            .iter()
+            .find(|e| e.name == "test_tid_main")
+            .expect("main event");
+        let worker_ev = events
+            .iter()
+            .find(|e| e.name == "test_tid_worker")
+            .expect("worker event");
+        assert_eq!(main_ev.tid, main_tid);
+        assert_ne!(main_ev.tid, worker_ev.tid);
+        let names = thread_names();
+        assert!(names.contains_key(&main_ev.tid));
+        assert!(names.contains_key(&worker_ev.tid));
+    }
+
+    #[test]
+    fn events_are_timeline_ordered() {
+        {
+            let _a = enter("test_order_a");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        {
+            let _b = enter("test_order_b");
+        }
+        let events = events();
+        for pair in events.windows(2) {
+            assert!(pair[0].start <= pair[1].start, "events sorted by start");
+        }
     }
 }

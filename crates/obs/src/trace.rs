@@ -1,0 +1,233 @@
+//! Chrome `trace_event` export.
+//!
+//! Converts a schema-v2 run manifest (see [`crate::manifest`]) into the
+//! Chrome Trace Event JSON format, openable in `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev). Emitted events:
+//!
+//! * `ph: "M"` metadata — `process_name` (the command) and one
+//!   `thread_name` per recorded thread, so Hogwild workers, HNSW build
+//!   threads, and the main thread appear as labelled lanes;
+//! * `ph: "X"` complete events — one per raw span occurrence, with
+//!   microsecond `ts`/`dur` on the span's real thread;
+//! * `ph: "C"` counter events — one per metric per counter sample,
+//!   rendered by the viewers as stacked counter tracks.
+//!
+//! Timestamps are offsets from the process-wide span epoch, so lanes
+//! from different threads align.
+
+use crate::json::Json;
+
+/// Converts a parsed run manifest into a Chrome trace document.
+///
+/// Fails on manifests that predate schema v2 (no `trace_events`
+/// section) with an actionable message.
+pub fn chrome_trace(manifest: &Json) -> Result<Json, String> {
+    let events = manifest
+        .get("trace_events")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| {
+            "manifest has no trace_events section (written by a pre-v2 obs layer?); \
+             re-run the command with the current binary to regenerate it"
+                .to_string()
+        })?;
+    let pid = manifest.get("pid").and_then(Json::as_u64).unwrap_or(1);
+    let command = manifest
+        .get("command")
+        .and_then(Json::as_str)
+        .unwrap_or("darkvec");
+
+    let mut out: Vec<Json> = Vec::new();
+    out.push(
+        Json::obj()
+            .with("name", "process_name")
+            .with("ph", "M")
+            .with("pid", pid)
+            .with("args", Json::obj().with("name", command)),
+    );
+    if let Some(names) = manifest.get("thread_names").and_then(Json::as_obj) {
+        for (tid, name) in names {
+            let tid: u64 = tid
+                .parse()
+                .map_err(|_| format!("thread_names key '{tid}' is not a thread id"))?;
+            out.push(
+                Json::obj()
+                    .with("name", "thread_name")
+                    .with("ph", "M")
+                    .with("pid", pid)
+                    .with("tid", tid)
+                    .with(
+                        "args",
+                        Json::obj().with("name", name.as_str().unwrap_or("thread")),
+                    ),
+            );
+        }
+    }
+
+    for (i, event) in events.iter().enumerate() {
+        let get_u64 = |key: &str| {
+            event
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("trace event {i} is missing numeric '{key}'"))
+        };
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("trace event {i} is missing 'name'"))?;
+        out.push(
+            Json::obj()
+                .with("name", name)
+                .with("cat", "span")
+                .with("ph", "X")
+                .with("ts", get_u64("ts_us")?)
+                .with("dur", get_u64("dur_us")?)
+                .with("pid", pid)
+                .with("tid", get_u64("tid")?),
+        );
+    }
+
+    // Counter samples become one counter event per metric per sample;
+    // viewers plot each metric name as its own track. Counters and
+    // gauges share the namespace (manifest metric names are disjoint).
+    if let Some(samples) = manifest.get("counter_samples").and_then(Json::as_arr) {
+        for sample in samples {
+            let Some(ts) = sample.get("ts_us").and_then(Json::as_u64) else {
+                continue;
+            };
+            for section in ["counters", "gauges"] {
+                let Some(entries) = sample.get(section).and_then(Json::as_obj) else {
+                    continue;
+                };
+                for (name, value) in entries {
+                    let Some(value) = value.as_f64() else {
+                        continue;
+                    };
+                    out.push(
+                        Json::obj()
+                            .with("name", name.as_str())
+                            .with("ph", "C")
+                            .with("ts", ts)
+                            .with("pid", pid)
+                            .with("args", Json::obj().with("value", value)),
+                    );
+                }
+            }
+        }
+    }
+
+    Ok(Json::obj()
+        .with("traceEvents", Json::Arr(out))
+        .with("displayTimeUnit", "ms"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{metrics, span, ManifestBuilder};
+
+    fn fixture_manifest() -> Json {
+        {
+            let _g = span::enter("test_trace_fixture_span");
+            let _c = span::enter("test_trace_fixture_child");
+        }
+        metrics::counter("test.trace_fixture").add(3);
+        metrics::record_sample();
+        ManifestBuilder::new("trace-fixture").finish()
+    }
+
+    #[test]
+    fn exports_well_formed_chrome_trace() {
+        let manifest = fixture_manifest();
+        let trace = chrome_trace(&manifest).expect("export");
+        // Top-level schema.
+        assert_eq!(
+            trace.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+        let events = trace
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+
+        // Every event carries the Perfetto-required fields for its phase.
+        for event in events {
+            let ph = event.get("ph").and_then(Json::as_str).expect("ph");
+            assert!(event.get("name").and_then(Json::as_str).is_some());
+            assert!(event.get("pid").and_then(Json::as_u64).is_some());
+            match ph {
+                "X" => {
+                    assert!(event.get("ts").and_then(Json::as_u64).is_some());
+                    assert!(event.get("dur").and_then(Json::as_u64).is_some());
+                    assert!(event.get("tid").and_then(Json::as_u64).is_some());
+                    assert_eq!(event.get("cat").and_then(Json::as_str), Some("span"));
+                }
+                "C" => {
+                    assert!(event.get("ts").and_then(Json::as_u64).is_some());
+                    assert!(event
+                        .get("args")
+                        .and_then(|a| a.get("value"))
+                        .and_then(Json::as_f64)
+                        .is_some());
+                }
+                "M" => {
+                    assert!(event.get("args").and_then(|a| a.get("name")).is_some());
+                }
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+
+        // Metadata names the process after the command.
+        let process = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .expect("process_name metadata");
+        assert_eq!(
+            process
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("trace-fixture")
+        );
+
+        // Our spans made it through as complete events.
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("test_trace_fixture_span")));
+
+        // The counter sample produced a counter event.
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("C")
+                && e.get("name").and_then(Json::as_str) == Some("test.trace_fixture")
+        }));
+
+        // The whole document round-trips through the parser.
+        let text = trace.pretty();
+        assert_eq!(Json::parse(&text).expect("reparse"), trace);
+    }
+
+    #[test]
+    fn thread_metadata_covers_event_tids() {
+        let manifest = fixture_manifest();
+        let trace = chrome_trace(&manifest).unwrap();
+        let events = trace.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let named_tids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("tid").and_then(Json::as_u64))
+            .collect();
+        for event in events {
+            if event.get("ph").and_then(Json::as_str) == Some("X") {
+                let tid = event.get("tid").and_then(Json::as_u64).unwrap();
+                assert!(named_tids.contains(&tid), "tid {tid} has a thread_name");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_pre_v2_manifests() {
+        let old = Json::obj().with("command", "x").with("pid", 1u64);
+        let err = chrome_trace(&old).unwrap_err();
+        assert!(err.contains("trace_events"), "actionable error: {err}");
+    }
+}

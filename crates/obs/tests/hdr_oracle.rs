@@ -1,0 +1,153 @@
+//! Property test: HDR histogram quantiles vs. an exact sorted-sample
+//! oracle.
+//!
+//! For every distribution we record >= 10k samples into a
+//! [`darkvec_obs::metrics::Histogram`] and compare its p50/p90/p99/p99.9
+//! against the exact nearest-rank quantile of the sorted sample vector.
+//! The histogram must agree within the documented bound
+//! [`darkvec_obs::hdr::MAX_RELATIVE_ERROR`] (1/64 ≈ 1.6%), plus one unit
+//! of integer quantization; values below the sub-bucket resolution (32)
+//! must be exact.
+
+use darkvec_obs::hdr;
+use darkvec_obs::metrics::Histogram;
+
+const SAMPLES: usize = 20_000;
+const QUANTILES: [f64; 4] = [0.50, 0.90, 0.99, 0.999];
+
+/// SplitMix64 — deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    /// Exponential-ish: uniform mantissa at a geometrically chosen scale,
+    /// the shape that stresses every octave of the bucketing.
+    fn long_tail(&mut self, max_shift: u32) -> u64 {
+        let shift = self.next() % u64::from(max_shift);
+        self.uniform(0, 256) << shift
+    }
+}
+
+/// Exact nearest-rank quantile (`rank = ceil(q * n)`, 1-based), matching
+/// the definition documented for [`Histogram::quantile`].
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Records the samples, then asserts every quantile in `QUANTILES`
+/// agrees with the oracle within the documented relative-error bound.
+fn check_distribution(label: &str, mut samples: Vec<u64>) {
+    assert!(
+        samples.len() >= 10_000,
+        "{label}: property needs >= 10k samples"
+    );
+    let h = Histogram::default();
+    for &v in &samples {
+        h.record(v);
+    }
+    samples.sort_unstable();
+    for q in QUANTILES {
+        let exact = oracle(&samples, q);
+        let approx = h.quantile(q);
+        // The histogram reports the midpoint of the bucket holding the
+        // exact value, so the allowed error is relative to the exact
+        // quantile: MAX_RELATIVE_ERROR of it, plus 1 for integer
+        // midpoint rounding. Below the sub-bucket resolution every
+        // value has its own bucket and the answer must be exact.
+        let allowed = if exact < 32 {
+            0.0
+        } else {
+            exact as f64 * hdr::MAX_RELATIVE_ERROR + 1.0
+        };
+        let err = (approx as f64 - exact as f64).abs();
+        assert!(
+            err <= allowed,
+            "{label} p{}: histogram {approx} vs exact {exact} \
+             (err {err:.1} > allowed {allowed:.1})",
+            q * 100.0
+        );
+    }
+}
+
+#[test]
+fn uniform_small_values_are_exact() {
+    let mut rng = Rng(1);
+    check_distribution(
+        "uniform[0,32)",
+        (0..SAMPLES).map(|_| rng.uniform(0, 32)).collect(),
+    );
+}
+
+#[test]
+fn uniform_wide_range() {
+    let mut rng = Rng(2);
+    check_distribution(
+        "uniform[0,1e9)",
+        (0..SAMPLES)
+            .map(|_| rng.uniform(0, 1_000_000_000))
+            .collect(),
+    );
+}
+
+#[test]
+fn latency_like_long_tail() {
+    // Microsecond-to-second latencies: most mass low, tail 5 orders of
+    // magnitude up — the shape kNN query latency actually has.
+    let mut rng = Rng(3);
+    check_distribution(
+        "long-tail",
+        (0..SAMPLES).map(|_| rng.long_tail(40)).collect(),
+    );
+}
+
+#[test]
+fn bimodal_cache_hit_miss() {
+    // Two tight modes far apart, like cache hit vs. miss latency.
+    let mut rng = Rng(4);
+    check_distribution(
+        "bimodal",
+        (0..SAMPLES)
+            .map(|_| {
+                if rng.next() % 10 < 7 {
+                    rng.uniform(800, 1_200)
+                } else {
+                    rng.uniform(4_000_000, 6_000_000)
+                }
+            })
+            .collect(),
+    );
+}
+
+#[test]
+fn constant_distribution_is_recovered() {
+    check_distribution("constant", vec![123_456; SAMPLES]);
+}
+
+#[test]
+fn extreme_values_do_not_break_the_bound() {
+    let mut rng = Rng(5);
+    check_distribution(
+        "extremes",
+        (0..SAMPLES)
+            .map(|_| match rng.next() % 4 {
+                0 => 0,
+                1 => u64::MAX,
+                2 => rng.uniform(0, 64),
+                _ => rng.long_tail(62),
+            })
+            .collect(),
+    );
+}

@@ -305,12 +305,14 @@ where
     let chunk = encoded.len().div_ceil(threads);
 
     let hogwild_span = darkvec_obs::span!("w2v.hogwild");
+    let hogwild_ctx = darkvec_obs::span::context();
     crossbeam::scope(|scope| {
         for (tid, sentences) in encoded.chunks(chunk).enumerate() {
             let (syn0, syn1, sig, subsampler) = (&syn0, &syn1, &sig, &subsampler);
             let (table, tree) = (&table, &tree);
             let (words_done, pairs_trained) = (&words_done, &pairs_trained);
             scope.spawn(move |_| {
+                let _worker_span = darkvec_obs::span!("w2v.hogwild.worker", hogwild_ctx);
                 let mut worker = Worker {
                     rng: SmallRng::seed_from_u64(
                         cfg.seed ^ (tid as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F),
@@ -326,7 +328,9 @@ where
                 // Pairs already flushed into the shared counter, so the
                 // per-epoch flush adds only this epoch's delta.
                 let mut flushed = 0u64;
+                let epoch_latency = darkvec_obs::metrics::histogram("w2v.epoch_ns");
                 for epoch in 0..cfg.epochs {
+                    let epoch_started = Instant::now();
                     for sentence in sentences {
                         // Alpha from global progress, as in word2vec.c.
                         let done = words_done.fetch_add(sentence.len() as u64, Ordering::Relaxed);
@@ -346,8 +350,10 @@ where
                     }
                     pairs_trained.fetch_add(worker.local_pairs - flushed, Ordering::Relaxed);
                     flushed = worker.local_pairs;
-                    // One worker reports progress; the others just train.
+                    // One worker reports progress and samples counters
+                    // for the trace; the others just train.
                     if tid == 0 {
+                        epoch_latency.record_duration(epoch_started.elapsed());
                         report_epoch(
                             epoch + 1,
                             cfg,
@@ -356,6 +362,7 @@ where
                             words_done,
                             pairs_trained,
                         );
+                        darkvec_obs::metrics::record_sample();
                     }
                 }
                 // Per-worker throughput over the whole run; epochs-scale
