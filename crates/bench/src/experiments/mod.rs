@@ -14,6 +14,7 @@ pub mod incremental;
 pub mod perclass;
 pub mod perf;
 pub mod rasters;
+pub mod serve;
 pub mod services_xp;
 pub mod transfer;
 pub mod tuning;
@@ -45,6 +46,7 @@ pub const ALL: &[&str] = &[
     "perf",
     "ann",
     "incremental",
+    "serve",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.
@@ -73,6 +75,7 @@ pub fn run(ctx: &Ctx, id: &str) -> Option<String> {
         "perf" => perf::perf(ctx),
         "ann" => ann::ann(ctx),
         "incremental" => incremental::incremental(ctx),
+        "serve" => serve::serve(ctx),
         _ => return None,
     };
     Some(out)
@@ -91,6 +94,6 @@ mod tests {
             assert!(run(&ctx, id).is_some(), "{id} failed to run");
         }
         assert!(run(&ctx, "nope").is_none());
-        assert_eq!(ALL.len(), 23);
+        assert_eq!(ALL.len(), 24);
     }
 }

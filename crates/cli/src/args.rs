@@ -5,7 +5,15 @@ use std::collections::{HashMap, HashSet};
 
 /// Switches that take no value. Everything else must be a `--key value`
 /// pair.
-const BARE: &[&str] = &["-v", "--no-simd", "--ann", "--exact"];
+const BARE: &[&str] = &[
+    "-v",
+    "--no-simd",
+    "--ann",
+    "--exact",
+    "--status",
+    "--ping",
+    "--shutdown",
+];
 
 /// Parsed `--flag value` options and bare switches.
 #[derive(Debug, Default)]

@@ -7,14 +7,16 @@ use darkvec::incremental::{run_sliding, IncrementalOptions};
 use darkvec::inspect::profile_clusters;
 use darkvec::pipeline::{self, TrainedModel};
 use darkvec::unsupervised::{cluster_embedding, ClusterConfig};
-use darkvec_gen::{simulate as run_sim, SimConfig};
+use darkvec::{Client, Daemon, ServeConfig};
+use darkvec_gen::{pump, simulate as run_sim, PacketStream, SimConfig};
 use darkvec_ml::ann::NeighborBackend;
 use darkvec_obs::diff::{diff_manifests, DiffOptions};
 use darkvec_obs::trace::chrome_trace;
 use darkvec_obs::{info, manifest, metrics, Json};
-use darkvec_types::{io, Anonymizer, Ipv4, Trace};
+use darkvec_types::{io, Anonymizer, Ipv4, Protocol, Trace};
 use darkvec_w2v::Embedding;
 use std::path::Path;
+use std::time::Duration;
 
 /// Loads a trace from `.bin` or `.csv` (by extension).
 fn load_trace(path: &str) -> Result<Trace, String> {
@@ -426,6 +428,187 @@ pub fn incremental(opts: &Options) -> Result<(), String> {
             last.start_day,
             last.end_day,
             last.model.embedding.len()
+        );
+    }
+    Ok(())
+}
+
+/// `darkvec serve [--trace in.bin | --days N --scale S --seed N]
+/// [--listen 127.0.0.1:0] [--window-days 7] [--stride 1] [--warm-epochs 2]
+/// [--k 7] [--cache DIR] [--ann | --exact] [--batch N] [--linger]`
+///
+/// Starts the streaming daemon, feeds it the capture (a file with
+/// `--trace`, otherwise a fresh simulation), and serves classify queries
+/// over the TCP wire protocol until a `Shutdown` request arrives. The
+/// bound address is printed as `serve: listening on ADDR` so scripts can
+/// discover an ephemeral port.
+pub fn serve(opts: &Options) -> Result<(), String> {
+    if opts.has("ann") && opts.has("exact") {
+        return Err("--ann and --exact are mutually exclusive".to_string());
+    }
+    let mut cfg = pipeline_config(opts)?;
+    cfg.window = SlidingWindow {
+        days: opts.get_or("window-days", 7u64)?,
+        stride: opts.get_or("stride", 1u64)?,
+    };
+    if cfg.window.days == 0 || cfg.window.stride == 0 {
+        return Err("--window-days and --stride must be positive".to_string());
+    }
+    if cfg.dt == 0 || !darkvec_types::DAY.is_multiple_of(cfg.dt) {
+        return Err(format!("--dt ({}) must divide a day", cfg.dt));
+    }
+    let mut serve_cfg = ServeConfig::new(cfg);
+    serve_cfg.warm_epochs = opts.get_or("warm-epochs", 2usize)?;
+    serve_cfg.k = opts.get_or("k", 7usize)?;
+    if serve_cfg.k == 0 {
+        return Err("--k must be positive".to_string());
+    }
+    serve_cfg.backend = if opts.has("ann") {
+        NeighborBackend::ann()
+    } else {
+        NeighborBackend::Exact
+    };
+    serve_cfg.cache_dir = opts.get("cache").map(Into::into);
+    serve_cfg.listen = opts.get("listen").unwrap_or("127.0.0.1:0").to_string();
+    serve_cfg.threads = opts.get_or("threads", 0usize)?;
+    let batch: usize = opts.get_or("batch", 0usize)?;
+
+    // Packet source: a capture file, or a fresh simulation.
+    let stream = match opts.get("trace") {
+        Some(path) => PacketStream::from_trace(load_trace(path)?),
+        None => {
+            let sim_cfg = SimConfig {
+                days: opts.get_or("days", 14u64)?,
+                sender_scale: opts.get_or("scale", 0.05f64)?,
+                rate_scale: opts.get_or("rate-scale", 1.0f64)?,
+                backscatter: opts.get_or("backscatter", true)?,
+                seed: opts.get_or("seed", 1u64)?,
+            };
+            info!(
+                "serve: simulating {} days at sender scale {}...",
+                sim_cfg.days, sim_cfg.sender_scale
+            );
+            PacketStream::simulate(&sim_cfg)
+        }
+    };
+    let total = stream.remaining();
+
+    let (mut daemon, tx) = Daemon::start(serve_cfg).map_err(|e| format!("serve: {e}"))?;
+    println!("serve: listening on {}", daemon.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let start = std::time::Instant::now();
+    let sent = pump(stream, &tx, batch);
+    drop(tx);
+    let ingest_secs = start.elapsed().as_secs_f64();
+    info!(
+        "serve: ingested {sent}/{total} packets in {ingest_secs:.2}s ({:.0} pkts/s)",
+        sent as f64 / ingest_secs.max(1e-9)
+    );
+    manifest::attach(
+        "serve",
+        Json::obj()
+            .with("packets", sent)
+            .with("ingest_secs", ingest_secs)
+            .with("listen", daemon.addr().to_string()),
+    );
+
+    // The stream is drained; keep answering queries until a protocol
+    // Shutdown arrives.
+    while !daemon.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    daemon.shutdown();
+    let stats = daemon.stats();
+    info!(
+        "serve: done — {} queries answered, {} retrains, {} swaps, {} faults survived",
+        stats.queries, stats.retrains, stats.swaps, stats.errors
+    );
+    Ok(())
+}
+
+/// Parses `23/tcp,2323/udp,8.0/icmp`-style port lists; a bare number
+/// means TCP.
+fn parse_ports(raw: &str) -> Result<Vec<(u16, Protocol)>, String> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|item| {
+            let (port, proto) = match item.split_once('/') {
+                Some((p, "tcp")) => (p, Protocol::Tcp),
+                Some((p, "udp")) => (p, Protocol::Udp),
+                Some((p, "icmp")) => (p, Protocol::Icmp),
+                Some((_, other)) => {
+                    return Err(format!("--ports: unknown protocol {other:?} in {item:?}"))
+                }
+                None => (item, Protocol::Tcp),
+            };
+            let port: u16 = port
+                .parse()
+                .map_err(|_| format!("--ports: cannot parse port in {item:?}"))?;
+            Ok((port, proto))
+        })
+        .collect()
+}
+
+/// `darkvec query --addr HOST:PORT [--ip A.B.C.D [--ports 23/tcp,...]
+/// [--k N]] [--status] [--ping] [--shutdown]`
+///
+/// One scripted client session against a running serve daemon. Actions
+/// run in a fixed order (ping, status, classify, shutdown) so a single
+/// invocation can probe, query and stop a daemon.
+pub fn query(opts: &Options) -> Result<(), String> {
+    let addr = opts.require("addr")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut acted = false;
+    if opts.has("ping") {
+        client.ping()?;
+        println!("pong");
+        acted = true;
+    }
+    if opts.has("status") {
+        let s = client.status()?;
+        println!(
+            "ready: {} (model v{}, checksum {:016x}, {} senders)",
+            s.ready, s.version, s.checksum, s.vocab
+        );
+        println!(
+            "ingested: {} packets over {} days; {} retrains, {} swaps",
+            s.packets, s.days, s.retrains, s.swaps
+        );
+        println!(
+            "served: {} queries, {} faults survived",
+            s.queries, s.errors
+        );
+        acted = true;
+    }
+    if let Some(raw_ip) = opts.get("ip") {
+        let ip: Ipv4 = raw_ip.parse().map_err(|e| format!("--ip: {e}"))?;
+        let ports = parse_ports(opts.get("ports").unwrap_or(""))?;
+        let k: u16 = opts.get_or("k", 0u16)?;
+        match client.classify(ip, &ports, k)? {
+            Ok(reply) => {
+                println!(
+                    "{ip}: {} (confidence {:.2}, model v{}/{:016x})",
+                    reply.label, reply.confidence, reply.version, reply.checksum
+                );
+                for (n, sim) in &reply.neighbors {
+                    println!("  {n:<16} cosine {sim:.4}");
+                }
+            }
+            Err(refusal) => return Err(format!("daemon refused: {refusal}")),
+        }
+        acted = true;
+    }
+    if opts.has("shutdown") {
+        client.shutdown()?;
+        println!("shutdown acknowledged");
+        acted = true;
+    }
+    if !acted {
+        return Err(
+            "query needs at least one action: --ip A.B.C.D, --status, --ping or --shutdown"
+                .to_string(),
         );
     }
     Ok(())

@@ -1,0 +1,291 @@
+//! Smoke tests that drive the real `darkvec` binary: flag parsing, exit
+//! codes and the human-facing stdout that in-process unit tests cannot
+//! capture — the `incremental` cache column, `obs diff` gating, and a
+//! full `serve`/`query`/`shutdown` session over the wire.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_darkvec"))
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("darkvec-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+/// Runs the binary to completion, panicking with full output on an
+/// unexpected exit status.
+fn run_ok(args: &[&str]) -> Output {
+    let out = bin().args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "darkvec {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn run_err(args: &[&str]) -> Output {
+    let out = bin().args(args).output().unwrap();
+    assert!(
+        !out.status.success(),
+        "darkvec {args:?} unexpectedly succeeded:\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    out
+}
+
+fn simulate_tiny(path: &str) {
+    run_ok(&[
+        "simulate",
+        "--out",
+        path,
+        "--days",
+        "3",
+        "--scale",
+        "0.01",
+        "--rate-scale",
+        "0.4",
+        "--backscatter",
+        "false",
+        "--seed",
+        "5",
+        "--manifest-out",
+        "none",
+    ]);
+}
+
+#[test]
+fn incremental_reports_cache_latency_column() {
+    let trace = tmp("incr-col.bin");
+    let cache = tmp("incr-col-cache");
+    let _ = std::fs::remove_dir_all(&cache);
+    simulate_tiny(&trace);
+    let args = [
+        "incremental",
+        "--trace",
+        trace.as_str(),
+        "--window-days",
+        "2",
+        "--stride",
+        "1",
+        "--dim",
+        "8",
+        "--window",
+        "4",
+        "--epochs",
+        "2",
+        "--warm-epochs",
+        "1",
+        "--min-packets",
+        "3",
+        "--k",
+        "0",
+        "--cache",
+        cache.as_str(),
+        "--manifest-out",
+        "none",
+    ];
+    let first = run_ok(&args);
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    // The per-step table carries the cache I/O latency column...
+    assert!(
+        stdout.contains("cache[s]"),
+        "missing cache[s] column header:\n{stdout}"
+    );
+    // ...and the run summarises cache traffic (a cold run only stores).
+    assert!(
+        stdout.contains("stores"),
+        "missing cache summary:\n{stdout}"
+    );
+    let second = run_ok(&args);
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(
+        stdout.contains("cache "),
+        "second run should report cached steps:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains(" 0 hits"),
+        "second identical run must hit the cache:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// Two schema-v2 manifests differing only in one counter.
+fn write_manifest(name: &str, packets: u64) -> String {
+    let path = tmp(name);
+    let json = format!(
+        r#"{{
+  "schema_version": 2,
+  "command": "train",
+  "env": {{"threads": 1, "simd": "scalar", "backend": "exact"}},
+  "metrics": {{
+    "counters": {{"pipeline.packets": {packets}}},
+    "gauges": {{}},
+    "histograms": {{}}
+  }},
+  "thread_names": {{"0": "main"}},
+  "trace_events": [],
+  "counter_samples": []
+}}"#
+    );
+    std::fs::write(&path, json).unwrap();
+    path
+}
+
+#[test]
+fn obs_diff_exit_codes_gate_regressions() {
+    let a = write_manifest("gate-a.json", 1000);
+    let same = write_manifest("gate-same.json", 1010);
+    let worse = write_manifest("gate-worse.json", 2000);
+    // Within the gate: exit 0.
+    run_ok(&["obs", "diff", &a, &same, "--gate", "20"]);
+    // Past the gate: exit 1 with a structured error.
+    let out = run_err(&["obs", "diff", &a, &worse, "--gate", "20"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regressed"));
+    // Report-only (no gate): exit 0 even on a regression.
+    run_ok(&["obs", "diff", &a, &worse]);
+    // Wrong arity: exit 1.
+    assert_eq!(run_err(&["obs", "diff", &a]).status.code(), Some(1));
+}
+
+/// Kills the daemon on drop so a failing assertion can't leak a child
+/// process that blocks the test run.
+struct DaemonGuard(Child);
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_query_shutdown_session() {
+    let manifest_dir = tmp("serve-manifests");
+    let child = bin()
+        .args([
+            "serve",
+            "--days",
+            "3",
+            "--scale",
+            "0.01",
+            "--rate-scale",
+            "0.4",
+            "--backscatter",
+            "false",
+            "--seed",
+            "5",
+            "--window-days",
+            "1",
+            "--stride",
+            "1",
+            "--dim",
+            "8",
+            "--window",
+            "4",
+            "--epochs",
+            "2",
+            "--min-packets",
+            "3",
+            "--k",
+            "3",
+            "--manifest-out",
+            manifest_dir.as_str(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut guard = DaemonGuard(child);
+
+    // The daemon announces its ephemeral port on the first stdout line.
+    let stdout = guard.0.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines.next().unwrap().unwrap();
+    let addr = first
+        .strip_prefix("serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {first:?}"))
+        .to_string();
+
+    // Poll status until the first trained model is swapped in.
+    let mut ready = false;
+    for _ in 0..600 {
+        let out = bin()
+            .args([
+                "query",
+                "--addr",
+                &addr,
+                "--status",
+                "--manifest-out",
+                "none",
+            ])
+            .output()
+            .unwrap();
+        if out.status.success() && String::from_utf8_lossy(&out.stdout).contains("ready: true") {
+            ready = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    assert!(ready, "daemon never became ready");
+
+    // A scripted client session: ping + classify an arbitrary sender by
+    // its port profile (23/tcp rides the telnet service centroid, so
+    // even a never-seen IP gets an answer).
+    let out = run_ok(&[
+        "query",
+        "--addr",
+        &addr,
+        "--ping",
+        "--ip",
+        "203.0.113.99",
+        "--ports",
+        "23/tcp,2323/tcp",
+        "--k",
+        "3",
+        "--manifest-out",
+        "none",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pong"), "missing pong:\n{stdout}");
+    assert!(
+        stdout.contains("confidence"),
+        "missing classification:\n{stdout}"
+    );
+
+    // Protocol-level shutdown: the daemon acknowledges, then exits 0.
+    let out = run_ok(&[
+        "query",
+        "--addr",
+        &addr,
+        "--shutdown",
+        "--manifest-out",
+        "none",
+    ]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("shutdown acknowledged"));
+    let status = guard.0.wait().unwrap();
+    assert!(status.success(), "serve exited with {status:?}");
+
+    // The serve run wrote a manifest (the CI smoke job greps it).
+    let wrote_manifest = std::fs::read_dir(PathBuf::from(&manifest_dir))
+        .map(|d| d.count() > 0)
+        .unwrap_or(false);
+    assert!(wrote_manifest, "serve wrote no run manifest");
+    let _ = std::fs::remove_dir_all(&manifest_dir);
+}
+
+#[test]
+fn query_requires_an_action() {
+    // No daemon needed: flag validation fails before connecting? No —
+    // connect happens first, so point at a dead port and expect exit 1
+    // either way.
+    let out = run_err(&["query", "--addr", "127.0.0.1:1", "--manifest-out", "none"]);
+    assert_eq!(out.status.code(), Some(1));
+}

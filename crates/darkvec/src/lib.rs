@@ -40,6 +40,8 @@ pub mod gt_extend;
 pub mod incremental;
 pub mod inspect;
 pub mod pipeline;
+pub mod protocol;
+pub mod serve;
 pub mod services;
 pub mod supervised;
 pub mod temporal;
@@ -49,4 +51,5 @@ pub use cache::{ArtifactCache, CacheStats};
 pub use config::{DarkVecConfig, ServiceDef, SlidingWindow};
 pub use incremental::{run_sliding, DayOutcome, IncrementalOptions};
 pub use pipeline::{run, TrainedModel};
+pub use serve::{Client, Daemon, ServeConfig};
 pub use services::ServiceMap;

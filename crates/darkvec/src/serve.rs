@@ -1,0 +1,1092 @@
+//! The `darkvec serve` daemon: continuous darknet monitoring as a
+//! long-running process (§8 deployment cadence, made streaming).
+//!
+//! Three cooperating threads, glued by channels and one lock:
+//!
+//! * **Ingest** — consumes micro-batches of packets from an
+//!   [`std::sync::mpsc`] channel, buffers the current capture day, and on
+//!   day rollover builds that day's corpus shard
+//!   ([`crate::corpus::build_day_corpus`], served from the
+//!   content-addressed [`ArtifactCache`] when available — the cache keys
+//!   are byte-compatible with the batch incremental runner, so a serve
+//!   daemon and a `darkvec incremental` run share artifacts). When enough
+//!   days exist it schedules a retrain of the trailing window.
+//! * **Trainer** — waits on a single-slot job queue (a slow train
+//!   *coalesces* rollovers instead of queueing them), trains warm-started
+//!   from the previous window's model like
+//!   [`crate::incremental::run_sliding`], then **atomically swaps** the
+//!   new [`ServingModel`] in: the model is fully built — matrix
+//!   normalised, index constructed, labels and centroids attached,
+//!   checksum computed — *before* the swap, which is a single
+//!   `RwLock<Option<Arc<_>>>` store. Queries never observe a partial
+//!   model; each reply echoes the `(version, checksum)` pair of the model
+//!   that answered, and the daemon keeps a swap history so tests can
+//!   prove every reply came from a completely-swapped model.
+//! * **Acceptor** — a non-blocking TCP accept loop (same poll pattern as
+//!   `darkvec_obs::serve::MetricsServer`); each connection gets a thread
+//!   speaking the length-prefixed [`crate::protocol`]. Malformed frames,
+//!   mid-frame disconnects and slow-loris stalls are logged, counted in
+//!   `serve.errors`, and never take the daemon down.
+//!
+//! Labels are derived from packet fingerprints observed in the training
+//! window (senders with a Mirai-fingerprinted probe vs. unknown), so the
+//! daemon needs no ground-truth side channel. Senders outside the
+//! embedding are classified through per-service centroid vectors
+//! accumulated during ingest — the external query path of
+//! [`crate::supervised::Evaluation::classify_external`], served here by
+//! the configured [`NeighborBackend`].
+
+use crate::cache::{hash_packets, ArtifactCache, KeyHasher};
+use crate::config::DarkVecConfig;
+use crate::corpus::{build_day_corpus, corpus_from_bytes, corpus_stats, corpus_to_bytes};
+use crate::pipeline::{resolve_services, TrainedModel};
+use crate::protocol::{
+    decode_request, encode_request, encode_response, read_frame, write_frame, ClassifyReply,
+    FrameError, Request, Response, StatusReply, MAX_NEIGHBORS,
+};
+use crate::services::{ServiceId, ServiceMap};
+use darkvec_ml::ann::{NeighborBackend, NeighborIndex};
+use darkvec_ml::classifier::{loo_knn_classify, Label};
+use darkvec_ml::vectors::{normalize_vec, Matrix, NormalizedMatrix};
+use darkvec_types::{Ipv4, Packet, Protocol, Trace};
+use darkvec_w2v::{count_skipgrams, train, train_from};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Label id for senders without a recognised fingerprint.
+pub const LABEL_UNKNOWN: Label = 0;
+/// Label id for senders with a Mirai-fingerprinted probe in the window.
+pub const LABEL_MIRAI: Label = 1;
+
+/// Configuration of a serve daemon.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Pipeline configuration; `cfg.window` drives the retrain cadence
+    /// (train on the trailing `days` complete days, every `stride` days).
+    pub cfg: DarkVecConfig,
+    /// Epochs for warm-started retrains (0 = always cold).
+    pub warm_epochs: usize,
+    /// Default neighbour count for classify requests that pass `k = 0`.
+    pub k: usize,
+    /// Neighbour-search backend for query serving.
+    pub backend: NeighborBackend,
+    /// Artifact cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Listen address, e.g. `127.0.0.1:0`.
+    pub listen: String,
+    /// How long a connection may stall *inside* a frame before it is
+    /// dropped as a slow-loris fault. Idle connections between frames
+    /// are not limited.
+    pub read_timeout: Duration,
+    /// Ingest channel depth, in micro-batches (backpressure bound).
+    pub queue_depth: usize,
+    /// Trainer/index-build threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl ServeConfig {
+    /// A daemon serving `cfg` with conservative defaults.
+    pub fn new(cfg: DarkVecConfig) -> Self {
+        ServeConfig {
+            cfg,
+            warm_epochs: 2,
+            k: 7,
+            backend: NeighborBackend::Exact,
+            cache_dir: None,
+            listen: "127.0.0.1:0".to_string(),
+            read_timeout: Duration::from_secs(2),
+            queue_depth: 64,
+            threads: 0,
+        }
+    }
+}
+
+/// One completed capture day, ready for window assembly.
+struct DayShard {
+    day: u64,
+    /// Content-addressed corpus cache key (identical construction to the
+    /// batch incremental runner).
+    day_key: u64,
+    corpus: Vec<Vec<Ipv4>>,
+    /// Senders seen with a Mirai fingerprint this day.
+    mirai: HashSet<Ipv4>,
+    /// Packets per `(sender, service)` this day, for centroid synthesis.
+    svc_counts: HashMap<Ipv4, HashMap<ServiceId, u64>>,
+}
+
+/// A scheduled retrain: the trailing window's shards plus the service
+/// map they were tokenised with.
+struct TrainJob {
+    start_day: u64,
+    end_day: u64,
+    shards: Vec<Arc<DayShard>>,
+    services: Arc<ServiceMap>,
+    services_hash: u64,
+}
+
+/// A fully-built model being served. Everything a query needs is
+/// constructed before the instance becomes visible to any connection.
+pub struct ServingModel {
+    /// Monotonic swap version (first model is 1).
+    pub version: u64,
+    /// FNV-1a over the normalised matrix and labels; recomputable via
+    /// [`ServingModel::compute_checksum`] to prove integrity.
+    pub checksum: u64,
+    /// `(start_day, end_day)` of the training window.
+    pub window: (u64, u64),
+    /// The underlying trained artifact (embedding + services + stats).
+    pub model: TrainedModel,
+    /// The shared normalised matrix behind the index.
+    pub normed: Arc<NormalizedMatrix>,
+    index: Box<dyn NeighborIndex>,
+    /// Voting label per embedding row.
+    pub labels: Vec<Label>,
+    /// Class display names, indexed by label id.
+    pub class_names: Vec<String>,
+    /// Per-service centroid query vectors (empty where no mass).
+    centroids: Vec<Vec<f32>>,
+}
+
+impl ServingModel {
+    /// The checksum of the served content, recomputed from live state.
+    /// Equal to [`ServingModel::checksum`] for a sound model.
+    pub fn compute_checksum(&self) -> u64 {
+        checksum_of(&self.normed, &self.labels)
+    }
+
+    /// Resolves a query vector: the sender's embedding row when it is in
+    /// vocabulary, else a synthesis from the services its ports map to.
+    fn query_vector(&self, ip: Ipv4, ports: &[(u16, Protocol)]) -> Result<Vec<f32>, String> {
+        if let Some(row) = self.model.embedding.get(&ip) {
+            return Ok(row.to_vec());
+        }
+        let dim = self.normed.dim();
+        let mut q = vec![0.0f32; dim];
+        for &(port, proto) in ports {
+            let key = darkvec_types::PortKey { port, proto };
+            let svc = self.model.services.service_of(key);
+            if let Some(c) = self.centroids.get(svc) {
+                for (qi, ci) in q.iter_mut().zip(c) {
+                    *qi += *ci;
+                }
+            }
+        }
+        if q.iter().all(|&x| x == 0.0) {
+            return Err(format!(
+                "sender {ip} is not embedded and no queried port maps to a known service"
+            ));
+        }
+        Ok(q)
+    }
+
+    /// Answers one classify request against this model. The voting is
+    /// exactly [`loo_knn_classify`] over the backend's `knn_batch` — the
+    /// same path as `Evaluation::classify_external` when the backend is
+    /// exact.
+    pub fn classify(
+        &self,
+        ip: Ipv4,
+        ports: &[(u16, Protocol)],
+        k: usize,
+    ) -> Result<ClassifyReply, String> {
+        let k = k.clamp(1, MAX_NEIGHBORS.min(self.normed.rows().max(1)));
+        let query = self.query_vector(ip, ports)?;
+        let mut lists = self.index.knn_batch(&query, k, 1);
+        let neighbors = lists.pop().unwrap_or_default();
+        let prediction = loo_knn_classify(std::slice::from_ref(&neighbors), &self.labels, k)
+            .predictions
+            .first()
+            .copied()
+            .unwrap_or(LABEL_UNKNOWN);
+        let votes = neighbors
+            .iter()
+            .filter(|n| self.labels[n.index] == prediction)
+            .count();
+        let confidence = if neighbors.is_empty() {
+            0.0
+        } else {
+            votes as f32 / neighbors.len() as f32
+        };
+        let label = self
+            .class_names
+            .get(prediction as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("class-{prediction}"));
+        Ok(ClassifyReply {
+            version: self.version,
+            checksum: self.checksum,
+            label,
+            confidence,
+            neighbors: neighbors
+                .iter()
+                .map(|n| {
+                    (
+                        *self.model.embedding.vocab().word(n.index as u32),
+                        n.similarity,
+                    )
+                })
+                .collect(),
+        })
+    }
+}
+
+/// FNV-1a content hash over the normalised matrix and row labels.
+fn checksum_of(normed: &NormalizedMatrix, labels: &[Label]) -> u64 {
+    let mut h = KeyHasher::new();
+    h.write_str("serving-model")
+        .write_u64(normed.rows() as u64)
+        .write_u64(normed.dim() as u64);
+    for &x in normed.data() {
+        h.write_u64(x.to_bits() as u64);
+    }
+    for &l in labels {
+        h.write_u64(l as u64);
+    }
+    h.finish()
+}
+
+/// One entry of the swap history: recorded immediately before the model
+/// became visible, so any reply's `(version, checksum)` pair must match
+/// an entry — the "no half-written model" proof used by the tests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SwapRecord {
+    /// Model version.
+    pub version: u64,
+    /// Content checksum at build time.
+    pub checksum: u64,
+    /// Embedded senders.
+    pub vocab: usize,
+    /// Training window `(start_day, end_day)`.
+    pub window: (u64, u64),
+}
+
+/// Point-in-time daemon statistics (per-daemon, not the global obs
+/// registry — several daemons can coexist in one test process).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DaemonStats {
+    /// Packets ingested.
+    pub packets: u64,
+    /// Capture days completed.
+    pub days: u64,
+    /// Retrains completed.
+    pub retrains: u64,
+    /// Model swaps performed.
+    pub swaps: u64,
+    /// Classify queries answered (including error replies).
+    pub queries: u64,
+    /// Faults survived (protocol, transport, artifact, ingest).
+    pub errors: u64,
+}
+
+/// State shared between the daemon's threads.
+struct Shared {
+    cfg: ServeConfig,
+    model: RwLock<Option<Arc<ServingModel>>>,
+    swaps: Mutex<Vec<SwapRecord>>,
+    job: Mutex<Option<TrainJob>>,
+    job_ready: Condvar,
+    training: AtomicBool,
+    stream_done: AtomicBool,
+    shutdown: AtomicBool,
+    packets: AtomicU64,
+    days: AtomicU64,
+    retrains: AtomicU64,
+    swap_count: AtomicU64,
+    queries: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Shared {
+    /// Records a survivable fault: per-daemon counter, global obs
+    /// counter, and a warn log line.
+    fn fault(&self, what: &str, detail: &str) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        darkvec_obs::metrics::counter("serve.errors").add(1);
+        darkvec_obs::warn!("serve: {what}: {detail}");
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.job_ready.notify_all();
+    }
+
+    fn status(&self) -> StatusReply {
+        let (ready, version, checksum, vocab) = match &*self.model.read().expect("model lock") {
+            Some(m) => (true, m.version, m.checksum, m.normed.rows() as u32),
+            None => (false, 0, 0, 0),
+        };
+        StatusReply {
+            ready,
+            version,
+            checksum,
+            vocab,
+            packets: self.packets.load(Ordering::Relaxed),
+            days: self.days.load(Ordering::Relaxed) as u32,
+            retrains: self.retrains.load(Ordering::Relaxed) as u32,
+            swaps: self.swap_count.load(Ordering::Relaxed) as u32,
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The running daemon. Owns its threads; [`Daemon::shutdown`] (or drop)
+/// stops and joins them.
+pub struct Daemon {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Starts a daemon: binds `cfg.listen`, spawns the ingest, trainer
+    /// and acceptor threads, and returns the daemon plus the packet
+    /// ingest channel. Dropping all senders ends the stream: the daemon
+    /// finalises the partial day, trains a final model, and keeps
+    /// serving queries until shut down.
+    pub fn start(cfg: ServeConfig) -> io::Result<(Daemon, SyncSender<Vec<Packet>>)> {
+        assert!(cfg.cfg.dt > 0, "dt must be positive");
+        assert!(
+            darkvec_types::DAY.is_multiple_of(cfg.cfg.dt),
+            "serve sharding needs dt to divide a day"
+        );
+        assert!(cfg.cfg.window.days > 0, "window.days must be positive");
+        assert!(cfg.cfg.window.stride > 0, "window.stride must be positive");
+        assert!(cfg.k > 0, "default k must be positive");
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let cache = match &cfg.cache_dir {
+            Some(dir) => Some(ArtifactCache::new(dir)?),
+            None => None,
+        };
+        let (tx, rx) = sync_channel::<Vec<Packet>>(cfg.queue_depth.max(1));
+        let shared = Arc::new(Shared {
+            cfg,
+            model: RwLock::new(None),
+            swaps: Mutex::new(Vec::new()),
+            job: Mutex::new(None),
+            job_ready: Condvar::new(),
+            training: AtomicBool::new(false),
+            stream_done: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            packets: AtomicU64::new(0),
+            days: AtomicU64::new(0),
+            retrains: AtomicU64::new(0),
+            swap_count: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let cache = Arc::new(cache);
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            let cache = Arc::clone(&cache);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-ingest".into())
+                    .spawn(move || ingest_loop(&shared, &rx, &cache))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            let cache = Arc::clone(&cache);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-trainer".into())
+                    .spawn(move || trainer_loop(&shared, &cache))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept".into())
+                    .spawn(move || accept_loop(&shared, &listener))?,
+            );
+        }
+        darkvec_obs::info!("serve: listening on {addr}");
+        Ok((
+            Daemon {
+                addr,
+                shared,
+                threads,
+            },
+            tx,
+        ))
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The currently served model, if any (an `Arc` snapshot: stays
+    /// valid across later swaps).
+    pub fn current_model(&self) -> Option<Arc<ServingModel>> {
+        self.shared.model.read().expect("model lock").clone()
+    }
+
+    /// A copy of the swap history.
+    pub fn swap_history(&self) -> Vec<SwapRecord> {
+        self.shared.swaps.lock().expect("swap lock").clone()
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> DaemonStats {
+        let s = &self.shared;
+        DaemonStats {
+            packets: s.packets.load(Ordering::Relaxed),
+            days: s.days.load(Ordering::Relaxed),
+            retrains: s.retrains.load(Ordering::Relaxed),
+            swaps: s.swap_count.load(Ordering::Relaxed),
+            queries: s.queries.load(Ordering::Relaxed),
+            errors: s.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True once a shutdown was requested (API call or protocol
+    /// [`Request::Shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits until the served model version reaches `version`.
+    pub fn wait_version(&self, version: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.current_model().is_some_and(|m| m.version >= version) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Waits until no retrain is queued or running.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let queued = self.shared.job.lock().expect("job lock").is_some();
+            if !queued && !self.shared.training.load(Ordering::SeqCst) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stops the daemon and joins its threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The ingest thread: day buffering, shard building, retrain scheduling.
+fn ingest_loop(shared: &Shared, rx: &Receiver<Vec<Packet>>, cache: &Option<ArtifactCache>) {
+    let cfg = &shared.cfg;
+    let fingerprint = cfg.cfg.fingerprint();
+    let ingest_ns = darkvec_obs::metrics::histogram("serve.ingest_ns");
+    let ingested = darkvec_obs::metrics::counter("serve.ingested");
+
+    let mut services: Option<(Arc<ServiceMap>, u64)> = match &cfg.cfg.service {
+        // Auto services need traffic; resolved from the first complete day.
+        crate::config::ServiceDef::Auto(_) => None,
+        def => {
+            let map = resolve_services(&Trace::default(), def);
+            let hash = crate::cache::fnv1a64(&map.to_bytes());
+            Some((Arc::new(map), hash))
+        }
+    };
+    let mut shards: Vec<Arc<DayShard>> = Vec::new();
+    let mut day_buf: Vec<Packet> = Vec::new();
+    let mut current_day: Option<u64> = None;
+    let mut last_scheduled: Option<(u64, u64)> = None;
+
+    let finalize_day = |day: u64,
+                        buf: &mut Vec<Packet>,
+                        shards: &mut Vec<Arc<DayShard>>,
+                        services: &mut Option<(Arc<ServiceMap>, u64)>| {
+        if buf.is_empty() {
+            return;
+        }
+        let day_trace = Trace::new(std::mem::take(buf));
+        let (svc, svc_hash) = services
+            .get_or_insert_with(|| {
+                let map = resolve_services(&day_trace, &cfg.cfg.service);
+                let hash = crate::cache::fnv1a64(&map.to_bytes());
+                (Arc::new(map), hash)
+            })
+            .clone();
+        let day_key = {
+            let mut h = KeyHasher::new();
+            h.write_str("corpus")
+                .write_str(&fingerprint)
+                .write_u64(svc_hash)
+                .write_u64(day)
+                .write_u64(hash_packets(day_trace.day_slice(day)));
+            h.finish()
+        };
+        let corpus = cache
+            .as_ref()
+            .and_then(|c| c.load("corpus", day_key))
+            .and_then(|raw| match corpus_from_bytes(&raw[..]) {
+                Ok(corpus) => Some(corpus),
+                Err(e) => {
+                    shared.fault("corrupt cached corpus shard", &e);
+                    None
+                }
+            })
+            .unwrap_or_else(|| {
+                let built = build_day_corpus(&day_trace, day, &svc, cfg.cfg.dt);
+                if let Some(c) = cache {
+                    let _ = c.store("corpus", day_key, &corpus_to_bytes(&built));
+                }
+                built
+            });
+        let mut mirai = HashSet::new();
+        let mut svc_counts: HashMap<Ipv4, HashMap<ServiceId, u64>> = HashMap::new();
+        for p in day_trace.packets() {
+            if p.fingerprint == darkvec_types::Fingerprint::Mirai {
+                mirai.insert(p.src);
+            }
+            *svc_counts
+                .entry(p.src)
+                .or_default()
+                .entry(svc.service_of(p.port_key()))
+                .or_insert(0) += 1;
+        }
+        shards.push(Arc::new(DayShard {
+            day,
+            day_key,
+            corpus,
+            mirai,
+            svc_counts,
+        }));
+        shared.days.fetch_add(1, Ordering::Relaxed);
+        darkvec_obs::metrics::counter("serve.days").add(1);
+        darkvec_obs::debug!("serve: day {day} complete ({} shards)", shards.len());
+    };
+
+    let schedule = |shards: &[Arc<DayShard>],
+                    services: &Option<(Arc<ServiceMap>, u64)>,
+                    window_days: u64,
+                    last: &mut Option<(u64, u64)>| {
+        let take = (window_days as usize).min(shards.len());
+        if take == 0 {
+            return;
+        }
+        let Some((svc, svc_hash)) = services.clone() else {
+            return;
+        };
+        let window: Vec<Arc<DayShard>> = shards[shards.len() - take..].to_vec();
+        let bounds = (window[0].day, window[take - 1].day);
+        if *last == Some(bounds) {
+            return;
+        }
+        *last = Some(bounds);
+        let job = TrainJob {
+            start_day: bounds.0,
+            end_day: bounds.1,
+            shards: window,
+            services: svc,
+            services_hash: svc_hash,
+        };
+        *shared.job.lock().expect("job lock") = Some(job);
+        shared.job_ready.notify_all();
+        darkvec_obs::metrics::counter("serve.retrain_requests").add(1);
+    };
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(batch) => {
+                let started = Instant::now();
+                shared
+                    .packets
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                ingested.add(batch.len() as u64);
+                for p in batch {
+                    let day = p.ts.day();
+                    match current_day {
+                        None => current_day = Some(day),
+                        Some(cur) if day > cur => {
+                            finalize_day(cur, &mut day_buf, &mut shards, &mut services);
+                            let completed = shards.len() as u64;
+                            let w = cfg.cfg.window;
+                            if completed >= w.days && (completed - w.days).is_multiple_of(w.stride)
+                            {
+                                schedule(&shards, &services, w.days, &mut last_scheduled);
+                            }
+                            current_day = Some(day);
+                        }
+                        Some(cur) if day < cur => {
+                            shared.fault(
+                                "out-of-order packet dropped",
+                                &format!("day {day} after day {cur} began"),
+                            );
+                            continue;
+                        }
+                        Some(_) => {}
+                    }
+                    day_buf.push(p);
+                }
+                ingest_ns.record_duration(started.elapsed());
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // End of stream: the partial day becomes a final shard and
+                // the trailing window gets one last train.
+                if let Some(day) = current_day {
+                    finalize_day(day, &mut day_buf, &mut shards, &mut services);
+                }
+                schedule(&shards, &services, cfg.cfg.window.days, &mut last_scheduled);
+                shared.stream_done.store(true, Ordering::SeqCst);
+                darkvec_obs::info!(
+                    "serve: stream ended after {} packets / {} days",
+                    shared.packets.load(Ordering::Relaxed),
+                    shards.len()
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// The trainer thread: consumes the latest scheduled window, trains
+/// (cache-assisted, warm-started), and swaps the serving model.
+fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
+    let cfg = &shared.cfg;
+    let fingerprint = cfg.cfg.fingerprint();
+    let config_hash = cfg.cfg.fingerprint_hash();
+    let mut train_cfg = cfg.cfg.w2v.clone();
+    train_cfg.min_count = cfg.cfg.min_packets.max(cfg.cfg.w2v.min_count);
+    train_cfg.threads = cfg.threads;
+    let mut prior: Option<(u64, TrainedModel)> = None;
+    let mut version = 0u64;
+
+    loop {
+        let job = {
+            let mut slot = shared.job.lock().expect("job lock");
+            loop {
+                if let Some(job) = slot.take() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (next, _) = shared
+                    .job_ready
+                    .wait_timeout(slot, Duration::from_millis(50))
+                    .expect("job condvar");
+                slot = next;
+            }
+        };
+        let Some(job) = job else { return };
+        shared.training.store(true, Ordering::SeqCst);
+        let started = Instant::now();
+
+        // Window corpus + label/centroid material from the shards.
+        let mut corpus: Vec<Vec<Ipv4>> = Vec::new();
+        let mut mirai: HashSet<Ipv4> = HashSet::new();
+        let mut svc_counts: HashMap<Ipv4, HashMap<ServiceId, u64>> = HashMap::new();
+        for shard in &job.shards {
+            corpus.extend(shard.corpus.iter().cloned());
+            mirai.extend(shard.mirai.iter().copied());
+            for (ip, per_svc) in &shard.svc_counts {
+                let into = svc_counts.entry(*ip).or_default();
+                for (&svc, &n) in per_svc {
+                    *into.entry(svc).or_insert(0) += n;
+                }
+            }
+        }
+        // Model key: chained exactly like the incremental runner, so a
+        // serve daemon resumes from artifacts a batch run produced.
+        let warm = cfg.warm_epochs > 0 && prior.is_some();
+        let model_key = {
+            let mut h = KeyHasher::new();
+            h.write_str("model")
+                .write_str(&fingerprint)
+                .write_u64(job.services_hash);
+            for shard in &job.shards {
+                h.write_u64(shard.day_key);
+            }
+            if warm {
+                let (prior_key, _) = prior.as_ref().expect("warm implies prior");
+                h.write_str("warm")
+                    .write_u64(cfg.warm_epochs as u64)
+                    .write_u64(*prior_key);
+            } else {
+                h.write_str("cold");
+            }
+            h.finish()
+        };
+
+        let cached = cache
+            .as_ref()
+            .and_then(|c| c.load("model", model_key))
+            .and_then(|raw| match TrainedModel::from_bytes(&raw[..]) {
+                Ok(m) => Some(m),
+                Err(e) => {
+                    shared.fault("corrupt cached model artifact", &e);
+                    None
+                }
+            });
+        let from_cache = cached.is_some();
+        let trained = cached.unwrap_or_else(|| {
+            let stats = corpus_stats(&corpus);
+            let skipgrams = count_skipgrams(&corpus, cfg.cfg.w2v.window);
+            let (embedding, train_stats) = if warm {
+                let (_, prior_model) = prior.as_ref().expect("warm implies prior");
+                let mut warm_cfg = train_cfg.clone();
+                warm_cfg.epochs = cfg.warm_epochs;
+                train_from(&corpus, &warm_cfg, &prior_model.embedding)
+            } else {
+                train(&corpus, &train_cfg)
+            };
+            let model = TrainedModel {
+                embedding,
+                services: (*job.services).clone(),
+                corpus: stats,
+                skipgrams,
+                train: train_stats,
+                config_hash,
+            };
+            if let Some(c) = cache {
+                let _ = c.store("model", model_key, &model.to_bytes());
+            }
+            model
+        });
+
+        if trained.embedding.is_empty() {
+            shared.fault(
+                "retrain produced an empty embedding",
+                &format!("window {}..={}", job.start_day, job.end_day),
+            );
+            shared.training.store(false, Ordering::SeqCst);
+            continue;
+        }
+
+        // Build the complete serving model before it becomes visible.
+        version += 1;
+        let n = trained.embedding.len();
+        let dim = trained.embedding.dim();
+        let normed = Arc::new(Matrix::new(trained.embedding.vectors(), n, dim).normalized());
+        let index = cfg.backend.index_shared(Arc::clone(&normed), cfg.threads);
+        let labels: Vec<Label> = (0..n as u32)
+            .map(|id| {
+                if mirai.contains(trained.embedding.vocab().word(id)) {
+                    LABEL_MIRAI
+                } else {
+                    LABEL_UNKNOWN
+                }
+            })
+            .collect();
+        let centroids = build_centroids(&trained, &normed, &svc_counts);
+        let checksum = checksum_of(&normed, &labels);
+        let serving = Arc::new(ServingModel {
+            version,
+            checksum,
+            window: (job.start_day, job.end_day),
+            model: trained,
+            normed,
+            index,
+            labels,
+            class_names: vec!["unknown".to_string(), "mirai".to_string()],
+            centroids,
+        });
+
+        // The swap: history first, then one atomic pointer store.
+        shared.swaps.lock().expect("swap lock").push(SwapRecord {
+            version,
+            checksum,
+            vocab: n,
+            window: (job.start_day, job.end_day),
+        });
+        *shared.model.write().expect("model lock") = Some(Arc::clone(&serving));
+        shared.swap_count.fetch_add(1, Ordering::Relaxed);
+        shared.retrains.fetch_add(1, Ordering::Relaxed);
+        darkvec_obs::metrics::counter("serve.swaps").add(1);
+        darkvec_obs::metrics::counter("serve.retrains").add(1);
+        darkvec_obs::metrics::gauge("serve.model_version").set(version as f64);
+        darkvec_obs::metrics::gauge("serve.vocab").set(n as f64);
+        darkvec_obs::metrics::histogram("serve.retrain_ns").record_duration(started.elapsed());
+        darkvec_obs::info!(
+            "serve: model v{version} live — window {}..={}, vocab {}, {} ({:.2}s)",
+            job.start_day,
+            job.end_day,
+            n,
+            if from_cache {
+                "cached"
+            } else if warm {
+                "warm-trained"
+            } else {
+                "cold-trained"
+            },
+            started.elapsed().as_secs_f64()
+        );
+        let prior_model = serving.model.clone();
+        prior = Some((model_key, prior_model));
+        shared.training.store(false, Ordering::SeqCst);
+        darkvec_obs::metrics::record_sample();
+    }
+}
+
+/// Per-service centroid query vectors: the packet-count-weighted mean of
+/// embedded sender rows, L2-normalised. Services with no embedded mass
+/// get an empty vector.
+fn build_centroids(
+    trained: &TrainedModel,
+    normed: &NormalizedMatrix,
+    svc_counts: &HashMap<Ipv4, HashMap<ServiceId, u64>>,
+) -> Vec<Vec<f32>> {
+    let dim = normed.dim();
+    let n_services = trained.services.len();
+    let mut sums = vec![vec![0.0f64; dim]; n_services];
+    let mut mass = vec![0.0f64; n_services];
+    for (ip, per_svc) in svc_counts {
+        let Some(id) = trained.embedding.vocab().id(ip) else {
+            continue;
+        };
+        let row = normed.row(id as usize);
+        for (&svc, &count) in per_svc {
+            if svc >= n_services {
+                continue;
+            }
+            let w = count as f64;
+            for (s, &x) in sums[svc].iter_mut().zip(row) {
+                *s += w * x as f64;
+            }
+            mass[svc] += w;
+        }
+    }
+    sums.into_iter()
+        .zip(&mass)
+        .map(|(sum, &m)| {
+            if m == 0.0 {
+                return Vec::new();
+            }
+            let mut v: Vec<f32> = sum.into_iter().map(|x| (x / m) as f32).collect();
+            normalize_vec(&mut v);
+            v
+        })
+        .collect()
+}
+
+/// The acceptor thread: non-blocking accept with a shutdown poll, one
+/// thread per connection.
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                darkvec_obs::metrics::counter("serve.connections").add(1);
+                darkvec_obs::debug!("serve: connection from {peer}");
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || handle_conn(&shared, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                shared.fault("accept failed", &e.to_string());
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Reads one frame, tolerating idle time *between* frames but not
+/// stalls *inside* one: the socket's read timeout only starts counting
+/// once the first byte of a frame has arrived, so a quiet client parks
+/// for free while a slow-loris writer times out mid-frame.
+fn read_frame_idle(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+) -> Result<Vec<u8>, FrameError> {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(FrameError::Closed);
+        }
+        // A whole small frame usually lands in the buffer on this one
+        // syscall; nothing is consumed until `read_frame` below.
+        match reader.fill_buf() {
+            Ok([]) => return Err(FrameError::Closed),
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    // From here the socket timeout applies: a read past the buffered
+    // bytes that stalls comes back as a `WouldBlock` I/O fault.
+    read_frame(reader)
+}
+
+/// One connection: a loop of request frames and response frames.
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let mut reader = BufReader::with_capacity(4096, stream);
+    let query_ns = darkvec_obs::metrics::histogram("serve.query_ns");
+    loop {
+        let payload = match read_frame_idle(shared, &mut reader) {
+            Ok(payload) => payload,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Oversized(len)) => {
+                shared.fault("oversized frame", &format!("length {len}"));
+                let reply = encode_response(&Response::Error(format!(
+                    "frame length {len} exceeds maximum"
+                )));
+                let _ = write_frame(reader.get_mut(), &reply);
+                return; // cannot resync: the payload was never read
+            }
+            Err(FrameError::Io(e)) => {
+                // Mid-frame disconnect or a slow-loris stall.
+                shared.fault("connection fault mid-frame", &e.to_string());
+                return;
+            }
+        };
+        let request = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                shared.fault("malformed request", &e.to_string());
+                let reply = encode_response(&Response::Error(format!("bad request: {e}")));
+                if write_frame(reader.get_mut(), &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Status => Response::Status(shared.status()),
+            Request::Classify { ip, ports, k } => {
+                let started = Instant::now();
+                shared.queries.fetch_add(1, Ordering::Relaxed);
+                darkvec_obs::metrics::counter("serve.queries").add(1);
+                let model = shared.model.read().expect("model lock").clone();
+                let response = match model {
+                    None => Response::Error("no model trained yet".to_string()),
+                    Some(m) => {
+                        let k = if k == 0 { shared.cfg.k } else { k as usize };
+                        match m.classify(ip, &ports, k) {
+                            Ok(reply) => Response::Classify(reply),
+                            Err(e) => Response::Error(e),
+                        }
+                    }
+                };
+                query_ns.record_duration(started.elapsed());
+                response
+            }
+            Request::Shutdown => Response::ShutdownAck,
+        };
+        let shutting_down = matches!(response, Response::ShutdownAck);
+        if write_frame(reader.get_mut(), &encode_response(&response)).is_err() {
+            shared.fault("reply write failed", "peer went away");
+            return;
+        }
+        if shutting_down {
+            darkvec_obs::info!("serve: shutdown requested over the wire");
+            shared.begin_shutdown();
+            return;
+        }
+    }
+}
+
+/// A small synchronous client for the serve protocol, used by the CLI
+/// `query` command, the benchmarks and the integration tests.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::with_capacity(4096, stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// One request/response round trip.
+    pub fn call(&mut self, request: &Request) -> Result<Response, String> {
+        write_frame(&mut self.stream, &encode_request(request))
+            .map_err(|e| format!("send: {e}"))?;
+        let payload = read_frame(&mut self.reader).map_err(|e| format!("recv: {e}"))?;
+        crate::protocol::decode_response(&payload).map_err(|e| format!("decode: {e}"))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), String> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(format!("unexpected reply to ping: {other:?}")),
+        }
+    }
+
+    /// Daemon status.
+    pub fn status(&mut self) -> Result<StatusReply, String> {
+        match self.call(&Request::Status)? {
+            Response::Status(s) => Ok(s),
+            other => Err(format!("unexpected reply to status: {other:?}")),
+        }
+    }
+
+    /// Classifies a sender. `k = 0` uses the daemon's default. A
+    /// protocol-level error reply comes back as `Ok(Err(msg))` so
+    /// callers can tell transport faults from refusals.
+    pub fn classify(
+        &mut self,
+        ip: Ipv4,
+        ports: &[(u16, Protocol)],
+        k: u16,
+    ) -> Result<Result<ClassifyReply, String>, String> {
+        match self.call(&Request::Classify {
+            ip,
+            ports: ports.to_vec(),
+            k,
+        })? {
+            Response::Classify(reply) => Ok(Ok(reply)),
+            Response::Error(msg) => Ok(Err(msg)),
+            other => Err(format!("unexpected reply to classify: {other:?}")),
+        }
+    }
+
+    /// Asks the daemon to shut down.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(format!("unexpected reply to shutdown: {other:?}")),
+        }
+    }
+}

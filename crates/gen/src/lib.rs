@@ -30,8 +30,10 @@ pub mod config;
 pub mod generator;
 pub mod mix;
 pub mod schedule;
+pub mod stream;
 pub mod truth;
 
 pub use config::SimConfig;
 pub use generator::{simulate, SimOutput};
+pub use stream::{pump, PacketStream};
 pub use truth::{CampaignId, GroundTruth, GtClass};

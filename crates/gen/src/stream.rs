@@ -1,0 +1,140 @@
+//! Stream producer mode: replays a capture as a live packet feed.
+//!
+//! The batch simulator materialises a whole [`Trace`] at once; the serve
+//! daemon instead consumes packets as they "arrive". This module turns
+//! either a simulated or a loaded trace into a time-ordered packet
+//! iterator and pumps it into a bounded channel in micro-batches —
+//! full-throttle, so an ingest benchmark measures the consumer, not an
+//! artificial pacing clock. Backpressure comes from the channel bound:
+//! when the daemon's ingest loop falls behind, [`pump`] blocks instead
+//! of buffering without limit.
+
+use crate::config::SimConfig;
+use crate::generator::simulate;
+use darkvec_types::{Packet, Trace};
+use std::sync::mpsc::SyncSender;
+
+/// Micro-batch size used when the caller does not pick one: large
+/// enough to amortise channel synchronisation, small enough that a day
+/// boundary is detected promptly.
+pub const DEFAULT_BATCH: usize = 4096;
+
+/// A time-ordered packet stream.
+pub struct PacketStream {
+    packets: std::vec::IntoIter<Packet>,
+}
+
+impl PacketStream {
+    /// Streams a fresh simulation of `cfg` (deterministic in the seed).
+    pub fn simulate(cfg: &SimConfig) -> Self {
+        Self::from_trace(simulate(cfg).trace)
+    }
+
+    /// Streams an existing trace in timestamp order.
+    pub fn from_trace(trace: Trace) -> Self {
+        PacketStream {
+            packets: trace.into_packets().into_iter(),
+        }
+    }
+
+    /// Packets remaining in the stream.
+    pub fn remaining(&self) -> usize {
+        self.packets.len()
+    }
+}
+
+impl Iterator for PacketStream {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        self.packets.next()
+    }
+}
+
+/// Pumps a stream into `tx` in `batch`-sized micro-batches as fast as
+/// the receiver accepts them (0 uses [`DEFAULT_BATCH`]). Returns the
+/// number of packets delivered; stops early (without panicking) if the
+/// receiver hangs up.
+pub fn pump(
+    stream: impl IntoIterator<Item = Packet>,
+    tx: &SyncSender<Vec<Packet>>,
+    batch: usize,
+) -> u64 {
+    let batch = if batch == 0 { DEFAULT_BATCH } else { batch };
+    let mut sent = 0u64;
+    let mut buf = Vec::with_capacity(batch);
+    for p in stream {
+        buf.push(p);
+        if buf.len() == batch {
+            let out = std::mem::replace(&mut buf, Vec::with_capacity(batch));
+            let n = out.len() as u64;
+            if tx.send(out).is_err() {
+                return sent;
+            }
+            sent += n;
+        }
+    }
+    if !buf.is_empty() {
+        let n = buf.len() as u64;
+        if tx.send(buf).is_err() {
+            return sent;
+        }
+        sent += n;
+    }
+    sent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    #[test]
+    fn stream_replays_the_whole_trace_in_order() {
+        let cfg = SimConfig::tiny(7);
+        let trace = simulate(&cfg).trace;
+        let total = trace.len();
+        let stream = PacketStream::from_trace(trace);
+        assert_eq!(stream.remaining(), total);
+        let mut last = 0;
+        let mut count = 0;
+        for p in stream {
+            assert!(p.ts.0 >= last, "stream must be time-ordered");
+            last = p.ts.0;
+            count += 1;
+        }
+        assert_eq!(count, total);
+    }
+
+    #[test]
+    fn pump_delivers_every_packet_in_batches() {
+        let cfg = SimConfig::tiny(7);
+        let stream = PacketStream::simulate(&cfg);
+        let total = stream.remaining() as u64;
+        let (tx, rx) = sync_channel(8);
+        let consumer = std::thread::spawn(move || {
+            let mut got = 0u64;
+            let mut batches = 0u64;
+            while let Ok(batch) = rx.recv() {
+                got += Vec::len(&batch) as u64;
+                batches += 1;
+            }
+            (got, batches)
+        });
+        let sent = pump(stream, &tx, 512);
+        drop(tx);
+        let (got, batches) = consumer.join().unwrap();
+        assert_eq!(sent, total);
+        assert_eq!(got, total);
+        assert!(batches >= total / 512, "expected micro-batching");
+    }
+
+    #[test]
+    fn pump_survives_a_hung_up_receiver() {
+        let cfg = SimConfig::tiny(7);
+        let stream = PacketStream::simulate(&cfg);
+        let (tx, rx) = sync_channel(1);
+        drop(rx);
+        assert_eq!(pump(stream, &tx, 256), 0);
+    }
+}

@@ -20,8 +20,9 @@
 //!   batch are invisible to the frozen search; a brute-force merge over
 //!   the (small) batch prefix restores those candidates.
 
+use crate::ann::MatrixHandle;
 use crate::knn::Neighbor;
-use crate::vectors::{dot, normalize_rows, NormalizedMatrix};
+use crate::vectors::{dot, normalize_rows};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BinaryHeap;
@@ -134,10 +135,12 @@ impl Scratch {
     }
 }
 
-/// The built index. Borrows the matrix it was built over; queries are
-/// read-only and safe to run from many threads.
+/// The built index. Holds the matrix it was built over through a
+/// [`MatrixHandle`] — borrowed in the batch pipeline, [`Arc`]-shared for
+/// long-lived owners ([`std::sync::Arc`]); queries are read-only and
+/// safe to run from many threads.
 pub struct HnswIndex<'m> {
-    normed: &'m NormalizedMatrix,
+    normed: MatrixHandle<'m>,
     cfg: HnswConfig,
     /// `links[level][node]` — out-neighbours, `2m` max at level 0, `m` above.
     links: Vec<Vec<Vec<u32>>>,
@@ -148,10 +151,12 @@ pub struct HnswIndex<'m> {
 }
 
 impl<'m> HnswIndex<'m> {
-    /// Builds the index over every row of `normed`.
+    /// Builds the index over every row of `normed` (a borrowed matrix or
+    /// an `Arc`-shared one — anything convertible to [`MatrixHandle`]).
     /// `threads = 0` uses one thread per available core. The result is
     /// identical for every `threads` value (see the module docs).
-    pub fn build(normed: &'m NormalizedMatrix, cfg: &HnswConfig, threads: usize) -> Self {
+    pub fn build(normed: impl Into<MatrixHandle<'m>>, cfg: &HnswConfig, threads: usize) -> Self {
+        let normed = normed.into();
         assert!(cfg.m >= 2, "HNSW needs m >= 2");
         assert!(cfg.ef_construction >= 1, "ef_construction must be positive");
         let _span = darkvec_obs::span!("ml.ann.build");
@@ -526,14 +531,15 @@ impl<'m> HnswIndex<'m> {
     fn commit(&mut self, node: u32, batch_start: usize, mut cands: Vec<Vec<Cand>>) {
         let node_level = self.levels[node as usize] as usize;
         cands.resize(node_level + 1, Vec::new());
-        let q = self.normed.row(node as usize);
+        // Copied out because `add_link` below needs `&mut self`.
+        let q = self.normed.row(node as usize).to_vec();
         // `resize` pinned `cands` to exactly node_level + 1 entries.
         for (level, layer_cands) in cands.iter_mut().enumerate() {
             let mut pool = std::mem::take(layer_cands);
             for j in batch_start..node as usize {
                 if (self.levels[j] as usize) >= level {
                     pool.push(Cand {
-                        sim: dot(q, self.normed.row(j)),
+                        sim: dot(&q, self.normed.row(j)),
                         idx: j as u32,
                     });
                 }
@@ -654,6 +660,7 @@ fn assign_levels(n: usize, cfg: &HnswConfig) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vectors::NormalizedMatrix;
 
     /// Three tight clusters of 30 points on the unit sphere in 8-d.
     fn clustered(n_per: usize) -> NormalizedMatrix {

@@ -21,6 +21,44 @@ pub use recall::recall_at_k;
 
 use crate::knn::{knn_all_normalized, knn_batch, Neighbor};
 use crate::vectors::NormalizedMatrix;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// How an index holds the matrix it searches: borrowed for the classic
+/// batch pipeline (index dies with the pipeline stage), or shared via
+/// [`Arc`] for long-lived owners like the serve daemon, where the model
+/// and its index must move across threads together and outlive the
+/// scope that built them.
+#[derive(Clone, Debug)]
+pub enum MatrixHandle<'m> {
+    /// A view over a matrix owned elsewhere on the stack.
+    Borrowed(&'m NormalizedMatrix),
+    /// Shared ownership; makes the index `'static + Send + Sync`.
+    Shared(Arc<NormalizedMatrix>),
+}
+
+impl Deref for MatrixHandle<'_> {
+    type Target = NormalizedMatrix;
+
+    fn deref(&self) -> &NormalizedMatrix {
+        match self {
+            MatrixHandle::Borrowed(m) => m,
+            MatrixHandle::Shared(m) => m,
+        }
+    }
+}
+
+impl<'m> From<&'m NormalizedMatrix> for MatrixHandle<'m> {
+    fn from(m: &'m NormalizedMatrix) -> Self {
+        MatrixHandle::Borrowed(m)
+    }
+}
+
+impl From<Arc<NormalizedMatrix>> for MatrixHandle<'_> {
+    fn from(m: Arc<NormalizedMatrix>) -> Self {
+        MatrixHandle::Shared(m)
+    }
+}
 
 /// Which neighbour-search backend a consumer should use.
 #[derive(Clone, Debug, PartialEq, Default)]
@@ -65,11 +103,28 @@ impl NeighborBackend {
             NeighborBackend::Hnsw(cfg) => Box::new(HnswIndex::build(normed, cfg, threads)),
         }
     }
+
+    /// Like [`NeighborBackend::index`], but the index co-owns the matrix
+    /// through an [`Arc`], so the result is `'static` and can be handed
+    /// to other threads — the external query path used by long-running
+    /// servers that swap models while queries are in flight.
+    pub fn index_shared(
+        &self,
+        normed: Arc<NormalizedMatrix>,
+        threads: usize,
+    ) -> Box<dyn NeighborIndex> {
+        match self {
+            NeighborBackend::Exact => Box::new(ExactIndex::new(normed)),
+            NeighborBackend::Hnsw(cfg) => Box::new(HnswIndex::build(normed, cfg, threads)),
+        }
+    }
 }
 
 /// Cosine-space neighbour search over the rows of a normalised matrix,
-/// implemented by the exact scan and the HNSW index.
-pub trait NeighborIndex {
+/// implemented by the exact scan and the HNSW index. Queries are
+/// read-only, so implementations are `Send + Sync` and safe to share
+/// across query threads.
+pub trait NeighborIndex: Send + Sync {
     /// Number of indexed rows.
     fn rows(&self) -> usize;
 
@@ -87,13 +142,15 @@ pub trait NeighborIndex {
 /// The exact brute-force backend: a zero-cost view over the matrix whose
 /// queries run the tiled cache-blocked scan.
 pub struct ExactIndex<'m> {
-    normed: &'m NormalizedMatrix,
+    normed: MatrixHandle<'m>,
 }
 
 impl<'m> ExactIndex<'m> {
-    /// Wraps an already-normalised matrix.
-    pub fn new(normed: &'m NormalizedMatrix) -> Self {
-        ExactIndex { normed }
+    /// Wraps an already-normalised matrix (borrowed or [`Arc`]-shared).
+    pub fn new(normed: impl Into<MatrixHandle<'m>>) -> Self {
+        ExactIndex {
+            normed: normed.into(),
+        }
     }
 }
 
@@ -103,11 +160,11 @@ impl NeighborIndex for ExactIndex<'_> {
     }
 
     fn knn_all(&self, k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
-        knn_all_normalized(self.normed, k, threads)
+        knn_all_normalized(&self.normed, k, threads)
     }
 
     fn knn_batch(&self, queries: &[f32], k: usize, threads: usize) -> Vec<Vec<Neighbor>> {
-        knn_batch(self.normed, queries, k, threads)
+        knn_batch(&self.normed, queries, k, threads)
     }
 }
 

@@ -45,6 +45,11 @@ impl Trace {
         &self.packets
     }
 
+    /// Consumes the trace, yielding its packets in arrival order.
+    pub fn into_packets(self) -> Vec<Packet> {
+        self.packets
+    }
+
     /// Number of packets.
     pub fn len(&self) -> usize {
         self.packets.len()
