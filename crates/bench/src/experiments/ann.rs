@@ -22,6 +22,7 @@ use crate::Ctx;
 use darkvec_ml::ann::{recall_at_k, HnswConfig, HnswIndex};
 use darkvec_ml::knn::knn_all_normalized;
 use darkvec_ml::vectors::NormalizedMatrix;
+use darkvec_ml::QuantizedMatrix;
 use darkvec_obs::Json;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -51,7 +52,17 @@ struct SizePoint {
     exact_secs: f64,
     exact_qps: f64,
     build_secs: f64,
+    /// Index memory per backend: f32 rows, HNSW rows + graph, and the
+    /// int8 twins of both (quantized rows at ~29.5% of f32).
+    memory: MemoryPoint,
     points: Vec<EfPoint>,
+}
+
+/// Resident index bytes per backend at one size.
+struct MemoryPoint {
+    f32_rows: usize,
+    int8_rows: usize,
+    graph: usize,
 }
 
 /// Runs the sweep and writes `BENCH_ann.json`.
@@ -128,6 +139,11 @@ pub fn ann(ctx: &Ctx) -> String {
             exact_secs,
             exact_qps,
             build_secs,
+            memory: MemoryPoint {
+                f32_rows: rows * DIM * std::mem::size_of::<f32>(),
+                int8_rows: QuantizedMatrix::from_normalized(&matrix).bytes(),
+                graph: index.graph_bytes(),
+            },
             points,
         });
     }
@@ -178,6 +194,8 @@ fn write_bench(ctx: &Ctx, path: &std::path::Path, sizes: &[SizePoint], gate: f64
                         .with("speedup_vs_exact", p.speedup)
                 })
                 .collect();
+            let m = &s.memory;
+            let per_row = |total: usize| total as f64 / s.rows.max(1) as f64;
             Json::obj()
                 .with("rows", s.rows)
                 .with(
@@ -191,6 +209,36 @@ fn write_bench(ctx: &Ctx, path: &std::path::Path, sizes: &[SizePoint], gate: f64
                     Json::obj()
                         .with("build_secs", s.build_secs)
                         .with("ef", Json::Arr(ef_entries)),
+                )
+                .with(
+                    "memory",
+                    Json::obj()
+                        .with(
+                            "exact",
+                            Json::obj()
+                                .with("total_bytes", m.f32_rows)
+                                .with("bytes_per_row", per_row(m.f32_rows)),
+                        )
+                        .with(
+                            "hnsw",
+                            Json::obj()
+                                .with("total_bytes", m.f32_rows + m.graph)
+                                .with("bytes_per_row", per_row(m.f32_rows + m.graph))
+                                .with("graph_bytes", m.graph),
+                        )
+                        .with(
+                            "exact_int8",
+                            Json::obj()
+                                .with("total_bytes", m.int8_rows)
+                                .with("bytes_per_row", per_row(m.int8_rows)),
+                        )
+                        .with(
+                            "hnsw_int8",
+                            Json::obj()
+                                .with("total_bytes", m.int8_rows + m.graph)
+                                .with("bytes_per_row", per_row(m.int8_rows + m.graph))
+                                .with("graph_bytes", m.graph),
+                        ),
                 )
         })
         .collect();
@@ -215,7 +263,7 @@ fn write_bench(ctx: &Ctx, path: &std::path::Path, sizes: &[SizePoint], gate: f64
 /// its campaign's direction vector plus Gaussian jitter. Rows beyond the
 /// trace's sender count cycle through the campaigns, scaling the trace
 /// up without changing its cluster structure.
-fn campaign_matrix(ctx: &Ctx, rows: usize) -> NormalizedMatrix {
+pub(crate) fn campaign_matrix(ctx: &Ctx, rows: usize) -> NormalizedMatrix {
     let mut alloc = darkvec_gen::address_space::AddressAllocator::new();
     let campaigns = darkvec_gen::campaigns::build_all(&ctx.sim_cfg, &mut alloc);
     let owners: Vec<usize> = campaigns
@@ -270,6 +318,8 @@ mod tests {
         assert!(raw.contains("\"gate_recall_ok\": true"), "{raw}");
         assert!(raw.contains("\"smoke\": true"));
         assert!(raw.contains("\"recall_at_10\""));
+        assert!(raw.contains("\"bytes_per_row\""), "{raw}");
+        assert!(raw.contains("\"exact_int8\""), "{raw}");
         let _ = std::fs::remove_dir_all(&ctx.out_dir);
     }
 

@@ -14,6 +14,7 @@ pub mod incremental;
 pub mod perclass;
 pub mod perf;
 pub mod rasters;
+pub mod scale;
 pub mod serve;
 pub mod services_xp;
 pub mod transfer;
@@ -47,6 +48,7 @@ pub const ALL: &[&str] = &[
     "ann",
     "incremental",
     "serve",
+    "scale",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.
@@ -76,6 +78,7 @@ pub fn run(ctx: &Ctx, id: &str) -> Option<String> {
         "ann" => ann::ann(ctx),
         "incremental" => incremental::incremental(ctx),
         "serve" => serve::serve(ctx),
+        "scale" => scale::scale(ctx),
         _ => return None,
     };
     Some(out)
@@ -94,6 +97,6 @@ mod tests {
             assert!(run(&ctx, id).is_some(), "{id} failed to run");
         }
         assert!(run(&ctx, "nope").is_none());
-        assert_eq!(ALL.len(), 24);
+        assert_eq!(ALL.len(), 25);
     }
 }

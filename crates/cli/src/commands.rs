@@ -9,7 +9,7 @@ use darkvec::pipeline::{self, TrainedModel};
 use darkvec::unsupervised::{cluster_embedding, ClusterConfig};
 use darkvec::{Client, Daemon, ServeConfig};
 use darkvec_gen::{pump, simulate as run_sim, PacketStream, SimConfig};
-use darkvec_ml::ann::NeighborBackend;
+use darkvec_ml::ann::{NeighborBackend, Precision};
 use darkvec_obs::diff::{diff_manifests, DiffOptions};
 use darkvec_obs::trace::chrome_trace;
 use darkvec_obs::{info, manifest, metrics, Json};
@@ -226,7 +226,7 @@ pub fn similar(opts: &Options) -> Result<(), String> {
 }
 
 /// `darkvec cluster --trace in.bin --model model.dkve [--k 3] [--min-size 4]
-/// [--ann | --exact]`
+/// [--ann | --exact] [--precision f32|int8]`
 pub fn cluster(opts: &Options) -> Result<(), String> {
     let trace = load_trace(opts.require("trace")?)?;
     let model_path = opts.require("model")?;
@@ -241,7 +241,8 @@ pub fn cluster(opts: &Options) -> Result<(), String> {
         NeighborBackend::ann()
     } else {
         NeighborBackend::Exact
-    };
+    }
+    .with_precision(opts.get_or("precision", Precision::F32)?);
     let cfg = ClusterConfig {
         k: opts.get_or("k", 3usize)?,
         seed: opts.get_or("seed", 1u64)?,
@@ -289,7 +290,8 @@ pub fn cluster(opts: &Options) -> Result<(), String> {
 }
 
 /// `darkvec incremental --trace in.bin [--window-days 30] [--stride 1]
-/// [--warm-epochs 2] [--k 3] [--cache DIR] [--out model.dkvm]`
+/// [--warm-epochs 2] [--k 3] [--cache DIR] [--shard-threads N]
+/// [--out model.dkvm]`
 ///
 /// Slides a `--window-days` window over the capture in `--stride`-day
 /// steps. Each step warm-starts from the previous step's model
@@ -314,6 +316,7 @@ pub fn incremental(opts: &Options) -> Result<(), String> {
     let run_opts = IncrementalOptions {
         warm_epochs: opts.get_or("warm-epochs", 2usize)?,
         cluster_k: (k > 0).then_some(k),
+        shard_threads: opts.get_or("shard-threads", 0usize)?,
     };
     let cache = match opts.get("cache") {
         Some(dir) => Some(ArtifactCache::new(dir).map_err(|e| format!("{dir}: {e}"))?),
@@ -435,7 +438,8 @@ pub fn incremental(opts: &Options) -> Result<(), String> {
 
 /// `darkvec serve [--trace in.bin | --days N --scale S --seed N]
 /// [--listen 127.0.0.1:0] [--window-days 7] [--stride 1] [--warm-epochs 2]
-/// [--k 7] [--cache DIR] [--ann | --exact] [--batch N] [--linger]`
+/// [--k 7] [--cache DIR] [--ann | --exact] [--precision f32|int8]
+/// [--shard-threads N] [--batch N] [--linger]`
 ///
 /// Starts the streaming daemon, feeds it the capture (a file with
 /// `--trace`, otherwise a fresh simulation), and serves classify queries
@@ -467,10 +471,12 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         NeighborBackend::ann()
     } else {
         NeighborBackend::Exact
-    };
+    }
+    .with_precision(opts.get_or("precision", Precision::F32)?);
     serve_cfg.cache_dir = opts.get("cache").map(Into::into);
     serve_cfg.listen = opts.get("listen").unwrap_or("127.0.0.1:0").to_string();
     serve_cfg.threads = opts.get_or("threads", 0usize)?;
+    serve_cfg.shard_threads = opts.get_or("shard-threads", 0usize)?;
     let batch: usize = opts.get_or("batch", 0usize)?;
 
     // Packet source: a capture file, or a fresh simulation.
@@ -799,6 +805,21 @@ mod tests {
             ("k", "3"),
         ]))
         .unwrap();
+        // The precision knob parses and clusters on quantized rows.
+        cluster(&opts(&[
+            ("trace", &trace_path),
+            ("model", &model_path),
+            ("k", "3"),
+            ("precision", "int8"),
+        ]))
+        .unwrap();
+        let err = cluster(&opts(&[
+            ("trace", &trace_path),
+            ("model", &model_path),
+            ("precision", "fp64"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("precision"), "{err}");
         stats(&opts(&[("trace", &trace_path)])).unwrap();
     }
 

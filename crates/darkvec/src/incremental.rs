@@ -25,8 +25,9 @@
 
 use crate::cache::{fnv1a64, hash_packets, ArtifactCache, KeyHasher};
 use crate::config::DarkVecConfig;
-use crate::corpus::{build_day_corpus, corpus_from_bytes, corpus_stats, corpus_to_bytes};
+use crate::corpus::corpus_stats;
 use crate::pipeline::{resolve_services, TrainedModel};
+use crate::shard::{build_shards, merge_shards};
 use crate::unsupervised::Clustering;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use darkvec_graph::knn_graph::{knn_graph_from_neighbors, KnnGraphConfig};
@@ -35,8 +36,8 @@ use darkvec_graph::silhouette::cluster_silhouettes_normalized;
 use darkvec_ml::ann::{knn_all_with, NeighborBackend};
 use darkvec_ml::knn::Neighbor;
 use darkvec_ml::vectors::Matrix;
-use darkvec_types::{Ipv4, Trace, DAY};
-use darkvec_w2v::{count_skipgrams, train, train_from};
+use darkvec_types::{Trace, DAY};
+use darkvec_w2v::{count_skipgrams, train_prepared};
 use std::time::Instant;
 
 /// Knobs of the incremental runner that are not part of the model
@@ -51,6 +52,10 @@ pub struct IncrementalOptions {
     /// `Some(k)` clusters each step's embedding with a k′-NN graph +
     /// Louvain (seeded by `cfg.w2v.seed`), caching the neighbour lists.
     pub cluster_k: Option<usize>,
+    /// Worker threads for the per-day shard build (`0` = one per core).
+    /// Pure wall-clock: the merged corpus is bit-identical for any value
+    /// (see [`crate::shard`]), so it never enters cache keys.
+    pub shard_threads: usize,
 }
 
 impl Default for IncrementalOptions {
@@ -58,6 +63,7 @@ impl Default for IncrementalOptions {
         IncrementalOptions {
             warm_epochs: 2,
             cluster_k: None,
+            shard_threads: 0,
         }
     }
 }
@@ -183,24 +189,21 @@ pub fn run_sliding(
         let _step = darkvec_obs::span!("incremental.step");
         let start_day = (end_day + 1).saturating_sub(cfg.window.days);
 
-        // 1. Window corpus out of per-day shards.
-        let mut corpus: Vec<Vec<Ipv4>> = Vec::new();
-        let mut step_day_keys = Vec::with_capacity((end_day - start_day + 1) as usize);
-        for day in start_day..=end_day {
-            let key = key_of_day(day);
-            step_day_keys.push(key);
-            let shard = cache
-                .and_then(|c| c.load("corpus", key))
-                .and_then(|raw| corpus_from_bytes(&raw[..]).ok())
-                .unwrap_or_else(|| {
-                    let built = build_day_corpus(trace, day, &services, cfg.dt);
-                    if let Some(c) = cache {
-                        let _ = c.store("corpus", key, &corpus_to_bytes(&built));
-                    }
-                    built
-                });
-            corpus.extend(shard);
-        }
+        // 1. Window corpus out of per-day shards, built in parallel and
+        // merged deterministically — bit-identical to the old serial
+        // loop for any `shard_threads` (see `crate::shard`).
+        let step_day_keys: Vec<u64> = (start_day..=end_day).map(&mut key_of_day).collect();
+        let merged = merge_shards(build_shards(
+            trace,
+            start_day,
+            end_day,
+            &step_day_keys,
+            &services,
+            cfg.dt,
+            cache,
+            opts.shard_threads,
+        ));
+        let corpus = &merged.corpus;
 
         // 2. The model key chains: a warm model depends on everything its
         // prior depended on, transitively, via the prior's key.
@@ -231,18 +234,22 @@ pub fn run_sliding(
         let from_cache = cached_model.is_some();
         let mut train_secs = 0.0;
         let model = cached_model.unwrap_or_else(|| {
-            let stats = corpus_stats(&corpus);
-            let skipgrams = count_skipgrams(&corpus, cfg.w2v.window);
+            let stats = corpus_stats(corpus);
+            let skipgrams = count_skipgrams(corpus, cfg.w2v.window);
             let t0 = Instant::now();
             let (embedding, train_stats) = {
                 let _s = darkvec_obs::span!("incremental.train");
+                // The parallel build already merged per-shard counts;
+                // feed the induced vocabulary straight to the trainer
+                // instead of re-scanning the window corpus.
+                let vocab = merged.vocab(train_cfg.min_count);
                 if warm {
                     let (_, prior_model) = prior.as_ref().expect("warm implies prior");
                     let mut warm_cfg = train_cfg.clone();
                     warm_cfg.epochs = opts.warm_epochs;
-                    train_from(&corpus, &warm_cfg, &prior_model.embedding)
+                    train_prepared(corpus, &warm_cfg, vocab, Some(&prior_model.embedding))
                 } else {
-                    train(&corpus, &train_cfg)
+                    train_prepared(corpus, &train_cfg, vocab, None)
                 }
             };
             train_secs = t0.elapsed().as_secs_f64();

@@ -43,6 +43,8 @@ pub mod pipeline;
 pub mod protocol;
 pub mod serve;
 pub mod services;
+pub mod shard;
+pub mod store;
 pub mod supervised;
 pub mod temporal;
 pub mod unsupervised;

@@ -49,7 +49,7 @@ use darkvec_ml::ann::{NeighborBackend, NeighborIndex};
 use darkvec_ml::classifier::{loo_knn_classify, Label};
 use darkvec_ml::vectors::{normalize_vec, Matrix, NormalizedMatrix};
 use darkvec_types::{Ipv4, Packet, Protocol, Trace};
-use darkvec_w2v::{count_skipgrams, train, train_from};
+use darkvec_w2v::{count_skipgrams, train_prepared};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -89,6 +89,10 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Trainer/index-build threads (0 = all cores).
     pub threads: usize,
+    /// Worker threads for window-corpus shard merging before a retrain
+    /// (0 = all cores). Pure wall-clock — the merged corpus is
+    /// bit-identical for any value (see [`crate::shard`]).
+    pub shard_threads: usize,
 }
 
 impl ServeConfig {
@@ -104,6 +108,7 @@ impl ServeConfig {
             read_timeout: Duration::from_secs(2),
             queue_depth: 64,
             threads: 0,
+            shard_threads: 0,
         }
     }
 }
@@ -708,12 +713,15 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
         shared.training.store(true, Ordering::SeqCst);
         let started = Instant::now();
 
-        // Window corpus + label/centroid material from the shards.
-        let mut corpus: Vec<Vec<Ipv4>> = Vec::new();
+        // Window corpus + label/centroid material from the shards. The
+        // corpus concatenation and vocabulary counting fan out across
+        // `shard_threads` (bit-identical to a serial merge).
+        let window: Vec<&[Vec<Ipv4>]> = job.shards.iter().map(|s| s.corpus.as_slice()).collect();
+        let merged = crate::shard::merge_window(&window, cfg.shard_threads);
+        let corpus = &merged.corpus;
         let mut mirai: HashSet<Ipv4> = HashSet::new();
         let mut svc_counts: HashMap<Ipv4, HashMap<ServiceId, u64>> = HashMap::new();
         for shard in &job.shards {
-            corpus.extend(shard.corpus.iter().cloned());
             mirai.extend(shard.mirai.iter().copied());
             for (ip, per_svc) in &shard.svc_counts {
                 let into = svc_counts.entry(*ip).or_default();
@@ -756,15 +764,16 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
             });
         let from_cache = cached.is_some();
         let trained = cached.unwrap_or_else(|| {
-            let stats = corpus_stats(&corpus);
-            let skipgrams = count_skipgrams(&corpus, cfg.cfg.w2v.window);
+            let stats = corpus_stats(corpus);
+            let skipgrams = count_skipgrams(corpus, cfg.cfg.w2v.window);
+            let vocab = merged.vocab(train_cfg.min_count);
             let (embedding, train_stats) = if warm {
                 let (_, prior_model) = prior.as_ref().expect("warm implies prior");
                 let mut warm_cfg = train_cfg.clone();
                 warm_cfg.epochs = cfg.warm_epochs;
-                train_from(&corpus, &warm_cfg, &prior_model.embedding)
+                train_prepared(corpus, &warm_cfg, vocab, Some(&prior_model.embedding))
             } else {
-                train(&corpus, &train_cfg)
+                train_prepared(corpus, &train_cfg, vocab, None)
             };
             let model = TrainedModel {
                 embedding,

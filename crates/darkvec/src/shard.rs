@@ -1,0 +1,359 @@
+//! Parallel shard-merge corpus build.
+//!
+//! The incremental pipeline and the serve daemon both assemble a window
+//! corpus out of per-day shards ([`build_day_corpus`]); at paper scale
+//! (30 days × millions of packets) the serial day loop dominates every
+//! cold step. This module fans shard construction across worker threads
+//! and merges the results **deterministically**:
+//!
+//! * each worker builds (or loads from the [`ArtifactCache`]) whole day
+//!   shards and counts its tokens locally — no shared mutable state;
+//! * the merged corpus is the day-order concatenation of the shard
+//!   corpora, which is sentence-for-sentence what the serial loop
+//!   produces (ΔT divides a day, so no window straddles a boundary);
+//! * per-shard token counts are summed and word-sorted; fed through
+//!   [`Vocab::from_counts`] they assign exactly the ids
+//!   `Vocab::build` derives from the concatenated corpus, because both
+//!   rank by `(count desc, word asc)`.
+//!
+//! The result is bit-identical to the serial path for **any** thread
+//! count (asserted by the tests below and gated in CI by `xp scale`),
+//! so `--shard-threads` is pure wall-clock and never enters cache keys.
+
+use crate::cache::ArtifactCache;
+use crate::corpus::{build_day_corpus, corpus_from_bytes, corpus_to_bytes};
+use crate::services::ServiceMap;
+use darkvec_types::{Ipv4, Trace};
+use darkvec_w2v::Vocab;
+use std::collections::{BTreeMap, HashMap};
+
+/// One day's corpus plus its locally-counted vocabulary.
+#[derive(Clone, Debug)]
+pub struct CorpusShard {
+    /// Zero-based capture day.
+    pub day: u64,
+    /// The day's sentences, in [`build_day_corpus`] order.
+    pub corpus: Vec<Vec<Ipv4>>,
+    /// Token occurrences within this shard.
+    pub counts: HashMap<Ipv4, u64>,
+}
+
+/// A window corpus merged from shards, with the summed vocabulary counts.
+#[derive(Clone, Debug)]
+pub struct MergedCorpus {
+    /// Day-order concatenation of the shard corpora.
+    pub corpus: Vec<Vec<Ipv4>>,
+    /// Summed `(word, count)` pairs, sorted by word — deterministic
+    /// regardless of shard or thread scheduling.
+    pub counts: Vec<(Ipv4, u64)>,
+}
+
+impl MergedCorpus {
+    /// The vocabulary the merged counts induce, identical to
+    /// `Vocab::build(corpus, min_count)` over the concatenated corpus
+    /// (both rank words by `(count desc, word asc)`).
+    pub fn vocab(&self, min_count: u64) -> Vocab<Ipv4> {
+        let kept: Vec<(Ipv4, u64)> = self
+            .counts
+            .iter()
+            .filter(|&&(_, c)| c >= min_count.max(1))
+            .copied()
+            .collect();
+        Vocab::from_counts(kept).expect("merged counts are deduplicated and positive")
+    }
+}
+
+/// Counts token occurrences of one corpus.
+pub fn count_tokens(corpus: &[Vec<Ipv4>]) -> HashMap<Ipv4, u64> {
+    let mut counts = HashMap::new();
+    for sentence in corpus {
+        for &ip in sentence {
+            *counts.entry(ip).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Resolves a thread-count knob: `0` means one per available core, and
+/// the count never exceeds the number of work items.
+fn resolve_threads(threads: usize, work: usize) -> usize {
+    let t = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    };
+    t.clamp(1, work.max(1))
+}
+
+/// Builds the day shards `first_day..=last_day` in parallel.
+///
+/// `keys[i]` is the cache key of day `first_day + i` (the same
+/// content-addressed construction the serial loop uses); with
+/// `cache: Some(..)` each worker loads hits and stores its freshly built
+/// shards. Results come back in day order, independent of `threads`.
+///
+/// # Panics
+/// Panics if `keys.len()` does not cover the day range, or as
+/// [`build_day_corpus`] does.
+#[allow(clippy::too_many_arguments)]
+pub fn build_shards(
+    trace: &Trace,
+    first_day: u64,
+    last_day: u64,
+    keys: &[u64],
+    services: &ServiceMap,
+    dt: u64,
+    cache: Option<&ArtifactCache>,
+    threads: usize,
+) -> Vec<CorpusShard> {
+    let n_days = (last_day - first_day + 1) as usize;
+    assert_eq!(keys.len(), n_days, "one cache key per day");
+    let _span = darkvec_obs::span!("shard.build");
+    let threads = resolve_threads(threads, n_days);
+
+    let mut shards: Vec<Option<CorpusShard>> = vec![None; n_days];
+    let chunk = n_days.div_ceil(threads);
+    let ctx = darkvec_obs::span::context();
+    crossbeam::scope(|scope| {
+        for (c, out) in shards.chunks_mut(chunk).enumerate() {
+            let base = c * chunk;
+            scope.spawn(move |_| {
+                let _worker = darkvec_obs::span!("shard.build.worker", ctx);
+                for (off, slot) in out.iter_mut().enumerate() {
+                    let day = first_day + (base + off) as u64;
+                    let key = keys[base + off];
+                    let corpus = cache
+                        .and_then(|c| c.load("corpus", key))
+                        .and_then(|raw| corpus_from_bytes(&raw[..]).ok())
+                        .unwrap_or_else(|| {
+                            let built = build_day_corpus(trace, day, services, dt);
+                            if let Some(c) = cache {
+                                let _ = c.store("corpus", key, &corpus_to_bytes(&built));
+                            }
+                            built
+                        });
+                    let counts = count_tokens(&corpus);
+                    *slot = Some(CorpusShard {
+                        day,
+                        corpus,
+                        counts,
+                    });
+                }
+            });
+        }
+    })
+    .expect("shard build worker panicked");
+    darkvec_obs::metrics::counter("shard.built").add(n_days as u64);
+    shards
+        .into_iter()
+        .map(|s| s.expect("every day slot is filled"))
+        .collect()
+}
+
+/// Merges built shards: corpora are concatenated in the order given
+/// (callers pass day order), counts are summed and word-sorted.
+pub fn merge_shards(shards: Vec<CorpusShard>) -> MergedCorpus {
+    let _span = darkvec_obs::span!("shard.merge");
+    let mut corpus = Vec::with_capacity(shards.iter().map(|s| s.corpus.len()).sum::<usize>());
+    let mut summed: BTreeMap<Ipv4, u64> = BTreeMap::new();
+    for shard in shards {
+        corpus.extend(shard.corpus);
+        for (ip, c) in shard.counts {
+            *summed.entry(ip).or_insert(0) += c;
+        }
+    }
+    MergedCorpus {
+        corpus,
+        counts: summed.into_iter().collect(),
+    }
+}
+
+/// Merges borrowed shard corpora (the serve trainer's window, whose
+/// shards stay alive in the ingest thread): sentences are cloned and
+/// counted in parallel per shard, then concatenated in the order given.
+pub fn merge_window(shard_corpora: &[&[Vec<Ipv4>]], threads: usize) -> MergedCorpus {
+    let _span = darkvec_obs::span!("shard.merge_window");
+    let threads = resolve_threads(threads, shard_corpora.len());
+    let mut built: Vec<Option<CorpusShard>> = vec![None; shard_corpora.len()];
+    let chunk = shard_corpora.len().div_ceil(threads).max(1);
+    crossbeam::scope(|scope| {
+        for (c, out) in built.chunks_mut(chunk).enumerate() {
+            let base = c * chunk;
+            scope.spawn(move |_| {
+                for (off, slot) in out.iter_mut().enumerate() {
+                    let corpus = shard_corpora[base + off].to_vec();
+                    let counts = count_tokens(&corpus);
+                    *slot = Some(CorpusShard {
+                        day: (base + off) as u64,
+                        corpus,
+                        counts,
+                    });
+                }
+            });
+        }
+    })
+    .expect("window merge worker panicked");
+    merge_shards(
+        built
+            .into_iter()
+            .map(|s| s.expect("every shard slot is filled"))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::build_corpus;
+    use darkvec_types::{Packet, Protocol, Timestamp, DAY, HOUR};
+
+    fn ip(d: u8) -> Ipv4 {
+        Ipv4::new(10, 0, 0, d)
+    }
+
+    fn multi_day_trace() -> Trace {
+        Trace::new(
+            (0..800u64)
+                .map(|i| {
+                    Packet::new(
+                        Timestamp(i * 997 % (4 * DAY)),
+                        ip((i % 17) as u8),
+                        23 + (i % 5) as u16,
+                        Protocol::Tcp,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn serial_shards(trace: &Trace, services: &ServiceMap) -> Vec<CorpusShard> {
+        (0..trace.days())
+            .map(|day| {
+                let corpus = build_day_corpus(trace, day, services, HOUR);
+                let counts = count_tokens(&corpus);
+                CorpusShard {
+                    day,
+                    corpus,
+                    counts,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial_for_any_thread_count() {
+        let trace = multi_day_trace();
+        let services = ServiceMap::domain_knowledge();
+        let keys: Vec<u64> = (0..trace.days()).collect();
+        let serial = merge_shards(serial_shards(&trace, &services));
+        for threads in [1, 2, 3, 8, 0] {
+            let shards = build_shards(
+                &trace,
+                0,
+                trace.days() - 1,
+                &keys,
+                &services,
+                HOUR,
+                None,
+                threads,
+            );
+            let merged = merge_shards(shards);
+            assert_eq!(merged.corpus, serial.corpus, "threads={threads}");
+            assert_eq!(merged.counts, serial.counts, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn merged_corpus_equals_one_shot_build() {
+        let trace = multi_day_trace();
+        let services = ServiceMap::domain_knowledge();
+        let keys: Vec<u64> = (0..trace.days()).collect();
+        let shards = build_shards(&trace, 0, trace.days() - 1, &keys, &services, HOUR, None, 4);
+        let merged = merge_shards(shards);
+        assert_eq!(merged.corpus, build_corpus(&trace, &services, HOUR));
+    }
+
+    #[test]
+    fn merged_vocab_matches_vocab_build_exactly() {
+        let trace = multi_day_trace();
+        let services = ServiceMap::domain_knowledge();
+        let keys: Vec<u64> = (0..trace.days()).collect();
+        let merged = merge_shards(build_shards(
+            &trace,
+            0,
+            trace.days() - 1,
+            &keys,
+            &services,
+            HOUR,
+            None,
+            0,
+        ));
+        for min_count in [1, 2, 10] {
+            let from_merge = merged.vocab(min_count);
+            let from_build = Vocab::build(merged.corpus.iter().map(|s| s.iter()), min_count);
+            assert_eq!(from_merge.len(), from_build.len(), "min_count={min_count}");
+            assert_eq!(from_merge.words(), from_build.words());
+            assert_eq!(from_merge.counts(), from_build.counts());
+        }
+    }
+
+    #[test]
+    fn merge_window_matches_owned_merge() {
+        let trace = multi_day_trace();
+        let services = ServiceMap::domain_knowledge();
+        let shards = serial_shards(&trace, &services);
+        let borrowed: Vec<&[Vec<Ipv4>]> = shards.iter().map(|s| s.corpus.as_slice()).collect();
+        let via_window = merge_window(&borrowed, 3);
+        let via_owned = merge_shards(shards);
+        assert_eq!(via_window.corpus, via_owned.corpus);
+        assert_eq!(via_window.counts, via_owned.counts);
+    }
+
+    #[test]
+    fn shards_round_trip_through_the_cache() {
+        let dir = std::env::temp_dir().join(format!("darkvec-shard-test-{}", std::process::id()));
+        let cache = ArtifactCache::new(&dir).unwrap();
+        let trace = multi_day_trace();
+        let services = ServiceMap::single();
+        let keys: Vec<u64> = (100..100 + trace.days()).collect();
+        let cold = build_shards(
+            &trace,
+            0,
+            trace.days() - 1,
+            &keys,
+            &services,
+            HOUR,
+            Some(&cache),
+            4,
+        );
+        let warm = build_shards(
+            &trace,
+            0,
+            trace.days() - 1,
+            &keys,
+            &services,
+            HOUR,
+            Some(&cache),
+            2,
+        );
+        assert_eq!(
+            merge_shards(cold).corpus,
+            merge_shards(warm).corpus,
+            "cache round trip must not change the corpus"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_ranges_and_empty_days() {
+        // A trace with one day of traffic queried over that single day.
+        let trace = Trace::new(vec![Packet::new(Timestamp(10), ip(1), 23, Protocol::Tcp)]);
+        let shards = build_shards(&trace, 0, 0, &[7], &ServiceMap::single(), HOUR, None, 8);
+        assert_eq!(shards.len(), 1);
+        let merged = merge_shards(shards);
+        assert_eq!(merged.corpus, vec![vec![ip(1)]]);
+        assert_eq!(merged.counts, vec![(ip(1), 1)]);
+    }
+}

@@ -1,0 +1,346 @@
+//! Chunked on-disk model store ("DKVS" format, version 1).
+//!
+//! The artifact cache serialises whole models in one blob
+//! ([`crate::pipeline::TrainedModel::to_bytes`]), which is fine at paper
+//! scale but forces a multi-million-row embedding to exist twice in
+//! memory while loading. This store persists the embedding matrix as
+//! **fixed-size row chunks**, each integrity-checked independently, so a
+//! reader can stream the matrix chunk-at-a-time — e.g. straight into a
+//! [`QuantizedMatrix`] via [`StoreReader::read_quantized`], never
+//! materialising the full f32 matrix at all.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "DKVS" | version u8 | dim u32 | rows u64 | rows_per_chunk u32
+//! | meta_len u32 | header_checksum u64
+//! meta bytes | meta_checksum u64
+//! chunk 0 payload (rows_per_chunk × dim f32) | chunk_checksum u64
+//! ...
+//! last chunk payload (short) | chunk_checksum u64
+//! ```
+//!
+//! Checksums are [`fnv1a64`] over the raw payload bytes. Chunk offsets
+//! are computable from the header, so corruption is detected and
+//! reported per chunk rather than poisoning the whole file. Writes go
+//! through a `.tmp` sibling and an atomic rename, the same crash
+//! discipline as [`crate::cache::ArtifactCache`].
+//!
+//! `meta` is an opaque caller-owned section (vocabulary, services, a
+//! config fingerprint — whatever provenance the matrix needs).
+
+use crate::cache::fnv1a64;
+use darkvec_ml::QuantizedMatrix;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"DKVS";
+const VERSION: u8 = 1;
+/// Header bytes after the magic: version + dim + rows + rows_per_chunk
+/// + meta_len.
+const HEADER_FIELDS: usize = 1 + 4 + 8 + 4 + 4;
+
+/// Default chunk granularity: 4096 rows × 50 dims × 4 B ≈ 800 KiB per
+/// chunk — big enough to amortise syscalls, small enough that a
+/// streaming reader's working set stays in cache.
+pub const DEFAULT_ROWS_PER_CHUNK: u32 = 4096;
+
+/// Writes a row-major f32 matrix (`flat.len() / dim` rows) to `path` in
+/// DKVS format, atomically (`.tmp` + rename).
+///
+/// # Panics
+/// Panics if `dim == 0`, `rows_per_chunk == 0`, or `flat` is not a
+/// whole number of rows.
+pub fn write_store(
+    path: &Path,
+    flat: &[f32],
+    dim: usize,
+    meta: &[u8],
+    rows_per_chunk: u32,
+) -> io::Result<()> {
+    assert!(dim > 0, "dim must be positive");
+    assert!(rows_per_chunk > 0, "rows_per_chunk must be positive");
+    assert_eq!(flat.len() % dim, 0, "buffer is not a whole number of rows");
+    let _span = darkvec_obs::span!("store.write");
+    let rows = (flat.len() / dim) as u64;
+
+    let tmp = path.with_extension("tmp");
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut out = BufWriter::new(File::create(&tmp)?);
+
+    let mut header = Vec::with_capacity(HEADER_FIELDS);
+    header.push(VERSION);
+    header.extend_from_slice(&(dim as u32).to_le_bytes());
+    header.extend_from_slice(&rows.to_le_bytes());
+    header.extend_from_slice(&rows_per_chunk.to_le_bytes());
+    header.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+    out.write_all(MAGIC)?;
+    out.write_all(&header)?;
+    out.write_all(&fnv1a64(&header).to_le_bytes())?;
+    out.write_all(meta)?;
+    out.write_all(&fnv1a64(meta).to_le_bytes())?;
+
+    for chunk in flat.chunks((rows_per_chunk as usize) * dim) {
+        let mut payload = Vec::with_capacity(chunk.len() * 4);
+        for &x in chunk {
+            payload.extend_from_slice(&x.to_le_bytes());
+        }
+        out.write_all(&payload)?;
+        out.write_all(&fnv1a64(&payload).to_le_bytes())?;
+    }
+    out.flush()?;
+    out.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+    fs::rename(&tmp, path)?;
+    darkvec_obs::metrics::counter("store.writes").add(1);
+    Ok(())
+}
+
+/// A streaming DKVS reader: the header and meta section are validated
+/// on open, chunks are pulled (and checksummed) one at a time.
+pub struct StoreReader {
+    file: BufReader<File>,
+    dim: usize,
+    rows: usize,
+    rows_per_chunk: usize,
+    meta: Vec<u8>,
+    next_row: usize,
+}
+
+impl StoreReader {
+    /// Opens a store and validates the header and meta checksums.
+    pub fn open(path: &Path) -> Result<Self, String> {
+        let file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+        let mut file = BufReader::new(file);
+        let mut magic = [0u8; 4];
+        read_exact(&mut file, &mut magic, "magic")?;
+        if &magic != MAGIC {
+            return Err("not a DKVS store file".to_string());
+        }
+        let mut header = [0u8; HEADER_FIELDS];
+        read_exact(&mut file, &mut header, "header")?;
+        let stored = read_u64(&mut file, "header checksum")?;
+        if fnv1a64(&header) != stored {
+            return Err("DKVS header checksum mismatch".to_string());
+        }
+        let version = header[0];
+        if version != VERSION {
+            return Err(format!("unsupported DKVS version {version}"));
+        }
+        let dim = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
+        let rows = u64::from_le_bytes(header[5..13].try_into().unwrap()) as usize;
+        let rows_per_chunk = u32::from_le_bytes(header[13..17].try_into().unwrap()) as usize;
+        let meta_len = u32::from_le_bytes(header[17..21].try_into().unwrap()) as usize;
+        if dim == 0 || rows_per_chunk == 0 {
+            return Err("DKVS header has zero dim or chunk size".to_string());
+        }
+        let mut meta = vec![0u8; meta_len];
+        read_exact(&mut file, &mut meta, "meta section")?;
+        let stored = read_u64(&mut file, "meta checksum")?;
+        if fnv1a64(&meta) != stored {
+            return Err("DKVS meta checksum mismatch".to_string());
+        }
+        Ok(StoreReader {
+            file,
+            dim,
+            rows,
+            rows_per_chunk,
+            meta,
+            next_row: 0,
+        })
+    }
+
+    /// Row dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total rows in the store.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Rows per full chunk (the last chunk may be short).
+    pub fn rows_per_chunk(&self) -> usize {
+        self.rows_per_chunk
+    }
+
+    /// The caller-owned meta section.
+    pub fn meta(&self) -> &[u8] {
+        &self.meta
+    }
+
+    /// Reads the next chunk: `(first_row, flat rows)`. Returns `None`
+    /// after the last chunk; a checksum or I/O failure names the chunk
+    /// it hit, and earlier chunks remain usable by the caller.
+    #[allow(clippy::type_complexity)]
+    pub fn next_chunk(&mut self) -> Option<Result<(usize, Vec<f32>), String>> {
+        if self.next_row >= self.rows {
+            return None;
+        }
+        let first = self.next_row;
+        let n = self.rows_per_chunk.min(self.rows - first);
+        let mut payload = vec![0u8; n * self.dim * 4];
+        let chunk_idx = first / self.rows_per_chunk;
+        if let Err(e) = read_exact(&mut self.file, &mut payload, "chunk payload") {
+            return Some(Err(format!("chunk {chunk_idx}: {e}")));
+        }
+        let stored = match read_u64(&mut self.file, "chunk checksum") {
+            Ok(v) => v,
+            Err(e) => return Some(Err(format!("chunk {chunk_idx}: {e}"))),
+        };
+        if fnv1a64(&payload) != stored {
+            return Some(Err(format!("chunk {chunk_idx}: checksum mismatch")));
+        }
+        let flat: Vec<f32> = payload
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        self.next_row = first + n;
+        Some(Ok((first, flat)))
+    }
+
+    /// Streams every chunk into an int8 [`QuantizedMatrix`]: peak extra
+    /// memory is one f32 chunk, not the whole matrix.
+    pub fn read_quantized(mut self) -> Result<QuantizedMatrix, String> {
+        let _span = darkvec_obs::span!("store.read_quantized");
+        let mut qm = QuantizedMatrix::from_rows_f32(&[], self.dim);
+        while let Some(chunk) = self.next_chunk() {
+            let (_, flat) = chunk?;
+            qm.append(&QuantizedMatrix::from_rows_f32(&flat, self.dim));
+        }
+        Ok(qm)
+    }
+
+    /// Reads the full f32 matrix (for consumers that need exact rows).
+    pub fn read_f32(mut self) -> Result<Vec<f32>, String> {
+        let _span = darkvec_obs::span!("store.read_f32");
+        let mut flat = Vec::with_capacity(self.rows * self.dim);
+        while let Some(chunk) = self.next_chunk() {
+            let (_, rows) = chunk?;
+            flat.extend_from_slice(&rows);
+        }
+        Ok(flat)
+    }
+}
+
+fn read_exact(r: &mut impl Read, buf: &mut [u8], what: &str) -> Result<(), String> {
+    r.read_exact(buf)
+        .map_err(|e| format!("truncated store: {what} ({e})"))
+}
+
+fn read_u64(r: &mut impl Read, what: &str) -> Result<u64, String> {
+    let mut b = [0u8; 8];
+    read_exact(r, &mut b, what)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("darkvec-store-{}-{name}.dkvs", std::process::id()))
+    }
+
+    fn sample_matrix(rows: usize, dim: usize) -> Vec<f32> {
+        (0..rows * dim).map(|i| ((i as f32) * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn round_trips_across_chunk_boundaries() {
+        // 10 rows at 3 per chunk: 3 full chunks + 1 short chunk.
+        let flat = sample_matrix(10, 4);
+        let path = tmp_path("roundtrip");
+        write_store(&path, &flat, 4, b"meta-blob", 3).unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.dim(), 4);
+        assert_eq!(reader.rows(), 10);
+        assert_eq!(reader.rows_per_chunk(), 3);
+        assert_eq!(reader.meta(), b"meta-blob");
+        assert_eq!(reader.read_f32().unwrap(), flat);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chunk_iteration_covers_every_row_once() {
+        let flat = sample_matrix(7, 2);
+        let path = tmp_path("chunks");
+        write_store(&path, &flat, 2, &[], 2).unwrap();
+        let mut reader = StoreReader::open(&path).unwrap();
+        let mut seen = Vec::new();
+        let mut firsts = Vec::new();
+        while let Some(chunk) = reader.next_chunk() {
+            let (first, rows) = chunk.unwrap();
+            firsts.push(first);
+            seen.extend_from_slice(&rows);
+        }
+        assert_eq!(firsts, vec![0, 2, 4, 6]);
+        assert_eq!(seen, flat);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streamed_quantization_matches_direct_quantization() {
+        let flat = sample_matrix(100, 5);
+        let path = tmp_path("quant");
+        write_store(&path, &flat, 5, &[], 16).unwrap();
+        let streamed = StoreReader::open(&path).unwrap().read_quantized().unwrap();
+        let direct = QuantizedMatrix::from_rows_f32(&flat, 5);
+        assert_eq!(streamed, direct, "chunked load must equal one-shot");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_matrix_round_trips() {
+        let path = tmp_path("empty");
+        write_store(&path, &[], 3, b"m", DEFAULT_ROWS_PER_CHUNK).unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.rows(), 0);
+        assert_eq!(reader.meta(), b"m");
+        assert!(reader.read_f32().unwrap().is_empty());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn detects_truncation_and_corruption_per_chunk() {
+        let flat = sample_matrix(8, 2);
+        let path = tmp_path("corrupt");
+        write_store(&path, &flat, 2, &[], 4).unwrap();
+        let good = fs::read(&path).unwrap();
+
+        // Flip one payload byte of chunk 1; chunk 0 must still load.
+        let mut bad = good.clone();
+        let len = bad.len();
+        bad[len - 10] ^= 0xFF;
+        fs::write(&path, &bad).unwrap();
+        let mut reader = StoreReader::open(&path).unwrap();
+        let (first, rows) = reader.next_chunk().unwrap().unwrap();
+        assert_eq!((first, rows.len()), (0, 8));
+        let err = reader.next_chunk().unwrap().unwrap_err();
+        assert!(err.contains("chunk 1"), "error names the chunk: {err}");
+
+        // Truncation inside the last chunk.
+        fs::write(&path, &good[..good.len() - 3]).unwrap();
+        let mut reader = StoreReader::open(&path).unwrap();
+        assert!(reader.next_chunk().unwrap().is_ok());
+        assert!(reader.next_chunk().unwrap().is_err());
+
+        // Corrupt magic and header.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        fs::write(&path, &bad).unwrap();
+        assert!(StoreReader::open(&path).is_err());
+        let mut bad = good.clone();
+        bad[6] ^= 0x01; // dim byte; header checksum must catch it
+        fs::write(&path, &bad).unwrap();
+        let err = StoreReader::open(&path)
+            .err()
+            .expect("corrupt header must fail");
+        assert!(err.contains("header checksum"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -37,5 +37,7 @@ pub mod vocab;
 
 pub use embedding::Embedding;
 pub use observer::{CollectingObserver, EpochStats, TrainObserver};
-pub use train::{count_skipgrams, train, train_from, Arch, Loss, TrainConfig, TrainStats};
+pub use train::{
+    count_skipgrams, train, train_from, train_prepared, Arch, Loss, TrainConfig, TrainStats,
+};
 pub use vocab::Vocab;

@@ -192,7 +192,7 @@ pub fn train<W>(corpus: &[Vec<W>], cfg: &TrainConfig) -> (Embedding<W>, TrainSta
 where
     W: Eq + Hash + Clone + Ord + Send + Sync,
 {
-    train_impl(corpus, cfg, None)
+    train_impl(corpus, cfg, None, None)
 }
 
 /// Warm-start training: like [`train`], but input rows of words already
@@ -220,13 +220,46 @@ where
         prior.dim(),
         cfg.dim
     );
-    train_impl(corpus, cfg, Some(prior))
+    train_impl(corpus, cfg, Some(prior), None)
+}
+
+/// [`train`] / [`train_from`] with a vocabulary built elsewhere — the
+/// entry point of the parallel shard-merge corpus build, which counts
+/// words per shard and merges the counts instead of re-scanning the
+/// concatenated corpus. `vocab` must equal what
+/// `Vocab::build(corpus, cfg.min_count)` would produce (same words,
+/// counts and therefore ids): ids drive the seeded init, the subsampler
+/// and the negative table, so an equal vocabulary makes the whole
+/// training trajectory bit-identical to the serial path.
+///
+/// # Panics
+/// Panics as [`train`] does, and if a `prior`'s dimension mismatches.
+pub fn train_prepared<W>(
+    corpus: &[Vec<W>],
+    cfg: &TrainConfig,
+    vocab: Vocab<W>,
+    prior: Option<&Embedding<W>>,
+) -> (Embedding<W>, TrainStats)
+where
+    W: Eq + Hash + Clone + Ord + Send + Sync,
+{
+    if let Some(prior) = prior {
+        assert_eq!(
+            prior.dim(),
+            cfg.dim,
+            "prior embedding dimension {} does not match cfg.dim {}",
+            prior.dim(),
+            cfg.dim
+        );
+    }
+    train_impl(corpus, cfg, prior, Some(vocab))
 }
 
 fn train_impl<W>(
     corpus: &[Vec<W>],
     cfg: &TrainConfig,
     prior: Option<&Embedding<W>>,
+    vocab: Option<Vocab<W>>,
 ) -> (Embedding<W>, TrainStats)
 where
     W: Eq + Hash + Clone + Ord + Send + Sync,
@@ -236,10 +269,10 @@ where
     assert!(cfg.epochs > 0, "epochs must be positive");
     let start = Instant::now();
 
-    let vocab = {
+    let vocab = vocab.unwrap_or_else(|| {
         let _s = darkvec_obs::span!("w2v.vocab");
         Vocab::build(corpus.iter().map(|s| s.iter()), cfg.min_count)
-    };
+    });
     if vocab.is_empty() {
         let stats = TrainStats {
             vocab_size: 0,

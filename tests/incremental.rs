@@ -47,6 +47,7 @@ fn single_window_reproduces_one_shot_pipeline_bit_for_bit() {
         &IncrementalOptions {
             warm_epochs: 3,
             cluster_k: Some(3),
+            shard_threads: 0,
         },
         None,
     );
@@ -91,6 +92,7 @@ fn cache_is_deterministic_and_second_run_is_all_hits() {
     let opts = IncrementalOptions {
         warm_epochs: 2,
         cluster_k: Some(3),
+        shard_threads: 0,
     };
 
     let dir1 = cache_dir("det1");
@@ -174,6 +176,7 @@ fn warm_start_resumes_evicts_and_keys_chain() {
         &IncrementalOptions {
             warm_epochs: 2,
             cluster_k: None,
+            shard_threads: 0,
         },
         None,
     );
@@ -183,6 +186,7 @@ fn warm_start_resumes_evicts_and_keys_chain() {
         &IncrementalOptions {
             warm_epochs: 0,
             cluster_k: None,
+            shard_threads: 0,
         },
         None,
     );
