@@ -21,6 +21,8 @@
 //! Writes `BENCH_serve.json` (repo root in a full run, the artifact
 //! directory in smoke mode) and asserts every gate.
 
+// lint: relaxed-ok(load-generator tick/error counters are metrics counters read after worker join, which synchronizes)
+
 use crate::Ctx;
 use darkvec::config::SlidingWindow;
 use darkvec::{Client, Daemon, ServeConfig};

@@ -14,6 +14,8 @@
 //! Keys chain: a warm-started model's key folds in the *prior model's key*,
 //! so the whole per-day sequence is addressed by its full provenance.
 
+// lint: relaxed-ok(hit/miss counters are metrics counters; cache correctness comes from filesystem atomics (tmp+rename), not these)
+
 use darkvec_types::Packet;
 use std::fs;
 use std::io;
@@ -180,9 +182,12 @@ impl ArtifactCache {
     /// Write latency lands in the `cache.store_ns` histogram.
     pub fn store(&self, kind: &str, key: u64, bytes: &[u8]) -> io::Result<()> {
         let started = std::time::Instant::now();
-        let path = self.path(kind, key);
-        let dir = path.parent().expect("cache path has a parent");
-        fs::create_dir_all(dir)?;
+        // Build the directory the same way `path` does instead of calling
+        // `Path::parent` — that keeps this function panic-free by
+        // construction rather than by an `expect` on path shape.
+        let dir = self.root.join(kind);
+        let path = dir.join(format!("{key:016x}.bin"));
+        fs::create_dir_all(&dir)?;
         let tmp = dir.join(format!("{key:016x}.tmp"));
         fs::write(&tmp, bytes)?;
         fs::rename(&tmp, &path)?;

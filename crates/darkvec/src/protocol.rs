@@ -229,6 +229,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     // separate 4-byte prefix write would ship as its own segment,
     // doubling per-message packet processing.
     let mut buf = Vec::with_capacity(4 + payload.len());
+    // lint: cast-ok(asserted payload.len() <= MAX_FRAME above, and MAX_FRAME fits u32)
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(payload);
     w.write_all(&buf)?;
@@ -246,6 +247,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             buf.put_u8(0x03);
             buf.put_u32_le(ip.0);
             buf.put_u16_le(*k);
+            // lint: cast-ok(asserted ports.len() <= MAX_PORTS above, which fits u16)
             buf.put_u16_le(ports.len() as u16);
             for (port, proto) in ports {
                 buf.put_u16_le(*port);
@@ -305,7 +307,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Pong => buf.put_u8(0x81),
         Response::Status(s) => {
             buf.put_u8(0x82);
-            buf.put_u8(s.ready as u8);
+            buf.put_u8(s.ready as u8); // lint: cast-ok(bool as u8 is 0 or 1 by language definition)
             buf.put_u64_le(s.version);
             buf.put_u64_le(s.checksum);
             buf.put_u32_le(s.vocab);
@@ -322,9 +324,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             buf.put_u8(0x83);
             buf.put_u64_le(c.version);
             buf.put_u64_le(c.checksum);
+            // lint: cast-ok(asserted label.len() <= u16::MAX above)
             buf.put_u16_le(c.label.len() as u16);
             buf.put_slice(c.label.as_bytes());
             buf.put_f32_le(c.confidence);
+            // lint: cast-ok(asserted neighbors.len() <= MAX_NEIGHBORS above, which fits u16)
             buf.put_u16_le(c.neighbors.len() as u16);
             for (ip, sim) in &c.neighbors {
                 buf.put_u32_le(ip.0);
@@ -335,6 +339,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             // Truncate rather than die: error text is advisory.
             let msg = &msg.as_bytes()[..msg.len().min(1024)];
             buf.put_u8(0x84);
+            // lint: cast-ok(msg truncated to at most 1024 bytes on the line above)
             buf.put_u16_le(msg.len() as u16);
             buf.put_slice(msg);
         }

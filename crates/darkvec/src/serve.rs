@@ -36,6 +36,8 @@
 //! [`crate::supervised::Evaluation::classify_external`], served here by
 //! the configured [`NeighborBackend`].
 
+// lint: relaxed-ok(request/fault/drop counters are metrics counters; daemon control flow uses SeqCst and lock acquisition for synchronization)
+
 use crate::cache::{hash_packets, ArtifactCache, KeyHasher};
 use crate::config::DarkVecConfig;
 use crate::corpus::{build_day_corpus, corpus_from_bytes, corpus_stats, corpus_to_bytes};
@@ -309,6 +311,28 @@ struct Shared {
 }
 
 impl Shared {
+    /// Poison-recovering lock accessors. A panicked holder poisons a
+    /// std lock; propagating that panic from every later acquisition
+    /// would turn one worker's bug into a daemon-wide outage. The data
+    /// under these locks stays valid mid-update (an `Arc` pointer slot,
+    /// a records `Vec`, a queued-job `Option`), so recovery is sound:
+    /// take the guard out of the poison error and carry on.
+    fn model_read(&self) -> std::sync::RwLockReadGuard<'_, Option<Arc<ServingModel>>> {
+        self.model.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn model_write(&self) -> std::sync::RwLockWriteGuard<'_, Option<Arc<ServingModel>>> {
+        self.model.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn swaps_lock(&self) -> std::sync::MutexGuard<'_, Vec<SwapRecord>> {
+        self.swaps.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn job_lock(&self) -> std::sync::MutexGuard<'_, Option<TrainJob>> {
+        self.job.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Records a survivable fault: per-daemon counter, global obs
     /// counter, and a warn log line.
     fn fault(&self, what: &str, detail: &str) {
@@ -323,7 +347,7 @@ impl Shared {
     }
 
     fn status(&self) -> StatusReply {
-        let (ready, version, checksum, vocab) = match &*self.model.read().expect("model lock") {
+        let (ready, version, checksum, vocab) = match &*self.model_read() {
             Some(m) => (true, m.version, m.checksum, m.normed.rows() as u32),
             None => (false, 0, 0, 0),
         };
@@ -436,12 +460,12 @@ impl Daemon {
     /// The currently served model, if any (an `Arc` snapshot: stays
     /// valid across later swaps).
     pub fn current_model(&self) -> Option<Arc<ServingModel>> {
-        self.shared.model.read().expect("model lock").clone()
+        self.shared.model_read().clone()
     }
 
     /// A copy of the swap history.
     pub fn swap_history(&self) -> Vec<SwapRecord> {
-        self.shared.swaps.lock().expect("swap lock").clone()
+        self.shared.swaps_lock().clone()
     }
 
     /// Point-in-time statistics.
@@ -481,7 +505,7 @@ impl Daemon {
     pub fn wait_idle(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            let queued = self.shared.job.lock().expect("job lock").is_some();
+            let queued = self.shared.job_lock().is_some();
             if !queued && !self.shared.training.load(Ordering::SeqCst) {
                 return true;
             }
@@ -617,7 +641,7 @@ fn ingest_loop(shared: &Shared, rx: &Receiver<Vec<Packet>>, cache: &Option<Artif
             services: svc,
             services_hash: svc_hash,
         };
-        *shared.job.lock().expect("job lock") = Some(job);
+        *shared.job_lock() = Some(job);
         shared.job_ready.notify_all();
         darkvec_obs::metrics::counter("serve.retrain_requests").add(1);
     };
@@ -694,7 +718,7 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
 
     loop {
         let job = {
-            let mut slot = shared.job.lock().expect("job lock");
+            let mut slot = shared.job_lock();
             loop {
                 if let Some(job) = slot.take() {
                     break Some(job);
@@ -705,7 +729,7 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
                 let (next, _) = shared
                     .job_ready
                     .wait_timeout(slot, Duration::from_millis(50))
-                    .expect("job condvar");
+                    .unwrap_or_else(|e| e.into_inner());
                 slot = next;
             }
         };
@@ -722,7 +746,9 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
         let mut mirai: HashSet<Ipv4> = HashSet::new();
         let mut svc_counts: HashMap<Ipv4, HashMap<ServiceId, u64>> = HashMap::new();
         for shard in &job.shards {
+            // lint: nondeterministic-ok(set union — element insertion order cannot affect membership)
             mirai.extend(shard.mirai.iter().copied());
+            // lint: nondeterministic-ok(integer sums into a map are commutative; consumers sort before any order-sensitive use)
             for (ip, per_svc) in &shard.svc_counts {
                 let into = svc_counts.entry(*ip).or_default();
                 for (&svc, &n) in per_svc {
@@ -732,7 +758,16 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
         }
         // Model key: chained exactly like the incremental runner, so a
         // serve daemon resumes from artifacts a batch run produced.
-        let warm = cfg.warm_epochs > 0 && prior.is_some();
+        // Holding the warm-start prior as one `Option` binding (instead
+        // of a `warm` flag plus `prior.expect(..)`) keeps this path
+        // panic-free: there is no "warm implies prior" invariant to
+        // assert, the borrow *is* the invariant.
+        let warm_prior = if cfg.warm_epochs > 0 {
+            prior.as_ref()
+        } else {
+            None
+        };
+        let warm = warm_prior.is_some();
         let model_key = {
             let mut h = KeyHasher::new();
             h.write_str("model")
@@ -741,8 +776,7 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
             for shard in &job.shards {
                 h.write_u64(shard.day_key);
             }
-            if warm {
-                let (prior_key, _) = prior.as_ref().expect("warm implies prior");
+            if let Some((prior_key, _)) = warm_prior {
                 h.write_str("warm")
                     .write_u64(cfg.warm_epochs as u64)
                     .write_u64(*prior_key);
@@ -767,8 +801,7 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
             let stats = corpus_stats(corpus);
             let skipgrams = count_skipgrams(corpus, cfg.cfg.w2v.window);
             let vocab = merged.vocab(train_cfg.min_count);
-            let (embedding, train_stats) = if warm {
-                let (_, prior_model) = prior.as_ref().expect("warm implies prior");
+            let (embedding, train_stats) = if let Some((_, prior_model)) = warm_prior {
                 let mut warm_cfg = train_cfg.clone();
                 warm_cfg.epochs = cfg.warm_epochs;
                 train_prepared(corpus, &warm_cfg, vocab, Some(&prior_model.embedding))
@@ -828,13 +861,13 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
         });
 
         // The swap: history first, then one atomic pointer store.
-        shared.swaps.lock().expect("swap lock").push(SwapRecord {
+        shared.swaps_lock().push(SwapRecord {
             version,
             checksum,
             vocab: n,
             window: (job.start_day, job.end_day),
         });
-        *shared.model.write().expect("model lock") = Some(Arc::clone(&serving));
+        *shared.model_write() = Some(Arc::clone(&serving));
         shared.swap_count.fetch_add(1, Ordering::Relaxed);
         shared.retrains.fetch_add(1, Ordering::Relaxed);
         darkvec_obs::metrics::counter("serve.swaps").add(1);
@@ -875,7 +908,16 @@ fn build_centroids(
     let n_services = trained.services.len();
     let mut sums = vec![vec![0.0f64; dim]; n_services];
     let mut mass = vec![0.0f64; n_services];
-    for (ip, per_svc) in svc_counts {
+    // Accumulate in sorted-sender order: HashMap iteration order is
+    // seeded per process and float addition is not associative, so
+    // summing in map order would make centroid bits — and therefore
+    // wire replies and the serve bit-identity gate — vary run to run.
+    // (Per-sender service order is free: each `(ip, svc)` pair lands in
+    // `sums[svc]` exactly once, so only the sender order reaches a sum.)
+    // lint: nondeterministic-ok(collected then sorted by sender on the next line, before any accumulation)
+    let mut senders: Vec<(&Ipv4, &HashMap<ServiceId, u64>)> = svc_counts.iter().collect();
+    senders.sort_unstable_by_key(|(ip, _)| **ip);
+    for (ip, per_svc) in senders {
         let Some(id) = trained.embedding.vocab().id(ip) else {
             continue;
         };
@@ -1002,7 +1044,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 let started = Instant::now();
                 shared.queries.fetch_add(1, Ordering::Relaxed);
                 darkvec_obs::metrics::counter("serve.queries").add(1);
-                let model = shared.model.read().expect("model lock").clone();
+                let model = shared.model_read().clone();
                 let response = match model {
                     None => Response::Error("no model trained yet".to_string()),
                     Some(m) => {

@@ -55,7 +55,7 @@ impl MergedCorpus {
     pub fn vocab(&self, min_count: u64) -> Vocab<Ipv4> {
         let kept: Vec<(Ipv4, u64)> = self
             .counts
-            .iter()
+            .iter() // MergedCorpus::counts is a word-sorted Vec
             .filter(|&&(_, c)| c >= min_count.max(1))
             .copied()
             .collect();
@@ -160,6 +160,7 @@ pub fn merge_shards(shards: Vec<CorpusShard>) -> MergedCorpus {
     let mut summed: BTreeMap<Ipv4, u64> = BTreeMap::new();
     for shard in shards {
         corpus.extend(shard.corpus);
+        // lint: nondeterministic-ok(integer sums into a BTreeMap are commutative, and the BTreeMap re-sorts by word)
         for (ip, c) in shard.counts {
             *summed.entry(ip).or_insert(0) += c;
         }

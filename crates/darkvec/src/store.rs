@@ -73,9 +73,11 @@ pub fn write_store(
 
     let mut header = Vec::with_capacity(HEADER_FIELDS);
     header.push(VERSION);
+    // lint: cast-ok(dim is an embedding dimension, validated <= MAX_DIM at config time; far below u32::MAX)
     header.extend_from_slice(&(dim as u32).to_le_bytes());
     header.extend_from_slice(&rows.to_le_bytes());
     header.extend_from_slice(&rows_per_chunk.to_le_bytes());
+    // lint: cast-ok(meta is a short JSON blob produced in-process; a >4 GiB header is unreachable)
     header.extend_from_slice(&(meta.len() as u32).to_le_bytes());
     out.write_all(MAGIC)?;
     out.write_all(&header)?;
@@ -129,10 +131,18 @@ impl StoreReader {
         if version != VERSION {
             return Err(format!("unsupported DKVS version {version}"));
         }
-        let dim = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
-        let rows = u64::from_le_bytes(header[5..13].try_into().unwrap()) as usize;
-        let rows_per_chunk = u32::from_le_bytes(header[13..17].try_into().unwrap()) as usize;
-        let meta_len = u32::from_le_bytes(header[17..21].try_into().unwrap()) as usize;
+        // Fixed-index array construction instead of `try_into().unwrap()`:
+        // `header` is a `[u8; HEADER_FIELDS]`, so the indexing is
+        // compile-time-checkable and the decode cannot panic at runtime.
+        let dim = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+        let rows = u64::from_le_bytes([
+            header[5], header[6], header[7], header[8], header[9], header[10], header[11],
+            header[12],
+        ]) as usize;
+        let rows_per_chunk =
+            u32::from_le_bytes([header[13], header[14], header[15], header[16]]) as usize;
+        let meta_len =
+            u32::from_le_bytes([header[17], header[18], header[19], header[20]]) as usize;
         if dim == 0 || rows_per_chunk == 0 {
             return Err("DKVS header has zero dim or chunk size".to_string());
         }
@@ -196,7 +206,7 @@ impl StoreReader {
         }
         let flat: Vec<f32> = payload
             .chunks_exact(4)
-            .map(|b| f32::from_le_bytes(b.try_into().unwrap()))
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
             .collect();
         self.next_row = first + n;
         Some(Ok((first, flat)))

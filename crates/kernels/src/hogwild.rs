@@ -14,6 +14,8 @@
 //! fall back to the sequential reference order, so `--no-simd`-style
 //! forcing covers this module too.
 
+// lint: relaxed-ok(this module IS the Hogwild primitive: relaxed load/store on AtomicU32-encoded f32 is the point — racy lost updates are the documented SGD trade)
+
 use crate::{active_path, reduce8, Path};
 use std::sync::atomic::{AtomicU32, Ordering};
 

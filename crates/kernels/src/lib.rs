@@ -50,6 +50,8 @@
 //! only — which is where most of the win is for latency-bound 50-dim
 //! dots anyway.
 
+// lint: relaxed-ok(FORCED/DETECTED dispatch cells are write-once feature flags; any interleaving yields a valid path and detection is idempotent)
+
 pub mod hogwild;
 mod norm;
 mod portable;

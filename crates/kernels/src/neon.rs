@@ -6,11 +6,16 @@
 //! `is_aarch64_feature_detected!("neon")`, which is the safety contract
 //! for the `target_feature` functions below.
 
-#![allow(clippy::missing_safety_doc)] // contract documented in the module docs
-
 use core::arch::aarch64::*;
 
 /// Inner product with two FMA accumulators.
+///
+/// # Safety
+/// Caller must ensure (1) NEON support — the dispatcher checks
+/// `is_aarch64_feature_detected!("neon")` first — and (2)
+/// `b.len() >= a.len()`: both pointers are read at offsets `0..a.len()`.
+/// `vld1q` loads are unaligned-tolerant, so `&[f32]`'s own alignment
+/// suffices. Read-only.
 #[target_feature(enable = "neon")]
 pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
     let n = a.len();
@@ -40,6 +45,11 @@ pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// (`vmull_s8`), pairwise-accumulated into `i32` lanes (`vpadalq_s16`).
 /// All-integer arithmetic, so the result is bit-identical to the scalar
 /// reference.
+///
+/// # Safety
+/// Caller must ensure NEON support and `b.len() >= a.len()` — both
+/// pointers are read at offsets `0..a.len()`. Unaligned-tolerant loads;
+/// read-only.
 #[target_feature(enable = "neon")]
 pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
     let n = a.len();
@@ -68,6 +78,11 @@ pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
 }
 
 /// `y += alpha · x`.
+///
+/// # Safety
+/// Caller must ensure NEON support and `x.len() >= y.len()` — both are
+/// accessed at offsets `0..y.len()`. Borrow exclusivity rules out
+/// `x`/`y` overlap; loads/stores are unaligned-tolerant.
 #[target_feature(enable = "neon")]
 pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     let n = y.len();
@@ -87,6 +102,11 @@ pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
 }
 
 /// `y *= alpha`.
+///
+/// # Safety
+/// Caller must ensure NEON support; accesses stay inside `y` and the
+/// loads/stores are unaligned-tolerant, so feature support is the whole
+/// contract.
 #[target_feature(enable = "neon")]
 pub unsafe fn scale(y: &mut [f32], alpha: f32) {
     let n = y.len();
@@ -104,6 +124,11 @@ pub unsafe fn scale(y: &mut [f32], alpha: f32) {
 }
 
 /// `y = alpha · y + x`.
+///
+/// # Safety
+/// Caller must ensure NEON support and `x.len() >= y.len()` — both are
+/// accessed at offsets `0..y.len()`. No aliasing (borrow exclusivity),
+/// no alignment contract (unaligned-tolerant loads/stores).
 #[target_feature(enable = "neon")]
 pub unsafe fn scale_add(y: &mut [f32], alpha: f32, x: &[f32]) {
     let n = y.len();

@@ -12,11 +12,14 @@
 //! [`crate::reduce8`], keeping the reduction order a property of the path,
 //! not the caller.
 
-#![allow(clippy::missing_safety_doc)] // contract documented in the module docs
-
 use std::arch::x86_64::*;
 
 /// Pairwise tree sum of 8 lanes, matching [`crate::reduce8`].
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2+FMA (`#[target_feature]`
+/// makes calling this UB otherwise). Pure register math — no memory
+/// access, no alignment or length requirements.
 #[inline]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn hsum256(v: __m256) -> f32 {
@@ -29,6 +32,14 @@ unsafe fn hsum256(v: __m256) -> f32 {
 }
 
 /// Inner product with two FMA accumulators.
+///
+/// # Safety
+/// Caller must ensure (1) the CPU supports AVX2+FMA — the dispatcher in
+/// `lib.rs` checks `is_x86_feature_detected!` first — and (2)
+/// `b.len() >= a.len()`: both pointers are read at offsets `0..a.len()`.
+/// All loads are `loadu` (unaligned-tolerant), so the slices impose no
+/// alignment requirement beyond `f32`'s own, which `&[f32]` guarantees.
+/// `a` and `b` are shared borrows; nothing is written.
 #[target_feature(enable = "avx2", enable = "fma")]
 pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
     let n = a.len();
@@ -60,6 +71,10 @@ pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
 
 /// Lane sum of 8 packed i32s. Integer adds are associative, so the
 /// shuffle order is irrelevant for the result — unlike [`hsum256`].
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2+FMA. Pure register math —
+/// no memory access.
 #[inline]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn hsum256_epi32(v: __m256i) -> i32 {
@@ -72,6 +87,12 @@ unsafe fn hsum256_epi32(v: __m256i) -> i32 {
 /// adjacent pairs into `i32` (`pmaddwd`), accumulate in 8 `i32` lanes.
 /// `i16·i16` products fit `i32` even at the ±127 saturation boundary, so
 /// the result is exact and bit-identical to the scalar reference.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2+FMA and that
+/// `b.len() >= a.len()` — both pointers are read at offsets
+/// `0..a.len()`. Loads are `loadu` (unaligned-tolerant); `&[i8]` has no
+/// extra alignment to violate. Read-only.
 #[target_feature(enable = "avx2", enable = "fma")]
 pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
     let n = a.len();
@@ -104,6 +125,12 @@ pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
 }
 
 /// `y += alpha · x`.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2+FMA and that
+/// `x.len() >= y.len()` — both are accessed at offsets `0..y.len()`.
+/// `x` and `y` cannot alias (`&`/`&mut` exclusivity already forbids
+/// overlap). Unaligned loads/stores throughout; no alignment contract.
 #[target_feature(enable = "avx2", enable = "fma")]
 pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     let n = y.len();
@@ -123,6 +150,12 @@ pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
 }
 
 /// `y *= alpha`.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2+FMA. Accesses stay inside
+/// `y` (offsets `0..y.len()`), loads/stores are unaligned-tolerant, and
+/// `&mut` exclusivity rules out aliasing — feature support is the whole
+/// contract.
 #[target_feature(enable = "avx2", enable = "fma")]
 pub unsafe fn scale(y: &mut [f32], alpha: f32) {
     let n = y.len();
@@ -140,6 +173,12 @@ pub unsafe fn scale(y: &mut [f32], alpha: f32) {
 }
 
 /// `y = alpha · y + x`.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2+FMA and that
+/// `x.len() >= y.len()` — both are accessed at offsets `0..y.len()`.
+/// No aliasing (borrow exclusivity) and no alignment contract (`loadu`/
+/// `storeu`).
 #[target_feature(enable = "avx2", enable = "fma")]
 pub unsafe fn scale_add(y: &mut [f32], alpha: f32, x: &[f32]) {
     let n = y.len();

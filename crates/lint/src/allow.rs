@@ -1,0 +1,144 @@
+//! The committed allowlist.
+//!
+//! Format: one entry per line, pipe-separated, `#` comments and blank
+//! lines ignored:
+//!
+//! ```text
+//! RULE | path-suffix | line-fragment | reason
+//! ```
+//!
+//! An entry absolves a diagnostic when the rule id matches, the
+//! diagnostic's file path ends with `path-suffix`, and the source line
+//! the diagnostic points at contains `line-fragment` (so entries keep
+//! matching across line-number drift but stop matching when the code
+//! itself changes). The reason is mandatory. Entries that absolve
+//! nothing in a run are reported as DV008 — a stale allowlist entry is
+//! itself a violation, so the file can only shrink honestly.
+
+use crate::Diagnostic;
+
+/// One parsed allowlist entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// 1-based line in the allowlist file (for DV008 reporting).
+    pub line: usize,
+    /// Rule id the entry absolves, e.g. `DV004`.
+    pub rule: String,
+    /// Suffix matched against the diagnostic's workspace-relative path.
+    pub path_suffix: String,
+    /// Substring that must appear in the flagged source line.
+    pub fragment: String,
+    /// Written justification.
+    pub reason: String,
+    /// Whether the entry absolved at least one diagnostic this run.
+    pub used: bool,
+}
+
+/// A parsed allowlist plus its source name (for DV008 reporting).
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Display name of the allowlist file.
+    pub name: String,
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+    /// Malformed-line diagnostics found while parsing.
+    pub parse_errors: Vec<Diagnostic>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (used when no file is present).
+    pub fn empty() -> Self {
+        Allowlist::default()
+    }
+
+    /// Parses `text` as an allowlist named `name`. Malformed lines and
+    /// entries missing a reason become DV008 diagnostics in
+    /// `parse_errors` rather than parse failures — the lint should
+    /// report them alongside everything else, not die.
+    pub fn parse(name: &str, text: &str) -> Self {
+        let mut list = Allowlist {
+            name: name.to_string(),
+            ..Allowlist::default()
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = trimmed.split('|').map(str::trim).collect();
+            if parts.len() != 4 {
+                list.parse_errors.push(Diagnostic {
+                    file: name.to_string(),
+                    line,
+                    rule: "DV008",
+                    message: format!(
+                        "malformed allowlist entry (expected `RULE | path-suffix | \
+                         line-fragment | reason`, got {} field(s))",
+                        parts.len()
+                    ),
+                });
+                continue;
+            }
+            let (rule, path_suffix, fragment, reason) = (parts[0], parts[1], parts[2], parts[3]);
+            if reason.is_empty() {
+                list.parse_errors.push(Diagnostic {
+                    file: name.to_string(),
+                    line,
+                    rule: "DV008",
+                    message: format!(
+                        "allowlist entry for {rule} at `{path_suffix}` has no reason \
+                         — write why the finding is a false positive"
+                    ),
+                });
+                continue;
+            }
+            list.entries.push(Entry {
+                line,
+                rule: rule.to_string(),
+                path_suffix: path_suffix.to_string(),
+                fragment: fragment.to_string(),
+                reason: reason.to_string(),
+                used: false,
+            });
+        }
+        list
+    }
+
+    /// Does some entry absolve `d`, whose flagged source line is
+    /// `line_text`? Marks every matching entry as used.
+    pub fn absolves(&mut self, d: &Diagnostic, line_text: &str) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.rule == d.rule
+                && d.file.ends_with(&e.path_suffix)
+                && (e.fragment.is_empty() || line_text.contains(&e.fragment))
+            {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// DV008 diagnostics: parse errors plus every entry that absolved
+    /// nothing this run.
+    pub fn stale_entries(&self) -> Vec<Diagnostic> {
+        let mut out = self.parse_errors.clone();
+        for e in &self.entries {
+            if !e.used {
+                out.push(Diagnostic {
+                    file: self.name.clone(),
+                    line: e.line,
+                    rule: "DV008",
+                    message: format!(
+                        "stale allowlist entry: {} at `{}` (fragment `{}`) matched \
+                         nothing — delete it",
+                        e.rule, e.path_suffix, e.fragment
+                    ),
+                });
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,356 @@
+//! A token-level Rust lexer — just enough syntax to lint with.
+//!
+//! The rules in this crate need three things a plain `grep` cannot give
+//! them: (1) code tokens with comments and string/char literals *removed*
+//! (so `".unwrap()"` inside a test fixture string is not a violation),
+//! (2) the comment text itself, per line (so `// SAFETY:` and
+//! `// lint: ...` annotations can be found), and (3) brace structure (so
+//! `#[cfg(test)] mod tests { ... }` regions can be exempted). Full
+//! parsing is deliberately out of scope; every rule is documented as a
+//! token-level heuristic.
+
+/// What a code token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier, keyword or number literal (maximal word run).
+    Word,
+    /// Single punctuation character.
+    Punct,
+    /// A string/char/byte literal (contents discarded).
+    Literal,
+    /// A lifetime (`'a`), name discarded.
+    Lifetime,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token kind.
+    pub kind: Kind,
+    /// Token text (empty for [`Kind::Literal`] / [`Kind::Lifetime`]).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for a word token with exactly this text.
+    pub fn is_word(&self, w: &str) -> bool {
+        self.kind == Kind::Word && self.text == w
+    }
+
+    /// True for a punct token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A lexed source file: code tokens, comment text per line, raw lines.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments and literal contents gone).
+    pub tokens: Vec<Token>,
+    /// `(line, text)` of every comment, in source order. Multi-line
+    /// block comments contribute one entry per line they span.
+    pub comments: Vec<(usize, String)>,
+    /// The raw source split into lines (1-based access via `line - 1`).
+    pub lines: Vec<String>,
+}
+
+impl Lexed {
+    /// All comment text on a given 1-based line, concatenated.
+    pub fn comment_on(&self, line: usize) -> String {
+        self.comments
+            .iter()
+            .filter(|(l, _)| *l == line)
+            .map(|(_, t)| t.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+fn is_word_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src`. Invalid syntax never panics — the lexer treats anything
+/// unrecognised as punctuation and carries on (linting a file that does
+/// not compile is allowed to be approximate).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed {
+        lines: src.lines().map(str::to_string).collect(),
+        ..Lexed::default()
+    };
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            // Line comment (//, ///, //!).
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push((line, src[start..i].to_string()));
+            }
+            // Block comment, possibly nested; one comment entry per line.
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                let mut seg_start = i;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        out.comments.push((line, src[seg_start..i].to_string()));
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i
+                    .saturating_sub(if depth == 0 { 2 } else { 0 })
+                    .max(seg_start);
+                out.comments.push((line, src[seg_start..end].to_string()));
+            }
+            // Raw strings r"...", r#"..."# (and br variants via the word
+            // branch below, which re-dispatches here).
+            b'r' if starts_raw_string(b, i) => {
+                i = skip_raw_string(b, i + 1, &mut line);
+                out.tokens.push(Token {
+                    kind: Kind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'b' if b.get(i + 1) == Some(&b'r') && starts_raw_string(b, i + 1) => {
+                i = skip_raw_string(b, i + 2, &mut line);
+                out.tokens.push(Token {
+                    kind: Kind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') => {
+                i = skip_string(b, i + 2, &mut line);
+                out.tokens.push(Token {
+                    kind: Kind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'b' if b.get(i + 1) == Some(&b'\'') => {
+                i = skip_char(b, i + 2);
+                out.tokens.push(Token {
+                    kind: Kind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'"' => {
+                i = skip_string(b, i + 1, &mut line);
+                out.tokens.push(Token {
+                    kind: Kind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            // `'` starts either a char literal or a lifetime.
+            b'\'' => {
+                if is_char_literal(b, i) {
+                    i = skip_char(b, i + 1);
+                    out.tokens.push(Token {
+                        kind: Kind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    while i < b.len() && is_word_char(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: Kind::Lifetime,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            c if is_word_char(c) => {
+                let start = i;
+                while i < b.len() && is_word_char(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: Kind::Word,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: Kind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// After an `r` at `i`: does `#*"` follow?
+fn starts_raw_string(b: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Skips a raw string whose `r` has been consumed (`i` points at the
+/// first `#` or the opening quote). Returns the index after the close.
+fn skip_raw_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a normal string whose opening quote has been consumed.
+fn skip_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a char/byte-char literal whose opening quote has been
+/// consumed. Returns the index after the closing quote.
+fn skip_char(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Is the `'` at `i` a char literal (vs. a lifetime)? A char literal is
+/// `'\...'` or `'X'` for a single char X; a lifetime is `'word` with no
+/// closing quote right after.
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(&b'\\') => true,
+        Some(&c) if is_word_char(c) => b.get(i + 2) == Some(&b'\''),
+        Some(_) => true, // e.g. '(' — punctuation chars are always literals
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == Kind::Word)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_word_tokens() {
+        let src = r##"
+            // unwrap in a comment
+            /* panic! in a block
+               spanning lines */
+            let s = "contains .unwrap() and panic!";
+            let r = r#"raw with partial_cmp"#;
+            let c = 'x';
+            let esc = '\'';
+        "##;
+        let w = words(src);
+        assert!(!w.contains(&"unwrap".to_string()), "{w:?}");
+        assert!(!w.contains(&"panic".to_string()));
+        assert!(!w.contains(&"partial_cmp".to_string()));
+        assert!(w.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lexed.tokens.iter().any(|t| t.kind == Kind::Lifetime));
+        assert!(lexed.tokens.iter().any(|t| t.is_word("str")));
+    }
+
+    #[test]
+    fn comments_are_recorded_per_line() {
+        let lexed = lex("let x = 1; // SAFETY: same line\n// next line\nlet y = 2;");
+        assert!(lexed.comment_on(1).contains("SAFETY:"));
+        assert!(lexed.comment_on(2).contains("next line"));
+        assert_eq!(lexed.comment_on(3), "");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let lexed = lex("let s = \"line\none\";\nlet t = 3;");
+        let t = lexed.tokens.iter().find(|t| t.is_word("t")).unwrap();
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let w = words("/* outer /* inner */ still comment */ let z = 1;");
+        assert_eq!(w, vec!["let", "z", "1"]);
+    }
+}

@@ -1,0 +1,97 @@
+//! CLI for the workspace lint.
+//!
+//! ```text
+//! cargo run -p darkvec-lint                 # lint the workspace from CWD
+//! cargo run -p darkvec-lint -- --root DIR   # lint a different tree
+//! cargo run -p darkvec-lint -- a.rs b.rs    # lint specific files
+//! cargo run -p darkvec-lint -- --allow F    # explicit allowlist file
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use darkvec_lint::{allow::Allowlist, collect_workspace_files, lint_files, LintConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("darkvec-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<usize, String> {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut explicit: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--allow" => {
+                allow_path = Some(PathBuf::from(args.next().ok_or("--allow needs a file")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: darkvec-lint [--root DIR] [--allow FILE] [FILES...]\n\
+                     Lints the DarkVec workspace (see DESIGN.md §14 for the rules).\n\
+                     Exit codes: 0 clean, 1 violations, 2 usage/I/O error."
+                );
+                return Ok(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}` (try --help)"));
+            }
+            file => explicit.push(PathBuf::from(file)),
+        }
+    }
+
+    let files = if explicit.is_empty() {
+        collect_workspace_files(&root).map_err(|e| format!("walking {}: {e}", root.display()))?
+    } else {
+        explicit
+    };
+    if files.is_empty() {
+        return Err(format!("no .rs files found under {}", root.display()));
+    }
+
+    // Default allowlist: <root>/lint.allow, if present.
+    let allow_file = allow_path.or_else(|| {
+        let p = root.join("lint.allow");
+        p.is_file().then_some(p)
+    });
+    let mut allowlist = match &allow_file {
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            Allowlist::parse(&p.to_string_lossy().replace('\\', "/"), &text)
+        }
+        None => Allowlist::empty(),
+    };
+
+    let cfg = LintConfig::repo_policy();
+    let report =
+        lint_files(&root, &files, &cfg, &mut allowlist).map_err(|e| format!("linting: {e}"))?;
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        eprintln!("darkvec-lint: {} files, clean", report.files);
+    } else {
+        eprintln!(
+            "darkvec-lint: {} files, {} violation(s)",
+            report.files,
+            report.diagnostics.len()
+        );
+    }
+    Ok(report.diagnostics.len())
+}

@@ -1,0 +1,145 @@
+//! Integration tests against the real workspace: the tree must lint
+//! clean with the committed allowlist, and the lint must actually have
+//! teeth — deleting a `SAFETY:` comment or reintroducing a
+//! `partial_cmp` float sort flips the result to non-zero.
+
+use std::path::{Path, PathBuf};
+
+use darkvec_lint::allow::Allowlist;
+use darkvec_lint::{collect_workspace_files, lint_files, lint_source, LintConfig};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the repo root")
+        .to_path_buf()
+}
+
+fn workspace_allowlist(root: &Path) -> Allowlist {
+    let path = root.join("lint.allow");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Allowlist::parse("lint.allow", &text),
+        Err(_) => Allowlist::empty(),
+    }
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = repo_root();
+    let files = collect_workspace_files(&root).expect("walk workspace");
+    assert!(
+        files.len() > 100,
+        "expected the full workspace, found {} files",
+        files.len()
+    );
+    let cfg = LintConfig::repo_policy();
+    let mut allow = workspace_allowlist(&root);
+    let report = lint_files(&root, &files, &cfg, &mut allow).expect("lint workspace");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace must lint clean:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_committed_allowlist_entry_is_used_and_reasoned() {
+    let root = repo_root();
+    let allow = workspace_allowlist(&root);
+    assert!(
+        allow.parse_errors.is_empty(),
+        "allowlist must parse: {:?}",
+        allow.parse_errors
+    );
+    for e in &allow.entries {
+        assert!(
+            e.reason.len() > 10,
+            "allowlist entry at line {} needs a substantive reason",
+            e.line
+        );
+    }
+    // `workspace_lints_clean` proves no entry is stale (stale entries
+    // surface as DV008 diagnostics there).
+}
+
+/// Deleting any single `SAFETY:` / `# Safety` comment from a real
+/// kernel source file must produce a DV001 violation.
+#[test]
+fn deleting_any_safety_comment_breaks_the_lint() {
+    let root = repo_root();
+    let cfg = LintConfig::repo_policy();
+    for rel in [
+        "crates/kernels/src/x86.rs",
+        "crates/kernels/src/neon.rs",
+        "crates/kernels/src/lib.rs",
+        "crates/ml/src/ann/hnsw.rs",
+    ] {
+        let src = std::fs::read_to_string(root.join(rel)).expect("kernel source exists");
+        let safety_lines: Vec<usize> = src
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains("SAFETY:") || l.contains("# Safety"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !safety_lines.is_empty(),
+            "{rel} should contain safety comments"
+        );
+        assert!(
+            lint_source(rel, &src, &cfg).is_empty(),
+            "{rel} should lint clean as committed"
+        );
+        for &victim in &safety_lines {
+            let mutated: String = src
+                .lines()
+                .enumerate()
+                .filter(|(i, _)| *i != victim)
+                .map(|(_, l)| format!("{l}\n"))
+                .collect();
+            let diags = lint_source(rel, &mutated, &cfg);
+            assert!(
+                diags.iter().any(|d| d.rule == "DV001"),
+                "{rel}: deleting safety comment on line {} went unnoticed",
+                victim + 1
+            );
+        }
+    }
+}
+
+/// Reintroducing a `partial_cmp` float sort anywhere must produce DV003.
+#[test]
+fn reintroducing_partial_cmp_float_sort_breaks_the_lint() {
+    let cfg = LintConfig::repo_policy();
+    let regression = "fn top_k(mut sims: Vec<(u32, f32)>) -> Vec<(u32, f32)> {\n    sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());\n    sims.truncate(10);\n    sims\n}\n";
+    let diags = lint_source("crates/ml/src/knn.rs", regression, &cfg);
+    assert!(
+        diags.iter().any(|d| d.rule == "DV003"),
+        "the PR-4 NaN sort regression must be caught: {diags:?}"
+    );
+}
+
+/// The linter lints itself: its own sources are part of the workspace
+/// walk and carry no violations.
+#[test]
+fn lint_lints_itself() {
+    let root = repo_root();
+    let files = collect_workspace_files(&root).expect("walk workspace");
+    let own: Vec<_> = files
+        .iter()
+        .filter(|f| f.starts_with(root.join("crates/lint")))
+        .collect();
+    assert!(own.len() >= 5, "lint crate sources found: {}", own.len());
+    let cfg = LintConfig::repo_policy();
+    for f in own {
+        let src = std::fs::read_to_string(f).expect("read own source");
+        let rel = f.strip_prefix(&root).expect("under root").to_string_lossy();
+        let diags = lint_source(&rel, &src, &cfg);
+        assert!(diags.is_empty(), "{rel} must lint clean: {diags:?}");
+    }
+}

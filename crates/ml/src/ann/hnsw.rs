@@ -488,6 +488,10 @@ impl<'m> HnswIndex<'m> {
     #[inline(always)]
     fn prefetch_row(&self, i: u32) {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `_mm_prefetch` is a pure cache hint — it performs no
+        // memory access, cannot fault even on an invalid address, and is
+        // baseline SSE (always present on x86_64). The pointers come from
+        // live `&[f32]`/`&[i8]` rows, so they are valid regardless.
         unsafe {
             use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
             let (p, bytes) = match &self.quant {

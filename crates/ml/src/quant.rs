@@ -82,14 +82,17 @@ fn quantize_row(row: &[f32], out: &mut [i8]) -> (f32, i8, i32) {
         out.fill(0);
         return (0.0, 0, 0);
     }
+    // lint: cast-ok(float-to-int `as` saturates in Rust; the debug_assert below pins zp to i8 range)
     let zp = (-(lo + hi) / (2.0 * scale)).round() as i32;
     debug_assert!((-127..=127).contains(&zp), "zero-point {zp} out of i8");
     let mut sum = 0i32;
     for (o, &x) in out.iter_mut().zip(row) {
+        // lint: cast-ok(float-to-int `as` saturates, never UB; clamp then bounds the code)
         let c = ((x / scale).round() as i32 + zp).clamp(-127, 127);
-        *o = c as i8;
+        *o = c as i8; // lint: cast-ok(c is clamped to [-127, 127] on the line above)
         sum += c;
     }
+    // lint: cast-ok(zp asserted within [-127, 127] after rounding)
     (scale, zp as i8, sum)
 }
 

@@ -5,6 +5,8 @@
 //! exposes `--log-level`/`-v`. Diagnostics go to **stderr** so that
 //! user-facing table output on stdout stays machine-consumable.
 
+// lint: relaxed-ok(log sequence/drop counters are metrics counters; ordering between log lines is provided by the stderr lock, not the atomics)
+
 use std::io::Write;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};

@@ -24,6 +24,8 @@
 //! counters and gauges to a bounded in-process buffer; the trace
 //! exporter turns those into Chrome counter tracks.
 
+// lint: relaxed-ok(this module IS the metrics-counter registry: counters are monotonic u64 sums scraped for display, never synchronize other memory)
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};

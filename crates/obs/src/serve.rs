@@ -18,6 +18,8 @@
 //!   section (counts, sums, quantiles, sparse buckets).
 //! * `GET /healthz` — `ok`.
 
+// lint: relaxed-ok(scrape/shutdown counters are metrics counters; the listener's accept loop synchronizes via the socket, not these atomics)
+
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,8 +47,7 @@ impl MetricsServer {
         let flag = Arc::clone(&shutdown);
         let handle = std::thread::Builder::new()
             .name("obs-metrics".to_string())
-            .spawn(move || accept_loop(listener, &flag))
-            .expect("spawn metrics server thread");
+            .spawn(move || accept_loop(listener, &flag))?;
         Ok(MetricsServer {
             addr: bound,
             shutdown,

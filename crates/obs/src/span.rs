@@ -18,6 +18,8 @@
 //!   for crossbeam/scoped-thread fan-outs (Hogwild training, parallel
 //!   HNSW build, kNN chunks).
 
+// lint: relaxed-ok(span id/drop counters are metrics counters; trace assembly orders events by captured timestamps, not atomic ordering)
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

@@ -14,6 +14,8 @@
 //! a data race, so those kernels stay scalar-per-element but break the FP
 //! dependency chain with independent accumulators).
 
+// lint: relaxed-ok(this module IS the Hogwild weight matrix: relaxed AtomicU32 f32 cells are the documented lock-free design; lost updates are tolerated by SGD)
+
 use darkvec_kernels::hogwild;
 use std::sync::atomic::{AtomicU32, Ordering};
 

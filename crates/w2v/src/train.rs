@@ -17,6 +17,8 @@
 //! Threads work Hogwild-style on contiguous sentence chunks of the encoded
 //! corpus (see [`crate::matrix::AtomicMatrix`] for why this is safe Rust).
 
+// lint: relaxed-ok(Hogwild SGD: progress/ops counters are metrics, and gradient cells tolerate racy relaxed reads by design — see Recht et al. and matrix.rs)
+
 use crate::embedding::Embedding;
 use crate::huffman::HuffmanTree;
 use crate::matrix::AtomicMatrix;

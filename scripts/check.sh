@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> darkvec-lint (static analysis, see DESIGN.md section 14)"
+cargo run -q -p darkvec-lint --offline
+
 echo "==> cargo clippy --workspace"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
