@@ -11,6 +11,7 @@ pub mod comparison;
 pub mod dataset;
 pub mod gt_extension;
 pub mod incremental;
+pub mod novelty;
 pub mod perclass;
 pub mod perf;
 pub mod rasters;
@@ -47,6 +48,7 @@ pub const ALL: &[&str] = &[
     "perf",
     "ann",
     "incremental",
+    "novelty",
     "serve",
     "scale",
 ];
@@ -77,6 +79,7 @@ pub fn run(ctx: &Ctx, id: &str) -> Option<String> {
         "perf" => perf::perf(ctx),
         "ann" => ann::ann(ctx),
         "incremental" => incremental::incremental(ctx),
+        "novelty" => novelty::novelty(ctx),
         "serve" => serve::serve(ctx),
         "scale" => scale::scale(ctx),
         _ => return None,
@@ -97,6 +100,6 @@ mod tests {
             assert!(run(&ctx, id).is_some(), "{id} failed to run");
         }
         assert!(run(&ctx, "nope").is_none());
-        assert_eq!(ALL.len(), 25);
+        assert_eq!(ALL.len(), 26);
     }
 }

@@ -11,6 +11,7 @@ const BARE: &[&str] = &[
     "--ann",
     "--exact",
     "--status",
+    "--alerts",
     "--ping",
     "--shutdown",
 ];
@@ -93,9 +94,10 @@ mod tests {
 
     #[test]
     fn parses_bare_switches() {
-        let o = opts(&["-v", "--no-simd", "--trace", "x.bin"]).unwrap();
+        let o = opts(&["-v", "--no-simd", "--alerts", "--trace", "x.bin"]).unwrap();
         assert!(o.has("v"));
         assert!(o.has("no-simd"));
+        assert!(o.has("alerts"));
         assert_eq!(o.require("trace").unwrap(), "x.bin");
         assert!(!opts(&["--trace", "x.bin"]).unwrap().has("v"));
         // A bare switch never swallows the next token as its value.

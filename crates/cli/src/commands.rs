@@ -5,6 +5,7 @@ use darkvec::cache::ArtifactCache;
 use darkvec::config::{DarkVecConfig, ServiceDef, SlidingWindow};
 use darkvec::incremental::{run_sliding, IncrementalOptions};
 use darkvec::inspect::profile_clusters;
+use darkvec::lineage::{ClusterObservation, LineageConfig, LineageTracker, NoveltyAlert};
 use darkvec::pipeline::{self, TrainedModel};
 use darkvec::unsupervised::{cluster_embedding, ClusterConfig};
 use darkvec::{Client, Daemon, ServeConfig};
@@ -13,7 +14,7 @@ use darkvec_ml::ann::{NeighborBackend, Precision};
 use darkvec_obs::diff::{diff_manifests, DiffOptions};
 use darkvec_obs::trace::chrome_trace;
 use darkvec_obs::{info, manifest, metrics, Json};
-use darkvec_types::{io, Anonymizer, Ipv4, Protocol, Trace};
+use darkvec_types::{io, Anonymizer, Ipv4, Protocol, Timestamp, Trace, DAY};
 use darkvec_w2v::Embedding;
 use std::path::Path;
 use std::time::Duration;
@@ -291,7 +292,7 @@ pub fn cluster(opts: &Options) -> Result<(), String> {
 
 /// `darkvec incremental --trace in.bin [--window-days 30] [--stride 1]
 /// [--warm-epochs 2] [--k 3] [--cache DIR] [--shard-threads N]
-/// [--out model.dkvm]`
+/// [--out model.dkvm] [--lineage-out report.json]`
 ///
 /// Slides a `--window-days` window over the capture in `--stride`-day
 /// steps. Each step warm-starts from the previous step's model
@@ -299,6 +300,11 @@ pub fn cluster(opts: &Options) -> Result<(), String> {
 /// per-day corpora, models and kNN lists are content-addressed on disk so
 /// an identical re-run is served from cache. `--k 0` skips clustering;
 /// `--out` saves the final step's model.
+///
+/// When clustering runs, clusters are matched across consecutive windows
+/// into lineages (births, merges, splits, deaths, re-emergences) and
+/// post-baseline newborn clusters with no dominant label raise novelty
+/// alerts; `--lineage-out` writes the full lineage report as JSON.
 pub fn incremental(opts: &Options) -> Result<(), String> {
     let trace = load_trace(opts.require("trace")?)?;
     let mut cfg = pipeline_config(opts)?;
@@ -388,6 +394,123 @@ pub fn incremental(opts: &Options) -> Result<(), String> {
                 steps.iter().map(|s| s.train_secs).sum::<f64>(),
             ),
     );
+
+    // Cluster lineage across the windows: match each step's clusters
+    // against the tracked lineages (member Jaccard, centroid-cosine
+    // tie-break) and flag post-baseline newcomers as novel.
+    let mut tracker = LineageTracker::new(LineageConfig::default());
+    let mut alerts: Vec<NoveltyAlert> = Vec::new();
+    for s in &steps {
+        let Some(clustering) = s.clustering.as_ref() else {
+            continue;
+        };
+        let emb = &s.model.embedding;
+        let wtrace = trace.slice_time(
+            Timestamp(s.start_day * DAY),
+            Timestamp((s.end_day + 1) * DAY),
+        );
+        let profiles = profile_clusters(&wtrace, emb, clustering);
+        let observations: Vec<ClusterObservation> = clustering
+            .members(emb)
+            .into_iter()
+            .enumerate()
+            .map(|(c, group)| {
+                let mut centroid = vec![0.0f32; emb.dim()];
+                for ip in &group {
+                    if let Some(row) = emb.get(ip) {
+                        for (acc, &x) in centroid.iter_mut().zip(row) {
+                            *acc += x;
+                        }
+                    }
+                }
+                let n = group.len().max(1) as f32;
+                for acc in &mut centroid {
+                    *acc /= n;
+                }
+                let p = &profiles[c];
+                ClusterObservation {
+                    cluster: c as u32,
+                    members: group,
+                    centroid,
+                    // Real captures carry no ground-truth side channel;
+                    // size and ancestry alone gate the alerts.
+                    label: None,
+                    top_ports: p
+                        .top_ports
+                        .iter()
+                        .map(|(key, share)| (key.to_string(), *share))
+                        .collect(),
+                    regularity: p.regularity.name().to_string(),
+                }
+            })
+            .collect();
+        // Freshness presence: every sender in the window's raw traffic,
+        // so sub-threshold sporadics never read as novel later.
+        let present: Vec<_> = wtrace.senders().into_iter().collect();
+        alerts.extend(tracker.observe_with_presence(
+            (s.start_day, s.end_day),
+            &observations,
+            &present,
+        ));
+    }
+    if tracker.windows_seen() > 0 {
+        let records = tracker.records();
+        let alive = records.iter().filter(|r| r.alive).count();
+        println!(
+            "lineage: {} lineages over {} windows ({alive} alive), {} novelty alerts",
+            records.len(),
+            tracker.windows_seen(),
+            alerts.len()
+        );
+        println!("  id   born      last       size  state  events");
+        for r in records {
+            let events: Vec<&str> = r.events.iter().map(|(_, e)| e.tag()).collect();
+            println!(
+                "  {:<4} {:>3}..={:<3} {:>3}..={:<3} {:>6}  {:<5}  {}",
+                r.id,
+                r.birth_window.0,
+                r.birth_window.1,
+                r.last_window.0,
+                r.last_window.1,
+                r.size(),
+                if r.alive { "alive" } else { "dead" },
+                events.join(",")
+            );
+        }
+        for a in &alerts {
+            println!(
+                "novel: lineage {} born in window {}..={} — {} senders, {} pattern",
+                a.lineage, a.window.0, a.window.1, a.size, a.regularity
+            );
+            for (port, share) in &a.top_ports {
+                println!(
+                    "   evidence: {port} carries {:.0}% of its traffic",
+                    share * 100.0
+                );
+            }
+        }
+        manifest::attach(
+            "lineage",
+            Json::obj()
+                .with("windows", tracker.windows_seen())
+                .with("lineages", records.len() as u64)
+                .with("alive", alive as u64)
+                .with(
+                    "alerts",
+                    Json::Arr(alerts.iter().map(NoveltyAlert::to_json).collect()),
+                ),
+        );
+        if let Some(path) = opts.get("lineage-out") {
+            let report = tracker.report_json().with(
+                "alerts",
+                Json::Arr(alerts.iter().map(NoveltyAlert::to_json).collect()),
+            );
+            std::fs::write(path, report.pretty()).map_err(|e| format!("{path}: {e}"))?;
+            info!("wrote {path}: lineage report");
+        }
+    } else if opts.get("lineage-out").is_some() {
+        return Err("--lineage-out needs clustering: pass --k > 0".to_string());
+    }
     if let Some(cache) = &cache {
         let stats = cache.stats();
         println!(
@@ -558,11 +681,13 @@ fn parse_ports(raw: &str) -> Result<Vec<(u16, Protocol)>, String> {
 }
 
 /// `darkvec query --addr HOST:PORT [--ip A.B.C.D [--ports 23/tcp,...]
-/// [--k N]] [--status] [--ping] [--shutdown]`
+/// [--k N]] [--status] [--alerts] [--ping] [--shutdown]`
 ///
 /// One scripted client session against a running serve daemon. Actions
-/// run in a fixed order (ping, status, classify, shutdown) so a single
-/// invocation can probe, query and stop a daemon.
+/// run in a fixed order (ping, status, alerts, classify, shutdown) so a
+/// single invocation can probe, query and stop a daemon. `--alerts`
+/// fetches the daemon's retained novelty alerts — clusters that appeared
+/// after the baseline window with no dominant label.
 pub fn query(opts: &Options) -> Result<(), String> {
     let addr = opts.require("addr")?;
     let mut client = Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
@@ -586,6 +711,28 @@ pub fn query(opts: &Options) -> Result<(), String> {
             "served: {} queries, {} faults survived",
             s.queries, s.errors
         );
+        if s.ready {
+            println!("window: days {}..={}", s.window_start, s.window_end);
+        }
+        acted = true;
+    }
+    if opts.has("alerts") {
+        let alerts = client.alerts()?;
+        if alerts.is_empty() {
+            println!("no novelty alerts");
+        }
+        for a in &alerts {
+            println!(
+                "novel: lineage {} born in window {}..={} — {} senders, {} pattern",
+                a.lineage, a.window_start, a.window_end, a.size, a.regularity
+            );
+            for (port, share) in &a.top_ports {
+                println!(
+                    "   evidence: {port} carries {:.0}% of its traffic",
+                    share * 100.0
+                );
+            }
+        }
         acted = true;
     }
     if let Some(raw_ip) = opts.get("ip") {
@@ -613,7 +760,7 @@ pub fn query(opts: &Options) -> Result<(), String> {
     }
     if !acted {
         return Err(
-            "query needs at least one action: --ip A.B.C.D, --status, --ping or --shutdown"
+            "query needs at least one action: --ip A.B.C.D, --status, --alerts, --ping or --shutdown"
                 .to_string(),
         );
     }
@@ -948,15 +1095,24 @@ mod tests {
             pairs.extend_from_slice(extra);
             incremental(&opts(&pairs))
         };
-        run(&[("out", &model_path)]).unwrap();
+        let lineage_path = tmp("incr-lineage.json");
+        run(&[("out", &model_path), ("lineage-out", &lineage_path)]).unwrap();
         // The saved final model is a loadable DKVM file.
         assert!(!load_embedding(&model_path).unwrap().is_empty());
+        // The lineage report is written and carries the expected shape.
+        let report = std::fs::read_to_string(&lineage_path).unwrap();
+        assert!(report.contains("\"lineages\""), "report: {report}");
+        assert!(report.contains("\"alerts\""), "report: {report}");
+        assert!(report.contains("\"birth\""), "report: {report}");
         // Second identical run is served from the populated cache.
         run(&[]).unwrap();
         // Flag validation.
         assert!(incremental(&opts(&[("trace", &trace_path), ("stride", "0")])).is_err());
         assert!(incremental(&opts(&[("trace", &trace_path), ("dt", "9999")])).is_err());
+        // --lineage-out without clustering is refused.
+        assert!(run(&[("k", "0"), ("lineage-out", &lineage_path)]).is_err());
         let _ = std::fs::remove_dir_all(&cache_dir);
+        let _ = std::fs::remove_file(&lineage_path);
     }
 
     #[test]

@@ -7,13 +7,13 @@
 //!                   [--dim 50] [--window 25] [--epochs 10] [--min-packets 10]
 //! darkvec incremental --trace trace.bin [--window-days 30] [--stride 1]
 //!                   [--warm-epochs 2] [--k 3] [--cache DIR] [--shard-threads N]
-//!                   [--out model.dkvm]
+//!                   [--out model.dkvm] [--lineage-out report.json]
 //! darkvec serve     [--trace trace.bin | --days N --scale S --seed N]
 //!                   [--listen 127.0.0.1:0] [--window-days 7] [--stride 1]
 //!                   [--warm-epochs 2] [--k 7] [--cache DIR] [--ann | --exact]
 //!                   [--precision f32|int8] [--shard-threads N]
 //! darkvec query     --addr HOST:PORT [--ip A.B.C.D [--ports 23/tcp,2323/tcp] [--k N]]
-//!                   [--status] [--ping] [--shutdown]
+//!                   [--status] [--alerts] [--ping] [--shutdown]
 //! darkvec similar   --model model.dkvm --ip 1.2.3.4 [--top 10]
 //! darkvec cluster   --trace trace.bin --model model.dkvm [--k 3] [--min-size 4]
 //!                   [--ann | --exact] [--precision f32|int8]
@@ -214,11 +214,13 @@ fn usage() -> &'static str {
        anonymize  prefix-preserving anonymisation of a capture\n\
        train      train a DarkVec sender embedding from a capture\n\
        incremental slide a training window day by day, warm-starting each\n\
-                  step from the last and caching artifacts (--cache DIR)\n\
+                  step from the last and caching artifacts (--cache DIR);\n\
+                  tracks cluster lineage and novelty (--lineage-out FILE)\n\
        serve      long-running daemon: stream a capture in, retrain on\n\
-                  window rollover, answer classify queries over TCP\n\
+                  window rollover, answer classify queries over TCP,\n\
+                  raise novelty alerts when unknown clusters appear\n\
        query      talk to a serve daemon: --ip A.B.C.D [--ports P/tcp,...]\n\
-                  classifies a sender; --status, --ping, --shutdown\n\
+                  classifies a sender; --status, --alerts, --ping, --shutdown\n\
        similar    query an embedding for a sender's nearest neighbours\n\
        cluster    discover coordinated sender groups (kNN graph + Louvain)\n\
        stats      dataset summary of a capture\n\

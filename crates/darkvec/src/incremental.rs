@@ -28,7 +28,7 @@ use crate::config::DarkVecConfig;
 use crate::corpus::corpus_stats;
 use crate::pipeline::{resolve_services, TrainedModel};
 use crate::shard::{build_shards, merge_shards};
-use crate::unsupervised::Clustering;
+use crate::unsupervised::{canonical_assignment, Clustering};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use darkvec_graph::knn_graph::{knn_graph_from_neighbors, KnnGraphConfig};
 use darkvec_graph::louvain::louvain;
@@ -149,7 +149,10 @@ pub fn run_sliding(
     train_cfg.min_count = cfg.min_packets.max(cfg.w2v.min_count);
 
     // Window ends: the first window ends as soon as `days` days exist (or
-    // the trace ends), then advances by `stride`.
+    // the trace ends), then advances by `stride`. When the stride does not
+    // land exactly on the last capture day, a final clamped window ending at
+    // `total_days - 1` picks up the trailing days — otherwise they would
+    // never be trained, clustered, or cached.
     let mut ends = Vec::new();
     let mut e = cfg.window.days.min(total_days) - 1;
     loop {
@@ -158,6 +161,9 @@ pub fn run_sliding(
             break;
         }
         e += cfg.window.stride;
+    }
+    if ends.last() != Some(&(total_days - 1)) {
+        ends.push(total_days - 1);
     }
 
     let mut day_keys: Vec<Option<u64>> = vec![None; total_days as usize];
@@ -312,9 +318,16 @@ pub fn run_sliding(
                     },
                 );
                 let partition = louvain(&graph, cfg.w2v.seed);
-                let silhouettes = cluster_silhouettes_normalized(&normed, &partition.assignment);
+                // Canonical ids (smallest member address first) so the same
+                // group keeps its id across windows — lineage depends on it.
+                let assignment = canonical_assignment(
+                    &model.embedding,
+                    &partition.assignment,
+                    partition.communities,
+                );
+                let silhouettes = cluster_silhouettes_normalized(&normed, &assignment);
                 Clustering {
-                    assignment: partition.assignment,
+                    assignment,
                     clusters: partition.communities,
                     modularity: partition.modularity,
                     silhouettes,

@@ -39,6 +39,7 @@ pub mod corpus;
 pub mod gt_extend;
 pub mod incremental;
 pub mod inspect;
+pub mod lineage;
 pub mod pipeline;
 pub mod protocol;
 pub mod serve;
@@ -52,6 +53,9 @@ pub mod unsupervised;
 pub use cache::{ArtifactCache, CacheStats};
 pub use config::{DarkVecConfig, ServiceDef, SlidingWindow};
 pub use incremental::{run_sliding, DayOutcome, IncrementalOptions};
+pub use lineage::{
+    ClusterObservation, LineageConfig, LineageEvent, LineageRecord, LineageTracker, NoveltyAlert,
+};
 pub use pipeline::{run, TrainedModel};
 pub use serve::{Client, Daemon, ServeConfig};
 pub use services::ServiceMap;

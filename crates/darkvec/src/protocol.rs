@@ -13,17 +13,28 @@
 //!           | 0x03 ip:u32le k:u16le n:u16le     Classify
 //!                  (port:u16le proto:u8){n}
 //!           | 0x04                              Shutdown
+//!           | 0x05                              Alerts
 //! response := 0x81                              Pong
 //!           | 0x82 ready:u8 version:u64le checksum:u64le vocab:u32le
 //!                  packets:u64le days:u32le retrains:u32le swaps:u32le
-//!                  queries:u64le errors:u64le   Status
+//!                  queries:u64le errors:u64le
+//!                  [window_start:u64le window_end:u64le]
+//!                                               Status
 //!           | 0x83 version:u64le checksum:u64le
 //!                  label_len:u16le label[..] confidence:f32le
 //!                  n:u16le (ip:u32le sim:f32le){n}
 //!                                               Classify
 //!           | 0x84 msg_len:u16le msg[..]        Error
 //!           | 0x85                              ShutdownAck
+//!           | 0x86 n:u8 alert{n}                Alerts
+//! alert    := lineage:u64le window_start:u64le window_end:u64le
+//!             size:u32le reg_len:u8 reg[..]
+//!             nports:u8 (plen:u8 port[..] share:f32le){nports}
 //! ```
+//!
+//! The bracketed `Status` tail is a protocol-versioned extension: old
+//! replies omit it and new decoders default the training window to
+//! `(0, 0)`, so a v1 daemon still talks to a v2 client and vice versa.
 //!
 //! Decoding never panics: every length is validated against both the
 //! remaining payload and a hard cap before anything is read, and any
@@ -47,6 +58,15 @@ pub const MAX_PORTS: usize = 64;
 /// Cap on neighbours in one classify reply.
 pub const MAX_NEIGHBORS: usize = 256;
 
+/// Cap on alerts in one alerts reply; the daemon keeps only the newest.
+pub const MAX_ALERTS: usize = 64;
+
+/// Cap on evidence ports per alert.
+pub const MAX_ALERT_PORTS: usize = 8;
+
+/// Cap on the byte length of alert text fields (port names, regularity).
+pub const MAX_ALERT_TEXT: usize = 32;
+
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -67,6 +87,9 @@ pub enum Request {
     },
     /// Ask the daemon to stop accepting and exit its threads.
     Shutdown,
+    /// Fetch the novelty alerts raised since startup (newest-capped at
+    /// [`MAX_ALERTS`]).
+    Alerts,
 }
 
 /// Daemon state reported by [`Response::Status`].
@@ -92,6 +115,12 @@ pub struct StatusReply {
     pub queries: u64,
     /// Protocol/ingest errors survived (the `serve.errors` counter).
     pub errors: u64,
+    /// First capture day of the serving model's training window
+    /// (protocol-versioned tail field; 0 when talking to an old daemon).
+    pub window_start: u64,
+    /// Last capture day of the serving model's training window (0 when
+    /// talking to an old daemon or before the first swap).
+    pub window_end: u64,
 }
 
 /// A classification answer.
@@ -110,6 +139,25 @@ pub struct ClassifyReply {
     pub neighbors: Vec<(Ipv4, f32)>,
 }
 
+/// One novelty alert on the wire — a compact projection of
+/// `lineage::NoveltyAlert` (evidence strings are clipped to
+/// [`MAX_ALERT_TEXT`] bytes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlertInfo {
+    /// Lineage id of the novel group.
+    pub lineage: u64,
+    /// First capture day of the window the group appeared in.
+    pub window_start: u64,
+    /// Last capture day of that window.
+    pub window_end: u64,
+    /// Member count.
+    pub size: u32,
+    /// Temporal-regularity judgement, e.g. "daily".
+    pub regularity: String,
+    /// Top targeted ports (name, traffic share).
+    pub top_ports: Vec<(String, f32)>,
+}
+
 /// A daemon reply.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -124,6 +172,8 @@ pub enum Response {
     Error(String),
     /// Reply to [`Request::Shutdown`], sent before the daemon exits.
     ShutdownAck,
+    /// Reply to [`Request::Alerts`].
+    Alerts(Vec<AlertInfo>),
 }
 
 /// Why a payload failed to decode.
@@ -255,6 +305,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::Shutdown => buf.put_u8(0x04),
+        Request::Alerts => buf.put_u8(0x05),
     }
     buf
 }
@@ -292,6 +343,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
             Request::Classify { ip, ports, k }
         }
         0x04 => Request::Shutdown,
+        0x05 => Request::Alerts,
         op => return Err(ProtoError::BadOpcode(op)),
     };
     if buf.remaining() > 0 {
@@ -317,6 +369,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             buf.put_u32_le(s.swaps);
             buf.put_u64_le(s.queries);
             buf.put_u64_le(s.errors);
+            // Versioned tail: decoders accept payloads both with and
+            // without these 16 bytes (absent ⇒ window (0, 0)), so replies
+            // from a pre-tail daemon still parse.
+            buf.put_u64_le(s.window_start);
+            buf.put_u64_le(s.window_end);
         }
         Response::Classify(c) => {
             assert!(c.neighbors.len() <= MAX_NEIGHBORS, "too many neighbours");
@@ -344,8 +401,49 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             buf.put_slice(msg);
         }
         Response::ShutdownAck => buf.put_u8(0x85),
+        Response::Alerts(alerts) => {
+            // Truncate rather than die: the daemon bounds its alert buffer
+            // already, so clipping here only defends against misuse.
+            let alerts = &alerts[..alerts.len().min(MAX_ALERTS)];
+            buf.put_u8(0x86);
+            // lint: cast-ok(sliced to at most MAX_ALERTS above, which fits u8)
+            buf.put_u8(alerts.len() as u8);
+            for a in alerts {
+                buf.put_u64_le(a.lineage);
+                buf.put_u64_le(a.window_start);
+                buf.put_u64_le(a.window_end);
+                buf.put_u32_le(a.size);
+                let reg = clip(&a.regularity, MAX_ALERT_TEXT);
+                // lint: cast-ok(clip bounds reg to MAX_ALERT_TEXT bytes, which fits u8)
+                buf.put_u8(reg.len() as u8);
+                buf.put_slice(reg.as_bytes());
+                let ports = &a.top_ports[..a.top_ports.len().min(MAX_ALERT_PORTS)];
+                // lint: cast-ok(sliced to at most MAX_ALERT_PORTS above, which fits u8)
+                buf.put_u8(ports.len() as u8);
+                for (name, share) in ports {
+                    let name = clip(name, MAX_ALERT_TEXT);
+                    // lint: cast-ok(clip bounds name to MAX_ALERT_TEXT bytes, which fits u8)
+                    buf.put_u8(name.len() as u8);
+                    buf.put_slice(name.as_bytes());
+                    buf.put_f32_le(*share);
+                }
+            }
+        }
     }
     buf
+}
+
+/// Clips a string to at most `max` bytes without splitting a UTF-8
+/// character.
+fn clip(s: &str, max: usize) -> &str {
+    if s.len() <= max {
+        return s;
+    }
+    let mut end = max;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
 }
 
 /// Decodes a response payload. Never panics.
@@ -360,17 +458,35 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             if buf.remaining() < 1 + 8 + 8 + 4 + 8 + 4 + 4 + 4 + 8 + 8 {
                 return Err(ProtoError::Truncated);
             }
+            let ready = buf.get_u8() != 0;
+            let version = buf.get_u64_le();
+            let checksum = buf.get_u64_le();
+            let vocab = buf.get_u32_le();
+            let packets = buf.get_u64_le();
+            let days = buf.get_u32_le();
+            let retrains = buf.get_u32_le();
+            let swaps = buf.get_u32_le();
+            let queries = buf.get_u64_le();
+            let errors = buf.get_u64_le();
+            // Versioned tail (see the encoder): absent in old payloads.
+            let (window_start, window_end) = if buf.remaining() >= 16 {
+                (buf.get_u64_le(), buf.get_u64_le())
+            } else {
+                (0, 0)
+            };
             Response::Status(StatusReply {
-                ready: buf.get_u8() != 0,
-                version: buf.get_u64_le(),
-                checksum: buf.get_u64_le(),
-                vocab: buf.get_u32_le(),
-                packets: buf.get_u64_le(),
-                days: buf.get_u32_le(),
-                retrains: buf.get_u32_le(),
-                swaps: buf.get_u32_le(),
-                queries: buf.get_u64_le(),
-                errors: buf.get_u64_le(),
+                ready,
+                version,
+                checksum,
+                vocab,
+                packets,
+                days,
+                retrains,
+                swaps,
+                queries,
+                errors,
+                window_start,
+                window_end,
             })
         }
         0x83 => {
@@ -428,6 +544,69 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
             Response::Error(msg)
         }
         0x85 => Response::ShutdownAck,
+        0x86 => {
+            if buf.remaining() < 1 {
+                return Err(ProtoError::Truncated);
+            }
+            let n = buf.get_u8() as usize;
+            if n > MAX_ALERTS {
+                return Err(ProtoError::TooLarge("alert count"));
+            }
+            let mut alerts = Vec::with_capacity(n);
+            for _ in 0..n {
+                if buf.remaining() < 8 + 8 + 8 + 4 + 1 {
+                    return Err(ProtoError::Truncated);
+                }
+                let lineage = buf.get_u64_le();
+                let window_start = buf.get_u64_le();
+                let window_end = buf.get_u64_le();
+                let size = buf.get_u32_le();
+                let reg_len = buf.get_u8() as usize;
+                if reg_len > MAX_ALERT_TEXT {
+                    return Err(ProtoError::TooLarge("regularity text"));
+                }
+                if buf.remaining() < reg_len {
+                    return Err(ProtoError::Truncated);
+                }
+                let regularity = String::from_utf8(buf.chunk()[..reg_len].to_vec())
+                    .map_err(|_| ProtoError::BadUtf8)?;
+                buf.advance(reg_len);
+                if buf.remaining() < 1 {
+                    return Err(ProtoError::Truncated);
+                }
+                let nports = buf.get_u8() as usize;
+                if nports > MAX_ALERT_PORTS {
+                    return Err(ProtoError::TooLarge("alert port count"));
+                }
+                let mut top_ports = Vec::with_capacity(nports);
+                for _ in 0..nports {
+                    if buf.remaining() < 1 {
+                        return Err(ProtoError::Truncated);
+                    }
+                    let plen = buf.get_u8() as usize;
+                    if plen > MAX_ALERT_TEXT {
+                        return Err(ProtoError::TooLarge("alert port text"));
+                    }
+                    if buf.remaining() < plen + 4 {
+                        return Err(ProtoError::Truncated);
+                    }
+                    let name = String::from_utf8(buf.chunk()[..plen].to_vec())
+                        .map_err(|_| ProtoError::BadUtf8)?;
+                    buf.advance(plen);
+                    let share = buf.get_f32_le();
+                    top_ports.push((name, share));
+                }
+                alerts.push(AlertInfo {
+                    lineage,
+                    window_start,
+                    window_end,
+                    size,
+                    regularity,
+                    top_ports,
+                });
+            }
+            Response::Alerts(alerts)
+        }
         op => return Err(ProtoError::BadOpcode(op)),
     };
     if buf.remaining() > 0 {
@@ -471,10 +650,14 @@ mod tests {
         (
             (any::<bool>(), any::<u64>(), any::<u64>(), any::<u32>()),
             (any::<u64>(), any::<u32>(), any::<u32>(), any::<u32>()),
-            (any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         )
             .prop_map(
-                |((ready, version, checksum, vocab), (packets, days, retrains, swaps), (q, e))| {
+                |(
+                    (ready, version, checksum, vocab),
+                    (packets, days, retrains, swaps),
+                    (q, e, ws, we),
+                )| {
                     StatusReply {
                         ready,
                         version,
@@ -486,6 +669,8 @@ mod tests {
                         swaps,
                         queries: q,
                         errors: e,
+                        window_start: ws,
+                        window_end: we,
                     }
                 },
             )
@@ -497,12 +682,33 @@ mod tests {
         prop::collection::vec(97u8..=122, 0..max).prop_map(|v| String::from_utf8(v).expect("ascii"))
     }
 
+    fn arb_alert() -> impl Strategy<Value = AlertInfo> {
+        (
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>()),
+            arb_text(MAX_ALERT_TEXT),
+            prop::collection::vec((arb_text(MAX_ALERT_TEXT), any::<u32>()), 0..MAX_ALERT_PORTS),
+        )
+            .prop_map(|((lineage, ws, we, size), regularity, ports)| AlertInfo {
+                lineage,
+                window_start: ws,
+                window_end: we,
+                size,
+                regularity,
+                top_ports: ports
+                    .into_iter()
+                    // From raw bits so NaN/inf share bytes are covered.
+                    .map(|(name, bits)| (name, f32::from_bits(bits)))
+                    .collect(),
+            })
+    }
+
     fn arb_response() -> impl Strategy<Value = Response> {
         prop_oneof![
             Just(Response::Pong),
             Just(Response::ShutdownAck),
             arb_status().prop_map(Response::Status),
             arb_text(64).prop_map(Response::Error),
+            prop::collection::vec(arb_alert(), 0..5).prop_map(Response::Alerts),
             (
                 any::<u64>(),
                 any::<u64>(),
@@ -559,6 +765,12 @@ mod tests {
         fn truncated_responses_error_without_panic(resp in arb_response()) {
             let bytes = encode_response(&resp);
             for cut in 0..bytes.len() {
+                // One legal cut exists: a Status reply minus its 16-byte
+                // versioned window tail IS the old wire format and decodes
+                // (that compatibility is asserted separately below).
+                if matches!(resp, Response::Status(_)) && cut == bytes.len() - 16 {
+                    continue;
+                }
                 prop_assert!(decode_response(&bytes[..cut]).is_err());
             }
         }
@@ -597,6 +809,74 @@ mod tests {
             let wire = len.to_le_bytes();
             let mut r = &wire[..];
             prop_assert!(matches!(read_frame(&mut r), Err(FrameError::Oversized(l)) if l == len));
+        }
+    }
+
+    /// A pre-tail Status payload (no window fields) must still decode,
+    /// with the training window defaulting to `(0, 0)` — the promise that
+    /// keeps old daemons and new clients interoperable.
+    #[test]
+    fn status_without_window_tail_decodes_as_old_format() {
+        let full = StatusReply {
+            ready: true,
+            version: 7,
+            checksum: 0xDEAD_BEEF,
+            vocab: 123,
+            packets: 456,
+            days: 9,
+            retrains: 3,
+            swaps: 3,
+            queries: 42,
+            errors: 1,
+            window_start: 5,
+            window_end: 11,
+        };
+        let bytes = encode_response(&Response::Status(full));
+        let old = &bytes[..bytes.len() - 16];
+        match decode_response(old).expect("old format must decode") {
+            Response::Status(s) => {
+                assert_eq!(s.version, 7);
+                assert_eq!(s.queries, 42);
+                assert_eq!((s.window_start, s.window_end), (0, 0));
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+        // A partial tail (1..15 leftover bytes) is still an error.
+        for cut in 1..16 {
+            assert!(
+                decode_response(&bytes[..bytes.len() - cut]).is_err(),
+                "partial tail of {} bytes must not decode",
+                16 - cut
+            );
+        }
+        // The full new format round-trips the window.
+        match decode_response(&bytes).expect("new format") {
+            Response::Status(s) => assert_eq!((s.window_start, s.window_end), (5, 11)),
+            other => panic!("expected Status, got {other:?}"),
+        }
+    }
+
+    /// Alert text fields are clipped to [`MAX_ALERT_TEXT`] bytes on a
+    /// char boundary — a multi-byte char straddling the limit must not
+    /// split into invalid UTF-8.
+    #[test]
+    fn alert_text_clips_on_char_boundaries() {
+        let alert = AlertInfo {
+            lineage: 1,
+            window_start: 0,
+            window_end: 1,
+            size: 5,
+            // 31 ASCII bytes then a 2-byte char straddling the 32-byte cap.
+            regularity: format!("{}é", "x".repeat(31)),
+            top_ports: vec![("y".repeat(100), 0.5)],
+        };
+        let bytes = encode_response(&Response::Alerts(vec![alert]));
+        match decode_response(&bytes).expect("clipped alert must decode") {
+            Response::Alerts(alerts) => {
+                assert_eq!(alerts[0].regularity, "x".repeat(31));
+                assert_eq!(alerts[0].top_ports[0].0, "y".repeat(32));
+            }
+            other => panic!("expected Alerts, got {other:?}"),
         }
     }
 

@@ -41,12 +41,15 @@
 use crate::cache::{hash_packets, ArtifactCache, KeyHasher};
 use crate::config::DarkVecConfig;
 use crate::corpus::{build_day_corpus, corpus_from_bytes, corpus_stats, corpus_to_bytes};
+use crate::lineage::{ClusterObservation, LineageConfig, LineageTracker};
 use crate::pipeline::{resolve_services, TrainedModel};
 use crate::protocol::{
-    decode_request, encode_request, encode_response, read_frame, write_frame, ClassifyReply,
-    FrameError, Request, Response, StatusReply, MAX_NEIGHBORS,
+    decode_request, encode_request, encode_response, read_frame, write_frame, AlertInfo,
+    ClassifyReply, FrameError, Request, Response, StatusReply, MAX_ALERTS, MAX_ALERT_PORTS,
+    MAX_NEIGHBORS,
 };
 use crate::services::{ServiceId, ServiceMap};
+use crate::unsupervised::{cluster_embedding, ClusterConfig};
 use darkvec_ml::ann::{NeighborBackend, NeighborIndex};
 use darkvec_ml::classifier::{loo_knn_classify, Label};
 use darkvec_ml::vectors::{normalize_vec, Matrix, NormalizedMatrix};
@@ -297,6 +300,9 @@ struct Shared {
     cfg: ServeConfig,
     model: RwLock<Option<Arc<ServingModel>>>,
     swaps: Mutex<Vec<SwapRecord>>,
+    /// Novelty alerts raised by the lineage matcher after model swaps,
+    /// newest last, capped at [`MAX_ALERTS`] (oldest evicted first).
+    alerts: Mutex<Vec<AlertInfo>>,
     job: Mutex<Option<TrainJob>>,
     job_ready: Condvar,
     training: AtomicBool,
@@ -329,6 +335,10 @@ impl Shared {
         self.swaps.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    fn alerts_lock(&self) -> std::sync::MutexGuard<'_, Vec<AlertInfo>> {
+        self.alerts.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn job_lock(&self) -> std::sync::MutexGuard<'_, Option<TrainJob>> {
         self.job.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -347,15 +357,23 @@ impl Shared {
     }
 
     fn status(&self) -> StatusReply {
-        let (ready, version, checksum, vocab) = match &*self.model_read() {
-            Some(m) => (true, m.version, m.checksum, m.normed.rows() as u32),
-            None => (false, 0, 0, 0),
+        let (ready, version, checksum, vocab, window) = match &*self.model_read() {
+            Some(m) => (
+                true,
+                m.version,
+                m.checksum,
+                m.normed.rows() as u32,
+                m.window,
+            ),
+            None => (false, 0, 0, 0, (0, 0)),
         };
         StatusReply {
             ready,
             version,
             checksum,
             vocab,
+            window_start: window.0,
+            window_end: window.1,
             packets: self.packets.load(Ordering::Relaxed),
             days: self.days.load(Ordering::Relaxed) as u32,
             retrains: self.retrains.load(Ordering::Relaxed) as u32,
@@ -401,6 +419,7 @@ impl Daemon {
             cfg,
             model: RwLock::new(None),
             swaps: Mutex::new(Vec::new()),
+            alerts: Mutex::new(Vec::new()),
             job: Mutex::new(None),
             job_ready: Condvar::new(),
             training: AtomicBool::new(false),
@@ -466,6 +485,12 @@ impl Daemon {
     /// A copy of the swap history.
     pub fn swap_history(&self) -> Vec<SwapRecord> {
         self.shared.swaps_lock().clone()
+    }
+
+    /// A copy of the retained novelty alerts (newest last, capped at
+    /// [`MAX_ALERTS`]) — the same list [`Request::Alerts`] serves.
+    pub fn alerts(&self) -> Vec<AlertInfo> {
+        self.shared.alerts_lock().clone()
     }
 
     /// Point-in-time statistics.
@@ -715,6 +740,9 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
     train_cfg.threads = cfg.threads;
     let mut prior: Option<(u64, TrainedModel)> = None;
     let mut version = 0u64;
+    // Cluster lineage across retrains is trainer-local state: windows
+    // arrive strictly in order here, which is the tracker's contract.
+    let mut lineage = LineageTracker::new(LineageConfig::default());
 
     loop {
         let job = {
@@ -751,6 +779,7 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
             // lint: nondeterministic-ok(integer sums into a map are commutative; consumers sort before any order-sensitive use)
             for (ip, per_svc) in &shard.svc_counts {
                 let into = svc_counts.entry(*ip).or_default();
+                // lint: nondeterministic-ok(integer sums into a map are commutative)
                 for (&svc, &n) in per_svc {
                     *into.entry(svc).or_insert(0) += n;
                 }
@@ -889,10 +918,166 @@ fn trainer_loop(shared: &Shared, cache: &Option<ArtifactCache>) {
             },
             started.elapsed().as_secs_f64()
         );
+        // Lineage: match this window's clusters against the tracked
+        // lineages and publish any novelty alerts before the daemon
+        // reports itself idle again.
+        lineage_step(shared, &mut lineage, &job, &serving, &mirai, &svc_counts);
         let prior_model = serving.model.clone();
         prior = Some((model_key, prior_model));
         shared.training.store(false, Ordering::SeqCst);
         darkvec_obs::metrics::record_sample();
+    }
+}
+
+/// Post-swap lineage step: clusters the freshly-swapped embedding,
+/// feeds this window to the tracker, and publishes any novelty alerts
+/// through the shared alert buffer (served by [`Request::Alerts`]).
+///
+/// Evidence is what the daemon actually has: top *services* by packet
+/// mass (the ingest shards keep per-sender service counts, not raw
+/// packets) and a presence-based regularity call — a cluster whose
+/// members appear on almost every window day is "daily", anything
+/// sparser "irregular".
+fn lineage_step(
+    shared: &Shared,
+    lineage: &mut LineageTracker,
+    job: &TrainJob,
+    serving: &ServingModel,
+    mirai: &HashSet<Ipv4>,
+    svc_counts: &HashMap<Ipv4, HashMap<ServiceId, u64>>,
+) {
+    let started = Instant::now();
+    let cfg = &shared.cfg;
+    let clustering = cluster_embedding(
+        &serving.model.embedding,
+        &ClusterConfig {
+            k: 3,
+            seed: cfg.cfg.w2v.seed,
+            threads: cfg.threads,
+            backend: cfg.backend.clone(),
+        },
+    );
+    let dim = serving.normed.dim();
+    let mut members: Vec<Vec<Ipv4>> = vec![Vec::new(); clustering.clusters];
+    let mut centroids = vec![vec![0.0f32; dim]; clustering.clusters];
+    for (row, &c) in clustering.assignment.iter().enumerate() {
+        // lint: cast-ok(row indexes the embedding vocabulary, which is bounded well below u32::MAX)
+        members[c as usize].push(*serving.model.embedding.vocab().word(row as u32));
+        for (s, &x) in centroids[c as usize]
+            .iter_mut()
+            .zip(serving.normed.row(row))
+        {
+            *s += x;
+        }
+    }
+    let names = job.services.names();
+    let observations: Vec<ClusterObservation> = members
+        .iter()
+        .enumerate()
+        .map(|(c, group)| {
+            // Dominant label from the fingerprint layer: the only ground
+            // truth the daemon has is the Mirai bit.
+            let hits = group.iter().filter(|ip| mirai.contains(ip)).count();
+            let share = hits as f64 / group.len().max(1) as f64;
+            let label = (hits > 0).then(|| ("mirai".to_string(), share));
+            // Top services by packet mass across the window.
+            let mut per_svc: HashMap<ServiceId, u64> = HashMap::new();
+            // lint: nondeterministic-ok(integer sums into a map are commutative; sorted before use below)
+            for ip in group {
+                if let Some(counts) = svc_counts.get(ip) {
+                    for (&svc, &n) in counts {
+                        *per_svc.entry(svc).or_insert(0) += n;
+                    }
+                }
+            }
+            // lint: nondeterministic-ok(integer sum is commutative)
+            let total: u64 = per_svc.values().sum();
+            // lint: nondeterministic-ok(collected then fully sorted on the next line)
+            let mut ranked: Vec<(ServiceId, u64)> = per_svc.into_iter().collect();
+            ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            ranked.truncate(MAX_ALERT_PORTS);
+            let top_ports: Vec<(String, f64)> = ranked
+                .into_iter()
+                .map(|(svc, n)| {
+                    let name = names
+                        .get(svc)
+                        .cloned()
+                        .unwrap_or_else(|| format!("svc-{svc}"));
+                    (name, n as f64 / total.max(1) as f64)
+                })
+                .collect();
+            // Presence-based regularity over the window's day shards.
+            let slots = group.len() * job.shards.len();
+            let present: usize = job
+                .shards
+                .iter()
+                .map(|s| {
+                    group
+                        .iter()
+                        .filter(|ip| s.svc_counts.contains_key(ip))
+                        .count()
+                })
+                .sum();
+            let regularity = if slots > 0 && present * 5 >= slots * 4 {
+                crate::temporal::Regularity::Daily.name()
+            } else {
+                crate::temporal::Regularity::Irregular.name()
+            };
+            ClusterObservation {
+                // lint: cast-ok(cluster count is bounded by the vocabulary size, far below u32::MAX)
+                cluster: c as u32,
+                members: group.clone(),
+                centroid: centroids[c].clone(),
+                label,
+                top_ports,
+                regularity: regularity.to_string(),
+            }
+        })
+        .collect();
+
+    // Freshness presence: every sender the window's shards saw, even the
+    // ones below the clustering activity filter — a sporadic sender that
+    // finally clears the filter must not read as a fresh campaign.
+    // lint: nondeterministic-ok(keys feed a set-like freshness ledger; insertion order cannot reach any output)
+    let present: Vec<Ipv4> = svc_counts.keys().copied().collect();
+    let alerts =
+        lineage.observe_with_presence((job.start_day, job.end_day), &observations, &present);
+    darkvec_obs::metrics::counter("lineage.windows").add(1);
+    darkvec_obs::metrics::gauge("lineage.tracked").set(lineage.records().len() as f64);
+    darkvec_obs::metrics::histogram("lineage.match_ns").record_duration(started.elapsed());
+    if !alerts.is_empty() {
+        darkvec_obs::metrics::counter("lineage.novel_alerts").add(alerts.len() as u64);
+        for a in &alerts {
+            darkvec_obs::warn!(
+                "serve: novel cluster — lineage {} window {}..={} size {} ({})",
+                a.lineage,
+                a.window.0,
+                a.window.1,
+                a.size,
+                a.regularity
+            );
+        }
+        let mut buffered = shared.alerts_lock();
+        buffered.extend(alerts.iter().map(|a| {
+            AlertInfo {
+                lineage: a.lineage,
+                window_start: a.window.0,
+                window_end: a.window.1,
+                // lint: cast-ok(cluster size is bounded by the vocabulary size, far below u32::MAX)
+                size: a.size as u32,
+                regularity: a.regularity.clone(),
+                top_ports: a
+                    .top_ports
+                    .iter()
+                    // lint: cast-ok(shares are in [0, 1]; f32 precision is plenty for the wire)
+                    .map(|(p, s)| (p.clone(), *s as f32))
+                    .collect(),
+            }
+        }));
+        let len = buffered.len();
+        if len > MAX_ALERTS {
+            buffered.drain(..len - MAX_ALERTS);
+        }
     }
 }
 
@@ -922,6 +1107,7 @@ fn build_centroids(
             continue;
         };
         let row = normed.row(id as usize);
+        // lint: nondeterministic-ok(each (ip, svc) pair lands in sums[svc] exactly once; only the outer, sorted sender order reaches a float sum)
         for (&svc, &count) in per_svc {
             if svc >= n_services {
                 continue;
@@ -1058,6 +1244,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 query_ns.record_duration(started.elapsed());
                 response
             }
+            Request::Alerts => Response::Alerts(shared.alerts_lock().clone()),
             Request::Shutdown => Response::ShutdownAck,
         };
         let shutting_down = matches!(response, Response::ShutdownAck);
@@ -1130,6 +1317,14 @@ impl Client {
             Response::Classify(reply) => Ok(Ok(reply)),
             Response::Error(msg) => Ok(Err(msg)),
             other => Err(format!("unexpected reply to classify: {other:?}")),
+        }
+    }
+
+    /// The daemon's retained novelty alerts (newest last).
+    pub fn alerts(&mut self) -> Result<Vec<AlertInfo>, String> {
+        match self.call(&Request::Alerts)? {
+            Response::Alerts(alerts) => Ok(alerts),
+            other => Err(format!("unexpected reply to alerts: {other:?}")),
         }
     }
 

@@ -90,6 +90,18 @@ pub enum Regularity {
     Irregular,
 }
 
+impl Regularity {
+    /// Stable lowercase name, used in reports and wire messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Regularity::Daily => "daily",
+            Regularity::Hourly => "hourly",
+            Regularity::Growing => "growing",
+            Regularity::Irregular => "irregular",
+        }
+    }
+}
+
 /// Classifies an hourly packet series.
 pub fn classify_hourly(series: &[f64]) -> Regularity {
     // Growing: the fitted line gains more than 100% of the mean level

@@ -40,7 +40,10 @@ impl Default for ClusterConfig {
 /// The result of clustering an embedding.
 #[derive(Clone, Debug)]
 pub struct Clustering {
-    /// Cluster id per vocab row (cluster 0 is the largest).
+    /// Cluster id per vocab row. Ids are canonical: clusters are numbered
+    /// by their smallest member address (descending size as tie-break), so
+    /// the same partition always gets the same ids regardless of Louvain's
+    /// discovery order — see [`canonical_assignment`].
     pub assignment: Vec<u32>,
     /// Number of clusters.
     pub clusters: usize,
@@ -114,13 +117,52 @@ pub fn cluster_embedding(embedding: &Embedding<Ipv4>, cfg: &ClusterConfig) -> Cl
         },
     );
     let partition = louvain(&graph, cfg.seed);
-    let silhouettes = cluster_silhouettes_normalized(&normed, &partition.assignment);
+    let assignment = canonical_assignment(embedding, &partition.assignment, partition.communities);
+    let silhouettes = cluster_silhouettes_normalized(&normed, &assignment);
     Clustering {
-        assignment: partition.assignment,
+        assignment,
         clusters: partition.communities,
         modularity: partition.modularity,
         silhouettes,
     }
+}
+
+/// Renumbers a partition into canonical cluster ids: clusters are ordered
+/// by their smallest member address, with descending size as tie-break.
+///
+/// Louvain assigns community ids in discovery order, which depends on the
+/// seed and graph traversal — the "same" cluster would get a different id
+/// every window or rerun, which is useless as a lineage key and confusing
+/// in incremental output. The canonical order depends only on the
+/// partition itself (cluster members are disjoint, so the smallest member
+/// is a unique anchor), making ids stable across reruns, thread counts,
+/// and sliding windows as long as the membership is stable.
+pub fn canonical_assignment(
+    embedding: &Embedding<Ipv4>,
+    assignment: &[u32],
+    clusters: usize,
+) -> Vec<u32> {
+    let mut min_ip: Vec<Option<Ipv4>> = vec![None; clusters];
+    let mut size = vec![0usize; clusters];
+    for (row, &c) in assignment.iter().enumerate() {
+        let ip = *embedding.vocab().word(row as u32);
+        let slot = &mut min_ip[c as usize];
+        if slot.map(|m| ip < m).unwrap_or(true) {
+            *slot = Some(ip);
+        }
+        size[c as usize] += 1;
+    }
+    let mut order: Vec<u32> = (0..clusters as u32).collect();
+    order.sort_by(|&a, &b| {
+        min_ip[a as usize]
+            .cmp(&min_ip[b as usize])
+            .then_with(|| size[b as usize].cmp(&size[a as usize]))
+    });
+    let mut remap = vec![0u32; clusters];
+    for (new_id, &old_id) in order.iter().enumerate() {
+        remap[old_id as usize] = new_id as u32;
+    }
+    assignment.iter().map(|&c| remap[c as usize]).collect()
 }
 
 /// The k′-sweep of Figure 10: for each k′, the number of clusters and the
@@ -282,6 +324,60 @@ mod tests {
         for (c, s) in clustering.silhouette_ranking() {
             assert!(s > 0.5, "cluster {c} silhouette {s}");
         }
+    }
+
+    /// Canonical ids: reruns, different Louvain seeds, and different
+    /// thread counts must all produce the identical assignment for a
+    /// clean partition, and ids must ascend with the smallest member.
+    #[test]
+    fn canonical_ids_stable_across_reruns_seeds_and_threads() {
+        let (emb, _) = planted();
+        let base = cluster_embedding(
+            &emb,
+            &ClusterConfig {
+                k: 3,
+                seed: 1,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for (seed, threads) in [(1u64, 1usize), (1, 2), (1, 4), (7, 1), (99, 3)] {
+            let other = cluster_embedding(
+                &emb,
+                &ClusterConfig {
+                    k: 3,
+                    seed,
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                base.assignment, other.assignment,
+                "ids drifted for seed={seed} threads={threads}"
+            );
+        }
+        // Cluster id order follows the smallest member address.
+        let mins: Vec<Ipv4> = base
+            .members(&emb)
+            .iter()
+            .map(|m| *m.iter().min().expect("non-empty cluster"))
+            .collect();
+        let mut sorted = mins.clone();
+        sorted.sort();
+        assert_eq!(mins, sorted, "ids must ascend with smallest member");
+    }
+
+    /// `canonical_assignment` is a pure renumbering: same partition in a
+    /// permuted id labelling maps to the same canonical ids.
+    #[test]
+    fn canonical_assignment_invariant_to_input_labelling() {
+        let (emb, _) = planted();
+        let clustering = cluster_embedding(&emb, &ClusterConfig::default());
+        let n = clustering.clusters as u32;
+        // Rotate every id by one: a different labelling of the same partition.
+        let rotated: Vec<u32> = clustering.assignment.iter().map(|&c| (c + 1) % n).collect();
+        let canon_rotated = canonical_assignment(&emb, &rotated, clustering.clusters);
+        assert_eq!(canon_rotated, clustering.assignment);
     }
 
     #[test]

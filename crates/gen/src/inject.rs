@@ -1,0 +1,214 @@
+//! Injection of synthetic **novel** coordinated groups at known onset days.
+//!
+//! Novelty-detection experiments need ground truth for "a new campaign
+//! appeared on day N". [`inject_group`] builds a campaign with exactly that
+//! property, meant to be appended to a [`crate::campaigns::build_all`] list
+//! before [`crate::generator::realize`]:
+//!
+//! * **known onset** — members send nothing before `onset_day` and keep a
+//!   synchronized round schedule from then until the end of the capture;
+//! * **coordinated shape** — one /24 block, one shared port mix, shared
+//!   round times: the same evidence §7.3 reads out of real campaigns;
+//! * **guaranteed-novel label** — the group is never published and never
+//!   fingerprinted, so §3.2 labelling calls it [`crate::GtClass::Unknown`],
+//!   which is the "no dominant GT label" half of a novelty alert.
+//!
+//! Appending is non-perturbing by construction: `realize` derives one RNG
+//! stream per campaign *position*, so extending the list never changes the
+//! packets of the campaigns already in it (asserted by a test below).
+
+use crate::address_space::AddressAllocator;
+use crate::campaigns::{Campaign, SenderSpec};
+use crate::config::SimConfig;
+use crate::mix::{self, PortMix};
+use crate::schedule::{periodic_times, Schedule};
+use crate::truth::CampaignId;
+use darkvec_types::{Ipv4, DAY};
+use std::sync::Arc;
+
+/// One novel group to inject.
+#[derive(Clone, Copy, Debug)]
+pub struct InjectedGroup {
+    /// Group index: names the campaign (`injected-{group}`) and picks its
+    /// /24 (`198.51.{100+group}.0/24`, TEST-NET-2-adjacent space the base
+    /// campaigns never use).
+    pub group: u8,
+    /// First capture day the group is active (0-based).
+    pub onset_day: u64,
+    /// Member count.
+    pub senders: usize,
+    /// The single TCP port the group probes — distinctive evidence.
+    pub port: u16,
+}
+
+/// Builds the campaign for one injected group. Addresses come from
+/// `alloc`, so pass the same allocator `build_all` used and global
+/// uniqueness holds.
+///
+/// # Panics
+/// Panics if the onset day is outside the capture, or the /24 cannot
+/// supply the requested member count.
+pub fn inject_group(
+    cfg: &SimConfig,
+    alloc: &mut AddressAllocator,
+    spec: &InjectedGroup,
+) -> Campaign {
+    assert!(
+        spec.onset_day < cfg.days,
+        "onset day {} outside the {}-day capture",
+        spec.onset_day,
+        cfg.days
+    );
+    let net = Ipv4::new(198, 51, 100u8.wrapping_add(spec.group), 0).slash24();
+    let ips = alloc.from_subnet(net, spec.senders);
+    let onset = spec.onset_day * DAY;
+    // Four synchronized rounds a day, every member on the same clock —
+    // dense co-occurrence from the first active window. Each group keeps
+    // its own phase (one hour apart) so two injected groups are never
+    // mutually synchronized: they must cluster on their *own* coordination,
+    // not on a shared clock accident.
+    let phase = 1800 + u64::from(spec.group) * 3600;
+    let times = periodic_times(onset + phase, 6 * 3600, cfg.horizon());
+    let mix = Arc::new(PortMix::new(vec![mix::tcp(spec.port)]));
+    let senders = ips
+        .into_iter()
+        .map(|ip| SenderSpec {
+            ip,
+            window: (onset, cfg.horizon()),
+            schedule: Schedule::Rounds {
+                times: Arc::clone(&times),
+                jitter: 300,
+                pkts_per_round: (6, 12),
+            },
+            mix: Arc::clone(&mix),
+            mirai_fingerprint: false,
+        })
+        .collect();
+    Campaign {
+        id: CampaignId::Injected(spec.group),
+        published_as: None,
+        senders,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaigns::build_all;
+    use crate::generator::realize;
+    use std::collections::HashSet;
+
+    fn specs() -> Vec<InjectedGroup> {
+        vec![
+            InjectedGroup {
+                group: 0,
+                onset_day: 4,
+                senders: 12,
+                port: 7547,
+            },
+            InjectedGroup {
+                group: 1,
+                onset_day: 6,
+                senders: 9,
+                port: 5555,
+            },
+        ]
+    }
+
+    #[test]
+    fn injection_does_not_perturb_the_base_simulation() {
+        let cfg = SimConfig::tiny(21);
+        let mut alloc = AddressAllocator::new();
+        let base = build_all(&cfg, &mut alloc);
+        let base_out = realize(&cfg, &base);
+
+        let mut alloc2 = AddressAllocator::new();
+        let mut extended = build_all(&cfg, &mut alloc2);
+        for spec in specs() {
+            extended.push(inject_group(&cfg, &mut alloc2, &spec));
+        }
+        let ext_out = realize(&cfg, &extended);
+
+        // Every base sender's packets are byte-identical in both runs.
+        let injected: HashSet<Ipv4> = extended[base.len()..]
+            .iter()
+            .flat_map(|c| c.senders.iter().map(|s| s.ip))
+            .collect();
+        let strip = |out: &crate::SimOutput| -> Vec<darkvec_types::Packet> {
+            out.trace
+                .packets()
+                .iter()
+                .filter(|p| !injected.contains(&p.src))
+                .copied()
+                .collect()
+        };
+        assert_eq!(
+            strip(&base_out),
+            strip(&ext_out),
+            "injection must not change base packets"
+        );
+        assert!(
+            ext_out.trace.packets().len() > base_out.trace.packets().len(),
+            "injected groups must actually send"
+        );
+    }
+
+    #[test]
+    fn injected_groups_start_at_onset_and_label_unknown() {
+        let cfg = SimConfig::tiny(22);
+        let mut alloc = AddressAllocator::new();
+        let mut campaigns = build_all(&cfg, &mut alloc);
+        for spec in specs() {
+            campaigns.push(inject_group(&cfg, &mut alloc, &spec));
+        }
+        let out = realize(&cfg, &campaigns);
+        for spec in specs() {
+            let members = out.truth.members(CampaignId::Injected(spec.group));
+            assert_eq!(members.len(), spec.senders);
+            let set: HashSet<Ipv4> = members.into_iter().collect();
+            let mut first_ts = u64::MAX;
+            let mut seen_days: HashSet<u64> = HashSet::new();
+            for p in out.trace.packets() {
+                if set.contains(&p.src) {
+                    first_ts = first_ts.min(p.ts.0);
+                    seen_days.insert(p.ts.0 / DAY);
+                    assert_eq!(p.fingerprint, darkvec_types::Fingerprint::None);
+                }
+            }
+            assert_eq!(
+                first_ts / DAY,
+                spec.onset_day,
+                "group {} must first appear on its onset day",
+                spec.group
+            );
+            // Active every day from onset to the end of the capture.
+            let expect: HashSet<u64> = (spec.onset_day..cfg.days).collect();
+            assert_eq!(seen_days, expect, "group {} daily presence", spec.group);
+
+            // §3.2 labelling: unpublished + unfingerprinted → Unknown.
+            let labels = out.truth.label_trace(&out.trace);
+            for ip in &set {
+                assert_eq!(labels[ip], crate::GtClass::Unknown);
+            }
+        }
+    }
+
+    #[test]
+    fn injected_members_exceed_activity_filter() {
+        let cfg = SimConfig::tiny(23);
+        let mut alloc = AddressAllocator::new();
+        let mut campaigns = build_all(&cfg, &mut alloc);
+        let spec = InjectedGroup {
+            group: 0,
+            onset_day: 2,
+            senders: 10,
+            port: 7547,
+        };
+        campaigns.push(inject_group(&cfg, &mut alloc, &spec));
+        let out = realize(&cfg, &campaigns);
+        let active = out.trace.active_senders(10);
+        for ip in out.truth.members(CampaignId::Injected(0)) {
+            assert!(active.contains(&ip), "{ip} below the activity filter");
+        }
+    }
+}

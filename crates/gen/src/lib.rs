@@ -28,12 +28,14 @@ pub mod address_space;
 pub mod campaigns;
 pub mod config;
 pub mod generator;
+pub mod inject;
 pub mod mix;
 pub mod schedule;
 pub mod stream;
 pub mod truth;
 
 pub use config::SimConfig;
-pub use generator::{simulate, SimOutput};
+pub use generator::{realize, simulate, SimOutput};
+pub use inject::{inject_group, InjectedGroup};
 pub use stream::{pump, PacketStream};
 pub use truth::{CampaignId, GroundTruth, GtClass};

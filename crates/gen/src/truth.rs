@@ -142,6 +142,10 @@ pub enum CampaignId {
     MiscUnknown,
     /// One-shot / low-rate backscatter victims.
     Backscatter,
+    /// Test-injected novel group `g` with a known onset day — ground truth
+    /// for novelty-detection experiments (never published, never
+    /// fingerprinted, so it labels as [`GtClass::Unknown`]).
+    Injected(u8),
 }
 
 impl CampaignId {
@@ -160,6 +164,7 @@ impl fmt::Display for CampaignId {
         match self {
             CampaignId::Censys(g) => write!(f, "censys-{g}"),
             CampaignId::Shadowserver(g) => write!(f, "shadowserver-{g}"),
+            CampaignId::Injected(g) => write!(f, "injected-{g}"),
             other => {
                 let s = match other {
                     CampaignId::MiraiCore => "mirai-core",
@@ -181,7 +186,9 @@ impl fmt::Display for CampaignId {
                     CampaignId::U8Horizontal => "unknown8-horizontal",
                     CampaignId::MiscUnknown => "misc-unknown",
                     CampaignId::Backscatter => "backscatter",
-                    CampaignId::Censys(_) | CampaignId::Shadowserver(_) => unreachable!(),
+                    CampaignId::Censys(_)
+                    | CampaignId::Shadowserver(_)
+                    | CampaignId::Injected(_) => unreachable!(),
                 };
                 f.write_str(s)
             }

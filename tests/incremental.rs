@@ -162,6 +162,57 @@ fn cache_is_deterministic_and_second_run_is_all_hits() {
     let _ = std::fs::remove_dir_all(&dir2);
 }
 
+/// Regression: whenever `(total_days - days)` is not a multiple of
+/// `stride`, the old window-end loop silently dropped the trailing capture
+/// days (e.g. 5 days, days=2, stride=2 → windows ended at days 1 and 3 and
+/// day 4 was never trained, clustered, or cached). A final clamped window
+/// ending at `total_days - 1` must pick them up, while the windows before
+/// it — and hence their cache keys — stay exactly as before.
+#[test]
+fn trailing_days_get_a_final_clamped_window() {
+    use darkvec_types::{Timestamp, DAY};
+    let sim = simulate(&SimConfig::tiny(SEED)); // 8 capture days
+    let opts = IncrementalOptions {
+        warm_epochs: 0,
+        cluster_k: None,
+        shard_threads: 0,
+    };
+    // (days, stride, total) → expected window end days. The first entry of
+    // each expectation list matches the pre-fix schedule; combos whose
+    // stride misses the last day gain one extra clamped window.
+    let combos: &[(u64, u64, u64, &[u64])] = &[
+        (2, 2, 5, &[1, 3, 4]),    // the ISSUE example: day 4 was dropped
+        (2, 2, 8, &[1, 3, 5, 7]), // stride lands exactly — unchanged
+        (3, 3, 7, &[2, 5, 6]),
+        (2, 3, 6, &[1, 4, 5]),
+        (4, 2, 7, &[3, 5, 6]),
+    ];
+    for &(days, stride, total, expected) in combos {
+        let trace = sim.trace.slice_time(Timestamp(0), Timestamp(total * DAY));
+        assert_eq!(trace.days(), total, "slice setup");
+        let mut cfg = test_cfg();
+        cfg.window = SlidingWindow { days, stride };
+        let steps = run_sliding(&trace, &cfg, &opts, None);
+        let ends: Vec<u64> = steps.iter().map(|s| s.end_day).collect();
+        assert_eq!(
+            ends, expected,
+            "window ends for days={days} stride={stride} total={total}"
+        );
+        // The clamp guarantees the *trailing* days are trained; full
+        // coverage additionally needs stride <= days (a stride that
+        // outruns the window skips interior days by construction).
+        assert_eq!(steps.last().map(|s| s.end_day), Some(total - 1));
+        if stride <= days {
+            for day in 0..total {
+                assert!(
+                    steps.iter().any(|s| s.start_day <= day && day <= s.end_day),
+                    "day {day} uncovered for days={days} stride={stride} total={total}"
+                );
+            }
+        }
+    }
+}
+
 /// Warm steps resume from the prior (fewer pairs trained than a cold
 /// retrain), evict senders inactive in the current window, and a change of
 /// `warm_epochs` changes the chained model keys.

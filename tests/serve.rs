@@ -470,10 +470,105 @@ fn hand_built_trace_maps_days_onto_the_window() {
     assert_eq!(model.window, (0, 1));
     // Every sender probed with the Mirai fingerprint: all rows labelled.
     assert!(model.labels.iter().all(|&l| l == 1));
-    let reply = Client::connect(daemon.addr())
-        .unwrap()
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let reply = client
         .classify(Ipv4::new(10, 0, 0, 0), &[], 5)
         .unwrap()
         .unwrap();
     assert_eq!(reply.label, "mirai");
+    // The versioned status tail reports the training window days.
+    let status = client.status().unwrap();
+    assert_eq!((status.window_start, status.window_end), (0, 1));
+    // A fully mirai-labelled cluster is never novel: no alerts retained.
+    assert!(daemon.alerts().is_empty());
+    assert!(client.alerts().unwrap().is_empty());
+}
+
+/// The lineage tentpole over the wire: a coordinated group appearing
+/// after the baseline window — unlabelled, big enough — raises a novelty
+/// alert retrievable through [`Request::Alerts`] and [`Daemon::alerts`].
+#[test]
+fn novel_group_raises_a_wire_alert_after_baseline() {
+    // Group A: 12 steady unlabelled senders, port 23, every day 0..=3,
+    // in the first half of each day.
+    let mut packets = Vec::new();
+    for day in 0..4u64 {
+        for i in 0..12u8 {
+            for rep in 0..20u64 {
+                packets.push(Packet::new(
+                    Timestamp(day * DAY + rep * 1800 + i as u64),
+                    Ipv4::new(10, 0, 0, i),
+                    23,
+                    Protocol::Tcp,
+                ));
+            }
+        }
+    }
+    // Group B: 8 new senders on port 7547, day 3 only, in the second
+    // half of the day — no co-occurrence with group A at all.
+    for i in 0..8u8 {
+        for rep in 0..20u64 {
+            packets.push(Packet::new(
+                Timestamp(3 * DAY + DAY / 2 + rep * 1800 + i as u64),
+                Ipv4::new(172, 16, 0, i),
+                7547,
+                Protocol::Tcp,
+            ));
+        }
+    }
+    let trace = Trace::new(packets);
+    // The fixture corpus is tiny (~20 senders, ~600 packets); frequency
+    // subsampling would throw away most of it and the default window is
+    // narrower than one synthetic round, so widen both to get clean
+    // embeddings for the two groups.
+    let mut cfg = tiny_serve_cfg();
+    cfg.cfg.w2v.window = 8;
+    cfg.cfg.w2v.epochs = 12;
+    cfg.cfg.w2v.subsample = 0.0;
+    // Cold retrains: a 2-epoch warm pass cannot pull group B's fresh
+    // random vectors away from group A's trained ones.
+    cfg.warm_epochs = 0;
+    let (daemon, tx) = start(cfg);
+
+    // Feed days 0..=1 and nudge the rollover: the baseline window (0, 1)
+    // holds group A alone and must not alert.
+    tx.send(trace.day_slice(0).to_vec()).unwrap();
+    tx.send(trace.day_slice(1).to_vec()).unwrap();
+    tx.send(trace.day_slice(2)[..1].to_vec()).unwrap();
+    assert!(daemon.wait_version(1, Duration::from_secs(120)));
+    assert_eq!(daemon.current_model().unwrap().window, (0, 1));
+    assert!(daemon.alerts().is_empty(), "the baseline window alerted");
+
+    // The rest of the stream brings group B online on day 3; the final
+    // window (2, 3) is where its lineage is born.
+    tx.send(trace.day_slice(2)[1..].to_vec()).unwrap();
+    tx.send(trace.day_slice(3).to_vec()).unwrap();
+    drop(tx);
+    settle(&daemon);
+
+    let alerts = daemon.alerts();
+    assert!(!alerts.is_empty(), "the novel group raised no alert");
+    assert!(
+        alerts
+            .iter()
+            .all(|a| (a.window_start, a.window_end) == (2, 3)),
+        "alert outside the birth window: {alerts:?}"
+    );
+    assert_eq!(
+        alerts.iter().map(|a| a.size as usize).sum::<usize>(),
+        8,
+        "alerted senders must be exactly group B: {alerts:?}"
+    );
+    for a in &alerts {
+        assert!(!a.top_ports.is_empty(), "alert without port evidence");
+        assert!(!a.regularity.is_empty());
+    }
+    // The wire path serves the same list.
+    let mut client = Client::connect(daemon.addr()).unwrap();
+    let wire = client.alerts().unwrap();
+    assert_eq!(wire.len(), alerts.len());
+    assert_eq!(wire, alerts);
+    // And the status tail tracks the final window.
+    let status = client.status().unwrap();
+    assert_eq!((status.window_start, status.window_end), (2, 3));
 }
